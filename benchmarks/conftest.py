@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(figures as executable scenarios, §6 application claims, and the
+planning/replication/estimation studies the paper leans on).  Each
+prints the table rows it reproduces via :func:`print_table` so the
+harness output can be compared side by side with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render one experiment's result table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table
+
+
+@pytest.fixture
+def scenario(benchmark):
+    """Run a whole experiment once under the benchmark timer.
+
+    Scenario benchmarks (sweeps, ablations, table generators) are
+    dominated by their own internal structure, so one timed round is
+    the meaningful measurement; this also keeps them selected under
+    ``--benchmark-only``.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

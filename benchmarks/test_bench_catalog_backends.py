@@ -1,0 +1,101 @@
+"""CAT — catalog backend throughput (§3, §4, Appendix B).
+
+The VDC "may variously be a relational database, OO database, XML
+repository, or even a hierarchical directory": this benchmark compares
+the three implemented realizations (memory, sqlite, filetree) on
+insert, point lookup, provenance query, and discovery scan at growing
+catalog sizes — the data behind the backend-choice guidance in
+DESIGN.md.
+"""
+
+import time
+
+import pytest
+
+from repro.catalog.filetree import FileTreeCatalog
+from repro.catalog.memory import MemoryCatalog
+from repro.catalog.sqlite import SQLiteCatalog
+from repro.workloads import canonical
+
+
+def make_catalog(kind, tmp_path):
+    if kind == "memory":
+        return MemoryCatalog()
+    if kind == "sqlite":
+        return SQLiteCatalog()
+    return FileTreeCatalog(tmp_path / f"vdc-{time.monotonic_ns()}")
+
+
+BACKENDS = ("memory", "sqlite", "filetree")
+
+
+def test_cat_backend_matrix(scenario, table, tmp_path):
+    def run():
+        nodes = 1_000
+        rows = []
+        for kind in BACKENDS:
+            catalog = make_catalog(kind, tmp_path)
+            start = time.perf_counter()
+            desc = canonical.generate_graph(
+                catalog, nodes=nodes, layers=10, seed=1
+            )
+            insert_s = time.perf_counter() - start
+
+            probe = desc.derivations[nodes // 2]
+            start = time.perf_counter()
+            for _ in range(200):
+                catalog.get_derivation(probe)
+            lookup_us = (time.perf_counter() - start) / 200 * 1e6
+
+            target = sorted(desc.sink_datasets)[0]
+            start = time.perf_counter()
+            for _ in range(50):
+                catalog.producers_of(target)
+            provenance_us = (time.perf_counter() - start) / 50 * 1e6
+
+            start = time.perf_counter()
+            hits = catalog.find_derivations(name_glob="cg.n0001*")
+            scan_ms = (time.perf_counter() - start) * 1e3
+
+            rows.append(
+                (
+                    kind,
+                    f"{insert_s:.2f}",
+                    f"{lookup_us:.0f}",
+                    f"{provenance_us:.0f}",
+                    f"{scan_ms:.0f}",
+                    len(hits),
+                )
+            )
+        table(
+            f"CAT: backend throughput at {nodes} derivations",
+            ["backend", "bulk insert s", "lookup us", "producers_of us",
+             "glob scan ms", "scan hits"],
+            rows,
+        )
+        # All backends must agree on query results (observational
+        # equivalence); relative speed is reported, not asserted — e.g.
+        # sqlite's C JSON decode beats memory's defensive deep copies.
+        assert len({r[5] for r in rows}) == 1
+
+    scenario(run)
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_cat_insert_throughput(benchmark, kind, tmp_path):
+    def insert_100():
+        catalog = make_catalog(kind, tmp_path)
+        canonical.generate_graph(catalog, nodes=100, layers=5, seed=2)
+        return catalog
+
+    catalog = benchmark.pedantic(insert_100, rounds=3, iterations=1)
+    assert catalog.counts()["derivation"] == 100
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_cat_lookup_throughput(benchmark, kind, tmp_path):
+    catalog = make_catalog(kind, tmp_path)
+    desc = canonical.generate_graph(catalog, nodes=200, layers=5, seed=3)
+    probe = desc.derivations[100]
+    dv = benchmark(lambda: catalog.get_derivation(probe))
+    assert dv.name == probe

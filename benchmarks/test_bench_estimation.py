@@ -1,0 +1,123 @@
+"""EST — estimator accuracy against the simulated grid (§5.3).
+
+Two claims are checked: (a) predicted workflow makespan tracks the
+simulator within a small factor, and (b) prediction error shrinks as
+invocation history accumulates — the virtue of recording resource
+usage with provenance (§2).
+"""
+
+
+from repro.catalog.memory import MemoryCatalog
+from repro.estimator.cost import Estimator
+from repro.estimator.workflow import estimate_plan
+from repro.system import VirtualDataSystem
+from repro.workloads import sdss
+
+
+def build_vds(fields=20):
+    vds = VirtualDataSystem.with_grid(
+        {"anl": 16, "uc": 16}, authority="est.org", bandwidth=50e6
+    )
+    campaign = sdss.define_campaign(
+        vds.catalog, fields=fields, fields_per_stripe=fields
+    )
+    for i, field in enumerate(campaign.field_datasets):
+        vds.seed_dataset(field, ("anl", "uc")[i % 2], sdss.FIELD_BYTES)
+    return vds, campaign
+
+
+def test_est_predicted_vs_measured(scenario, table):
+    def run():
+        vds, campaign = build_vds()
+        plan = vds.plan(campaign.targets[0], reuse="never")
+        hosts = 32
+        estimate = estimate_plan(plan, host_count=hosts,
+                                 include_intermediates=True)
+        result = vds.materialize(campaign.targets[0], reuse="never")
+        ratio = estimate.makespan_seconds / result.makespan
+        table(
+            "EST: predicted vs simulated workflow makespan",
+            ["quantity", "predicted", "simulated", "ratio"],
+            [
+                (
+                    "makespan (sim s)",
+                    f"{estimate.makespan_seconds:.0f}",
+                    f"{result.makespan:.0f}",
+                    f"{ratio:.2f}",
+                ),
+                (
+                    "total cpu (s)",
+                    f"{estimate.total_cpu_seconds:.0f}",
+                    f"{result.total_cpu_seconds():.0f}",
+                    f"{estimate.total_cpu_seconds / result.total_cpu_seconds():.2f}",
+                ),
+            ],
+        )
+        assert 1 / 3 <= ratio <= 3
+
+    scenario(run)
+
+
+def test_est_error_shrinks_with_history(scenario, table):
+    def run():
+        """Fit quality improves as more invocations are recorded.
+
+        Ground truth: cpu = 1 + 2e-7 * bytes.  The estimator sees noisy
+        samples and must converge toward the true coefficients.
+        """
+        import random
+
+        from repro.core.invocation import Invocation, ResourceUsage
+
+        rng = random.Random(5)
+        truth = lambda b: 1.0 + 2e-7 * b  # noqa: E731
+        rows = []
+        errors = []
+        for samples in (2, 8, 32, 128):
+            catalog = MemoryCatalog().define(
+                """
+                TR model-me( output o, input i ) {
+                  argument stdin = ${input:i};
+                  argument stdout = ${output:o};
+                  exec = "/bin/m";
+                }
+                DV m1->model-me( o=@{output:"out"}, i=@{input:"in"} );
+                """
+            )
+            for _ in range(samples):
+                size = rng.randint(1_000_000, 100_000_000)
+                noisy = truth(size) * rng.uniform(0.85, 1.15)
+                catalog.add_invocation(
+                    Invocation(
+                        derivation_name="m1",
+                        usage=ResourceUsage(
+                            cpu_seconds=noisy,
+                            wall_seconds=noisy,
+                            bytes_read=size,
+                        ),
+                    )
+                )
+            estimator = Estimator(catalog)
+            model = estimator.model_for("model-me")
+            probe = 50_000_000
+            error = abs(model.predict_cpu_seconds(probe) - truth(probe)) / truth(probe)
+            errors.append(error)
+            rows.append((samples, f"{model.per_byte:.2e}", f"{error * 100:.1f}%"))
+        table(
+            "EST: model error vs history size (truth: 1 + 2e-7 B)",
+            ["invocations", "fitted per-byte", "error @50MB"],
+            rows,
+        )
+        assert errors[-1] < 0.10  # converged within 10%
+        assert errors[-1] <= max(errors)  # no degradation with data
+
+    scenario(run)
+
+
+def test_est_planning_query(benchmark):
+    vds, campaign = build_vds()
+    plan = vds.plan(campaign.targets[0], reuse="never")
+    estimate = benchmark(
+        lambda: estimate_plan(plan, host_count=32, include_intermediates=True)
+    )
+    assert estimate.step_count == len(plan)

@@ -1,0 +1,102 @@
+"""FIG2 — virtual data hyperlinks between servers.
+
+Reproduces the Wisconsin/Illinois scenario and measures hyperlink
+resolution: derivation -> remote transformation, and compound ->
+remote callees, including planning a cross-catalog workflow.
+"""
+
+from repro.catalog.memory import MemoryCatalog
+from repro.catalog.resolver import CatalogNetwork, ReferenceResolver
+from repro.planner.dag import Planner
+from repro.planner.request import MaterializationRequest
+
+
+def build_network():
+    net = CatalogNetwork()
+    wisconsin = net.register(MemoryCatalog(authority="physics.wisconsin.edu"))
+    illinois = net.register(MemoryCatalog(authority="physics.illinois.edu"))
+    illinois.define(
+        """
+        TR sim( output out, input cfg ) {
+          argument stdin = ${input:cfg};
+          argument stdout = ${output:out};
+          exec = "/usr/bin/sim";
+        }
+        TR cmp( output z, input raw ) {
+          argument stdin = ${input:raw};
+          argument stdout = ${output:z};
+          exec = "/usr/bin/cmp";
+        }
+        """
+    )
+    wisconsin.define(
+        """
+        TR srch( output hits, input events, none particle="any" ) {
+          argument = "-p "${none:particle};
+          argument stdin = ${input:events};
+          argument stdout = ${output:hits};
+          exec = "/usr/bin/srch";
+        }
+        TR cmpsim( input cfg, inout mid=@{inout:"cmpsim.mid":""}, output z ) {
+          vdp://physics.illinois.edu/sim( out=${output:mid}, cfg=${cfg} );
+          vdp://physics.illinois.edu/cmp( z=${z}, raw=${input:mid} );
+        }
+        DV pack1->cmpsim( cfg=@{input:"config.A"}, z=@{output:"packed.A"} );
+        """
+    )
+    illinois.define(
+        """
+        DV srch-muon->vdp://physics.wisconsin.edu/srch(
+            hits=@{output:"muon.hits"}, events=@{input:"events.all"},
+            particle="muon" );
+        """
+    )
+    return net, wisconsin, illinois
+
+
+def test_fig2_resolve_hyperlinks(benchmark, table):
+    net, wisconsin, illinois = build_network()
+
+    def resolve_all():
+        wisconsin_resolver = ReferenceResolver(wisconsin, net)
+        illinois_resolver = ReferenceResolver(illinois, net)
+        callees = wisconsin_resolver.expand_compound(
+            wisconsin.get_transformation("cmpsim")
+        )
+        srch, _ = illinois_resolver.transformation(
+            illinois.get_derivation("srch-muon").transformation
+        )
+        return callees, srch
+
+    callees, srch = benchmark(resolve_all)
+    assert [callees[i].name for i in (0, 1)] == ["sim", "cmp"]
+    assert srch.name == "srch"
+    table(
+        "FIG2: resolved virtual data hyperlinks",
+        ["link", "from", "to"],
+        [
+            ("cmpsim call 0", "physics.wisconsin.edu",
+             "vdp://physics.illinois.edu/sim"),
+            ("cmpsim call 1", "physics.wisconsin.edu",
+             "vdp://physics.illinois.edu/cmp"),
+            ("srch-muon", "physics.illinois.edu",
+             "vdp://physics.wisconsin.edu/srch"),
+        ],
+    )
+
+
+def test_fig2_cross_catalog_planning(benchmark):
+    net, wisconsin, _ = build_network()
+    resolver = ReferenceResolver(wisconsin, net)
+    planner = Planner(
+        wisconsin, resolver=resolver, has_replica=lambda lfn: lfn == "config.A"
+    )
+
+    def plan():
+        return planner.plan(
+            MaterializationRequest(targets=("packed.A",), reuse="never")
+        )
+
+    result = benchmark(plan)
+    assert set(result.steps) == {"pack1.0.sim", "pack1.1.cmp"}
+    assert result.sources == {"config.A"}

@@ -1,0 +1,132 @@
+"""FIG4 — indexing the virtual data grid at multiple levels.
+
+Compares discovery latency of a federated index against direct
+multi-catalog scans as the community grows, and quantifies the
+freshness/cost trade-off between live and periodic index maintenance.
+
+Expected shape: the index answers discovery queries orders of magnitude
+faster than scanning every member catalog, and the gap widens with
+community size; periodic indexes trade staleness for zero update cost.
+"""
+
+import time
+
+from repro.catalog.federation import FederatedIndex, scan_catalogs
+from repro.catalog.memory import MemoryCatalog
+from repro.core.dataset import Dataset
+from repro.core.types import DatasetType
+
+
+def build_community(catalog_count: int, datasets_per_catalog: int):
+    catalogs = []
+    for c in range(catalog_count):
+        catalog = MemoryCatalog(authority=f"site{c}.org")
+        for d in range(datasets_per_catalog):
+            catalog.add_dataset(
+                Dataset(
+                    name=f"ds.{c}.{d:04d}",
+                    dataset_type=DatasetType(
+                        content="SDSS" if d % 2 == 0 else "CMS"
+                    ),
+                )
+            )
+        catalogs.append(catalog)
+    return catalogs
+
+
+def timed(fn, repeat=5):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_fig4_index_vs_scan(scenario, table):
+    rows = scenario(_index_vs_scan_rows)
+    table(
+        "FIG4: discovery — federated index vs direct scan",
+        ["catalogs", "objects", "scan ms", "index ms", "speedup"],
+        rows,
+    )
+    # The index must win decisively at every scale (it skips the
+    # per-catalog record deserialization a scan pays), and the
+    # absolute time saved grows with community size.
+    speedups = [float(r[4][:-1]) for r in rows]
+    assert all(s > 2.0 for s in speedups)
+    saved = [float(r[2]) - float(r[3]) for r in rows]
+    assert saved[-1] > saved[0]
+
+
+def _index_vs_scan_rows():
+    rows = []
+    for catalog_count in (2, 4, 8, 16):
+        catalogs = build_community(catalog_count, 200)
+        index = FederatedIndex("community", kinds=("dataset",))
+        for catalog in catalogs:
+            index.attach(catalog)
+        want = DatasetType(content="SDSS")
+        scan_time, scan_hits = timed(
+            lambda: scan_catalogs(catalogs, "dataset", conforms_to=want)
+        )
+        index_time, index_hits = timed(
+            lambda: index.find("dataset", conforms_to=want)
+        )
+        assert len(scan_hits) == len(index_hits) == catalog_count * 100
+        rows.append(
+            (
+                catalog_count,
+                catalog_count * 200,
+                f"{scan_time * 1e3:.2f}",
+                f"{index_time * 1e3:.2f}",
+                f"{scan_time / index_time:.1f}x",
+            )
+        )
+    return rows
+
+
+def test_fig4_freshness_tradeoff(scenario, table):
+    def run():
+        catalogs = build_community(4, 100)
+        live = FederatedIndex("live", mode="live", kinds=("dataset",))
+        periodic = FederatedIndex(
+            "periodic", mode="periodic", kinds=("dataset",)
+        )
+        for catalog in catalogs:
+            live.attach(catalog)
+            periodic.attach(catalog)
+        # A burst of updates lands on the community.
+        for i in range(50):
+            catalogs[i % 4].add_dataset(Dataset(name=f"new.{i:03d}"))
+        live_fresh = len(live.find("dataset", name_glob="new.*"))
+        stale = len(periodic.find("dataset", name_glob="new.*"))
+        pending = periodic.pending_updates
+        refresh_time, _ = timed(periodic.refresh, repeat=3)
+        after = len(periodic.find("dataset", name_glob="new.*"))
+        return live_fresh, stale, pending, refresh_time, after
+
+    live_fresh, stale, pending, refresh_time, after = scenario(run)
+    table(
+        "FIG4: index freshness (50 updates after attach)",
+        ["index", "new datasets visible", "pending", "refresh ms"],
+        [
+            ("live", live_fresh, 0, "n/a"),
+            ("periodic (stale)", stale, pending, "n/a"),
+            ("periodic (refreshed)", after, 0, f"{refresh_time * 1e3:.2f}"),
+        ],
+    )
+    assert live_fresh == 50
+    assert stale == 0
+    assert after == 50
+    assert pending == 50
+
+
+def test_fig4_index_query(benchmark):
+    catalogs = build_community(8, 200)
+    index = FederatedIndex("community", kinds=("dataset",))
+    for catalog in catalogs:
+        index.attach(catalog)
+    hits = benchmark(lambda: index.find("dataset", name_glob="ds.3.*"))
+    assert len(hits) == 200

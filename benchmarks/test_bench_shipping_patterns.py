@@ -1,0 +1,155 @@
+"""SHIP — the four data/procedure shipping patterns (§5.2).
+
+"All four patterns can play a role in a particular community or
+application, depending on factors such as resource availability and
+performance, the size of datasets, and the computational and data
+demands of procedures."
+
+The benchmark sweeps dataset size against compute demand and, for each
+cell, simulates one derivation under each pattern; the winner map shows
+the crossovers the paper predicts: ship-procedure wins when data is
+big, ship-data wins when data is small and compute elsewhere is
+plentiful, collocation wins when it is possible at all.
+"""
+
+
+from repro.system import VirtualDataSystem
+
+VDL = """
+TR crunch( output o, input i ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/bin/crunch";
+}
+DV c1->crunch( o=@{output:"out.dat"}, i=@{input:"big.dat"} );
+"""
+
+
+def build_world(data_bytes: int, cpu_seconds: float, collocatable: bool):
+    """data-site: 1 slow-ish host, holds the data.  cpu-site: 16 hosts.
+    The procedure lives at cpu-site (and data-site when collocatable)."""
+    vds = VirtualDataSystem.with_grid(
+        {"data-site": 1, "cpu-site": 16}, authority="ship.org",
+        bandwidth=10e6,
+    )
+    vds.define(VDL)
+    tr = vds.catalog.get_transformation("crunch")
+    tr.attributes.set("cost.cpu_seconds", cpu_seconds)
+    tr.attributes.set("cost.output_bytes", 1_000_000)
+    vds.catalog.add_transformation(tr, replace=True)
+    vds.seed_dataset("big.dat", "data-site", data_bytes)
+    vds.selector.procedures.install("crunch", "cpu-site")
+    vds.selector.procedures.set_size("crunch", 5_000_000)
+    if collocatable:
+        vds.selector.procedures.install("crunch", "data-site")
+    return vds
+
+
+PATTERNS = ("collocate", "ship-procedure", "ship-data", "ship-both")
+
+
+def run_cell(data_bytes, cpu_seconds, collocatable=True):
+    outcomes = {}
+    for pattern in PATTERNS:
+        vds = build_world(data_bytes, cpu_seconds, collocatable)
+        result = vds.materialize("out.dat", reuse="never", pattern=pattern)
+        assert result.succeeded
+        outcomes[pattern] = result.makespan
+    return outcomes
+
+
+def test_ship_winner_map(scenario, table):
+    def run():
+        # The procedure starts installed only at cpu-site, so each pattern
+        # has to do real work: collocation is impossible (falls back to
+        # moving data), ship-procedure pays one procedure transfer,
+        # ship-data pays the dataset transfer.
+        rows = []
+        for data_mb in (1, 50, 500):
+            for cpu in (2.0, 60.0):
+                outcomes = run_cell(
+                    data_mb * 1_000_000, cpu, collocatable=False
+                )
+                winner = min(outcomes, key=outcomes.get)
+                rows.append(
+                    (
+                        data_mb,
+                        f"{cpu:.0f}",
+                        *(f"{outcomes[p]:.1f}" for p in PATTERNS),
+                        winner,
+                    )
+                )
+        table(
+            "SHIP: makespan (sim s) per pattern across the sweep",
+            ["data MB", "cpu s", *PATTERNS, "winner"],
+            rows,
+        )
+        # Big data: moving the data is the dominant cost, so running at
+        # the data (ship-procedure, 0.5 s procedure move) must beat
+        # moving 500 MB of data (50 s).
+        big = run_cell(500_000_000, 2.0, collocatable=False)
+        assert big["ship-procedure"] < big["ship-data"]
+        assert min(big, key=big.get) in ("ship-procedure", "ship-both")
+        # Tiny data: the transfer is negligible either way — the sweep's
+        # interesting crossover is in the big-data rows above.
+        small = run_cell(1_000_000, 2.0, collocatable=False)
+        assert abs(small["ship-data"] - small["ship-procedure"]) < 1.0
+
+    scenario(run)
+
+
+def test_ship_data_wins_when_small_and_parallel(scenario, table):
+    def run():
+        """Small data + a queue at the data site: moving data to the big
+        free pool beats queueing behind the data-site's single host."""
+        vds = build_world(1_000_000, 30.0, collocatable=True)
+        # Jam the data site's only host.
+        vds.grid.sites["data-site"].compute.allocate(0.0, 10_000.0)
+        outcomes = {}
+        for pattern in ("collocate", "ship-data"):
+            vds2 = build_world(1_000_000, 30.0, collocatable=True)
+            vds2.grid.sites["data-site"].compute.allocate(0.0, 10_000.0)
+            result = vds2.materialize("out.dat", reuse="never", pattern=pattern)
+            outcomes[pattern] = result.makespan
+        table(
+            "SHIP: busy data site, 1 MB dataset",
+            ["pattern", "makespan (sim s)"],
+            [(p, f"{m:.1f}") for p, m in outcomes.items()],
+        )
+        assert outcomes["ship-data"] < outcomes["collocate"]
+
+    scenario(run)
+
+
+def test_ship_procedure_installs_once(scenario, table):
+    def run():
+        """Procedure caching: the second workflow at the data site pays no
+        procedure transfer (pattern 2 amortizes like replication)."""
+        vds = build_world(500_000_000, 5.0, collocatable=False)
+        first = vds.materialize("out.dat", reuse="never", pattern="ship-procedure")
+        vds.define(
+            'DV c2->crunch( o=@{output:"out2.dat"}, i=@{input:"big.dat"} );'
+        )
+        second = vds.materialize("out2.dat", reuse="never",
+                                 pattern="ship-procedure")
+        table(
+            "SHIP: procedure shipping amortization",
+            ["run", "stage-in + queue (sim s)"],
+            [
+                ("first (ships procedure)", f"{first.makespan:.2f}"),
+                ("second (procedure cached)", f"{second.makespan:.2f}"),
+            ],
+        )
+        assert second.makespan <= first.makespan
+
+    scenario(run)
+
+
+def test_ship_selection_throughput(benchmark):
+    vds = build_world(50_000_000, 10.0, collocatable=True)
+    plan = vds.plan("out.dat", reuse="never")
+    step = next(iter(plan.steps.values()))
+    choice = benchmark(
+        lambda: vds.selector.choose(step, "ship-both", now=0.0)
+    )
+    assert choice.site in ("data-site", "cpu-site")

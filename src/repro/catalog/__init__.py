@@ -1,0 +1,25 @@
+"""Virtual data catalogs: storage, discovery, federation, resolution (§4)."""
+
+from repro.catalog.base import KINDS, VirtualDataCatalog
+from repro.catalog.federation import FederatedIndex, IndexEntry, scan_catalogs
+from repro.catalog.filetree import FileTreeCatalog
+from repro.catalog.memory import MemoryCatalog
+from repro.catalog.resolver import CatalogNetwork, ReferenceResolver
+from repro.catalog.sqlite import SQLiteCatalog
+
+__all__ = [
+    "CatalogNetwork",
+    "FederatedIndex",
+    "FileTreeCatalog",
+    "IndexEntry",
+    "KINDS",
+    "MemoryCatalog",
+    "ReferenceResolver",
+    "SQLiteCatalog",
+    "VirtualDataCatalog",
+    "scan_catalogs",
+]
+
+from repro.catalog.promotion import PromotionReport, promote  # noqa: E402
+
+__all__ += ["PromotionReport", "promote"]

@@ -1,0 +1,591 @@
+"""The Virtual Data Catalog (VDC) service interface (§4).
+
+"We introduce the term virtual data catalog (VDC) to denote a service
+that maintains information defined by our virtual data schema."  A
+VDC's implementation "may variously be a relational database, OO
+database, XML repository, or even a hierarchical directory" (§3); this
+module defines the backend-independent interface and behaviour, and the
+sibling modules provide three backends:
+
+* :class:`repro.catalog.memory.MemoryCatalog` — dictionaries;
+* :class:`repro.catalog.sqlite.SQLiteCatalog` — a relational store
+  (the Appendix B shape);
+* :class:`repro.catalog.filetree.FileTreeCatalog` — a hierarchical
+  directory of JSON documents.
+
+The base class owns all semantics — registration rules, link
+maintenance, discovery queries, change notification — and delegates
+only dumb ``(kind, key) -> payload dict`` persistence to the backend.
+All backends therefore behave identically, which the test suite checks
+by running the same scenarios against each.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core.dataset import Dataset
+from repro.core.derivation import Derivation
+from repro.core.invocation import Invocation
+from repro.core.replica import Replica
+from repro.core.transformation import Transformation
+from repro.core.types import DatasetType, TypeRegistry, default_registry
+from repro.core.versioning import VersionRegistry
+from repro.errors import (
+    DuplicateEntryError,
+    NotFoundError,
+    TypeConformanceError,
+)
+from repro.vdl import xml_io
+
+#: Object kinds a catalog stores, in dependency order.
+KINDS = ("dataset", "replica", "transformation", "derivation", "invocation")
+
+#: Event names delivered to subscribers.
+EVENTS = ("put", "delete")
+
+
+def _transformation_to_payload(tr: Transformation) -> dict:
+    return tr.to_dict()
+
+
+def _transformation_from_payload(payload: dict) -> Transformation:
+    import xml.etree.ElementTree as ET
+
+    tr = xml_io.transformation_from_xml(ET.fromstring(payload["xml"]))
+    for key, value in payload.get("attributes", {}).items():
+        tr.attributes.set(key, value)
+    return tr
+
+
+class VirtualDataCatalog:
+    """Backend-independent VDC semantics.
+
+    Subclasses implement five storage primitives (``_store_put``,
+    ``_store_get``, ``_store_delete``, ``_store_keys``, ``_store_has``).
+    Keys are: dataset name, replica id, ``name@version`` for
+    transformations, derivation name, invocation id.
+    """
+
+    def __init__(
+        self,
+        authority: Optional[str] = None,
+        registry: Optional[TypeRegistry] = None,
+        versions: Optional[VersionRegistry] = None,
+    ):
+        self.authority = authority
+        self.types = registry or default_registry()
+        self.versions = versions or VersionRegistry()
+        self._subscribers: list[Callable[[str, str, str], None]] = []
+        # Relationship indexes, rebuilt from storage on open.
+        self._produced_by: dict[str, set[str]] = {}
+        self._consumed_by: dict[str, set[str]] = {}
+        self._replicas_of: dict[str, set[str]] = {}
+        self._invocations_of: dict[str, set[str]] = {}
+        self._tr_versions: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # storage primitives (implemented by backends)
+    # ------------------------------------------------------------------
+
+    def _store_put(self, kind: str, key: str, payload: dict) -> None:
+        raise NotImplementedError
+
+    def _store_get(self, kind: str, key: str) -> Optional[dict]:
+        raise NotImplementedError
+
+    def _store_delete(self, kind: str, key: str) -> None:
+        raise NotImplementedError
+
+    def _store_keys(self, kind: str) -> list[str]:
+        raise NotImplementedError
+
+    def _store_has(self, kind: str, key: str) -> bool:
+        return self._store_get(kind, key) is not None
+
+    # ------------------------------------------------------------------
+    # change notification (used by federated indexes, Fig 4)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[str, str, str], None]) -> None:
+        """Register ``callback(event, kind, key)`` for every mutation."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[str, str, str], None]) -> None:
+        self._subscribers.remove(callback)
+
+    def _notify(self, event: str, kind: str, key: str) -> None:
+        for callback in self._subscribers:
+            callback(event, kind, key)
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+
+    def _rebuild_indexes(self) -> None:
+        """Rebuild relationship indexes by scanning storage (on open)."""
+        self._produced_by.clear()
+        self._consumed_by.clear()
+        self._replicas_of.clear()
+        self._invocations_of.clear()
+        self._tr_versions.clear()
+        for key in self._store_keys("derivation"):
+            payload = self._store_get("derivation", key)
+            self._index_derivation(Derivation.from_dict(payload))
+        for key in self._store_keys("replica"):
+            payload = self._store_get("replica", key)
+            self._replicas_of.setdefault(payload["dataset_name"], set()).add(key)
+        for key in self._store_keys("invocation"):
+            payload = self._store_get("invocation", key)
+            self._invocations_of.setdefault(
+                payload["derivation_name"], set()
+            ).add(key)
+        for key in self._store_keys("transformation"):
+            name, _, version = key.rpartition("@")
+            self._tr_versions.setdefault(name, set()).add(version)
+            self.versions.register(name, version)
+
+    def _index_derivation(self, dv: Derivation) -> None:
+        for output in dv.outputs():
+            self._produced_by.setdefault(output, set()).add(dv.name)
+        for inp in dv.inputs():
+            self._consumed_by.setdefault(inp, set()).add(dv.name)
+
+    def _unindex_derivation(self, dv: Derivation) -> None:
+        for output in dv.outputs():
+            self._produced_by.get(output, set()).discard(dv.name)
+        for inp in dv.inputs():
+            self._consumed_by.get(inp, set()).discard(dv.name)
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+
+    def add_dataset(self, dataset: Dataset, replace: bool = False) -> None:
+        """Register a dataset definition.
+
+        ``replace=True`` permits updating an existing record (e.g. when
+        a virtual dataset becomes materialized).
+        """
+        if not replace and self._store_has("dataset", dataset.name):
+            raise DuplicateEntryError(f"dataset {dataset.name!r} already defined")
+        self._store_put("dataset", dataset.name, dataset.to_dict())
+        self._notify("put", "dataset", dataset.name)
+
+    def get_dataset(self, name: str) -> Dataset:
+        payload = self._store_get("dataset", name)
+        if payload is None:
+            raise NotFoundError(f"dataset {name!r} not found")
+        return Dataset.from_dict(payload)
+
+    def has_dataset(self, name: str) -> bool:
+        return self._store_has("dataset", name)
+
+    def remove_dataset(self, name: str) -> None:
+        if not self._store_has("dataset", name):
+            raise NotFoundError(f"dataset {name!r} not found")
+        self._store_delete("dataset", name)
+        self._notify("delete", "dataset", name)
+
+    def dataset_names(self) -> list[str]:
+        return sorted(self._store_keys("dataset"))
+
+    def datasets(self) -> Iterator[Dataset]:
+        for name in self.dataset_names():
+            yield self.get_dataset(name)
+
+    # ------------------------------------------------------------------
+    # replicas
+    # ------------------------------------------------------------------
+
+    def add_replica(self, replica: Replica) -> None:
+        """Register a physical copy of a dataset."""
+        if self._store_has("replica", replica.replica_id):
+            raise DuplicateEntryError(
+                f"replica {replica.replica_id!r} already registered"
+            )
+        self._store_put("replica", replica.replica_id, replica.to_dict())
+        self._replicas_of.setdefault(replica.dataset_name, set()).add(
+            replica.replica_id
+        )
+        self._notify("put", "replica", replica.replica_id)
+
+    def get_replica(self, replica_id: str) -> Replica:
+        payload = self._store_get("replica", replica_id)
+        if payload is None:
+            raise NotFoundError(f"replica {replica_id!r} not found")
+        return Replica.from_dict(payload)
+
+    def remove_replica(self, replica_id: str) -> None:
+        payload = self._store_get("replica", replica_id)
+        if payload is None:
+            raise NotFoundError(f"replica {replica_id!r} not found")
+        self._store_delete("replica", replica_id)
+        self._replicas_of.get(payload["dataset_name"], set()).discard(replica_id)
+        self._notify("delete", "replica", replica_id)
+
+    def replicas_of(self, dataset_name: str) -> list[Replica]:
+        """All registered physical copies of ``dataset_name``."""
+        ids = sorted(self._replicas_of.get(dataset_name, ()))
+        return [self.get_replica(rid) for rid in ids]
+
+    def replica_ids(self) -> list[str]:
+        return sorted(self._store_keys("replica"))
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def add_transformation(
+        self, tr: Transformation, replace: bool = False
+    ) -> None:
+        key = f"{tr.name}@{tr.version}"
+        if not replace and self._store_has("transformation", key):
+            raise DuplicateEntryError(
+                f"transformation {tr.name!r} version {tr.version} already defined"
+            )
+        self._store_put("transformation", key, _transformation_to_payload(tr))
+        self._tr_versions.setdefault(tr.name, set()).add(tr.version)
+        self.versions.register(tr.name, tr.version)
+        self._notify("put", "transformation", key)
+
+    def get_transformation(
+        self, name: str, version: Optional[str] = None
+    ) -> Transformation:
+        """Fetch by name; latest version when ``version`` is omitted."""
+        if version is None:
+            known = self._tr_versions.get(name)
+            if not known:
+                raise NotFoundError(f"transformation {name!r} not found")
+            latest = self.versions.latest(name)
+            version = str(latest) if latest is not None else sorted(known)[-1]
+            if version not in known:
+                # versions registry may normalize (1.0 == 1); fall back.
+                version = sorted(known)[-1]
+        payload = self._store_get("transformation", f"{name}@{version}")
+        if payload is None:
+            raise NotFoundError(
+                f"transformation {name!r} version {version} not found"
+            )
+        return _transformation_from_payload(payload)
+
+    def has_transformation(self, name: str, version: Optional[str] = None) -> bool:
+        if version is None:
+            return bool(self._tr_versions.get(name))
+        return self._store_has("transformation", f"{name}@{version}")
+
+    def remove_transformation(self, name: str, version: str) -> None:
+        key = f"{name}@{version}"
+        if not self._store_has("transformation", key):
+            raise NotFoundError(f"transformation {key!r} not found")
+        self._store_delete("transformation", key)
+        self._tr_versions.get(name, set()).discard(version)
+        self._notify("delete", "transformation", key)
+
+    def transformation_names(self) -> list[str]:
+        return sorted(self._tr_versions)
+
+    def transformations(self) -> Iterator[Transformation]:
+        for key in sorted(self._store_keys("transformation")):
+            yield _transformation_from_payload(
+                self._store_get("transformation", key)
+            )
+
+    # ------------------------------------------------------------------
+    # derivations
+    # ------------------------------------------------------------------
+
+    def add_derivation(
+        self,
+        dv: Derivation,
+        replace: bool = False,
+        validate: bool = True,
+        auto_declare: bool = True,
+    ) -> None:
+        """Register a derivation.
+
+        * validates actuals against the (locally resolvable)
+          transformation when ``validate`` is true;
+        * auto-declares virtual dataset records for any LFN the
+          derivation mentions that is not yet known, and stamps the
+          produced datasets' ``producer`` back-link.
+        """
+        if not replace and self._store_has("derivation", dv.name):
+            raise DuplicateEntryError(f"derivation {dv.name!r} already defined")
+        if validate:
+            self.check_derivation(dv)
+        if replace and self._store_has("derivation", dv.name):
+            self._unindex_derivation(self.get_derivation(dv.name))
+        self._store_put("derivation", dv.name, dv.to_dict())
+        self._index_derivation(dv)
+        if auto_declare:
+            self._declare_mentioned_datasets(dv)
+        self._notify("put", "derivation", dv.name)
+
+    def _declare_mentioned_datasets(self, dv: Derivation) -> None:
+        formal_types = self._formal_types_for(dv)
+        for formal_name, arg in dv.dataset_args():
+            if not self._store_has("dataset", arg.dataset):
+                dtype = formal_types.get(formal_name)
+                ds = Dataset(name=arg.dataset, dataset_type=dtype or DatasetType())
+                if arg.is_output:
+                    ds.producer = dv.name
+                self.add_dataset(ds)
+            elif arg.is_output:
+                ds = self.get_dataset(arg.dataset)
+                if ds.producer != dv.name:
+                    ds.producer = dv.name
+                    self.add_dataset(ds, replace=True)
+
+    def _formal_types_for(self, dv: Derivation) -> dict[str, DatasetType]:
+        """Best-effort formal types for a derivation's dataset args."""
+        if not dv.transformation.is_local or not self.has_transformation(
+            dv.transformation.name
+        ):
+            return {}
+        tr = self.get_transformation(dv.transformation.name)
+        out = {}
+        for formal in tr.signature.formals:
+            if not formal.is_string and len(formal.dataset_types.members) == 1:
+                member = formal.dataset_types.members[0]
+                if not member.is_any():
+                    out[formal.name] = member
+        return out
+
+    def get_derivation(self, name: str) -> Derivation:
+        payload = self._store_get("derivation", name)
+        if payload is None:
+            raise NotFoundError(f"derivation {name!r} not found")
+        return Derivation.from_dict(payload)
+
+    def has_derivation(self, name: str) -> bool:
+        return self._store_has("derivation", name)
+
+    def remove_derivation(self, name: str) -> None:
+        dv = self.get_derivation(name)
+        self._store_delete("derivation", name)
+        self._unindex_derivation(dv)
+        self._notify("delete", "derivation", name)
+
+    def derivation_names(self) -> list[str]:
+        return sorted(self._store_keys("derivation"))
+
+    def derivations(self) -> Iterator[Derivation]:
+        for name in self.derivation_names():
+            yield self.get_derivation(name)
+
+    def check_derivation(self, dv: Derivation) -> None:
+        """Validate a derivation against its transformation and datasets.
+
+        Remote transformation references are skipped (the resolver
+        validates them); local ones are checked for arity/direction and
+        dataset-type conformance against registered dataset records.
+        """
+        ref = dv.transformation
+        if not ref.is_local:
+            return
+        if not self.has_transformation(ref.name):
+            return  # foreign/unregistered; tolerated like remote refs
+        tr = self.get_transformation(ref.name)
+        dv.check_against(tr)
+        for formal_name, arg in dv.dataset_args():
+            formal = tr.signature.formal(formal_name)
+            if formal.is_string:
+                continue
+            if not self._store_has("dataset", arg.dataset):
+                continue
+            ds = self.get_dataset(arg.dataset)
+            if not formal.dataset_types.accepts(ds.dataset_type, self.types):
+                raise TypeConformanceError(
+                    f"derivation {dv.name!r}: dataset {arg.dataset!r} of type "
+                    f"{ds.dataset_type} does not conform to formal "
+                    f"{formal_name!r} ({formal.dataset_types})"
+                )
+
+    # ------------------------------------------------------------------
+    # invocations
+    # ------------------------------------------------------------------
+
+    def add_invocation(self, inv: Invocation) -> None:
+        if self._store_has("invocation", inv.invocation_id):
+            raise DuplicateEntryError(
+                f"invocation {inv.invocation_id!r} already recorded"
+            )
+        self._store_put("invocation", inv.invocation_id, inv.to_dict())
+        self._invocations_of.setdefault(inv.derivation_name, set()).add(
+            inv.invocation_id
+        )
+        self._notify("put", "invocation", inv.invocation_id)
+
+    def get_invocation(self, invocation_id: str) -> Invocation:
+        payload = self._store_get("invocation", invocation_id)
+        if payload is None:
+            raise NotFoundError(f"invocation {invocation_id!r} not found")
+        return Invocation.from_dict(payload)
+
+    def invocations_of(self, derivation_name: str) -> list[Invocation]:
+        """All recorded executions of a derivation, by id order."""
+        ids = sorted(self._invocations_of.get(derivation_name, ()))
+        return [self.get_invocation(iid) for iid in ids]
+
+    def invocation_ids(self) -> list[str]:
+        return sorted(self._store_keys("invocation"))
+
+    # ------------------------------------------------------------------
+    # provenance relationship queries (used by repro.provenance)
+    # ------------------------------------------------------------------
+
+    def producers_of(self, dataset_name: str) -> list[Derivation]:
+        """Derivations that output ``dataset_name``."""
+        names = sorted(self._produced_by.get(dataset_name, ()))
+        return [self.get_derivation(n) for n in names]
+
+    def consumers_of(self, dataset_name: str) -> list[Derivation]:
+        """Derivations that read ``dataset_name``."""
+        names = sorted(self._consumed_by.get(dataset_name, ()))
+        return [self.get_derivation(n) for n in names]
+
+    # ------------------------------------------------------------------
+    # discovery (§2 Discovery, §5.5)
+    # ------------------------------------------------------------------
+
+    def find_datasets(
+        self,
+        name_glob: Optional[str] = None,
+        conforms_to: Optional[DatasetType] = None,
+        attributes: Optional[dict[str, Any]] = None,
+        virtual: Optional[bool] = None,
+    ) -> list[Dataset]:
+        """Metadata search over datasets.
+
+        ``conforms_to`` matches datasets whose type is a subtype of the
+        given type; ``virtual`` filters on materialization state.
+        """
+        out = []
+        for ds in self.datasets():
+            if name_glob and not fnmatch.fnmatch(ds.name, name_glob):
+                continue
+            if conforms_to is not None and not self.types.conforms(
+                ds.dataset_type, conforms_to
+            ):
+                continue
+            if attributes and not ds.attributes.matches(attributes):
+                continue
+            if virtual is not None and ds.is_virtual != virtual:
+                continue
+            out.append(ds)
+        return out
+
+    def find_transformations(
+        self,
+        name_glob: Optional[str] = None,
+        produces: Optional[DatasetType] = None,
+        consumes: Optional[DatasetType] = None,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> list[Transformation]:
+        """Search transformations by name and type signature.
+
+        ``produces``/``consumes`` match transformations with an output
+        (resp. input) formal that *accepts* a dataset of the given type
+        — the "if a program that performs this analysis exists, I won't
+        have to write one from scratch" query of §2.
+        """
+        out = []
+        for tr in self.transformations():
+            if name_glob and not fnmatch.fnmatch(tr.name, name_glob):
+                continue
+            if attributes and not tr.attributes.matches(attributes):
+                continue
+            if produces is not None and not any(
+                f.dataset_types.accepts(produces, self.types)
+                for f in tr.signature.outputs()
+            ):
+                continue
+            if consumes is not None and not any(
+                f.dataset_types.accepts(consumes, self.types)
+                for f in tr.signature.inputs()
+            ):
+                continue
+            out.append(tr)
+        return out
+
+    def find_derivations(
+        self,
+        transformation: Optional[str] = None,
+        produces: Optional[str] = None,
+        consumes: Optional[str] = None,
+        name_glob: Optional[str] = None,
+    ) -> list[Derivation]:
+        """Search derivations by callee and by dataset names touched."""
+        if produces is not None:
+            candidates = self.producers_of(produces)
+        elif consumes is not None:
+            candidates = self.consumers_of(consumes)
+        else:
+            candidates = list(self.derivations())
+        out = []
+        for dv in candidates:
+            if transformation and dv.transformation.name != transformation:
+                continue
+            if name_glob and not fnmatch.fnmatch(dv.name, name_glob):
+                continue
+            if produces and not dv.produces(produces):
+                continue
+            if consumes and not dv.consumes(consumes):
+                continue
+            out.append(dv)
+        return out
+
+    # ------------------------------------------------------------------
+    # VDL convenience
+    # ------------------------------------------------------------------
+
+    def define(self, vdl_source: str, replace: bool = False) -> "VirtualDataCatalog":
+        """Compile VDL text and register everything it declares.
+
+        Returns ``self`` so definitions can be chained fluently.
+        """
+        from repro.vdl.semantics import compile_vdl
+
+        program = compile_vdl(vdl_source, self.types)
+        for tr in program.transformations:
+            self.add_transformation(tr, replace=replace)
+        for dv in program.derivations:
+            self.add_derivation(dv, replace=replace)
+        return self
+
+    def export_vdl(self) -> str:
+        """Render the catalog's TRs and DVs back to VDL text."""
+        from repro.vdl.unparser import unparse
+
+        return unparse(list(self.transformations()), list(self.derivations()))
+
+    # ------------------------------------------------------------------
+    # bulk export / import (used by federation snapshots and tests)
+    # ------------------------------------------------------------------
+
+    def export_snapshot(self) -> dict[str, dict[str, dict]]:
+        """Dump all storage payloads, keyed by kind then key."""
+        return {
+            kind: {
+                key: self._store_get(kind, key)
+                for key in self._store_keys(kind)
+            }
+            for kind in KINDS
+        }
+
+    def import_snapshot(self, snapshot: dict[str, dict[str, dict]]) -> None:
+        """Load payloads produced by :meth:`export_snapshot`."""
+        for kind in KINDS:
+            for key, payload in snapshot.get(kind, {}).items():
+                self._store_put(kind, key, payload)
+        self._rebuild_indexes()
+
+    def counts(self) -> dict[str, int]:
+        """Number of stored objects per kind."""
+        return {kind: len(self._store_keys(kind)) for kind in KINDS}
+
+    def __repr__(self) -> str:
+        where = self.authority or "local"
+        return f"<{type(self).__name__} {where} {self.counts()}>"

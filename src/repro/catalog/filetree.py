@@ -1,0 +1,80 @@
+"""File-tree virtual data catalog backend.
+
+The "hierarchical directory such as a file system" realization of the
+VDC (§3): one directory per object kind, one JSON document per object.
+Keys are percent-encoded into file names so arbitrary object names
+(``example1::t1@1.0``) stay filesystem-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from pathlib import Path
+from typing import Optional
+
+from repro.catalog.base import KINDS, VirtualDataCatalog
+
+
+def _encode(key: str) -> str:
+    return urllib.parse.quote(key, safe="") + ".json"
+
+
+def _decode(filename: str) -> str:
+    return urllib.parse.unquote(filename[: -len(".json")])
+
+
+class FileTreeCatalog(VirtualDataCatalog):
+    """A catalog persisted as a directory tree of JSON documents.
+
+    Reopening a :class:`FileTreeCatalog` on an existing directory
+    recovers the full catalog, including relationship indexes.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        authority: Optional[str] = None,
+        **kwargs,
+    ):
+        super().__init__(authority=authority, **kwargs)
+        self._root = Path(root)
+        for kind in KINDS:
+            (self._root / kind).mkdir(parents=True, exist_ok=True)
+        self._rebuild_indexes()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # -- storage primitives -------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self._root / kind / _encode(key)
+
+    def _store_put(self, kind: str, key: str, payload: dict) -> None:
+        path = self._path(kind, key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.replace(path)  # atomic on POSIX
+
+    def _store_get(self, kind: str, key: str) -> Optional[dict]:
+        path = self._path(kind, key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def _store_delete(self, kind: str, key: str) -> None:
+        path = self._path(kind, key)
+        if path.exists():
+            path.unlink()
+
+    def _store_keys(self, kind: str) -> list[str]:
+        return [
+            _decode(p.name)
+            for p in (self._root / kind).iterdir()
+            if p.name.endswith(".json")
+        ]
+
+    def _store_has(self, kind: str, key: str) -> bool:
+        return self._path(kind, key).exists()

@@ -1,0 +1,41 @@
+"""In-memory virtual data catalog backend.
+
+The default backend for interactive use, planning scratch space, and
+simulation workloads: nothing persists beyond the process.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.catalog.base import KINDS, VirtualDataCatalog
+
+
+class MemoryCatalog(VirtualDataCatalog):
+    """A catalog whose storage is a pair of nested dictionaries.
+
+    Payloads are deep-copied on the way in and out so callers can never
+    mutate stored state behind the catalog's back — the same isolation
+    a real service boundary would provide.
+    """
+
+    def __init__(self, authority: Optional[str] = None, **kwargs):
+        super().__init__(authority=authority, **kwargs)
+        self._data: dict[str, dict[str, dict]] = {kind: {} for kind in KINDS}
+
+    def _store_put(self, kind: str, key: str, payload: dict) -> None:
+        self._data[kind][key] = copy.deepcopy(payload)
+
+    def _store_get(self, kind: str, key: str) -> Optional[dict]:
+        payload = self._data[kind].get(key)
+        return copy.deepcopy(payload) if payload is not None else None
+
+    def _store_delete(self, kind: str, key: str) -> None:
+        self._data[kind].pop(key, None)
+
+    def _store_keys(self, kind: str) -> list[str]:
+        return list(self._data[kind])
+
+    def _store_has(self, kind: str, key: str) -> bool:
+        return key in self._data[kind]

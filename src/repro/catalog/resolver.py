@@ -1,0 +1,179 @@
+"""Inter-catalog reference resolution: virtual data hyperlinks.
+
+Figure 2 of the paper shows transformation and derivation records
+distributed across sites, joined by ``vdp://`` hyperlinks; Figure 3
+shows provenance chains spanning personal, group, and collaboration
+catalogs.  Two pieces implement this:
+
+* :class:`CatalogNetwork` — the set of reachable catalogs, keyed by
+  authority name (our stand-in for DNS + OGSA service discovery);
+* :class:`ReferenceResolver` — chases a :class:`~repro.core.naming.VDPRef`
+  to the object it denotes, and provides *scope-chain* lookup
+  (personal → group → collaboration) for names that are not pinned to
+  an authority, mirroring how Fig 3's personal derivations depend on
+  collaboration-level datasets without hard-coding their location.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.core.dataset import Dataset
+from repro.core.derivation import Derivation
+from repro.core.naming import VDPRef
+from repro.core.transformation import Transformation
+from repro.errors import ReferenceError_
+
+
+class CatalogNetwork:
+    """All catalogs reachable from this process, keyed by authority."""
+
+    def __init__(self):
+        self._catalogs: dict[str, VirtualDataCatalog] = {}
+
+    def register(self, catalog: VirtualDataCatalog) -> VirtualDataCatalog:
+        """Make ``catalog`` reachable; it must have an authority name."""
+        if not catalog.authority:
+            raise ReferenceError_(
+                "only catalogs with an authority can join a network"
+            )
+        self._catalogs[catalog.authority] = catalog
+        return catalog
+
+    def catalog(self, authority: str) -> VirtualDataCatalog:
+        try:
+            return self._catalogs[authority]
+        except KeyError:
+            raise ReferenceError_(
+                f"no catalog registered for authority {authority!r}"
+            ) from None
+
+    def authorities(self) -> list[str]:
+        return sorted(self._catalogs)
+
+    def __iter__(self) -> Iterator[VirtualDataCatalog]:
+        for authority in self.authorities():
+            yield self._catalogs[authority]
+
+    def __contains__(self, authority: str) -> bool:
+        return authority in self._catalogs
+
+    def __len__(self) -> int:
+        return len(self._catalogs)
+
+
+class ReferenceResolver:
+    """Resolves references relative to a *home* catalog and a network.
+
+    ``scope_chain`` is an ordered list of authorities searched for
+    authority-less references that the home catalog cannot satisfy —
+    typically ``[group, collaboration]`` for a personal catalog.
+    """
+
+    def __init__(
+        self,
+        home: VirtualDataCatalog,
+        network: Optional[CatalogNetwork] = None,
+        scope_chain: Optional[list[str]] = None,
+    ):
+        self.home = home
+        # `network or ...` would discard an empty (falsy) network that
+        # the caller intends to populate later; test identity instead.
+        self.network = network if network is not None else CatalogNetwork()
+        self.scope_chain = list(scope_chain or [])
+
+    # -- catalog-level resolution ------------------------------------------
+
+    def _catalogs_for(self, ref: VDPRef) -> Iterator[VirtualDataCatalog]:
+        if not ref.is_local:
+            if (
+                self.home.authority
+                and ref.authority == self.home.authority
+            ):
+                yield self.home
+            else:
+                yield self.network.catalog(ref.authority)
+            return
+        yield self.home
+        for authority in self.scope_chain:
+            if authority in self.network:
+                yield self.network.catalog(authority)
+
+    # -- typed lookups ----------------------------------------------------------
+
+    def transformation(
+        self, ref: VDPRef, version: Optional[str] = None
+    ) -> tuple[Transformation, VirtualDataCatalog]:
+        """Resolve a transformation reference; returns (object, catalog)."""
+        for catalog in self._catalogs_for(ref):
+            if catalog.has_transformation(ref.name, version):
+                return catalog.get_transformation(ref.name, version), catalog
+        raise ReferenceError_(
+            f"cannot resolve transformation reference {ref.uri()!r}"
+        )
+
+    def derivation(self, ref: VDPRef) -> tuple[Derivation, VirtualDataCatalog]:
+        """Resolve a derivation reference; returns (object, catalog)."""
+        for catalog in self._catalogs_for(ref):
+            if catalog.has_derivation(ref.name):
+                return catalog.get_derivation(ref.name), catalog
+        raise ReferenceError_(
+            f"cannot resolve derivation reference {ref.uri()!r}"
+        )
+
+    def dataset(self, ref: VDPRef) -> tuple[Dataset, VirtualDataCatalog]:
+        """Resolve a dataset reference; returns (object, catalog)."""
+        for catalog in self._catalogs_for(ref):
+            if catalog.has_dataset(ref.name):
+                return catalog.get_dataset(ref.name), catalog
+        raise ReferenceError_(f"cannot resolve dataset reference {ref.uri()!r}")
+
+    # -- cross-catalog provenance hooks ------------------------------------------
+
+    def producers_of(self, dataset_name: str) -> list[tuple[Derivation, str]]:
+        """Find producing derivations of a dataset across the scope chain.
+
+        Returns ``(derivation, authority)`` pairs; the home catalog is
+        reported with its own authority (or ``"local"``).  This is the
+        query that lets a lineage walk cross server boundaries (Fig 3).
+        """
+        out = []
+        seen: set[tuple[str, str]] = set()
+        for catalog in self._catalogs_for(VDPRef(name=dataset_name)):
+            where = catalog.authority or "local"
+            for dv in catalog.producers_of(dataset_name):
+                if (where, dv.name) not in seen:
+                    seen.add((where, dv.name))
+                    out.append((dv, where))
+        return out
+
+    def consumers_of(self, dataset_name: str) -> list[tuple[Derivation, str]]:
+        """Find consuming derivations of a dataset across the scope chain."""
+        out = []
+        seen: set[tuple[str, str]] = set()
+        for catalog in self._catalogs_for(VDPRef(name=dataset_name)):
+            where = catalog.authority or "local"
+            for dv in catalog.consumers_of(dataset_name):
+                if (where, dv.name) not in seen:
+                    seen.add((where, dv.name))
+                    out.append((dv, where))
+        return out
+
+    def expand_compound(
+        self, tr: Transformation, version: Optional[str] = None
+    ) -> dict[int, Transformation]:
+        """Resolve every callee of a compound transformation.
+
+        Returns ``{call_index: callee}``.  Raises
+        :class:`~repro.errors.ReferenceError_` when a hyperlink dangles.
+        """
+        from repro.core.transformation import CompoundTransformation
+
+        if not isinstance(tr, CompoundTransformation):
+            return {}
+        out = {}
+        for i, call in enumerate(tr.calls):
+            callee, _ = self.transformation(call.target)
+            out[i] = callee
+        return out

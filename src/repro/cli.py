@@ -1,0 +1,289 @@
+"""Command-line interface to a persistent virtual data workspace.
+
+Gives the virtual data catalog the ``make``-like ergonomics the paper
+gestures at ("the similarity of our system for tracking data
+dependencies and those for tracking code ... e.g., 'make'", §8)::
+
+    python -m repro init
+    python -m repro define pipeline.vdl
+    python -m repro list derivations
+    python -m repro plan result.dat
+    python -m repro materialize result.dat
+    python -m repro lineage result.dat
+    python -m repro invalidate --dataset raw.dat
+    python -m repro export --format vdl
+
+State lives in a :class:`~repro.catalog.filetree.FileTreeCatalog`
+under ``.vdg/catalog`` plus a ``.vdg/sandbox`` for materialized files,
+so every command sees the same workspace across invocations.
+Transformations whose executables exist on this machine really run
+(via the local executor's subprocess path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.catalog.filetree import FileTreeCatalog
+from repro.errors import VirtualDataError
+from repro.executor.local import LocalExecutor
+from repro.provenance.graph import DerivationGraph
+from repro.provenance.invalidation import invalidated_by
+from repro.provenance.lineage import lineage_report
+
+DEFAULT_WORKSPACE = ".vdg"
+
+
+class Workspace:
+    """One on-disk virtual data workspace."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.catalog_dir = self.root / "catalog"
+        self.sandbox_dir = self.root / "sandbox"
+
+    @property
+    def exists(self) -> bool:
+        return self.catalog_dir.is_dir()
+
+    def create(self) -> None:
+        self.catalog_dir.mkdir(parents=True, exist_ok=True)
+        self.sandbox_dir.mkdir(parents=True, exist_ok=True)
+
+    def catalog(self) -> FileTreeCatalog:
+        if not self.exists:
+            raise VirtualDataError(
+                f"no workspace at {self.root}; run 'init' first"
+            )
+        return FileTreeCatalog(self.catalog_dir)
+
+    def executor(self) -> LocalExecutor:
+        return LocalExecutor(self.catalog(), self.sandbox_dir)
+
+
+def _cmd_init(ws: Workspace, args, out) -> int:
+    ws.create()
+    out(f"initialized virtual data workspace at {ws.root}")
+    return 0
+
+
+def _cmd_define(ws: Workspace, args, out) -> int:
+    source = Path(args.file).read_text()
+    catalog = ws.catalog()
+    before = catalog.counts()
+    catalog.define(source, replace=args.replace)
+    after = catalog.counts()
+    added = {k: after[k] - before[k] for k in after if after[k] != before[k]}
+    out(f"defined {added or 'nothing new'} from {args.file}")
+    return 0
+
+
+def _cmd_list(ws: Workspace, args, out) -> int:
+    catalog = ws.catalog()
+    kind = args.kind
+    if kind == "datasets":
+        for ds in catalog.datasets():
+            state = "virtual" if ds.is_virtual else "materialized"
+            producer = f" <- {ds.producer}" if ds.producer else ""
+            out(f"{ds.name}  [{state}]{producer}")
+    elif kind == "transformations":
+        for tr in catalog.transformations():
+            shape = "compound" if tr.is_compound else "simple"
+            out(f"{tr.qualified_name}  [{shape}] "
+                f"({tr.signature.type_signature()})")
+    elif kind == "derivations":
+        for dv in catalog.derivations():
+            out(f"{dv.name} -> {dv.transformation.vdl_text()} "
+                f"(in: {', '.join(dv.inputs()) or '-'}; "
+                f"out: {', '.join(dv.outputs()) or '-'})")
+    elif kind == "invocations":
+        for iid in catalog.invocation_ids():
+            out(str(catalog.get_invocation(iid)))
+    return 0
+
+
+def _cmd_plan(ws: Workspace, args, out) -> int:
+    from repro.planner.dag import Planner
+    from repro.planner.request import MaterializationRequest
+
+    catalog = ws.catalog()
+    executor = ws.executor()
+    planner = Planner(catalog, has_replica=executor.is_materialized)
+    plan = planner.plan(
+        MaterializationRequest(targets=(args.dataset,), reuse=args.reuse)
+    )
+    if not plan.steps:
+        out(f"{args.dataset}: nothing to do "
+            f"(reused: {', '.join(sorted(plan.reused)) or 'n/a'})")
+        return 0
+    out(f"plan for {args.dataset}: {len(plan)} steps, depth {plan.depth()}")
+    for name in plan.topological_order():
+        step = plan.steps[name]
+        deps = ", ".join(sorted(plan.dependencies[name])) or "-"
+        out(f"  {name}: {step.transformation.name} (after: {deps})")
+    return 0
+
+
+def _cmd_materialize(ws: Workspace, args, out) -> int:
+    executor = ws.executor()
+    invocations = executor.materialize(args.dataset, reuse=args.reuse)
+    if not invocations:
+        out(f"{args.dataset} is already materialized")
+    for inv in invocations:
+        out(f"ran {inv.derivation_name}: {inv.status} "
+            f"({inv.usage.wall_seconds * 1e3:.1f} ms)")
+    path = executor.path_for(args.dataset)
+    if path.exists():
+        out(f"{args.dataset} -> {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_run(ws: Workspace, args, out) -> int:
+    """Ad-hoc execution: synthesize and run a derivation (§5.1)."""
+    from repro.executor.session import InteractiveSession
+
+    executor = ws.executor()
+    session = InteractiveSession(executor, prefix=args.session)
+    # Continue numbering from previous CLI invocations of this session.
+    existing = [
+        name
+        for name in executor.catalog.derivation_names()
+        if name.startswith(f"{args.session}.")
+    ]
+    session._counter = len(existing)
+    bindings = {}
+    for binding in args.binding:
+        if "=" not in binding:
+            out(f"error: binding {binding!r} is not name=value")
+            return 1
+        key, _, value = binding.partition("=")
+        bindings[key] = value
+    outputs = session.run(args.transformation, **bindings)
+    entry = session.log[-1]
+    out(f"ran {entry.derivation.name}: {entry.invocation.status}")
+    for name in outputs:
+        path = executor.path_for(name)
+        out(f"  {name} -> {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_lineage(ws: Workspace, args, out) -> int:
+    report = lineage_report(ws.catalog(), args.dataset)
+    out(report.render())
+    return 0
+
+
+def _cmd_invalidate(ws: Workspace, args, out) -> int:
+    graph = DerivationGraph.from_catalog(ws.catalog())
+    report = invalidated_by(
+        graph,
+        bad_datasets=args.dataset or (),
+        bad_transformations=args.transformation or (),
+    )
+    out(f"tainted datasets ({len(report.tainted_datasets)}):")
+    for name in sorted(report.tainted_datasets):
+        out(f"  {name}")
+    out(f"derivations to re-run ({len(report.rerun_derivations)}):")
+    for name in sorted(report.rerun_derivations):
+        out(f"  {name}")
+    return 0
+
+
+def _cmd_export(ws: Workspace, args, out) -> int:
+    catalog = ws.catalog()
+    if args.format == "vdl":
+        out(catalog.export_vdl())
+    else:
+        from repro.vdl.xml_io import to_xml
+
+        out(
+            to_xml(
+                list(catalog.transformations()), list(catalog.derivations())
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vdg",
+        description="virtual data grid workspace (Chimera reproduction)",
+    )
+    parser.add_argument(
+        "--workspace",
+        default=DEFAULT_WORKSPACE,
+        help=f"workspace directory (default: {DEFAULT_WORKSPACE})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("init", help="create a workspace").set_defaults(
+        fn=_cmd_init
+    )
+
+    define = sub.add_parser("define", help="register VDL definitions")
+    define.add_argument("file")
+    define.add_argument("--replace", action="store_true")
+    define.set_defaults(fn=_cmd_define)
+
+    lister = sub.add_parser("list", help="list catalog objects")
+    lister.add_argument(
+        "kind",
+        choices=("datasets", "transformations", "derivations", "invocations"),
+    )
+    lister.set_defaults(fn=_cmd_list)
+
+    plan = sub.add_parser("plan", help="show the workflow for a dataset")
+    plan.add_argument("dataset")
+    plan.add_argument("--reuse", default="always",
+                      choices=("never", "always", "cost"))
+    plan.set_defaults(fn=_cmd_plan)
+
+    mat = sub.add_parser("materialize", help="produce a dataset")
+    mat.add_argument("dataset")
+    mat.add_argument("--reuse", default="always",
+                     choices=("never", "always", "cost"))
+    mat.set_defaults(fn=_cmd_materialize)
+
+    run = sub.add_parser(
+        "run", help="run a transformation ad hoc (auto-tracked)"
+    )
+    run.add_argument("transformation")
+    run.add_argument(
+        "binding", nargs="*", help="formal=value bindings", default=[]
+    )
+    run.add_argument("--session", default="cli")
+    run.set_defaults(fn=_cmd_run)
+
+    lineage = sub.add_parser("lineage", help="audit trail of a dataset")
+    lineage.add_argument("dataset")
+    lineage.set_defaults(fn=_cmd_lineage)
+
+    invalidate = sub.add_parser(
+        "invalidate", help="blast radius of bad data or code"
+    )
+    invalidate.add_argument("--dataset", action="append")
+    invalidate.add_argument("--transformation", action="append")
+    invalidate.set_defaults(fn=_cmd_invalidate)
+
+    export = sub.add_parser("export", help="dump definitions")
+    export.add_argument("--format", default="vdl", choices=("vdl", "xml"))
+    export.set_defaults(fn=_cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None, out=print) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    ws = Workspace(args.workspace)
+    try:
+        return args.fn(ws, args, out)
+    except VirtualDataError as exc:
+        out(f"error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Naming of virtual data grid entities and inter-catalog references.
+
+Figure 2 of the paper shows "virtual data hyperlinks" between servers
+written as ``vdp://physics.wisconsin.edu/srch``.  :class:`VDPRef` models
+such a reference: an optional catalog authority plus an object name and
+kind.  A reference without an authority is *local* and resolves within
+the catalog that holds it; a reference with an authority must be chased
+through a :class:`repro.catalog.resolver.ReferenceResolver`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchemaError
+
+#: Kinds of objects a reference may denote, matching the five schema
+#: object classes plus dataset types.
+OBJECT_KINDS = (
+    "dataset",
+    "replica",
+    "transformation",
+    "derivation",
+    "invocation",
+    "dataset-type",
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.:+\-]*$")
+_AUTHORITY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9.\-]*$")
+_VDP_RE = re.compile(
+    r"^vdp://(?P<authority>[^/]+)/(?:(?P<kind>[a-z-]+)/)?(?P<name>.+)$"
+)
+
+
+def check_object_name(name: str) -> str:
+    """Validate a bare object name; returns it unchanged when valid.
+
+    Names must begin with an alphanumeric or underscore and may contain
+    dots, colons, pluses and dashes — enough for versioned names such
+    as ``example1::t1`` or ``srch-muon``.
+    """
+    if not name or not _NAME_RE.match(name):
+        raise SchemaError(f"invalid object name {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class VDPRef:
+    """A (possibly remote) reference to a virtual data grid object.
+
+    ``authority`` is the catalog host (``physics.wisconsin.edu``) or
+    ``None`` for a local reference.  ``kind`` narrows which object class
+    the name denotes; it may be ``None`` when the context makes the kind
+    unambiguous (e.g. a transformation call site).
+    """
+
+    name: str
+    authority: Optional[str] = None
+    kind: Optional[str] = None
+
+    def __post_init__(self):
+        check_object_name(self.name)
+        if self.authority is not None and not _AUTHORITY_RE.match(self.authority):
+            raise SchemaError(f"invalid catalog authority {self.authority!r}")
+        if self.kind is not None and self.kind not in OBJECT_KINDS:
+            raise SchemaError(
+                f"invalid object kind {self.kind!r}; expected one of {OBJECT_KINDS}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        """True when the reference resolves within the holding catalog."""
+        return self.authority is None
+
+    def localized(self) -> "VDPRef":
+        """Return the same reference with the authority stripped."""
+        return VDPRef(name=self.name, kind=self.kind)
+
+    def at(self, authority: str) -> "VDPRef":
+        """Return the same reference pinned to ``authority``."""
+        return VDPRef(name=self.name, authority=authority, kind=self.kind)
+
+    def uri(self) -> str:
+        """Render as a ``vdp://`` URI (local refs render as bare names)."""
+        if self.is_local:
+            return self.name if self.kind is None else f"{self.kind}/{self.name}"
+        middle = f"{self.kind}/" if self.kind else ""
+        return f"vdp://{self.authority}/{middle}{self.name}"
+
+    def vdl_text(self) -> str:
+        """Render for VDL source: bare name locally, vdp:// URI remotely.
+
+        VDL call/derivation targets are implicitly transformations, so
+        the kind segment is omitted.
+        """
+        if self.is_local:
+            return self.name
+        return f"vdp://{self.authority}/{self.name}"
+
+    @classmethod
+    def parse(cls, text: str, default_kind: Optional[str] = None) -> "VDPRef":
+        """Parse a bare name, ``kind/name`` or full ``vdp://`` URI."""
+        match = _VDP_RE.match(text)
+        if match:
+            kind = match.group("kind") or default_kind
+            return cls(
+                name=match.group("name"),
+                authority=match.group("authority"),
+                kind=kind,
+            )
+        if text.startswith("vdp://"):
+            raise SchemaError(f"malformed vdp reference {text!r}")
+        if "/" in text:
+            kind, _, name = text.partition("/")
+            if kind in OBJECT_KINDS:
+                return cls(name=name, kind=kind)
+        return cls(name=text, kind=default_kind)
+
+    def __str__(self) -> str:
+        return self.uri()

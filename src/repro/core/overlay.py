@@ -1,0 +1,177 @@
+"""Virtual datasets over shared physical storage, with reclamation.
+
+§8 future work: "a concept we call 'virtual datasets' — where multiple
+datasets refer to different overlaid subsets of the same physical
+storage elements.  This raises difficult issues of storage management
+and garbage collection."
+
+:class:`OverlayStore` solves the reclamation half: datasets register
+the physical files their descriptors touch (any descriptor works —
+slices of a shared event file, members of a shared archive, plain
+files); the store reference-counts files across datasets, honours
+pins, and answers "which physical bytes may be deleted now?" when
+datasets are dropped.  Overlap queries expose which datasets would be
+damaged by deleting a given file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.dataset import Dataset
+from repro.core.descriptors import SliceDescriptor
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ReclaimReport:
+    """Result of one garbage-collection pass."""
+
+    dropped_datasets: tuple[str, ...]
+    freed_files: tuple[str, ...]
+    freed_bytes: int
+    #: Files still referenced by surviving datasets (not freed).
+    retained_files: tuple[str, ...]
+
+
+class OverlayStore:
+    """Reference-counted physical storage shared by overlaid datasets."""
+
+    def __init__(self):
+        # file -> set of dataset names referencing it
+        self._refs: dict[str, set[str]] = {}
+        # dataset -> files it references
+        self._files_of: dict[str, set[str]] = {}
+        self._sizes: dict[str, int] = {}
+        self._pinned: set[str] = set()
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        dataset: Dataset | str,
+        files: Optional[Iterable[str]] = None,
+        sizes: Optional[dict[str, int]] = None,
+    ) -> None:
+        """Record a dataset's claim on physical files.
+
+        For a :class:`~repro.core.dataset.Dataset` the files default to
+        its descriptor's ``files()``; bare names need ``files``
+        explicitly.  Registering the same dataset again replaces its
+        claim set.
+        """
+        if isinstance(dataset, Dataset):
+            name = dataset.name
+            claimed = set(files if files is not None else dataset.descriptor.files())
+        else:
+            name = dataset
+            if files is None:
+                raise SchemaError(
+                    "registering a bare dataset name requires files="
+                )
+            claimed = set(files)
+        if name in self._files_of:
+            self.drop(name)
+        self._files_of[name] = claimed
+        for f in claimed:
+            self._refs.setdefault(f, set()).add(name)
+        for f, size in (sizes or {}).items():
+            self._sizes[f] = size
+
+    def set_size(self, file: str, size: int) -> None:
+        self._sizes[file] = size
+
+    def pin(self, file: str) -> None:
+        """Protect a file from reclamation regardless of refcount."""
+        self._pinned.add(file)
+
+    def unpin(self, file: str) -> None:
+        self._pinned.discard(file)
+
+    # -- queries ------------------------------------------------------------
+
+    def datasets(self) -> list[str]:
+        return sorted(self._files_of)
+
+    def files_of(self, dataset: str) -> set[str]:
+        return set(self._files_of.get(dataset, ()))
+
+    def referencers_of(self, file: str) -> set[str]:
+        """Datasets that would be damaged by deleting ``file``."""
+        return set(self._refs.get(file, ()))
+
+    def refcount(self, file: str) -> int:
+        return len(self._refs.get(file, ()))
+
+    def overlapping(self, dataset: str) -> set[str]:
+        """Other datasets sharing at least one physical file."""
+        out: set[str] = set()
+        for f in self._files_of.get(dataset, ()):
+            out |= self._refs.get(f, set())
+        out.discard(dataset)
+        return out
+
+    def slice_overlaps(self, a: Dataset, b: Dataset) -> bool:
+        """Byte-precise overlap when both datasets are slice views.
+
+        Falls back to file-level overlap for other descriptor kinds.
+        """
+        da, db = a.descriptor, b.descriptor
+        if isinstance(da, SliceDescriptor) and isinstance(db, SliceDescriptor):
+            for sa in da.slices:
+                for sb in db.slices:
+                    if sa.path != sb.path:
+                        continue
+                    if (
+                        sa.offset < sb.offset + sb.length
+                        and sb.offset < sa.offset + sa.length
+                    ):
+                        return True
+            return False
+        return bool(set(da.files()) & set(db.files()))
+
+    # -- reclamation --------------------------------------------------------------
+
+    def collectable(self) -> list[str]:
+        """Files with zero referencing datasets and no pin."""
+        return sorted(
+            f
+            for f, holders in self._refs.items()
+            if not holders and f not in self._pinned
+        )
+
+    def drop(self, dataset: str) -> None:
+        """Remove one dataset's claims (no files are freed yet)."""
+        for f in self._files_of.pop(dataset, set()):
+            self._refs.get(f, set()).discard(dataset)
+
+    def reclaim(self, drop: Iterable[str] = ()) -> ReclaimReport:
+        """Drop datasets and free every file nothing references.
+
+        Freed files disappear from the store entirely; retained files
+        (still claimed or pinned) are reported so callers can see why
+        bytes were not recovered.
+        """
+        dropped = tuple(sorted(set(drop)))
+        for name in dropped:
+            self.drop(name)
+        freed = []
+        retained = []
+        for f in sorted(self._refs):
+            if self._refs[f]:
+                retained.append(f)
+            elif f in self._pinned:
+                retained.append(f)
+            else:
+                freed.append(f)
+        freed_bytes = sum(self._sizes.get(f, 0) for f in freed)
+        for f in freed:
+            del self._refs[f]
+            self._sizes.pop(f, None)
+        return ReclaimReport(
+            dropped_datasets=dropped,
+            freed_files=tuple(freed),
+            freed_bytes=freed_bytes,
+            retained_files=tuple(retained),
+        )

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the virtual data grid.
+
+Every error raised by :mod:`repro` derives from :class:`VirtualDataError`
+so callers can catch the whole family with one handler while still being
+able to discriminate the precise failure.
+"""
+
+from __future__ import annotations
+
+
+class VirtualDataError(Exception):
+    """Base class for all errors raised by the virtual data grid."""
+
+
+class TypeSystemError(VirtualDataError):
+    """Problems with the dataset-type model (unknown types, bad hierarchies)."""
+
+
+class UnknownTypeError(TypeSystemError):
+    """A dataset type name was referenced but never registered."""
+
+
+class TypeConformanceError(TypeSystemError):
+    """An actual argument's type does not conform to the formal type list."""
+
+
+class SchemaError(VirtualDataError):
+    """Invalid schema object construction (missing attributes, bad links)."""
+
+
+class SignatureMismatchError(SchemaError):
+    """A derivation's actual arguments do not match its transformation."""
+
+
+class VDLError(VirtualDataError):
+    """Base class for Virtual Data Language front-end errors."""
+
+
+class VDLSyntaxError(VDLError):
+    """Lexical or grammatical error in VDL source text.
+
+    Carries ``line`` and ``column`` (1-based) of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class VDLSemanticError(VDLError):
+    """Well-formed VDL that violates semantic rules (types, arity, scope)."""
+
+
+class CatalogError(VirtualDataError):
+    """Base class for virtual data catalog failures."""
+
+
+class DuplicateEntryError(CatalogError):
+    """An object with the same name already exists in the catalog."""
+
+
+class NotFoundError(CatalogError):
+    """The requested object does not exist in the catalog."""
+
+
+class ReferenceError_(CatalogError):
+    """An inter-catalog (vdp://) reference could not be resolved."""
+
+
+class FederationError(CatalogError):
+    """A federated index operation failed."""
+
+
+class SecurityError(VirtualDataError):
+    """Base class for signing / trust / policy failures."""
+
+
+class InvalidSignatureError(SecurityError):
+    """A signature failed verification."""
+
+
+class UntrustedAuthorityError(SecurityError):
+    """No trust chain connects the signer to a root authority."""
+
+
+class AccessDeniedError(SecurityError):
+    """An access-control policy denied the operation."""
+
+
+class GridError(VirtualDataError):
+    """Base class for simulated-grid failures."""
+
+
+class SubmissionError(GridError):
+    """A job could not be submitted to a compute element."""
+
+
+class TransferError(GridError):
+    """A data transfer failed (no route, missing replica, ...)."""
+
+
+class PlanningError(VirtualDataError):
+    """The planner could not construct a feasible plan."""
+
+
+class CyclicDerivationError(PlanningError):
+    """The derivation graph required for a request contains a cycle."""
+
+
+class UnderivableError(PlanningError):
+    """A requested dataset has neither a replica nor a producing derivation."""
+
+
+class ExecutionError(VirtualDataError):
+    """A transformation execution failed."""
+
+
+class EstimationError(VirtualDataError):
+    """The estimator lacks the information needed to produce an estimate."""

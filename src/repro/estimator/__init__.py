@@ -1,0 +1,25 @@
+"""Cost estimation from recorded invocations (§5.3)."""
+
+from repro.estimator.cost import (
+    Estimator,
+    FALLBACK_CPU_SECONDS,
+    FALLBACK_OUTPUT_BYTES,
+    TransformationCostModel,
+    fit_model,
+)
+from repro.estimator.workflow import (
+    WorkflowEstimate,
+    estimate_plan,
+    sweep_hosts,
+)
+
+__all__ = [
+    "Estimator",
+    "FALLBACK_CPU_SECONDS",
+    "FALLBACK_OUTPUT_BYTES",
+    "TransformationCostModel",
+    "WorkflowEstimate",
+    "estimate_plan",
+    "fit_model",
+    "sweep_hosts",
+]

@@ -1,0 +1,58 @@
+"""Execution monitoring: a structured event log.
+
+The workflow layer "monitors their completion" (§5.4); this module
+provides the small observable used by examples and tests to watch a
+run without coupling to executor internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped execution event."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Collects events and fans them out to listeners."""
+
+    def __init__(self):
+        self._events: list[Event] = []
+        self._listeners: list[Callable[[Event], None]] = []
+
+    def emit(
+        self,
+        time: float,
+        kind: str,
+        subject: str,
+        **detail: Any,
+    ) -> Event:
+        """Record an event and notify listeners."""
+        event = Event(time=time, kind=kind, subject=subject, detail=detail)
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def listen(self, listener: Callable[[Event], None]) -> None:
+        self._listeners.append(listener)
+
+    def events(self, kind: Optional[str] = None) -> list[Event]:
+        """All events, optionally filtered by kind, in emit order."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def subjects(self, kind: str) -> list[str]:
+        return [e.subject for e in self._events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)

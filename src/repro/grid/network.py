@@ -1,0 +1,178 @@
+"""Network topology and transfer cost model between grid sites.
+
+Transfers cost ``latency + size / bandwidth`` over the configured link.
+Links are directional; :meth:`NetworkTopology.connect` installs both
+directions unless told otherwise.  Intra-site "transfers" cost the
+site's local copy rate (effectively free for planning purposes but
+non-zero so orderings stay deterministic).
+
+The topology also keeps simple accounting (bytes and transfer counts
+per link) that the replication benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TransferError
+
+#: Default wide-area link characteristics (roughly early-2000s WAN).
+DEFAULT_BANDWIDTH = 10e6  # bytes/second
+DEFAULT_LATENCY = 0.05  # seconds
+#: Local (intra-site) copy rate.
+LOCAL_BANDWIDTH = 400e6
+LOCAL_LATENCY = 0.0005
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directional network link between two sites."""
+
+    src: str
+    dst: str
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+
+    def transfer_time(self, size_bytes: int) -> float:
+        if size_bytes < 0:
+            raise TransferError("negative transfer size")
+        return self.latency + size_bytes / self.bandwidth
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic accounting for one directional link."""
+
+    transfers: int = 0
+    bytes_moved: int = 0
+    seconds_busy: float = 0.0
+
+
+class NetworkTopology:
+    """The set of sites and the links between them."""
+
+    def __init__(
+        self,
+        default_bandwidth: float = DEFAULT_BANDWIDTH,
+        default_latency: float = DEFAULT_LATENCY,
+        fully_connected: bool = True,
+    ):
+        self._sites: set[str] = set()
+        self._links: dict[tuple[str, str], Link] = {}
+        self._stats: dict[tuple[str, str], LinkStats] = {}
+        self._default_bandwidth = default_bandwidth
+        self._default_latency = default_latency
+        self._fully_connected = fully_connected
+
+    # -- construction ---------------------------------------------------------
+
+    def add_site(self, name: str) -> None:
+        self._sites.add(name)
+
+    def sites(self) -> list[str]:
+        return sorted(self._sites)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth: Optional[float] = None,
+        latency: Optional[float] = None,
+        symmetric: bool = True,
+    ) -> None:
+        """Install a link (both directions unless ``symmetric=False``)."""
+        self._sites.update((a, b))
+        bw = bandwidth if bandwidth is not None else self._default_bandwidth
+        lat = latency if latency is not None else self._default_latency
+        self._links[(a, b)] = Link(a, b, bw, lat)
+        if symmetric:
+            self._links[(b, a)] = Link(b, a, bw, lat)
+
+    # -- lookup --------------------------------------------------------------
+
+    def link(self, src: str, dst: str) -> Link:
+        """The link used from ``src`` to ``dst``.
+
+        Same-site transfers use the fast local link.  When the topology
+        is ``fully_connected``, missing inter-site links fall back to
+        the default characteristics; otherwise they raise.
+        """
+        if src == dst:
+            return Link(src, dst, LOCAL_BANDWIDTH, LOCAL_LATENCY)
+        existing = self._links.get((src, dst))
+        if existing is not None:
+            return existing
+        if self._fully_connected and src in self._sites and dst in self._sites:
+            return Link(src, dst, self._default_bandwidth, self._default_latency)
+        raise TransferError(f"no route from {src!r} to {dst!r}")
+
+    def transfer_time(self, size_bytes: int, src: str, dst: str) -> float:
+        """Seconds to move ``size_bytes`` from ``src`` to ``dst``."""
+        return self.link(src, dst).transfer_time(size_bytes)
+
+    # -- accounting -------------------------------------------------------------
+
+    def record_transfer(self, size_bytes: int, src: str, dst: str) -> float:
+        """Account for a transfer and return its duration."""
+        duration = self.transfer_time(size_bytes, src, dst)
+        stats = self._stats.setdefault((src, dst), LinkStats())
+        stats.transfers += 1
+        stats.bytes_moved += size_bytes
+        stats.seconds_busy += duration
+        return duration
+
+    def stats(self, src: str, dst: str) -> LinkStats:
+        return self._stats.get((src, dst), LinkStats())
+
+    def total_bytes_moved(self, wide_area_only: bool = True) -> int:
+        """Total bytes across all links (optionally excluding local)."""
+        return sum(
+            s.bytes_moved
+            for (src, dst), s in self._stats.items()
+            if not wide_area_only or src != dst
+        )
+
+    def total_transfers(self, wide_area_only: bool = True) -> int:
+        return sum(
+            s.transfers
+            for (src, dst), s in self._stats.items()
+            if not wide_area_only or src != dst
+        )
+
+    def reset_stats(self) -> None:
+        self._stats.clear()
+
+
+def star_topology(
+    center: str,
+    leaves: list[str],
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    latency: float = DEFAULT_LATENCY,
+) -> NetworkTopology:
+    """A hub-and-spoke topology (tier-0 centre, tier-1 leaves)."""
+    net = NetworkTopology(fully_connected=False)
+    net.add_site(center)
+    for leaf in leaves:
+        net.connect(center, leaf, bandwidth=bandwidth, latency=latency)
+    # Leaf-to-leaf routes go through two hops; approximate as half rate.
+    for i, a in enumerate(leaves):
+        for b in leaves[i + 1:]:
+            net.connect(a, b, bandwidth=bandwidth / 2, latency=latency * 2)
+    return net
+
+
+def uniform_topology(
+    sites: list[str],
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    latency: float = DEFAULT_LATENCY,
+) -> NetworkTopology:
+    """A fully connected topology with identical links."""
+    net = NetworkTopology(
+        default_bandwidth=bandwidth,
+        default_latency=latency,
+        fully_connected=True,
+    )
+    for site in sites:
+        net.add_site(site)
+    return net

@@ -1,0 +1,118 @@
+"""A toy persistent object store for multi-modal datasets.
+
+The Chimera-0 HEP pipeline's last two stages exchanged "object-oriented
+database files from a commercial OODBMS product" (§6), and the dataset
+model must support "a closure of object references from a persistent
+object database" (§3.1).  This module provides the minimum store that
+makes :class:`~repro.core.descriptors.ObjectClosureDescriptor`
+meaningful: named objects with payloads and typed references, plus
+closure computation over the reference graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import GridError
+
+
+@dataclass
+class StoredObject:
+    """One persistent object: a payload plus outgoing references."""
+
+    oid: str
+    payload: Any = None
+    refs: tuple[str, ...] = ()
+
+
+class ObjectStore:
+    """A named store of objects addressed by object id (OID)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._objects: dict[str, StoredObject] = {}
+
+    def put(self, oid: str, payload: Any = None, refs: Iterable[str] = ()) -> None:
+        """Insert or replace an object."""
+        self._objects[oid] = StoredObject(
+            oid=oid, payload=payload, refs=tuple(refs)
+        )
+
+    def get(self, oid: str) -> StoredObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise GridError(
+                f"object {oid!r} not found in store {self.name!r}"
+            ) from None
+
+    def has(self, oid: str) -> bool:
+        return oid in self._objects
+
+    def delete(self, oid: str) -> None:
+        if oid not in self._objects:
+            raise GridError(f"object {oid!r} not found in store {self.name!r}")
+        del self._objects[oid]
+
+    def oids(self) -> list[str]:
+        return sorted(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def closure(self, roots: Iterable[str]) -> set[str]:
+        """All OIDs reachable from ``roots`` through references.
+
+        Dangling references are ignored (a real OODBMS would fault
+        them in; a provenance snapshot just records what exists).
+        """
+        seen: set[str] = set()
+        frontier = [oid for oid in roots]
+        while frontier:
+            oid = frontier.pop()
+            if oid in seen or oid not in self._objects:
+                continue
+            seen.add(oid)
+            frontier.extend(self._objects[oid].refs)
+        return seen
+
+    def extract(self, roots: Iterable[str]) -> dict[str, Any]:
+        """Materialize the closure: ``{oid: payload}`` for reachable objects."""
+        return {oid: self._objects[oid].payload for oid in self.closure(roots)}
+
+    def closure_size(self, roots: Iterable[str]) -> int:
+        return len(self.closure(roots))
+
+
+class ObjectStoreRegistry:
+    """All object stores known to the process, by name.
+
+    Local executors resolve
+    :class:`~repro.core.descriptors.ObjectClosureDescriptor` containers
+    through this registry.
+    """
+
+    def __init__(self):
+        self._stores: dict[str, ObjectStore] = {}
+
+    def create(self, name: str) -> ObjectStore:
+        if name in self._stores:
+            raise GridError(f"object store {name!r} already exists")
+        store = ObjectStore(name)
+        self._stores[name] = store
+        return store
+
+    def get(self, name: str) -> ObjectStore:
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise GridError(f"unknown object store {name!r}") from None
+
+    def get_or_create(self, name: str) -> ObjectStore:
+        if name not in self._stores:
+            return self.create(name)
+        return self._stores[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._stores)

@@ -1,0 +1,92 @@
+"""Replica location service over the simulated grid.
+
+Maps logical file names (LFNs) to the sites currently holding a copy,
+and picks the cheapest source for a transfer given the topology.  This
+is the grid-level counterpart of the schema-level
+:class:`~repro.core.replica.Replica`: the schema records provenance-
+relevant copies, while this service answers the planner's "where can I
+fetch this from fastest?" question.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransferError
+from repro.grid.network import NetworkTopology
+
+
+class ReplicaLocationService:
+    """LFN -> {site: size} with best-source selection."""
+
+    def __init__(self, network: Optional[NetworkTopology] = None):
+        self._network = network
+        self._locations: dict[str, dict[str, int]] = {}
+        self.lookups = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, lfn: str, site: str, size: int) -> None:
+        """Record that ``site`` holds a copy of ``lfn`` of ``size`` bytes."""
+        if size < 0:
+            raise TransferError("negative replica size")
+        self._locations.setdefault(lfn, {})[site] = size
+
+    def unregister(self, lfn: str, site: str) -> None:
+        sites = self._locations.get(lfn)
+        if not sites or site not in sites:
+            raise TransferError(f"no replica of {lfn!r} at {site!r}")
+        del sites[site]
+        if not sites:
+            del self._locations[lfn]
+
+    # -- queries ----------------------------------------------------------------
+
+    def sites_of(self, lfn: str) -> list[str]:
+        """Sites currently holding ``lfn``, sorted."""
+        self.lookups += 1
+        return sorted(self._locations.get(lfn, ()))
+
+    def has(self, lfn: str, site: Optional[str] = None) -> bool:
+        sites = self._locations.get(lfn)
+        if not sites:
+            return False
+        return site in sites if site is not None else True
+
+    def size_of(self, lfn: str) -> int:
+        """Size of ``lfn`` (replicas of one LFN share a size)."""
+        sites = self._locations.get(lfn)
+        if not sites:
+            raise TransferError(f"unknown LFN {lfn!r}")
+        return next(iter(sites.values()))
+
+    def replica_count(self, lfn: str) -> int:
+        return len(self._locations.get(lfn, ()))
+
+    def lfns(self) -> list[str]:
+        return sorted(self._locations)
+
+    def best_source(self, lfn: str, destination: str) -> tuple[str, float]:
+        """Cheapest site to fetch ``lfn`` from, for ``destination``.
+
+        Returns ``(site, transfer_seconds)``.  A copy already at the
+        destination wins with its (near-zero) local cost.
+        """
+        sites = self._locations.get(lfn)
+        if not sites:
+            raise TransferError(f"no replica of {lfn!r} anywhere")
+        if self._network is None:
+            site = destination if destination in sites else sorted(sites)[0]
+            return site, 0.0
+        best_site = None
+        best_time = float("inf")
+        for site, size in sorted(sites.items()):
+            t = self._network.transfer_time(size, site, destination)
+            if t < best_time:
+                best_time = t
+                best_site = site
+        assert best_site is not None
+        return best_site, best_time
+
+    def total_replicas(self) -> int:
+        return sum(len(sites) for sites in self._locations.values())

@@ -1,0 +1,206 @@
+"""Grid sites: compute elements and storage elements.
+
+A :class:`Site` bundles a :class:`ComputeElement` (a pool of hosts fed
+from a FIFO batch queue, standing in for Condor pools) and a
+:class:`StorageElement` (a byte-budgeted file store with LRU eviction,
+standing in for GridFTP-fronted disk arrays).  The SDSS experiment's
+"almost 800 hosts spread across four sites" (§6) is four ``Site``
+objects with a couple of hundred hosts each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import GridError, TransferError
+
+
+@dataclass
+class StoredFile:
+    """One logical file held by a storage element."""
+
+    lfn: str
+    size: int
+    #: Last-touch logical time, maintained by the element for LRU.
+    last_used: float = 0.0
+    #: Pinned files are never evicted (e.g. mid-transfer or mid-job).
+    pinned: int = 0
+
+
+class StorageElement:
+    """A site's disk store with capacity accounting and LRU eviction."""
+
+    def __init__(self, name: str, capacity: int = 10**15):
+        if capacity <= 0:
+            raise GridError("storage capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._files: dict[str, StoredFile] = {}
+        self._used = 0
+        self.evictions = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def holds(self, lfn: str) -> bool:
+        return lfn in self._files
+
+    def file(self, lfn: str) -> StoredFile:
+        try:
+            return self._files[lfn]
+        except KeyError:
+            raise TransferError(
+                f"storage {self.name!r} does not hold {lfn!r}"
+            ) from None
+
+    def lfns(self) -> list[str]:
+        return sorted(self._files)
+
+    def touch(self, lfn: str, now: float) -> None:
+        """Refresh LRU recency for ``lfn``."""
+        self.file(lfn).last_used = now
+
+    def pin(self, lfn: str) -> None:
+        self.file(lfn).pinned += 1
+
+    def unpin(self, lfn: str) -> None:
+        record = self.file(lfn)
+        if record.pinned <= 0:
+            raise GridError(f"{lfn!r} is not pinned at {self.name!r}")
+        record.pinned -= 1
+
+    def store(self, lfn: str, size: int, now: float = 0.0) -> list[str]:
+        """Add a file, evicting LRU unpinned files if needed.
+
+        Returns the LFNs evicted to make room.  Raises
+        :class:`~repro.errors.TransferError` when the file cannot fit
+        even after evicting everything evictable.
+        """
+        if size < 0:
+            raise TransferError("negative file size")
+        if lfn in self._files:
+            self.touch(lfn, now)
+            return []
+        evicted = []
+        if size > self.capacity:
+            raise TransferError(
+                f"{lfn!r} ({size} B) exceeds capacity of {self.name!r}"
+            )
+        while self.free < size:
+            victim = self._lru_victim()
+            if victim is None:
+                raise TransferError(
+                    f"storage {self.name!r} full and nothing evictable "
+                    f"for {lfn!r} ({size} B needed, {self.free} B free)"
+                )
+            self.delete(victim)
+            self.evictions += 1
+            evicted.append(victim)
+        self._files[lfn] = StoredFile(lfn=lfn, size=size, last_used=now)
+        self._used += size
+        return evicted
+
+    def delete(self, lfn: str) -> None:
+        record = self.file(lfn)
+        if record.pinned:
+            raise GridError(f"cannot delete pinned file {lfn!r}")
+        del self._files[lfn]
+        self._used -= record.size
+
+    def _lru_victim(self) -> Optional[str]:
+        candidates = [f for f in self._files.values() if not f.pinned]
+        if not candidates:
+            return None
+        victim = min(candidates, key=lambda f: (f.last_used, f.lfn))
+        return victim.lfn
+
+
+@dataclass
+class Host:
+    """One worker host within a compute element."""
+
+    name: str
+    speed: float = 1.0  # relative CPU speed factor
+    busy_until: float = 0.0
+    jobs_run: int = 0
+
+
+class ComputeElement:
+    """A pool of hosts fed from a FIFO queue.
+
+    The element does not own a clock: callers (the GRAM layer) ask it
+    to *allocate* a host at a given simulation time and get back the
+    host and the completion time.  This keeps the element reusable in
+    both simulated and analytic (estimator) contexts.
+    """
+
+    def __init__(self, name: str, hosts: int = 1, speed: float = 1.0):
+        if hosts <= 0:
+            raise GridError("a compute element needs at least one host")
+        self.name = name
+        self.hosts = [
+            Host(name=f"{name}-h{i:03d}", speed=speed) for i in range(hosts)
+        ]
+        self.jobs_completed = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def host_count(self) -> int:
+        return len(self.hosts)
+
+    def free_hosts(self, now: float) -> int:
+        return sum(1 for h in self.hosts if h.busy_until <= now)
+
+    def allocate(
+        self, now: float, cpu_seconds: float, max_hosts: Optional[int] = None
+    ) -> tuple[Host, float, float]:
+        """Reserve the earliest-available host for a job.
+
+        ``max_hosts`` restricts scheduling to the first N hosts, which
+        is how a workflow-level concurrency cap ("as many as 120 hosts
+        in a single workflow", §6) is enforced.  Returns
+        ``(host, start_time, end_time)``.
+        """
+        pool = self.hosts if max_hosts is None else self.hosts[:max_hosts]
+        host = min(pool, key=lambda h: (max(h.busy_until, now), h.name))
+        start = max(host.busy_until, now)
+        duration = cpu_seconds / host.speed
+        end = start + duration
+        host.busy_until = end
+        host.jobs_run += 1
+        self.jobs_completed += 1
+        self.busy_seconds += duration
+        return host, start, end
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of host-seconds busy over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (horizon * len(self.hosts)))
+
+
+class Site:
+    """One grid site: a named compute element plus storage element."""
+
+    def __init__(
+        self,
+        name: str,
+        hosts: int = 1,
+        speed: float = 1.0,
+        storage_capacity: int = 10**15,
+    ):
+        self.name = name
+        self.compute = ComputeElement(f"{name}-ce", hosts=hosts, speed=speed)
+        self.storage = StorageElement(f"{name}-se", capacity=storage_capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Site {self.name}: {self.compute.host_count} hosts, "
+            f"{self.storage.used}/{self.storage.capacity} B used>"
+        )

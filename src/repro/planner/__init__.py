@@ -1,0 +1,43 @@
+"""Request planning: DAG expansion, site selection, scheduling (§5.2)."""
+
+from repro.planner.dag import Plan, PlanStep, Planner
+from repro.planner.replication import (
+    HierarchyConfig,
+    ReplicationResult,
+    ReplicationSimulation,
+    STRATEGIES,
+)
+from repro.planner.request import (
+    MaterializationRequest,
+    REUSE_POLICIES,
+    SHIPPING_PATTERNS,
+)
+from repro.planner.scheduler import (
+    StepOutcome,
+    WorkflowResult,
+    WorkflowScheduler,
+)
+from repro.planner.strategies import (
+    ProcedureRegistry,
+    SiteChoice,
+    SiteSelector,
+)
+
+__all__ = [
+    "HierarchyConfig",
+    "MaterializationRequest",
+    "Plan",
+    "PlanStep",
+    "Planner",
+    "ProcedureRegistry",
+    "REUSE_POLICIES",
+    "ReplicationResult",
+    "ReplicationSimulation",
+    "SHIPPING_PATTERNS",
+    "STRATEGIES",
+    "SiteChoice",
+    "SiteSelector",
+    "StepOutcome",
+    "WorkflowResult",
+    "WorkflowScheduler",
+]

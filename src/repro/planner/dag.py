@@ -1,0 +1,375 @@
+"""Plan construction: expanding requests into executable DAGs.
+
+Planning turns a :class:`~repro.planner.request.MaterializationRequest`
+into a :class:`Plan` — a DAG of concrete, *simple*-transformation steps:
+
+1. walk backwards from each target dataset through producing
+   derivations (the catalog's provenance graph);
+2. expand compound transformations recursively into their constituent
+   calls, synthesizing scratch LFNs for intermediate formals;
+3. apply the reuse policy: prune sub-graphs whose outputs already have
+   replicas ("determine whether a requested computation has been
+   performed previously, and whether it is cheaper to rerun it or to
+   retrieve previously generated data", §1).
+
+The result is what the paper calls the "data derivation workflow graph"
+(§5.3), ready for site selection (:mod:`repro.planner.strategies`) and
+dispatch (:mod:`repro.planner.scheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.catalog.resolver import ReferenceResolver
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.transformation import (
+    CompoundTransformation,
+    FormalRef,
+    SimpleTransformation,
+)
+from repro.errors import CyclicDerivationError, PlanningError, UnderivableError
+from repro.planner.request import MaterializationRequest
+from repro.provenance.graph import DerivationGraph
+
+
+@dataclass
+class PlanStep:
+    """One executable node: a concrete derivation of a simple TR."""
+
+    name: str
+    derivation: Derivation
+    transformation: SimpleTransformation
+    #: Estimated cpu seconds (filled by the estimator; default heuristic).
+    cpu_seconds: float = 1.0
+    #: Output LFN -> estimated size in bytes.
+    output_sizes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return self.derivation.inputs()
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return self.derivation.outputs()
+
+
+@dataclass
+class Plan:
+    """An executable workflow DAG plus its boundary conditions."""
+
+    targets: tuple[str, ...]
+    steps: dict[str, PlanStep] = field(default_factory=dict)
+    #: step name -> names of steps that must complete first.
+    dependencies: dict[str, set[str]] = field(default_factory=dict)
+    #: Datasets satisfied from existing replicas (reuse decisions).
+    reused: set[str] = field(default_factory=set)
+    #: Raw source datasets that must pre-exist on the grid.
+    sources: set[str] = field(default_factory=set)
+    #: Scratch datasets that may be deleted after the workflow.
+    temporaries: set[str] = field(default_factory=set)
+
+    def ready_steps(self, done: set[str]) -> list[str]:
+        """Steps whose prerequisites are all in ``done`` and that are
+        not themselves done, in name order (deterministic dispatch)."""
+        return sorted(
+            name
+            for name, deps in self.dependencies.items()
+            if name not in done and deps <= done
+        )
+
+    def topological_order(self) -> list[str]:
+        """Step names in a valid execution order."""
+        done: set[str] = set()
+        order: list[str] = []
+        while len(done) < len(self.steps):
+            ready = self.ready_steps(done)
+            if not ready:
+                raise CyclicDerivationError(
+                    "plan contains a dependency cycle"
+                )
+            order.extend(ready)
+            done.update(ready)
+        return order
+
+    def width(self) -> int:
+        """Maximum number of steps runnable concurrently (antichain)."""
+        done: set[str] = set()
+        best = 0
+        while len(done) < len(self.steps):
+            ready = self.ready_steps(done)
+            if not ready:
+                break
+            best = max(best, len(ready))
+            done.update(ready)
+        return best
+
+    def depth(self) -> int:
+        """Length of the longest dependency chain."""
+        memo: dict[str, int] = {}
+
+        def chain(name: str) -> int:
+            if name not in memo:
+                memo[name] = 1 + max(
+                    (chain(d) for d in self.dependencies[name]), default=0
+                )
+            return memo[name]
+
+        return max((chain(n) for n in self.steps), default=0)
+
+    def producers(self) -> dict[str, str]:
+        """Dataset name -> producing step name."""
+        out = {}
+        for name, step in self.steps.items():
+            for dataset in step.outputs:
+                out[dataset] = name
+        return out
+
+    def total_cpu_seconds(self) -> float:
+        return sum(step.cpu_seconds for step in self.steps.values())
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+#: Callback deciding rerun-vs-retrieve for one dataset under the
+#: ``cost`` policy.  Receives (dataset_name, recompute_cpu_seconds) and
+#: returns True to reuse the existing replica.
+ReuseDecider = Callable[[str, float], bool]
+
+
+class Planner:
+    """Expands requests against one catalog (and optional resolver)."""
+
+    def __init__(
+        self,
+        catalog: VirtualDataCatalog,
+        resolver: Optional[ReferenceResolver] = None,
+        has_replica: Optional[Callable[[str], bool]] = None,
+        cpu_estimate: Optional[Callable[[Derivation], float]] = None,
+        size_estimate: Optional[Callable[[str], int]] = None,
+        reuse_decider: Optional[ReuseDecider] = None,
+    ):
+        self.catalog = catalog
+        self.resolver = resolver or ReferenceResolver(catalog)
+        self._has_replica = has_replica or (lambda lfn: False)
+        self._cpu_estimate = cpu_estimate or (lambda dv: 1.0)
+        self._size_estimate = size_estimate or self._catalog_size
+        self._reuse_decider = reuse_decider or (lambda lfn, cpu: True)
+
+    def _catalog_size(self, lfn: str) -> int:
+        if self.catalog.has_dataset(lfn):
+            return self.catalog.get_dataset(lfn).size_estimate(default=1_000_000)
+        return 1_000_000
+
+    # -- public -------------------------------------------------------------
+
+    def plan(self, request: MaterializationRequest) -> Plan:
+        """Build the workflow DAG satisfying ``request``."""
+        plan = Plan(targets=request.targets)
+        graph = DerivationGraph.from_catalog(self.catalog)
+        needed: list[str] = list(request.targets)
+        visited: set[str] = set()
+        while needed:
+            dataset = needed.pop()
+            if dataset in visited:
+                continue
+            visited.add(dataset)
+            if self._maybe_reuse(dataset, request, graph):
+                plan.reused.add(dataset)
+                continue
+            producers = graph.predecessors(
+                _dataset_node(dataset)
+            ) if _dataset_node(dataset) in graph else set()
+            if not producers:
+                if self._has_replica(dataset) or self.catalog.has_dataset(
+                    dataset
+                ):
+                    plan.sources.add(dataset)
+                    continue
+                raise UnderivableError(
+                    f"dataset {dataset!r} has no producing derivation and "
+                    f"no known replica"
+                )
+            # Deterministic choice when multiple producers exist.
+            producer_name = sorted(n.name for n in producers)[0]
+            dv = graph.derivation(producer_name)
+            self._expand_derivation(dv, plan)
+            needed.extend(dv.inputs())
+        self._wire_dependencies(plan)
+        self._prune_reused_subgraphs(plan, request)
+        return plan
+
+    # -- reuse policy ----------------------------------------------------------
+
+    def _maybe_reuse(
+        self,
+        dataset: str,
+        request: MaterializationRequest,
+        graph: DerivationGraph,
+    ) -> bool:
+        if request.reuse == "never":
+            return False
+        if not self._has_replica(dataset):
+            return False
+        if request.reuse == "always":
+            return True
+        # cost policy: estimate the cpu of the whole producing subtree.
+        sub = graph.required_for(dataset)
+        recompute_cpu = sum(
+            self._cpu_estimate(sub.derivation(name))
+            for name in sub.derivation_names()
+        )
+        return self._reuse_decider(dataset, recompute_cpu)
+
+    # -- expansion --------------------------------------------------------------
+
+    def _expand_derivation(self, dv: Derivation, plan: Plan) -> None:
+        if dv.name in plan.steps:
+            return
+        tr, _ = self.resolver.transformation(dv.transformation)
+        if isinstance(tr, SimpleTransformation):
+            self._add_step(dv.name, dv, tr, plan)
+            return
+        assert isinstance(tr, CompoundTransformation)
+        self._expand_compound(dv.name, dv, tr, plan, depth=0)
+
+    def _add_step(
+        self,
+        name: str,
+        dv: Derivation,
+        tr: SimpleTransformation,
+        plan: Plan,
+    ) -> None:
+        step = PlanStep(
+            name=name,
+            derivation=dv,
+            transformation=tr,
+            cpu_seconds=self._cpu_estimate(dv),
+            output_sizes={
+                out: self._size_estimate(out) for out in dv.outputs()
+            },
+        )
+        plan.steps[name] = step
+        for _, arg in dv.dataset_args():
+            if arg.temporary:
+                plan.temporaries.add(arg.dataset)
+
+    def _expand_compound(
+        self,
+        prefix: str,
+        dv: Derivation,
+        tr: CompoundTransformation,
+        plan: Plan,
+        depth: int,
+    ) -> None:
+        """Flatten one compound call frame into concrete steps."""
+        if depth > 32:
+            raise PlanningError(
+                f"compound transformation nesting exceeds 32 levels at "
+                f"{tr.name!r} (cycle in compound definitions?)"
+            )
+        # The enclosing frame's formal -> actual environment.
+        env: dict[str, DatasetArg | str] = {}
+        for formal in tr.signature.formals:
+            if formal.name in dv.actuals:
+                env[formal.name] = dv.actuals[formal.name]
+            elif formal.default is not None:
+                if formal.is_string:
+                    env[formal.name] = formal.default
+                else:
+                    scratch = f"{prefix}.{formal.name}"
+                    env[formal.name] = DatasetArg(
+                        dataset=scratch,
+                        direction=formal.direction,
+                        temporary=True,
+                    )
+                    plan.temporaries.add(scratch)
+            else:
+                raise PlanningError(
+                    f"compound {tr.name!r}: formal {formal.name!r} unbound "
+                    f"in derivation {dv.name!r} and has no default"
+                )
+        for i, call in enumerate(tr.calls):
+            callee, _ = self.resolver.transformation(call.target)
+            actuals: dict[str, DatasetArg | str] = {}
+            for callee_formal_name, binding in call.bindings.items():
+                callee_formal = callee.signature.formal(callee_formal_name)
+                if isinstance(binding, FormalRef):
+                    value = env[binding.name]
+                    if isinstance(value, DatasetArg):
+                        # Call-site direction: the callee's view.
+                        direction = (
+                            callee_formal.direction
+                            if callee_formal.direction != "inout"
+                            else (binding.direction or value.direction)
+                        )
+                        actuals[callee_formal_name] = DatasetArg(
+                            dataset=value.dataset,
+                            direction=direction,
+                            temporary=value.temporary,
+                        )
+                    else:
+                        actuals[callee_formal_name] = value
+                else:
+                    actuals[callee_formal_name] = binding
+            sub_name = f"{prefix}.{i}.{callee.name}"
+            sub_dv = Derivation(
+                name=sub_name,
+                transformation=call.target,
+                actuals=actuals,
+                environment=dict(dv.environment),
+            )
+            if isinstance(callee, CompoundTransformation):
+                self._expand_compound(sub_name, sub_dv, callee, plan, depth + 1)
+            else:
+                self._add_step(sub_name, sub_dv, callee, plan)
+
+    # -- dependency wiring -------------------------------------------------------
+
+    def _wire_dependencies(self, plan: Plan) -> None:
+        producer_of: dict[str, str] = {}
+        for name, step in plan.steps.items():
+            for output in step.outputs:
+                producer_of[output] = name
+        for name, step in plan.steps.items():
+            deps = {
+                producer_of[inp]
+                for inp in step.inputs
+                if inp in producer_of and producer_of[inp] != name
+            }
+            plan.dependencies[name] = deps
+
+    def _prune_reused_subgraphs(
+        self, plan: Plan, request: MaterializationRequest
+    ) -> None:
+        """Drop steps whose every output is reused or unneeded."""
+        if not plan.reused:
+            return
+        needed_datasets: set[str] = set(request.targets) - plan.reused
+        needed_steps: set[str] = set()
+        producer_of = plan.producers()
+        frontier = list(needed_datasets)
+        while frontier:
+            dataset = frontier.pop()
+            step_name = producer_of.get(dataset)
+            if step_name is None or step_name in needed_steps:
+                continue
+            needed_steps.add(step_name)
+            for inp in plan.steps[step_name].inputs:
+                if inp not in plan.reused:
+                    frontier.append(inp)
+        for name in list(plan.steps):
+            if name not in needed_steps:
+                del plan.steps[name]
+                del plan.dependencies[name]
+        for name in plan.dependencies:
+            plan.dependencies[name] &= set(plan.steps)
+
+
+def _dataset_node(name: str):
+    from repro.provenance.graph import dataset_node
+
+    return dataset_node(name)

@@ -1,0 +1,71 @@
+"""Materialization requests (§5.2).
+
+"Once derivations are defined in the virtual data catalog, users (and
+automated production mechanisms) can request that these virtual
+datasets be 'materialized'."  A :class:`MaterializationRequest` names
+the wanted datasets plus the policies the planner should apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PlanningError
+
+#: Reuse policies controlling the rerun-vs-retrieve decision (§1).
+REUSE_POLICIES = ("never", "always", "cost")
+
+#: Data/procedure shipping patterns (§5.2).
+SHIPPING_PATTERNS = (
+    "collocate",       # 1. procedure collocated with data
+    "ship-procedure",  # 2. ship procedure to data
+    "ship-data",       # 3. ship data to procedure
+    "ship-both",       # 4. ship procedure and data to a third computer
+)
+
+
+@dataclass
+class MaterializationRequest:
+    """One planning request: which datasets, under which policies.
+
+    * ``reuse`` — ``"never"`` recomputes everything; ``"always"``
+      uses any existing replica; ``"cost"`` compares estimated
+      recomputation cost against transfer cost per dataset.
+    * ``pattern`` — preferred shipping pattern; the planner may ignore
+      it when infeasible (e.g. the data's site has no free hosts and
+      the pattern forbids moving data).
+    * ``max_hosts`` — workflow-level concurrency cap (the paper's "as
+      many as 120 hosts in a single workflow").
+    * ``preferred_site`` — pin execution to one site when set.
+    * ``prune_fresh`` — skip derivations whose outputs are already
+      materialized and not stale (make-style incremental builds).
+    """
+
+    targets: tuple[str, ...]
+    reuse: str = "cost"
+    pattern: str = "ship-data"
+    max_hosts: Optional[int] = None
+    preferred_site: Optional[str] = None
+    prune_fresh: bool = True
+    deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if isinstance(self.targets, str):
+            self.targets = (self.targets,)
+        else:
+            self.targets = tuple(self.targets)
+        if not self.targets:
+            raise PlanningError("a request needs at least one target dataset")
+        if self.reuse not in REUSE_POLICIES:
+            raise PlanningError(
+                f"invalid reuse policy {self.reuse!r}; "
+                f"expected one of {REUSE_POLICIES}"
+            )
+        if self.pattern not in SHIPPING_PATTERNS:
+            raise PlanningError(
+                f"invalid shipping pattern {self.pattern!r}; "
+                f"expected one of {SHIPPING_PATTERNS}"
+            )
+        if self.max_hosts is not None and self.max_hosts <= 0:
+            raise PlanningError("max_hosts must be positive")

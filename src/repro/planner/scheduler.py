@@ -1,0 +1,197 @@
+"""DAGMan-style workflow execution management (§5.4).
+
+"Derivation is conducted by workflow execution management systems that
+dispatch computation or data transfer requests to specific grid sites,
+and monitor their completion, dispatching nodes of the workflow graph
+when the node's predecessor dependencies have completed.  An example of
+such a scheduler is the Condor DAGMan facility."
+
+:class:`WorkflowScheduler` dispatches a :class:`~repro.planner.dag.Plan`
+onto the simulated grid: ready steps are submitted as jobs, completions
+release successors, failures are retried up to a bound, and the whole
+run is summarized in a :class:`WorkflowResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ExecutionError, PlanningError
+from repro.grid.gram import GridExecutionService, JobRecord, JobSpec
+from repro.planner.dag import Plan, PlanStep
+from repro.planner.strategies import SiteChoice, SiteSelector
+
+
+@dataclass
+class StepOutcome:
+    """What happened to one plan step."""
+
+    step: str
+    site: str
+    attempts: int
+    record: JobRecord
+
+
+@dataclass
+class WorkflowResult:
+    """Summary of one workflow run on the grid."""
+
+    plan: Plan
+    outcomes: dict[str, StepOutcome] = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    failed_steps: set[str] = field(default_factory=set)
+    #: Maximum number of simultaneously in-flight steps observed —
+    #: the "hosts in a single workflow" number of §6.
+    peak_in_flight: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failed_steps and len(self.outcomes) == len(self.plan.steps)
+
+    @property
+    def makespan(self) -> float:
+        return self.finished_at - self.started_at
+
+    def total_cpu_seconds(self) -> float:
+        return sum(
+            o.record.spec.cpu_seconds
+            for o in self.outcomes.values()
+            if o.record.succeeded
+        )
+
+    def total_queue_seconds(self) -> float:
+        return sum(o.record.queue_seconds for o in self.outcomes.values())
+
+    def total_stage_in_seconds(self) -> float:
+        return sum(o.record.stage_in_seconds for o in self.outcomes.values())
+
+    def hosts_used(self) -> set[str]:
+        return {
+            o.record.host for o in self.outcomes.values() if o.record.host
+        }
+
+    def sites_used(self) -> set[str]:
+        return {o.site for o in self.outcomes.values()}
+
+
+#: Called after each step completes (successfully); used by the grid
+#: executor to write invocation/replica records into the catalog.
+StepListener = Callable[[PlanStep, SiteChoice, JobRecord], None]
+
+
+class WorkflowScheduler:
+    """Dependency-driven dispatcher over a grid execution service."""
+
+    def __init__(
+        self,
+        grid: GridExecutionService,
+        selector: SiteSelector,
+        pattern: str = "ship-data",
+        max_retries: int = 2,
+        max_hosts: Optional[int] = None,
+        step_listener: Optional[StepListener] = None,
+    ):
+        if max_retries < 0:
+            raise PlanningError("max_retries must be >= 0")
+        self.grid = grid
+        self.selector = selector
+        self.pattern = pattern
+        self.max_retries = max_retries
+        self.max_hosts = max_hosts
+        self.step_listener = step_listener
+
+    def run(self, plan: Plan) -> WorkflowResult:
+        """Execute ``plan`` to completion on the simulator's clock.
+
+        Missing source datasets raise
+        :class:`~repro.errors.ExecutionError` before any dispatch: the
+        workflow would deadlock otherwise.
+        """
+        for source in sorted(plan.sources | plan.reused):
+            if not self.grid.replicas.has(source):
+                raise ExecutionError(
+                    f"source dataset {source!r} has no replica on the grid"
+                )
+        result = WorkflowResult(plan=plan, started_at=self.grid.simulator.now)
+        done: set[str] = set()
+        in_flight: set[str] = set()
+        attempts: dict[str, int] = {}
+
+        def dispatch_ready() -> None:
+            if result.failed_steps:
+                return
+            for name in plan.ready_steps(done):
+                if name in in_flight:
+                    continue
+                # The workflow-level width cap ("as many as 120 hosts in
+                # a single workflow", §6) bounds jobs in flight globally.
+                if (
+                    self.max_hosts is not None
+                    and len(in_flight) >= self.max_hosts
+                ):
+                    break
+                submit(name)
+
+        def submit(name: str) -> None:
+            step = plan.steps[name]
+            attempts[name] = attempts.get(name, 0) + 1
+            in_flight.add(name)
+            result.peak_in_flight = max(result.peak_in_flight, len(in_flight))
+            choice = self.selector.choose(
+                step, self.pattern, now=self.grid.simulator.now
+            )
+            spec = JobSpec(
+                name=name,
+                site=choice.site,
+                cpu_seconds=step.cpu_seconds,
+                inputs=step.inputs,
+                outputs=dict(step.output_sizes),
+                executable=step.transformation.executable,
+                environment=dict(step.derivation.environment),
+                # The width cap is enforced globally in dispatch_ready;
+                # per-site host restriction is not additionally needed.
+                max_hosts=None,
+                setup_seconds=choice.procedure_seconds,
+            )
+
+            def on_complete(record: JobRecord) -> None:
+                in_flight.discard(name)
+                if record.succeeded:
+                    done.add(name)
+                    if choice.ship_procedure:
+                        self.selector.procedures.install(
+                            step.transformation.name, choice.site
+                        )
+                    result.outcomes[name] = StepOutcome(
+                        step=name,
+                        site=choice.site,
+                        attempts=attempts[name],
+                        record=record,
+                    )
+                    if self.step_listener is not None:
+                        self.step_listener(step, choice, record)
+                    dispatch_ready()
+                elif attempts[name] <= self.max_retries:
+                    submit(name)
+                else:
+                    result.failed_steps.add(name)
+                    result.outcomes[name] = StepOutcome(
+                        step=name,
+                        site=choice.site,
+                        attempts=attempts[name],
+                        record=record,
+                    )
+
+            self.grid.submit(spec, on_complete)
+
+        dispatch_ready()
+        self.grid.simulator.run()
+        result.finished_at = self.grid.simulator.now
+        if not result.succeeded and not result.failed_steps:
+            missing = sorted(set(plan.steps) - done)
+            raise ExecutionError(
+                f"workflow stalled; steps never became ready: {missing[:5]}"
+            )
+        return result

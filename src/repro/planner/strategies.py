@@ -1,0 +1,233 @@
+"""Site selection: the four data/procedure shipping patterns (§5.2).
+
+"The application of procedures to datasets can be performed in a
+variety of ways, with the following being common patterns:
+1. Procedure collocated with data. ... 2. Ship procedure to data. ...
+3. Ship data to procedure. ... 4. Ship procedure and data to computer."
+
+:class:`SiteSelector` scores candidate sites for one plan step under a
+chosen pattern, accounting for where input replicas live, where the
+procedure is installed, queue depth at each compute element, and the
+network cost of whatever must move.  The SHIP benchmark sweeps dataset
+size against compute demand to map which pattern wins where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PlanningError
+from repro.grid.network import NetworkTopology
+from repro.grid.replica_catalog import ReplicaLocationService
+from repro.grid.site import Site
+from repro.planner.dag import PlanStep
+
+#: Nominal size of shipping a procedure (source/binary package).
+DEFAULT_PROCEDURE_SIZE = 2_000_000
+
+
+@dataclass
+class SiteChoice:
+    """The selector's verdict for one step."""
+
+    site: str
+    pattern: str
+    #: Seconds of data movement implied by the choice.
+    transfer_seconds: float
+    #: Seconds of estimated queue wait at the chosen compute element.
+    queue_seconds: float
+    #: Whether the procedure must be installed (shipped) first.
+    ship_procedure: bool
+    #: Seconds of the transfer attributable to moving the procedure
+    #: itself (charged as job setup time by the scheduler).
+    procedure_seconds: float = 0.0
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.transfer_seconds + self.queue_seconds
+
+
+class ProcedureRegistry:
+    """Where each transformation is installed (per site).
+
+    Shipping a procedure to a new site costs one transfer of the
+    procedure's package size and permanently installs it there —
+    procedures are cached exactly like data.
+    """
+
+    def __init__(self):
+        self._sites: dict[str, set[str]] = {}
+        self._sizes: dict[str, int] = {}
+
+    def install(self, transformation: str, site: str) -> None:
+        self._sites.setdefault(transformation, set()).add(site)
+
+    def installed_at(self, transformation: str) -> set[str]:
+        return set(self._sites.get(transformation, ()))
+
+    def is_installed(self, transformation: str, site: str) -> bool:
+        return site in self._sites.get(transformation, ())
+
+    def set_size(self, transformation: str, size: int) -> None:
+        self._sizes[transformation] = size
+
+    def size_of(self, transformation: str) -> int:
+        return self._sizes.get(transformation, DEFAULT_PROCEDURE_SIZE)
+
+
+class SiteSelector:
+    """Scores sites for plan steps under a shipping pattern."""
+
+    def __init__(
+        self,
+        sites: dict[str, Site],
+        network: NetworkTopology,
+        replicas: ReplicaLocationService,
+        procedures: Optional[ProcedureRegistry] = None,
+    ):
+        if not sites:
+            raise PlanningError("site selection requires at least one site")
+        self.sites = dict(sites)
+        self.network = network
+        self.replicas = replicas
+        self.procedures = procedures or ProcedureRegistry()
+
+    # -- cost pieces -----------------------------------------------------------
+
+    def data_pull_seconds(self, step: PlanStep, site: str) -> float:
+        """Seconds to stage the step's inputs to ``site`` (serialized)."""
+        total = 0.0
+        for lfn in step.inputs:
+            if not self.replicas.has(lfn):
+                continue  # produced upstream in the same workflow
+            if self.replicas.has(lfn, site):
+                continue
+            _, seconds = self.replicas.best_source(lfn, site)
+            total += seconds
+        return total
+
+    def procedure_pull_seconds(self, step: PlanStep, site: str) -> float:
+        """Seconds to install the step's procedure at ``site`` (0 if there)."""
+        tr_name = step.transformation.name
+        if self.procedures.is_installed(tr_name, site):
+            return 0.0
+        homes = self.procedures.installed_at(tr_name)
+        if not homes:
+            return 0.0  # nowhere registered: treat as universally available
+        size = self.procedures.size_of(tr_name)
+        return min(
+            self.network.transfer_time(size, home, site) for home in sorted(homes)
+        )
+
+    def queue_estimate_seconds(self, site: str, now: float) -> float:
+        """Rough queue delay: earliest host availability minus now."""
+        ce = self.sites[site].compute
+        earliest = min(h.busy_until for h in ce.hosts)
+        return max(0.0, earliest - now)
+
+    def input_bytes_at(self, step: PlanStep, site: str) -> int:
+        """Input bytes already resident at ``site``."""
+        total = 0
+        for lfn in step.inputs:
+            if self.replicas.has(lfn, site):
+                total += self.replicas.size_of(lfn)
+        return total
+
+    # -- pattern implementations ------------------------------------------------------
+
+    def choose(
+        self,
+        step: PlanStep,
+        pattern: str,
+        now: float = 0.0,
+        candidates: Optional[list[str]] = None,
+    ) -> SiteChoice:
+        """Pick a site for ``step`` under ``pattern``.
+
+        * ``collocate`` — only sites already holding both the data and
+          the procedure qualify; falls back to ``ship-data`` when none.
+        * ``ship-procedure`` — run where the most input bytes live;
+          move the procedure there.
+        * ``ship-data`` — run where the procedure lives (or the least
+          loaded site when it is everywhere); move data there.
+        * ``ship-both`` — free choice: minimize total estimated
+          (transfer + queue) cost over all sites.
+        """
+        names = sorted(candidates or self.sites)
+        if pattern == "collocate":
+            qualified = [
+                s
+                for s in names
+                if self.data_pull_seconds(step, s) == 0.0
+                and self.procedure_pull_seconds(step, s) == 0.0
+            ]
+            if qualified:
+                site = min(
+                    qualified,
+                    key=lambda s: (self.queue_estimate_seconds(s, now), s),
+                )
+                return SiteChoice(
+                    site=site,
+                    pattern=pattern,
+                    transfer_seconds=0.0,
+                    queue_seconds=self.queue_estimate_seconds(site, now),
+                    ship_procedure=False,
+                )
+            pattern = "ship-data"  # documented fallback
+        if pattern == "ship-procedure":
+            site = max(
+                names,
+                key=lambda s: (
+                    self.input_bytes_at(step, s),
+                    -self.queue_estimate_seconds(s, now),
+                    s,
+                ),
+            )
+            proc = self.procedure_pull_seconds(step, site)
+            return SiteChoice(
+                site=site,
+                pattern="ship-procedure",
+                transfer_seconds=proc + self.data_pull_seconds(step, site),
+                queue_seconds=self.queue_estimate_seconds(site, now),
+                ship_procedure=proc > 0.0,
+                procedure_seconds=proc,
+            )
+        if pattern == "ship-data":
+            tr_name = step.transformation.name
+            homes = self.procedures.installed_at(tr_name) & set(names)
+            pool = sorted(homes) if homes else names
+            site = min(
+                pool,
+                key=lambda s: (
+                    self.queue_estimate_seconds(s, now)
+                    + self.data_pull_seconds(step, s),
+                    s,
+                ),
+            )
+            return SiteChoice(
+                site=site,
+                pattern="ship-data",
+                transfer_seconds=self.data_pull_seconds(step, site),
+                queue_seconds=self.queue_estimate_seconds(site, now),
+                ship_procedure=False,
+            )
+        if pattern == "ship-both":
+            def total(s: str) -> float:
+                return (
+                    self.data_pull_seconds(step, s)
+                    + self.procedure_pull_seconds(step, s)
+                    + self.queue_estimate_seconds(s, now)
+                )
+
+            site = min(names, key=lambda s: (total(s), s))
+            proc = self.procedure_pull_seconds(step, site)
+            return SiteChoice(
+                site=site,
+                pattern="ship-both",
+                transfer_seconds=self.data_pull_seconds(step, site) + proc,
+                queue_seconds=self.queue_estimate_seconds(site, now),
+                ship_procedure=proc > 0.0,
+                procedure_seconds=proc,
+            )
+        raise PlanningError(f"unknown shipping pattern {pattern!r}")

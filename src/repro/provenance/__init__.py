@@ -1,0 +1,50 @@
+"""Provenance: dependency graphs, lineage, invalidation, equivalence (§2, §8)."""
+
+from repro.provenance.equivalence import EquivalenceChecker, equivalence_classes
+from repro.provenance.finegrained import (
+    ROW_MAPPINGS,
+    RowLineage,
+    row_lineage,
+    rows_affected_by,
+)
+from repro.provenance.graph import (
+    DATASET,
+    DERIVATION,
+    DerivationGraph,
+    Node,
+    dataset_node,
+    derivation_node,
+)
+from repro.provenance.invalidation import (
+    InvalidationReport,
+    StalenessTracker,
+    invalidated_by,
+)
+from repro.provenance.lineage import (
+    LineageReport,
+    LineageStep,
+    cross_catalog_lineage,
+    lineage_report,
+)
+
+__all__ = [
+    "DATASET",
+    "DERIVATION",
+    "DerivationGraph",
+    "EquivalenceChecker",
+    "InvalidationReport",
+    "LineageReport",
+    "LineageStep",
+    "Node",
+    "ROW_MAPPINGS",
+    "RowLineage",
+    "StalenessTracker",
+    "cross_catalog_lineage",
+    "dataset_node",
+    "derivation_node",
+    "equivalence_classes",
+    "invalidated_by",
+    "lineage_report",
+    "row_lineage",
+    "rows_affected_by",
+]

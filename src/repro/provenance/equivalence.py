@@ -1,0 +1,186 @@
+"""Equivalence and similarity between data products (§8 future work).
+
+"Two datasets created by the same derivation at different points in
+time may not be bitwise identical, but may be equivalent in their
+behavior and semantics for a certain class of transformations."
+
+Three graded notions are implemented:
+
+* **bitwise** — replicas with equal content digests;
+* **recipe** — datasets produced by the *same derivation record*
+  (same transformation + same actuals), the strongest virtual-data
+  equivalence that survives re-execution;
+* **semantic** — datasets produced by derivations whose
+  transformations are version-equivalent under a
+  :class:`~repro.core.versioning.VersionRegistry` compatibility
+  assertion and whose non-dataset actuals agree.
+
+The planner consults :meth:`EquivalenceChecker.substitutable` when
+deciding whether existing derived data can satisfy a request —
+"determine whether a requested computation has been performed
+previously, and whether it is cheaper to rerun it or to retrieve
+previously generated data" (§1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.core.derivation import DatasetArg, Derivation
+
+#: Equivalence grades, strongest first.
+GRADES = ("bitwise", "recipe", "semantic")
+
+
+class EquivalenceChecker:
+    """Answers dataset-equivalence queries against one catalog."""
+
+    def __init__(self, catalog: VirtualDataCatalog):
+        self._catalog = catalog
+
+    # -- grades ------------------------------------------------------------
+
+    def bitwise_equal(self, dataset_a: str, dataset_b: str) -> bool:
+        """True when both datasets have replicas with equal digests.
+
+        Conservative: returns False when digests are missing.
+        """
+        digests_a = {
+            r.digest for r in self._catalog.replicas_of(dataset_a) if r.digest
+        }
+        digests_b = {
+            r.digest for r in self._catalog.replicas_of(dataset_b) if r.digest
+        }
+        return bool(digests_a and digests_a & digests_b)
+
+    def recipe_equal(self, dataset_a: str, dataset_b: str) -> bool:
+        """True when both are outputs of derivations with identical
+        recipes: same transformation name, same string actuals, and
+        recursively recipe-equal dataset inputs."""
+        if dataset_a == dataset_b:
+            return True
+        return self._recipes_match(dataset_a, dataset_b, semantic=False, seen=set())
+
+    def semantic_equal(self, dataset_a: str, dataset_b: str) -> bool:
+        """Like :meth:`recipe_equal` but transformations may differ in
+        version when a compatibility assertion covers the pair."""
+        if dataset_a == dataset_b:
+            return True
+        return self._recipes_match(dataset_a, dataset_b, semantic=True, seen=set())
+
+    def grade(self, dataset_a: str, dataset_b: str) -> Optional[str]:
+        """The strongest grade holding between two datasets, or None."""
+        if self.bitwise_equal(dataset_a, dataset_b):
+            return "bitwise"
+        if self.recipe_equal(dataset_a, dataset_b):
+            return "recipe"
+        if self.semantic_equal(dataset_a, dataset_b):
+            return "semantic"
+        return None
+
+    def substitutable(
+        self, wanted: str, candidate: str, minimum_grade: str = "semantic"
+    ) -> bool:
+        """Whether ``candidate`` may stand in for ``wanted``.
+
+        ``minimum_grade`` names the weakest acceptable grade.
+        """
+        got = self.grade(wanted, candidate)
+        if got is None:
+            return False
+        return GRADES.index(got) <= GRADES.index(minimum_grade)
+
+    # -- internals ----------------------------------------------------------
+
+    def _producer(self, dataset_name: str) -> Optional[Derivation]:
+        producers = self._catalog.producers_of(dataset_name)
+        return producers[0] if len(producers) == 1 else None
+
+    def _recipes_match(
+        self, a: str, b: str, semantic: bool, seen: set[tuple[str, str]]
+    ) -> bool:
+        if a == b:
+            return True
+        key = (min(a, b), max(a, b))
+        if key in seen:
+            return True  # cycle guard; assume match on the back edge
+        seen = seen | {key}
+        dv_a = self._producer(a)
+        dv_b = self._producer(b)
+        if dv_a is None or dv_b is None:
+            return False
+        if not self._transformations_match(dv_a, dv_b, semantic):
+            return False
+        if set(dv_a.actuals) != set(dv_b.actuals):
+            return False
+        # Outputs must correspond positionally by formal name; the
+        # queried datasets must be bound to the same formal.
+        if self._formal_of(dv_a, a) != self._formal_of(dv_b, b):
+            return False
+        for formal, value_a in dv_a.actuals.items():
+            value_b = dv_b.actuals[formal]
+            if isinstance(value_a, str) or isinstance(value_b, str):
+                if value_a != value_b:
+                    return False
+                continue
+            assert isinstance(value_a, DatasetArg) and isinstance(
+                value_b, DatasetArg
+            )
+            if value_a.is_output and value_b.is_output:
+                continue  # other outputs need not match
+            if not self._recipes_match(
+                value_a.dataset, value_b.dataset, semantic, seen
+            ):
+                return False
+        return True
+
+    def _transformations_match(
+        self, dv_a: Derivation, dv_b: Derivation, semantic: bool
+    ) -> bool:
+        name_a = dv_a.transformation.name
+        name_b = dv_b.transformation.name
+        if name_a != name_b:
+            return False
+        if not semantic:
+            return True
+        version_a = dv_a.attributes.get("transformation_version")
+        version_b = dv_b.attributes.get("transformation_version")
+        if version_a is None or version_b is None or version_a == version_b:
+            return True
+        return self._catalog.versions.equivalent(name_a, version_a, version_b)
+
+    @staticmethod
+    def _formal_of(dv: Derivation, dataset_name: str) -> Optional[str]:
+        for formal, value in dv.actuals.items():
+            if isinstance(value, DatasetArg) and value.dataset == dataset_name:
+                return formal
+        return None
+
+
+def equivalence_classes(
+    catalog: VirtualDataCatalog,
+    dataset_names: list[str],
+    grade: str = "recipe",
+) -> list[set[str]]:
+    """Partition datasets into equivalence classes at the given grade.
+
+    Quadratic in the class count, linear in class sizes — fine for the
+    per-workflow scales the paper discusses.
+    """
+    checker = EquivalenceChecker(catalog)
+    check = {
+        "bitwise": checker.bitwise_equal,
+        "recipe": checker.recipe_equal,
+        "semantic": checker.semantic_equal,
+    }[grade]
+    classes: list[set[str]] = []
+    for name in dataset_names:
+        for cls in classes:
+            representative = next(iter(cls))
+            if check(name, representative):
+                cls.add(name)
+                break
+        else:
+            classes.append({name})
+    return classes

@@ -1,0 +1,171 @@
+"""Fine-grained (row-level) provenance for relational datasets.
+
+§8 future work: "A model for tracking the provenance of datasets that
+reside in relational or object-oriented databases at a fine level of
+granularity."  This module implements that model on top of
+:class:`~repro.core.descriptors.SQLRowsDescriptor`: because a
+relational dataset's identity includes the primary keys it addresses,
+lineage can be computed per *row*, not just per dataset.
+
+How rows map through a transformation is declared on the
+transformation itself via the ``row.mapping`` attribute:
+
+* ``"identity"`` — output row k derives from input row k (filters,
+  per-row enrichments);
+* ``"aggregate"`` — every output row derives from *all* input rows
+  (joins, group-bys, statistical summaries).  This is the conservative
+  default: claiming too much lineage is safe, too little is not.
+
+:func:`row_lineage` walks producing derivations upward, narrowing or
+widening the key set per the mapping, and returns which keys of which
+upstream relational datasets contributed to the queried rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.core.descriptors import SQLRowsDescriptor
+
+#: Recognized row-mapping declarations.
+ROW_MAPPINGS = ("identity", "aggregate")
+
+
+@dataclass
+class RowLineage:
+    """Row-level provenance of a set of rows in one dataset.
+
+    ``contributions`` maps upstream dataset names to the key sets that
+    contributed; ``via`` records the derivation path walked; datasets
+    without relational descriptors appear in ``opaque`` — they
+    contributed as wholes (file-grain provenance takes over there).
+    """
+
+    dataset: str
+    keys: frozenset[str]
+    contributions: dict[str, set[str]] = field(default_factory=dict)
+    via: list[str] = field(default_factory=list)
+    opaque: set[str] = field(default_factory=set)
+
+    def contributing_keys(self, dataset: str) -> set[str]:
+        return set(self.contributions.get(dataset, ()))
+
+
+def _descriptor_of(
+    catalog: VirtualDataCatalog, dataset: str
+) -> Optional[SQLRowsDescriptor]:
+    if not catalog.has_dataset(dataset):
+        return None
+    descriptor = catalog.get_dataset(dataset).descriptor
+    return descriptor if isinstance(descriptor, SQLRowsDescriptor) else None
+
+
+def _mapping_of(catalog: VirtualDataCatalog, tr_name: str) -> str:
+    if catalog.has_transformation(tr_name):
+        declared = catalog.get_transformation(tr_name).attributes.get(
+            "row.mapping"
+        )
+        if declared in ROW_MAPPINGS:
+            return declared
+    return "aggregate"
+
+
+def row_lineage(
+    catalog: VirtualDataCatalog,
+    dataset: str,
+    keys: Optional[Iterable[str]] = None,
+    max_depth: int = 64,
+) -> RowLineage:
+    """Trace which upstream rows contributed to ``keys`` of ``dataset``.
+
+    ``keys=None`` means "all rows the dataset's descriptor addresses".
+    Traversal stops at datasets without relational descriptors (they
+    are reported opaque) and at source datasets.
+    """
+    own = _descriptor_of(catalog, dataset)
+    if keys is None:
+        keys = own.keys if own is not None else ()
+    result = RowLineage(dataset=dataset, keys=frozenset(keys))
+    _walk(catalog, dataset, set(result.keys), result, set(), max_depth)
+    return result
+
+
+def _walk(
+    catalog: VirtualDataCatalog,
+    dataset: str,
+    keys: set[str],
+    result: RowLineage,
+    seen: set[str],
+    depth: int,
+) -> None:
+    if depth <= 0 or dataset in seen:
+        return
+    seen = seen | {dataset}
+    for dv in catalog.producers_of(dataset):
+        result.via.append(dv.name)
+        mapping = _mapping_of(catalog, dv.transformation.name)
+        for input_name in dv.inputs():
+            descriptor = _descriptor_of(catalog, input_name)
+            if descriptor is None:
+                result.opaque.add(input_name)
+                continue
+            input_keys = set(descriptor.keys)
+            if mapping == "identity":
+                contributed = keys & input_keys if input_keys else set(keys)
+            else:  # aggregate: all addressed input rows contribute
+                contributed = input_keys or set(keys)
+            if not contributed:
+                continue
+            bucket = result.contributions.setdefault(input_name, set())
+            new_keys = contributed - bucket
+            bucket |= contributed
+            if new_keys:
+                _walk(
+                    catalog, input_name, new_keys, result, seen, depth - 1
+                )
+
+
+def rows_affected_by(
+    catalog: VirtualDataCatalog,
+    dataset: str,
+    bad_keys: Iterable[str],
+    max_depth: int = 64,
+) -> dict[str, set[str]]:
+    """The forward question: which downstream rows are tainted when
+    ``bad_keys`` of ``dataset`` are found to be wrong?
+
+    Returns ``{downstream_dataset: tainted_keys}``; an empty key set
+    means the whole dataset is tainted (it crossed an aggregate or an
+    opaque container, so no row-level claim can be made).
+    """
+    tainted: dict[str, set[str]] = {}
+    frontier: list[tuple[str, set[str], int]] = [
+        (dataset, set(bad_keys), max_depth)
+    ]
+    visited: set[str] = set()
+    while frontier:
+        current, keys, depth = frontier.pop()
+        if depth <= 0 or current in visited:
+            continue
+        visited.add(current)
+        for dv in catalog.consumers_of(current):
+            mapping = _mapping_of(catalog, dv.transformation.name)
+            for output_name in dv.outputs():
+                descriptor = _descriptor_of(catalog, output_name)
+                if mapping == "identity" and descriptor is not None:
+                    output_keys = set(descriptor.keys)
+                    hit = keys & output_keys if output_keys else set(keys)
+                    if not hit:
+                        continue  # the bad rows were filtered out here
+                    if output_name in tainted and not tainted[output_name]:
+                        pass  # already tainted wholesale; keep that
+                    else:
+                        tainted.setdefault(output_name, set()).update(hit)
+                    frontier.append((output_name, hit, depth - 1))
+                else:
+                    # Aggregate or opaque: no row-level claim survives.
+                    tainted[output_name] = set()
+                    frontier.append((output_name, set(), depth - 1))
+    return tainted

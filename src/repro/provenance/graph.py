@@ -1,0 +1,245 @@
+"""The derivation dependency graph.
+
+Provenance in the virtual data model is a bipartite directed acyclic
+graph: *dataset* nodes and *derivation* nodes, with edges
+
+    input dataset -> derivation -> output dataset.
+
+"When a derivation uses as input the output of a previous derivation, a
+dependency graph is created." (Appendix A)
+
+:class:`DerivationGraph` materializes that graph from a catalog (or any
+collection of derivations) and provides the traversals every other
+provenance feature builds on: ancestry, descent, topological order,
+cycle detection, and target-rooted subgraphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.derivation import Derivation
+from repro.errors import CyclicDerivationError
+
+#: Node kinds in the bipartite graph.
+DATASET = "dataset"
+DERIVATION = "derivation"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node: a dataset or a derivation, by name."""
+
+    kind: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+
+def dataset_node(name: str) -> Node:
+    return Node(DATASET, name)
+
+
+def derivation_node(name: str) -> Node:
+    return Node(DERIVATION, name)
+
+
+class DerivationGraph:
+    """A bipartite provenance graph over datasets and derivations."""
+
+    def __init__(self, derivations: Iterable[Derivation] = ()):
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        self._derivations: dict[str, Derivation] = {}
+        for dv in derivations:
+            self.add_derivation(dv)
+
+    @classmethod
+    def from_catalog(cls, catalog) -> "DerivationGraph":
+        """Build the graph over every derivation in a catalog."""
+        return cls(catalog.derivations())
+
+    # -- construction ------------------------------------------------------
+
+    def add_derivation(self, dv: Derivation) -> None:
+        """Add a derivation and its dataset edges."""
+        dnode = derivation_node(dv.name)
+        self._derivations[dv.name] = dv
+        self._succ.setdefault(dnode, set())
+        self._pred.setdefault(dnode, set())
+        for name in dv.inputs():
+            self._add_edge(dataset_node(name), dnode)
+        for name in dv.outputs():
+            self._add_edge(dnode, dataset_node(name))
+
+    def _add_edge(self, src: Node, dst: Node) -> None:
+        self._succ.setdefault(src, set()).add(dst)
+        self._pred.setdefault(dst, set()).add(src)
+        self._succ.setdefault(dst, set())
+        self._pred.setdefault(src, set())
+
+    # -- basic accessors ----------------------------------------------------
+
+    def derivation(self, name: str) -> Derivation:
+        return self._derivations[name]
+
+    def nodes(self) -> list[Node]:
+        return sorted(self._succ, key=lambda n: (n.kind, n.name))
+
+    def dataset_names(self) -> list[str]:
+        return sorted(n.name for n in self._succ if n.kind == DATASET)
+
+    def derivation_names(self) -> list[str]:
+        return sorted(self._derivations)
+
+    def successors(self, node: Node) -> set[Node]:
+        return set(self._succ.get(node, ()))
+
+    def predecessors(self, node: Node) -> set[Node]:
+        return set(self._pred.get(node, ()))
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    # -- traversals -----------------------------------------------------------
+
+    def ancestors(self, node: Node) -> set[Node]:
+        """All nodes reachable *backwards* from ``node`` (exclusive)."""
+        return self._reach(node, self._pred)
+
+    def descendants(self, node: Node) -> set[Node]:
+        """All nodes reachable *forwards* from ``node`` (exclusive)."""
+        return self._reach(node, self._succ)
+
+    def _reach(self, start: Node, adjacency: dict[Node, set[Node]]) -> set[Node]:
+        seen: set[Node] = set()
+        frontier = deque(adjacency.get(start, ()))
+        while frontier:
+            node = frontier.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(adjacency.get(node, ()))
+        return seen
+
+    def upstream_datasets(self, dataset_name: str) -> set[str]:
+        """Names of all datasets the given dataset (transitively) depends on."""
+        return {
+            n.name
+            for n in self.ancestors(dataset_node(dataset_name))
+            if n.kind == DATASET
+        }
+
+    def downstream_datasets(self, dataset_name: str) -> set[str]:
+        """Names of all datasets that (transitively) depend on the given one."""
+        return {
+            n.name
+            for n in self.descendants(dataset_node(dataset_name))
+            if n.kind == DATASET
+        }
+
+    def topological_order(self) -> list[Node]:
+        """Kahn topological sort; raises on cycles.
+
+        A cycle in a derivation graph means some dataset transitively
+        depends on itself — an invalid virtual data space.
+        """
+        in_degree = {node: len(preds) for node, preds in self._pred.items()}
+        ready = deque(
+            sorted(
+                (n for n, d in in_degree.items() if d == 0),
+                key=lambda n: (n.kind, n.name),
+            )
+        )
+        order: list[Node] = []
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            for succ in sorted(
+                self._succ.get(node, ()), key=lambda n: (n.kind, n.name)
+            ):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._succ):
+            cyclic = sorted(
+                str(n) for n, d in in_degree.items() if d > 0
+            )
+            raise CyclicDerivationError(
+                f"derivation graph contains a cycle involving: {cyclic[:6]}"
+            )
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+            return True
+        except CyclicDerivationError:
+            return False
+
+    # -- target-rooted subgraphs (what the planner expands) --------------------
+
+    def required_for(self, dataset_name: str) -> "DerivationGraph":
+        """The subgraph of derivations needed to produce a dataset.
+
+        Walks backwards from the target through producing derivations;
+        source datasets (no producer in this graph) become leaves.
+        """
+        sub = DerivationGraph()
+        target = dataset_node(dataset_name)
+        if target not in self._succ:
+            return sub
+        seen: set[Node] = set()
+        frontier = deque([target])
+        while frontier:
+            node = frontier.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node.kind == DATASET:
+                frontier.extend(self._pred.get(node, ()))
+            else:
+                sub.add_derivation(self._derivations[node.name])
+                frontier.extend(self._pred.get(node, ()))
+        return sub
+
+    def source_datasets(self) -> set[str]:
+        """Datasets with no producing derivation in this graph (raw inputs)."""
+        return {
+            n.name
+            for n in self._succ
+            if n.kind == DATASET and not self._pred.get(n)
+        }
+
+    def sink_datasets(self) -> set[str]:
+        """Datasets no derivation in this graph consumes (final products)."""
+        return {
+            n.name
+            for n in self._succ
+            if n.kind == DATASET and not self._succ.get(n)
+        }
+
+    def depth(self) -> int:
+        """Longest derivation chain length (number of derivation nodes)."""
+        order = self.topological_order()
+        longest: dict[Node, int] = {}
+        best = 0
+        for node in order:
+            here = max(
+                (longest.get(p, 0) for p in self._pred.get(node, ())),
+                default=0,
+            )
+            if node.kind == DERIVATION:
+                here += 1
+            longest[node] = here
+            best = max(best, here)
+        return best

@@ -1,0 +1,239 @@
+"""Lineage reports: the complete audit trail behind a dataset.
+
+"Provenance: determining the validity of data by gaining access to a
+complete audit trail describing how the data was produced from the
+datasets and previous data derivations on which it depends." (§2)
+
+Two entry points:
+
+* :func:`lineage_report` — the full recursive audit trail for one
+  dataset within one catalog, including transformation versions,
+  string parameters, and invocation records (when available);
+* :func:`cross_catalog_lineage` — the same walk but following
+  dataset-dependency hyperlinks across servers via a
+  :class:`~repro.catalog.resolver.ReferenceResolver` (Fig 3).
+
+The paper's §6 goal — "produce, for each data point in the final graph,
+a detailed data lineage report on the datasets that contributed to the
+creation of that point" — is served by :func:`lineage_report` applied
+to fine-grained datasets (e.g. SQL row-range descriptors), exercised by
+the MULTI benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.catalog.resolver import ReferenceResolver
+from repro.core.derivation import Derivation
+from repro.core.invocation import Invocation
+
+
+@dataclass
+class LineageStep:
+    """One derivation in an audit trail, with its execution evidence."""
+
+    derivation: Derivation
+    authority: str = "local"
+    transformation_version: Optional[str] = None
+    invocations: list[Invocation] = field(default_factory=list)
+    #: Lineage of each input dataset, keyed by dataset name.
+    inputs: dict[str, "LineageReport"] = field(default_factory=dict)
+
+    def parameters(self) -> dict[str, str]:
+        """The string (pass-by-value) actuals of this step."""
+        return {
+            k: v for k, v in self.derivation.actuals.items() if isinstance(v, str)
+        }
+
+
+@dataclass
+class LineageReport:
+    """The audit trail of one dataset.
+
+    ``steps`` lists the derivations that produced the dataset (normally
+    one; multiple producers are reported, not hidden, since they are a
+    data-quality signal).  An empty ``steps`` means the dataset is a
+    source: raw data with no recorded derivation.
+    """
+
+    dataset: str
+    steps: list[LineageStep] = field(default_factory=list)
+
+    @property
+    def is_source(self) -> bool:
+        return not self.steps
+
+    def depth(self) -> int:
+        """Longest chain of derivations in this report."""
+        if self.is_source:
+            return 0
+        return 1 + max(
+            (
+                inp.depth()
+                for step in self.steps
+                for inp in step.inputs.values()
+            ),
+            default=0,
+        )
+
+    def all_source_datasets(self) -> set[str]:
+        """Every raw dataset this dataset transitively derives from."""
+        if self.is_source:
+            return {self.dataset}
+        out: set[str] = set()
+        for step in self.steps:
+            for report in step.inputs.values():
+                out |= report.all_source_datasets()
+        return out
+
+    def all_derivations(self) -> set[str]:
+        """Every derivation name appearing anywhere in the trail."""
+        out: set[str] = set()
+        for step in self.steps:
+            out.add(step.derivation.name)
+            for report in step.inputs.values():
+                out |= report.all_derivations()
+        return out
+
+    def total_cpu_seconds(self) -> float:
+        """Sum of recorded cpu time over all invocations in the trail."""
+        total = 0.0
+        for step in self.steps:
+            total += sum(inv.usage.cpu_seconds for inv in step.invocations)
+            for report in step.inputs.values():
+                total += report.total_cpu_seconds()
+        return total
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable multi-line audit trail."""
+        pad = "  " * indent
+        if self.is_source:
+            return f"{pad}{self.dataset}  [source]"
+        lines = [f"{pad}{self.dataset}"]
+        for step in self.steps:
+            dv = step.derivation
+            version = (
+                f" (v{step.transformation_version})"
+                if step.transformation_version
+                else ""
+            )
+            runs = f", {len(step.invocations)} run(s)" if step.invocations else ""
+            where = f" @{step.authority}" if step.authority != "local" else ""
+            lines.append(
+                f"{pad}  <- {dv.name} -> {dv.transformation.name}"
+                f"{version}{where}{runs}"
+            )
+            params = step.parameters()
+            if params:
+                rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(params.items()))
+                lines.append(f"{pad}     params: {rendered}")
+            for name in sorted(step.inputs):
+                lines.append(step.inputs[name].render(indent + 3))
+        return "\n".join(lines)
+
+
+def lineage_report(
+    catalog: VirtualDataCatalog,
+    dataset_name: str,
+    include_invocations: bool = True,
+    max_depth: Optional[int] = None,
+) -> LineageReport:
+    """Build the full audit trail of ``dataset_name`` within ``catalog``.
+
+    ``max_depth`` truncates the recursion (deeper inputs are reported
+    as sources), which keeps reports tractable on very deep chains.
+    """
+    return _report(
+        dataset_name,
+        producers=lambda name: [
+            (dv, "local") for dv in catalog.producers_of(name)
+        ],
+        invocations=(
+            catalog.invocations_of if include_invocations else lambda _: []
+        ),
+        version_of=_version_lookup(catalog),
+        max_depth=max_depth,
+        seen=set(),
+    )
+
+
+def cross_catalog_lineage(
+    resolver: ReferenceResolver,
+    dataset_name: str,
+    include_invocations: bool = True,
+    max_depth: Optional[int] = None,
+) -> LineageReport:
+    """Audit trail following hyperlinks across catalogs (Fig 3).
+
+    Producers are located through the resolver's scope chain, so a
+    personal derivation depending on a collaboration dataset reports
+    the collaboration-side derivation with its authority.
+    """
+
+    def invocations(name: str) -> list[Invocation]:
+        if not include_invocations:
+            return []
+        out = []
+        for catalog in [resolver.home] + [
+            resolver.network.catalog(a)
+            for a in resolver.scope_chain
+            if a in resolver.network
+        ]:
+            out.extend(catalog.invocations_of(name))
+        return out
+
+    return _report(
+        dataset_name,
+        producers=resolver.producers_of,
+        invocations=invocations,
+        version_of=_version_lookup(resolver.home),
+        max_depth=max_depth,
+        seen=set(),
+    )
+
+
+def _version_lookup(catalog: VirtualDataCatalog):
+    def version_of(dv: Derivation) -> Optional[str]:
+        name = dv.transformation.name
+        if dv.transformation.is_local and catalog.has_transformation(name):
+            return catalog.get_transformation(name).version
+        return None
+
+    return version_of
+
+
+def _report(
+    dataset_name: str,
+    producers,
+    invocations,
+    version_of,
+    max_depth: Optional[int],
+    seen: set[str],
+) -> LineageReport:
+    report = LineageReport(dataset=dataset_name)
+    if max_depth is not None and max_depth <= 0:
+        return report
+    if dataset_name in seen:
+        return report  # cycle guard: report as source rather than recurse
+    seen = seen | {dataset_name}
+    for dv, authority in producers(dataset_name):
+        step = LineageStep(
+            derivation=dv,
+            authority=authority,
+            transformation_version=version_of(dv),
+            invocations=list(invocations(dv.name)),
+        )
+        for input_name in dv.inputs():
+            step.inputs[input_name] = _report(
+                input_name,
+                producers,
+                invocations,
+                version_of,
+                None if max_depth is None else max_depth - 1,
+                seen,
+            )
+        report.steps.append(step)
+    return report

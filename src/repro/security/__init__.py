@@ -1,0 +1,31 @@
+"""Quality and security: signatures, trust chains, policies (§4.2)."""
+
+from repro.security.identity import KeyStore, PRINCIPAL_KINDS, Principal
+from repro.security.policy import (
+    ACTIONS,
+    GuardedCatalog,
+    PolicyEngine,
+    Rule,
+)
+from repro.security.quality import Assessment, LEVELS, QualityRegistry
+from repro.security.signing import SIG_PREFIX, Signer, canonical_encoding
+from repro.security.trust import ANY_SCOPE, Delegation, TrustStore
+
+__all__ = [
+    "ACTIONS",
+    "ANY_SCOPE",
+    "Assessment",
+    "Delegation",
+    "GuardedCatalog",
+    "KeyStore",
+    "LEVELS",
+    "PRINCIPAL_KINDS",
+    "PolicyEngine",
+    "Principal",
+    "QualityRegistry",
+    "Rule",
+    "SIG_PREFIX",
+    "Signer",
+    "TrustStore",
+    "canonical_encoding",
+]

@@ -1,0 +1,83 @@
+"""Principals and keys.
+
+The paper's security design (§4.2) uses "cryptographic signatures on
+VDC entries and attributes as a means of establishing the identity of
+the authority(s) that vouch for their validity".  We substitute HMAC
+keys held in a :class:`KeyStore` for an X.509 PKI: the sign/verify and
+trust-chain logic exercised is identical, without the certificate
+plumbing (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SecurityError
+
+#: Principal kinds.
+PRINCIPAL_KINDS = ("user", "service", "authority")
+
+
+@dataclass(frozen=True)
+class Principal:
+    """A named actor: a user, a service, or a signing authority."""
+
+    name: str
+    kind: str = "user"
+
+    def __post_init__(self):
+        if not self.name:
+            raise SecurityError("principal name must be non-empty")
+        if self.kind not in PRINCIPAL_KINDS:
+            raise SecurityError(
+                f"invalid principal kind {self.kind!r}; "
+                f"expected one of {PRINCIPAL_KINDS}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+
+class KeyStore:
+    """Holds signing keys for principals.
+
+    In a deployment each party would hold only its own key plus the
+    public halves of others; for the simulation one store plays both
+    roles.  Keys are bytes; ``generate`` uses the system CSPRNG unless
+    a deterministic seed key is supplied (tests).
+    """
+
+    def __init__(self):
+        self._keys: dict[str, bytes] = {}
+
+    def generate(self, principal: str | Principal, key: Optional[bytes] = None) -> bytes:
+        """Create (or install) a key for ``principal``; returns it."""
+        name = principal.name if isinstance(principal, Principal) else principal
+        if name in self._keys:
+            raise SecurityError(f"principal {name!r} already has a key")
+        new_key = key if key is not None else secrets.token_bytes(32)
+        if len(new_key) < 16:
+            raise SecurityError("keys must be at least 16 bytes")
+        self._keys[name] = new_key
+        return new_key
+
+    def key_of(self, principal: str | Principal) -> bytes:
+        name = principal.name if isinstance(principal, Principal) else principal
+        try:
+            return self._keys[name]
+        except KeyError:
+            raise SecurityError(f"no key for principal {name!r}") from None
+
+    def has_key(self, principal: str | Principal) -> bool:
+        name = principal.name if isinstance(principal, Principal) else principal
+        return name in self._keys
+
+    def principals(self) -> list[str]:
+        return sorted(self._keys)
+
+    def constant_time_equal(self, a: bytes, b: bytes) -> bool:
+        """Timing-safe comparison, exposed for signature checks."""
+        return hmac.compare_digest(a, b)

@@ -1,0 +1,179 @@
+"""Access-control policies over catalog operations (§4.2).
+
+"Similar mechanisms can be used for access control, as the policies
+enforced by a resource 'owner' are likely to require similar recourse
+to authority."
+
+A :class:`PolicyEngine` evaluates ordered allow/deny rules over
+``(principal, action, kind)`` triples, with group membership expansion.
+:class:`GuardedCatalog` wraps any catalog so every read/write is
+checked for a bound principal — the enforcement point a real VDC
+service would place at its API boundary.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.errors import AccessDeniedError, SecurityError
+
+#: Actions a policy can govern.
+ACTIONS = ("read", "write", "delete")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One policy rule.  Fields are glob patterns; first match wins."""
+
+    effect: str  # "allow" | "deny"
+    principal: str = "*"  # principal name or group:<name>
+    action: str = "*"
+    kind: str = "*"
+    name: str = "*"
+
+    def __post_init__(self):
+        if self.effect not in ("allow", "deny"):
+            raise SecurityError(f"invalid rule effect {self.effect!r}")
+
+
+class PolicyEngine:
+    """Ordered-rule policy evaluation with groups.
+
+    The default is deny: an empty policy admits nobody, matching the
+    paper's assumption that trust must be established, not presumed.
+    """
+
+    def __init__(self, rules: Optional[list[Rule]] = None):
+        self._rules: list[Rule] = list(rules or [])
+        self._groups: dict[str, set[str]] = {}
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        self._rules.append(rule)
+
+    def allow(self, principal: str = "*", action: str = "*",
+              kind: str = "*", name: str = "*") -> None:
+        self.add_rule(Rule("allow", principal, action, kind, name))
+
+    def deny(self, principal: str = "*", action: str = "*",
+             kind: str = "*", name: str = "*") -> None:
+        self.add_rule(Rule("deny", principal, action, kind, name))
+
+    def add_to_group(self, group: str, principal: str) -> None:
+        self._groups.setdefault(group, set()).add(principal)
+
+    def groups_of(self, principal: str) -> set[str]:
+        return {
+            group
+            for group, members in self._groups.items()
+            if principal in members
+        }
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def is_allowed(
+        self, principal: str, action: str, kind: str, name: str = "*"
+    ) -> bool:
+        """First-match evaluation; unmatched requests are denied."""
+        if action not in ACTIONS:
+            raise SecurityError(f"unknown action {action!r}")
+        identities = {principal} | {
+            f"group:{g}" for g in self.groups_of(principal)
+        }
+        for rule in self._rules:
+            if rule.action not in ("*", action):
+                continue
+            if rule.kind not in ("*", kind):
+                continue
+            if not fnmatch.fnmatch(name, rule.name):
+                continue
+            if rule.principal != "*" and not any(
+                fnmatch.fnmatch(identity, rule.principal)
+                for identity in identities
+            ):
+                continue
+            return rule.effect == "allow"
+        return False
+
+    def authorize(
+        self, principal: str, action: str, kind: str, name: str = "*"
+    ) -> None:
+        if not self.is_allowed(principal, action, kind, name):
+            raise AccessDeniedError(
+                f"{principal!r} may not {action} {kind} {name!r}"
+            )
+
+
+class GuardedCatalog:
+    """A catalog proxy enforcing a policy for one bound principal.
+
+    Only the operations examples and tests exercise are guarded
+    explicitly; everything else is forwarded (reads of metadata like
+    ``counts`` are treated as ``read`` on kind ``catalog``).
+    """
+
+    def __init__(
+        self,
+        catalog: VirtualDataCatalog,
+        policy: PolicyEngine,
+        principal: str,
+    ):
+        self._catalog = catalog
+        self._policy = policy
+        self._principal = principal
+
+    # -- guarded operations -----------------------------------------------------
+
+    def get_dataset(self, name: str):
+        self._policy.authorize(self._principal, "read", "dataset", name)
+        return self._catalog.get_dataset(name)
+
+    def add_dataset(self, dataset, replace: bool = False):
+        self._policy.authorize(
+            self._principal, "write", "dataset", dataset.name
+        )
+        return self._catalog.add_dataset(dataset, replace=replace)
+
+    def remove_dataset(self, name: str):
+        self._policy.authorize(self._principal, "delete", "dataset", name)
+        return self._catalog.remove_dataset(name)
+
+    def get_transformation(self, name: str, version: Optional[str] = None):
+        self._policy.authorize(
+            self._principal, "read", "transformation", name
+        )
+        return self._catalog.get_transformation(name, version)
+
+    def add_transformation(self, tr, replace: bool = False):
+        self._policy.authorize(
+            self._principal, "write", "transformation", tr.name
+        )
+        return self._catalog.add_transformation(tr, replace=replace)
+
+    def get_derivation(self, name: str):
+        self._policy.authorize(self._principal, "read", "derivation", name)
+        return self._catalog.get_derivation(name)
+
+    def add_derivation(self, dv, **kwargs):
+        self._policy.authorize(self._principal, "write", "derivation", dv.name)
+        return self._catalog.add_derivation(dv, **kwargs)
+
+    def define(self, vdl_source: str, replace: bool = False):
+        """Guarded VDL ingestion: checked object by object."""
+        from repro.vdl.semantics import compile_vdl
+
+        program = compile_vdl(vdl_source, self._catalog.types)
+        for tr in program.transformations:
+            self.add_transformation(tr, replace=replace)
+        for dv in program.derivations:
+            self.add_derivation(dv, replace=replace)
+        return self
+
+    def __getattr__(self, attribute: str):
+        # Unguarded members are forwarded; mutating helpers above are
+        # found first because they are real methods.
+        return getattr(self._catalog, attribute)

@@ -1,0 +1,113 @@
+"""Quality assessment of VDC entries (§4.2).
+
+"An important aspect of VDC community process is the maintenance of
+information concerning the 'quality' of VDC entries ... in a highly
+curated collection, each transformation, dataset, and derivation chain
+might be assessed, audited, and approved according to defined
+procedures."
+
+:class:`QualityRegistry` records graded assessments signed by their
+assessor, validates assessor trust through a
+:class:`~repro.security.trust.TrustStore`, and exposes the
+``approved_filter`` used to build the "community approved data"
+federated index of Fig 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SecurityError
+from repro.security.signing import Signer
+from repro.security.trust import TrustStore
+
+#: Quality levels, ascending.  Communities may define their own; this
+#: default ladder matches the paper's curation narrative.
+LEVELS = ("unknown", "raw", "validated", "approved")
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """One signed quality claim about one object."""
+
+    kind: str
+    name: str
+    level: str
+    assessor: str
+    note: str = ""
+
+    def __post_init__(self):
+        if self.level not in LEVELS:
+            raise SecurityError(
+                f"unknown quality level {self.level!r}; "
+                f"expected one of {LEVELS}"
+            )
+
+
+class QualityRegistry:
+    """Graded, trust-checked quality assessments."""
+
+    def __init__(
+        self,
+        trust: Optional[TrustStore] = None,
+        signer: Optional[Signer] = None,
+        scope: str = "quality",
+    ):
+        self._trust = trust
+        self._signer = signer
+        self._scope = scope
+        self._assessments: dict[tuple[str, str], list[Assessment]] = {}
+
+    def assess(
+        self,
+        kind: str,
+        name: str,
+        level: str,
+        assessor: str,
+        note: str = "",
+        obj=None,
+    ) -> Assessment:
+        """Record an assessment.
+
+        When a trust store is configured, the assessor must hold a
+        valid chain for the quality scope.  When the assessed object is
+        supplied and a signer is configured, the object is also
+        entry-signed by the assessor, making the claim tamper-evident.
+        """
+        if self._trust is not None:
+            self._trust.require_trusted(assessor, self._scope)
+        assessment = Assessment(
+            kind=kind, name=name, level=level, assessor=assessor, note=note
+        )
+        self._assessments.setdefault((kind, name), []).append(assessment)
+        if obj is not None and self._signer is not None:
+            obj.attributes.set("quality", level, author=assessor)
+            self._signer.sign_entry(obj, assessor)
+        return assessment
+
+    def assessments_of(self, kind: str, name: str) -> list[Assessment]:
+        return list(self._assessments.get((kind, name), ()))
+
+    def level_of(self, kind: str, name: str) -> str:
+        """The highest level any (trusted) assessor granted."""
+        best = "unknown"
+        for assessment in self._assessments.get((kind, name), ()):
+            if LEVELS.index(assessment.level) > LEVELS.index(best):
+                best = assessment.level
+        return best
+
+    def meets(self, kind: str, name: str, minimum: str) -> bool:
+        return LEVELS.index(self.level_of(kind, name)) >= LEVELS.index(minimum)
+
+    def approved_filter(self, minimum: str = "approved"):
+        """An entry filter for 'community approved' federated indexes.
+
+        Suitable for
+        :class:`repro.catalog.federation.FederatedIndex(entry_filter=...)`.
+        """
+
+        def entry_filter(entry) -> bool:
+            return self.meets(entry.kind, entry.name, minimum)
+
+        return entry_filter

@@ -1,0 +1,145 @@
+"""Cryptographic signatures on VDC entries and attributes (§4.2).
+
+"We choose to use cryptographic signatures on VDC entries and
+attributes as a means of establishing the identity of the authority(s)
+that vouch for their validity."
+
+Entries are signed over a *canonical encoding*: the object's dict form
+with all ``sig.*`` attributes removed, serialized as sorted-key JSON.
+Signatures are stored back into the object's attribute set under
+``sig.<authority>``, so they travel with the entry through every
+catalog backend and federation hop.  Individual attributes can also be
+signed (``sig.<authority>.<attribute>``) for finer-grained vouching —
+e.g. a calibration team signs only the ``calibration`` annotation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from typing import Any
+
+from repro.errors import InvalidSignatureError, SecurityError
+from repro.security.identity import KeyStore, Principal
+
+#: Attribute prefix under which signatures are stored.
+SIG_PREFIX = "sig."
+
+
+def canonical_encoding(payload: dict[str, Any]) -> bytes:
+    """Deterministic byte encoding of an entry for signing.
+
+    All ``sig.*`` attributes are excluded so signatures never cover
+    each other, and keys are sorted so every backend round-trip
+    produces identical bytes.
+    """
+    cleaned = dict(payload)
+    attrs = cleaned.get("attributes")
+    if isinstance(attrs, dict):
+        cleaned["attributes"] = {
+            k: v for k, v in attrs.items() if not k.startswith(SIG_PREFIX)
+        }
+    return json.dumps(cleaned, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _mac(key: bytes, message: bytes) -> str:
+    return hmac.new(key, message, hashlib.sha256).hexdigest()
+
+
+class Signer:
+    """Signs and verifies entries with keys from a :class:`KeyStore`."""
+
+    def __init__(self, keys: KeyStore):
+        self.keys = keys
+
+    # -- whole-entry signatures -------------------------------------------------
+
+    def sign_entry(self, obj: Any, authority: str | Principal) -> str:
+        """Sign an entry (any object with ``to_dict`` and ``attributes``).
+
+        The signature is stored in the object's attributes and
+        returned.  Callers must re-register the object with its catalog
+        for the signature to persist.
+        """
+        name = authority.name if isinstance(authority, Principal) else authority
+        payload = obj.to_dict()
+        signature = _mac(self.keys.key_of(name), canonical_encoding(payload))
+        obj.attributes.set(f"{SIG_PREFIX}{name}", signature, author=name)
+        return signature
+
+    def verify_entry(self, obj: Any, authority: str | Principal) -> None:
+        """Verify an entry's signature; raises on any mismatch."""
+        name = authority.name if isinstance(authority, Principal) else authority
+        stored = obj.attributes.get(f"{SIG_PREFIX}{name}")
+        if stored is None:
+            raise InvalidSignatureError(
+                f"entry carries no signature by {name!r}"
+            )
+        expected = _mac(
+            self.keys.key_of(name), canonical_encoding(obj.to_dict())
+        )
+        if not hmac.compare_digest(stored, expected):
+            raise InvalidSignatureError(
+                f"signature by {name!r} does not match entry contents"
+            )
+
+    def is_signed_by(self, obj: Any, authority: str | Principal) -> bool:
+        """Boolean verification that never raises."""
+        try:
+            self.verify_entry(obj, authority)
+            return True
+        except (InvalidSignatureError, SecurityError):
+            return False
+
+    def signers_of(self, obj: Any) -> list[str]:
+        """Authorities with *valid* signatures on an entry."""
+        out = []
+        for key in obj.attributes.keys():
+            if not key.startswith(SIG_PREFIX) or key.count(".") != 1:
+                continue
+            name = key[len(SIG_PREFIX):]
+            if self.keys.has_key(name) and self.is_signed_by(obj, name):
+                out.append(name)
+        return out
+
+    # -- per-attribute signatures -------------------------------------------------
+
+    def sign_attribute(
+        self, obj: Any, attribute: str, authority: str | Principal
+    ) -> str:
+        """Sign a single attribute's current value."""
+        name = authority.name if isinstance(authority, Principal) else authority
+        if attribute.startswith(SIG_PREFIX):
+            raise SecurityError("cannot sign a signature attribute")
+        value = obj.attributes.get(attribute)
+        if value is None and attribute not in obj.attributes:
+            raise SecurityError(f"entry has no attribute {attribute!r}")
+        message = json.dumps(
+            [attribute, value], sort_keys=True, separators=(",", ":")
+        ).encode()
+        signature = _mac(self.keys.key_of(name), message)
+        obj.attributes.set(
+            f"{SIG_PREFIX}{name}.{attribute}", signature, author=name
+        )
+        return signature
+
+    def verify_attribute(
+        self, obj: Any, attribute: str, authority: str | Principal
+    ) -> None:
+        """Verify a per-attribute signature; raises on mismatch."""
+        name = authority.name if isinstance(authority, Principal) else authority
+        stored = obj.attributes.get(f"{SIG_PREFIX}{name}.{attribute}")
+        if stored is None:
+            raise InvalidSignatureError(
+                f"attribute {attribute!r} carries no signature by {name!r}"
+            )
+        value = obj.attributes.get(attribute)
+        message = json.dumps(
+            [attribute, value], sort_keys=True, separators=(",", ":")
+        ).encode()
+        expected = _mac(self.keys.key_of(name), message)
+        if not hmac.compare_digest(stored, expected):
+            raise InvalidSignatureError(
+                f"signature on attribute {attribute!r} by {name!r} is invalid"
+            )

@@ -1,0 +1,147 @@
+"""Root authorities, delegation, and trust-chain validation (§4.2).
+
+"When embedded in a framework that provides for establishing root
+authority(s) and for validating trust chains, these mechanisms can be
+used to implement a wide variety of security models and policies."
+
+A :class:`TrustStore` holds root authorities and signed *delegations*:
+statements by an issuer that a subject is trusted for a scope.  A
+principal is trusted (for a scope) when a chain of valid delegations
+connects it to a root.  Delegations themselves are HMAC-signed by
+their issuer, so a tampered delegation breaks the chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SecurityError, UntrustedAuthorityError
+from repro.security.identity import KeyStore
+
+#: Wildcard scope matching any scope.
+ANY_SCOPE = "*"
+
+
+@dataclass(frozen=True)
+class Delegation:
+    """A signed statement: ``issuer`` trusts ``subject`` for ``scope``."""
+
+    issuer: str
+    subject: str
+    scope: str = ANY_SCOPE
+    signature: str = ""
+
+    def message(self) -> bytes:
+        return json.dumps(
+            [self.issuer, self.subject, self.scope],
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+
+
+class TrustStore:
+    """Roots plus delegations, with chain validation."""
+
+    def __init__(self, keys: KeyStore, max_chain_depth: int = 16):
+        self.keys = keys
+        self.max_chain_depth = max_chain_depth
+        self._roots: set[str] = set()
+        self._delegations: list[Delegation] = []
+
+    # -- roots -----------------------------------------------------------------
+
+    def add_root(self, authority: str) -> None:
+        """Declare a root authority (must hold a key)."""
+        if not self.keys.has_key(authority):
+            raise SecurityError(
+                f"root authority {authority!r} has no key in the store"
+            )
+        self._roots.add(authority)
+
+    def roots(self) -> list[str]:
+        return sorted(self._roots)
+
+    def is_root(self, authority: str) -> bool:
+        return authority in self._roots
+
+    # -- delegations ----------------------------------------------------------------
+
+    def delegate(
+        self, issuer: str, subject: str, scope: str = ANY_SCOPE
+    ) -> Delegation:
+        """Record a delegation signed with the issuer's key."""
+        unsigned = Delegation(issuer=issuer, subject=subject, scope=scope)
+        signature = hmac.new(
+            self.keys.key_of(issuer), unsigned.message(), hashlib.sha256
+        ).hexdigest()
+        delegation = Delegation(
+            issuer=issuer, subject=subject, scope=scope, signature=signature
+        )
+        self._delegations.append(delegation)
+        return delegation
+
+    def add_delegation(self, delegation: Delegation) -> None:
+        """Import an externally produced delegation (verified on use)."""
+        self._delegations.append(delegation)
+
+    def _valid(self, delegation: Delegation) -> bool:
+        if not self.keys.has_key(delegation.issuer):
+            return False
+        expected = hmac.new(
+            self.keys.key_of(delegation.issuer),
+            delegation.message(),
+            hashlib.sha256,
+        ).hexdigest()
+        return hmac.compare_digest(delegation.signature, expected)
+
+    # -- chain validation ----------------------------------------------------------
+
+    def chain_for(
+        self, principal: str, scope: str = ANY_SCOPE
+    ) -> Optional[list[Delegation]]:
+        """A valid delegation chain from a root to ``principal``.
+
+        Returns the chain (root-first) or None.  A root authority has
+        the empty chain.  Scope narrows along the chain: every link
+        must cover the requested scope (exactly or via the wildcard).
+        """
+        if principal in self._roots:
+            return []
+        # Breadth-first search backwards from the principal.
+        frontier: list[tuple[str, list[Delegation]]] = [(principal, [])]
+        visited = {principal}
+        while frontier:
+            subject, chain = frontier.pop(0)
+            if len(chain) >= self.max_chain_depth:
+                continue
+            for delegation in self._delegations:
+                if delegation.subject != subject:
+                    continue
+                if delegation.scope not in (ANY_SCOPE, scope):
+                    continue
+                if not self._valid(delegation):
+                    continue
+                new_chain = [delegation] + chain
+                if delegation.issuer in self._roots:
+                    return new_chain
+                if delegation.issuer not in visited:
+                    visited.add(delegation.issuer)
+                    frontier.append((delegation.issuer, new_chain))
+        return None
+
+    def is_trusted(self, principal: str, scope: str = ANY_SCOPE) -> bool:
+        return self.chain_for(principal, scope) is not None
+
+    def require_trusted(self, principal: str, scope: str = ANY_SCOPE) -> list[Delegation]:
+        """Like :meth:`chain_for` but raising when untrusted."""
+        chain = self.chain_for(principal, scope)
+        if chain is None:
+            raise UntrustedAuthorityError(
+                f"no trust chain connects {principal!r} to a root "
+                f"(scope {scope!r})"
+            )
+        return chain

@@ -1,0 +1,234 @@
+"""The virtual data system facade: the Fig 5 process flow in one object.
+
+Wires a catalog, a simulated grid, the planner, the estimator and the
+executors into the six facets the paper names — **composition**,
+**planning**, **estimation**, **derivation**, **discovery**, and
+**sharing** — so applications and examples drive the whole stack
+through one coherent API::
+
+    vds = VirtualDataSystem.with_grid(sites={"anl": 64, "uc": 32})
+    vds.define(VDL_TEXT)                    # composition
+    plan = vds.plan("result")               # planning
+    estimate = vds.estimate(plan)           # estimation
+    result = vds.materialize("result")      # derivation
+    hits = vds.discover_datasets("run*")    # discovery
+    vds.share_with(other_vds.catalog)       # sharing
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.catalog.federation import FederatedIndex
+from repro.catalog.memory import MemoryCatalog
+from repro.catalog.resolver import CatalogNetwork, ReferenceResolver
+from repro.core.dataset import Dataset
+from repro.core.types import DatasetType
+from repro.errors import PlanningError
+from repro.estimator.cost import Estimator
+from repro.estimator.workflow import WorkflowEstimate, estimate_plan
+from repro.executor.grid_executor import GridExecutor
+from repro.grid.gram import GridExecutionService
+from repro.grid.network import NetworkTopology, uniform_topology
+from repro.grid.replica_catalog import ReplicaLocationService
+from repro.grid.simulator import Simulator
+from repro.grid.site import Site
+from repro.planner.dag import Plan
+from repro.planner.request import MaterializationRequest
+from repro.planner.scheduler import WorkflowResult
+from repro.planner.strategies import ProcedureRegistry, SiteSelector
+from repro.provenance.lineage import LineageReport, lineage_report
+
+
+class VirtualDataSystem:
+    """One community's virtual data system instance."""
+
+    def __init__(
+        self,
+        catalog: Optional[VirtualDataCatalog] = None,
+        authority: Optional[str] = None,
+    ):
+        self.catalog = catalog or MemoryCatalog(authority=authority)
+        self.network: Optional[NetworkTopology] = None
+        self.simulator: Optional[Simulator] = None
+        self.grid: Optional[GridExecutionService] = None
+        self.selector: Optional[SiteSelector] = None
+        self.executor: Optional[GridExecutor] = None
+        self.estimator = Estimator(self.catalog)
+        self.catalogs = CatalogNetwork()
+        self.resolver = ReferenceResolver(self.catalog, self.catalogs)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def with_grid(
+        cls,
+        sites: dict[str, int],
+        authority: Optional[str] = None,
+        bandwidth: float = 10e6,
+        host_speed: float = 1.0,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+    ) -> "VirtualDataSystem":
+        """Build a system attached to a fresh simulated grid.
+
+        ``sites`` maps site names to host counts — e.g. the paper's
+        SDSS testbed is ``{"anl": 200, "uc": 200, "uw": 200,
+        "ufl": 200}`` (four sites, ~800 hosts).
+        """
+        vds = cls(authority=authority)
+        vds.simulator = Simulator()
+        vds.network = uniform_topology(sorted(sites), bandwidth=bandwidth)
+        site_objects = {
+            name: Site(name, hosts=count, speed=host_speed)
+            for name, count in sites.items()
+        }
+        replicas = ReplicaLocationService(vds.network)
+        vds.grid = GridExecutionService(
+            vds.simulator,
+            site_objects,
+            vds.network,
+            replicas,
+            failure_rate=failure_rate,
+            seed=seed,
+        )
+        vds.selector = SiteSelector(
+            site_objects, vds.network, replicas, ProcedureRegistry()
+        )
+        vds.executor = GridExecutor(
+            vds.catalog, vds.grid, vds.selector, estimator=vds.estimator
+        )
+        return vds
+
+    @property
+    def replicas(self) -> ReplicaLocationService:
+        self._require_grid()
+        return self.grid.replicas
+
+    def _require_grid(self) -> None:
+        if self.grid is None:
+            raise PlanningError(
+                "this VirtualDataSystem has no grid; build it with "
+                "VirtualDataSystem.with_grid(...)"
+            )
+
+    # -- composition (§5.1) -------------------------------------------------------
+
+    def define(self, vdl_source: str, replace: bool = False) -> "VirtualDataSystem":
+        """Register VDL definitions (transformations and derivations)."""
+        self.catalog.define(vdl_source, replace=replace)
+        return self
+
+    def seed_dataset(self, name: str, site: str, size: int) -> None:
+        """Place a raw source dataset on the grid (and in the catalog)."""
+        self._require_grid()
+        site_obj = self.grid.sites[site]
+        site_obj.storage.store(name, size, self.simulator.now)
+        self.replicas.register(name, site, size)
+        if not self.catalog.has_dataset(name):
+            self.catalog.add_dataset(Dataset(name=name, attributes={"size": size}))
+
+    # -- planning (§5.2) -------------------------------------------------------------
+
+    def plan(
+        self,
+        targets: str | tuple[str, ...],
+        reuse: str = "cost",
+        pattern: str = "ship-data",
+        max_hosts: Optional[int] = None,
+    ) -> Plan:
+        """Expand a materialization request into a workflow DAG."""
+        request = MaterializationRequest(
+            targets=targets if not isinstance(targets, str) else (targets,),
+            reuse=reuse,
+            pattern=pattern,
+            max_hosts=max_hosts,
+        )
+        if self.executor is not None:
+            return self.executor.plan(request)
+        from repro.planner.dag import Planner
+
+        return Planner(
+            self.catalog, cpu_estimate=self.estimator.estimate_derivation
+        ).plan(request)
+
+    # -- estimation (§5.3) ---------------------------------------------------------------
+
+    def estimate(
+        self, plan: Plan, host_count: Optional[int] = None
+    ) -> WorkflowEstimate:
+        """Predict a plan's cost before committing resources."""
+        if host_count is None:
+            if self.grid is not None:
+                host_count = sum(
+                    s.compute.host_count for s in self.grid.sites.values()
+                )
+            else:
+                host_count = 1
+        return estimate_plan(
+            plan, host_count=host_count, include_intermediates=True
+        )
+
+    def can_meet_deadline(self, targets: str, deadline_seconds: float) -> bool:
+        """The §5.3 interactive feasibility query."""
+        return self.estimate(self.plan(targets)).meets_deadline(deadline_seconds)
+
+    # -- derivation (§5.4) ----------------------------------------------------------------
+
+    def materialize(
+        self,
+        targets: str | tuple[str, ...],
+        reuse: str = "cost",
+        pattern: str = "ship-data",
+        max_hosts: Optional[int] = None,
+    ) -> WorkflowResult:
+        """Plan and execute on the grid, recording full provenance."""
+        self._require_grid()
+        request = MaterializationRequest(
+            targets=targets if not isinstance(targets, str) else (targets,),
+            reuse=reuse,
+            pattern=pattern,
+            max_hosts=max_hosts,
+        )
+        return self.executor.materialize(request)
+
+    # -- discovery (§5.5) ---------------------------------------------------------------------
+
+    def discover_datasets(
+        self,
+        name_glob: Optional[str] = None,
+        conforms_to: Optional[DatasetType] = None,
+        attributes: Optional[dict[str, Any]] = None,
+    ) -> list[Dataset]:
+        return self.catalog.find_datasets(
+            name_glob=name_glob,
+            conforms_to=conforms_to,
+            attributes=attributes,
+        )
+
+    def discover_transformations(self, **kwargs):
+        return self.catalog.find_transformations(**kwargs)
+
+    def lineage(self, dataset_name: str) -> LineageReport:
+        """The complete audit trail of a dataset (§2 Provenance)."""
+        return lineage_report(self.catalog, dataset_name)
+
+    # -- sharing (Fig 3/4) --------------------------------------------------------------------
+
+    def share_with(self, other: VirtualDataCatalog) -> None:
+        """Make another community catalog reachable for resolution."""
+        self.catalogs.register(other)
+        if other.authority not in self.resolver.scope_chain:
+            self.resolver.scope_chain.append(other.authority)
+
+    def build_index(
+        self, name: str, depth: str = "shallow", mode: str = "live"
+    ) -> FederatedIndex:
+        """A federated index over this catalog plus all shared ones."""
+        index = FederatedIndex(name, depth=depth, mode=mode)
+        if self.catalog.authority:
+            index.attach(self.catalog)
+        for catalog in self.catalogs:
+            index.attach(catalog)
+        return index

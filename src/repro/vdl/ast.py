@@ -1,0 +1,151 @@
+"""Abstract syntax tree for the Virtual Data Language.
+
+The AST is deliberately close to the concrete syntax of Appendix A;
+:mod:`repro.vdl.semantics` lowers it onto the core schema objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class TypeExprNode:
+    """A dataset-type expression: ``content/format/encoding`` triples
+    joined by ``|`` into a union.  A ``-`` component means "dimension
+    root".  This is a (documented) extension over VDL 1.0, which had
+    untyped formals.
+    """
+
+    members: tuple[tuple[str, str, str], ...]
+
+
+@dataclass(frozen=True)
+class FormalRefNode:
+    """``${direction:name}`` or ``${name}`` inside templates/bindings."""
+
+    name: str
+    direction: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DatasetRefNode:
+    """``@{direction:"lfn"}`` with optional trailing ``:""`` marking a
+    temporary scratch dataset (``@{inout:"somewhere":""}``)."""
+
+    direction: str
+    lfn: str
+    temporary: bool = False
+    line: int = 0
+
+
+#: Template parts interleave literal strings and formal references.
+TemplatePartNode = Union[str, FormalRefNode]
+
+
+@dataclass(frozen=True)
+class FormalDeclNode:
+    """One formal parameter of a TR declaration."""
+
+    direction: str
+    name: str
+    type_expr: Optional[TypeExprNode] = None
+    #: Default actual: a string literal or a dataset reference.
+    default: Optional[Union[str, DatasetRefNode]] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArgumentStmtNode:
+    """``argument [name] = part part ... ;``"""
+
+    parts: tuple[TemplatePartNode, ...]
+    name: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExecStmtNode:
+    """``exec = "/usr/bin/app" ;``"""
+
+    path: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class EnvStmtNode:
+    """``env.VAR = part part ... ;``"""
+
+    variable: str
+    parts: tuple[TemplatePartNode, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProfileStmtNode:
+    """``profile ns.key = "value" ;``"""
+
+    key: str
+    value: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CallStmtNode:
+    """``callee( formal=${...}, formal="literal", ... ) ;`` inside a
+    compound TR body.  ``target`` is the raw (possibly vdp://) name."""
+
+    target: str
+    bindings: tuple[tuple[str, Union[str, FormalRefNode]], ...]
+    line: int = 0
+
+
+BodyStmtNode = Union[
+    ArgumentStmtNode, ExecStmtNode, EnvStmtNode, ProfileStmtNode, CallStmtNode
+]
+
+
+@dataclass(frozen=True)
+class TransformationDeclNode:
+    """A ``TR name( formals ) { body }`` declaration."""
+
+    name: str
+    formals: tuple[FormalDeclNode, ...]
+    body: tuple[BodyStmtNode, ...]
+    version: Optional[str] = None
+    line: int = 0
+
+    def is_compound(self) -> bool:
+        return any(isinstance(s, CallStmtNode) for s in self.body)
+
+
+@dataclass(frozen=True)
+class DerivationDeclNode:
+    """A ``DV name->target( actuals ) ;`` declaration."""
+
+    name: str
+    target: str
+    actuals: tuple[tuple[str, Union[str, DatasetRefNode]], ...]
+    line: int = 0
+
+
+DeclNode = Union[TransformationDeclNode, DerivationDeclNode]
+
+
+@dataclass(frozen=True)
+class ProgramNode:
+    """A whole VDL compilation unit: a sequence of TR/DV declarations."""
+
+    declarations: tuple[DeclNode, ...] = ()
+
+    def transformations(self) -> tuple[TransformationDeclNode, ...]:
+        return tuple(
+            d for d in self.declarations if isinstance(d, TransformationDeclNode)
+        )
+
+    def derivations(self) -> tuple[DerivationDeclNode, ...]:
+        return tuple(
+            d for d in self.declarations if isinstance(d, DerivationDeclNode)
+        )

@@ -1,0 +1,209 @@
+"""Lexer for the Chimera Virtual Data Language (Appendix A).
+
+Produces a flat stream of :class:`Token` objects.  The only lexical
+subtleties are:
+
+* ``->`` (the derivation arrow) must win over ``-`` inside identifiers
+  such as ``srch-muon``;
+* identifiers may embed ``::`` (namespaces), ``.`` (dotted keys such as
+  ``env.MAXMEM`` and ``hints.pfnHint``), ``@`` (versions) and ``-``;
+* ``${`` and ``@{`` open formal and actual dataset references;
+* strings are double-quoted with backslash escapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import VDLSyntaxError
+
+#: Token types.
+TT_IDENT = "IDENT"
+TT_STRING = "STRING"
+TT_LPAREN = "LPAREN"
+TT_RPAREN = "RPAREN"
+TT_LBRACE = "LBRACE"
+TT_RBRACE = "RBRACE"
+TT_DOLLAR_LBRACE = "DOLLAR_LBRACE"  # ${
+TT_AT_LBRACE = "AT_LBRACE"          # @{
+TT_COMMA = "COMMA"
+TT_SEMI = "SEMI"
+TT_COLON = "COLON"
+TT_EQUALS = "EQUALS"
+TT_ARROW = "ARROW"                  # ->
+TT_PIPE = "PIPE"                    # |
+TT_SLASH = "SLASH"                  # /
+TT_EOF = "EOF"
+
+_SINGLE_CHARS = {
+    "(": TT_LPAREN,
+    ")": TT_RPAREN,
+    "{": TT_LBRACE,
+    "}": TT_RBRACE,
+    ",": TT_COMMA,
+    ";": TT_SEMI,
+    ":": TT_COLON,
+    "=": TT_EQUALS,
+    "|": TT_PIPE,
+    "/": TT_SLASH,
+}
+
+_IDENT_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+# Note: ':' is deliberately NOT an identifier character — namespace
+# qualifiers (example1::t1) and direction prefixes (${input:a1}) are
+# reassembled by the parser from COLON tokens.
+_IDENT_CONT = _IDENT_START | set(".-@+")
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.type}({self.value!r})@{self.line}:{self.column}"
+
+
+class Lexer:
+    """A one-pass scanner over VDL source text."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole source and return all tokens plus a final EOF."""
+        return list(self._scan())
+
+    # -- internals -----------------------------------------------------
+
+    def _scan(self) -> Iterator[Token]:
+        src = self._source
+        n = len(src)
+        while self._pos < n:
+            ch = src[self._pos]
+            if ch in " \t\r\n":
+                self._advance(ch)
+                continue
+            # Line comments use '#' only: '//' would be ambiguous with
+            # the '//' inside vdp:// references.
+            if ch == "#":
+                self._skip_line_comment()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+                continue
+            line, column = self._line, self._column
+            if ch == '"':
+                yield self._string(line, column)
+                continue
+            if ch == "$" and self._peek(1) == "{":
+                self._advance_n(2)
+                yield Token(TT_DOLLAR_LBRACE, "${", line, column)
+                continue
+            if ch == "@" and self._peek(1) == "{":
+                self._advance_n(2)
+                yield Token(TT_AT_LBRACE, "@{", line, column)
+                continue
+            if ch == "-" and self._peek(1) == ">":
+                self._advance_n(2)
+                yield Token(TT_ARROW, "->", line, column)
+                continue
+            if ch in _IDENT_START:
+                yield self._ident(line, column)
+                continue
+            if ch in _SINGLE_CHARS:
+                self._advance(ch)
+                yield Token(_SINGLE_CHARS[ch], ch, line, column)
+                continue
+            raise VDLSyntaxError(f"unexpected character {ch!r}", line, column)
+        yield Token(TT_EOF, "", self._line, self._column)
+
+    def _ident(self, line: int, column: int) -> Token:
+        src = self._source
+        start = self._pos
+        while self._pos < len(src):
+            ch = src[self._pos]
+            if ch == "-" and self._peek(1) == ">":
+                break  # the arrow, not part of the name
+            if ch not in _IDENT_CONT:
+                break
+            self._advance(ch)
+        text = src[start:self._pos]
+        # A dangling trailing separator is never part of a name.
+        while text and text[-1] in ".-":
+            text = text[:-1]
+            self._pos -= 1
+            self._column -= 1
+        return Token(TT_IDENT, text, line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        src = self._source
+        self._advance('"')
+        out = []
+        while self._pos < len(src):
+            ch = src[self._pos]
+            if ch == '"':
+                self._advance(ch)
+                return Token(TT_STRING, "".join(out), line, column)
+            if ch == "\\":
+                self._advance(ch)
+                if self._pos >= len(src):
+                    break
+                esc = src[self._pos]
+                self._advance(esc)
+                out.append(_ESCAPES.get(esc, esc))
+                continue
+            if ch == "\n":
+                raise VDLSyntaxError("unterminated string literal", line, column)
+            self._advance(ch)
+            out.append(ch)
+        raise VDLSyntaxError("unterminated string literal", line, column)
+
+    def _skip_line_comment(self) -> None:
+        src = self._source
+        while self._pos < len(src) and src[self._pos] != "\n":
+            self._advance(src[self._pos])
+
+    def _skip_block_comment(self) -> None:
+        line, column = self._line, self._column
+        src = self._source
+        self._advance_n(2)
+        while self._pos < len(src):
+            if src[self._pos] == "*" and self._peek(1) == "/":
+                self._advance_n(2)
+                return
+            self._advance(src[self._pos])
+        raise VDLSyntaxError("unterminated block comment", line, column)
+
+    def _peek(self, ahead: int) -> str:
+        pos = self._pos + ahead
+        return self._source[pos] if pos < len(self._source) else ""
+
+    def _advance(self, ch: str) -> None:
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+
+    def _advance_n(self, count: int) -> None:
+        for _ in range(count):
+            self._advance(self._source[self._pos])
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: scan ``source`` into a token list."""
+    return Lexer(source).tokens()

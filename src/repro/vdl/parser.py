@@ -1,0 +1,439 @@
+"""Recursive-descent parser for the Virtual Data Language.
+
+Grammar (Appendix A of the paper, with the type-expression extension)::
+
+    program        := declaration*
+    declaration    := tr_decl | dv_decl
+    tr_decl        := "TR" qname "(" formal_list? ")" "{" body_stmt* "}"
+    formal_list    := formal ("," formal)*
+    formal         := direction IDENT (":" type_expr)? ("=" default)?
+    direction      := "input" | "output" | "inout" | "none"
+    type_expr      := type_triple ("|" type_triple)*
+    type_triple    := tname "/" tname "/" tname | tname
+    default        := STRING | dataset_ref
+    body_stmt      := argument_stmt | exec_stmt | env_stmt
+                    | profile_stmt | call_stmt
+    argument_stmt  := "argument" IDENT? "=" template ";"
+    template       := (STRING | formal_ref)+
+    exec_stmt      := "exec" "=" STRING ";"
+    env_stmt       := ENV_KEY "=" template ";"          # ident "env.VAR"
+    profile_stmt   := "profile" IDENT "=" STRING ";"
+    call_stmt      := target "(" binding_list? ")" ";"
+    binding_list   := binding ("," binding)*
+    binding        := IDENT "=" (STRING | formal_ref)
+    dv_decl        := "DV" qname "->" target
+                      "(" actual_list? ")" ";"
+    actual_list    := actual ("," actual)*
+    actual         := IDENT "=" (STRING | dataset_ref)
+    formal_ref     := "${" (direction ":")? IDENT "}"
+    dataset_ref    := "@{" direction ":" STRING (":" STRING)? "}"
+    qname          := IDENT ("::" IDENT)*
+    target         := qname | "vdp" ":" "/" "/" IDENT ("/" IDENT)*
+
+``TR`` and ``DV`` are recognized case-insensitively, as are the
+direction keywords.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import VDLSyntaxError
+from repro.vdl.ast import (
+    ArgumentStmtNode,
+    BodyStmtNode,
+    CallStmtNode,
+    DatasetRefNode,
+    DerivationDeclNode,
+    EnvStmtNode,
+    ExecStmtNode,
+    FormalDeclNode,
+    FormalRefNode,
+    ProfileStmtNode,
+    ProgramNode,
+    TemplatePartNode,
+    TransformationDeclNode,
+    TypeExprNode,
+)
+from repro.vdl.lexer import (
+    TT_ARROW,
+    TT_AT_LBRACE,
+    TT_COLON,
+    TT_COMMA,
+    TT_DOLLAR_LBRACE,
+    TT_EOF,
+    TT_EQUALS,
+    TT_IDENT,
+    TT_LBRACE,
+    TT_LPAREN,
+    TT_PIPE,
+    TT_RBRACE,
+    TT_RPAREN,
+    TT_SEMI,
+    TT_SLASH,
+    TT_STRING,
+    Token,
+    tokenize,
+)
+
+_DIRECTIONS = ("input", "output", "inout", "none")
+
+
+class Parser:
+    """Parses one VDL compilation unit into a :class:`ProgramNode`."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # -- public ----------------------------------------------------------
+
+    def parse(self) -> ProgramNode:
+        declarations = []
+        while not self._at(TT_EOF):
+            token = self._peek()
+            keyword = token.value.lower() if token.type == TT_IDENT else ""
+            if keyword == "tr":
+                declarations.append(self._tr_decl())
+            elif keyword == "dv":
+                declarations.append(self._dv_decl())
+            else:
+                raise VDLSyntaxError(
+                    f"expected TR or DV declaration, got {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+        return ProgramNode(declarations=tuple(declarations))
+
+    # -- declarations ------------------------------------------------------
+
+    def _tr_decl(self) -> TransformationDeclNode:
+        keyword = self._expect(TT_IDENT)
+        name = self._qname()
+        version: Optional[str] = None
+        if "@" in name:
+            name, _, version = name.rpartition("@")
+        self._expect(TT_LPAREN)
+        formals = []
+        if not self._at(TT_RPAREN):
+            formals.append(self._formal())
+            while self._accept(TT_COMMA):
+                formals.append(self._formal())
+        self._expect(TT_RPAREN)
+        self._expect(TT_LBRACE)
+        body: list[BodyStmtNode] = []
+        while not self._at(TT_RBRACE):
+            body.append(self._body_stmt())
+        self._expect(TT_RBRACE)
+        return TransformationDeclNode(
+            name=name,
+            formals=tuple(formals),
+            body=tuple(body),
+            version=version,
+            line=keyword.line,
+        )
+
+    def _formal(self) -> FormalDeclNode:
+        token = self._expect(TT_IDENT)
+        direction = token.value.lower()
+        if direction not in _DIRECTIONS:
+            raise VDLSyntaxError(
+                f"expected argument direction, got {token.value!r}",
+                token.line,
+                token.column,
+            )
+        name = self._expect(TT_IDENT).value
+        type_expr = None
+        if self._at(TT_COLON) and self._peek(1).type in (TT_IDENT,):
+            # Disambiguate from '::' (handled inside qname) — a single
+            # colon after the name introduces a type expression.
+            self._expect(TT_COLON)
+            type_expr = self._type_expr()
+        default: Optional[Union[str, DatasetRefNode]] = None
+        if self._accept(TT_EQUALS):
+            if self._at(TT_STRING):
+                default = self._expect(TT_STRING).value
+            elif self._at(TT_AT_LBRACE):
+                default = self._dataset_ref()
+            else:
+                bad = self._peek()
+                raise VDLSyntaxError(
+                    "formal default must be a string or @{...} reference",
+                    bad.line,
+                    bad.column,
+                )
+        return FormalDeclNode(
+            direction=direction,
+            name=name,
+            type_expr=type_expr,
+            default=default,
+            line=token.line,
+        )
+
+    def _type_expr(self) -> TypeExprNode:
+        members = [self._type_triple()]
+        while self._accept(TT_PIPE):
+            members.append(self._type_triple())
+        return TypeExprNode(members=tuple(members))
+
+    def _type_triple(self) -> tuple[str, str, str]:
+        content = self._expect(TT_IDENT).value
+        if not self._accept(TT_SLASH):
+            return (content, "-", "-")
+        fmt = self._expect(TT_IDENT).value
+        self._expect(TT_SLASH)
+        enc = self._expect(TT_IDENT).value
+        return (content, fmt, enc)
+
+    def _body_stmt(self) -> BodyStmtNode:
+        token = self._peek()
+        if token.type != TT_IDENT:
+            raise VDLSyntaxError(
+                f"expected a body statement, got {token.value!r}",
+                token.line,
+                token.column,
+            )
+        keyword = token.value
+        lowered = keyword.lower()
+        if lowered == "argument":
+            return self._argument_stmt()
+        if lowered == "exec":
+            return self._exec_stmt()
+        if lowered == "profile":
+            return self._profile_stmt()
+        if lowered.startswith("env."):
+            return self._env_stmt()
+        return self._call_stmt()
+
+    def _argument_stmt(self) -> ArgumentStmtNode:
+        keyword = self._expect(TT_IDENT)
+        name: Optional[str] = None
+        if self._at(TT_IDENT):
+            name = self._expect(TT_IDENT).value
+        self._expect(TT_EQUALS)
+        parts = self._template()
+        self._expect(TT_SEMI)
+        return ArgumentStmtNode(parts=parts, name=name, line=keyword.line)
+
+    def _exec_stmt(self) -> ExecStmtNode:
+        keyword = self._expect(TT_IDENT)
+        self._expect(TT_EQUALS)
+        path = self._expect(TT_STRING).value
+        self._expect(TT_SEMI)
+        return ExecStmtNode(path=path, line=keyword.line)
+
+    def _env_stmt(self) -> EnvStmtNode:
+        keyword = self._expect(TT_IDENT)
+        variable = keyword.value[len("env."):]
+        if not variable:
+            raise VDLSyntaxError(
+                "env statement requires a variable name (env.VAR = ...)",
+                keyword.line,
+                keyword.column,
+            )
+        self._expect(TT_EQUALS)
+        parts = self._template()
+        self._expect(TT_SEMI)
+        return EnvStmtNode(variable=variable, parts=parts, line=keyword.line)
+
+    def _profile_stmt(self) -> ProfileStmtNode:
+        keyword = self._expect(TT_IDENT)
+        key = self._expect(TT_IDENT).value
+        self._expect(TT_EQUALS)
+        value = self._expect(TT_STRING).value
+        self._expect(TT_SEMI)
+        return ProfileStmtNode(key=key, value=value, line=keyword.line)
+
+    def _call_stmt(self) -> CallStmtNode:
+        token = self._peek()
+        target = self._target()
+        self._expect(TT_LPAREN)
+        bindings: list[tuple[str, Union[str, FormalRefNode]]] = []
+        if not self._at(TT_RPAREN):
+            bindings.append(self._binding())
+            while self._accept(TT_COMMA):
+                bindings.append(self._binding())
+        self._expect(TT_RPAREN)
+        self._expect(TT_SEMI)
+        return CallStmtNode(
+            target=target, bindings=tuple(bindings), line=token.line
+        )
+
+    def _binding(self) -> tuple[str, Union[str, FormalRefNode]]:
+        name = self._expect(TT_IDENT).value
+        self._expect(TT_EQUALS)
+        if self._at(TT_STRING):
+            return name, self._expect(TT_STRING).value
+        if self._at(TT_DOLLAR_LBRACE):
+            return name, self._formal_ref()
+        bad = self._peek()
+        raise VDLSyntaxError(
+            "call binding must be a string or ${...} reference",
+            bad.line,
+            bad.column,
+        )
+
+    def _dv_decl(self) -> DerivationDeclNode:
+        keyword = self._expect(TT_IDENT)
+        name = self._qname()
+        self._expect(TT_ARROW)
+        target = self._target()
+        self._expect(TT_LPAREN)
+        actuals: list[tuple[str, Union[str, DatasetRefNode]]] = []
+        if not self._at(TT_RPAREN):
+            actuals.append(self._actual())
+            while self._accept(TT_COMMA):
+                actuals.append(self._actual())
+        self._expect(TT_RPAREN)
+        self._expect(TT_SEMI)
+        return DerivationDeclNode(
+            name=name, target=target, actuals=tuple(actuals), line=keyword.line
+        )
+
+    def _actual(self) -> tuple[str, Union[str, DatasetRefNode]]:
+        name = self._expect(TT_IDENT).value
+        self._expect(TT_EQUALS)
+        if self._at(TT_STRING):
+            return name, self._expect(TT_STRING).value
+        if self._at(TT_AT_LBRACE):
+            return name, self._dataset_ref()
+        bad = self._peek()
+        raise VDLSyntaxError(
+            "derivation actual must be a string or @{...} reference",
+            bad.line,
+            bad.column,
+        )
+
+    # -- leaf constructs ---------------------------------------------------
+
+    def _template(self) -> tuple[TemplatePartNode, ...]:
+        parts: list[TemplatePartNode] = []
+        while True:
+            if self._at(TT_STRING):
+                parts.append(self._expect(TT_STRING).value)
+            elif self._at(TT_DOLLAR_LBRACE):
+                parts.append(self._formal_ref())
+            else:
+                break
+        if not parts:
+            bad = self._peek()
+            raise VDLSyntaxError(
+                "expected a template (string literals and ${...} refs)",
+                bad.line,
+                bad.column,
+            )
+        return tuple(parts)
+
+    def _formal_ref(self) -> FormalRefNode:
+        opener = self._expect(TT_DOLLAR_LBRACE)
+        first = self._expect(TT_IDENT).value
+        direction: Optional[str] = None
+        name = first
+        if self._accept(TT_COLON):
+            direction = first.lower()
+            if direction not in _DIRECTIONS:
+                raise VDLSyntaxError(
+                    f"invalid direction {first!r} in ${{...}} reference",
+                    opener.line,
+                    opener.column,
+                )
+            name = self._expect(TT_IDENT).value
+        self._expect(TT_RBRACE)
+        return FormalRefNode(name=name, direction=direction, line=opener.line)
+
+    def _dataset_ref(self) -> DatasetRefNode:
+        opener = self._expect(TT_AT_LBRACE)
+        direction = self._expect(TT_IDENT).value.lower()
+        if direction not in _DIRECTIONS or direction == "none":
+            raise VDLSyntaxError(
+                f"invalid direction {direction!r} in @{{...}} reference",
+                opener.line,
+                opener.column,
+            )
+        self._expect(TT_COLON)
+        lfn = self._expect(TT_STRING).value
+        temporary = False
+        if self._accept(TT_COLON):
+            trailer = self._expect(TT_STRING).value
+            if trailer:
+                raise VDLSyntaxError(
+                    "third component of @{...} must be the empty string",
+                    opener.line,
+                    opener.column,
+                )
+            temporary = True
+        self._expect(TT_RBRACE)
+        return DatasetRefNode(
+            direction=direction, lfn=lfn, temporary=temporary, line=opener.line
+        )
+
+    def _qname(self) -> str:
+        parts = [self._expect(TT_IDENT).value]
+        while (
+            self._at(TT_COLON)
+            and self._peek(1).type == TT_COLON
+            and self._peek(2).type == TT_IDENT
+        ):
+            self._expect(TT_COLON)
+            self._expect(TT_COLON)
+            parts.append(self._expect(TT_IDENT).value)
+        return "::".join(parts)
+
+    def _target(self) -> str:
+        """A call/derivation target: qname or vdp://host/path."""
+        first = self._peek()
+        if (
+            first.type == TT_IDENT
+            and first.value.lower() == "vdp"
+            and self._peek(1).type == TT_COLON
+            and self._peek(2).type == TT_SLASH
+            and self._peek(3).type == TT_SLASH
+        ):
+            self._expect(TT_IDENT)
+            self._expect(TT_COLON)
+            self._expect(TT_SLASH)
+            self._expect(TT_SLASH)
+            host = self._expect(TT_IDENT).value
+            segments = []
+            while self._accept(TT_SLASH):
+                segments.append(self._qname())
+            if not segments:
+                raise VDLSyntaxError(
+                    "vdp:// reference requires an object name",
+                    first.line,
+                    first.column,
+                )
+            return f"vdp://{host}/" + "/".join(segments)
+        return self._qname()
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, token_type: str) -> bool:
+        return self._peek().type == token_type
+
+    def _accept(self, token_type: str) -> Optional[Token]:
+        if self._at(token_type):
+            token = self._tokens[self._index]
+            self._index += 1
+            return token
+        return None
+
+    def _expect(self, token_type: str) -> Token:
+        token = self._accept(token_type)
+        if token is None:
+            bad = self._peek()
+            raise VDLSyntaxError(
+                f"expected {token_type}, got {bad.type} {bad.value!r}",
+                bad.line,
+                bad.column,
+            )
+        return token
+
+
+def parse(source: str) -> ProgramNode:
+    """Parse VDL ``source`` into a :class:`ProgramNode`."""
+    return Parser(source).parse()

@@ -1,0 +1,132 @@
+"""Pretty-printer: core schema objects back to textual VDL.
+
+``parse -> analyze -> unparse`` round-trips modulo whitespace, which the
+test suite verifies by re-parsing the output and comparing objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.transformation import (
+    CompoundTransformation,
+    FormalArg,
+    FormalRef,
+    SimpleTransformation,
+    Transformation,
+)
+from repro.core.types import DatasetType, TypeUnion
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _quote(text: str) -> str:
+    return f'"{_escape(text)}"'
+
+
+def _type_triple(dtype: DatasetType) -> str:
+    if dtype.is_any():
+        return "Dataset"
+    parts = []
+    for dim in ("content", "format", "encoding"):
+        name = getattr(dtype, dim)
+        parts.append(name)
+    return "/".join(parts)
+
+
+def _type_union(union: TypeUnion) -> str:
+    return " | ".join(_type_triple(m) for m in union.members)
+
+
+def _formal(formal: FormalArg) -> str:
+    out = f"{formal.direction} {formal.name}"
+    if not formal.is_string and not all(m.is_any() for m in formal.dataset_types.members):
+        out += f" : {_type_union(formal.dataset_types)}"
+    if formal.default is not None:
+        if formal.is_string:
+            out += f" = {_quote(formal.default)}"
+        else:
+            trailer = ':""' if formal.temporary_default else ""
+            out += ' = @{%s:%s%s}' % (
+                formal.direction,
+                _quote(formal.default),
+                trailer,
+            )
+    return out
+
+
+def _template(parts: Iterable[Union[str, FormalRef]]) -> str:
+    out = []
+    for part in parts:
+        if isinstance(part, FormalRef):
+            if part.direction:
+                out.append("${%s:%s}" % (part.direction, part.name))
+            else:
+                out.append("${%s}" % part.name)
+        else:
+            out.append(_quote(part))
+    return "".join(out)
+
+
+def unparse_transformation(tr: Transformation) -> str:
+    """Render one transformation as a ``TR`` declaration."""
+    versioned = tr.name if tr.version == "1.0" else f"{tr.name}@{tr.version}"
+    header = f"TR {versioned}( " + ", ".join(
+        _formal(f) for f in tr.signature.formals
+    ) + " ) {"
+    lines = [header]
+    if isinstance(tr, SimpleTransformation):
+        for template in tr.arguments:
+            name = f" {template.name}" if template.name else ""
+            lines.append(f"  argument{name} = {_template(template.parts)};")
+        if tr.executable and tr.executable != tr.profile_hints.get("hints.pfnHint"):
+            lines.append(f"  exec = {_quote(tr.executable)};")
+        for var in sorted(tr.environment):
+            lines.append(f"  env.{var} = {_template(tr.environment[var].parts)};")
+        for key in sorted(tr.profile_hints):
+            lines.append(f"  profile {key} = {_quote(tr.profile_hints[key])};")
+    elif isinstance(tr, CompoundTransformation):
+        for call in tr.calls:
+            bindings = ", ".join(
+                f"{name}={_binding(value)}"
+                for name, value in call.bindings.items()
+            )
+            lines.append(f"  {call.target.vdl_text()}( {bindings} );")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _binding(value: Union[str, FormalRef]) -> str:
+    if isinstance(value, FormalRef):
+        if value.direction:
+            return "${%s:%s}" % (value.direction, value.name)
+        return "${%s}" % value.name
+    return _quote(value)
+
+
+def _actual(value: Union[str, DatasetArg]) -> str:
+    if isinstance(value, DatasetArg):
+        trailer = ':""' if value.temporary else ""
+        return '@{%s:%s%s}' % (value.direction, _quote(value.dataset), trailer)
+    return _quote(value)
+
+
+def unparse_derivation(dv: Derivation) -> str:
+    """Render one derivation as a ``DV`` declaration."""
+    actuals = ", ".join(
+        f"{name}={_actual(value)}" for name, value in dv.actuals.items()
+    )
+    return f"DV {dv.name}->{dv.transformation.vdl_text()}( {actuals} );"
+
+
+def unparse(
+    transformations: Iterable[Transformation] = (),
+    derivations: Iterable[Derivation] = (),
+) -> str:
+    """Render a whole program: all TRs, then all DVs."""
+    chunks = [unparse_transformation(tr) for tr in transformations]
+    chunks.extend(unparse_derivation(dv) for dv in derivations)
+    return "\n\n".join(chunks) + ("\n" if chunks else "")

@@ -1,0 +1,280 @@
+"""XML serialization of VDL objects.
+
+"We show the textual version of VDL here; an XML version is also
+implemented for machine-to-machine interfaces." (Appendix A)
+
+The format is a straightforward element tree::
+
+    <vdl>
+      <transformation name="t1" version="1.0" kind="simple">
+        <formal direction="output" name="a2"/>
+        <formal direction="none" name="pa" default="500"/>
+        <argument name="parg"><text>-p </text><ref name="pa" direction="none"/></argument>
+        <exec path="/usr/bin/app3"/>
+        <env variable="MAXMEM"><ref name="env" direction="none"/></env>
+        <profile key="hints.pfnHint" value="..."/>
+        <call target="vdp://host/tr"><binding formal="a2"><ref .../></binding></call>
+      </transformation>
+      <derivation name="d1" target="example1::t1">
+        <actual formal="a2"><lfn direction="output" name="..." temporary="false"/></actual>
+        <actual formal="pa"><string>600</string></actual>
+      </derivation>
+    </vdl>
+
+Round-trip fidelity (text -> objects -> XML -> objects) is covered by
+the test suite.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterable, Union
+
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.naming import VDPRef
+from repro.core.transformation import (
+    ArgumentTemplate,
+    CompoundTransformation,
+    FormalArg,
+    FormalRef,
+    SimpleTransformation,
+    Transformation,
+    TransformationCall,
+)
+from repro.core.types import DatasetType, TypeUnion
+from repro.errors import VDLError
+
+
+def _template_to_xml(parent: ET.Element, parts) -> None:
+    for part in parts:
+        if isinstance(part, FormalRef):
+            ref = ET.SubElement(parent, "ref", name=part.name)
+            if part.direction:
+                ref.set("direction", part.direction)
+        else:
+            text = ET.SubElement(parent, "text")
+            text.text = part
+
+
+def _template_from_xml(element: ET.Element) -> tuple:
+    parts = []
+    for child in element:
+        if child.tag == "ref":
+            parts.append(
+                FormalRef(name=child.get("name"), direction=child.get("direction"))
+            )
+        elif child.tag == "text":
+            parts.append(child.text or "")
+        elif child.tag in ("string", "lfn", "binding"):
+            continue
+        else:
+            raise VDLError(f"unexpected template element <{child.tag}>")
+    return tuple(parts)
+
+
+def _type_to_attr(union: TypeUnion) -> str:
+    return "|".join(
+        f"{m.content}/{m.format}/{m.encoding}" for m in union.members
+    )
+
+
+def _type_from_attr(text: str) -> TypeUnion:
+    members = []
+    for chunk in text.split("|"):
+        content, fmt, enc = chunk.split("/")
+        members.append(DatasetType(content=content, format=fmt, encoding=enc))
+    return TypeUnion(members=tuple(members))
+
+
+def transformation_to_xml(tr: Transformation) -> ET.Element:
+    """Serialize one transformation to an Element."""
+    kind = "compound" if tr.is_compound else "simple"
+    element = ET.Element(
+        "transformation", name=tr.name, version=tr.version, kind=kind
+    )
+    for formal in tr.signature.formals:
+        f = ET.SubElement(
+            element, "formal", direction=formal.direction, name=formal.name
+        )
+        if not formal.is_string:
+            f.set("types", _type_to_attr(formal.dataset_types))
+        if formal.default is not None:
+            f.set("default", formal.default)
+            if formal.temporary_default:
+                f.set("temporary", "true")
+    if isinstance(tr, SimpleTransformation):
+        for template in tr.arguments:
+            arg = ET.SubElement(element, "argument")
+            if template.name:
+                arg.set("name", template.name)
+            _template_to_xml(arg, template.parts)
+        if tr.executable:
+            ET.SubElement(element, "exec", path=tr.executable)
+        for var in sorted(tr.environment):
+            env = ET.SubElement(element, "env", variable=var)
+            _template_to_xml(env, tr.environment[var].parts)
+        for key in sorted(tr.profile_hints):
+            ET.SubElement(
+                element, "profile", key=key, value=tr.profile_hints[key]
+            )
+    elif isinstance(tr, CompoundTransformation):
+        for call in tr.calls:
+            call_el = ET.SubElement(element, "call", target=call.target.vdl_text())
+            for formal_name, value in call.bindings.items():
+                binding = ET.SubElement(call_el, "binding", formal=formal_name)
+                if isinstance(value, FormalRef):
+                    _template_to_xml(binding, (value,))
+                else:
+                    s = ET.SubElement(binding, "string")
+                    s.text = value
+    return element
+
+
+def transformation_from_xml(element: ET.Element) -> Transformation:
+    """Rebuild a transformation from :func:`transformation_to_xml` output."""
+    name = element.get("name")
+    version = element.get("version", "1.0")
+    kind = element.get("kind", "simple")
+    formals = []
+    for f in element.findall("formal"):
+        types_attr = f.get("types")
+        formals.append(
+            FormalArg(
+                name=f.get("name"),
+                direction=f.get("direction"),
+                dataset_types=(
+                    _type_from_attr(types_attr) if types_attr else TypeUnion()
+                ),
+                default=f.get("default"),
+                temporary_default=f.get("temporary") == "true",
+            )
+        )
+    if kind == "compound":
+        calls = []
+        for call_el in element.findall("call"):
+            bindings = {}
+            for binding in call_el.findall("binding"):
+                string_el = binding.find("string")
+                if string_el is not None:
+                    bindings[binding.get("formal")] = string_el.text or ""
+                else:
+                    parts = _template_from_xml(binding)
+                    if len(parts) != 1 or not isinstance(parts[0], FormalRef):
+                        raise VDLError(
+                            "call binding must contain exactly one <ref>"
+                        )
+                    bindings[binding.get("formal")] = parts[0]
+            calls.append(
+                TransformationCall(
+                    target=VDPRef.parse(
+                        call_el.get("target"), default_kind="transformation"
+                    ),
+                    bindings=bindings,
+                )
+            )
+        return CompoundTransformation(
+            name=name, formals=formals, calls=calls, version=version
+        )
+    arguments = []
+    for arg in element.findall("argument"):
+        arguments.append(
+            ArgumentTemplate(parts=_template_from_xml(arg), name=arg.get("name"))
+        )
+    exec_el = element.find("exec")
+    environment = {}
+    for env in element.findall("env"):
+        environment[env.get("variable")] = ArgumentTemplate(
+            parts=_template_from_xml(env), name=None
+        )
+    profile_hints = {
+        p.get("key"): p.get("value") for p in element.findall("profile")
+    }
+    return SimpleTransformation(
+        name=name,
+        formals=formals,
+        executable=exec_el.get("path") if exec_el is not None else "",
+        arguments=arguments,
+        environment=environment,
+        profile_hints=profile_hints,
+        version=version,
+    )
+
+
+def derivation_to_xml(dv: Derivation) -> ET.Element:
+    """Serialize one derivation to an Element."""
+    element = ET.Element(
+        "derivation", name=dv.name, target=dv.transformation.vdl_text()
+    )
+    for formal_name, value in dv.actuals.items():
+        actual = ET.SubElement(element, "actual", formal=formal_name)
+        if isinstance(value, DatasetArg):
+            lfn = ET.SubElement(
+                actual,
+                "lfn",
+                direction=value.direction,
+                name=value.dataset,
+            )
+            if value.temporary:
+                lfn.set("temporary", "true")
+        else:
+            s = ET.SubElement(actual, "string")
+            s.text = value
+    for var, val in sorted(dv.environment.items()):
+        ET.SubElement(element, "env", variable=var, value=val)
+    return element
+
+
+def derivation_from_xml(element: ET.Element) -> Derivation:
+    """Rebuild a derivation from :func:`derivation_to_xml` output."""
+    actuals: dict[str, Union[str, DatasetArg]] = {}
+    for actual in element.findall("actual"):
+        formal_name = actual.get("formal")
+        lfn = actual.find("lfn")
+        if lfn is not None:
+            actuals[formal_name] = DatasetArg(
+                dataset=lfn.get("name"),
+                direction=lfn.get("direction", "input"),
+                temporary=lfn.get("temporary") == "true",
+            )
+        else:
+            string_el = actual.find("string")
+            actuals[formal_name] = (
+                string_el.text or "" if string_el is not None else ""
+            )
+    environment = {
+        env.get("variable"): env.get("value", "")
+        for env in element.findall("env")
+    }
+    return Derivation(
+        name=element.get("name"),
+        transformation=VDPRef.parse(
+            element.get("target"), default_kind="transformation"
+        ),
+        actuals=actuals,
+        environment=environment,
+    )
+
+
+def to_xml(
+    transformations: Iterable[Transformation] = (),
+    derivations: Iterable[Derivation] = (),
+) -> str:
+    """Serialize a program to an XML document string."""
+    root = ET.Element("vdl")
+    for tr in transformations:
+        root.append(transformation_to_xml(tr))
+    for dv in derivations:
+        root.append(derivation_to_xml(dv))
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_xml(document: str) -> tuple[list[Transformation], list[Derivation]]:
+    """Parse an XML document back into (transformations, derivations)."""
+    root = ET.fromstring(document)
+    if root.tag != "vdl":
+        raise VDLError(f"expected <vdl> document, got <{root.tag}>")
+    transformations = [
+        transformation_from_xml(el) for el in root.findall("transformation")
+    ]
+    derivations = [derivation_from_xml(el) for el in root.findall("derivation")]
+    return transformations, derivations

@@ -1,0 +1,5 @@
+"""Synthetic workloads reproducing the paper's application experience (§6)."""
+
+from repro.workloads import canonical, hep, sdss
+
+__all__ = ["canonical", "hep", "sdss"]

@@ -1,0 +1,298 @@
+"""The Chimera-0 high-energy-physics challenge workload (§6).
+
+"We were able to create Chimera database definitions for a high energy
+physics collision event simulation application that consisted of four
+separate program executions with intermediate and final results
+passing between the stages as files.  For the last two stages the
+files were in fact object-oriented database files from a commercial
+OODBMS product."
+
+The four stages are the classic HEP chain:
+
+1. ``hepevt-gen`` — event generation (pythia-like): produces raw
+   collision events from a seed;
+2. ``hepevt-sim`` — detector simulation (geant-like): smears each
+   event through a toy detector;
+3. ``hepevt-reco`` — reconstruction: recovers physics quantities,
+   writing an *object container* (our toy OODBMS stand-in);
+4. ``hepevt-ana`` — analysis: applies a cut and produces a histogram.
+
+All four have real Python bodies (registered via
+:func:`register_bodies`) so the pipeline executes hermetically under
+:class:`~repro.executor.local.LocalExecutor` with genuine file
+contents, digests and invocation records.  The interactive
+ATLAS/CMS-style analysis extension (cut-sets and per-histogram-point
+lineage over multi-modal data) lives in :func:`define_analysis_chain`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.catalog.base import VirtualDataCatalog
+from repro.executor.local import LocalExecutor, RunContext
+
+#: Declared cost hints (cpu seconds per simulated event) used by the
+#: estimator before any history exists; loosely scaled to the era.
+STAGE_COSTS = {
+    "hepevt-gen": 0.002,
+    "hepevt-sim": 0.02,
+    "hepevt-reco": 0.008,
+    "hepevt-ana": 0.001,
+}
+
+HEP_VDL = """
+TR hepevt-gen( output events, none seed="1", none nevents="100" ) {
+  argument = "-seed "${none:seed}" -n "${none:nevents};
+  argument stdout = ${output:events};
+  exec = "py:hepevt-gen";
+}
+TR hepevt-sim( output hits, input events, none smear="0.05" ) {
+  argument = "-smear "${none:smear};
+  argument stdin = ${input:events};
+  argument stdout = ${output:hits};
+  exec = "py:hepevt-sim";
+}
+TR hepevt-reco( output objects, input hits ) {
+  argument stdin = ${input:hits};
+  argument stdout = ${output:objects};
+  exec = "py:hepevt-reco";
+}
+TR hepevt-ana( output histogram, input objects, none ptcut="20" ) {
+  argument = "-ptcut "${none:ptcut};
+  argument stdin = ${input:objects};
+  argument stdout = ${output:histogram};
+  exec = "py:hepevt-ana";
+}
+TR hepevt-chain( none seed="1", none nevents="100", none ptcut="20",
+                 inout events=@{inout:"chain.events":""},
+                 inout hits=@{inout:"chain.hits":""},
+                 inout objects=@{inout:"chain.objects":""},
+                 output histogram ) {
+  hepevt-gen( events=${output:events}, seed=${seed}, nevents=${nevents} );
+  hepevt-sim( hits=${output:hits}, events=${input:events} );
+  hepevt-reco( objects=${output:objects}, hits=${input:hits} );
+  hepevt-ana( histogram=${histogram}, objects=${input:objects}, ptcut=${ptcut} );
+}
+"""
+
+
+def define_transformations(catalog: VirtualDataCatalog) -> None:
+    """Register the four stage TRs and the 4-stage compound chain."""
+    if catalog.has_transformation("hepevt-gen"):
+        return
+    catalog.define(HEP_VDL)
+    for name, cost in STAGE_COSTS.items():
+        tr = catalog.get_transformation(name)
+        tr.attributes.set("cost.cpu_seconds", cost * 100)
+        catalog.add_transformation(tr, replace=True)
+
+
+def define_run(
+    catalog: VirtualDataCatalog,
+    run_id: str,
+    seed: int = 1,
+    events: int = 100,
+    ptcut: float = 20.0,
+) -> str:
+    """Declare the 4-derivation chain for one run; returns the final
+    histogram dataset name."""
+    define_transformations(catalog)
+    names = {
+        "events": f"{run_id}.events",
+        "hits": f"{run_id}.hits",
+        "objects": f"{run_id}.objects",
+        "histogram": f"{run_id}.hist",
+    }
+    catalog.define(
+        f"""
+DV {run_id}.gen->hepevt-gen(
+    events=@{{output:"{names['events']}"}}, seed="{seed}", nevents="{events}" );
+DV {run_id}.sim->hepevt-sim(
+    hits=@{{output:"{names['hits']}"}}, events=@{{input:"{names['events']}"}} );
+DV {run_id}.reco->hepevt-reco(
+    objects=@{{output:"{names['objects']}"}}, hits=@{{input:"{names['hits']}"}} );
+DV {run_id}.ana->hepevt-ana(
+    histogram=@{{output:"{names['histogram']}"}},
+    objects=@{{input:"{names['objects']}"}}, ptcut="{ptcut}" );
+"""
+    )
+    return names["histogram"]
+
+
+# ---------------------------------------------------------------------------
+# Real stage bodies (hermetic Python physics)
+# ---------------------------------------------------------------------------
+
+
+def _gen(ctx: RunContext) -> None:
+    seed = int(ctx.parameters["seed"])
+    nevents = int(ctx.parameters["nevents"])
+    rng = random.Random(seed)
+    lines = []
+    for i in range(nevents):
+        pt = rng.expovariate(1 / 25.0)  # transverse momentum, GeV
+        eta = rng.uniform(-2.5, 2.5)
+        phi = rng.uniform(0, 6.283185)
+        lines.append(f"{i} {pt:.4f} {eta:.4f} {phi:.4f}")
+    ctx.write_output("events", "\n".join(lines) + "\n")
+
+
+def _sim(ctx: RunContext) -> None:
+    smear = float(ctx.parameters["smear"])
+    rng = random.Random(1234)
+    out = []
+    for line in ctx.read_input("events").decode().splitlines():
+        i, pt, eta, phi = line.split()
+        pt_s = float(pt) * (1 + rng.gauss(0, smear))
+        out.append(f"{i} {max(pt_s, 0):.4f} {eta} {phi}")
+    ctx.write_output("hits", "\n".join(out) + "\n")
+
+
+def _reco(ctx: RunContext) -> None:
+    # Writes the toy "object container": a JSON object graph, the
+    # stand-in for the OODBMS files of the paper's last two stages.
+    objects = {}
+    roots = []
+    for line in ctx.read_input("hits").decode().splitlines():
+        i, pt, eta, phi = line.split()
+        oid = f"trk-{i}"
+        objects[oid] = {"pt": float(pt), "eta": float(eta), "phi": float(phi)}
+        roots.append(oid)
+    container = {"kind": "object-container", "roots": roots, "objects": objects}
+    ctx.write_output("objects", json.dumps(container))
+
+
+def _ana(ctx: RunContext) -> None:
+    ptcut = float(ctx.parameters["ptcut"])
+    container = json.loads(ctx.read_input("objects").decode())
+    bins = [0] * 10
+    passed = 0
+    for obj in container["objects"].values():
+        if obj["pt"] < ptcut:
+            continue
+        passed += 1
+        index = min(9, int((obj["pt"] - ptcut) / 10))
+        bins[index] += 1
+    histogram = {"ptcut": ptcut, "passed": passed, "bins": bins}
+    ctx.write_output("histogram", json.dumps(histogram))
+
+
+def register_bodies(executor: LocalExecutor) -> None:
+    """Bind the four stage bodies to their ``py:`` executables."""
+    executor.register("py:hepevt-gen", _gen)
+    executor.register("py:hepevt-sim", _sim)
+    executor.register("py:hepevt-reco", _reco)
+    executor.register("py:hepevt-ana", _ana)
+
+
+# ---------------------------------------------------------------------------
+# Interactive multi-modal analysis (§6 last paragraph)
+# ---------------------------------------------------------------------------
+
+ANALYSIS_VDL = """
+TR evt-select( output cutset, input objects, none expr="pt>30" ) {
+  argument = "-cut "${none:expr};
+  argument stdin = ${input:objects};
+  argument stdout = ${output:cutset};
+  exec = "py:evt-select";
+}
+TR evt-hist( output point, input cutset, none bin="0" ) {
+  argument = "-bin "${none:bin};
+  argument stdin = ${input:cutset};
+  argument stdout = ${output:point};
+  exec = "py:evt-hist";
+}
+TR evt-combine( output graph, input a, input b ) {
+  argument = ${input:a}" "${input:b};
+  argument stdout = ${output:graph};
+  exec = "py:evt-combine";
+}
+"""
+
+
+def define_analysis_chain(
+    catalog: VirtualDataCatalog,
+    run_id: str,
+    bins: tuple[str, ...] = ("0", "1"),
+    expr: str = "pt>30",
+) -> str:
+    """The unstructured-iteration analysis: select a cut-set from a
+    run's object container, derive one histogram *point* per bin, and
+    combine points into the final graph.  Returns the graph dataset.
+
+    Every point dataset has its own derivation, so
+    :func:`repro.provenance.lineage.lineage_report` on a point yields
+    the paper's per-data-point lineage.
+    """
+    if not catalog.has_transformation("evt-select"):
+        catalog.define(ANALYSIS_VDL)
+    define_run(catalog, run_id)  # ensure the upstream chain exists
+    cutset = f"{run_id}.cuts"
+    catalog.define(
+        f"""
+DV {run_id}.select->evt-select(
+    cutset=@{{output:"{cutset}"}},
+    objects=@{{input:"{run_id}.objects"}}, expr="{expr}" );
+"""
+    )
+    points = []
+    for bin_id in bins:
+        point = f"{run_id}.point{bin_id}"
+        catalog.define(
+            f"""
+DV {run_id}.hist{bin_id}->evt-hist(
+    point=@{{output:"{point}"}}, cutset=@{{input:"{cutset}"}}, bin="{bin_id}" );
+"""
+        )
+        points.append(point)
+    graph = f"{run_id}.graph"
+    combined = points[0]
+    for i, point in enumerate(points[1:], start=1):
+        out = graph if i == len(points) - 1 else f"{run_id}.partial{i}"
+        catalog.define(
+            f"""
+DV {run_id}.comb{i}->evt-combine(
+    graph=@{{output:"{out}"}}, a=@{{input:"{combined}"}}, b=@{{input:"{point}"}} );
+"""
+        )
+        combined = out
+    if len(points) == 1:
+        graph = points[0]
+    return graph
+
+
+def _select(ctx: RunContext) -> None:
+    expr = ctx.parameters["expr"]
+    field, _, threshold = expr.partition(">")
+    container = json.loads(ctx.read_input("objects").decode())
+    kept = {
+        oid: obj
+        for oid, obj in container["objects"].items()
+        if obj[field] > float(threshold)
+    }
+    ctx.write_output("cutset", json.dumps({"expr": expr, "objects": kept}))
+
+
+def _hist_point(ctx: RunContext) -> None:
+    bin_id = int(ctx.parameters["bin"])
+    cutset = json.loads(ctx.read_input("cutset").decode())
+    lo, hi = 30 + bin_id * 20, 30 + (bin_id + 1) * 20
+    count = sum(1 for o in cutset["objects"].values() if lo <= o["pt"] < hi)
+    ctx.write_output("point", json.dumps({"bin": bin_id, "count": count}))
+
+
+def _combine(ctx: RunContext) -> None:
+    a = json.loads(ctx.read_input("a").decode())
+    b = json.loads(ctx.read_input("b").decode())
+    points = (a["points"] if "points" in a else [a]) + (
+        b["points"] if "points" in b else [b]
+    )
+    ctx.write_output("graph", json.dumps({"points": points}))
+
+
+def register_analysis_bodies(executor: LocalExecutor) -> None:
+    executor.register("py:evt-select", _select)
+    executor.register("py:evt-hist", _hist_point)
+    executor.register("py:evt-combine", _combine)

@@ -1,0 +1,104 @@
+"""Tests for arbitrary attributes and annotation history."""
+
+import pytest
+
+from repro.core.attributes import Annotation, AttributeSet
+from repro.errors import SchemaError
+
+
+class TestAnnotation:
+    def test_basic(self):
+        note = Annotation(key="quality", value="approved", author="alice")
+        assert note.value == "approved"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Annotation(key="", value=1)
+
+    def test_scalar_values_accepted(self):
+        for value in ("x", 1, 1.5, True):
+            assert Annotation(key="k", value=value).value == value
+
+    def test_flat_list_accepted(self):
+        note = Annotation(key="k", value=[1, 2, 3])
+        assert note.value == [1, 2, 3]
+
+    def test_nested_list_rejected(self):
+        with pytest.raises(SchemaError):
+            Annotation(key="k", value=[[1]])
+
+    def test_dict_value_rejected(self):
+        with pytest.raises(SchemaError):
+            Annotation(key="k", value={"a": 1})
+
+
+class TestAttributeSet:
+    def test_set_get(self):
+        attrs = AttributeSet()
+        attrs.set("owner", "alice")
+        assert attrs.get("owner") == "alice"
+        assert attrs["owner"] == "alice"
+
+    def test_get_default(self):
+        assert AttributeSet().get("nope", 7) == 7
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            AttributeSet()["nope"]
+
+    def test_initial_dict(self):
+        attrs = AttributeSet({"a": 1, "b": "x"})
+        assert attrs.as_dict() == {"a": 1, "b": "x"}
+
+    def test_history_preserved(self):
+        attrs = AttributeSet()
+        attrs.set("calib", "v1", author="bob")
+        attrs.set("calib", "v2", author="alice")
+        history = attrs.history("calib")
+        assert [n.value for n in history] == ["v1", "v2"]
+        assert [n.author for n in history] == ["bob", "alice"]
+        assert attrs.get("calib") == "v2"
+
+    def test_contains_len_iter(self):
+        attrs = AttributeSet({"b": 2, "a": 1})
+        assert "a" in attrs and "c" not in attrs
+        assert len(attrs) == 2
+        assert list(attrs) == ["a", "b"]
+
+    def test_remove(self):
+        attrs = AttributeSet({"a": 1})
+        attrs.remove("a")
+        assert "a" not in attrs
+        with pytest.raises(KeyError):
+            attrs.remove("a")
+
+    def test_matches(self):
+        attrs = AttributeSet({"a": 1, "b": "x"})
+        assert attrs.matches({"a": 1})
+        assert attrs.matches({"a": 1, "b": "x"})
+        assert not attrs.matches({"a": 2})
+        assert not attrs.matches({"missing": 1})
+
+    def test_equality_on_current_values(self):
+        a = AttributeSet({"k": 1})
+        b = AttributeSet()
+        b.set("k", 0)
+        b.set("k", 1)
+        assert a == b  # history differs, current values equal
+
+    def test_copy_is_deep(self):
+        attrs = AttributeSet({"a": 1})
+        clone = attrs.copy()
+        clone.set("a", 2)
+        assert attrs.get("a") == 1
+        assert clone.get("a") == 2
+        assert len(clone.history("a")) == 2
+
+    def test_setitem(self):
+        attrs = AttributeSet()
+        attrs["x"] = 5
+        assert attrs.get("x") == 5
+
+    def test_keys_sorted(self):
+        attrs = AttributeSet({"z": 1, "a": 2})
+        assert attrs.keys() == ["a", "z"]

@@ -1,0 +1,228 @@
+"""Tests for derivations (provenance edges) and invocation records."""
+
+import pytest
+
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.invocation import (
+    ExecutionContext,
+    Invocation,
+    ResourceUsage,
+)
+from repro.core.naming import VDPRef
+from repro.core.transformation import (
+    ArgumentTemplate,
+    FormalArg,
+    FormalRef,
+    SimpleTransformation,
+)
+from repro.errors import SchemaError, SignatureMismatchError
+
+
+def prog1():
+    """The Fig 1 transformation: prog1(in X, out Y)."""
+    return SimpleTransformation(
+        "prog1",
+        [FormalArg("Y", "output"), FormalArg("X", "input")],
+        executable="/usr/bin/prog1",
+        arguments=(ArgumentTemplate(parts=("-f ", FormalRef("X", "input"))),),
+    )
+
+
+def fig1_derivation():
+    """Fig 1: foo produced by applying prog1 to fnn."""
+    return Derivation(
+        name="d1",
+        transformation=VDPRef("prog1", kind="transformation"),
+        actuals={
+            "Y": DatasetArg("foo", "output"),
+            "X": DatasetArg("fnn", "input"),
+        },
+    )
+
+
+class TestDatasetArg:
+    def test_direction_none_rejected(self):
+        with pytest.raises(SchemaError):
+            DatasetArg("x", "none")
+
+    def test_predicates(self):
+        assert DatasetArg("x", "input").is_input
+        assert DatasetArg("x", "output").is_output
+        both = DatasetArg("x", "inout")
+        assert both.is_input and both.is_output
+
+    def test_str_renders_vdl_form(self):
+        assert str(DatasetArg("foo", "output")) == '@{output:"foo"}'
+
+
+class TestDerivation:
+    def test_fig1_edges(self):
+        dv = fig1_derivation()
+        assert dv.inputs() == ("fnn",)
+        assert dv.outputs() == ("foo",)
+        assert dv.produces("foo") and not dv.produces("fnn")
+        assert dv.consumes("fnn") and not dv.consumes("foo")
+
+    def test_inout_appears_on_both_sides(self):
+        dv = Derivation(
+            name="d",
+            transformation=VDPRef("t", kind="transformation"),
+            actuals={"a": DatasetArg("x", "inout")},
+        )
+        assert dv.inputs() == ("x",) and dv.outputs() == ("x",)
+
+    def test_rejects_non_transformation_ref(self):
+        with pytest.raises(SchemaError):
+            Derivation(
+                name="d",
+                transformation=VDPRef("x", kind="dataset"),
+            )
+
+    def test_rejects_bad_actual_type(self):
+        with pytest.raises(SchemaError):
+            Derivation(
+                name="d",
+                transformation=VDPRef("t", kind="transformation"),
+                actuals={"a": 42},
+            )
+
+    def test_check_against_ok(self):
+        fig1_derivation().check_against(prog1())
+
+    def test_check_against_wrong_transformation(self):
+        dv = fig1_derivation()
+        other = SimpleTransformation(
+            "other", [FormalArg("Y", "output"), FormalArg("X", "input")],
+            executable="/bin/x",
+        )
+        with pytest.raises(SignatureMismatchError):
+            dv.check_against(other)
+
+    def test_check_against_string_for_dataset(self):
+        dv = Derivation(
+            name="d",
+            transformation=VDPRef("prog1", kind="transformation"),
+            actuals={"Y": DatasetArg("foo", "output"), "X": "oops"},
+        )
+        with pytest.raises(SignatureMismatchError):
+            dv.check_against(prog1())
+
+    def test_check_against_dataset_for_string(self):
+        tr = SimpleTransformation(
+            "t",
+            [FormalArg("o", "output"), FormalArg("n", "none")],
+            executable="/bin/t",
+        )
+        dv = Derivation(
+            name="d",
+            transformation=VDPRef("t", kind="transformation"),
+            actuals={
+                "o": DatasetArg("out", "output"),
+                "n": DatasetArg("bad", "input"),
+            },
+        )
+        with pytest.raises(SignatureMismatchError):
+            dv.check_against(tr)
+
+    def test_check_against_direction_mismatch(self):
+        dv = Derivation(
+            name="d",
+            transformation=VDPRef("prog1", kind="transformation"),
+            actuals={
+                "Y": DatasetArg("foo", "input"),  # formal is output
+                "X": DatasetArg("fnn", "input"),
+            },
+        )
+        with pytest.raises(SignatureMismatchError):
+            dv.check_against(prog1())
+
+    def test_dict_round_trip(self):
+        dv = fig1_derivation()
+        dv.environment["MAXMEM"] = "100000"
+        dv.attributes.set("owner", "alice")
+        rebuilt = Derivation.from_dict(dv.to_dict())
+        assert rebuilt.name == dv.name
+        assert rebuilt.inputs() == dv.inputs()
+        assert rebuilt.outputs() == dv.outputs()
+        assert rebuilt.environment == {"MAXMEM": "100000"}
+        assert rebuilt.attributes.get("owner") == "alice"
+        assert rebuilt.transformation.name == "prog1"
+
+    def test_remote_transformation_round_trip(self):
+        dv = Derivation(
+            name="srch-muon",
+            transformation=VDPRef(
+                "srch", authority="physics.wisconsin.edu",
+                kind="transformation",
+            ),
+            actuals={},
+        )
+        rebuilt = Derivation.from_dict(dv.to_dict())
+        assert rebuilt.transformation.authority == "physics.wisconsin.edu"
+
+
+class TestInvocation:
+    def test_defaults(self):
+        inv = Invocation(derivation_name="d1")
+        assert inv.succeeded
+        assert inv.end_time == inv.start_time
+
+    def test_status_validation(self):
+        with pytest.raises(SchemaError):
+            Invocation(derivation_name="d1", status="meh")
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(SchemaError):
+            ResourceUsage(cpu_seconds=-1)
+        with pytest.raises(SchemaError):
+            ResourceUsage(bytes_read=-1)
+
+    def test_end_time(self):
+        inv = Invocation(
+            derivation_name="d",
+            start_time=100.0,
+            usage=ResourceUsage(wall_seconds=20.0),
+        )
+        assert inv.end_time == 120.0
+
+    def test_context_environment(self):
+        ctx = ExecutionContext.make(
+            site="anl", environment={"B": "2", "A": "1"}
+        )
+        assert ctx.environment_dict() == {"A": "1", "B": "2"}
+        assert ctx.environment == (("A", "1"), ("B", "2"))
+
+    def test_dict_round_trip(self):
+        inv = Invocation(
+            derivation_name="d1",
+            status="failure",
+            start_time=10.0,
+            context=ExecutionContext.make(
+                site="U.Chicago", host="node7", environment={"X": "1"}
+            ),
+            usage=ResourceUsage(
+                cpu_seconds=20.0,
+                wall_seconds=25.0,
+                bytes_read=100,
+                bytes_written=200,
+            ),
+            replica_bindings={"Y": "rep-1"},
+            exit_code=3,
+            error="boom",
+        )
+        rebuilt = Invocation.from_dict(inv.to_dict())
+        assert rebuilt.invocation_id == inv.invocation_id
+        assert not rebuilt.succeeded
+        assert rebuilt.context.site == "U.Chicago"
+        assert rebuilt.usage.wall_seconds == 25.0
+        assert rebuilt.replica_bindings == {"Y": "rep-1"}
+        assert rebuilt.error == "boom"
+
+    def test_ids_unique(self):
+        a = Invocation(derivation_name="d")
+        b = Invocation(derivation_name="d")
+        assert a.invocation_id != b.invocation_id
+
+    def test_str(self):
+        inv = Invocation(derivation_name="d1")
+        assert "d1" in str(inv)

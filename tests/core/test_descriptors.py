@@ -1,0 +1,138 @@
+"""Tests for the dataset descriptor spectrum (§3.1)."""
+
+import pytest
+
+from repro.core.descriptors import (
+    ArchiveDescriptor,
+    FileDescriptor,
+    FileSlice,
+    FilesetDescriptor,
+    IndexedDescriptor,
+    ObjectClosureDescriptor,
+    SliceDescriptor,
+    SpreadsheetDescriptor,
+    SQLRowsDescriptor,
+    VirtualDescriptor,
+    descriptor_from_dict,
+    descriptor_to_dict,
+)
+from repro.errors import SchemaError
+
+ALL_DESCRIPTORS = [
+    FileDescriptor(path="a.dat", size=100),
+    FilesetDescriptor(paths=("a", "b"), size=200),
+    SliceDescriptor(slices=(FileSlice("a", 0, 10), FileSlice("b", 5, 20))),
+    ArchiveDescriptor(archive_path="x.tar", members=("m1", "m2"), size=300),
+    IndexedDescriptor(index_path="idx.db", data_paths=("d1", "d2")),
+    SQLRowsDescriptor(database="db", tables=("t",), keys=("1", "2")),
+    ObjectClosureDescriptor(store="oo", roots=("r1",)),
+    SpreadsheetDescriptor(workbook="wb.xls", regions=("Sheet1!A1:B2",)),
+    VirtualDescriptor(size_hint=42),
+]
+
+
+class TestValidation:
+    def test_file_requires_path(self):
+        with pytest.raises(SchemaError):
+            FileDescriptor(path="")
+
+    def test_fileset_requires_paths(self):
+        with pytest.raises(SchemaError):
+            FilesetDescriptor(paths=())
+
+    def test_fileset_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            FilesetDescriptor(paths=("a", "a"))
+
+    def test_slice_requires_nonnegative(self):
+        with pytest.raises(SchemaError):
+            FileSlice("a", -1, 10)
+        with pytest.raises(SchemaError):
+            FileSlice("a", 0, -1)
+
+    def test_slice_descriptor_requires_slices(self):
+        with pytest.raises(SchemaError):
+            SliceDescriptor(slices=())
+
+    def test_archive_format_checked(self):
+        with pytest.raises(SchemaError):
+            ArchiveDescriptor(archive_path="x", archive_format="rar")
+
+    def test_sql_rows_needs_keys_or_range(self):
+        with pytest.raises(SchemaError):
+            SQLRowsDescriptor(database="db", tables=("t",))
+        SQLRowsDescriptor(database="db", tables=("t",), key_range=("a", "z"))
+
+    def test_object_closure_needs_roots(self):
+        with pytest.raises(SchemaError):
+            ObjectClosureDescriptor(store="s", roots=())
+
+    def test_spreadsheet_needs_regions(self):
+        with pytest.raises(SchemaError):
+            SpreadsheetDescriptor(workbook="wb", regions=())
+
+
+class TestBehaviour:
+    def test_file_files_and_size(self):
+        d = FileDescriptor(path="a.dat", size=100)
+        assert d.files() == ("a.dat",)
+        assert d.nominal_size() == 100
+
+    def test_slice_size_sums_lengths(self):
+        d = SliceDescriptor(
+            slices=(FileSlice("a", 0, 10), FileSlice("a", 20, 30))
+        )
+        assert d.nominal_size() == 40
+        assert d.files() == ("a",)  # deduplicated
+
+    def test_indexed_files_include_index(self):
+        d = IndexedDescriptor(index_path="i", data_paths=("d",))
+        assert d.files() == ("i", "d")
+
+    def test_sql_row_count_hint(self):
+        d = SQLRowsDescriptor(
+            database="db", tables=("t1", "t2"), keys=("1", "2", "3")
+        )
+        assert d.row_count_hint() == 6
+        ranged = SQLRowsDescriptor(
+            database="db", tables=("t",), key_range=("a", "z")
+        )
+        assert ranged.row_count_hint() is None
+
+    def test_sql_overlap(self):
+        a = SQLRowsDescriptor(database="db", tables=("t",), keys=("1", "2"))
+        b = SQLRowsDescriptor(database="db", tables=("t",), keys=("2", "3"))
+        c = SQLRowsDescriptor(database="db", tables=("t",), keys=("9",))
+        d = SQLRowsDescriptor(database="other", tables=("t",), keys=("1",))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert not a.overlaps(d)
+
+    def test_sql_overlap_range_conservative(self):
+        a = SQLRowsDescriptor(database="db", tables=("t",), keys=("1",))
+        b = SQLRowsDescriptor(
+            database="db", tables=("t",), key_range=("0", "5")
+        )
+        assert a.overlaps(b)
+
+    def test_virtual_is_sizeless_by_default(self):
+        assert VirtualDescriptor().nominal_size() is None
+        assert VirtualDescriptor(size_hint=5).nominal_size() == 5
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "descriptor", ALL_DESCRIPTORS, ids=lambda d: d.KIND
+    )
+    def test_round_trip(self, descriptor):
+        data = descriptor_to_dict(descriptor)
+        rebuilt = descriptor_from_dict(data)
+        assert rebuilt == descriptor
+        assert rebuilt.KIND == descriptor.KIND
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            descriptor_from_dict({"kind": "martian"})
+
+    def test_dict_has_kind_tag(self):
+        assert descriptor_to_dict(FileDescriptor(path="a"))["kind"] == "file"

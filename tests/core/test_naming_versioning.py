@@ -1,0 +1,154 @@
+"""Tests for vdp:// references and structured versioning."""
+
+import pytest
+
+from repro.core.naming import VDPRef, check_object_name
+from repro.core.versioning import Version, VersionRegistry
+from repro.errors import SchemaError
+
+
+class TestObjectNames:
+    def test_valid_names(self):
+        for name in ("foo", "example1::t1", "run1.exp15", "srch-muon", "a+b"):
+            assert check_object_name(name) == name
+
+    def test_invalid_names(self):
+        for name in ("", "-x", "/abs", "a b"):
+            with pytest.raises(SchemaError):
+                check_object_name(name)
+
+
+class TestVDPRef:
+    def test_local_ref(self):
+        ref = VDPRef("srch")
+        assert ref.is_local
+        assert ref.uri() == "srch"
+        assert ref.vdl_text() == "srch"
+
+    def test_remote_ref_uri(self):
+        ref = VDPRef("srch", authority="physics.wisconsin.edu")
+        assert not ref.is_local
+        assert ref.uri() == "vdp://physics.wisconsin.edu/srch"
+        assert ref.vdl_text() == "vdp://physics.wisconsin.edu/srch"
+
+    def test_remote_ref_with_kind(self):
+        ref = VDPRef("srch", authority="w.edu", kind="transformation")
+        assert ref.uri() == "vdp://w.edu/transformation/srch"
+        assert ref.vdl_text() == "vdp://w.edu/srch"
+
+    def test_parse_bare_name(self):
+        ref = VDPRef.parse("srch", default_kind="transformation")
+        assert ref.is_local and ref.kind == "transformation"
+
+    def test_parse_full_uri(self):
+        ref = VDPRef.parse("vdp://w.edu/transformation/srch")
+        assert ref.authority == "w.edu"
+        assert ref.kind == "transformation"
+        assert ref.name == "srch"
+
+    def test_parse_uri_without_kind(self):
+        ref = VDPRef.parse("vdp://w.edu/srch", default_kind="derivation")
+        assert ref.kind == "derivation"
+
+    def test_parse_round_trip(self):
+        for text in ("x", "vdp://a.b/x", "vdp://a.b/dataset/x"):
+            ref = VDPRef.parse(text)
+            assert VDPRef.parse(ref.uri()) == ref
+
+    def test_invalid_kind(self):
+        with pytest.raises(SchemaError):
+            VDPRef("x", kind="martian")
+
+    def test_invalid_authority(self):
+        with pytest.raises(SchemaError):
+            VDPRef("x", authority="not valid!")
+
+    def test_localized_and_at(self):
+        ref = VDPRef("x", authority="a.edu", kind="dataset")
+        local = ref.localized()
+        assert local.is_local and local.kind == "dataset"
+        again = local.at("b.edu")
+        assert again.authority == "b.edu"
+
+    def test_namespaced_name(self):
+        ref = VDPRef.parse("example1::t1")
+        assert ref.name == "example1::t1"
+
+
+class TestVersion:
+    def test_parse_and_str(self):
+        v = Version.parse("1.2.3")
+        assert str(v) == "1.2.3"
+
+    def test_invalid(self):
+        for text in ("", "a.b", "1..2", "-1"):
+            with pytest.raises(SchemaError):
+                Version.parse(text)
+
+    def test_trailing_zero_normalization(self):
+        assert Version.parse("1.0") == Version.parse("1")
+        assert Version.parse("1.0.0") == Version.parse("1.0")
+        assert hash(Version.parse("1.0")) == hash(Version.parse("1"))
+
+    def test_ordering(self):
+        assert Version.parse("1.2") < Version.parse("1.10")
+        assert Version.parse("2.0") > Version.parse("1.99")
+        assert Version.parse("1.0") <= Version.parse("1")
+        assert Version.parse("1.1") >= Version.parse("1.1")
+
+
+class TestVersionRegistry:
+    def test_register_and_latest(self):
+        reg = VersionRegistry()
+        reg.register("t", "1.0")
+        reg.register("t", "2.0")
+        reg.register("t", "1.5")
+        assert str(reg.latest("t")) == "2.0"
+        assert [str(v) for v in reg.versions("t")] == ["1.0", "1.5", "2.0"]
+
+    def test_latest_unknown(self):
+        assert VersionRegistry().latest("nope") is None
+
+    def test_equivalence_reflexive(self):
+        reg = VersionRegistry()
+        assert reg.equivalent("t", "1.0", "1.0")
+
+    def test_equivalence_via_assertion(self):
+        reg = VersionRegistry()
+        reg.assert_compatible("t", "1.0", "1.1")
+        assert reg.equivalent("t", "1.0", "1.1")
+        assert reg.equivalent("t", "1.1", "1.0")  # symmetric
+
+    def test_equivalence_transitive(self):
+        reg = VersionRegistry()
+        reg.assert_compatible("t", "1.0", "1.1")
+        reg.assert_compatible("t", "1.1", "1.2")
+        assert reg.equivalent("t", "1.0", "1.2")
+
+    def test_scopes_do_not_mix(self):
+        reg = VersionRegistry()
+        reg.assert_compatible("t", "1.0", "1.1", scope="semantic")
+        assert not reg.equivalent("t", "1.0", "1.1", scope="exact")
+
+    def test_exact_satisfies_semantic(self):
+        reg = VersionRegistry()
+        reg.assert_compatible("t", "1.0", "1.1", scope="exact")
+        assert reg.equivalent("t", "1.0", "1.1", scope="semantic")
+
+    def test_per_transformation_isolation(self):
+        reg = VersionRegistry()
+        reg.assert_compatible("t", "1.0", "1.1")
+        assert not reg.equivalent("other", "1.0", "1.1")
+
+    def test_equivalence_class(self):
+        reg = VersionRegistry()
+        reg.assert_compatible("t", "1.0", "1.1")
+        reg.assert_compatible("t", "1.1", "1.2")
+        reg.register("t", "9.9")
+        cls = reg.equivalence_class("t", "1.1")
+        assert [str(v) for v in cls] == ["1.0", "1.1", "1.2"]
+
+    def test_assertions_listed(self):
+        reg = VersionRegistry()
+        reg.assert_compatible("t", "1.0", "1.1", authority="cms")
+        assert reg.assertions("t")[0].authority == "cms"

@@ -1,0 +1,124 @@
+"""Tests for overlaid virtual datasets and storage reclamation (§8)."""
+
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.descriptors import (
+    FileDescriptor,
+    FileSlice,
+    FilesetDescriptor,
+    SliceDescriptor,
+)
+from repro.core.overlay import OverlayStore
+from repro.errors import SchemaError
+
+
+def slice_dataset(name, path, offset, length):
+    return Dataset(
+        name=name,
+        descriptor=SliceDescriptor(
+            slices=(FileSlice(path, offset, length),)
+        ),
+    )
+
+
+@pytest.fixture
+def store():
+    return OverlayStore()
+
+
+class TestRegistration:
+    def test_files_from_descriptor(self, store):
+        ds = Dataset(
+            name="d1",
+            descriptor=FilesetDescriptor(paths=("a.dat", "b.dat")),
+        )
+        store.register(ds)
+        assert store.files_of("d1") == {"a.dat", "b.dat"}
+        assert store.refcount("a.dat") == 1
+
+    def test_bare_name_requires_files(self, store):
+        with pytest.raises(SchemaError):
+            store.register("d1")
+        store.register("d1", files=["x"])
+        assert store.files_of("d1") == {"x"}
+
+    def test_reregistration_replaces_claims(self, store):
+        store.register("d1", files=["a", "b"])
+        store.register("d1", files=["b", "c"])
+        assert store.files_of("d1") == {"b", "c"}
+        assert store.refcount("a") == 0
+
+    def test_shared_files_counted_once_per_dataset(self, store):
+        store.register("d1", files=["shared"])
+        store.register("d2", files=["shared"])
+        assert store.refcount("shared") == 2
+        assert store.referencers_of("shared") == {"d1", "d2"}
+
+
+class TestOverlap:
+    def test_overlapping_datasets(self, store):
+        store.register("d1", files=["events.bin", "own1"])
+        store.register("d2", files=["events.bin", "own2"])
+        store.register("d3", files=["elsewhere"])
+        assert store.overlapping("d1") == {"d2"}
+        assert store.overlapping("d3") == set()
+
+    def test_slice_overlap_byte_precise(self, store):
+        a = slice_dataset("a", "events.bin", 0, 100)
+        b = slice_dataset("b", "events.bin", 50, 100)
+        c = slice_dataset("c", "events.bin", 200, 50)
+        d = slice_dataset("d", "other.bin", 0, 100)
+        assert store.slice_overlaps(a, b)
+        assert not store.slice_overlaps(a, c)
+        assert not store.slice_overlaps(a, d)
+
+    def test_slice_overlap_adjacent_not_overlapping(self, store):
+        a = slice_dataset("a", "f", 0, 100)
+        b = slice_dataset("b", "f", 100, 100)
+        assert not store.slice_overlaps(a, b)
+
+    def test_non_slice_falls_back_to_file_grain(self, store):
+        a = Dataset(name="a", descriptor=FileDescriptor(path="x"))
+        b = slice_dataset("b", "x", 0, 10)
+        assert store.slice_overlaps(a, b)
+
+
+class TestReclamation:
+    def test_drop_frees_unshared_files_only(self, store):
+        store.register("d1", files=["shared", "only1"],
+                       sizes={"shared": 100, "only1": 40})
+        store.register("d2", files=["shared"], sizes={"shared": 100})
+        report = store.reclaim(drop=["d1"])
+        assert report.freed_files == ("only1",)
+        assert report.freed_bytes == 40
+        assert "shared" in report.retained_files
+        assert store.refcount("shared") == 1
+
+    def test_last_reference_frees_shared(self, store):
+        store.register("d1", files=["shared"], sizes={"shared": 100})
+        store.register("d2", files=["shared"])
+        store.reclaim(drop=["d1"])
+        report = store.reclaim(drop=["d2"])
+        assert report.freed_files == ("shared",)
+        assert report.freed_bytes == 100
+
+    def test_pinned_files_survive(self, store):
+        store.register("d1", files=["precious"], sizes={"precious": 10})
+        store.pin("precious")
+        report = store.reclaim(drop=["d1"])
+        assert report.freed_files == ()
+        assert "precious" in report.retained_files
+        store.unpin("precious")
+        assert store.reclaim().freed_files == ("precious",)
+
+    def test_collectable_listing(self, store):
+        store.register("d1", files=["a"])
+        store.drop("d1")
+        assert store.collectable() == ["a"]
+
+    def test_reclaim_reports_dropped(self, store):
+        store.register("d1", files=["a"])
+        report = store.reclaim(drop=["d1"])
+        assert report.dropped_datasets == ("d1",)
+        assert store.datasets() == []

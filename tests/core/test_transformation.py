@@ -1,0 +1,273 @@
+"""Tests for simple/compound transformations and type signatures (§3.2)."""
+
+import pytest
+
+from repro.core.naming import VDPRef
+from repro.core.transformation import (
+    ArgumentTemplate,
+    CompoundTransformation,
+    FormalArg,
+    FormalRef,
+    SimpleTransformation,
+    TransformationCall,
+    TransformationSignature,
+    two_stage,
+)
+from repro.core.types import DatasetType, TypeUnion, default_registry
+from repro.errors import (
+    SchemaError,
+    SignatureMismatchError,
+    TypeConformanceError,
+)
+
+
+def simple_tr(name="t1"):
+    return SimpleTransformation(
+        name,
+        [
+            FormalArg("out", "output"),
+            FormalArg("inp", "input"),
+            FormalArg("level", "none", default="5"),
+        ],
+        executable="/bin/app",
+        arguments=(
+            ArgumentTemplate(parts=("-l ", FormalRef("level", "none"))),
+            ArgumentTemplate(parts=(FormalRef("inp", "input"),), name="stdin"),
+            ArgumentTemplate(parts=(FormalRef("out", "output"),), name="stdout"),
+        ),
+        environment={
+            "MAXMEM": ArgumentTemplate(parts=(FormalRef("level"),)),
+        },
+    )
+
+
+class TestFormalArg:
+    def test_direction_validation(self):
+        with pytest.raises(SchemaError):
+            FormalArg("x", "sideways")
+
+    def test_predicates(self):
+        assert FormalArg("x", "none").is_string
+        assert FormalArg("x", "input").is_input
+        assert FormalArg("x", "output").is_output
+        inout = FormalArg("x", "inout")
+        assert inout.is_input and inout.is_output
+
+    def test_str(self):
+        assert "none" in str(FormalArg("x", "none"))
+        assert "input" in str(FormalArg("x", "input"))
+
+
+class TestSignature:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TransformationSignature(
+                [FormalArg("a", "input"), FormalArg("a", "output")]
+            )
+
+    def test_lookup(self):
+        sig = TransformationSignature([FormalArg("a", "input")])
+        assert sig.formal("a").name == "a"
+        assert "a" in sig and "b" not in sig
+        with pytest.raises(SignatureMismatchError):
+            sig.formal("b")
+
+    def test_partitions(self):
+        sig = simple_tr().signature
+        assert [f.name for f in sig.inputs()] == ["inp"]
+        assert [f.name for f in sig.outputs()] == ["out"]
+        assert [f.name for f in sig.strings()] == ["level"]
+
+    def test_check_actuals_missing_required(self):
+        sig = simple_tr().signature
+        with pytest.raises(SignatureMismatchError):
+            sig.check_actuals({"out": "x"})  # inp missing, no default
+
+    def test_check_actuals_default_fills(self):
+        sig = simple_tr().signature
+        sig.check_actuals({"out": "x", "inp": "y"})  # level has default
+
+    def test_check_actuals_unknown_name(self):
+        sig = simple_tr().signature
+        with pytest.raises(SignatureMismatchError):
+            sig.check_actuals({"out": "x", "inp": "y", "bogus": "z"})
+
+    def test_type_conformance_enforced(self):
+        reg = default_registry()
+        sig = TransformationSignature(
+            [
+                FormalArg(
+                    "inp",
+                    "input",
+                    dataset_types=TypeUnion(
+                        members=(DatasetType(content="CMS"),)
+                    ),
+                )
+            ]
+        )
+        good = {"inp": DatasetType(content="Simulation")}
+        bad = {"inp": DatasetType(content="SDSS")}
+        sig.check_actuals({"inp": "x"}, reg, good)
+        with pytest.raises(TypeConformanceError):
+            sig.check_actuals({"inp": "x"}, reg, bad)
+
+    def test_type_signature_render(self):
+        text = simple_tr().signature.type_signature()
+        assert "none level" in text
+        assert "output" in text
+
+
+class TestSimpleTransformation:
+    def test_command_line_skips_streams(self):
+        tr = simple_tr()
+        argv = tr.command_line({"level": "9", "inp": "i.dat", "out": "o.dat"})
+        assert argv == ("-l 9",)
+
+    def test_stream_redirects(self):
+        tr = simple_tr()
+        streams = tr.stream_redirects(
+            {"level": "9", "inp": "i.dat", "out": "o.dat"}
+        )
+        assert streams == {"stdin": "i.dat", "stdout": "o.dat"}
+
+    def test_environment_rendering(self):
+        tr = simple_tr()
+        env = tr.rendered_environment(
+            {"level": "9", "inp": "i", "out": "o"}
+        )
+        assert env == {"MAXMEM": "9"}
+
+    def test_unknown_template_ref_rejected(self):
+        with pytest.raises(SchemaError):
+            SimpleTransformation(
+                "bad",
+                [FormalArg("a", "input")],
+                executable="/bin/x",
+                arguments=(
+                    ArgumentTemplate(parts=(FormalRef("nope", "input"),)),
+                ),
+            )
+
+    def test_render_unbound_raises(self):
+        tr = simple_tr()
+        with pytest.raises(SignatureMismatchError):
+            tr.command_line({})
+
+    def test_is_not_compound(self):
+        assert not simple_tr().is_compound
+
+    def test_qualified_name(self):
+        tr = SimpleTransformation(
+            "t", [FormalArg("o", "output")], executable="/bin/t", version="2.1"
+        )
+        assert tr.qualified_name == "t@2.1"
+
+    def test_to_dict_contains_xml(self):
+        data = simple_tr().to_dict()
+        assert data["name"] == "t1"
+        assert "<transformation" in data["xml"]
+
+
+class TestCompoundTransformation:
+    def make_compound(self):
+        return CompoundTransformation(
+            "comp",
+            [
+                FormalArg("src", "input"),
+                FormalArg("mid", "inout", default="scratch",
+                          temporary_default=True),
+                FormalArg("dst", "output"),
+            ],
+            calls=[
+                TransformationCall(
+                    target=VDPRef("stage1", kind="transformation"),
+                    bindings={
+                        "o": FormalRef("mid", "output"),
+                        "i": FormalRef("src", "input"),
+                    },
+                ),
+                TransformationCall(
+                    target=VDPRef("stage2", kind="transformation"),
+                    bindings={
+                        "o": FormalRef("dst", "output"),
+                        "i": FormalRef("mid", "input"),
+                    },
+                ),
+            ],
+        )
+
+    def test_is_compound(self):
+        assert self.make_compound().is_compound
+
+    def test_requires_calls(self):
+        with pytest.raises(SchemaError):
+            CompoundTransformation("c", [FormalArg("o", "output")], calls=[])
+
+    def test_unknown_binding_ref_rejected(self):
+        with pytest.raises(SchemaError):
+            CompoundTransformation(
+                "c",
+                [FormalArg("o", "output")],
+                calls=[
+                    TransformationCall(
+                        target=VDPRef("x", kind="transformation"),
+                        bindings={"a": FormalRef("nope")},
+                    )
+                ],
+            )
+
+    def test_call_dependencies(self):
+        comp = self.make_compound()
+        directions = {
+            0: {"mid": "output", "src": "input"},
+            1: {"dst": "output", "mid": "input"},
+        }
+        assert comp.call_dependencies(directions) == [(0, 1)]
+
+
+class TestTwoStage:
+    def make_inner(self):
+        return SimpleTransformation(
+            "realapp",
+            [
+                FormalArg("paramfile", "input"),
+                FormalArg("data", "input"),
+                FormalArg("result", "output"),
+            ],
+            executable="/bin/realapp",
+        )
+
+    def test_builds_compound(self):
+        adapter = two_stage(
+            "app-adapter",
+            self.make_inner(),
+            params=[FormalArg("cut", "none"), FormalArg("mode", "none")],
+        )
+        assert adapter.is_compound
+        assert len(adapter.calls) == 2
+        names = {f.name for f in adapter.signature.formals}
+        assert {"cut", "mode", "data", "result", "paramfile"} <= names
+        # Stage 1 writes params; stage 2 invokes the inner executable.
+        assert adapter.calls[0].target.name == "write-params"
+        assert adapter.calls[1].target.name == "realapp"
+
+    def test_rejects_non_string_params(self):
+        with pytest.raises(SchemaError):
+            two_stage(
+                "x", self.make_inner(), params=[FormalArg("d", "input")]
+            )
+
+    def test_rejects_output_paramfile(self):
+        inner = SimpleTransformation(
+            "bad",
+            [FormalArg("paramfile", "output"), FormalArg("o", "output")],
+            executable="/bin/bad",
+        )
+        with pytest.raises(SchemaError):
+            two_stage("x", inner, params=[])
+
+    def test_rejects_param_collision(self):
+        with pytest.raises(SchemaError):
+            two_stage(
+                "x", self.make_inner(), params=[FormalArg("data", "none")]
+            )

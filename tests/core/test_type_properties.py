@@ -1,0 +1,114 @@
+"""Property-based tests for the type system (hypothesis).
+
+Random hierarchies per dimension; the invariants are the partial-order
+laws subtype checking must obey, and the monotonicity of conformance.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.types import DIMENSIONS, DatasetType, TypeRegistry
+
+names = st.lists(
+    st.from_regex(r"[A-Z][a-z]{1,6}", fullmatch=True),
+    min_size=2,
+    max_size=12,
+    unique=True,
+)
+
+
+@st.composite
+def registries(draw) -> tuple[TypeRegistry, dict[str, list[str]]]:
+    """A registry with a random forest in each dimension."""
+    registry = TypeRegistry()
+    per_dimension: dict[str, list[str]] = {}
+    for dim in DIMENSIONS:
+        dim_names = [f"{dim[0].upper()}{n}" for n in draw(names)]
+        registered: list[str] = []
+        for name in dim_names:
+            parent = (
+                draw(st.sampled_from(registered))
+                if registered and draw(st.booleans())
+                else None
+            )
+            registry.register(dim, name, parent)
+            registered.append(name)
+        per_dimension[dim] = registered
+    return registry, per_dimension
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries())
+def test_subtype_reflexive(reg_names):
+    registry, per_dimension = reg_names
+    for dim, dim_names in per_dimension.items():
+        for name in dim_names:
+            assert registry.is_subtype(dim, name, name)
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries())
+def test_subtype_transitive(reg_names):
+    registry, per_dimension = reg_names
+    for dim, dim_names in per_dimension.items():
+        for a in dim_names:
+            for b in dim_names:
+                if not registry.is_subtype(dim, a, b):
+                    continue
+                for c in dim_names:
+                    if registry.is_subtype(dim, b, c):
+                        assert registry.is_subtype(dim, a, c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries())
+def test_subtype_antisymmetric(reg_names):
+    registry, per_dimension = reg_names
+    for dim, dim_names in per_dimension.items():
+        for a in dim_names:
+            for b in dim_names:
+                if a == b:
+                    continue
+                both = registry.is_subtype(dim, a, b) and registry.is_subtype(
+                    dim, b, a
+                )
+                assert not both
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries())
+def test_ancestry_matches_subtyping(reg_names):
+    registry, per_dimension = reg_names
+    for dim, dim_names in per_dimension.items():
+        for name in dim_names:
+            ancestry = registry.ancestry(dim, name)
+            # subtype of exactly the names on its ancestry path
+            for other in dim_names:
+                expected = other in ancestry
+                assert registry.is_subtype(dim, name, other) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries())
+def test_conformance_weakens_up_the_hierarchy(reg_names):
+    """If actual conforms to formal F, it conforms to every ancestor
+    of F (generalizing a formal never rejects previously valid data)."""
+    registry, per_dimension = reg_names
+    contents = per_dimension["content"]
+    actual = DatasetType(content=contents[-1])
+    for formal_name in registry.ancestry("content", contents[-1]):
+        formal = DatasetType(content=formal_name)
+        assert registry.conforms(actual, formal)
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries())
+def test_everything_conforms_to_any(reg_names):
+    registry, per_dimension = reg_names
+    any_type = DatasetType()
+    for content in per_dimension["content"]:
+        for fmt in per_dimension["format"][:3]:
+            actual = DatasetType(content=content, format=fmt)
+            assert registry.conforms(actual, any_type)

@@ -1,0 +1,83 @@
+"""Property-based tests for grid substrate invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TransferError
+from repro.grid.simulator import Simulator
+from repro.grid.site import ComputeElement, StorageElement
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=30))
+def test_simulator_fires_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.from_regex(r"f[0-9]{1,3}", fullmatch=True),
+            st.integers(1, 50),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_storage_capacity_never_exceeded(operations):
+    se = StorageElement("se", capacity=100)
+    clock = 0.0
+    for lfn, size in operations:
+        clock += 1.0
+        try:
+            se.store(lfn, size, now=clock)
+        except TransferError:
+            pass  # oversized or unevictable: rejected is fine
+        assert 0 <= se.used <= se.capacity
+        # accounting consistency: used equals the sum of held files
+        assert se.used == sum(se.file(x).size for x in se.lfns())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(1, 8),
+    st.lists(st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=30),
+)
+def test_compute_element_conservation(hosts, jobs):
+    """No host runs two jobs at once; total busy time is conserved."""
+    ce = ComputeElement("ce", hosts=hosts)
+    intervals: dict[str, list[tuple[float, float]]] = {}
+    for cpu in jobs:
+        host, start, end = ce.allocate(0.0, cpu)
+        intervals.setdefault(host.name, []).append((start, end))
+        assert end - start == pytest.approx(cpu)  # speed 1.0
+    for host_intervals in intervals.values():
+        host_intervals.sort()
+        for (s1, e1), (s2, e2) in zip(host_intervals, host_intervals[1:]):
+            assert e1 <= s2  # no overlap on one host
+    assert ce.busy_seconds == pytest.approx(sum(jobs))
+    assert ce.jobs_completed == len(jobs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.5, 20, allow_nan=False), min_size=2, max_size=20))
+def test_more_hosts_never_slower(jobs):
+    """Makespan is non-increasing in host count (work-conserving FIFO)."""
+    def makespan(hosts):
+        ce = ComputeElement("ce", hosts=hosts)
+        return max(ce.allocate(0.0, cpu)[2] for cpu in jobs)
+
+    spans = [makespan(h) for h in (1, 2, 4, 8)]
+    for a, b in zip(spans, spans[1:]):
+        assert b <= a + 1e-9

@@ -1,0 +1,181 @@
+"""Tests for the network topology and site compute/storage elements."""
+
+import pytest
+
+from repro.errors import GridError, TransferError
+from repro.grid.network import (
+    Link,
+    NetworkTopology,
+    star_topology,
+    uniform_topology,
+)
+from repro.grid.site import ComputeElement, Site, StorageElement
+
+
+class TestLinks:
+    def test_transfer_time_formula(self):
+        link = Link("a", "b", bandwidth=10e6, latency=0.05)
+        assert link.transfer_time(10_000_000) == pytest.approx(1.05)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TransferError):
+            Link("a", "b").transfer_time(-1)
+
+
+class TestTopology:
+    def test_local_transfers_near_free(self):
+        net = uniform_topology(["a"])
+        assert net.transfer_time(10_000_000, "a", "a") < 0.1
+
+    def test_custom_link_wins_over_default(self):
+        net = uniform_topology(["a", "b"], bandwidth=10e6)
+        net.connect("a", "b", bandwidth=100e6, latency=0.0)
+        assert net.transfer_time(100_000_000, "a", "b") == pytest.approx(1.0)
+
+    def test_symmetric_connect(self):
+        net = NetworkTopology(fully_connected=False)
+        net.connect("a", "b", bandwidth=5e6)
+        assert net.transfer_time(5_000_000, "b", "a") > 0
+
+    def test_asymmetric_connect(self):
+        net = NetworkTopology(fully_connected=False)
+        net.connect("a", "b", symmetric=False)
+        net.transfer_time(1, "a", "b")
+        with pytest.raises(TransferError):
+            net.transfer_time(1, "b", "a")
+
+    def test_no_route_when_not_fully_connected(self):
+        net = NetworkTopology(fully_connected=False)
+        net.add_site("a")
+        net.add_site("b")
+        with pytest.raises(TransferError):
+            net.transfer_time(1, "a", "b")
+
+    def test_accounting(self):
+        net = uniform_topology(["a", "b"])
+        net.record_transfer(1000, "a", "b")
+        net.record_transfer(2000, "a", "b")
+        net.record_transfer(5000, "a", "a")  # local: excluded by default
+        assert net.total_bytes_moved() == 3000
+        assert net.total_transfers() == 2
+        assert net.total_bytes_moved(wide_area_only=False) == 8000
+        stats = net.stats("a", "b")
+        assert stats.transfers == 2
+        net.reset_stats()
+        assert net.total_transfers() == 0
+
+    def test_star_topology_routes(self):
+        net = star_topology("tier0", ["leaf1", "leaf2"], bandwidth=10e6)
+        direct = net.transfer_time(10_000_000, "tier0", "leaf1")
+        cross = net.transfer_time(10_000_000, "leaf1", "leaf2")
+        assert cross > direct  # leaf-leaf is worse than hub-leaf
+
+
+class TestStorageElement:
+    def test_store_and_holds(self):
+        se = StorageElement("se", capacity=100)
+        se.store("f1", 60)
+        assert se.holds("f1")
+        assert se.used == 60 and se.free == 40
+
+    def test_lru_eviction(self):
+        se = StorageElement("se", capacity=100)
+        se.store("old", 50, now=1.0)
+        se.store("newer", 50, now=2.0)
+        evicted = se.store("incoming", 60, now=3.0)
+        assert evicted == ["old", "newer"][:len(evicted)]
+        assert "old" in evicted
+        assert se.holds("incoming")
+        assert se.evictions >= 1
+
+    def test_touch_refreshes_lru(self):
+        se = StorageElement("se", capacity=100)
+        se.store("a", 50, now=1.0)
+        se.store("b", 50, now=2.0)
+        se.touch("a", now=3.0)  # now b is the LRU victim
+        evicted = se.store("c", 50, now=4.0)
+        assert evicted == ["b"]
+
+    def test_pinned_never_evicted(self):
+        se = StorageElement("se", capacity=100)
+        se.store("precious", 80, now=1.0)
+        se.pin("precious")
+        with pytest.raises(TransferError):
+            se.store("big", 50, now=2.0)
+        se.unpin("precious")
+        assert se.store("big", 50, now=3.0) == ["precious"]
+
+    def test_oversized_file_rejected(self):
+        se = StorageElement("se", capacity=10)
+        with pytest.raises(TransferError):
+            se.store("huge", 11)
+
+    def test_restore_same_file_is_touch(self):
+        se = StorageElement("se", capacity=100)
+        se.store("f", 50, now=1.0)
+        assert se.store("f", 50, now=2.0) == []
+        assert se.used == 50
+        assert se.file("f").last_used == 2.0
+
+    def test_delete(self):
+        se = StorageElement("se", capacity=100)
+        se.store("f", 50)
+        se.delete("f")
+        assert not se.holds("f")
+        with pytest.raises(TransferError):
+            se.file("f")
+
+    def test_delete_pinned_rejected(self):
+        se = StorageElement("se", capacity=100)
+        se.store("f", 10)
+        se.pin("f")
+        with pytest.raises(GridError):
+            se.delete("f")
+
+    def test_capacity_validation(self):
+        with pytest.raises(GridError):
+            StorageElement("se", capacity=0)
+
+
+class TestComputeElement:
+    def test_fifo_over_hosts(self):
+        ce = ComputeElement("ce", hosts=2)
+        ends = []
+        for _ in range(4):
+            _, start, end = ce.allocate(0.0, 10.0)
+            ends.append((start, end))
+        assert ends == [(0, 10), (0, 10), (10, 20), (10, 20)]
+
+    def test_speed_scales_duration(self):
+        fast = ComputeElement("fast", hosts=1, speed=2.0)
+        _, start, end = fast.allocate(0.0, 10.0)
+        assert end - start == 5.0
+
+    def test_max_hosts_cap(self):
+        ce = ComputeElement("ce", hosts=4)
+        ends = [ce.allocate(0.0, 10.0, max_hosts=1)[2] for _ in range(3)]
+        assert ends == [10.0, 20.0, 30.0]
+        assert ce.hosts[1].jobs_run == 0
+
+    def test_free_hosts(self):
+        ce = ComputeElement("ce", hosts=3)
+        ce.allocate(0.0, 10.0)
+        assert ce.free_hosts(5.0) == 2
+        assert ce.free_hosts(15.0) == 3
+
+    def test_utilization(self):
+        ce = ComputeElement("ce", hosts=2)
+        ce.allocate(0.0, 10.0)
+        assert ce.utilization(10.0) == pytest.approx(0.5)
+
+    def test_needs_hosts(self):
+        with pytest.raises(GridError):
+            ComputeElement("ce", hosts=0)
+
+
+class TestSite:
+    def test_composition(self):
+        site = Site("anl", hosts=8, storage_capacity=1000)
+        assert site.compute.host_count == 8
+        assert site.storage.capacity == 1000
+        assert "anl" in repr(site)

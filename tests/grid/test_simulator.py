@@ -1,0 +1,101 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(5.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(2.0, outer)
+        sim.run()
+        assert fired == [("outer", 2.0), ("inner", 7.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(GridError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_at(10.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [10.0]
+
+
+class TestRunControl:
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending() == 0
+        assert sim.events_processed == 0
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            sim.schedule(1.0, lambda: log.append(sim.now))
+            sim.schedule(1.0, lambda: sim.schedule(0.5, lambda: log.append(sim.now)))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

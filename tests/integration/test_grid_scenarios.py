@@ -1,0 +1,118 @@
+"""Integration tests: compound workflows, patterns, determinism on grid."""
+
+import pytest
+
+from repro.system import VirtualDataSystem
+
+COMPOUND_VDL = """
+TR sim( output o, input i ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/bin/sim";
+}
+TR pack( output z, input r ) {
+  argument stdin = ${input:r};
+  argument stdout = ${output:z};
+  exec = "/bin/pack";
+}
+TR simpack( input cfg, inout mid=@{inout:"scratch":""}, output z ) {
+  sim( o=${output:mid}, i=${cfg} );
+  pack( z=${z}, r=${input:mid} );
+}
+DV sp1->simpack( cfg=@{input:"cfg.dat"}, z=@{output:"result.z"} );
+"""
+
+
+def build(sites=None, **kwargs):
+    vds = VirtualDataSystem.with_grid(
+        sites or {"a": 4, "b": 4}, authority="it.example", **kwargs
+    )
+    vds.define(COMPOUND_VDL)
+    for name, cpu in (("sim", 20.0), ("pack", 5.0)):
+        tr = vds.catalog.get_transformation(name)
+        tr.attributes.set("cost.cpu_seconds", cpu)
+        tr.attributes.set("cost.output_bytes", 10_000_000)
+        vds.catalog.add_transformation(tr, replace=True)
+    vds.seed_dataset("cfg.dat", sorted(vds.grid.sites)[0], 1_000_000)
+    return vds
+
+
+class TestCompoundOnGrid:
+    def test_compound_expands_and_runs(self):
+        vds = build()
+        result = vds.materialize("result.z", reuse="never")
+        assert result.succeeded
+        assert set(result.outcomes) == {"sp1.0.sim", "sp1.1.pack"}
+        # The expanded sub-derivations became provenance records.
+        assert vds.catalog.has_derivation("sp1.0.sim")
+        assert vds.catalog.invocations_of("sp1.1.pack")
+
+    def test_intermediate_registered_on_grid(self):
+        vds = build()
+        vds.materialize("result.z", reuse="never")
+        assert vds.replicas.has("sp1.mid")
+        assert vds.replicas.has("result.z")
+
+    def test_sequential_dependency_respected(self):
+        vds = build()
+        result = vds.materialize("result.z", reuse="never")
+        sim = result.outcomes["sp1.0.sim"].record
+        pack = result.outcomes["sp1.1.pack"].record
+        assert pack.start_time >= sim.end_time
+        assert result.makespan == pytest.approx(
+            25.0 + result.total_stage_in_seconds(), abs=1.0
+        )
+
+
+class TestPatternsEndToEnd:
+    @pytest.mark.parametrize(
+        "pattern", ["collocate", "ship-procedure", "ship-data", "ship-both"]
+    )
+    def test_every_pattern_completes(self, pattern):
+        vds = build()
+        result = vds.materialize("result.z", reuse="never", pattern=pattern)
+        assert result.succeeded
+        assert vds.replicas.has("result.z")
+
+
+class TestDeterminism:
+    def run_once(self, seed=0):
+        vds = build(failure_rate=0.2, seed=seed)
+        vds.executor.max_retries = 10
+        result = vds.materialize("result.z", reuse="never")
+        return (
+            result.makespan,
+            tuple(
+                (n, o.record.start_time, o.record.end_time, o.attempts)
+                for n, o in sorted(result.outcomes.items())
+            ),
+        )
+
+    def test_same_seed_same_trace(self):
+        assert self.run_once(seed=3) == self.run_once(seed=3)
+
+    def test_different_seed_may_differ(self):
+        # Not guaranteed in general, but with 20% failures the retry
+        # schedules almost surely diverge for some seed pair; assert
+        # at least one of a few seeds differs to avoid flakiness.
+        baseline = self.run_once(seed=3)
+        assert any(self.run_once(seed=s) != baseline for s in (4, 5, 6, 7))
+
+
+class TestWorkflowAccounting:
+    def test_queue_and_stage_metrics_consistent(self):
+        vds = build(sites={"solo": 1})
+        vds.seed_dataset("cfg2.dat", "solo", 1_000_000)
+        vds.define(
+            'DV sp2->simpack( cfg=@{input:"cfg2.dat"},'
+            ' z=@{output:"result2.z"} );'
+        )
+        result = vds.materialize(
+            ("result.z", "result2.z"), reuse="never"
+        )
+        assert result.succeeded
+        # 4 steps on one host: total cpu is 50 s; makespan >= cpu since
+        # everything serializes.
+        assert result.total_cpu_seconds() == pytest.approx(50.0)
+        assert result.makespan >= 50.0
+        assert result.peak_in_flight >= 1

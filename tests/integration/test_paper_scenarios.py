@@ -1,0 +1,294 @@
+"""The paper's figures as executable scenarios.
+
+Each test class reconstructs one figure of the paper exactly and checks
+the relationships the figure depicts.
+"""
+
+import pytest
+
+from repro.catalog.federation import FederatedIndex
+from repro.catalog.memory import MemoryCatalog
+from repro.catalog.resolver import CatalogNetwork, ReferenceResolver
+from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
+from repro.core.replica import Replica
+from repro.provenance.lineage import cross_catalog_lineage, lineage_report
+
+
+class TestFigure1:
+    """The five basic objects: dataset foo of type2 produced by
+    applying prog1( in type1 X, out type2 Y ) to dataset fnn, with a
+    physical replica at U.Chicago and a 20-second invocation."""
+
+    @pytest.fixture
+    def catalog(self):
+        catalog = MemoryCatalog()
+        catalog.types.register("content", "type1")
+        catalog.types.register("content", "type2")
+        catalog.define(
+            """
+            TR prog1( output Y : type2, input X : type1 ) {
+              argument = "-f "${input:X};
+              argument stdout = ${output:Y};
+              exec = "/usr/bin/prog1";
+            }
+            DV dfoo->prog1( Y=@{output:"foo"}, X=@{input:"fnn"} );
+            """
+        )
+        catalog.add_replica(
+            Replica(dataset_name="foo", location="U.Chicago")
+        )
+        catalog.add_invocation(
+            Invocation(
+                derivation_name="dfoo",
+                context=ExecutionContext.make(site="U.Chicago"),
+                usage=ResourceUsage(cpu_seconds=20.0, wall_seconds=20.0),
+            )
+        )
+        return catalog
+
+    def test_all_five_objects_present(self, catalog):
+        counts = catalog.counts()
+        assert counts["transformation"] == 1
+        assert counts["derivation"] == 1
+        assert counts["dataset"] == 2  # foo and fnn auto-declared
+        assert counts["replica"] == 1
+        assert counts["invocation"] == 1
+
+    def test_dataset_typed_from_signature(self, catalog):
+        # Auto-declared datasets inherit the formal's (single) type.
+        assert catalog.get_dataset("foo").dataset_type.content == "type2"
+        assert catalog.get_dataset("fnn").dataset_type.content == "type1"
+
+    def test_instance_of_edge(self, catalog):
+        dv = catalog.get_derivation("dfoo")
+        tr = catalog.get_transformation(dv.transformation.name)
+        dv.check_against(tr)  # the "instance of" relationship validates
+
+    def test_physical_replica_of_edge(self, catalog):
+        replicas = catalog.replicas_of("foo")
+        assert replicas[0].location == "U.Chicago"
+
+    def test_invocation_of_edge(self, catalog):
+        invs = catalog.invocations_of("dfoo")
+        assert invs[0].usage.cpu_seconds == 20.0
+        assert invs[0].context.site == "U.Chicago"
+
+    def test_provenance_relationship(self, catalog):
+        report = lineage_report(catalog, "foo")
+        assert report.steps[0].derivation.name == "dfoo"
+        assert "fnn" in report.steps[0].inputs
+        assert report.steps[0].inputs["fnn"].is_source
+
+
+class TestFigure2:
+    """Virtual data hyperlinks between the Wisconsin and Illinois
+    servers: cmpsim composed of remote sim+cmp, srch-muon invoking
+    remote srch."""
+
+    @pytest.fixture
+    def network(self):
+        net = CatalogNetwork()
+        wisconsin = net.register(
+            MemoryCatalog(authority="physics.wisconsin.edu")
+        )
+        illinois = net.register(
+            MemoryCatalog(authority="physics.illinois.edu")
+        )
+        illinois.define(
+            """
+            TR sim( output out, input cfg ) {
+              argument stdin = ${input:cfg};
+              argument stdout = ${output:out};
+              exec = "/usr/bin/sim";
+            }
+            TR cmp( output z, input raw ) {
+              argument stdin = ${input:raw};
+              argument stdout = ${output:z};
+              exec = "/usr/bin/cmp";
+            }
+            """
+        )
+        wisconsin.define(
+            """
+            TR srch( output hits, input events, none particle="any" ) {
+              argument = "-p "${none:particle};
+              argument stdin = ${input:events};
+              argument stdout = ${output:hits};
+              exec = "/usr/bin/srch";
+            }
+            TR cmpsim( input cfg, inout mid=@{inout:"cmpsim.mid":""},
+                       output z ) {
+              vdp://physics.illinois.edu/sim( out=${output:mid}, cfg=${cfg} );
+              vdp://physics.illinois.edu/cmp( z=${z}, raw=${input:mid} );
+            }
+            """
+        )
+        illinois.define(
+            """
+            DV srch-muon->vdp://physics.wisconsin.edu/srch(
+                hits=@{output:"muon.hits"},
+                events=@{input:"events.all"},
+                particle="muon" );
+            """
+        )
+        return net, wisconsin, illinois
+
+    def test_all_hyperlinks_resolve(self, network):
+        net, wisconsin, illinois = network
+        resolver = ReferenceResolver(wisconsin, net)
+        cmpsim = wisconsin.get_transformation("cmpsim")
+        callees = resolver.expand_compound(cmpsim)
+        assert callees[0].name == "sim" and callees[1].name == "cmp"
+        resolver_il = ReferenceResolver(illinois, net)
+        srch, where = resolver_il.transformation(
+            illinois.get_derivation("srch-muon").transformation
+        )
+        assert srch.name == "srch" and where is wisconsin
+
+    def test_cross_catalog_plan_executes(self, network):
+        """A derivation of the Wisconsin compound over Illinois parts
+        must expand into a runnable cross-catalog plan."""
+        from repro.planner.dag import Planner
+        from repro.planner.request import MaterializationRequest
+
+        net, wisconsin, _ = network
+        wisconsin.define(
+            """
+            DV pack1->cmpsim( cfg=@{input:"config.A"},
+                              z=@{output:"packed.A"} );
+            """
+        )
+        resolver = ReferenceResolver(wisconsin, net)
+        planner = Planner(
+            wisconsin,
+            resolver=resolver,
+            has_replica=lambda lfn: lfn == "config.A",
+        )
+        plan = planner.plan(
+            MaterializationRequest(targets=("packed.A",), reuse="never")
+        )
+        assert set(plan.steps) == {"pack1.0.sim", "pack1.1.cmp"}
+        assert plan.sources == {"config.A"}
+        assert "pack1.mid" in plan.temporaries
+
+
+class TestFigure3:
+    """Dataset dependency hyperlinks across personal, group and
+    collaboration servers."""
+
+    @pytest.fixture
+    def tiers(self):
+        net = CatalogNetwork()
+        collab = net.register(MemoryCatalog(authority="collab.org"))
+        group = net.register(MemoryCatalog(authority="group.org"))
+        personal = MemoryCatalog(authority="alice.personal")
+        collab.define(
+            """
+            TR official-reco( output dst, input raw ) {
+              argument stdin = ${input:raw};
+              argument stdout = ${output:dst};
+              exec = "/opt/reco";
+            }
+            DV reco.v7->official-reco( dst=@{output:"dst.v7"},
+                                       raw=@{input:"raw.2002"} );
+            """
+        )
+        group.define(
+            """
+            TR skim( output sel, input dst ) {
+              argument stdin = ${input:dst};
+              argument stdout = ${output:sel};
+              exec = "/grp/skim";
+            }
+            DV skim.muons->skim( sel=@{output:"muons.v7"},
+                                 dst=@{input:"dst.v7"} );
+            """
+        )
+        personal.define(
+            """
+            TR fit( output plot, input sel ) {
+              argument stdin = ${input:sel};
+              argument stdout = ${output:plot};
+              exec = "/home/alice/fit";
+            }
+            DV myfit->fit( plot=@{output:"mass.plot"},
+                           sel=@{input:"muons.v7"} );
+            """
+        )
+        return ReferenceResolver(
+            personal, net, scope_chain=["group.org", "collab.org"]
+        )
+
+    def test_lineage_spans_three_servers(self, tiers):
+        report = cross_catalog_lineage(tiers, "mass.plot")
+        assert report.depth() == 3
+        authorities = set()
+
+        def walk(r):
+            for step in r.steps:
+                authorities.add(step.authority)
+                for sub in step.inputs.values():
+                    walk(sub)
+
+        walk(report)
+        assert authorities == {"alice.personal", "group.org", "collab.org"}
+
+    def test_raw_source_at_the_bottom(self, tiers):
+        report = cross_catalog_lineage(tiers, "mass.plot")
+        assert report.all_source_datasets() == {"raw.2002"}
+
+
+class TestFigure4:
+    """Indexing the virtual data grid at multiple levels: personal,
+    group, and collaboration-wide indexes differ in scope."""
+
+    @pytest.fixture
+    def world(self):
+        net = CatalogNetwork()
+        personals = [
+            net.register(MemoryCatalog(authority=f"personal{i}.org"))
+            for i in range(3)
+        ]
+        group = net.register(MemoryCatalog(authority="group.org"))
+        collab = net.register(MemoryCatalog(authority="collab.org"))
+        for i, personal in enumerate(personals):
+            personal.define(
+                f'TR mytool{i}( output o ) {{ exec = "/bin/t{i}"; }}'
+                f' DV mine{i}->mytool{i}( o=@{{output:"scratch{i}"}} );'
+            )
+        group.define(
+            'TR grptool( output o ) { exec = "/grp/tool"; }'
+            ' DV grun->grptool( o=@{output:"group.data"} );'
+        )
+        collab.define(
+            'TR official( output o ) { exec = "/opt/official"; }'
+            ' DV orun->official( o=@{output:"official.data"} );'
+        )
+        return personals, group, collab
+
+    def test_personal_index_scope(self, world):
+        personals, group, _ = world
+        index = FederatedIndex("personal0+group")
+        index.attach(personals[0])
+        index.attach(group)
+        names = {e.name for e in index.find("derivation")}
+        assert names == {"mine0", "grun"}
+
+    def test_collaboration_wide_index(self, world):
+        personals, group, collab = world
+        index = FederatedIndex("collab-wide")
+        for catalog in [*personals, group, collab]:
+            index.attach(catalog)
+        derivations = {e.name for e in index.find("derivation")}
+        assert derivations == {"mine0", "mine1", "mine2", "grun", "orun"}
+
+    def test_indexes_differ_by_scope(self, world):
+        personals, group, collab = world
+        official_only = FederatedIndex("official")
+        official_only.attach(collab)
+        wide = FederatedIndex("wide")
+        for catalog in [*personals, group, collab]:
+            wide.attach(catalog)
+        assert len(official_only) < len(wide)
+        assert not official_only.find("derivation", name_glob="mine*")
+        assert wide.find("derivation", name_glob="mine*")

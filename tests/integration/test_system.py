@@ -1,0 +1,123 @@
+"""Full-stack tests through the VirtualDataSystem facade (Fig 5)."""
+
+import pytest
+
+from repro import VirtualDataSystem
+from repro.workloads import sdss
+from tests.conftest import DIAMOND_VDL
+
+
+@pytest.fixture
+def vds():
+    system = VirtualDataSystem.with_grid(
+        {"anl": 8, "uc": 8}, authority="vds.test"
+    )
+    system.define(DIAMOND_VDL)
+    return system
+
+
+class TestProcessFlow:
+    def test_composition(self, vds):
+        assert vds.catalog.counts()["transformation"] == 3
+        assert vds.catalog.counts()["derivation"] == 5
+
+    def test_planning(self, vds):
+        plan = vds.plan("final", reuse="never")
+        assert len(plan) == 5
+        assert plan.depth() == 3
+
+    def test_estimation_before_derivation(self, vds):
+        plan = vds.plan("final", reuse="never")
+        estimate = vds.estimate(plan)
+        assert estimate.makespan_seconds > 0
+        assert estimate.total_cpu_seconds == plan.total_cpu_seconds()
+
+    def test_derivation_records_provenance(self, vds):
+        result = vds.materialize("final", reuse="never")
+        assert result.succeeded
+        assert vds.replicas.has("final")
+        assert vds.catalog.invocations_of("a1")
+        lineage = vds.lineage("final")
+        assert lineage.all_derivations() == {"g1", "g2", "s1", "s2", "a1"}
+        assert lineage.steps[0].invocations
+
+    def test_discovery(self, vds):
+        hits = vds.discover_datasets(name_glob="sim*")
+        assert {d.name for d in hits} == {"sim1", "sim2"}
+        transformations = vds.discover_transformations(name_glob="a*")
+        assert [t.name for t in transformations] == ["ana"]
+
+    def test_deadline_feasibility(self, vds):
+        assert vds.can_meet_deadline("final", 1e6)
+        assert not vds.can_meet_deadline("final", 0.001)
+
+    def test_reuse_across_requests(self, vds):
+        vds.materialize("sim1", reuse="never")
+        plan = vds.plan("final", reuse="always")
+        assert "sim1" in plan.reused
+        assert "s1" not in plan.steps
+        result = vds.materialize("final", reuse="always")
+        assert result.succeeded
+
+    def test_estimate_vs_measured_shape(self, vds):
+        plan = vds.plan("final", reuse="never")
+        estimate = vds.estimate(plan)
+        result = vds.materialize("final", reuse="never")
+        # The analytic estimate should be within 3x of simulated truth.
+        ratio = estimate.makespan_seconds / max(result.makespan, 1e-9)
+        assert 1 / 3 <= ratio <= 3
+
+    def test_sharing_and_federation(self, vds):
+        other = VirtualDataSystem(authority="partner.org")
+        other.define(
+            'TR remote-tool( output o ) { exec = "/bin/rt"; }'
+        )
+        vds.share_with(other.catalog)
+        tr, where = vds.resolver.transformation(
+            __import__("repro.core.naming", fromlist=["VDPRef"]).VDPRef(
+                "remote-tool"
+            )
+        )
+        assert where is other.catalog
+        index = vds.build_index("everything")
+        assert "partner.org" in index.members()
+        assert index.find("transformation", name_glob="remote-tool")
+
+    def test_grid_required_for_materialize(self):
+        no_grid = VirtualDataSystem()
+        no_grid.define(DIAMOND_VDL)
+        assert len(no_grid.plan("final", reuse="never")) == 5
+        with pytest.raises(Exception):
+            no_grid.materialize("final")
+
+
+class TestSeededData:
+    def test_seed_dataset(self, vds):
+        vds.seed_dataset("survey.raw", "anl", 1_000_000)
+        assert vds.replicas.has("survey.raw", "anl")
+        assert vds.catalog.has_dataset("survey.raw")
+        ds = vds.discover_datasets(name_glob="survey.*")[0]
+        assert ds.size_estimate() == 1_000_000
+
+
+class TestSDSSOnGrid:
+    def test_small_campaign_on_grid(self):
+        vds = VirtualDataSystem.with_grid(
+            {"anl": 16, "uc": 16, "uw": 16, "ufl": 16},
+            authority="sdss.test",
+        )
+        campaign = sdss.define_campaign(
+            vds.catalog, fields=8, fields_per_stripe=4
+        )
+        for i, field in enumerate(campaign.field_datasets):
+            vds.seed_dataset(
+                field,
+                ["anl", "uc", "uw", "ufl"][i % 4],
+                sdss.FIELD_BYTES,
+            )
+        result = vds.materialize(tuple(campaign.targets), reuse="never")
+        assert result.succeeded
+        assert len(result.outcomes) == campaign.derivations
+        assert len(result.sites_used()) >= 2
+        lineage = vds.lineage(campaign.targets[0])
+        assert lineage.depth() >= 5

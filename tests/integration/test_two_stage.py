@@ -1,0 +1,108 @@
+"""Integration: the §3.2 two-stage parameter-file adapter end to end.
+
+A transformation expecting its parameters in a file is wrapped in the
+two-stage compound; the planner flattens it and the local executor
+really runs both stages — stage 1 writes the parameter file, stage 2
+reads it.
+"""
+
+import json
+
+import pytest
+
+from repro.catalog.memory import MemoryCatalog
+from repro.core.transformation import FormalArg, two_stage
+from repro.executor.local import LocalExecutor
+from repro.planner.dag import Planner
+from repro.planner.request import MaterializationRequest
+from repro.vdl.semantics import compile_vdl
+
+
+@pytest.fixture
+def catalog():
+    catalog = MemoryCatalog()
+    # The param writer (stage 1) and the real app (stage 2).
+    catalog.define(
+        """
+        TR write-params( output paramfile, none cut="0", none mode="fast" ) {
+          argument = "-cut "${none:cut}" -mode "${none:mode};
+          argument stdout = ${output:paramfile};
+          exec = "py:write-params";
+        }
+        TR legacy-app( output result, input paramfile, input data ) {
+          argument = "-p "${input:paramfile};
+          argument stdin = ${input:data};
+          argument stdout = ${output:result};
+          exec = "py:legacy-app";
+        }
+        """
+    )
+    adapter = two_stage(
+        "legacy-adapter",
+        catalog.get_transformation("legacy-app"),
+        params=[FormalArg("cut", "none"), FormalArg("mode", "none")],
+    )
+    catalog.add_transformation(adapter)
+    catalog.define(
+        """
+        DV a1->legacy-adapter( cut="42", mode="slow",
+                               data=@{input:"input.dat"},
+                               result=@{output:"answer.dat"} );
+        """
+    )
+    return catalog
+
+
+def write_params_body(ctx):
+    ctx.write_output(
+        "paramfile",
+        json.dumps({"cut": ctx.parameters["cut"], "mode": ctx.parameters["mode"]}),
+    )
+
+
+def legacy_app_body(ctx):
+    params = json.loads(ctx.read_input("paramfile").decode())
+    data = ctx.read_input("data").decode()
+    ctx.write_output(
+        "result", f"cut={params['cut']} mode={params['mode']} n={len(data)}"
+    )
+
+
+class TestTwoStage:
+    def test_plan_flattens_to_two_steps(self, catalog):
+        planner = Planner(catalog)
+        plan = planner.plan(
+            MaterializationRequest(targets=("answer.dat",), reuse="never")
+        )
+        # input.dat has no producer: it is a plan source (pre-existing).
+        assert plan.sources == {"input.dat"}
+        names = sorted(plan.steps)
+        assert names == ["a1.0.write-params", "a1.1.legacy-app"]
+        assert plan.dependencies["a1.1.legacy-app"] == {"a1.0.write-params"}
+        # The hidden param file is a scratch intermediate.
+        assert "a1.paramfile" in plan.temporaries
+
+    def test_executes_end_to_end(self, catalog, tmp_path):
+        executor = LocalExecutor(catalog, tmp_path)
+        executor.register("py:write-params", write_params_body)
+        executor.register("py:legacy-app", legacy_app_body)
+        executor.path_for("input.dat").write_text("x" * 10)
+        invocations = executor.materialize("answer.dat")
+        assert [i.derivation_name for i in invocations] == [
+            "a1.0.write-params", "a1.1.legacy-app",
+        ]
+        assert (
+            executor.path_for("answer.dat").read_text()
+            == "cut=42 mode=slow n=10"
+        )
+
+    def test_adapter_round_trips_through_vdl(self, catalog):
+        from repro.vdl.unparser import unparse_transformation
+
+        adapter = catalog.get_transformation("legacy-adapter")
+        text = unparse_transformation(adapter)
+        rebuilt = compile_vdl(text).transformation("legacy-adapter")
+        assert rebuilt.is_compound
+        assert [c.target.name for c in rebuilt.calls] == [
+            "write-params", "legacy-app",
+        ]

@@ -1,0 +1,149 @@
+"""Tests for the four shipping patterns and site selection (§5.2)."""
+
+import pytest
+
+from repro.catalog.memory import MemoryCatalog
+from repro.errors import PlanningError
+from repro.grid.network import uniform_topology
+from repro.grid.replica_catalog import ReplicaLocationService
+from repro.grid.site import Site
+from repro.planner.dag import Planner
+from repro.planner.request import MaterializationRequest
+from repro.planner.strategies import ProcedureRegistry, SiteSelector
+
+VDL = """
+TR crunch( output o, input i ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/bin/crunch";
+}
+DV c1->crunch( o=@{output:"out.dat"}, i=@{input:"in.dat"} );
+"""
+
+
+@pytest.fixture
+def world():
+    catalog = MemoryCatalog().define(VDL)
+    net = uniform_topology(["data-site", "cpu-site", "third"], bandwidth=10e6)
+    sites = {
+        "data-site": Site("data-site", hosts=1),
+        "cpu-site": Site("cpu-site", hosts=8),
+        "third": Site("third", hosts=4),
+    }
+    rls = ReplicaLocationService(net)
+    # The input lives at data-site only.
+    sites["data-site"].storage.store("in.dat", 50_000_000)
+    rls.register("in.dat", "data-site", 50_000_000)
+    procedures = ProcedureRegistry()
+    selector = SiteSelector(sites, net, rls, procedures)
+    planner = Planner(catalog, has_replica=rls.has)
+    plan = planner.plan(
+        MaterializationRequest(targets=("out.dat",), reuse="never")
+    )
+    step = plan.steps["c1"]
+    return sites, rls, procedures, selector, step
+
+
+class TestCostPieces:
+    def test_data_pull_zero_at_holder(self, world):
+        _, _, _, selector, step = world
+        assert selector.data_pull_seconds(step, "data-site") == 0.0
+        assert selector.data_pull_seconds(step, "cpu-site") > 0.0
+
+    def test_procedure_pull(self, world):
+        _, _, procedures, selector, step = world
+        # Unregistered procedures are free everywhere.
+        assert selector.procedure_pull_seconds(step, "cpu-site") == 0.0
+        procedures.install("crunch", "data-site")
+        procedures.set_size("crunch", 10_000_000)
+        assert selector.procedure_pull_seconds(step, "data-site") == 0.0
+        assert selector.procedure_pull_seconds(step, "cpu-site") == pytest.approx(1.05)
+
+    def test_queue_estimate(self, world):
+        sites, _, _, selector, step = world
+        assert selector.queue_estimate_seconds("cpu-site", 0.0) == 0.0
+        sites["cpu-site"].compute.allocate(0.0, 100.0)
+        # Still 0: other hosts are free.
+        assert selector.queue_estimate_seconds("cpu-site", 0.0) == 0.0
+        for _ in range(7):
+            sites["cpu-site"].compute.allocate(0.0, 100.0)
+        assert selector.queue_estimate_seconds("cpu-site", 0.0) == 100.0
+
+    def test_input_bytes_at(self, world):
+        _, _, _, selector, step = world
+        assert selector.input_bytes_at(step, "data-site") == 50_000_000
+        assert selector.input_bytes_at(step, "cpu-site") == 0
+
+
+class TestPatterns:
+    def test_ship_procedure_goes_to_data(self, world):
+        _, _, _, selector, step = world
+        choice = selector.choose(step, "ship-procedure")
+        assert choice.site == "data-site"
+        assert choice.transfer_seconds == 0.0  # procedure unregistered
+
+    def test_ship_data_goes_to_procedure_home(self, world):
+        _, _, procedures, selector, step = world
+        procedures.install("crunch", "cpu-site")
+        choice = selector.choose(step, "ship-data")
+        assert choice.site == "cpu-site"
+        assert choice.transfer_seconds > 0  # data must move
+
+    def test_collocate_requires_both(self, world):
+        _, _, procedures, selector, step = world
+        procedures.install("crunch", "data-site")
+        choice = selector.choose(step, "collocate")
+        assert choice.site == "data-site"
+        assert choice.transfer_seconds == 0.0
+        assert choice.pattern == "collocate"
+
+    def test_collocate_falls_back_when_impossible(self, world):
+        _, _, procedures, selector, step = world
+        procedures.install("crunch", "cpu-site")  # data elsewhere
+        choice = selector.choose(step, "collocate")
+        assert choice.pattern == "ship-data"
+
+    def test_ship_both_minimizes_total(self, world):
+        sites, _, procedures, selector, step = world
+        procedures.install("crunch", "data-site")
+        procedures.set_size("crunch", 1_000)  # procedure is tiny
+        # data-site's one host is busy for a long time.
+        sites["data-site"].compute.allocate(0.0, 10_000.0)
+        choice = selector.choose(step, "ship-both")
+        assert choice.site in ("cpu-site", "third")
+        assert choice.ship_procedure
+
+    def test_unknown_pattern_rejected(self, world):
+        _, _, _, selector, step = world
+        with pytest.raises(PlanningError):
+            selector.choose(step, "teleport")
+
+    def test_candidates_restriction(self, world):
+        _, _, _, selector, step = world
+        choice = selector.choose(
+            step, "ship-both", candidates=["third"]
+        )
+        assert choice.site == "third"
+
+
+class TestProcedureRegistry:
+    def test_install_and_query(self):
+        reg = ProcedureRegistry()
+        reg.install("t", "a")
+        reg.install("t", "b")
+        assert reg.installed_at("t") == {"a", "b"}
+        assert reg.is_installed("t", "a")
+        assert not reg.is_installed("t", "c")
+
+    def test_default_size(self):
+        reg = ProcedureRegistry()
+        assert reg.size_of("anything") > 0
+        reg.set_size("t", 123)
+        assert reg.size_of("t") == 123
+
+    def test_selector_requires_sites(self):
+        from repro.grid.network import uniform_topology
+
+        net = uniform_topology(["a"])
+        with pytest.raises(PlanningError):
+            SiteSelector({}, net, ReplicaLocationService(net))

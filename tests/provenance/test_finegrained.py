@@ -1,0 +1,124 @@
+"""Tests for row-level relational provenance (§8, implemented)."""
+
+import pytest
+
+from repro.catalog.memory import MemoryCatalog
+from repro.core.dataset import Dataset
+from repro.core.descriptors import FileDescriptor, SQLRowsDescriptor
+from repro.provenance.finegrained import (
+    row_lineage,
+    rows_affected_by,
+)
+
+
+def relational(name, keys, table="events"):
+    return Dataset(
+        name=name,
+        descriptor=SQLRowsDescriptor(
+            database="expdb", tables=(table,), keys=tuple(keys)
+        ),
+    )
+
+
+@pytest.fixture
+def catalog():
+    """raw rows -> filtered rows (identity) -> summary rows (aggregate)."""
+    catalog = MemoryCatalog()
+    catalog.define(
+        """
+        TR filter-rows( output o, input i ) {
+          argument stdin = ${input:i};
+          argument stdout = ${output:o};
+          exec = "/bin/filter";
+        }
+        TR summarize-rows( output o, input i ) {
+          argument stdin = ${input:i};
+          argument stdout = ${output:o};
+          exec = "/bin/summarize";
+        }
+        DV f1->filter-rows( o=@{output:"filtered"}, i=@{input:"raw"} );
+        DV s1->summarize-rows( o=@{output:"summary"}, i=@{input:"filtered"} );
+        """
+    )
+    for tr_name, mapping in (
+        ("filter-rows", "identity"),
+        ("summarize-rows", "aggregate"),
+    ):
+        tr = catalog.get_transformation(tr_name)
+        tr.attributes.set("row.mapping", mapping)
+        catalog.add_transformation(tr, replace=True)
+    catalog.add_dataset(
+        relational("raw", ["k1", "k2", "k3", "k4"]), replace=True
+    )
+    catalog.add_dataset(relational("filtered", ["k1", "k3"]), replace=True)
+    catalog.add_dataset(relational("summary", ["total"]), replace=True)
+    return catalog
+
+
+class TestRowLineage:
+    def test_identity_narrows_to_queried_keys(self, catalog):
+        lineage = row_lineage(catalog, "filtered", keys=["k1"])
+        assert lineage.contributing_keys("raw") == {"k1"}
+        assert "f1" in lineage.via
+
+    def test_aggregate_widens_to_all_input_rows(self, catalog):
+        lineage = row_lineage(catalog, "summary", keys=["total"])
+        # The summary row derives from both filtered rows, which in
+        # turn derive (identity) from the matching raw rows.
+        assert lineage.contributing_keys("filtered") == {"k1", "k3"}
+        assert lineage.contributing_keys("raw") == {"k1", "k3"}
+
+    def test_default_keys_are_whole_descriptor(self, catalog):
+        lineage = row_lineage(catalog, "filtered")
+        assert lineage.keys == frozenset({"k1", "k3"})
+
+    def test_opaque_inputs_reported(self, catalog):
+        catalog.add_dataset(
+            Dataset(name="calib", descriptor=FileDescriptor(path="/c")),
+            replace=True,
+        )
+        catalog.define(
+            """
+            TR joiner( output o, input rows, input aux ) {
+              argument = ${input:rows}" "${input:aux};
+              argument stdout = ${output:o};
+              exec = "/bin/join";
+            }
+            DV j1->joiner( o=@{output:"joined"},
+                           rows=@{input:"filtered"}, aux=@{input:"calib"} );
+            """
+        )
+        catalog.add_dataset(relational("joined", ["k1"]), replace=True)
+        lineage = row_lineage(catalog, "joined", keys=["k1"])
+        assert "calib" in lineage.opaque
+        assert lineage.contributing_keys("filtered") == {"k1", "k3"}
+
+    def test_source_dataset_has_no_contributions(self, catalog):
+        lineage = row_lineage(catalog, "raw", keys=["k1"])
+        assert lineage.contributions == {}
+        assert lineage.via == []
+
+    def test_unknown_mapping_defaults_to_aggregate(self, catalog):
+        tr = catalog.get_transformation("filter-rows")
+        tr.attributes.set("row.mapping", "nonsense")
+        catalog.add_transformation(tr, replace=True)
+        lineage = row_lineage(catalog, "filtered", keys=["k1"])
+        # conservative: all raw rows contribute
+        assert lineage.contributing_keys("raw") == {"k1", "k2", "k3", "k4"}
+
+
+class TestRowsAffectedBy:
+    def test_identity_propagates_keys(self, catalog):
+        tainted = rows_affected_by(catalog, "raw", ["k1"])
+        assert tainted["filtered"] == {"k1"}
+
+    def test_aggregate_taints_whole_dataset(self, catalog):
+        tainted = rows_affected_by(catalog, "raw", ["k1"])
+        assert tainted["summary"] == set()  # whole-dataset taint
+
+    def test_untouched_keys_safe(self, catalog):
+        # k2 was filtered out (filtered addresses only k1/k3): nothing
+        # downstream is affected by a bad k2.
+        tainted = rows_affected_by(catalog, "raw", ["k2"])
+        assert "filtered" not in tainted
+        assert "summary" not in tainted

@@ -1,0 +1,107 @@
+"""Tests for the bipartite derivation dependency graph."""
+
+import pytest
+
+from repro.catalog.memory import MemoryCatalog
+from repro.errors import CyclicDerivationError
+from repro.provenance.graph import (
+    DerivationGraph,
+    dataset_node,
+    derivation_node,
+)
+
+
+@pytest.fixture
+def graph(diamond_catalog):
+    return DerivationGraph.from_catalog(diamond_catalog)
+
+
+class TestConstruction:
+    def test_node_and_edge_counts(self, graph):
+        # 5 derivations + 7 datasets (raw1 raw2 sim1 sim2 final)
+        assert len(graph.derivation_names()) == 5
+        assert len(graph.dataset_names()) == 5
+        # edges: each gen 1 out; each sim 1 in 1 out; ana 2 in 1 out
+        assert graph.edge_count() == 2 + 4 + 3
+
+    def test_membership(self, graph):
+        assert dataset_node("final") in graph
+        assert derivation_node("a1") in graph
+        assert dataset_node("nope") not in graph
+
+    def test_successors_predecessors(self, graph):
+        assert graph.successors(dataset_node("raw1")) == {derivation_node("s1")}
+        assert graph.predecessors(dataset_node("final")) == {
+            derivation_node("a1")
+        }
+
+
+class TestTraversals:
+    def test_upstream(self, graph):
+        assert graph.upstream_datasets("final") == {
+            "raw1", "raw2", "sim1", "sim2",
+        }
+        assert graph.upstream_datasets("raw1") == set()
+
+    def test_downstream(self, graph):
+        assert graph.downstream_datasets("raw1") == {"sim1", "final"}
+        assert graph.downstream_datasets("final") == set()
+
+    def test_sources_and_sinks(self, graph):
+        assert graph.source_datasets() == set()  # gens produce the raws
+        assert graph.sink_datasets() == {"final"}
+
+    def test_depth(self, graph):
+        assert graph.depth() == 3
+
+    def test_topological_order(self, graph):
+        order = graph.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        assert position[derivation_node("g1")] < position[dataset_node("raw1")]
+        assert position[dataset_node("raw1")] < position[derivation_node("s1")]
+        assert position[derivation_node("s1")] < position[dataset_node("sim1")]
+        assert position[dataset_node("sim1")] < position[derivation_node("a1")]
+
+    def test_cycle_detection(self):
+        catalog = MemoryCatalog().define(
+            """
+            TR t( output o, input i ) {
+              argument stdin = ${input:i};
+              argument stdout = ${output:o};
+              exec = "/b";
+            }
+            DV d1->t( o=@{output:"b"}, i=@{input:"a"} );
+            DV d2->t( o=@{output:"a"}, i=@{input:"b"} );
+            """
+        )
+        graph = DerivationGraph.from_catalog(catalog)
+        assert not graph.is_acyclic()
+        with pytest.raises(CyclicDerivationError):
+            graph.topological_order()
+
+
+class TestRequiredFor:
+    def test_subgraph(self, graph):
+        sub = graph.required_for("sim1")
+        assert sub.derivation_names() == ["g1", "s1"]
+        assert "sim2" not in sub.dataset_names()
+
+    def test_full_target(self, graph):
+        sub = graph.required_for("final")
+        assert len(sub.derivation_names()) == 5
+
+    def test_unknown_target_empty(self, graph):
+        assert len(graph.required_for("nope").derivation_names()) == 0
+
+    def test_source_dataset_target(self, graph):
+        sub = graph.required_for("raw1")
+        assert sub.derivation_names() == ["g1"]
+
+
+class TestIncremental:
+    def test_add_derivation_directly(self, diamond_catalog):
+        graph = DerivationGraph()
+        for dv in diamond_catalog.derivations():
+            graph.add_derivation(dv)
+        assert graph.depth() == 3
+        assert graph.derivation("a1").name == "a1"

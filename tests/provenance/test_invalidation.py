@@ -1,0 +1,101 @@
+"""Tests for invalidation propagation and make-style staleness."""
+
+import pytest
+
+from repro.provenance.graph import DerivationGraph
+from repro.provenance.invalidation import (
+    StalenessTracker,
+    invalidated_by,
+)
+
+
+@pytest.fixture
+def graph(diamond_catalog):
+    return DerivationGraph.from_catalog(diamond_catalog)
+
+
+class TestInvalidation:
+    def test_calibration_error_scenario(self, graph):
+        """'I've detected a calibration error in an instrument and want
+        to know which derived data to recompute.' (§2)"""
+        report = invalidated_by(graph, bad_datasets=["raw1"])
+        assert report.tainted_datasets == {"sim1", "final"}
+        assert report.rerun_derivations == {"g1", "s1", "a1"}
+
+    def test_unrelated_branch_untouched(self, graph):
+        report = invalidated_by(graph, bad_datasets=["raw2"])
+        assert "sim1" not in report.tainted_datasets
+
+    def test_bad_transformation(self, graph):
+        report = invalidated_by(graph, bad_transformations=["sim"])
+        # both sim derivations rerun; their outputs and final tainted
+        assert report.rerun_derivations >= {"s1", "s2", "a1"}
+        assert report.tainted_datasets == {"sim1", "sim2", "final"}
+
+    def test_leaf_dataset(self, graph):
+        report = invalidated_by(graph, bad_datasets=["final"])
+        assert report.tainted_datasets == set()
+        assert report.rerun_derivations == {"a1"}
+
+    def test_unknown_dataset_harmless(self, graph):
+        report = invalidated_by(graph, bad_datasets=["nope"])
+        assert report.total_affected() == 0
+
+    def test_combined_roots(self, graph):
+        report = invalidated_by(
+            graph, bad_datasets=["raw1"], bad_transformations=["ana"]
+        )
+        assert "a1" in report.rerun_derivations
+        assert report.bad_transformations == {"ana"}
+
+
+class TestStaleness:
+    def stamps(self, tracker, *pairs):
+        for name, when in pairs:
+            tracker.stamp(name, when)
+
+    def test_fresh_chain_not_stale(self, graph):
+        tracker = StalenessTracker(graph)
+        self.stamps(
+            tracker, ("raw1", 1), ("raw2", 1), ("sim1", 2), ("sim2", 2),
+            ("final", 3),
+        )
+        assert not tracker.is_stale("final")
+        assert tracker.stale_datasets() == set()
+
+    def test_unmaterialized_is_stale(self, graph):
+        tracker = StalenessTracker(graph)
+        assert tracker.is_stale("final")
+        assert not tracker.is_materialized("final")
+
+    def test_newer_input_propagates(self, graph):
+        tracker = StalenessTracker(graph)
+        self.stamps(
+            tracker, ("raw1", 1), ("raw2", 1), ("sim1", 2), ("sim2", 2),
+            ("final", 3),
+        )
+        tracker.stamp("raw1", 10)  # re-made raw1
+        assert tracker.is_stale("sim1")
+        assert tracker.is_stale("final")
+        assert not tracker.is_stale("sim2")
+
+    def test_derivations_to_run_minimal(self, graph):
+        tracker = StalenessTracker(graph)
+        self.stamps(
+            tracker, ("raw1", 1), ("raw2", 1), ("sim1", 2), ("sim2", 2),
+            ("final", 3),
+        )
+        tracker.stamp("raw1", 10)
+        assert tracker.derivations_to_run("final") == {"s1", "a1"}
+
+    def test_everything_needed_when_nothing_built(self, graph):
+        tracker = StalenessTracker(graph)
+        assert tracker.derivations_to_run("final") == {
+            "g1", "g2", "s1", "s2", "a1",
+        }
+
+    def test_stamp_of(self, graph):
+        tracker = StalenessTracker(graph)
+        assert tracker.stamp_of("raw1") is None
+        tracker.stamp("raw1", 5)
+        assert tracker.stamp_of("raw1") == 5

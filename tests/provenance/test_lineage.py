@@ -1,0 +1,81 @@
+"""Tests for lineage reports (audit trails)."""
+
+
+from repro.core.invocation import Invocation, ResourceUsage
+from repro.provenance.lineage import lineage_report
+
+
+class TestLineageReport:
+    def test_source_dataset(self, diamond_catalog):
+        report = lineage_report(diamond_catalog, "unknown.raw")
+        assert report.is_source
+        assert report.depth() == 0
+        assert report.all_source_datasets() == {"unknown.raw"}
+        assert "[source]" in report.render()
+
+    def test_full_trail(self, diamond_catalog):
+        report = lineage_report(diamond_catalog, "final")
+        assert report.depth() == 3
+        assert report.all_derivations() == {"g1", "g2", "s1", "s2", "a1"}
+        # gens have no dataset inputs, so the raw datasets are not
+        # sources (they are produced); the trail bottoms out at gens.
+        assert report.all_source_datasets() == set()
+
+    def test_parameters_surface(self, diamond_catalog):
+        report = lineage_report(diamond_catalog, "raw1")
+        assert report.steps[0].parameters() == {"seed": "42"}
+        assert "seed='42'" in report.render()
+
+    def test_transformation_version_reported(self, diamond_catalog):
+        report = lineage_report(diamond_catalog, "final")
+        assert report.steps[0].transformation_version == "1.0"
+
+    def test_invocations_included(self, diamond_catalog):
+        diamond_catalog.add_invocation(
+            Invocation(
+                derivation_name="a1",
+                usage=ResourceUsage(cpu_seconds=12.0, wall_seconds=15.0),
+            )
+        )
+        report = lineage_report(diamond_catalog, "final")
+        assert len(report.steps[0].invocations) == 1
+        assert report.total_cpu_seconds() == 12.0
+        without = lineage_report(
+            diamond_catalog, "final", include_invocations=False
+        )
+        assert without.steps[0].invocations == []
+
+    def test_max_depth_truncation(self, diamond_catalog):
+        report = lineage_report(diamond_catalog, "final", max_depth=1)
+        assert report.depth() == 1
+        inputs = report.steps[0].inputs
+        assert all(r.is_source for r in inputs.values())
+
+    def test_multiple_producers_reported(self, diamond_catalog):
+        diamond_catalog.define(
+            'DV a1b->ana( o=@{output:"final"}, a=@{input:"sim1"},'
+            ' b=@{input:"sim2"} );',
+        )
+        report = lineage_report(diamond_catalog, "final")
+        assert {s.derivation.name for s in report.steps} == {"a1", "a1b"}
+
+    def test_cycle_guard(self, catalog):
+        catalog.define(
+            """
+            TR t( output o, input i ) {
+              argument stdin = ${input:i};
+              argument stdout = ${output:o};
+              exec = "/b";
+            }
+            DV d1->t( o=@{output:"b"}, i=@{input:"a"} );
+            DV d2->t( o=@{output:"a"}, i=@{input:"b"} );
+            """
+        )
+        report = lineage_report(catalog, "a")  # must terminate
+        assert report.steps
+
+    def test_render_shape(self, diamond_catalog):
+        text = lineage_report(diamond_catalog, "final").render()
+        assert text.splitlines()[0] == "final"
+        assert "<- a1 -> ana" in text
+        assert "raw2" in text

@@ -1,0 +1,159 @@
+"""Tests for access-control policies and quality assessments (§4.2)."""
+
+import pytest
+
+from repro.catalog.federation import FederatedIndex
+from repro.catalog.memory import MemoryCatalog
+from repro.core.dataset import Dataset
+from repro.errors import AccessDeniedError, SecurityError
+from repro.security.identity import KeyStore
+from repro.security.policy import GuardedCatalog, PolicyEngine, Rule
+from repro.security.quality import QualityRegistry
+from repro.security.signing import Signer
+from repro.security.trust import TrustStore
+
+
+class TestPolicyEngine:
+    def test_default_deny(self):
+        assert not PolicyEngine().is_allowed("alice", "read", "dataset", "x")
+
+    def test_first_match_wins(self):
+        policy = PolicyEngine()
+        policy.deny(principal="alice", action="write")
+        policy.allow(principal="alice")
+        assert policy.is_allowed("alice", "read", "dataset")
+        assert not policy.is_allowed("alice", "write", "dataset")
+
+    def test_glob_names(self):
+        policy = PolicyEngine()
+        policy.allow(principal="alice", name="public.*")
+        assert policy.is_allowed("alice", "read", "dataset", "public.run1")
+        assert not policy.is_allowed("alice", "read", "dataset", "secret.run1")
+
+    def test_groups(self):
+        policy = PolicyEngine()
+        policy.add_to_group("physicists", "alice")
+        policy.allow(principal="group:physicists", action="read")
+        assert policy.is_allowed("alice", "read", "dataset")
+        assert not policy.is_allowed("bob", "read", "dataset")
+        assert policy.groups_of("alice") == {"physicists"}
+
+    def test_kind_scoping(self):
+        policy = PolicyEngine()
+        policy.allow(principal="alice", kind="derivation")
+        assert policy.is_allowed("alice", "write", "derivation")
+        assert not policy.is_allowed("alice", "write", "dataset")
+
+    def test_authorize_raises(self):
+        with pytest.raises(AccessDeniedError):
+            PolicyEngine().authorize("alice", "read", "dataset", "x")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SecurityError):
+            PolicyEngine().is_allowed("alice", "fly", "dataset")
+
+    def test_bad_rule_effect(self):
+        with pytest.raises(SecurityError):
+            Rule(effect="maybe")
+
+
+class TestGuardedCatalog:
+    @pytest.fixture
+    def guarded(self):
+        catalog = MemoryCatalog()
+        catalog.define('TR t( output o ) { exec = "/b"; }')
+        policy = PolicyEngine()
+        policy.allow(principal="alice", action="read")
+        policy.allow(principal="alice", action="write", kind="derivation")
+        policy.allow(principal="alice", action="write", kind="dataset",
+                     name="alice.*")
+        return GuardedCatalog(catalog, policy, "alice")
+
+    def test_reads_allowed(self, guarded):
+        assert guarded.get_transformation("t").name == "t"
+
+    def test_writes_scoped_by_name(self, guarded):
+        guarded.add_dataset(Dataset(name="alice.results"))
+        with pytest.raises(AccessDeniedError):
+            guarded.add_dataset(Dataset(name="bob.results"))
+
+    def test_writes_scoped_by_kind(self, guarded):
+        with pytest.raises(AccessDeniedError):
+            guarded.add_transformation(guarded.get_transformation("t"))
+
+    def test_guarded_define(self, guarded):
+        guarded.define('DV d->t( o=@{output:"alice.out"} );')
+        with pytest.raises(AccessDeniedError):
+            guarded.define('TR t2( output o ) { exec = "/b"; }')
+
+    def test_delete_denied(self, guarded):
+        guarded.add_dataset(Dataset(name="alice.x"))
+        with pytest.raises(AccessDeniedError):
+            guarded.remove_dataset("alice.x")
+
+    def test_forwarding_of_unguarded(self, guarded):
+        assert guarded.counts()["transformation"] == 1
+
+
+class TestQualityRegistry:
+    @pytest.fixture
+    def world(self):
+        keys = KeyStore()
+        keys.generate("collab")
+        keys.generate("calib-team")
+        keys.generate("mallory")
+        trust = TrustStore(keys)
+        trust.add_root("collab")
+        trust.delegate("collab", "calib-team", scope="quality")
+        signer = Signer(keys)
+        return keys, trust, signer, QualityRegistry(trust=trust, signer=signer)
+
+    def test_assessment_levels(self, world):
+        _, _, _, quality = world
+        quality.assess("dataset", "run7", "validated", "calib-team")
+        assert quality.level_of("dataset", "run7") == "validated"
+        assert quality.meets("dataset", "run7", "raw")
+        assert not quality.meets("dataset", "run7", "approved")
+
+    def test_highest_level_wins(self, world):
+        _, _, _, quality = world
+        quality.assess("dataset", "run7", "raw", "calib-team")
+        quality.assess("dataset", "run7", "approved", "calib-team")
+        quality.assess("dataset", "run7", "validated", "calib-team")
+        assert quality.level_of("dataset", "run7") == "approved"
+
+    def test_untrusted_assessor_rejected(self, world):
+        _, _, _, quality = world
+        with pytest.raises(Exception):
+            quality.assess("dataset", "x", "approved", "mallory")
+
+    def test_unknown_level_rejected(self, world):
+        _, _, _, quality = world
+        with pytest.raises(SecurityError):
+            quality.assess("dataset", "x", "platinum", "calib-team")
+
+    def test_object_signed_on_assessment(self, world):
+        _, _, signer, quality = world
+        ds = Dataset(name="run7")
+        quality.assess("dataset", "run7", "approved", "calib-team", obj=ds)
+        assert ds.attributes.get("quality") == "approved"
+        signer.verify_entry(ds, "calib-team")
+
+    def test_unknown_object_level(self, world):
+        _, _, _, quality = world
+        assert quality.level_of("dataset", "never-seen") == "unknown"
+
+    def test_approved_filter_builds_fig4_index(self, world):
+        _, _, _, quality = world
+        catalog = MemoryCatalog(authority="site.a")
+        for i, level in enumerate(["approved", "raw", "approved"]):
+            name = f"ds{i}"
+            catalog.add_dataset(Dataset(name=name))
+            quality.assess("dataset", name, level, "calib-team")
+        index = FederatedIndex(
+            "community-approved",
+            kinds=("dataset",),
+            entry_filter=quality.approved_filter(),
+        )
+        index.attach(catalog)
+        assert {e.name for e in index.find("dataset")} == {"ds0", "ds2"}

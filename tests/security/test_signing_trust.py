@@ -1,0 +1,207 @@
+"""Tests for signatures, trust chains and authorities (§4.2)."""
+
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.replica import Replica
+from repro.errors import (
+    InvalidSignatureError,
+    SecurityError,
+    UntrustedAuthorityError,
+)
+from repro.security.identity import KeyStore, Principal
+from repro.security.signing import Signer, canonical_encoding
+from repro.security.trust import Delegation, TrustStore
+
+
+@pytest.fixture
+def keys():
+    store = KeyStore()
+    for name in ("root-authority", "calib-team", "alice", "mallory"):
+        store.generate(name)
+    return store
+
+
+@pytest.fixture
+def signer(keys):
+    return Signer(keys)
+
+
+class TestPrincipalsAndKeys:
+    def test_principal_validation(self):
+        Principal("alice", "user")
+        with pytest.raises(SecurityError):
+            Principal("", "user")
+        with pytest.raises(SecurityError):
+            Principal("x", "wizard")
+
+    def test_key_generation(self):
+        store = KeyStore()
+        key = store.generate("a")
+        assert len(key) >= 16
+        assert store.key_of("a") == key
+        assert store.has_key("a") and not store.has_key("b")
+
+    def test_duplicate_key_rejected(self):
+        store = KeyStore()
+        store.generate("a")
+        with pytest.raises(SecurityError):
+            store.generate("a")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(SecurityError):
+            KeyStore().generate("a", key=b"short")
+
+    def test_missing_key_raises(self):
+        with pytest.raises(SecurityError):
+            KeyStore().key_of("ghost")
+
+
+class TestEntrySigning:
+    def test_sign_and_verify(self, signer):
+        ds = Dataset(name="run7.raw", attributes={"calibration": "v3"})
+        signer.sign_entry(ds, "calib-team")
+        signer.verify_entry(ds, "calib-team")
+        assert signer.is_signed_by(ds, "calib-team")
+
+    def test_tamper_detected(self, signer):
+        ds = Dataset(name="run7.raw", attributes={"calibration": "v3"})
+        signer.sign_entry(ds, "calib-team")
+        ds.attributes.set("calibration", "v4")
+        with pytest.raises(InvalidSignatureError):
+            signer.verify_entry(ds, "calib-team")
+
+    def test_unsigned_entry_rejected(self, signer):
+        ds = Dataset(name="x")
+        with pytest.raises(InvalidSignatureError):
+            signer.verify_entry(ds, "calib-team")
+
+    def test_multiple_signers_independent(self, signer):
+        ds = Dataset(name="x", attributes={"a": 1})
+        signer.sign_entry(ds, "calib-team")
+        signer.sign_entry(ds, "alice")
+        signer.verify_entry(ds, "calib-team")
+        signer.verify_entry(ds, "alice")
+        assert set(signer.signers_of(ds)) == {"calib-team", "alice"}
+
+    def test_signature_excluded_from_signed_bytes(self, signer):
+        ds = Dataset(name="x", attributes={"a": 1})
+        before = canonical_encoding(ds.to_dict())
+        signer.sign_entry(ds, "alice")
+        after = canonical_encoding(ds.to_dict())
+        assert before == after
+
+    def test_works_on_replicas_and_transformations(self, signer, catalog):
+        rep = Replica(dataset_name="x", location="anl")
+        signer.sign_entry(rep, "alice")
+        signer.verify_entry(rep, "alice")
+        catalog.define('TR t( output o ) { exec = "/b"; }')
+        tr = catalog.get_transformation("t")
+        signer.sign_entry(tr, "alice")
+        signer.verify_entry(tr, "alice")
+
+    def test_signature_survives_catalog_round_trip(self, signer, catalog):
+        ds = Dataset(name="x", attributes={"a": 1})
+        signer.sign_entry(ds, "alice")
+        catalog.add_dataset(ds)
+        fetched = catalog.get_dataset("x")
+        signer.verify_entry(fetched, "alice")
+
+
+class TestAttributeSigning:
+    def test_sign_and_verify_attribute(self, signer):
+        ds = Dataset(name="x", attributes={"calibration": "v3", "other": 1})
+        signer.sign_attribute(ds, "calibration", "calib-team")
+        signer.verify_attribute(ds, "calibration", "calib-team")
+        # unrelated attributes may change freely
+        ds.attributes.set("other", 2)
+        signer.verify_attribute(ds, "calibration", "calib-team")
+
+    def test_attribute_tamper_detected(self, signer):
+        ds = Dataset(name="x", attributes={"calibration": "v3"})
+        signer.sign_attribute(ds, "calibration", "calib-team")
+        ds.attributes.set("calibration", "v4")
+        with pytest.raises(InvalidSignatureError):
+            signer.verify_attribute(ds, "calibration", "calib-team")
+
+    def test_cannot_sign_signature(self, signer):
+        ds = Dataset(name="x", attributes={"a": 1})
+        signer.sign_entry(ds, "alice")
+        with pytest.raises(SecurityError):
+            signer.sign_attribute(ds, "sig.alice", "alice")
+
+    def test_missing_attribute_rejected(self, signer):
+        with pytest.raises(SecurityError):
+            signer.sign_attribute(Dataset(name="x"), "nope", "alice")
+
+
+class TestTrustChains:
+    def test_root_is_trusted(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        assert trust.is_trusted("root-authority")
+        assert trust.chain_for("root-authority") == []
+
+    def test_root_needs_key(self, keys):
+        trust = TrustStore(keys)
+        with pytest.raises(SecurityError):
+            trust.add_root("ghost")
+
+    def test_single_delegation(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        trust.delegate("root-authority", "calib-team")
+        chain = trust.require_trusted("calib-team")
+        assert [d.subject for d in chain] == ["calib-team"]
+
+    def test_multi_level_chain(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        trust.delegate("root-authority", "calib-team")
+        trust.delegate("calib-team", "alice")
+        chain = trust.require_trusted("alice")
+        assert [d.subject for d in chain] == ["calib-team", "alice"]
+
+    def test_untrusted_rejected(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        with pytest.raises(UntrustedAuthorityError):
+            trust.require_trusted("mallory")
+
+    def test_forged_delegation_rejected(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        forged = Delegation(
+            issuer="root-authority", subject="mallory", signature="00" * 32
+        )
+        trust.add_delegation(forged)
+        assert not trust.is_trusted("mallory")
+
+    def test_scoped_delegation(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        trust.delegate("root-authority", "calib-team", scope="quality")
+        assert trust.is_trusted("calib-team", "quality")
+        assert not trust.is_trusted("calib-team", "deploy")
+
+    def test_wildcard_scope_covers_all(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        trust.delegate("root-authority", "calib-team")  # scope "*"
+        assert trust.is_trusted("calib-team", "anything")
+
+    def test_chain_depth_limited(self, keys):
+        trust = TrustStore(keys, max_chain_depth=2)
+        trust.add_root("root-authority")
+        names = ["root-authority", "calib-team", "alice", "mallory"]
+        for issuer, subject in zip(names, names[1:]):
+            trust.delegate(issuer, subject)
+        assert trust.is_trusted("alice")  # depth 2
+        assert not trust.is_trusted("mallory")  # depth 3 > limit
+
+    def test_delegation_cycles_terminate(self, keys):
+        trust = TrustStore(keys)
+        trust.add_root("root-authority")
+        trust.delegate("alice", "mallory")
+        trust.delegate("mallory", "alice")  # cycle, no root
+        assert not trust.is_trusted("alice")

@@ -1,0 +1,153 @@
+"""Tests for the workspace CLI (`python -m repro`)."""
+
+import pytest
+
+from repro.cli import main
+
+VDL = """
+TR copy( output o, input i ) {
+  argument = ${input:i}" "${output:o};
+  exec = "/bin/cp";
+}
+TR emit( output o ) {
+  argument stdout = ${output:o};
+  argument msg = "hello-vdg";
+  exec = "/bin/echo";
+}
+DV e1->emit( o=@{output:"seed.txt"} );
+DV c1->copy( o=@{output:"copy.txt"}, i=@{input:"seed.txt"} );
+"""
+
+
+@pytest.fixture
+def run(tmp_path):
+    """Invoke the CLI in an isolated workspace, capturing output."""
+    workspace = tmp_path / "ws"
+
+    def invoke(*argv):
+        lines = []
+        code = main(
+            ["--workspace", str(workspace), *argv],
+            out=lambda text="": lines.append(str(text)),
+        )
+        return code, "\n".join(lines)
+
+    return invoke
+
+
+@pytest.fixture
+def defined(run, tmp_path):
+    vdl_file = tmp_path / "pipeline.vdl"
+    vdl_file.write_text(VDL)
+    assert run("init")[0] == 0
+    assert run("define", str(vdl_file))[0] == 0
+    return run
+
+
+class TestLifecycle:
+    def test_init_creates_workspace(self, run):
+        code, output = run("init")
+        assert code == 0
+        assert "initialized" in output
+
+    def test_commands_require_workspace(self, run):
+        code, output = run("list", "datasets")
+        assert code == 1
+        assert "no workspace" in output
+
+    def test_define_reports_additions(self, run, tmp_path):
+        vdl_file = tmp_path / "p.vdl"
+        vdl_file.write_text(VDL)
+        run("init")
+        code, output = run("define", str(vdl_file))
+        assert code == 0
+        assert "transformation" in output and "derivation" in output
+
+    def test_state_persists_across_invocations(self, defined):
+        code, output = defined("list", "transformations")
+        assert code == 0
+        assert "copy@1.0" in output and "emit@1.0" in output
+
+
+class TestQueries:
+    def test_list_datasets(self, defined):
+        code, output = defined("list", "datasets")
+        assert code == 0
+        assert "seed.txt  [virtual] <- e1" in output
+        assert "copy.txt  [virtual] <- c1" in output
+
+    def test_list_derivations(self, defined):
+        _, output = defined("list", "derivations")
+        assert "c1 -> copy (in: seed.txt; out: copy.txt)" in output
+
+    def test_plan_shows_topological_order(self, defined):
+        code, output = defined("plan", "copy.txt", "--reuse", "never")
+        assert code == 0
+        assert output.index("e1:") < output.index("c1:")
+        assert "2 steps" in output
+
+    def test_lineage(self, defined):
+        code, output = defined("lineage", "copy.txt")
+        assert code == 0
+        assert "<- c1 -> copy" in output
+        assert "<- e1 -> emit" in output
+
+    def test_invalidate(self, defined):
+        code, output = defined("invalidate", "--dataset", "seed.txt")
+        assert code == 0
+        assert "copy.txt" in output
+        assert "c1" in output
+
+    def test_export_vdl_round_trips(self, defined, tmp_path):
+        code, output = defined("export", "--format", "vdl")
+        assert code == 0
+        from repro.vdl.semantics import compile_vdl
+
+        program = compile_vdl(output)
+        assert {t.name for t in program.transformations} == {"copy", "emit"}
+
+    def test_export_xml(self, defined):
+        code, output = defined("export", "--format", "xml")
+        assert code == 0
+        assert output.startswith("<vdl>")
+
+
+class TestMaterialize:
+    def test_real_subprocess_execution(self, defined):
+        """The emit/copy pipeline uses real /bin binaries end to end."""
+        code, output = defined("materialize", "copy.txt")
+        assert code == 0
+        assert "ran e1: success" in output
+        assert "ran c1: success" in output
+        assert "copy.txt ->" in output
+
+    def test_rematerialize_is_noop(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("materialize", "copy.txt")
+        assert code == 0
+        assert "already materialized" in output
+
+    def test_invocations_recorded(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("list", "invocations")
+        assert code == 0
+        assert "e1" in output and "c1" in output
+
+
+class TestAdHocRun:
+    def test_run_tracks_and_numbers(self, defined):
+        code, output = defined("run", "emit", "o=adhoc.txt")
+        assert code == 0
+        assert "ran cli.0001: success" in output
+        code, output = defined(
+            "run", "copy", "i=adhoc.txt", "o=adhoc2.txt"
+        )
+        assert code == 0
+        assert "ran cli.0002: success" in output  # numbering continues
+        code, output = defined("lineage", "adhoc2.txt")
+        assert "cli.0001" in output and "cli.0002" in output
+
+    def test_bad_binding_rejected(self, defined):
+        code, output = defined("run", "emit", "noequals")
+        assert code == 1
+        assert "name=value" in output

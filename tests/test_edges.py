@@ -1,0 +1,117 @@
+"""Edge-case tests across subsystems (gap sweep)."""
+
+import pytest
+
+from repro.catalog.memory import MemoryCatalog
+from repro.grid.gram import GridExecutionService, JobSpec
+from repro.grid.network import uniform_topology
+from repro.grid.replica_catalog import ReplicaLocationService
+from repro.grid.simulator import Simulator
+from repro.grid.site import Site
+from repro.planner.dag import Planner
+from repro.planner.request import MaterializationRequest
+from repro.system import VirtualDataSystem
+
+
+class TestGramSetupSeconds:
+    def test_setup_charged_before_queue(self):
+        sim = Simulator()
+        net = uniform_topology(["a"])
+        sites = {"a": Site("a", hosts=1)}
+        grid = GridExecutionService(sim, sites, net, ReplicaLocationService(net))
+        record = grid.submit(
+            JobSpec(name="j", site="a", cpu_seconds=10.0, setup_seconds=5.0)
+        )
+        sim.run()
+        assert record.stage_in_seconds == 5.0
+        assert record.start_time == 5.0
+        assert record.end_time == 15.0
+
+
+class TestMultipleProducers:
+    def test_planner_picks_deterministically(self):
+        catalog = MemoryCatalog().define(
+            """
+            TR make( output o, none tag="x" ) {
+              argument = "-t "${none:tag};
+              argument stdout = ${output:o};
+              exec = "/bin/make";
+            }
+            DV zeta->make( o=@{output:"shared"}, tag="z" );
+            DV alpha->make( o=@{output:"shared"}, tag="a" );
+            """
+        )
+        planner = Planner(catalog)
+        plans = [
+            planner.plan(
+                MaterializationRequest(targets=("shared",), reuse="never")
+            )
+            for _ in range(3)
+        ]
+        # Always the alphabetically-first producer, every time.
+        assert all(set(p.steps) == {"alpha"} for p in plans)
+
+
+class TestSystemEdges:
+    def test_estimate_without_grid_uses_one_host(self):
+        vds = VirtualDataSystem()
+        vds.define(
+            'TR t( output o ) { argument stdout = ${output:o};'
+            ' exec = "/b"; } DV d->t( o=@{output:"x"} );'
+        )
+        plan = vds.plan("x", reuse="never")
+        estimate = vds.estimate(plan)
+        assert estimate.host_count == 1
+
+    def test_build_index_skips_anonymous_home(self):
+        vds = VirtualDataSystem()  # no authority
+        partner = VirtualDataSystem(authority="p.org")
+        vds.share_with(partner.catalog)
+        index = vds.build_index("x")
+        assert index.members() == ["p.org"]
+
+    def test_replicas_property_requires_grid(self):
+        with pytest.raises(Exception):
+            VirtualDataSystem().replicas
+
+
+class TestCliEdges:
+    def test_invalidate_by_transformation(self, tmp_path):
+        from repro.cli import main
+
+        ws = tmp_path / "ws"
+        vdl = tmp_path / "p.vdl"
+        vdl.write_text(
+            'TR t( output o ) { argument stdout = ${output:o};'
+            ' exec = "/b"; } DV d->t( o=@{output:"x"} );'
+        )
+        lines = []
+        out = lambda text="": lines.append(str(text))  # noqa: E731
+        assert main(["--workspace", str(ws), "init"], out=out) == 0
+        assert main(["--workspace", str(ws), "define", str(vdl)], out=out) == 0
+        assert (
+            main(
+                ["--workspace", str(ws), "invalidate",
+                 "--transformation", "t"],
+                out=out,
+            )
+            == 0
+        )
+        joined = "\n".join(lines)
+        assert "x" in joined and "d" in joined
+
+
+class TestSchedulerPeakInFlight:
+    def test_peak_reported(self):
+        from tests.conftest import DIAMOND_VDL
+        vds = VirtualDataSystem.with_grid({"a": 8})
+        vds.define(DIAMOND_VDL)
+        result = vds.materialize("final", reuse="never")
+        assert result.peak_in_flight == 2  # the two gen branches
+
+    def test_cap_of_one_serializes(self):
+        from tests.conftest import DIAMOND_VDL
+        vds = VirtualDataSystem.with_grid({"a": 8})
+        vds.define(DIAMOND_VDL)
+        result = vds.materialize("final", reuse="never", max_hosts=1)
+        assert result.peak_in_flight == 1

@@ -1,0 +1,116 @@
+"""Tests for the VDL lexer."""
+
+import pytest
+
+from repro.errors import VDLSyntaxError
+from repro.vdl.lexer import (
+    TT_ARROW,
+    TT_AT_LBRACE,
+    TT_COLON,
+    TT_DOLLAR_LBRACE,
+    TT_EOF,
+    TT_IDENT,
+    TT_SLASH,
+    TT_STRING,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert kinds("") == [TT_EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \n\t ") == [TT_EOF]
+
+    def test_identifier(self):
+        tokens = tokenize("hello")
+        assert tokens[0].type == TT_IDENT
+        assert tokens[0].value == "hello"
+
+    def test_dotted_and_dashed_idents(self):
+        assert values("run1.exp15 srch-muon env.MAXMEM") == [
+            "run1.exp15", "srch-muon", "env.MAXMEM",
+        ]
+
+    def test_namespace_colons_are_tokens(self):
+        assert kinds("example1::t1")[:4] == [
+            TT_IDENT, TT_COLON, TT_COLON, TT_IDENT,
+        ]
+
+    def test_arrow_vs_dash(self):
+        tokens = tokenize("d1->srch-muon")
+        assert [t.type for t in tokens[:3]] == [TT_IDENT, TT_ARROW, TT_IDENT]
+        assert tokens[2].value == "srch-muon"
+
+    def test_trailing_dash_not_in_name(self):
+        # "a- b" : the dash cannot end an identifier
+        tokens = tokenize("ab ->x")
+        assert tokens[0].value == "ab"
+
+    def test_composite_openers(self):
+        assert kinds("${ @{")[:2] == [TT_DOLLAR_LBRACE, TT_AT_LBRACE]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].type == TT_STRING
+        assert tokens[0].value == "hello world"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b\\c\nd"')[0].value == 'a"b\\c\nd'
+
+    def test_empty_string(self):
+        assert tokenize('""')[0].value == ""
+
+    def test_unterminated_string(self):
+        with pytest.raises(VDLSyntaxError):
+            tokenize('"abc')
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(VDLSyntaxError):
+            tokenize('"a\nb"')
+
+
+class TestComments:
+    def test_hash_comment(self):
+        assert values("a # comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* anything\n at all */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(VDLSyntaxError):
+            tokenize("/* never ends")
+
+    def test_slashes_are_not_comments(self):
+        # vdp:// must survive lexing
+        assert kinds("vdp://h/x")[:5] == [
+            TT_IDENT, TT_COLON, TT_SLASH, TT_SLASH, TT_IDENT,
+        ]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(VDLSyntaxError) as exc:
+            tokenize("a ^ b")
+        assert exc.value.line == 1
+
+    def test_error_carries_position(self):
+        with pytest.raises(VDLSyntaxError) as exc:
+            tokenize("ok\n   ^")
+        assert exc.value.line == 2

@@ -1,0 +1,172 @@
+"""Tests for the VDL parser against Appendix A's concrete examples."""
+
+import pytest
+
+from repro.errors import VDLSyntaxError
+from repro.vdl.ast import (
+    ArgumentStmtNode,
+    CallStmtNode,
+    DatasetRefNode,
+    EnvStmtNode,
+    ExecStmtNode,
+    FormalRefNode,
+    ProfileStmtNode,
+)
+from repro.vdl.parser import parse
+
+#: Appendix A's first example, verbatim modulo whitespace.
+APPENDIX_T1 = """
+TR t1( output a2, input a1, none env="100000", none pa="500" ) {
+  argument parg = "-p "${none:pa};
+  argument farg = "-f "${input:a1};
+  argument xarg = "-x -y ";
+  argument stdout = ${output:a2};
+  exec = "/usr/bin/app3";
+  env.MAXMEM = ${none:env};
+}
+"""
+
+APPENDIX_D1 = """
+DV d1->example1::t1(
+  a2=@{output:"run1.exp15.T1932.summary"},
+  a1=@{input:"run1.exp15.T1932.raw"},
+  env="20000",
+  pa="600"
+);
+"""
+
+APPENDIX_TRANS4 = """
+TR trans4( input a2, input a1,
+           inout a5=@{inout:"anywhere":""},
+           inout a4=@{inout:"somewhere":""},
+           output a3 ) {
+  trans1( a2=${output:a4}, a1=${a1} );
+  trans2( a2=${output:a5}, a1=${a2} );
+  trans3( a2=${input:a5}, a1=${input:a4}, a3=${output:a3} );
+}
+"""
+
+
+class TestTransformationDecl:
+    def test_appendix_t1_formals(self):
+        decl = parse(APPENDIX_T1).transformations()[0]
+        assert decl.name == "t1"
+        assert [f.name for f in decl.formals] == ["a2", "a1", "env", "pa"]
+        assert [f.direction for f in decl.formals] == [
+            "output", "input", "none", "none",
+        ]
+        assert decl.formals[2].default == "100000"
+
+    def test_appendix_t1_body(self):
+        decl = parse(APPENDIX_T1).transformations()[0]
+        args = [s for s in decl.body if isinstance(s, ArgumentStmtNode)]
+        assert [a.name for a in args] == ["parg", "farg", "xarg", "stdout"]
+        assert args[0].parts == ("-p ", FormalRefNode("pa", "none", args[0].parts[1].line))
+        execs = [s for s in decl.body if isinstance(s, ExecStmtNode)]
+        assert execs[0].path == "/usr/bin/app3"
+        envs = [s for s in decl.body if isinstance(s, EnvStmtNode)]
+        assert envs[0].variable == "MAXMEM"
+
+    def test_unnamed_argument(self):
+        src = 'TR t( input i ) { argument = "-x "${input:i}; exec = "/b"; }'
+        decl = parse(src).transformations()[0]
+        args = [s for s in decl.body if isinstance(s, ArgumentStmtNode)]
+        assert args[0].name is None
+
+    def test_profile_statement(self):
+        src = 'TR t( output o ) { profile hints.pfnHint = "/usr/bin/app1"; }'
+        decl = parse(src).transformations()[0]
+        profiles = [s for s in decl.body if isinstance(s, ProfileStmtNode)]
+        assert profiles[0].key == "hints.pfnHint"
+        assert profiles[0].value == "/usr/bin/app1"
+
+    def test_compound_body(self):
+        decl = parse(APPENDIX_TRANS4).transformations()[0]
+        assert decl.is_compound()
+        calls = [s for s in decl.body if isinstance(s, CallStmtNode)]
+        assert [c.target for c in calls] == ["trans1", "trans2", "trans3"]
+        # ${a1} without direction
+        first_bindings = dict(calls[0].bindings)
+        assert first_bindings["a1"] == FormalRefNode(
+            "a1", None, first_bindings["a1"].line
+        )
+
+    def test_temporary_default(self):
+        decl = parse(APPENDIX_TRANS4).transformations()[0]
+        a5 = decl.formals[2]
+        assert isinstance(a5.default, DatasetRefNode)
+        assert a5.default.temporary
+        assert a5.default.lfn == "anywhere"
+
+    def test_empty_formals(self):
+        decl = parse("TR t() { exec = \"/b\"; }").transformations()[0]
+        assert decl.formals == ()
+
+    def test_type_annotations(self):
+        src = """
+        TR t( output o : SDSS/Simple/ASCII | CMS,
+              input i : Fileset ) { exec = "/b"; }
+        """
+        decl = parse(src).transformations()[0]
+        assert decl.formals[0].type_expr.members == (
+            ("SDSS", "Simple", "ASCII"),
+            ("CMS", "-", "-"),
+        )
+        assert decl.formals[1].type_expr.members == (("Fileset", "-", "-"),)
+
+    def test_versioned_name(self):
+        decl = parse('TR t@2.1( output o ) { exec = "/b"; }').transformations()[0]
+        assert decl.name == "t" and decl.version == "2.1"
+
+
+class TestDerivationDecl:
+    def test_appendix_d1(self):
+        decl = parse(APPENDIX_D1).derivations()[0]
+        assert decl.name == "d1"
+        assert decl.target == "example1::t1"
+        actuals = dict(decl.actuals)
+        assert actuals["a2"] == DatasetRefNode(
+            "output", "run1.exp15.T1932.summary", False, actuals["a2"].line
+        )
+        assert actuals["env"] == "20000"
+
+    def test_vdp_target(self):
+        src = 'DV d->vdp://physics.wisconsin.edu/srch( x="1" );'
+        decl = parse(src).derivations()[0]
+        assert decl.target == "vdp://physics.wisconsin.edu/srch"
+
+    def test_empty_actuals(self):
+        decl = parse("DV d->t();").derivations()[0]
+        assert decl.actuals == ()
+
+    def test_case_insensitive_keywords(self):
+        program = parse('tr t( output o ) { exec = "/b"; } dv d->t();')
+        assert len(program.transformations()) == 1
+        assert len(program.derivations()) == 1
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "TR",  # truncated
+            "TR t( output ) { }",  # missing formal name
+            "TR t( sideways x ) { }",  # bad direction
+            'TR t( output o ) { exec = "/b" }',  # missing semicolon
+            "DV d->t( x=y );",  # bare ident actual
+            "DV d t();",  # missing arrow
+            'TR t( output o ) { argument = @{output:"x"}; }',  # @ in template
+            "XX blah",  # unknown declaration
+            'DV d->t( a=@{none:"x"} );',  # none direction in dataset ref
+            'DV d->t( a=@{output:"x":"junk"} );',  # non-empty third field
+            "DV d->vdp://host( );",  # vdp without object name
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(VDLSyntaxError):
+            parse(source)
+
+    def test_error_position_reported(self):
+        with pytest.raises(VDLSyntaxError) as exc:
+            parse("TR t( output o ) {\n  bogus bogus bogus;\n}")
+        assert "line 2" in str(exc.value)

@@ -1,0 +1,165 @@
+"""Property-based tests for the VDL front-end (hypothesis).
+
+Random programs are generated at the *object* level, unparsed to text,
+re-compiled and compared — so the property `compile(unparse(p)) == p`
+is exercised over a far larger space than the hand-written corpus.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.naming import VDPRef
+from repro.core.transformation import (
+    ArgumentTemplate,
+    FormalArg,
+    FormalRef,
+    SimpleTransformation,
+)
+from repro.vdl.semantics import compile_vdl
+from repro.vdl.unparser import unparse
+from repro.vdl.xml_io import from_xml, to_xml
+
+ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+lfn = st.from_regex(r"[a-z][a-z0-9_.]{0,12}", fullmatch=True)
+literal = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_characters='\n\r', min_codepoint=32
+    ),
+    max_size=12,
+)
+direction = st.sampled_from(["input", "output", "inout", "none"])
+
+
+@st.composite
+def formals(draw) -> list[FormalArg]:
+    names = draw(
+        st.lists(ident, min_size=1, max_size=5, unique=True)
+    )
+    out = []
+    for name in names:
+        d = draw(direction)
+        default = None
+        temporary = False
+        if d == "none" and draw(st.booleans()):
+            default = draw(literal)
+        elif d != "none" and draw(st.booleans()):
+            default = draw(lfn)
+            temporary = draw(st.booleans())
+        out.append(
+            FormalArg(
+                name=name,
+                direction=d,
+                default=default,
+                temporary_default=temporary,
+            )
+        )
+    return out
+
+
+@st.composite
+def simple_transformations(draw) -> SimpleTransformation:
+    name = draw(ident)
+    fs = draw(formals())
+    templates = []
+    n_templates = draw(st.integers(0, 3))
+    for _ in range(n_templates):
+        parts = []
+        for _ in range(draw(st.integers(1, 3))):
+            if draw(st.booleans()):
+                parts.append(draw(literal))
+            else:
+                formal = draw(st.sampled_from(fs))
+                ref_dir = (
+                    formal.direction
+                    if formal.direction != "inout"
+                    else draw(st.sampled_from(["input", "output", "inout"]))
+                )
+                parts.append(
+                    FormalRef(
+                        formal.name,
+                        ref_dir if draw(st.booleans()) else None,
+                    )
+                )
+        templates.append(ArgumentTemplate(parts=tuple(parts)))
+    return SimpleTransformation(
+        name=name,
+        formals=fs,
+        executable="/bin/" + name,
+        arguments=templates,
+    )
+
+
+@st.composite
+def derivations(draw) -> Derivation:
+    n_actuals = draw(st.integers(0, 4))
+    actuals = {}
+    names = draw(
+        st.lists(ident, min_size=n_actuals, max_size=n_actuals, unique=True)
+    )
+    for actual_name in names:
+        if draw(st.booleans()):
+            actuals[actual_name] = draw(literal)
+        else:
+            actuals[actual_name] = DatasetArg(
+                dataset=draw(lfn),
+                direction=draw(st.sampled_from(["input", "output", "inout"])),
+                temporary=draw(st.booleans()),
+            )
+    return Derivation(
+        name=draw(ident),
+        transformation=VDPRef(draw(ident), kind="transformation"),
+        actuals=actuals,
+    )
+
+
+def tr_fingerprint(tr: SimpleTransformation):
+    return (
+        tr.name,
+        tuple(
+            (f.name, f.direction, f.default, f.temporary_default)
+            for f in tr.signature.formals
+        ),
+        tr.executable,
+        tuple((t.name, t.parts) for t in tr.arguments),
+    )
+
+
+def dv_fingerprint(dv: Derivation):
+    return (
+        dv.name,
+        dv.transformation.uri(),
+        tuple(
+            sorted(
+                (k, v if isinstance(v, str)
+                 else (v.dataset, v.direction, v.temporary))
+                for k, v in dv.actuals.items()
+            )
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(simple_transformations())
+def test_transformation_text_round_trip(tr):
+    text = unparse([tr], [])
+    program = compile_vdl(text)
+    assert tr_fingerprint(program.transformations[0]) == tr_fingerprint(tr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(derivations())
+def test_derivation_text_round_trip(dv):
+    text = unparse([], [dv])
+    program = compile_vdl(text)
+    assert dv_fingerprint(program.derivations[0]) == dv_fingerprint(dv)
+
+
+@settings(max_examples=60, deadline=None)
+@given(simple_transformations(), derivations())
+def test_xml_round_trip(tr, dv):
+    transformations, derivs = from_xml(to_xml([tr], [dv]))
+    assert tr_fingerprint(transformations[0]) == tr_fingerprint(tr)
+    assert dv_fingerprint(derivs[0]) == dv_fingerprint(dv)

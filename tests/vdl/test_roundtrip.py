@@ -1,0 +1,145 @@
+"""Round-trip tests: text -> objects -> text/XML -> objects."""
+
+import pytest
+
+from repro.core.derivation import DatasetArg
+from repro.vdl.semantics import compile_vdl
+from repro.vdl.unparser import unparse
+from repro.vdl.xml_io import from_xml, to_xml
+
+CORPUS = [
+    # Appendix A basic transformation + derivation
+    """
+    TR t1( output a2, input a1, none env="100000", none pa="500" ) {
+      argument parg = "-p "${none:pa};
+      argument farg = "-f "${input:a1};
+      argument xarg = "-x -y ";
+      argument stdout = ${output:a2};
+      exec = "/usr/bin/app3";
+      env.MAXMEM = ${none:env};
+    }
+    DV d1->example1::t1( a2=@{output:"run1.exp15.T1932.summary"},
+                         a1=@{input:"run1.exp15.T1932.raw"},
+                         env="20000", pa="600" );
+    """,
+    # chained derivations (the provenance example)
+    """
+    TR trans1( output a2, input a1 ) {
+      argument stdin = ${input:a1};
+      argument stdout = ${output:a2};
+      exec = "/usr/bin/app1";
+    }
+    DV usetrans1->trans1( a2=@{output:"file2"}, a1=@{input:"file1"} );
+    DV usetrans2->trans1( a2=@{output:"file3"}, a1=@{input:"file2"} );
+    """,
+    # compound with scratch intermediates and remote callee
+    """
+    TR trans4( input a2, input a1, inout a5=@{inout:"anywhere":""},
+               inout a4=@{inout:"somewhere":""}, output a3 ) {
+      trans1( a2=${output:a4}, a1=${a1} );
+      trans2( a2=${output:a5}, a1=${a2} );
+      vdp://physics.illinois.edu/trans3( a2=${input:a5}, a1=${input:a4},
+                                         a3=${output:a3} );
+    }
+    """,
+    # typed formals, unions, profile hints, versions
+    """
+    TR typed@2.0( output o : SDSS/Simple/ASCII | CMS,
+                  input i : Fileset, none n="1" ) {
+      argument = "-n "${none:n}" -i "${input:i};
+      argument stdout = ${output:o};
+      profile hints.pfnHint = "/usr/bin/typed";
+      profile hints.queue = "long";
+    }
+    """,
+    # escapes in strings
+    r"""
+    TR esc( output o ) {
+      argument = "quote \" backslash \\ tab ";
+      argument stdout = ${output:o};
+      exec = "/bin/esc";
+    }
+    """,
+]
+
+
+def signature_of(program):
+    """A structural fingerprint for comparing programs."""
+    out = []
+    for tr in program.transformations:
+        formals = tuple(
+            (f.name, f.direction, f.default, f.temporary_default,
+             tuple((m.content, m.format, m.encoding)
+                   for m in f.dataset_types.members))
+            for f in tr.signature.formals
+        )
+        if tr.is_compound:
+            body = tuple(
+                (c.target.uri(), tuple(sorted(
+                    (k, v if isinstance(v, str) else ("ref", v.name, v.direction))
+                    for k, v in c.bindings.items())))
+                for c in tr.calls
+            )
+        else:
+            body = (
+                tr.executable,
+                tuple((t.name, t.parts) for t in tr.arguments),
+                tuple(sorted(
+                    (k, v.parts) for k, v in tr.environment.items())),
+                tuple(sorted(tr.profile_hints.items())),
+            )
+        out.append(("TR", tr.name, tr.version, formals, body))
+    for dv in program.derivations:
+        actuals = tuple(sorted(
+            (k, v if isinstance(v, str)
+             else ("ds", v.dataset, v.direction, v.temporary))
+            for k, v in dv.actuals.items()))
+        out.append(("DV", dv.name, dv.transformation.uri(), actuals))
+    return tuple(out)
+
+
+@pytest.mark.parametrize("source", CORPUS, ids=range(len(CORPUS)))
+def test_text_round_trip(source):
+    program = compile_vdl(source)
+    text = unparse(program.transformations, program.derivations)
+    again = compile_vdl(text)
+    assert signature_of(again) == signature_of(program)
+
+
+@pytest.mark.parametrize("source", CORPUS, ids=range(len(CORPUS)))
+def test_xml_round_trip(source):
+    program = compile_vdl(source)
+    document = to_xml(program.transformations, program.derivations)
+    transformations, derivations = from_xml(document)
+
+    class Box:
+        pass
+
+    box = Box()
+    box.transformations = transformations
+    box.derivations = derivations
+    assert signature_of(box) == signature_of(program)
+
+
+@pytest.mark.parametrize("source", CORPUS, ids=range(len(CORPUS)))
+def test_double_round_trip_stabilizes(source):
+    """unparse(parse(unparse(x))) == unparse(x): output is a fixpoint."""
+    program = compile_vdl(source)
+    once = unparse(program.transformations, program.derivations)
+    twice_program = compile_vdl(once)
+    twice = unparse(twice_program.transformations, twice_program.derivations)
+    assert once == twice
+
+
+def test_xml_rejects_wrong_root():
+    with pytest.raises(Exception):
+        from_xml("<nope/>")
+
+
+def test_dataset_arg_temporary_survives_both_paths():
+    source = 'DV d->t( a=@{inout:"scratch":""} );'
+    program = compile_vdl(source)
+    text = unparse((), program.derivations)
+    assert compile_vdl(text).derivation("d").actuals["a"].temporary
+    _, derivations = from_xml(to_xml((), program.derivations))
+    assert derivations[0].actuals["a"] == DatasetArg("scratch", "inout", True)

@@ -1,0 +1,196 @@
+"""Tests for VDL semantic analysis (lowering to core objects)."""
+
+import pytest
+
+from repro.core.derivation import DatasetArg
+from repro.core.transformation import (
+    CompoundTransformation,
+    FormalRef,
+    SimpleTransformation,
+)
+from repro.core.types import DIMENSION_ROOTS, default_registry
+from repro.errors import VDLSemanticError
+from repro.vdl.semantics import compile_vdl
+
+
+class TestSimpleLowering:
+    def test_full_example(self):
+        prog = compile_vdl(
+            """
+            TR t1( output a2, input a1, none env="100000", none pa="500" ) {
+              argument parg = "-p "${none:pa};
+              argument stdout = ${output:a2};
+              exec = "/usr/bin/app3";
+              env.MAXMEM = ${none:env};
+            }
+            """
+        )
+        t1 = prog.transformation("t1")
+        assert isinstance(t1, SimpleTransformation)
+        assert t1.executable == "/usr/bin/app3"
+        assert t1.command_line({"pa": "9", "a1": "i", "a2": "o", "env": "m"}) == ("-p 9",)
+        assert t1.stream_redirects({"pa": "9", "a1": "i", "a2": "o", "env": "m"}) == {"stdout": "o"}
+        assert t1.rendered_environment({"pa": "9", "a1": "i", "a2": "o", "env": "m"}) == {"MAXMEM": "m"}
+
+    def test_pfn_hint_as_executable(self):
+        prog = compile_vdl(
+            'TR t( output o ) { argument stdout = ${output:o};'
+            ' profile hints.pfnHint = "/usr/bin/app1"; }'
+        )
+        assert prog.transformation("t").executable == "/usr/bin/app1"
+
+    def test_missing_executable_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl("TR t( output o ) { argument stdout = ${output:o}; }")
+
+    def test_undeclared_ref_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl(
+                'TR t( output o ) { argument = ${input:nope};'
+                ' exec = "/b"; }'
+            )
+
+    def test_direction_mismatch_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl(
+                'TR t( output o, input i ) { argument = ${output:i};'
+                ' exec = "/b"; }'
+            )
+
+    def test_inout_referenced_as_either(self):
+        prog = compile_vdl(
+            'TR t( inout m ) { argument a = ${input:m};'
+            ' argument b = ${output:m}; exec = "/b"; }'
+        )
+        assert prog.transformation("t")
+
+    def test_multiple_exec_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl('TR t( output o ) { exec = "/a"; exec = "/b"; }')
+
+    def test_string_default_on_dataset_formal_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl('TR t( input i="literal" ) { exec = "/b"; }')
+
+    def test_dataset_default_direction_must_match(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl(
+                'TR t( output o=@{input:"x"} ) { exec = "/b"; }'
+            )
+
+    def test_version_from_header(self):
+        prog = compile_vdl('TR t@3.2( output o ) { exec = "/b"; }')
+        assert prog.transformation("t").version == "3.2"
+
+
+class TestTypes:
+    def test_triple_resolution(self):
+        prog = compile_vdl(
+            'TR t( input i : SDSS/Simple/ASCII ) { exec = "/b"; }'
+        )
+        member = prog.transformation("t").signature.formal("i").dataset_types.members[0]
+        assert member.content == "SDSS"
+        assert member.format == "Simple"
+        assert member.encoding == "ASCII"
+
+    def test_single_name_found_in_any_dimension(self):
+        prog = compile_vdl('TR t( input i : Tar-archive ) { exec = "/b"; }')
+        member = prog.transformation("t").signature.formal("i").dataset_types.members[0]
+        assert member.format == "Tar-archive"
+        assert member.content == DIMENSION_ROOTS["content"]
+
+    def test_union(self):
+        prog = compile_vdl(
+            'TR t( input i : CMS | SDSS ) { exec = "/b"; }'
+        )
+        members = prog.transformation("t").signature.formal("i").dataset_types.members
+        assert {m.content for m in members} == {"CMS", "SDSS"}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl('TR t( input i : Martian ) { exec = "/b"; }')
+
+    def test_unknown_type_in_triple_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl(
+                'TR t( input i : CMS/Nope/ASCII ) { exec = "/b"; }'
+            )
+
+    def test_custom_registry(self):
+        reg = default_registry()
+        reg.register("content", "Genomics")
+        prog = compile_vdl(
+            'TR t( input i : Genomics ) { exec = "/b"; }', registry=reg
+        )
+        assert prog.transformation("t")
+
+
+class TestCompoundLowering:
+    SRC = """
+    TR trans4( input a2, input a1,
+               inout a5=@{inout:"anywhere":""},
+               output a3 ) {
+      trans1( a2=${output:a5}, a1=${a1} );
+      vdp://physics.illinois.edu/cmp( a2=${input:a5}, a1=${input:a2},
+                                      a3=${output:a3} );
+    }
+    """
+
+    def test_lowering(self):
+        prog = compile_vdl(self.SRC)
+        t4 = prog.transformation("trans4")
+        assert isinstance(t4, CompoundTransformation)
+        assert len(t4.calls) == 2
+        assert t4.calls[1].target.authority == "physics.illinois.edu"
+        assert isinstance(t4.calls[0].bindings["a1"], FormalRef)
+
+    def test_temporary_default_carried(self):
+        prog = compile_vdl(self.SRC)
+        a5 = prog.transformation("trans4").signature.formal("a5")
+        assert a5.default == "anywhere"
+        assert a5.temporary_default
+
+    def test_mixed_body_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl(
+                """
+                TR bad( output o, input i ) {
+                  exec = "/bin/x";
+                  other( a=${i} );
+                }
+                """
+            )
+
+    def test_call_ref_to_unknown_formal_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl("TR bad( output o ) { callee( a=${nope} ); }")
+
+
+class TestDerivationLowering:
+    def test_lowering(self):
+        prog = compile_vdl(
+            """
+            DV d1->example1::t1(
+              a2=@{output:"out.dat"}, a1=@{input:"in.dat"}, pa="600" );
+            """
+        )
+        dv = prog.derivation("d1")
+        assert dv.transformation.name == "example1::t1"
+        assert dv.actuals["a2"] == DatasetArg("out.dat", "output")
+        assert dv.actuals["pa"] == "600"
+
+    def test_duplicate_actual_rejected(self):
+        with pytest.raises(VDLSemanticError):
+            compile_vdl('DV d->t( a="1", a="2" );')
+
+    def test_remote_target(self):
+        prog = compile_vdl(
+            'DV srch-muon->vdp://physics.wisconsin.edu/srch( p="muon" );'
+        )
+        dv = prog.derivation("srch-muon")
+        assert dv.transformation.authority == "physics.wisconsin.edu"
+        assert dv.transformation.kind == "transformation"
+
+    def test_temporary_dataset_arg(self):
+        prog = compile_vdl('DV d->t( a=@{inout:"scratch":""} );')
+        assert prog.derivation("d").actuals["a"].temporary

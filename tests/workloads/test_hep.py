@@ -1,0 +1,124 @@
+"""Tests for the HEP 4-stage challenge workload (§6)."""
+
+import json
+
+import pytest
+
+from repro.catalog.memory import MemoryCatalog
+from repro.executor.local import LocalExecutor
+from repro.provenance.lineage import lineage_report
+from repro.workloads import hep
+
+
+@pytest.fixture
+def executor(tmp_path):
+    catalog = MemoryCatalog()
+    ex = LocalExecutor(catalog, tmp_path)
+    hep.register_bodies(ex)
+    hep.register_analysis_bodies(ex)
+    return ex
+
+
+class TestPipeline:
+    def test_four_stage_structure(self, executor):
+        target = hep.define_run(executor.catalog, "run1", seed=3, events=50)
+        assert target == "run1.hist"
+        catalog = executor.catalog
+        assert len(catalog.find_derivations(name_glob="run1.*")) == 4
+        report = lineage_report(catalog, target)
+        assert report.depth() == 4
+
+    def test_executes_end_to_end(self, executor):
+        target = hep.define_run(executor.catalog, "run1", seed=3, events=200)
+        invocations = executor.materialize(target)
+        assert [i.derivation_name for i in invocations] == [
+            "run1.gen", "run1.sim", "run1.reco", "run1.ana",
+        ]
+        histogram = json.loads(executor.path_for(target).read_text())
+        assert histogram["passed"] > 0
+        assert len(histogram["bins"]) == 10
+        assert sum(histogram["bins"]) == histogram["passed"]
+
+    def test_deterministic_per_seed(self, executor, tmp_path):
+        t1 = hep.define_run(executor.catalog, "runA", seed=5, events=100)
+        t2 = hep.define_run(executor.catalog, "runB", seed=5, events=100)
+        executor.materialize(t1)
+        executor.materialize(t2)
+        assert (
+            executor.path_for(t1).read_text()
+            == executor.path_for(t2).read_text()
+        )
+
+    def test_different_seeds_differ(self, executor):
+        t1 = hep.define_run(executor.catalog, "runA", seed=5, events=100)
+        t2 = hep.define_run(executor.catalog, "runB", seed=6, events=100)
+        executor.materialize(t1)
+        executor.materialize(t2)
+        assert (
+            executor.path_for("runA.events").read_text()
+            != executor.path_for("runB.events").read_text()
+        )
+
+    def test_ptcut_monotone(self, executor):
+        loose = hep.define_run(executor.catalog, "loose", seed=1,
+                               events=300, ptcut=10.0)
+        tight = hep.define_run(executor.catalog, "tight", seed=1,
+                               events=300, ptcut=40.0)
+        executor.materialize(loose)
+        executor.materialize(tight)
+        n_loose = json.loads(executor.path_for(loose).read_text())["passed"]
+        n_tight = json.loads(executor.path_for(tight).read_text())["passed"]
+        assert n_loose > n_tight
+
+    def test_object_container_stage(self, executor):
+        """The reco stage emits the OODBMS-stand-in object container."""
+        hep.define_run(executor.catalog, "run1", events=10)
+        executor.materialize("run1.objects")
+        container = json.loads(executor.path_for("run1.objects").read_text())
+        assert container["kind"] == "object-container"
+        assert len(container["roots"]) == 10
+        assert all(oid in container["objects"] for oid in container["roots"])
+
+    def test_compound_chain_registered(self, executor):
+        hep.define_transformations(executor.catalog)
+        chain = executor.catalog.get_transformation("hepevt-chain")
+        assert chain.is_compound
+        assert len(chain.calls) == 4
+
+    def test_cost_hints_attached(self, executor):
+        hep.define_transformations(executor.catalog)
+        tr = executor.catalog.get_transformation("hepevt-sim")
+        assert tr.attributes.get("cost.cpu_seconds") == pytest.approx(2.0)
+
+
+class TestInteractiveAnalysis:
+    def test_per_point_lineage(self, executor):
+        """The §6 goal: 'produce, for each data point in the final
+        graph, a detailed data lineage report'."""
+        graph_ds = hep.define_analysis_chain(
+            executor.catalog, "run9", bins=("0", "1", "2")
+        )
+        executor.materialize(graph_ds)
+        graph = json.loads(executor.path_for(graph_ds).read_text())
+        assert len(graph["points"]) == 3
+        report = lineage_report(executor.catalog, "run9.point2")
+        derivations = report.all_derivations()
+        assert "run9.hist2" in derivations
+        assert "run9.select" in derivations
+        assert "run9.gen" in derivations
+        assert report.depth() == 5  # gen -> sim -> reco -> select -> hist
+
+    def test_points_count_only_their_bin(self, executor):
+        graph_ds = hep.define_analysis_chain(
+            executor.catalog, "run8", bins=("0", "1")
+        )
+        executor.materialize(graph_ds)
+        p0 = json.loads(executor.path_for("run8.point0").read_text())
+        p1 = json.loads(executor.path_for("run8.point1").read_text())
+        assert p0["bin"] == 0 and p1["bin"] == 1
+
+    def test_cutset_respects_expression(self, executor):
+        hep.define_analysis_chain(executor.catalog, "run7", bins=("0",))
+        executor.materialize("run7.cuts")
+        cuts = json.loads(executor.path_for("run7.cuts").read_text())
+        assert all(o["pt"] > 30 for o in cuts["objects"].values())
