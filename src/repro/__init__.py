@@ -55,6 +55,7 @@ __all__ = [
     "Derivation",
     "FileDescriptor",
     "FormalArg",
+    "Instrumentation",
     "Invocation",
     "Replica",
     "SimpleTransformation",
@@ -75,4 +76,8 @@ def __getattr__(name):
         from repro.system import VirtualDataSystem
 
         return VirtualDataSystem
+    if name == "Instrumentation":
+        from repro.observability import Instrumentation
+
+        return Instrumentation
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

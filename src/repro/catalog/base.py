@@ -23,6 +23,7 @@ by running the same scenarios against each.
 from __future__ import annotations
 
 import fnmatch
+import time
 from typing import Any, Callable, Iterator, Optional
 
 from repro.core.dataset import Dataset
@@ -37,6 +38,8 @@ from repro.errors import (
     NotFoundError,
     TypeConformanceError,
 )
+from repro.observability.instrument import NULL, Instrumentation
+from repro.observability.metrics import label_key
 from repro.vdl import xml_io
 
 #: Object kinds a catalog stores, in dependency order.
@@ -73,10 +76,13 @@ class VirtualDataCatalog:
         authority: Optional[str] = None,
         registry: Optional[TypeRegistry] = None,
         versions: Optional[VersionRegistry] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         self.authority = authority
         self.types = registry or default_registry()
         self.versions = versions or VersionRegistry()
+        self._obs = instrumentation or NULL
+        self._obs_cache: dict = {}
         self._subscribers: list[Callable[[str, str, str], None]] = []
         # Relationship indexes, rebuilt from storage on open.
         self._produced_by: dict[str, set[str]] = {}
@@ -103,6 +109,53 @@ class VirtualDataCatalog:
 
     def _store_has(self, kind: str, key: str) -> bool:
         return self._store_get(kind, key) is not None
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    @property
+    def obs(self) -> Instrumentation:
+        return self._obs
+
+    @obs.setter
+    def obs(self, instrumentation: Instrumentation) -> None:
+        self._obs = instrumentation
+        self._obs_cache.clear()
+
+    def _obs_t0(self) -> float:
+        """Start-of-operation timestamp; 0.0 when not instrumented."""
+        return time.perf_counter() if self._obs.enabled else 0.0
+
+    def _obs_op(self, op: str, kind: str, t0: float) -> None:
+        """Account one catalog operation's count and latency.
+
+        Catalog lookups are the hottest instrumented path in the
+        stack (planning walks the whole derivation graph), so the
+        metric objects and label keys are resolved once per (op,
+        kind) and cached rather than paying label normalization and
+        registry lookups on every call.
+        """
+        if not self._obs.enabled:
+            return
+        cached = self._obs_cache.get((op, kind))
+        if cached is None:
+            metrics = self._obs.metrics
+            cached = self._obs_cache[(op, kind)] = (
+                metrics.counter(
+                    "catalog.ops", help="catalog operations by op/kind/backend"
+                ),
+                label_key(
+                    {"op": op, "kind": kind, "backend": type(self).__name__}
+                ),
+                metrics.histogram(
+                    "catalog.op.seconds", help="catalog operation latency"
+                ),
+                label_key({"op": op}),
+            )
+        ops, ops_key, seconds, seconds_key = cached
+        ops.inc_at(ops_key)
+        seconds.observe_at(seconds_key, time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # change notification (used by federated indexes, Fig 4)
@@ -168,15 +221,19 @@ class VirtualDataCatalog:
         ``replace=True`` permits updating an existing record (e.g. when
         a virtual dataset becomes materialized).
         """
+        t0 = self._obs_t0()
         if not replace and self._store_has("dataset", dataset.name):
             raise DuplicateEntryError(f"dataset {dataset.name!r} already defined")
         self._store_put("dataset", dataset.name, dataset.to_dict())
         self._notify("put", "dataset", dataset.name)
+        self._obs_op("insert", "dataset", t0)
 
     def get_dataset(self, name: str) -> Dataset:
+        t0 = self._obs_t0()
         payload = self._store_get("dataset", name)
         if payload is None:
             raise NotFoundError(f"dataset {name!r} not found")
+        self._obs_op("lookup", "dataset", t0)
         return Dataset.from_dict(payload)
 
     def has_dataset(self, name: str) -> bool:
@@ -201,6 +258,7 @@ class VirtualDataCatalog:
 
     def add_replica(self, replica: Replica) -> None:
         """Register a physical copy of a dataset."""
+        t0 = self._obs_t0()
         if self._store_has("replica", replica.replica_id):
             raise DuplicateEntryError(
                 f"replica {replica.replica_id!r} already registered"
@@ -210,6 +268,7 @@ class VirtualDataCatalog:
             replica.replica_id
         )
         self._notify("put", "replica", replica.replica_id)
+        self._obs_op("insert", "replica", t0)
 
     def get_replica(self, replica_id: str) -> Replica:
         payload = self._store_get("replica", replica_id)
@@ -240,6 +299,7 @@ class VirtualDataCatalog:
     def add_transformation(
         self, tr: Transformation, replace: bool = False
     ) -> None:
+        t0 = self._obs_t0()
         key = f"{tr.name}@{tr.version}"
         if not replace and self._store_has("transformation", key):
             raise DuplicateEntryError(
@@ -249,11 +309,13 @@ class VirtualDataCatalog:
         self._tr_versions.setdefault(tr.name, set()).add(tr.version)
         self.versions.register(tr.name, tr.version)
         self._notify("put", "transformation", key)
+        self._obs_op("insert", "transformation", t0)
 
     def get_transformation(
         self, name: str, version: Optional[str] = None
     ) -> Transformation:
         """Fetch by name; latest version when ``version`` is omitted."""
+        t0 = self._obs_t0()
         if version is None:
             known = self._tr_versions.get(name)
             if not known:
@@ -268,6 +330,7 @@ class VirtualDataCatalog:
             raise NotFoundError(
                 f"transformation {name!r} version {version} not found"
             )
+        self._obs_op("lookup", "transformation", t0)
         return _transformation_from_payload(payload)
 
     def has_transformation(self, name: str, version: Optional[str] = None) -> bool:
@@ -311,6 +374,7 @@ class VirtualDataCatalog:
           derivation mentions that is not yet known, and stamps the
           produced datasets' ``producer`` back-link.
         """
+        t0 = self._obs_t0()
         if not replace and self._store_has("derivation", dv.name):
             raise DuplicateEntryError(f"derivation {dv.name!r} already defined")
         if validate:
@@ -322,6 +386,7 @@ class VirtualDataCatalog:
         if auto_declare:
             self._declare_mentioned_datasets(dv)
         self._notify("put", "derivation", dv.name)
+        self._obs_op("insert", "derivation", t0)
 
     def _declare_mentioned_datasets(self, dv: Derivation) -> None:
         formal_types = self._formal_types_for(dv)
@@ -354,9 +419,11 @@ class VirtualDataCatalog:
         return out
 
     def get_derivation(self, name: str) -> Derivation:
+        t0 = self._obs_t0()
         payload = self._store_get("derivation", name)
         if payload is None:
             raise NotFoundError(f"derivation {name!r} not found")
+        self._obs_op("lookup", "derivation", t0)
         return Derivation.from_dict(payload)
 
     def has_derivation(self, name: str) -> bool:
@@ -408,6 +475,7 @@ class VirtualDataCatalog:
     # ------------------------------------------------------------------
 
     def add_invocation(self, inv: Invocation) -> None:
+        t0 = self._obs_t0()
         if self._store_has("invocation", inv.invocation_id):
             raise DuplicateEntryError(
                 f"invocation {inv.invocation_id!r} already recorded"
@@ -417,6 +485,7 @@ class VirtualDataCatalog:
             inv.invocation_id
         )
         self._notify("put", "invocation", inv.invocation_id)
+        self._obs_op("insert", "invocation", t0)
 
     def get_invocation(self, invocation_id: str) -> Invocation:
         payload = self._store_get("invocation", invocation_id)
@@ -462,6 +531,7 @@ class VirtualDataCatalog:
         ``conforms_to`` matches datasets whose type is a subtype of the
         given type; ``virtual`` filters on materialization state.
         """
+        t0 = self._obs_t0()
         out = []
         for ds in self.datasets():
             if name_glob and not fnmatch.fnmatch(ds.name, name_glob):
@@ -475,6 +545,7 @@ class VirtualDataCatalog:
             if virtual is not None and ds.is_virtual != virtual:
                 continue
             out.append(ds)
+        self._obs_op("query", "dataset", t0)
         return out
 
     def find_transformations(
@@ -491,6 +562,7 @@ class VirtualDataCatalog:
         — the "if a program that performs this analysis exists, I won't
         have to write one from scratch" query of §2.
         """
+        t0 = self._obs_t0()
         out = []
         for tr in self.transformations():
             if name_glob and not fnmatch.fnmatch(tr.name, name_glob):
@@ -508,6 +580,7 @@ class VirtualDataCatalog:
             ):
                 continue
             out.append(tr)
+        self._obs_op("query", "transformation", t0)
         return out
 
     def find_derivations(
@@ -518,6 +591,7 @@ class VirtualDataCatalog:
         name_glob: Optional[str] = None,
     ) -> list[Derivation]:
         """Search derivations by callee and by dataset names touched."""
+        t0 = self._obs_t0()
         if produces is not None:
             candidates = self.producers_of(produces)
         elif consumes is not None:
@@ -535,6 +609,7 @@ class VirtualDataCatalog:
             if consumes and not dv.consumes(consumes):
                 continue
             out.append(dv)
+        self._obs_op("query", "derivation", t0)
         return out
 
     # ------------------------------------------------------------------

@@ -12,12 +12,18 @@ dependencies and those for tracking code ... e.g., 'make'", §8)::
     python -m repro lineage result.dat
     python -m repro invalidate --dataset raw.dat
     python -m repro export --format vdl
+    python -m repro stats            # metrics from the last run
+    python -m repro trace            # span tree from the last run
 
 State lives in a :class:`~repro.catalog.filetree.FileTreeCatalog`
 under ``.vdg/catalog`` plus a ``.vdg/sandbox`` for materialized files,
 so every command sees the same workspace across invocations.
 Transformations whose executables exist on this machine really run
 (via the local executor's subprocess path).
+
+Commands that execute work (``materialize``, ``run``) are traced: the
+span tree and metrics snapshot of each run are written under
+``.vdg/observability`` for ``stats`` and ``trace`` to read back.
 """
 
 from __future__ import annotations
@@ -26,9 +32,18 @@ import argparse
 import sys
 from pathlib import Path
 
+from typing import Optional
+
 from repro.catalog.filetree import FileTreeCatalog
 from repro.errors import VirtualDataError
 from repro.executor.local import LocalExecutor
+from repro.observability import (
+    Instrumentation,
+    read_snapshot,
+    render_metrics,
+    render_span_tree,
+    write_snapshot,
+)
 from repro.provenance.graph import DerivationGraph
 from repro.provenance.invalidation import invalidated_by
 from repro.provenance.lineage import lineage_report
@@ -43,6 +58,7 @@ class Workspace:
         self.root = Path(root)
         self.catalog_dir = self.root / "catalog"
         self.sandbox_dir = self.root / "sandbox"
+        self.observability_dir = self.root / "observability"
 
     @property
     def exists(self) -> bool:
@@ -59,8 +75,24 @@ class Workspace:
             )
         return FileTreeCatalog(self.catalog_dir)
 
-    def executor(self) -> LocalExecutor:
-        return LocalExecutor(self.catalog(), self.sandbox_dir)
+    def executor(
+        self, instrumentation: Optional[Instrumentation] = None
+    ) -> LocalExecutor:
+        return LocalExecutor(
+            self.catalog(), self.sandbox_dir, instrumentation=instrumentation
+        )
+
+    def save_snapshot(self, obs: Instrumentation) -> None:
+        """Persist this run's spans + metrics for ``stats``/``trace``."""
+        write_snapshot(obs, self.observability_dir)
+
+    def load_snapshot(self):
+        if not self.observability_dir.is_dir():
+            raise VirtualDataError(
+                f"no observability snapshot under {self.root}; run "
+                "'materialize' or 'run' first"
+            )
+        return read_snapshot(self.observability_dir)
 
 
 def _cmd_init(ws: Workspace, args, out) -> int:
@@ -127,8 +159,12 @@ def _cmd_plan(ws: Workspace, args, out) -> int:
 
 
 def _cmd_materialize(ws: Workspace, args, out) -> int:
-    executor = ws.executor()
-    invocations = executor.materialize(args.dataset, reuse=args.reuse)
+    obs = Instrumentation()
+    executor = ws.executor(instrumentation=obs)
+    try:
+        invocations = executor.materialize(args.dataset, reuse=args.reuse)
+    finally:
+        ws.save_snapshot(obs)
     if not invocations:
         out(f"{args.dataset} is already materialized")
     for inv in invocations:
@@ -144,7 +180,8 @@ def _cmd_run(ws: Workspace, args, out) -> int:
     """Ad-hoc execution: synthesize and run a derivation (§5.1)."""
     from repro.executor.session import InteractiveSession
 
-    executor = ws.executor()
+    obs = Instrumentation()
+    executor = ws.executor(instrumentation=obs)
     session = InteractiveSession(executor, prefix=args.session)
     # Continue numbering from previous CLI invocations of this session.
     existing = [
@@ -160,7 +197,10 @@ def _cmd_run(ws: Workspace, args, out) -> int:
             return 1
         key, _, value = binding.partition("=")
         bindings[key] = value
-    outputs = session.run(args.transformation, **bindings)
+    try:
+        outputs = session.run(args.transformation, **bindings)
+    finally:
+        ws.save_snapshot(obs)
     entry = session.log[-1]
     out(f"ran {entry.derivation.name}: {entry.invocation.status}")
     for name in outputs:
@@ -203,6 +243,31 @@ def _cmd_export(ws: Workspace, args, out) -> int:
                 list(catalog.transformations()), list(catalog.derivations())
             )
         )
+    return 0
+
+
+def _cmd_stats(ws: Workspace, args, out) -> int:
+    """Metrics recorded by the most recent materialize/run."""
+    import json
+
+    _, metrics, prom = ws.load_snapshot()
+    if args.format == "prom":
+        out(prom.rstrip("\n"))
+    elif args.format == "json":
+        out(json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        rendered = render_metrics(metrics)
+        out(rendered if rendered else "no metrics recorded")
+    return 0
+
+
+def _cmd_trace(ws: Workspace, args, out) -> int:
+    """Span tree recorded by the most recent materialize/run."""
+    spans, _, _ = ws.load_snapshot()
+    if not spans:
+        out("no spans recorded")
+        return 0
+    out(render_span_tree(spans))
     return 0
 
 
@@ -270,6 +335,15 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="dump definitions")
     export.add_argument("--format", default="vdl", choices=("vdl", "xml"))
     export.set_defaults(fn=_cmd_export)
+
+    stats = sub.add_parser("stats", help="metrics from the last traced run")
+    stats.add_argument(
+        "--format", default="text", choices=("text", "prom", "json")
+    )
+    stats.set_defaults(fn=_cmd_stats)
+
+    trace = sub.add_parser("trace", help="span tree from the last traced run")
+    trace.set_defaults(fn=_cmd_trace)
 
     return parser
 

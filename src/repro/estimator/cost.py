@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.catalog.base import VirtualDataCatalog
 from repro.core.derivation import Derivation
 from repro.core.invocation import Invocation
+from repro.observability.instrument import NULL, Instrumentation
 
 #: Used when nothing at all is known (1 second, 1 MB) — deliberately
 #: visible defaults rather than silent zeros.
@@ -93,8 +96,13 @@ def fit_model(
 class Estimator:
     """Answers cost queries against one catalog's recorded history."""
 
-    def __init__(self, catalog: VirtualDataCatalog):
+    def __init__(
+        self,
+        catalog: VirtualDataCatalog,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
         self.catalog = catalog
+        self.obs = instrumentation or NULL
         self._models: dict[str, TransformationCostModel] = {}
 
     # -- model management ------------------------------------------------------
@@ -153,6 +161,12 @@ class Estimator:
     def estimate_derivation(self, dv: Derivation) -> float:
         """Predicted cpu seconds for one derivation."""
         model = self.model_for(dv.transformation.name)
+        if self.obs.enabled:
+            self.obs.count(
+                "estimator.estimates",
+                fitted=model.is_fitted,
+                help="cost predictions served (fitted vs hint/fallback)",
+            )
         return model.predict_cpu_seconds(self.input_bytes_of(dv))
 
     def estimate_output_bytes(self, dv: Derivation, output: str) -> int:

@@ -3,12 +3,28 @@
 The workflow layer "monitors their completion" (§5.4); this module
 provides the small observable used by examples and tests to watch a
 run without coupling to executor internals.
+
+Two robustness properties hold by construction:
+
+* a raising listener can never break the run or starve later
+  listeners — the exception is recorded as a ``listener-error`` event
+  and delivery continues;
+* an optional ``max_events`` bound gives the log ring-buffer
+  semantics so long simulated runs cannot grow memory without limit
+  (the default remains unbounded).
+
+When built with an :class:`~repro.observability.Instrumentation`,
+every emitted event is also bridged into the active tracing span (as
+a span event) and counted in the metrics registry.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+from repro.observability.instrument import NULL, Instrumentation
 
 
 @dataclass(frozen=True)
@@ -22,11 +38,30 @@ class Event:
 
 
 class EventLog:
-    """Collects events and fans them out to listeners."""
+    """Collects events and fans them out to listeners.
 
-    def __init__(self):
-        self._events: list[Event] = []
+    ``max_events`` bounds retention (oldest events are dropped first);
+    listener delivery and the instrumentation bridge always see every
+    event regardless of retention.
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive (or None)")
+        self.max_events = max_events
+        self.obs = instrumentation or NULL
+        self._events: deque[Event] = deque(maxlen=max_events)
         self._listeners: list[Callable[[Event], None]] = []
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded by the ring buffer so far."""
+        return self._dropped
 
     def emit(
         self,
@@ -35,18 +70,55 @@ class EventLog:
         subject: str,
         **detail: Any,
     ) -> Event:
-        """Record an event and notify listeners."""
+        """Record an event and notify listeners.
+
+        Listener exceptions are isolated: each failure is appended to
+        the log as a ``listener-error`` event (not re-delivered, to
+        keep one broken listener from cascading) and remaining
+        listeners still run.
+        """
         event = Event(time=time, kind=kind, subject=subject, detail=detail)
-        self._events.append(event)
-        for listener in self._listeners:
-            listener(event)
+        self._append(event)
+        if self.obs.enabled:
+            self.obs.event(kind, subject=subject, **detail)
+            self.obs.count("events.emitted", kind=kind)
+        for listener in list(self._listeners):
+            try:
+                listener(event)
+            except Exception as exc:
+                self._append(
+                    Event(
+                        time=time,
+                        kind="listener-error",
+                        subject=kind,
+                        detail={
+                            "listener": getattr(
+                                listener, "__qualname__", repr(listener)
+                            ),
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                )
+                if self.obs.enabled:
+                    self.obs.count("events.listener_errors", kind=kind)
         return event
+
+    def _append(self, event: Event) -> None:
+        if (
+            self._events.maxlen is not None
+            and len(self._events) == self._events.maxlen
+        ):
+            self._dropped += 1
+        self._events.append(event)
 
     def listen(self, listener: Callable[[Event], None]) -> None:
         self._listeners.append(listener)
 
+    def unlisten(self, listener: Callable[[Event], None]) -> None:
+        self._listeners.remove(listener)
+
     def events(self, kind: Optional[str] = None) -> list[Event]:
-        """All events, optionally filtered by kind, in emit order."""
+        """All retained events, optionally filtered by kind, in order."""
         if kind is None:
             return list(self._events)
         return [e for e in self._events if e.kind == kind]

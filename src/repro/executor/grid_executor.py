@@ -20,6 +20,7 @@ from repro.core.replica import Replica
 from repro.errors import ExecutionError
 from repro.estimator.cost import Estimator
 from repro.grid.gram import GridExecutionService, JobRecord
+from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.dag import Plan, Planner, PlanStep
 from repro.planner.request import MaterializationRequest
 from repro.planner.scheduler import WorkflowResult, WorkflowScheduler
@@ -37,6 +38,7 @@ class GridExecutor:
         estimator: Optional[Estimator] = None,
         max_retries: int = 2,
         record_provenance: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         self.catalog = catalog
         self.grid = grid
@@ -44,6 +46,11 @@ class GridExecutor:
         self.estimator = estimator or Estimator(catalog)
         self.max_retries = max_retries
         self.record_provenance = record_provenance
+        self.obs = instrumentation or NULL
+        if self.obs.enabled and not self.catalog.obs.enabled:
+            # Adopt the catalog into this executor's observability
+            # scope unless it already has its own.
+            self.catalog.obs = self.obs
 
     # -- planning ------------------------------------------------------------
 
@@ -63,6 +70,7 @@ class GridExecutor:
 
         return Planner(
             self.catalog,
+            instrumentation=self.obs,
             has_replica=self.grid.replicas.has,
             cpu_estimate=self.estimator.estimate_derivation,
             size_estimate=lambda lfn: (
@@ -78,15 +86,18 @@ class GridExecutor:
         )
 
     def plan(self, request: MaterializationRequest) -> Plan:
-        plan = self.make_planner().plan(request)
-        # Fill output size estimates from the estimator where the
-        # planner's catalog-declared sizes were defaults.
-        for step in plan.steps.values():
-            for output in step.outputs:
-                step.output_sizes[output] = self.estimator.estimate_output_bytes(
-                    step.derivation, output
-                )
-        return plan
+        with self.obs.span("executor.plan"):
+            plan = self.make_planner().plan(request)
+            # Fill output size estimates from the estimator where the
+            # planner's catalog-declared sizes were defaults.
+            for step in plan.steps.values():
+                for output in step.outputs:
+                    step.output_sizes[output] = (
+                        self.estimator.estimate_output_bytes(
+                            step.derivation, output
+                        )
+                    )
+            return plan
 
     # -- execution --------------------------------------------------------------
 
@@ -104,18 +115,31 @@ class GridExecutor:
             max_retries=self.max_retries,
             max_hosts=max_hosts,
             step_listener=listener,
+            instrumentation=self.obs,
         )
-        return scheduler.run(plan)
+        with self.obs.span("executor.run", steps=len(plan.steps)):
+            return scheduler.run(plan)
 
     def materialize(self, request: MaterializationRequest) -> WorkflowResult:
         """Plan and run a request end to end."""
-        plan = self.plan(request)
-        result = self.run(plan, request)
-        if not result.succeeded:
-            raise ExecutionError(
-                f"materialization failed; steps {sorted(result.failed_steps)}"
-            )
-        return result
+        with self.obs.span(
+            "executor.materialize", targets=",".join(request.targets)
+        ):
+            plan = self.plan(request)
+            if self.obs.enabled:
+                # Virtual-data reuse: requested work satisfied without
+                # recomputation (the §1 rerun-vs-retrieve win).
+                self.obs.count(
+                    "executor.reuse.hits",
+                    len(plan.reused),
+                    help="datasets served from existing replicas",
+                )
+            result = self.run(plan, request)
+            if not result.succeeded:
+                raise ExecutionError(
+                    f"materialization failed; steps {sorted(result.failed_steps)}"
+                )
+            return result
 
     # -- provenance write-back -----------------------------------------------------
 

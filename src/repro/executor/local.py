@@ -31,6 +31,7 @@ from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
 from repro.core.replica import Replica
 from repro.core.transformation import SimpleTransformation
 from repro.errors import ExecutionError
+from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.dag import Planner
 from repro.planner.request import MaterializationRequest
 
@@ -81,11 +82,17 @@ class LocalExecutor:
         catalog: VirtualDataCatalog,
         workdir: str | Path,
         site_name: str = "local",
+        instrumentation: Optional[Instrumentation] = None,
     ):
         self.catalog = catalog
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.site_name = site_name
+        self.obs = instrumentation or NULL
+        if self.obs.enabled and not self.catalog.obs.enabled:
+            # Adopt the catalog into this executor's observability
+            # scope unless it already has its own.
+            self.catalog.obs = self.obs
         self._bodies: dict[str, TransformationBody] = {}
 
     # -- registration ---------------------------------------------------------
@@ -116,6 +123,37 @@ class LocalExecutor:
         success, output datasets get replicas (with sha256 digests) and
         file descriptors registered in the catalog.
         """
+        name = dv if isinstance(dv, str) else dv.name
+        with self.obs.span("executor.execute", derivation=name):
+            try:
+                invocation = self._execute(dv)
+            except ExecutionError:
+                if self.obs.enabled:
+                    self.obs.count(
+                        "executor.invocations",
+                        status="failure",
+                        help="local executions by terminal status",
+                    )
+                raise
+            if self.obs.enabled:
+                self.obs.count(
+                    "executor.invocations",
+                    status=invocation.status,
+                    help="local executions by terminal status",
+                )
+                self.obs.observe(
+                    "executor.invocation.seconds",
+                    invocation.usage.wall_seconds,
+                    help="wall time per local derivation",
+                )
+                self.obs.count(
+                    "executor.bytes_written",
+                    invocation.usage.bytes_written,
+                    help="output bytes produced locally",
+                )
+            return invocation
+
+    def _execute(self, dv: Derivation | str) -> Invocation:
         if isinstance(dv, str):
             dv = self.catalog.get_derivation(dv)
         tr = self.catalog.get_transformation(dv.transformation.name)
@@ -312,17 +350,19 @@ class LocalExecutor:
         Existing sandbox files count as replicas for the reuse policy.
         Returns the invocations performed, in execution order.
         """
-        planner = Planner(
-            self.catalog,
-            has_replica=self.is_materialized,
-        )
-        plan = planner.plan(
-            MaterializationRequest(targets=(target,), reuse=reuse)
-        )
-        invocations = []
-        for name in plan.topological_order():
-            invocations.append(self.execute(plan.steps[name].derivation))
-        return invocations
+        with self.obs.span("executor.materialize", targets=target):
+            planner = Planner(
+                self.catalog,
+                has_replica=self.is_materialized,
+                instrumentation=self.obs,
+            )
+            plan = planner.plan(
+                MaterializationRequest(targets=(target,), reuse=reuse)
+            )
+            invocations = []
+            for name in plan.topological_order():
+                invocations.append(self.execute(plan.steps[name].derivation))
+            return invocations
 
 
 class _maybe_open:

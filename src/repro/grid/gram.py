@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 from repro.errors import SubmissionError, TransferError
 from repro.grid.network import NetworkTopology
+from repro.observability.instrument import NULL, Instrumentation
 from repro.grid.replica_catalog import ReplicaLocationService
 from repro.grid.simulator import Simulator
 from repro.grid.site import Site
@@ -93,6 +94,7 @@ class GridExecutionService:
         replicas: ReplicaLocationService,
         failure_rate: float = 0.0,
         seed: int = 0,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise SubmissionError("failure_rate must be in [0, 1)")
@@ -103,6 +105,7 @@ class GridExecutionService:
         self.failure_rate = failure_rate
         self._rng = random.Random(seed)
         self.records: list[JobRecord] = []
+        self.obs = instrumentation or NULL
 
     # -- submission ------------------------------------------------------------
 
@@ -120,6 +123,12 @@ class GridExecutionService:
         now = self.simulator.now
         record = JobRecord(spec=spec, submitted_at=now, status="staging")
         self.records.append(record)
+        if self.obs.enabled:
+            self.obs.count(
+                "grid.jobs.submitted",
+                site=spec.site,
+                help="GRAM submissions per site",
+            )
 
         try:
             stage_seconds, staged_bytes = self._stage_in(spec, site)
@@ -150,11 +159,56 @@ class GridExecutionService:
             else:
                 self._stage_out(spec, site, end)
                 record.status = "done"
+            if self.obs.enabled:
+                self._observe_completion(record, site)
             if on_complete is not None:
                 on_complete(record)
 
         self.simulator.schedule(end - now, finish)
         return record
+
+    def _observe_completion(self, record: JobRecord, site: Site) -> None:
+        """Account one finished job and refresh the site gauges."""
+        self.obs.count(
+            "grid.jobs.completed",
+            site=site.name,
+            status=record.status,
+            help="GRAM completions per site and status",
+        )
+        self.obs.observe(
+            "grid.job.queue_seconds",
+            record.queue_seconds,
+            help="batch queue wait per job (sim time)",
+        )
+        self.obs.observe(
+            "grid.job.stage_in_seconds",
+            record.stage_in_seconds,
+            help="input staging time per job (sim time)",
+        )
+        self.obs.count(
+            "grid.stage_in.bytes",
+            record.bytes_staged,
+            help="wide-area bytes staged for jobs",
+        )
+        now = self.simulator.now
+        self.obs.gauge(
+            "grid.site.utilization",
+            site.compute.utilization(now),
+            site=site.name,
+            help="fraction of host-seconds busy since t=0",
+        )
+        self.obs.gauge(
+            "grid.site.storage_bytes",
+            site.storage.used,
+            site=site.name,
+            help="bytes held by the site's storage element",
+        )
+        self.obs.gauge(
+            "grid.site.free_hosts",
+            site.compute.free_hosts(now),
+            site=site.name,
+            help="hosts idle at the site right now",
+        )
 
     # -- staging ------------------------------------------------------------------
 

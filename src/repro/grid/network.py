@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import TransferError
+from repro.observability.instrument import NULL, Instrumentation
 
 #: Default wide-area link characteristics (roughly early-2000s WAN).
 DEFAULT_BANDWIDTH = 10e6  # bytes/second
@@ -57,6 +58,7 @@ class NetworkTopology:
         default_bandwidth: float = DEFAULT_BANDWIDTH,
         default_latency: float = DEFAULT_LATENCY,
         fully_connected: bool = True,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         self._sites: set[str] = set()
         self._links: dict[tuple[str, str], Link] = {}
@@ -64,6 +66,7 @@ class NetworkTopology:
         self._default_bandwidth = default_bandwidth
         self._default_latency = default_latency
         self._fully_connected = fully_connected
+        self.obs = instrumentation or NULL
 
     # -- construction ---------------------------------------------------------
 
@@ -120,6 +123,30 @@ class NetworkTopology:
         stats.transfers += 1
         stats.bytes_moved += size_bytes
         stats.seconds_busy += duration
+        if self.obs.enabled:
+            scope = "local" if src == dst else "wide-area"
+            self.obs.count(
+                "grid.transfers", scope=scope, help="transfer count by scope"
+            )
+            self.obs.count(
+                "grid.transfer.bytes",
+                size_bytes,
+                scope=scope,
+                help="bytes moved by scope",
+            )
+            self.obs.observe(
+                "grid.transfer.seconds",
+                duration,
+                scope=scope,
+                help="per-transfer duration (sim time)",
+            )
+            self.obs.record(
+                "grid.transfer",
+                src=src,
+                dst=dst,
+                bytes=size_bytes,
+                seconds=round(duration, 6),
+            )
         return duration
 
     def stats(self, src: str, dst: str) -> LinkStats:

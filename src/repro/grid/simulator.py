@@ -16,6 +16,7 @@ import itertools
 from typing import Callable, Optional
 
 from repro.errors import GridError
+from repro.observability.instrument import NULL, Instrumentation
 
 #: An event callback takes no arguments; closures carry state.
 EventCallback = Callable[[], None]
@@ -28,11 +29,12 @@ class Simulator:
     (FIFO), which makes every simulation replayable.
     """
 
-    def __init__(self):
+    def __init__(self, instrumentation: Optional[Instrumentation] = None):
         self._now = 0.0
         self._queue: list[tuple[float, int, EventCallback]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self.obs = instrumentation or NULL
 
     @property
     def now(self) -> float:
@@ -60,15 +62,25 @@ class Simulator:
 
         Returns the final simulation time.
         """
+        before = self._events_processed
         while self._queue:
             when, _, callback = self._queue[0]
             if until is not None and when > until:
                 self._now = until
-                return self._now
+                break
             heapq.heappop(self._queue)
             self._now = when
             self._events_processed += 1
             callback()
+        if self.obs.enabled:
+            self.obs.count(
+                "sim.events",
+                self._events_processed - before,
+                help="discrete events processed",
+            )
+            self.obs.gauge(
+                "sim.clock_seconds", self._now, help="current simulation time"
+            )
         return self._now
 
     def step(self) -> bool:

@@ -1,0 +1,46 @@
+"""Unified observability: tracing spans + metrics across the stack.
+
+One :class:`Instrumentation` object (a :class:`Tracer` plus a
+:class:`MetricsRegistry`) threads through catalog → planner →
+executor → grid so a single ``materialize`` produces one span tree
+and one metric namespace.  The default everywhere is :data:`NULL`,
+a no-op handle, so uninstrumented call sites pay almost nothing.
+"""
+
+from repro.observability.export import (
+    read_snapshot,
+    render_metrics,
+    render_span_tree,
+    spans_to_jsonl,
+    write_snapshot,
+)
+from repro.observability.instrument import (
+    NULL,
+    Instrumentation,
+    NullInstrumentation,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NullInstrumentation",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "read_snapshot",
+    "render_metrics",
+    "render_span_tree",
+    "spans_to_jsonl",
+    "write_snapshot",
+]

@@ -1,0 +1,174 @@
+"""Exporters: JSON-lines spans, Prometheus text, and tree rendering.
+
+Two machine formats and one human format:
+
+* :func:`spans_to_jsonl` — one JSON object per span, in creation
+  order (the natural format for shipping traces off-process);
+* :meth:`MetricsRegistry.to_prometheus` — text exposition format
+  (re-exported here via :func:`metrics_to_prometheus`);
+* :func:`render_span_tree` / :func:`render_metrics` — the terminal
+  views behind ``repro trace`` and ``repro stats``.
+
+:func:`write_snapshot` / :func:`read_snapshot` persist one run's
+observability state to a directory, which is how the CLI hands data
+from a ``materialize`` invocation to a later ``stats``/``trace``
+invocation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.observability.instrument import Instrumentation
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
+
+SPANS_FILE = "spans.jsonl"
+METRICS_FILE = "metrics.json"
+PROMETHEUS_FILE = "metrics.prom"
+
+
+# -- spans -------------------------------------------------------------------
+
+
+def spans_to_jsonl(tracer: Tracer) -> str:
+    """One JSON document per line, one line per span."""
+    return "".join(
+        json.dumps(span.to_dict(), sort_keys=True) + "\n"
+        for span in tracer.spans()
+    )
+
+
+def spans_from_jsonl(text: str) -> list[dict[str, Any]]:
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    return registry.to_prometheus()
+
+
+def render_span_tree(source: Tracer | list[dict[str, Any]]) -> str:
+    """An indented text tree of spans with both clocks and attributes.
+
+    Accepts a live tracer or the dicts loaded from a JSONL export, so
+    the CLI can render traces recorded by an earlier process.
+    """
+    if isinstance(source, Tracer):
+        spans = [s.to_dict() for s in source.spans()]
+    else:
+        spans = list(source)
+    children: dict[Optional[int], list[dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s["span_id"])
+
+    lines: list[str] = []
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        lines.append("  " * depth + _span_line(span))
+        for event in span.get("events", ()):
+            lines.append("  " * (depth + 1) + _event_line(event))
+        for child in children.get(span["span_id"], ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def _span_line(span: dict[str, Any]) -> str:
+    parts = [span["name"]]
+    start_wall, end_wall = span.get("start_wall"), span.get("end_wall")
+    if start_wall is not None and end_wall is not None:
+        parts.append(f"wall={_seconds(end_wall - start_wall)}")
+    start_sim, end_sim = span.get("start_sim"), span.get("end_sim")
+    if start_sim is not None and end_sim is not None:
+        parts.append(f"sim={_seconds(end_sim - start_sim)}")
+    if span.get("status") != "ok":
+        parts.append(f"status={span['status']}")
+    for key, value in sorted(span.get("attributes", {}).items()):
+        parts.append(f"{key}={value}")
+    return " ".join(str(p) for p in parts)
+
+
+def _event_line(event: dict[str, Any]) -> str:
+    parts = [f"· {event['name']}"]
+    if event.get("sim") is not None:
+        parts.append(f"sim_t={_seconds(event['sim'])}")
+    for key, value in sorted(event.get("attributes", {}).items()):
+        parts.append(f"{key}={value}")
+    return " ".join(str(p) for p in parts)
+
+
+def _seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.2f}ms"
+
+
+# -- metrics (human view) ----------------------------------------------------
+
+
+def render_metrics(metrics: dict[str, dict]) -> str:
+    """Terminal view of :meth:`MetricsRegistry.to_dict` output."""
+    lines: list[str] = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = entry.get("kind", "untyped")
+        lines.append(f"{name} [{kind}]")
+        for series in entry.get("series", ()):
+            labels = series.get("labels", {})
+            label_text = (
+                "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if kind == "histogram":
+                count = series.get("count", 0)
+                total = series.get("sum", 0.0)
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"  {label_text or '(all)'} count={count} "
+                    f"sum={total:.6g} mean={mean:.6g}"
+                )
+            else:
+                lines.append(
+                    f"  {label_text or '(all)'} {series.get('value', 0):.6g}"
+                )
+    return "\n".join(lines)
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+def write_snapshot(obs: Instrumentation, directory: str | Path) -> Path:
+    """Persist spans + metrics from one run under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / SPANS_FILE).write_text(spans_to_jsonl(obs.tracer))
+    (directory / METRICS_FILE).write_text(
+        json.dumps(obs.metrics.to_dict(), sort_keys=True, indent=2) + "\n"
+    )
+    (directory / PROMETHEUS_FILE).write_text(obs.metrics.to_prometheus())
+    return directory
+
+
+def read_snapshot(
+    directory: str | Path,
+) -> tuple[list[dict[str, Any]], dict[str, dict], str]:
+    """Load ``(spans, metrics_dict, prometheus_text)`` from a snapshot."""
+    directory = Path(directory)
+    spans_path = directory / SPANS_FILE
+    metrics_path = directory / METRICS_FILE
+    prom_path = directory / PROMETHEUS_FILE
+    spans = (
+        spans_from_jsonl(spans_path.read_text()) if spans_path.exists() else []
+    )
+    metrics = (
+        json.loads(metrics_path.read_text()) if metrics_path.exists() else {}
+    )
+    prom = prom_path.read_text() if prom_path.exists() else ""
+    return spans, metrics, prom

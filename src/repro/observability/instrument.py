@@ -1,0 +1,115 @@
+"""The shared instrumentation handle threaded through the stack.
+
+One :class:`Instrumentation` object bundles a :class:`Tracer` and a
+:class:`MetricsRegistry` and travels from :class:`~repro.system.
+VirtualDataSystem` down through catalog, planner, scheduler, executors
+and the simulated grid, so one ``materialize`` call produces one
+coherent span tree and one metric namespace.
+
+Every instrumented class defaults to :data:`NULL` — a no-op
+instrumentation whose span context manager and metric methods cost a
+couple of attribute lookups — so existing call sites keep working
+unchanged and uninstrumented runs stay fast.
+
+Metric naming convention (see docs/ARCHITECTURE.md · Observability):
+dotted lowercase paths, ``<layer>.<subject>[.<unit>]``, e.g.
+``catalog.ops``, ``scheduler.step.queue_seconds``,
+``grid.transfer.bytes``.  Span names use the same layering:
+``vds.materialize``, ``planner.plan``, ``scheduler.step``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NullTracer, Tracer
+
+
+class Instrumentation:
+    """A tracer plus a metrics registry with convenience shorthands."""
+
+    #: False on the null instance; hot paths check this before paying
+    #: for ``time.perf_counter`` or label construction.
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- tracing shorthands -------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        return self.tracer.span(name, **attributes)
+
+    def record(self, name: str, **kwargs: Any):
+        return self.tracer.record(name, **kwargs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.tracer.add_event(name, **attrs)
+
+    # -- metric shorthands --------------------------------------------------
+
+    def count(
+        self, name: str, amount: float = 1, help: str = "", **labels: Any
+    ) -> None:
+        self.metrics.counter(name, help=help).inc(amount, **labels)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        help: str = "",
+        buckets: Optional[tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> None:
+        self.metrics.histogram(name, help=help, buckets=buckets).observe(
+            value, **labels
+        )
+
+    def gauge(
+        self, name: str, value: float, help: str = "", **labels: Any
+    ) -> None:
+        self.metrics.gauge(name, help=help).set(value, **labels)
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind_simulator(self, simulator: Any) -> None:
+        """Give spans a sim-time clock (``simulator.now``)."""
+        self.tracer.bind_clock(lambda: simulator.now)
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.metrics.reset()
+
+
+class NullInstrumentation(Instrumentation):
+    """The do-nothing default; shared singleton :data:`NULL`."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(tracer=NullTracer(), metrics=MetricsRegistry())
+
+    def count(self, name, amount=1, help="", **labels):  # type: ignore[override]
+        pass
+
+    def observe(self, name, value, help="", buckets=None, **labels):  # type: ignore[override]
+        pass
+
+    def gauge(self, name, value, help="", **labels):  # type: ignore[override]
+        pass
+
+    def event(self, name, **attrs):  # type: ignore[override]
+        pass
+
+    def bind_simulator(self, simulator):  # type: ignore[override]
+        pass
+
+
+#: Shared no-op instance used as the default by every instrumented class.
+NULL = NullInstrumentation()

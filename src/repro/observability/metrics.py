@@ -1,0 +1,334 @@
+"""Counters, gauges and histograms for the virtual data stack.
+
+The paper's workflow layer "monitors their completion" (§5.4); real
+virtual-data deployments additionally instrumented every catalog
+lookup and wide-area transfer.  :class:`MetricsRegistry` is the
+process-local aggregation point: named metrics with label sets,
+exportable as a plain dict, JSON, or Prometheus text exposition
+format (see :mod:`repro.observability.export`).
+
+All metrics are synchronous in-process objects — no locks, no
+background threads — matching the deterministic single-threaded
+simulator they instrument.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+#: Canonical label encoding: a sorted tuple of (key, value) pairs, so
+#: label order at the call site never creates distinct series.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default latency buckets in seconds: microseconds through minutes,
+#: wide enough for both wall-clock catalog ops and simulated transfers.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0,
+    10.0, 60.0, 300.0, 1800.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    """Normalize a label dict into a canonical hashable key."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name for Prometheus exposition."""
+    return _NAME_RE.sub("_", name)
+
+
+class Metric:
+    """Common shape: a name, help text, and per-label-set series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+
+    def series(self) -> Iterator[tuple[LabelKey, object]]:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def inc_at(self, key: LabelKey, amount: float = 1) -> None:
+        """Hot-path increment with a precomputed :data:`LabelKey`."""
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._values.values())
+
+    def series(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": dict(k), "value": v} for k, v in self.series()
+            ],
+        }
+
+
+class Gauge(Metric):
+    """A value that can go up and down per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(label_key(labels), 0)
+
+    def series(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": dict(k), "value": v} for k, v in self.series()
+            ],
+        }
+
+
+class HistogramSeries:
+    """Bucket counts, sum and count for one label set."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        #: Per-bucket (non-cumulative) counts; final slot is +Inf.
+        self.bucket_counts = [0] * (n_buckets + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution of observed values.
+
+    Buckets are upper bounds (``le`` semantics, like Prometheus): an
+    observation lands in the first bucket whose bound is >= the value;
+    values above every bound land in the implicit +Inf bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[tuple[float, ...]] = None,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.buckets = bounds
+        self._series: dict[LabelKey, HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.observe_at(label_key(labels), value)
+
+    def observe_at(self, key: LabelKey, value: float) -> None:
+        """Hot-path observation with a precomputed :data:`LabelKey`."""
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = HistogramSeries(len(self.buckets))
+        index = len(self.buckets)  # +Inf by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        series.bucket_counts[index] += 1
+        series.sum += value
+        series.count += 1
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(label_key(labels))
+        return series.sum if series else 0.0
+
+    def cumulative_buckets(self, **labels: object) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        series = self._series.get(label_key(labels))
+        counts = (
+            series.bucket_counts
+            if series
+            else [0] * (len(self.buckets) + 1)
+        )
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip((*self.buckets, float("inf")), counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+    def series(self) -> Iterator[tuple[LabelKey, HistogramSeries]]:
+        yield from sorted(self._series.items(), key=lambda kv: kv[0])
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "series": [
+                {
+                    "labels": dict(k),
+                    "bucket_counts": list(s.bucket_counts),
+                    "sum": s.sum,
+                    "count": s.count,
+                }
+                for k, s in self.series()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, with one namespace per run."""
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help=help, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[tuple[float, ...]] = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # -- export -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, dict]:
+        """All metrics as a JSON-serializable dict, keyed by name."""
+        return {name: self._metrics[name].to_dict() for name in self.names()}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self:
+            pname = prometheus_name(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            lines.append(f"# TYPE {pname} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, series in metric.series():
+                    labels = dict(key)
+                    running = 0
+                    for bound, n in zip(
+                        (*metric.buckets, float("inf")),
+                        series.bucket_counts,
+                    ):
+                        running += n
+                        le = "+Inf" if bound == float("inf") else _fmt(bound)
+                        lines.append(
+                            f"{pname}_bucket"
+                            f"{_label_text({**labels, 'le': le})} {running}"
+                        )
+                    lines.append(
+                        f"{pname}_sum{_label_text(labels)} {_fmt(series.sum)}"
+                    )
+                    lines.append(
+                        f"{pname}_count{_label_text(labels)} {series.count}"
+                    )
+            else:
+                for key, value in metric.series():
+                    lines.append(
+                        f"{pname}{_label_text(dict(key))} {_fmt(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _label_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    """Render numbers the way Prometheus clients do: ints stay ints."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,302 @@
+"""Nested, timestamped tracing spans for the virtual data stack.
+
+A :class:`Tracer` produces :class:`Span` records with parent/child
+links, so one ``materialize`` call yields a tree::
+
+    vds.materialize
+      executor.plan
+        planner.plan
+      executor.run
+        scheduler.run
+          grid.transfer ...
+          scheduler.step ...
+
+Every span carries two clocks: **wall time** from
+:func:`time.perf_counter` (what the process actually spent) and,
+when the tracer is bound to a grid simulator, **sim time** (what the
+simulated grid spent).  Both matter: the paper's runs were judged in
+grid time, but the ROADMAP's perf work is judged in wall time.
+
+Spans are plain in-memory objects; exporters live in
+:mod:`repro.observability.export`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+
+class Span:
+    """One timed operation, possibly nested under a parent span."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "events",
+        "start_wall",
+        "end_wall",
+        "start_sim",
+        "end_sim",
+        "status",
+        "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_wall: float,
+        start_sim: Optional[float],
+        attributes: dict[str, Any],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.events: list[dict[str, Any]] = []
+        self.start_wall = start_wall
+        self.end_wall: Optional[float] = None
+        self.start_sim = start_sim
+        self.end_sim: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # -- enrichment ---------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach or update one attribute."""
+        self.attributes[key] = value
+
+    def add_event(
+        self,
+        name: str,
+        wall: Optional[float] = None,
+        sim: Optional[float] = None,
+        **attrs: Any,
+    ) -> None:
+        """Attach a point-in-time event to this span."""
+        self.events.append(
+            {"name": name, "wall": wall, "sim": sim, "attributes": attrs}
+        )
+
+    # -- durations ----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end_wall is not None
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration (0 until the span finishes)."""
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    @property
+    def sim_seconds(self) -> Optional[float]:
+        """Simulated duration, when both sim timestamps are known."""
+        if self.start_sim is None or self.end_sim is None:
+            return None
+        return self.end_sim - self.start_sim
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "start_sim": self.start_sim,
+            "end_sim": self.end_sim,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.span_id} {self.name!r} "
+            f"{self.wall_seconds * 1e3:.2f}ms {self.status}>"
+        )
+
+
+class Tracer:
+    """Produces spans with parent/child links and two clocks.
+
+    The tracer keeps an explicit stack of open spans; the simulator and
+    scheduler are single-threaded per system, so stack discipline (not
+    context variables) is sufficient and deterministic.
+    """
+
+    enabled = True
+
+    def __init__(self, sim_clock: Optional[Callable[[], float]] = None):
+        self._sim_clock = sim_clock
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def bind_clock(self, sim_clock: Callable[[], float]) -> None:
+        """Attach a simulation clock (e.g. ``lambda: simulator.now``)."""
+        self._sim_clock = sim_clock
+
+    def _sim_now(self) -> Optional[float]:
+        return self._sim_clock() if self._sim_clock is not None else None
+
+    # -- span lifecycle -----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span of the current span for the ``with`` body."""
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_wall=time.perf_counter(),
+            start_sim=self._sim_now(),
+            attributes=attributes,
+        )
+        self._spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._stack.pop()
+            span.end_wall = time.perf_counter()
+            span.end_sim = self._sim_now()
+
+    def record(
+        self,
+        name: str,
+        sim_start: Optional[float] = None,
+        sim_end: Optional[float] = None,
+        status: str = "ok",
+        **attributes: Any,
+    ) -> Span:
+        """Record an already-completed span under the current parent.
+
+        Used for operations whose lifetime is known only in simulation
+        time (e.g. a grid job observed at its completion callback):
+        the span appears in the tree with zero wall duration but full
+        sim-time extent.
+        """
+        now = time.perf_counter()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_wall=now,
+            start_sim=sim_start if sim_start is not None else self._sim_now(),
+            attributes=attributes,
+        )
+        span.end_wall = now
+        span.end_sim = sim_end if sim_end is not None else self._sim_now()
+        span.status = status
+        self._spans.append(span)
+        return span
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        """Attach an event to the current span (dropped when no span
+        is open — events are annotations, never errors)."""
+        if self._stack:
+            self._stack[-1].add_event(
+                name,
+                wall=time.perf_counter(),
+                sim=self._sim_now(),
+                **attrs,
+            )
+
+    # -- queries ------------------------------------------------------------
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def spans(self, name: Optional[str] = None) -> list[Span]:
+        """All spans in creation order, optionally filtered by name."""
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def span_names(self) -> set[str]:
+        return {s.name for s in self._spans}
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def reset(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+        self._ids = itertools.count(1)
+
+
+class _NullSpan:
+    """Inert span handed out by the null tracer; accepts everything."""
+
+    __slots__ = ()
+
+    name = "null"
+    span_id = 0
+    parent_id = None
+    status = "ok"
+    attributes: dict[str, Any] = {}
+    events: list[dict[str, Any]] = []
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager — no allocation per call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing, as cheaply as possible."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def span(self, name: str, **attributes: Any):  # type: ignore[override]
+        return _NULL_CONTEXT
+
+    def record(self, name: str, **kwargs: Any) -> _NullSpan:  # type: ignore[override]
+        return NULL_SPAN
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def bind_clock(self, sim_clock: Callable[[], float]) -> None:
+        pass

@@ -31,6 +31,7 @@ from repro.core.transformation import (
     SimpleTransformation,
 )
 from repro.errors import CyclicDerivationError, PlanningError, UnderivableError
+from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.request import MaterializationRequest
 from repro.provenance.graph import DerivationGraph
 
@@ -151,8 +152,10 @@ class Planner:
         cpu_estimate: Optional[Callable[[Derivation], float]] = None,
         size_estimate: Optional[Callable[[str], int]] = None,
         reuse_decider: Optional[ReuseDecider] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         self.catalog = catalog
+        self.obs = instrumentation or NULL
         self.resolver = resolver or ReferenceResolver(catalog)
         self._has_replica = has_replica or (lambda lfn: False)
         self._cpu_estimate = cpu_estimate or (lambda dv: 1.0)
@@ -168,6 +171,30 @@ class Planner:
 
     def plan(self, request: MaterializationRequest) -> Plan:
         """Build the workflow DAG satisfying ``request``."""
+        with self.obs.span(
+            "planner.plan",
+            targets=",".join(request.targets),
+            reuse=request.reuse,
+        ) as span:
+            plan = self._plan(request)
+            if self.obs.enabled:
+                span.set("steps", len(plan.steps))
+                span.set("reused", len(plan.reused))
+                self.obs.count("planner.plans", help="plans constructed")
+                self.obs.count(
+                    "planner.reuse.hits",
+                    len(plan.reused),
+                    help="datasets satisfied from existing replicas",
+                )
+                self.obs.observe(
+                    "planner.plan.steps",
+                    len(plan.steps),
+                    buckets=(0, 1, 2, 5, 10, 50, 100, 500, 1000, 5000),
+                    help="workflow DAG size distribution",
+                )
+            return plan
+
+    def _plan(self, request: MaterializationRequest) -> Plan:
         plan = Plan(targets=request.targets)
         graph = DerivationGraph.from_catalog(self.catalog)
         needed: list[str] = list(request.targets)

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from repro.errors import ExecutionError, PlanningError
 from repro.grid.gram import GridExecutionService, JobRecord, JobSpec
+from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.dag import Plan, PlanStep
 from repro.planner.strategies import SiteChoice, SiteSelector
 
@@ -92,6 +93,7 @@ class WorkflowScheduler:
         max_retries: int = 2,
         max_hosts: Optional[int] = None,
         step_listener: Optional[StepListener] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         if max_retries < 0:
             raise PlanningError("max_retries must be >= 0")
@@ -101,6 +103,7 @@ class WorkflowScheduler:
         self.max_retries = max_retries
         self.max_hosts = max_hosts
         self.step_listener = step_listener
+        self.obs = instrumentation or NULL
 
     def run(self, plan: Plan) -> WorkflowResult:
         """Execute ``plan`` to completion on the simulator's clock.
@@ -114,6 +117,19 @@ class WorkflowScheduler:
                 raise ExecutionError(
                     f"source dataset {source!r} has no replica on the grid"
                 )
+        with self.obs.span(
+            "scheduler.run",
+            steps=len(plan.steps),
+            pattern=self.pattern,
+        ) as run_span:
+            result = self._run(plan)
+            if self.obs.enabled:
+                run_span.set("peak_in_flight", result.peak_in_flight)
+                run_span.set("failed", len(result.failed_steps))
+            return result
+
+    def _run(self, plan: Plan) -> WorkflowResult:
+        obs = self.obs
         result = WorkflowResult(plan=plan, started_at=self.grid.simulator.now)
         done: set[str] = set()
         in_flight: set[str] = set()
@@ -139,6 +155,22 @@ class WorkflowScheduler:
             attempts[name] = attempts.get(name, 0) + 1
             in_flight.add(name)
             result.peak_in_flight = max(result.peak_in_flight, len(in_flight))
+            if obs.enabled:
+                obs.count(
+                    "scheduler.dispatched", help="job submissions (incl. retries)"
+                )
+                if attempts[name] > 1:
+                    obs.count("scheduler.retries", help="step resubmissions")
+                obs.gauge(
+                    "scheduler.in_flight",
+                    len(in_flight),
+                    help="steps currently submitted and incomplete",
+                )
+                obs.gauge(
+                    "scheduler.queue_depth",
+                    len(plan.ready_steps(done)) - len(in_flight),
+                    help="ready steps awaiting dispatch",
+                )
             choice = self.selector.choose(
                 step, self.pattern, now=self.grid.simulator.now
             )
@@ -158,6 +190,28 @@ class WorkflowScheduler:
 
             def on_complete(record: JobRecord) -> None:
                 in_flight.discard(name)
+                if obs.enabled:
+                    obs.record(
+                        "scheduler.step",
+                        sim_start=record.submitted_at,
+                        sim_end=record.end_time,
+                        status="ok" if record.succeeded else "error",
+                        step=name,
+                        site=choice.site,
+                        host=record.host,
+                        attempt=attempts[name],
+                    )
+                    obs.count(
+                        "scheduler.steps",
+                        status=record.status,
+                        help="step completions by terminal status",
+                    )
+                    obs.observe(
+                        "scheduler.step.queue_seconds",
+                        record.queue_seconds,
+                        help="simulated batch-queue wait per step",
+                    )
+                    obs.gauge("scheduler.in_flight", len(in_flight))
                 if record.succeeded:
                     done.add(name)
                     if choice.ship_procedure:
@@ -176,6 +230,10 @@ class WorkflowScheduler:
                 elif attempts[name] <= self.max_retries:
                     submit(name)
                 else:
+                    obs.count(
+                        "scheduler.failures",
+                        help="steps failed after exhausting retries",
+                    )
                     result.failed_steps.add(name)
                     result.outcomes[name] = StepOutcome(
                         step=name,

@@ -34,6 +34,7 @@ from repro.grid.network import NetworkTopology, uniform_topology
 from repro.grid.replica_catalog import ReplicaLocationService
 from repro.grid.simulator import Simulator
 from repro.grid.site import Site
+from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.dag import Plan
 from repro.planner.request import MaterializationRequest
 from repro.planner.scheduler import WorkflowResult
@@ -48,14 +49,23 @@ class VirtualDataSystem:
         self,
         catalog: Optional[VirtualDataCatalog] = None,
         authority: Optional[str] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ):
-        self.catalog = catalog or MemoryCatalog(authority=authority)
+        self.obs = instrumentation or NULL
+        self.catalog = catalog or MemoryCatalog(
+            authority=authority, instrumentation=self.obs
+        )
+        if catalog is not None and self.obs.enabled:
+            # Adopt a caller-supplied catalog into this system's
+            # observability scope unless it already has its own.
+            if not self.catalog.obs.enabled:
+                self.catalog.obs = self.obs
         self.network: Optional[NetworkTopology] = None
         self.simulator: Optional[Simulator] = None
         self.grid: Optional[GridExecutionService] = None
         self.selector: Optional[SiteSelector] = None
         self.executor: Optional[GridExecutor] = None
-        self.estimator = Estimator(self.catalog)
+        self.estimator = Estimator(self.catalog, instrumentation=self.obs)
         self.catalogs = CatalogNetwork()
         self.resolver = ReferenceResolver(self.catalog, self.catalogs)
 
@@ -70,16 +80,24 @@ class VirtualDataSystem:
         host_speed: float = 1.0,
         failure_rate: float = 0.0,
         seed: int = 0,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> "VirtualDataSystem":
         """Build a system attached to a fresh simulated grid.
 
         ``sites`` maps site names to host counts — e.g. the paper's
         SDSS testbed is ``{"anl": 200, "uc": 200, "uw": 200,
         "ufl": 200}`` (four sites, ~800 hosts).
+
+        Passing an :class:`~repro.observability.Instrumentation`
+        threads one tracer + metrics registry through the catalog,
+        planner, scheduler, executor and grid, with spans stamped in
+        both wall and simulation time.
         """
-        vds = cls(authority=authority)
-        vds.simulator = Simulator()
+        vds = cls(authority=authority, instrumentation=instrumentation)
+        vds.simulator = Simulator(instrumentation=vds.obs)
+        vds.obs.bind_simulator(vds.simulator)
         vds.network = uniform_topology(sorted(sites), bandwidth=bandwidth)
+        vds.network.obs = vds.obs
         site_objects = {
             name: Site(name, hosts=count, speed=host_speed)
             for name, count in sites.items()
@@ -92,12 +110,17 @@ class VirtualDataSystem:
             replicas,
             failure_rate=failure_rate,
             seed=seed,
+            instrumentation=vds.obs,
         )
         vds.selector = SiteSelector(
             site_objects, vds.network, replicas, ProcedureRegistry()
         )
         vds.executor = GridExecutor(
-            vds.catalog, vds.grid, vds.selector, estimator=vds.estimator
+            vds.catalog,
+            vds.grid,
+            vds.selector,
+            estimator=vds.estimator,
+            instrumentation=vds.obs,
         )
         return vds
 
@@ -117,7 +140,8 @@ class VirtualDataSystem:
 
     def define(self, vdl_source: str, replace: bool = False) -> "VirtualDataSystem":
         """Register VDL definitions (transformations and derivations)."""
-        self.catalog.define(vdl_source, replace=replace)
+        with self.obs.span("vds.define"):
+            self.catalog.define(vdl_source, replace=replace)
         return self
 
     def seed_dataset(self, name: str, site: str, size: int) -> None:
@@ -145,13 +169,16 @@ class VirtualDataSystem:
             pattern=pattern,
             max_hosts=max_hosts,
         )
-        if self.executor is not None:
-            return self.executor.plan(request)
-        from repro.planner.dag import Planner
+        with self.obs.span("vds.plan"):
+            if self.executor is not None:
+                return self.executor.plan(request)
+            from repro.planner.dag import Planner
 
-        return Planner(
-            self.catalog, cpu_estimate=self.estimator.estimate_derivation
-        ).plan(request)
+            return Planner(
+                self.catalog,
+                cpu_estimate=self.estimator.estimate_derivation,
+                instrumentation=self.obs,
+            ).plan(request)
 
     # -- estimation (§5.3) ---------------------------------------------------------------
 
@@ -166,9 +193,10 @@ class VirtualDataSystem:
                 )
             else:
                 host_count = 1
-        return estimate_plan(
-            plan, host_count=host_count, include_intermediates=True
-        )
+        with self.obs.span("vds.estimate", steps=len(plan.steps)):
+            return estimate_plan(
+                plan, host_count=host_count, include_intermediates=True
+            )
 
     def can_meet_deadline(self, targets: str, deadline_seconds: float) -> bool:
         """The §5.3 interactive feasibility query."""
@@ -191,7 +219,13 @@ class VirtualDataSystem:
             pattern=pattern,
             max_hosts=max_hosts,
         )
-        return self.executor.materialize(request)
+        with self.obs.span(
+            "vds.materialize",
+            targets=",".join(request.targets),
+            reuse=reuse,
+            pattern=pattern,
+        ):
+            return self.executor.materialize(request)
 
     # -- discovery (§5.5) ---------------------------------------------------------------------
 

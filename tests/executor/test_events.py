@@ -1,0 +1,124 @@
+"""EventLog robustness: listener isolation, ring buffer, obs bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executor.events import EventLog
+from repro.observability import Instrumentation
+
+
+class TestListenerIsolation:
+    def test_raising_listener_does_not_break_emit(self):
+        log = EventLog()
+
+        def bad(event):
+            raise RuntimeError("listener exploded")
+
+        log.listen(bad)
+        event = log.emit(1.0, "submit", "j1")
+        assert event.kind == "submit"
+
+    def test_later_listeners_still_run(self):
+        log = EventLog()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        log.listen(bad)
+        log.listen(seen.append)
+        log.emit(1.0, "submit", "j1")
+        assert [e.kind for e in seen] == ["submit"]
+
+    def test_failure_recorded_as_listener_error_event(self):
+        log = EventLog()
+
+        def bad(event):
+            raise ValueError("bad value")
+
+        log.listen(bad)
+        log.emit(1.0, "submit", "j1")
+        errors = log.events("listener-error")
+        assert len(errors) == 1
+        assert errors[0].subject == "submit"
+        assert "ValueError: bad value" in errors[0].detail["error"]
+
+    def test_listener_errors_not_redelivered_to_listeners(self):
+        # A listener that always raises must not trigger itself again
+        # via the listener-error event it causes.
+        log = EventLog()
+        calls = []
+
+        def bad(event):
+            calls.append(event.kind)
+            raise RuntimeError("always")
+
+        log.listen(bad)
+        log.emit(1.0, "submit", "j1")
+        assert calls == ["submit"]
+        assert len(log.events("listener-error")) == 1
+
+    def test_unlisten(self):
+        log = EventLog()
+        seen = []
+        log.listen(seen.append)
+        log.unlisten(seen.append)
+        log.emit(1.0, "x", "s")
+        assert seen == []
+
+
+class TestRingBuffer:
+    def test_default_is_unbounded(self):
+        log = EventLog()
+        for i in range(1000):
+            log.emit(float(i), "tick", str(i))
+        assert len(log) == 1000
+        assert log.dropped == 0
+
+    def test_max_events_keeps_newest(self):
+        log = EventLog(max_events=3)
+        for i in range(5):
+            log.emit(float(i), "tick", str(i))
+        assert len(log) == 3
+        assert [e.subject for e in log.events()] == ["2", "3", "4"]
+        assert log.dropped == 2
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+        with pytest.raises(ValueError):
+            EventLog(max_events=-1)
+
+
+class TestObservabilityBridge:
+    def test_events_land_as_span_events(self):
+        obs = Instrumentation()
+        log = EventLog(instrumentation=obs)
+        with obs.span("scheduler.run") as span:
+            log.emit(1.0, "submit", "g1", site="anl")
+        assert span.events[0]["name"] == "submit"
+        assert span.events[0]["attributes"]["subject"] == "g1"
+        assert span.events[0]["attributes"]["site"] == "anl"
+
+    def test_events_are_counted(self):
+        obs = Instrumentation()
+        log = EventLog(instrumentation=obs)
+        log.emit(1.0, "submit", "g1")
+        log.emit(2.0, "submit", "g2")
+        log.emit(3.0, "done", "g1")
+        counter = obs.metrics.get("events.emitted")
+        assert counter.value(kind="submit") == 2
+        assert counter.value(kind="done") == 1
+
+    def test_listener_errors_are_counted(self):
+        obs = Instrumentation()
+        log = EventLog(instrumentation=obs)
+        log.listen(lambda e: (_ for _ in ()).throw(RuntimeError("x")))
+        log.emit(1.0, "submit", "g1")
+        assert obs.metrics.get("events.listener_errors").total() == 1
+
+    def test_unbridged_log_works_without_instrumentation(self):
+        log = EventLog()
+        log.emit(1.0, "submit", "g1")
+        assert len(log) == 1

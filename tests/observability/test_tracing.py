@@ -1,0 +1,184 @@
+"""Span trees, dual clocks, the null tracer, and the exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VirtualDataError
+from repro.observability.export import (
+    render_span_tree,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
+from repro.observability.instrument import (
+    NULL,
+    Instrumentation,
+    NullInstrumentation,
+)
+from repro.observability.tracing import NullTracer, Tracer
+
+
+class TestSpanNesting:
+    def test_children_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert tracer.children(outer) == [inner]
+        assert tracer.roots() == [outer]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = tracer.spans("a")[0], tracer.spans("b")[0]
+        assert a.parent_id == b.parent_id
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("s") as span:
+            assert tracer.current() is span
+        assert tracer.current() is None
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(VirtualDataError):
+            with tracer.span("failing"):
+                raise VirtualDataError("boom")
+        span = tracer.spans("failing")[0]
+        assert span.status == "error"
+        assert "boom" in span.error
+        assert span.finished
+        assert tracer.current() is None  # stack unwound
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", targets="final") as span:
+            span.set("steps", 5)
+        assert span.attributes == {"targets": "final", "steps": 5}
+
+
+class TestClocks:
+    def test_wall_time_advances(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        assert span.wall_seconds >= 0
+        assert span.finished
+
+    def test_sim_clock_is_stamped_when_bound(self):
+        clock = {"now": 10.0}
+        tracer = Tracer(sim_clock=lambda: clock["now"])
+        with tracer.span("s") as span:
+            clock["now"] = 25.0
+        assert span.start_sim == 10.0
+        assert span.end_sim == 25.0
+        assert span.sim_seconds == 15.0
+
+    def test_sim_clock_absent_means_none(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        assert span.start_sim is None
+        assert span.sim_seconds is None
+
+    def test_record_completed_span_with_explicit_sim_times(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            span = tracer.record(
+                "job", sim_start=5.0, sim_end=9.0, status="done", site="anl"
+            )
+        assert span.parent_id == parent.span_id
+        assert span.sim_seconds == 4.0
+        assert span.wall_seconds == 0.0
+        assert span.status == "done"
+        assert span.attributes["site"] == "anl"
+
+
+class TestEvents:
+    def test_event_attaches_to_current_span(self):
+        tracer = Tracer(sim_clock=lambda: 3.0)
+        with tracer.span("s") as span:
+            tracer.add_event("step-done", step="g1")
+        assert span.events[0]["name"] == "step-done"
+        assert span.events[0]["sim"] == 3.0
+        assert span.events[0]["attributes"] == {"step": "g1"}
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.add_event("orphan")  # must not raise
+        assert len(tracer) == 0
+
+
+class TestNullInstrumentation:
+    def test_null_is_disabled_and_inert(self):
+        assert NULL.enabled is False
+        assert isinstance(NULL, NullInstrumentation)
+        with NULL.span("anything", key="value") as span:
+            span.set("k", "v")
+            span.add_event("e")
+        NULL.count("c")
+        NULL.observe("h", 1.0)
+        NULL.gauge("g", 2.0)
+        NULL.event("e")
+        assert len(NULL.metrics) == 0
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("s"):
+            tracer.record("r")
+        assert len(tracer) == 0
+        assert tracer.enabled is False
+
+    def test_real_instrumentation_is_enabled(self):
+        obs = Instrumentation()
+        assert obs.enabled is True
+        with obs.span("s"):
+            obs.count("c")
+        assert len(obs.tracer) == 1
+        assert obs.metrics.get("c").total() == 1
+
+    def test_reset_clears_both_sides(self):
+        obs = Instrumentation()
+        with obs.span("s"):
+            obs.count("c")
+        obs.reset()
+        assert len(obs.tracer) == 0
+        assert len(obs.metrics) == 0
+
+
+class TestExporters:
+    def _tracer(self) -> Tracer:
+        tracer = Tracer(sim_clock=lambda: 1.0)
+        with tracer.span("root", targets="final"):
+            tracer.add_event("note", detail="x")
+            with tracer.span("child"):
+                pass
+        return tracer
+
+    def test_jsonl_round_trip(self):
+        tracer = self._tracer()
+        loaded = spans_from_jsonl(spans_to_jsonl(tracer))
+        assert [s["name"] for s in loaded] == ["root", "child"]
+        assert loaded[1]["parent_id"] == loaded[0]["span_id"]
+        assert loaded[0]["events"][0]["name"] == "note"
+
+    def test_render_tree_indents_children(self):
+        lines = render_span_tree(self._tracer()).splitlines()
+        assert lines[0].startswith("root")
+        assert "targets=final" in lines[0]
+        assert lines[1].strip().startswith("· note")
+        assert lines[2] == "  " + lines[2].strip()
+        assert lines[2].strip().startswith("child")
+
+    def test_render_accepts_loaded_dicts(self):
+        tracer = self._tracer()
+        from_tracer = render_span_tree(tracer)
+        from_dicts = render_span_tree(spans_from_jsonl(spans_to_jsonl(tracer)))
+        assert from_tracer == from_dicts

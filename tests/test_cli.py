@@ -151,3 +151,54 @@ class TestAdHocRun:
         code, output = defined("run", "emit", "noequals")
         assert code == 1
         assert "name=value" in output
+
+
+class TestObservability:
+    def test_stats_requires_a_prior_run(self, defined):
+        code, output = defined("stats")
+        assert code == 1
+        assert "no observability snapshot" in output
+
+    def test_materialize_then_stats(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("stats")
+        assert code == 0
+        assert "executor.invocations" in output
+        assert "catalog.ops" in output
+
+    def test_stats_prometheus_format(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("stats", "--format", "prom")
+        assert code == 0
+        assert "# TYPE executor_invocations counter" in output
+
+    def test_stats_json_format(self, defined):
+        import json
+
+        defined("materialize", "copy.txt")
+        code, output = defined("stats", "--format", "json")
+        assert code == 0
+        metrics = json.loads(output)
+        assert metrics["executor.invocations"]["kind"] == "counter"
+
+    def test_materialize_then_trace(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("trace")
+        assert code == 0
+        assert "executor.materialize" in output
+        assert "executor.execute" in output
+        assert "derivation=e1" in output
+
+    def test_adhoc_run_is_traced_too(self, defined):
+        defined("run", "emit", "o=adhoc.txt")
+        code, output = defined("trace")
+        assert code == 0
+        assert "executor.execute" in output
+
+    def test_snapshot_reflects_latest_run_only(self, defined):
+        defined("materialize", "copy.txt")
+        defined("run", "emit", "o=adhoc.txt")
+        code, output = defined("trace")
+        assert code == 0
+        assert "derivation=cli.0001" in output
+        assert "derivation=e1" not in output
