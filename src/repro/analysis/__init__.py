@@ -1,0 +1,40 @@
+"""Static whole-program analysis of VDL and the derivation graph.
+
+The :class:`~repro.vdl.semantics.Analyzer` checks one declaration at a
+time; this package checks the *program*: cross-catalog signature
+conformance, static output races, derivation-graph cycles, dead code,
+and version-compatibility assertions.  Findings are
+:class:`Diagnostic` records with stable ``VDGxxx`` codes (catalogued in
+``docs/LINTING.md``), surfaced through ``repro lint`` and the
+``plan --strict`` pre-flight.
+"""
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    count_by_severity,
+    max_severity,
+)
+from repro.analysis.linter import Linter, LintResult
+from repro.analysis.registry import Rule, RuleRegistry, default_rules, rule
+from repro.analysis.reporters import exit_code, render_json, render_text
+
+__all__ = [
+    "AnalysisContext",
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "count_by_severity",
+    "max_severity",
+    "Linter",
+    "LintResult",
+    "Rule",
+    "RuleRegistry",
+    "default_rules",
+    "rule",
+    "exit_code",
+    "render_json",
+    "render_text",
+]

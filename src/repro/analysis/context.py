@@ -1,0 +1,407 @@
+"""The whole-program index the lint rules run against.
+
+:class:`AnalysisContext` normalizes one parsed VDL program (plus an
+optional catalog supplying dataset records, the type registry and the
+version registry) into flat, cross-referenced views:
+
+* transformations by name (with resolved formal signatures — type
+  expressions resolved against the registry, unknown names collected
+  for the ``VDG106`` rule rather than raised);
+* derivations with per-actual source lines;
+* writer/reader maps from logical file name (LFN) to the bindings that
+  produce/consume it — the substrate of the output-race detector;
+* inferred dataset types per LFN (catalog record first, else the
+  producing formal's declared type union) for cross-derivation type
+  conformance.
+
+The one-pass :class:`~repro.vdl.semantics.Analyzer` deliberately defers
+all of these cross-object views to "catalog registration time"; the
+linter builds them up front so mistakes surface before any
+materialization request is planned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.transformation import (
+    CompoundTransformation,
+    FormalRef,
+    SimpleTransformation,
+    Transformation,
+)
+from repro.core.types import TypeRegistry, TypeUnion, default_registry
+from repro.core.versioning import VersionRegistry
+from repro.errors import UnknownTypeError
+from repro.vdl.ast import (
+    ArgumentStmtNode,
+    CallStmtNode,
+    DatasetRefNode,
+    DerivationDeclNode,
+    EnvStmtNode,
+    FormalRefNode,
+    ProgramNode,
+    TransformationDeclNode,
+)
+from repro.vdl.semantics import resolve_type_triple
+
+
+@dataclass
+class FormalInfo:
+    """One formal argument, normalized from AST or core objects."""
+
+    name: str
+    direction: str
+    #: Resolved type union; None when untyped or explicitly "Dataset".
+    types: Optional[TypeUnion] = None
+    has_default: bool = False
+    line: int = 0
+
+    @property
+    def is_string(self) -> bool:
+        return self.direction == "none"
+
+
+@dataclass
+class CallInfo:
+    """One call site inside a compound transformation body."""
+
+    target: str
+    #: ``(callee_formal, value, line)``; value is a string literal or a
+    #: :class:`~repro.vdl.ast.FormalRefNode`.
+    bindings: list[tuple[str, Union[str, FormalRefNode], int]]
+    line: int = 0
+
+
+@dataclass
+class TRInfo:
+    """One transformation declaration, normalized for the rules."""
+
+    name: str
+    version: str = "1.0"
+    line: int = 0
+    formals: list[FormalInfo] = field(default_factory=list)
+    is_compound: bool = False
+    calls: list[CallInfo] = field(default_factory=list)
+    #: Formal names referenced by argument/env templates (simple TRs)
+    #: or bound into calls (compound TRs).
+    referenced: set[str] = field(default_factory=set)
+    #: "program" for declarations in the linted source, "catalog" for
+    #: signatures pulled from a backing catalog.
+    origin: str = "program"
+
+    def formal(self, name: str) -> Optional[FormalInfo]:
+        for f in self.formals:
+            if f.name == name:
+                return f
+        return None
+
+
+@dataclass
+class ActualInfo:
+    """One DV actual argument with its source line."""
+
+    name: str
+    #: String literal, or the dataset reference.
+    value: Union[str, DatasetRefNode]
+    line: int = 0
+
+    @property
+    def is_dataset(self) -> bool:
+        return isinstance(self.value, DatasetRefNode)
+
+    @property
+    def lfn(self) -> Optional[str]:
+        return self.value.lfn if isinstance(self.value, DatasetRefNode) else None
+
+    @property
+    def direction(self) -> Optional[str]:
+        if isinstance(self.value, DatasetRefNode):
+            return self.value.direction
+        return None
+
+
+@dataclass
+class DVInfo:
+    """One derivation declaration, normalized for the rules."""
+
+    name: str
+    target: str
+    actuals: list[ActualInfo] = field(default_factory=list)
+    line: int = 0
+
+    @property
+    def is_remote(self) -> bool:
+        return self.target.startswith("vdp://")
+
+    def dataset_actuals(self) -> list[ActualInfo]:
+        return [a for a in self.actuals if a.is_dataset]
+
+    def writes(self) -> list[ActualInfo]:
+        return [
+            a
+            for a in self.dataset_actuals()
+            if a.direction in ("output", "inout")
+        ]
+
+    def reads(self) -> list[ActualInfo]:
+        return [
+            a
+            for a in self.dataset_actuals()
+            if a.direction in ("input", "inout")
+        ]
+
+
+#: One (derivation, actual) pair touching an LFN.
+Binding = tuple[DVInfo, ActualInfo]
+
+
+def split_target(target: str) -> tuple[str, Optional[str]]:
+    """Split a DV/call target ``name@version`` into its parts."""
+    name, _, version = target.partition("@")
+    return name, (version or None)
+
+
+class AnalysisContext:
+    """Cross-referenced views over one program (plus optional catalog)."""
+
+    def __init__(
+        self,
+        program: ProgramNode,
+        file: str = "<string>",
+        types: Optional[TypeRegistry] = None,
+        versions: Optional[VersionRegistry] = None,
+        catalog=None,
+    ):
+        self.program = program
+        self.file = file
+        self.catalog = catalog
+        self.types = types or (
+            catalog.types if catalog is not None else default_registry()
+        )
+        self.versions = versions or (
+            catalog.versions if catalog is not None else VersionRegistry()
+        )
+        #: TR name -> declarations (several when versions/duplicates exist).
+        self.trs: dict[str, list[TRInfo]] = {}
+        self.dvs: list[DVInfo] = []
+        #: ``(tr_name, line, message)`` for unresolvable type names (VDG106).
+        self.type_issues: list[tuple[str, int, str]] = []
+        #: LFN -> bindings that produce it (direction output/inout).
+        self.writers: dict[str, list[Binding]] = {}
+        #: LFN -> bindings that consume it (direction input/inout).
+        self.readers: dict[str, list[Binding]] = {}
+        self._tr_cache: dict[str, Optional[TRInfo]] = {}
+        self._lfn_types: Optional[dict[str, list]] = None
+        for decl in program.transformations():
+            info = self._tr_info(decl)
+            self.trs.setdefault(info.name, []).append(info)
+        for decl in program.derivations():
+            self.dvs.append(self._dv_info(decl))
+        for dv in self.dvs:
+            for actual in dv.writes():
+                self.writers.setdefault(actual.lfn, []).append((dv, actual))
+            for actual in dv.reads():
+                self.readers.setdefault(actual.lfn, []).append((dv, actual))
+
+    # -- normalization ----------------------------------------------------
+
+    def _tr_info(self, decl: TransformationDeclNode) -> TRInfo:
+        formals = []
+        for node in decl.formals:
+            types: Optional[TypeUnion] = None
+            if node.type_expr is not None:
+                members = []
+                for content, fmt, enc in node.type_expr.members:
+                    try:
+                        members.append(
+                            resolve_type_triple(self.types, content, fmt, enc)
+                        )
+                    except UnknownTypeError as exc:
+                        self.type_issues.append(
+                            (decl.name, node.line, f"formal {node.name!r}: {exc}")
+                        )
+                if members:
+                    types = TypeUnion(members=tuple(members))
+            formals.append(
+                FormalInfo(
+                    name=node.name,
+                    direction=node.direction,
+                    types=self._drop_any(types),
+                    has_default=node.default is not None,
+                    line=node.line,
+                )
+            )
+        referenced: set[str] = set()
+        calls: list[CallInfo] = []
+        for stmt in decl.body:
+            if isinstance(stmt, (ArgumentStmtNode, EnvStmtNode)):
+                referenced.update(
+                    p.name for p in stmt.parts if isinstance(p, FormalRefNode)
+                )
+            elif isinstance(stmt, CallStmtNode):
+                bindings = []
+                for name, value in stmt.bindings:
+                    if isinstance(value, FormalRefNode):
+                        referenced.add(value.name)
+                        bindings.append((name, value, value.line or stmt.line))
+                    else:
+                        bindings.append((name, value, stmt.line))
+                calls.append(
+                    CallInfo(target=stmt.target, bindings=bindings, line=stmt.line)
+                )
+        return TRInfo(
+            name=decl.name,
+            version=decl.version or "1.0",
+            line=decl.line,
+            formals=formals,
+            is_compound=bool(calls),
+            calls=calls,
+            referenced=referenced,
+        )
+
+    @staticmethod
+    def _drop_any(types: Optional[TypeUnion]) -> Optional[TypeUnion]:
+        """Treat an explicit ``Dataset`` (all-roots) union as untyped."""
+        if types is None or all(m.is_any() for m in types.members):
+            return None
+        return types
+
+    def _dv_info(self, decl: DerivationDeclNode) -> DVInfo:
+        actuals = []
+        for name, value in decl.actuals:
+            line = value.line if isinstance(value, DatasetRefNode) else decl.line
+            actuals.append(ActualInfo(name=name, value=value, line=line))
+        return DVInfo(
+            name=decl.name, target=decl.target, actuals=actuals, line=decl.line
+        )
+
+    @staticmethod
+    def _from_transformation(tr: Transformation) -> TRInfo:
+        """Normalize a core catalog object into a :class:`TRInfo`."""
+        formals = [
+            FormalInfo(
+                name=f.name,
+                direction=f.direction,
+                types=AnalysisContext._drop_any(f.dataset_types),
+                has_default=f.default is not None,
+            )
+            for f in tr.signature.formals
+        ]
+        referenced: set[str] = set()
+        calls: list[CallInfo] = []
+        if isinstance(tr, SimpleTransformation):
+            for template in list(tr.arguments) + list(tr.environment.values()):
+                referenced.update(template.references())
+        elif isinstance(tr, CompoundTransformation):
+            for call in tr.calls:
+                bindings = []
+                for name, value in call.bindings.items():
+                    if isinstance(value, FormalRef):
+                        referenced.add(value.name)
+                        bindings.append(
+                            (name, FormalRefNode(value.name, value.direction), 0)
+                        )
+                    else:
+                        bindings.append((name, value, 0))
+                calls.append(
+                    CallInfo(target=call.target.vdl_text(), bindings=bindings)
+                )
+        return TRInfo(
+            name=tr.name,
+            version=tr.version,
+            formals=formals,
+            is_compound=tr.is_compound,
+            calls=calls,
+            referenced=referenced,
+            origin="catalog",
+        )
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve_tr(self, target: str) -> Optional[TRInfo]:
+        """Resolve a DV/call target to a signature, or None.
+
+        Program declarations win (latest declaration of the name); a
+        backing catalog is consulted next.  Remote ``vdp://`` targets
+        resolve to None — cross-catalog callees are out of lint scope.
+        """
+        if target.startswith("vdp://"):
+            return None
+        if target in self._tr_cache:
+            return self._tr_cache[target]
+        name, version = split_target(target)
+        info: Optional[TRInfo] = None
+        declared = self.trs.get(name)
+        if declared:
+            if version is None:
+                info = declared[-1]
+            else:
+                for candidate in declared:
+                    if candidate.version == version:
+                        info = candidate
+                # A versioned target that misses every declared version
+                # still resolves to the latest declaration: arity/type
+                # checks remain useful, and the version rules flag the
+                # mismatch separately.
+                if info is None:
+                    info = declared[-1]
+        elif self.catalog is not None and self.catalog.has_transformation(name):
+            try:
+                info = self._from_transformation(
+                    self.catalog.get_transformation(name, version)
+                )
+            except Exception:
+                info = self._from_transformation(
+                    self.catalog.get_transformation(name)
+                )
+        self._tr_cache[target] = info
+        return info
+
+    # -- dataset views ----------------------------------------------------
+
+    def dataset_record(self, lfn: str):
+        """The catalog's dataset record for an LFN, or None."""
+        if self.catalog is not None and self.catalog.has_dataset(lfn):
+            return self.catalog.get_dataset(lfn)
+        return None
+
+    def is_materialized(self, lfn: str) -> bool:
+        """Whether a backing catalog knows a physical copy of the LFN."""
+        if self.catalog is None:
+            return False
+        record = self.dataset_record(lfn)
+        if record is not None and not record.is_virtual:
+            return True
+        return bool(self.catalog.replicas_of(lfn))
+
+    def lfn_types(self, lfn: str) -> list:
+        """Plausible :class:`DatasetType`s of an LFN, statically inferred.
+
+        The catalog's dataset record (when typed) is authoritative;
+        otherwise every typed output formal the LFN is bound to
+        contributes its union members.  An empty list means "nothing
+        known" — type rules must then stay silent.
+        """
+        if self._lfn_types is None:
+            self._lfn_types = {}
+        if lfn in self._lfn_types:
+            return self._lfn_types[lfn]
+        record = self.dataset_record(lfn)
+        if record is not None and not record.dataset_type.is_any():
+            inferred = [record.dataset_type]
+        else:
+            inferred = []
+            for dv, actual in self.writers.get(lfn, ()):
+                tr = self.resolve_tr(dv.target)
+                if tr is None:
+                    continue
+                formal = tr.formal(actual.name)
+                if formal is None or formal.types is None:
+                    continue
+                for member in formal.types.members:
+                    if member not in inferred:
+                        inferred.append(member)
+        self._lfn_types[lfn] = inferred
+        return inferred

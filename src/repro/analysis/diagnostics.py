@@ -1,0 +1,101 @@
+"""Diagnostics: the currency of the static-analysis engine.
+
+A :class:`Diagnostic` is one finding of one rule: a stable ``VDGxxx``
+code, a severity, a human message, and a :class:`Span` locating the
+finding in VDL source (reconstructed from the ``line`` fields every AST
+node already carries).  Codes are append-only — once published in
+``docs/LINTING.md`` a code never changes meaning, so CI suppressions
+(``--no-rule VDG402``) stay stable across releases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering lets callers compare (``>=``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source location: file plus 1-based line (and optional column).
+
+    ``line=0`` means "position unknown" (objects reconstructed without
+    source text); renderers then print just the file name.
+    """
+
+    file: str = "<string>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        if not self.line:
+            return self.file
+        if self.column:
+            return f"{self.file}:{self.line}:{self.column}"
+        return f"{self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``file.vdl:12: error[VDG201]: message``."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span = field(default_factory=Span)
+    #: Name of the TR/DV/dataset the finding is about, when there is one.
+    obj: Optional[str] = None
+    #: Short rule name (``output-race``), for grouping in reports.
+    rule: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.span.file, self.span.line, self.code, self.message)
+
+    def render(self) -> str:
+        return f"{self.span}: {self.severity}[{self.code}]: {self.message}"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "file": self.span.file,
+            "line": self.span.line,
+            "column": self.span.column,
+            "object": self.obj,
+            "rule": self.rule,
+        }
+
+
+def max_severity(diagnostics: list[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or None for a clean result."""
+    return max((d.severity for d in diagnostics), default=None)
+
+
+def count_by_severity(diagnostics: list[Diagnostic]) -> dict[str, int]:
+    """``{"error": n, "warning": n, "info": n}`` (always all three keys)."""
+    out = {str(s): 0 for s in Severity}
+    for d in diagnostics:
+        out[str(d.severity)] += 1
+    return out

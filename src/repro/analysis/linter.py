@@ -1,0 +1,199 @@
+"""The linter: parse, lower, run every rule, collect diagnostics.
+
+The :class:`Linter` is the façade the CLI and ``Planner`` pre-flight
+use.  It degrades gracefully through the front-end stages:
+
+1. a parse failure yields a single ``VDG000`` diagnostic (there is no
+   AST to analyze);
+2. each declaration is then lowered individually through the standard
+   :class:`~repro.vdl.semantics.Analyzer` — a semantic error in one
+   declaration becomes a ``VDG010`` diagnostic *without* hiding
+   problems in the others;
+3. finally every enabled rule runs over the :class:`AnalysisContext`.
+
+Instrumented through the PR-1 observability layer: one
+``analysis.lint`` span per run with nested ``analysis.rule`` spans, and
+``analysis.diagnostics`` counters labelled by code, so lint activity
+shows up in ``repro stats`` and ``repro trace`` like any other
+subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    count_by_severity,
+    max_severity,
+)
+from repro.analysis.registry import RuleRegistry, default_rules
+from repro.core.types import TypeRegistry
+from repro.core.versioning import VersionRegistry
+from repro.errors import SchemaError, VDLSemanticError, VDLSyntaxError
+from repro.observability.instrument import NULL, Instrumentation
+from repro.vdl.ast import ProgramNode
+from repro.vdl.parser import parse
+from repro.vdl.semantics import Analyzer
+
+
+@dataclass
+class LintResult:
+    """Diagnostics from one lint run, plus the file they refer to."""
+
+    file: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def clean(self) -> bool:
+        """No errors and no warnings (info-only results are clean)."""
+        severity = max_severity(self.diagnostics)
+        return severity is None or severity < Severity.WARNING
+
+    def counts(self) -> dict[str, int]:
+        return count_by_severity(self.diagnostics)
+
+    def merged(self, other: "LintResult") -> "LintResult":
+        combined = LintResult(file=self.file)
+        combined.diagnostics = sorted(
+            self.diagnostics + other.diagnostics, key=Diagnostic.sort_key
+        )
+        return combined
+
+
+class Linter:
+    """Run the registered rules over VDL source, files, or a catalog."""
+
+    def __init__(
+        self,
+        registry: Optional[RuleRegistry] = None,
+        types: Optional[TypeRegistry] = None,
+        versions: Optional[VersionRegistry] = None,
+        obs: Instrumentation = NULL,
+    ):
+        self.registry = registry or default_rules()
+        self.types = types
+        self.versions = versions
+        self.obs = obs
+
+    # -- entry points ------------------------------------------------------
+
+    def lint_source(
+        self,
+        source: str,
+        file: str = "<string>",
+        catalog=None,
+    ) -> LintResult:
+        """Lint VDL text; never raises on malformed input."""
+        with self.obs.span("analysis.lint", file=file) as span:
+            result = self._lint(source, file, catalog)
+            if self.obs.enabled:
+                counts = result.counts()
+                span.set("diagnostics", len(result.diagnostics))
+                span.set("errors", counts["error"])
+                self.obs.count("analysis.runs", help="lint invocations")
+                for diag in result.diagnostics:
+                    self.obs.count(
+                        "analysis.diagnostics",
+                        help="lint findings by code",
+                        code=diag.code,
+                        severity=str(diag.severity),
+                    )
+            return result
+
+    def lint_file(self, path) -> LintResult:
+        """Lint one ``.vdl`` file from disk."""
+        import os
+
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        return self.lint_source(source, file=os.fspath(path))
+
+    def lint_catalog(self, catalog, file: str = "<workspace>") -> LintResult:
+        """Lint everything a catalog holds.
+
+        The catalog's own VDL export round-trips its definitions, so the
+        spans point into that canonical listing; dataset records, the
+        type registry and the version registry come from the catalog
+        itself (replica knowledge suppresses ``VDG403`` for datasets
+        that exist physically).
+        """
+        return self.lint_source(catalog.export_vdl(), file=file, catalog=catalog)
+
+    # -- pipeline ----------------------------------------------------------
+
+    def _lint(self, source: str, file: str, catalog) -> LintResult:
+        result = LintResult(file=file)
+        try:
+            program = parse(source)
+        except VDLSyntaxError as exc:
+            result.diagnostics.append(
+                Diagnostic(
+                    code="VDG000",
+                    severity=Severity.ERROR,
+                    message=exc.bare_message,
+                    span=Span(file=file, line=exc.line, column=exc.column),
+                    rule="parse",
+                )
+            )
+            return result
+        context = AnalysisContext(
+            program,
+            file=file,
+            types=self.types,
+            versions=self.versions,
+            catalog=catalog,
+        )
+        result.diagnostics.extend(self._semantic_pass(program, context))
+        for rule in self.registry.enabled():
+            with self.obs.span("analysis.rule", rule=rule.name):
+                result.diagnostics.extend(rule.check(context))
+        suppressed = self.registry.suppressed_codes()
+        if suppressed:
+            result.diagnostics = [
+                d for d in result.diagnostics if d.code not in suppressed
+            ]
+        result.diagnostics.sort(key=Diagnostic.sort_key)
+        return result
+
+    def _semantic_pass(self, program: ProgramNode, context) -> list[Diagnostic]:
+        """Lower each declaration alone; collect (not raise) VDG010s."""
+        analyzer = Analyzer(context.types)
+        out = []
+        for decl in program.declarations:
+            try:
+                analyzer.analyze(ProgramNode(declarations=(decl,)))
+            except VDLSemanticError as exc:
+                if "is not registered" in exc.bare_message:
+                    # Unknown type names get the finer-grained VDG106
+                    # (with the formal's own line) from the signature
+                    # rule; a second VDG010 would be noise.
+                    continue
+                out.append(
+                    Diagnostic(
+                        code="VDG010",
+                        severity=Severity.ERROR,
+                        message=exc.bare_message,
+                        span=Span(file=context.file, line=exc.line),
+                        obj=getattr(decl, "name", None),
+                        rule="semantic",
+                    )
+                )
+            except SchemaError:
+                # Lowering a versioned DV target (``tr@2.0``) trips
+                # VDPRef's name check; the version rules cover that
+                # statically, so lowering failures here are not news.
+                continue
+        return out

@@ -1,0 +1,97 @@
+"""Pluggable rule registry for the VDL linter.
+
+A rule is a plain function ``(AnalysisContext) -> Iterable[Diagnostic]``
+wrapped in a :class:`Rule` record carrying its stable metadata (the
+``VDGxxx`` codes it may emit, a short kebab-case name, a one-line
+description).  :class:`RuleRegistry` holds an ordered set of rules and
+supports suppression by rule name *or* diagnostic code, so CI can say
+``--no-rule VDG402`` or ``--no-rule dead-code`` and mean the same thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check."""
+
+    name: str
+    codes: tuple[str, ...]
+    description: str
+    check: Callable[..., Iterable[Diagnostic]]
+
+    def matches(self, token: str) -> bool:
+        """Whether a suppression token (rule name or code) targets us."""
+        return token == self.name or token.upper() in self.codes
+
+
+class RuleRegistry:
+    """Ordered, suppressible collection of lint rules."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None):
+        self._rules: list[Rule] = []
+        self._disabled: set[str] = set()
+        for r in rules or ():
+            self.register(r)
+
+    def register(self, rule: Rule) -> Rule:
+        if any(existing.name == rule.name for existing in self._rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+        return rule
+
+    def disable(self, *tokens: str) -> None:
+        """Suppress rules by name (``output-race``) or code (``VDG201``)."""
+        self._disabled.update(tokens)
+
+    def enabled(self) -> list[Rule]:
+        return [
+            r
+            for r in self._rules
+            if not any(r.matches(t) for t in self._disabled)
+        ]
+
+    def suppressed_codes(self) -> set[str]:
+        """Individual codes suppressed without disabling their whole rule."""
+        return {t.upper() for t in self._disabled if t.upper().startswith("VDG")}
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rule(self, name: str) -> Rule:
+        for r in self._rules:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+
+#: Module-level accumulator the ``@rule`` decorator feeds; consumed by
+#: :func:`default_rules`.
+_DEFAULT: list[Rule] = []
+
+
+def rule(name: str, codes: tuple[str, ...], description: str):
+    """Decorator registering a check function as a default rule."""
+
+    def wrap(fn: Callable[..., Iterable[Diagnostic]]) -> Rule:
+        record = Rule(name=name, codes=codes, description=description, check=fn)
+        _DEFAULT.append(record)
+        return record
+
+    return wrap
+
+
+def default_rules() -> RuleRegistry:
+    """A fresh registry holding every built-in rule."""
+    # Importing the module runs the @rule decorators exactly once.
+    import repro.analysis.rules  # noqa: F401
+
+    return RuleRegistry(_DEFAULT)

@@ -1,0 +1,53 @@
+"""Render lint results for humans (text) and machines (JSON).
+
+Exit-code contract (stable; CI depends on it):
+
+* ``0`` — clean: no errors, no warnings (info findings allowed);
+* ``1`` — at least one error;
+* ``2`` — warnings but no errors.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Severity, max_severity
+from repro.analysis.linter import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """GCC-style ``file:line: severity[CODE]: message`` listing."""
+    lines = [d.render() for d in result.diagnostics]
+    counts = result.counts()
+    total = len(result.diagnostics)
+    if total == 0:
+        summary = f"{result.file}: clean (0 diagnostics)"
+    else:
+        parts = [
+            f"{counts[key]} {key}{'s' if counts[key] != 1 else ''}"
+            for key in ("error", "warning", "info")
+            if counts[key]
+        ]
+        summary = f"{result.file}: {', '.join(parts)}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """A single JSON document: diagnostics plus a summary block."""
+    payload = {
+        "file": result.file,
+        "diagnostics": [d.as_dict() for d in result.diagnostics],
+        "summary": result.counts(),
+        "exit_code": exit_code(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def exit_code(result: LintResult) -> int:
+    severity = max_severity(result.diagnostics)
+    if severity is None or severity < Severity.WARNING:
+        return 0
+    if severity >= Severity.ERROR:
+        return 1
+    return 2

@@ -1,0 +1,605 @@
+"""Built-in lint rules.
+
+Each rule is a whole-program check the one-pass
+:class:`~repro.vdl.semantics.Analyzer` cannot (or deliberately does
+not) perform: signature conformance across TR/DV pairs, static output
+races, cycles in the derivation graph, dead code, and version-algebra
+checks.  Rules register themselves via the ``@rule`` decorator; the code
+table is documented in ``docs/LINTING.md``.
+
+Severity policy: findings that would make planning or execution fail
+(or silently corrupt data, as output races do) are errors; likely
+mistakes that still plan are warnings; stylistic/informational notes
+(a dataset consumed but never produced may simply live on the grid
+already) are info.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import AnalysisContext, DVInfo, split_target
+from repro.analysis.diagnostics import Diagnostic, Severity, Span
+from repro.analysis.registry import rule
+from repro.core.versioning import Version
+from repro.errors import SchemaError
+from repro.vdl.ast import FormalRefNode
+
+
+def _span(ctx: AnalysisContext, line: int) -> Span:
+    return Span(file=ctx.file, line=line)
+
+
+# -- signature conformance (VDG00x / VDG10x) ---------------------------------
+
+
+@rule(
+    "duplicate-transformation",
+    ("VDG001",),
+    "the same transformation name@version is declared more than once",
+)
+def check_duplicate_transformations(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for name, decls in ctx.trs.items():
+        seen: dict[str, int] = {}
+        for tr in decls:
+            if tr.version in seen:
+                yield Diagnostic(
+                    code="VDG001",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"transformation {name!r} version {tr.version} is "
+                        f"already declared at line {seen[tr.version]}"
+                    ),
+                    span=_span(ctx, tr.line),
+                    obj=name,
+                    rule="duplicate-transformation",
+                )
+            else:
+                seen[tr.version] = tr.line
+
+
+@rule(
+    "unknown-transformation",
+    ("VDG002",),
+    "a derivation or call targets a transformation that is not declared "
+    "in the program or catalog",
+)
+def check_unknown_transformations(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for dv in ctx.dvs:
+        if dv.is_remote:
+            continue  # cross-catalog callee; resolution happens at plan time
+        if ctx.resolve_tr(dv.target) is None:
+            yield Diagnostic(
+                code="VDG002",
+                severity=Severity.ERROR,
+                message=(
+                    f"DV {dv.name!r} targets unknown transformation "
+                    f"{dv.target!r}"
+                ),
+                span=_span(ctx, dv.line),
+                obj=dv.name,
+                rule="unknown-transformation",
+            )
+    for trs in ctx.trs.values():
+        for tr in trs:
+            for call in tr.calls:
+                target = call.target
+                if target.startswith("vdp://"):
+                    continue
+                if ctx.resolve_tr(target) is None:
+                    yield Diagnostic(
+                        code="VDG002",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"TR {tr.name!r} calls unknown transformation "
+                            f"{target!r}"
+                        ),
+                        span=_span(ctx, call.line or tr.line),
+                        obj=tr.name,
+                        rule="unknown-transformation",
+                    )
+
+
+@rule(
+    "signature-conformance",
+    ("VDG101", "VDG102", "VDG103", "VDG104", "VDG105", "VDG106"),
+    "derivation actuals must match the target signature in name, "
+    "arity, kind, direction, and dataset type",
+)
+def check_signatures(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for tr_name, line, message in ctx.type_issues:
+        yield Diagnostic(
+            code="VDG106",
+            severity=Severity.ERROR,
+            message=f"TR {tr_name!r}: {message}",
+            span=_span(ctx, line),
+            obj=tr_name,
+            rule="signature-conformance",
+        )
+    for dv in ctx.dvs:
+        tr = ctx.resolve_tr(dv.target)
+        if tr is None:
+            continue  # VDG002's problem
+        bound = set()
+        for actual in dv.actuals:
+            formal = tr.formal(actual.name)
+            if formal is None:
+                yield Diagnostic(
+                    code="VDG101",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"DV {dv.name!r} binds unknown formal {actual.name!r} "
+                        f"of TR {tr.name!r}"
+                    ),
+                    span=_span(ctx, actual.line),
+                    obj=dv.name,
+                    rule="signature-conformance",
+                )
+                continue
+            bound.add(actual.name)
+            if formal.is_string != (not actual.is_dataset):
+                expected = "a string literal" if formal.is_string else "an @{...} dataset"
+                got = "a dataset reference" if actual.is_dataset else "a string"
+                yield Diagnostic(
+                    code="VDG104",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"DV {dv.name!r}: formal {actual.name!r} of TR "
+                        f"{tr.name!r} takes {expected}, got {got}"
+                    ),
+                    span=_span(ctx, actual.line),
+                    obj=dv.name,
+                    rule="signature-conformance",
+                )
+                continue
+            if actual.is_dataset:
+                if (
+                    formal.direction != "inout"
+                    and actual.direction != formal.direction
+                ):
+                    yield Diagnostic(
+                        code="VDG103",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"DV {dv.name!r}: formal {actual.name!r} of TR "
+                            f"{tr.name!r} is {formal.direction!r}, bound as "
+                            f"{actual.direction!r}"
+                        ),
+                        span=_span(ctx, actual.line),
+                        obj=dv.name,
+                        rule="signature-conformance",
+                    )
+                yield from _check_types(ctx, dv, tr, actual, formal)
+        for formal in tr.formals:
+            if formal.name not in bound and not formal.has_default:
+                yield Diagnostic(
+                    code="VDG102",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"DV {dv.name!r} does not bind required formal "
+                        f"{formal.name!r} of TR {tr.name!r}"
+                    ),
+                    span=_span(ctx, dv.line),
+                    obj=dv.name,
+                    rule="signature-conformance",
+                )
+
+
+def _check_types(ctx, dv, tr, actual, formal) -> Iterator[Diagnostic]:
+    """VDG105: the LFN's inferred types must conform to the formal union."""
+    if formal.types is None:
+        return
+    inferred = ctx.lfn_types(actual.lfn)
+    if not inferred:
+        return
+    # One conforming candidate suffices: inference is a may-analysis,
+    # and an output binding's own declaration is always a candidate.
+    registry = ctx.types
+    conforming = [
+        t
+        for t in inferred
+        if registry.conforms_to_any(t, formal.types.members)
+    ]
+    if conforming:
+        return
+    yield Diagnostic(
+        code="VDG105",
+        severity=Severity.ERROR,
+        message=(
+            f"DV {dv.name!r}: dataset {actual.lfn!r} has type "
+            f"{'|'.join(str(t) for t in inferred)}, but formal "
+            f"{actual.name!r} of TR {tr.name!r} requires {formal.types}"
+        ),
+        span=_span(ctx, actual.line),
+        obj=dv.name,
+        rule="signature-conformance",
+    )
+
+
+# -- output races (VDG20x) ---------------------------------------------------
+
+
+@rule(
+    "output-race",
+    ("VDG201", "VDG202", "VDG203"),
+    "two producers write the same logical file, or an in-place update "
+    "aliases a dataset consumed elsewhere",
+)
+def check_output_races(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for lfn, bindings in sorted(ctx.writers.items()):
+        pure_outputs = [
+            (dv, actual)
+            for dv, actual in bindings
+            if actual.direction == "output"
+        ]
+        if len(pure_outputs) > 1:
+            first_dv, first = pure_outputs[0]
+            for dv, actual in pure_outputs[1:]:
+                yield Diagnostic(
+                    code="VDG201",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"dataset {lfn!r} is produced by DV {dv.name!r} "
+                        f"and by DV {first_dv.name!r} (line {first.line}); "
+                        f"materialization order would be nondeterministic"
+                    ),
+                    span=_span(ctx, actual.line),
+                    obj=lfn,
+                    rule="output-race",
+                )
+        inouts = [
+            (dv, actual)
+            for dv, actual in bindings
+            if actual.direction == "inout"
+        ]
+        for dv, actual in inouts:
+            others = [
+                (other_dv, other)
+                for other_dv, other in (
+                    ctx.readers.get(lfn, []) + ctx.writers.get(lfn, [])
+                )
+                if other_dv is not dv
+            ]
+            if others:
+                other_dv, _ = others[0]
+                yield Diagnostic(
+                    code="VDG203",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"DV {dv.name!r} updates {lfn!r} in place (inout) "
+                        f"while DV {other_dv.name!r} also uses it; results "
+                        f"depend on execution order"
+                    ),
+                    span=_span(ctx, actual.line),
+                    obj=lfn,
+                    rule="output-race",
+                )
+    yield from _check_compound_races(ctx)
+
+
+def _check_compound_races(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """VDG202: two calls in one compound body write the same sink.
+
+    A *sink* is either a parent formal (bound by reference) or a literal
+    LFN.  Callee formal directions come from the resolved signature;
+    unresolvable callees are skipped (VDG002 reports those).
+    """
+    for trs in ctx.trs.values():
+        for tr in trs:
+            if not tr.is_compound:
+                continue
+            sinks: dict[str, tuple[str, int]] = {}
+            for call in tr.calls:
+                callee = ctx.resolve_tr(call.target)
+                if callee is None:
+                    continue
+                for name, value, line in call.bindings:
+                    callee_formal = callee.formal(name)
+                    if callee_formal is None:
+                        continue
+                    if callee_formal.direction not in ("output", "inout"):
+                        continue
+                    if isinstance(value, FormalRefNode):
+                        sink = f"${value.name}"
+                    else:
+                        sink = str(value)
+                    if sink in sinks:
+                        prev_target, prev_line = sinks[sink]
+                        yield Diagnostic(
+                            code="VDG202",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"TR {tr.name!r}: calls to "
+                                f"{call.target!r} and {prev_target!r} "
+                                f"(line {prev_line}) both write "
+                                f"{sink.lstrip('$')!r}"
+                            ),
+                            span=_span(ctx, line or call.line or tr.line),
+                            obj=tr.name,
+                            rule="output-race",
+                        )
+                    else:
+                        sinks[sink] = (call.target, line or call.line)
+
+
+# -- derivation-graph cycles (VDG301) ----------------------------------------
+
+
+@rule(
+    "derivation-cycle",
+    ("VDG301",),
+    "the derivation graph contains a dependency cycle, so no "
+    "materialization order exists",
+)
+def check_cycles(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    # Self-cycles: one DV both consumes and produces an LFN via
+    # separate input/output actuals (inout is a legitimate in-place
+    # update, handled by VDG203).
+    for dv in ctx.dvs:
+        reads = {a.lfn for a in dv.dataset_actuals() if a.direction == "input"}
+        writes = [a for a in dv.dataset_actuals() if a.direction == "output"]
+        for actual in writes:
+            if actual.lfn in reads:
+                yield Diagnostic(
+                    code="VDG301",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"DV {dv.name!r} both consumes and produces "
+                        f"{actual.lfn!r}; the derivation depends on itself"
+                    ),
+                    span=_span(ctx, actual.line),
+                    obj=dv.name,
+                    rule="derivation-cycle",
+                )
+    # Cross-DV cycles: edge A -> B when an output of A is an input of B.
+    producers: dict[str, list[DVInfo]] = {}
+    for dv in ctx.dvs:
+        for actual in dv.writes():
+            producers.setdefault(actual.lfn, []).append(dv)
+    edges: dict[str, set[str]] = {dv.name: set() for dv in ctx.dvs}
+    by_name = {dv.name: dv for dv in ctx.dvs}
+    for dv in ctx.dvs:
+        for actual in dv.reads():
+            for producer in producers.get(actual.lfn, ()):
+                if producer.name != dv.name:
+                    edges[producer.name].add(dv.name)
+    for scc in _tarjan_sccs(edges):
+        if len(scc) < 2:
+            continue
+        members = sorted(scc)
+        anchor = min(members, key=lambda n: by_name[n].line)
+        yield Diagnostic(
+            code="VDG301",
+            severity=Severity.ERROR,
+            message=(
+                f"derivation cycle: {' -> '.join(members)} -> {members[0]}; "
+                f"no materialization order exists"
+            ),
+            span=_span(ctx, by_name[anchor].line),
+            obj=anchor,
+            rule="derivation-cycle",
+        )
+
+
+def _tarjan_sccs(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(edges[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+# -- dead code (VDG40x) ------------------------------------------------------
+
+
+@rule(
+    "dead-code",
+    ("VDG401", "VDG402", "VDG403", "VDG404"),
+    "unused formals, never-invoked transformations, datasets consumed "
+    "but never produced, and shadowed derivation names",
+)
+def check_dead_code(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    # VDG401 — unused formals.  For simple TRs only string (pass-by-
+    # value) formals are suspect: an unreferenced dataset formal still
+    # drives staging and dependency wiring.  In a compound TR a formal
+    # of any kind that is never bound into a call is dead.
+    for trs in ctx.trs.values():
+        for tr in trs:
+            for formal in tr.formals:
+                if formal.name in tr.referenced:
+                    continue
+                if not tr.is_compound and not formal.is_string:
+                    continue
+                where = "any call" if tr.is_compound else "any template"
+                yield Diagnostic(
+                    code="VDG401",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"TR {tr.name!r}: formal {formal.name!r} is never "
+                        f"referenced in {where}"
+                    ),
+                    span=_span(ctx, formal.line or tr.line),
+                    obj=tr.name,
+                    rule="dead-code",
+                )
+    # VDG402 — never-called transformations.
+    called: set[str] = set()
+    for dv in ctx.dvs:
+        called.add(split_target(dv.target)[0])
+    for trs in ctx.trs.values():
+        for tr in trs:
+            for call in tr.calls:
+                called.add(split_target(call.target)[0])
+    for name, trs in sorted(ctx.trs.items()):
+        if name in called:
+            continue
+        tr = trs[0]
+        yield Diagnostic(
+            code="VDG402",
+            severity=Severity.WARNING,
+            message=(
+                f"transformation {name!r} is never the target of a "
+                f"derivation or a compound call"
+            ),
+            span=_span(ctx, tr.line),
+            obj=name,
+            rule="dead-code",
+        )
+    # VDG403 — datasets consumed but never produced anywhere, and with
+    # no physical copy known to the catalog.  Info, not warning: raw
+    # inputs (instrument data) legitimately have no producing DV.
+    for lfn, bindings in sorted(ctx.readers.items()):
+        if lfn in ctx.writers:
+            continue
+        if ctx.is_materialized(lfn):
+            continue
+        dv, actual = bindings[0]
+        yield Diagnostic(
+            code="VDG403",
+            severity=Severity.INFO,
+            message=(
+                f"dataset {lfn!r} is consumed (by DV {dv.name!r}) but no "
+                f"derivation produces it and no replica is known"
+            ),
+            span=_span(ctx, actual.line),
+            obj=lfn,
+            rule="dead-code",
+        )
+    # VDG404 — shadowed derivation names.
+    seen: dict[str, DVInfo] = {}
+    for dv in ctx.dvs:
+        if dv.name in seen:
+            yield Diagnostic(
+                code="VDG404",
+                severity=Severity.WARNING,
+                message=(
+                    f"DV {dv.name!r} shadows an earlier derivation of the "
+                    f"same name (line {seen[dv.name].line})"
+                ),
+                span=_span(ctx, dv.line),
+                obj=dv.name,
+                rule="dead-code",
+            )
+        else:
+            seen[dv.name] = dv
+
+
+# -- versioning (VDG50x) -----------------------------------------------------
+
+
+@rule(
+    "versioning",
+    ("VDG501", "VDG502"),
+    "version strings must parse, and versioned targets must match a "
+    "declared or compatibility-asserted version",
+)
+def check_versions(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for trs in ctx.trs.values():
+        for tr in trs:
+            try:
+                Version.parse(tr.version)
+            except SchemaError:
+                yield Diagnostic(
+                    code="VDG501",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"TR {tr.name!r} declares invalid version "
+                        f"{tr.version!r}"
+                    ),
+                    span=_span(ctx, tr.line),
+                    obj=tr.name,
+                    rule="versioning",
+                )
+    for dv in ctx.dvs:
+        if dv.is_remote:
+            continue
+        name, wanted = split_target(dv.target)
+        if wanted is None:
+            continue
+        try:
+            Version.parse(wanted)
+        except SchemaError:
+            yield Diagnostic(
+                code="VDG501",
+                severity=Severity.ERROR,
+                message=(
+                    f"DV {dv.name!r} requests invalid version {wanted!r} "
+                    f"of TR {name!r}"
+                ),
+                span=_span(ctx, dv.line),
+                obj=dv.name,
+                rule="versioning",
+            )
+            continue
+        declared = ctx.trs.get(name)
+        if not declared:
+            continue  # unknown TR handled by VDG002
+        available = []
+        for tr in declared:
+            try:
+                available.append(Version.parse(tr.version))
+            except SchemaError:
+                continue
+        if not available:
+            continue
+        wanted_v = Version.parse(wanted)
+        if wanted_v in available:
+            continue
+        if any(
+            ctx.versions.equivalent(name, wanted_v, v) for v in available
+        ):
+            continue
+        yield Diagnostic(
+            code="VDG502",
+            severity=Severity.WARNING,
+            message=(
+                f"DV {dv.name!r} requests version {wanted} of TR {name!r}, "
+                f"but only {', '.join(str(v) for v in sorted(available))} "
+                f"{'is' if len(available) == 1 else 'are'} declared and no "
+                f"compatibility assertion covers {wanted}"
+            ),
+            span=_span(ctx, dv.line),
+            obj=dv.name,
+            rule="versioning",
+        )

@@ -6,6 +6,7 @@ dependencies and those for tracking code ... e.g., 'make'", §8)::
 
     python -m repro init
     python -m repro define pipeline.vdl
+    python -m repro lint pipeline.vdl   # or bare: lint the workspace
     python -m repro list derivations
     python -m repro plan result.dat
     python -m repro materialize result.dat
@@ -35,7 +36,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.catalog.filetree import FileTreeCatalog
-from repro.errors import VirtualDataError
+from repro.errors import VDLSemanticError, VDLSyntaxError, VirtualDataError
 from repro.executor.local import LocalExecutor
 from repro.observability import (
     Instrumentation,
@@ -105,10 +106,43 @@ def _cmd_define(ws: Workspace, args, out) -> int:
     source = Path(args.file).read_text()
     catalog = ws.catalog()
     before = catalog.counts()
-    catalog.define(source, replace=args.replace)
+    try:
+        catalog.define(source, replace=args.replace)
+    except (VDLSyntaxError, VDLSemanticError) as exc:
+        # Front-end errors carry positions: render them compiler-style.
+        location = f"{args.file}:{exc.line}" if exc.line else args.file
+        out(f"{location}: error: {exc.bare_message}")
+        return 1
     after = catalog.counts()
     added = {k: after[k] - before[k] for k in after if after[k] != before[k]}
     out(f"defined {added or 'nothing new'} from {args.file}")
+    return 0
+
+
+def _cmd_lint(ws: Workspace, args, out) -> int:
+    """Whole-program static analysis (``docs/LINTING.md`` has the codes)."""
+    from repro.analysis import Linter, default_rules
+    from repro.analysis.reporters import exit_code, render_json, render_text
+
+    registry = default_rules()
+    if args.no_rule:
+        registry.disable(*args.no_rule)
+    obs = Instrumentation()
+    linter = Linter(registry=registry, obs=obs)
+    if args.files:
+        results = [linter.lint_file(path) for path in args.files]
+    else:
+        results = [linter.lint_catalog(ws.catalog())]
+    if ws.exists:
+        ws.save_snapshot(obs)
+    render = render_json if args.format == "json" else render_text
+    for result in results:
+        out(render(result))
+    codes = [exit_code(r) for r in results]
+    if 1 in codes:
+        return 1
+    if 2 in codes:
+        return 2
     return 0
 
 
@@ -141,6 +175,18 @@ def _cmd_plan(ws: Workspace, args, out) -> int:
     from repro.planner.request import MaterializationRequest
 
     catalog = ws.catalog()
+    if args.strict:
+        from repro.analysis import Linter
+
+        result = Linter().lint_catalog(catalog)
+        if result.errors:
+            for diag in result.errors:
+                out(diag.render())
+            out(
+                f"plan aborted: {len(result.errors)} lint error(s) in the "
+                f"catalog (run 'lint' for details, or drop --strict)"
+            )
+            return 1
     executor = ws.executor()
     planner = Planner(catalog, has_replica=executor.is_materialized)
     plan = planner.plan(
@@ -292,6 +338,24 @@ def build_parser() -> argparse.ArgumentParser:
     define.add_argument("--replace", action="store_true")
     define.set_defaults(fn=_cmd_define)
 
+    lint = sub.add_parser(
+        "lint", help="static analysis of VDL files or the workspace"
+    )
+    lint.add_argument(
+        "files",
+        nargs="*",
+        help="VDL files to lint (default: the workspace catalog)",
+    )
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument(
+        "--no-rule",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="suppress a rule name (output-race) or code (VDG201); repeatable",
+    )
+    lint.set_defaults(fn=_cmd_lint)
+
     lister = sub.add_parser("list", help="list catalog objects")
     lister.add_argument(
         "kind",
@@ -303,6 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("dataset")
     plan.add_argument("--reuse", default="always",
                       choices=("never", "always", "cost"))
+    plan.add_argument(
+        "--strict",
+        action="store_true",
+        help="lint the catalog first; abort on any error-level finding",
+    )
     plan.set_defaults(fn=_cmd_plan)
 
     mat = sub.add_parser("materialize", help="produce a dataset")

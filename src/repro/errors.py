@@ -39,18 +39,32 @@ class VDLError(VirtualDataError):
 class VDLSyntaxError(VDLError):
     """Lexical or grammatical error in VDL source text.
 
-    Carries ``line`` and ``column`` (1-based) of the offending token.
+    Carries ``line`` and ``column`` (1-based) of the offending token,
+    plus the location-free ``bare_message`` so front-ends can render
+    ``file.vdl:12: message`` themselves.
     """
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         location = f" at line {line}, column {column}" if line else ""
         super().__init__(f"{message}{location}")
+        self.bare_message = message
         self.line = line
         self.column = column
 
 
 class VDLSemanticError(VDLError):
-    """Well-formed VDL that violates semantic rules (types, arity, scope)."""
+    """Well-formed VDL that violates semantic rules (types, arity, scope).
+
+    Like :class:`VDLSyntaxError`, carries ``line``/``column`` (0 when
+    unknown) and the location-free ``bare_message``.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.bare_message = message
+        self.line = line
+        self.column = column
 
 
 class CatalogError(VirtualDataError):
@@ -105,7 +119,17 @@ class PlanningError(VirtualDataError):
     """The planner could not construct a feasible plan."""
 
 
-class CyclicDerivationError(PlanningError):
+class CycleError(PlanningError):
+    """A dependency graph that must be acyclic contains a cycle.
+
+    Raised by :meth:`repro.planner.dag.Plan.topological_order` and
+    :meth:`repro.planner.dag.Plan.depth` instead of hanging or blowing
+    the recursion limit, and matches what the static cycle rule
+    (``VDG301`` in :mod:`repro.analysis`) reports before planning.
+    """
+
+
+class CyclicDerivationError(CycleError):
     """The derivation graph required for a request contains a cycle."""
 
 

@@ -30,7 +30,12 @@ from repro.core.transformation import (
     FormalRef,
     SimpleTransformation,
 )
-from repro.errors import CyclicDerivationError, PlanningError, UnderivableError
+from repro.errors import (
+    CycleError,
+    CyclicDerivationError,
+    PlanningError,
+    UnderivableError,
+)
 from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.request import MaterializationRequest
 from repro.provenance.graph import DerivationGraph
@@ -82,14 +87,20 @@ class Plan:
         )
 
     def topological_order(self) -> list[str]:
-        """Step names in a valid execution order."""
+        """Step names in a valid execution order.
+
+        Raises :class:`~repro.errors.CyclicDerivationError` (a
+        :class:`~repro.errors.CycleError`) naming the steps stuck on a
+        cycle, matching what the static ``VDG301`` rule reports.
+        """
         done: set[str] = set()
         order: list[str] = []
         while len(done) < len(self.steps):
             ready = self.ready_steps(done)
             if not ready:
+                stuck = sorted(set(self.steps) - done)
                 raise CyclicDerivationError(
-                    "plan contains a dependency cycle"
+                    f"plan contains a dependency cycle involving: {stuck[:6]}"
                 )
             order.extend(ready)
             done.update(ready)
@@ -108,17 +119,49 @@ class Plan:
         return best
 
     def depth(self) -> int:
-        """Length of the longest dependency chain."""
+        """Length of the longest dependency chain.
+
+        Iterative (no recursion limit on deep plans) and cycle-safe:
+        raises :class:`~repro.errors.CycleError` instead of recursing
+        forever when handed a cyclic dependency map.
+        """
         memo: dict[str, int] = {}
-
-        def chain(name: str) -> int:
-            if name not in memo:
+        on_stack: set[str] = set()
+        for root in self.steps:
+            if root in memo:
+                continue
+            stack: list[str] = [root]
+            while stack:
+                name = stack[-1]
+                if name in memo:
+                    stack.pop()
+                    on_stack.discard(name)
+                    continue
+                pending = [
+                    d
+                    for d in self.dependencies.get(name, ())
+                    if d not in memo and d in self.steps
+                ]
+                cyclic = [d for d in pending if d in on_stack]
+                if cyclic:
+                    raise CycleError(
+                        f"plan dependency cycle through step {cyclic[0]!r}"
+                    )
+                if pending:
+                    on_stack.add(name)
+                    stack.extend(pending)
+                    continue
                 memo[name] = 1 + max(
-                    (chain(d) for d in self.dependencies[name]), default=0
+                    (
+                        memo[d]
+                        for d in self.dependencies.get(name, ())
+                        if d in memo
+                    ),
+                    default=0,
                 )
-            return memo[name]
-
-        return max((chain(n) for n in self.steps), default=0)
+                stack.pop()
+                on_stack.discard(name)
+        return max(memo.values(), default=0)
 
     def producers(self) -> dict[str, str]:
         """Dataset name -> producing step name."""

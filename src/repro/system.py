@@ -144,6 +144,19 @@ class VirtualDataSystem:
             self.catalog.define(vdl_source, replace=replace)
         return self
 
+    def lint(self, source: Optional[str] = None):
+        """Statically analyze VDL ``source``, or the whole catalog.
+
+        Returns a :class:`repro.analysis.LintResult`; see
+        ``docs/LINTING.md`` for the diagnostic codes.
+        """
+        from repro.analysis import Linter
+
+        linter = Linter(obs=self.obs)
+        if source is None:
+            return linter.lint_catalog(self.catalog)
+        return linter.lint_source(source, catalog=self.catalog)
+
     def seed_dataset(self, name: str, site: str, size: int) -> None:
         """Place a raw source dataset on the grid (and in the catalog)."""
         self._require_grid()

@@ -43,7 +43,7 @@ from repro.core.types import (
     TypeUnion,
     default_registry,
 )
-from repro.errors import VDLSemanticError
+from repro.errors import UnknownTypeError, VDLSemanticError
 from repro.vdl.ast import (
     ArgumentStmtNode,
     CallStmtNode,
@@ -57,6 +57,39 @@ from repro.vdl.ast import (
     TransformationDeclNode,
     TypeExprNode,
 )
+
+
+def resolve_type_triple(
+    registry: TypeRegistry, content: str, fmt: str, enc: str
+) -> DatasetType:
+    """Resolve one ``content/format/encoding`` triple against a registry.
+
+    A ``-`` component means "dimension root"; the single-name form
+    (``fmt == enc == "-"``) searches every dimension for the name.
+    Raises :class:`~repro.errors.UnknownTypeError` on unregistered
+    names.  Shared by the analyzer and :mod:`repro.analysis`.
+    """
+    if fmt == "-" and enc == "-":
+        # Single-name form: find which dimension knows the name.
+        for dim in DIMENSIONS:
+            if registry.knows(dim, content):
+                kwargs = {d: DIMENSION_ROOTS[d] for d in DIMENSIONS}
+                kwargs[dim] = content
+                return DatasetType(**kwargs)
+        raise UnknownTypeError(
+            f"type name {content!r} is not registered in any dimension"
+        )
+    resolved = {}
+    for dim, name in (("content", content), ("format", fmt), ("encoding", enc)):
+        if name == "-":
+            resolved[dim] = DIMENSION_ROOTS[dim]
+            continue
+        if not registry.knows(dim, name):
+            raise UnknownTypeError(
+                f"type name {name!r} is not registered in dimension {dim!r}"
+            )
+        resolved[dim] = name
+    return DatasetType(**resolved)
 
 
 class ProgramObjects:
@@ -107,9 +140,10 @@ class Analyzer:
         )
         if has_calls and has_simple:
             raise VDLSemanticError(
-                f"TR {decl.name!r} (line {decl.line}) mixes call statements "
-                f"with argument/exec/env statements; a transformation is "
-                f"either simple or compound"
+                f"TR {decl.name!r} mixes call statements with "
+                f"argument/exec/env statements; a transformation is "
+                f"either simple or compound",
+                line=decl.line,
             )
         version = decl.version or "1.0"
         formal_dirs = {f.name: f.direction for f in formals}
@@ -134,20 +168,23 @@ class Analyzer:
                 if not isinstance(node.default, str):
                     raise VDLSemanticError(
                         f"TR {decl.name!r}: string formal {node.name!r} "
-                        f"default must be a string literal"
+                        f"default must be a string literal",
+                        line=node.line,
                     )
                 default = node.default
             else:
                 if not isinstance(node.default, DatasetRefNode):
                     raise VDLSemanticError(
                         f"TR {decl.name!r}: dataset formal {node.name!r} "
-                        f"default must be an @{{...}} reference"
+                        f"default must be an @{{...}} reference",
+                        line=node.line,
                     )
                 if node.default.direction != node.direction:
                     raise VDLSemanticError(
                         f"TR {decl.name!r}: default of {node.name!r} has "
                         f"direction {node.default.direction!r}, formal is "
-                        f"{node.direction!r}"
+                        f"{node.direction!r}",
+                        line=node.line,
                     )
                 default = node.default.lfn
                 temporary = node.default.temporary
@@ -175,29 +212,12 @@ class Analyzer:
     def _resolve_triple(
         self, decl: TransformationDeclNode, content: str, fmt: str, enc: str
     ) -> DatasetType:
-        if fmt == "-" and enc == "-":
-            # Single-name form: find which dimension knows the name.
-            for dim in DIMENSIONS:
-                if self._registry.knows(dim, content):
-                    kwargs = {d: DIMENSION_ROOTS[d] for d in DIMENSIONS}
-                    kwargs[dim] = content
-                    return DatasetType(**kwargs)
+        try:
+            return resolve_type_triple(self._registry, content, fmt, enc)
+        except UnknownTypeError as exc:
             raise VDLSemanticError(
-                f"TR {decl.name!r}: type name {content!r} is not registered "
-                f"in any dimension"
-            )
-        resolved = {}
-        for dim, name in (("content", content), ("format", fmt), ("encoding", enc)):
-            if name == "-":
-                resolved[dim] = DIMENSION_ROOTS[dim]
-                continue
-            if not self._registry.knows(dim, name):
-                raise VDLSemanticError(
-                    f"TR {decl.name!r}: type name {name!r} is not registered "
-                    f"in dimension {dim!r}"
-                )
-            resolved[dim] = name
-        return DatasetType(**resolved)
+                f"TR {decl.name!r}: {exc}", line=decl.line
+            ) from None
 
     def _simple(
         self,
@@ -214,7 +234,8 @@ class Analyzer:
             if isinstance(stmt, ExecStmtNode):
                 if executable:
                     raise VDLSemanticError(
-                        f"TR {decl.name!r}: multiple exec statements"
+                        f"TR {decl.name!r}: multiple exec statements",
+                        line=stmt.line,
                     )
                 executable = stmt.path
             elif isinstance(stmt, ArgumentStmtNode):
@@ -231,8 +252,9 @@ class Analyzer:
             executable = profile_hints.get("hints.pfnHint", "")
         if not executable:
             raise VDLSemanticError(
-                f"TR {decl.name!r} (line {decl.line}): simple transformation "
-                f"requires an exec statement or a hints.pfnHint profile"
+                f"TR {decl.name!r}: simple transformation requires an exec "
+                f"statement or a hints.pfnHint profile",
+                line=decl.line,
             )
         return SimpleTransformation(
             name=decl.name,
@@ -268,8 +290,9 @@ class Analyzer:
         declared = formal_dirs.get(ref.name)
         if declared is None:
             raise VDLSemanticError(
-                f"TR {decl.name!r} (line {ref.line}): ${{...}} references "
-                f"undeclared formal {ref.name!r}"
+                f"TR {decl.name!r}: ${{...}} references undeclared formal "
+                f"{ref.name!r}",
+                line=ref.line,
             )
         if ref.direction is None:
             return
@@ -279,8 +302,9 @@ class Analyzer:
         elif ref.direction == declared:
             return
         raise VDLSemanticError(
-            f"TR {decl.name!r} (line {ref.line}): formal {ref.name!r} is "
-            f"{declared!r} but referenced as {ref.direction!r}"
+            f"TR {decl.name!r}: formal {ref.name!r} is {declared!r} but "
+            f"referenced as {ref.direction!r}",
+            line=ref.line,
         )
 
     def _call(
@@ -310,8 +334,8 @@ class Analyzer:
         for name, value in decl.actuals:
             if name in actuals:
                 raise VDLSemanticError(
-                    f"DV {decl.name!r} (line {decl.line}): duplicate actual "
-                    f"{name!r}"
+                    f"DV {decl.name!r}: duplicate actual {name!r}",
+                    line=decl.line,
                 )
             if isinstance(value, DatasetRefNode):
                 actuals[name] = DatasetArg(

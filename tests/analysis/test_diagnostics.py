@@ -1,0 +1,103 @@
+"""Tests for the diagnostic primitives (Severity, Span, Diagnostic)."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    count_by_severity,
+    max_severity,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+        assert str(Severity.INFO) == "info"
+
+    def test_parse_round_trips(self):
+        for severity in Severity:
+            assert Severity.parse(str(severity)) is severity
+
+    def test_parse_is_case_insensitive(self):
+        assert Severity.parse("ERROR") is Severity.ERROR
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestSpan:
+    def test_file_line(self):
+        assert str(Span(file="p.vdl", line=12)) == "p.vdl:12"
+
+    def test_file_line_column(self):
+        assert str(Span(file="p.vdl", line=12, column=3)) == "p.vdl:12:3"
+
+    def test_unknown_position_renders_file_only(self):
+        assert str(Span(file="p.vdl")) == "p.vdl"
+
+
+class TestDiagnostic:
+    def _diag(self, **kw):
+        base = dict(
+            code="VDG201",
+            severity=Severity.ERROR,
+            message="two producers",
+            span=Span(file="p.vdl", line=4),
+            obj="out.dat",
+            rule="output-race",
+        )
+        base.update(kw)
+        return Diagnostic(**base)
+
+    def test_render(self):
+        assert self._diag().render() == "p.vdl:4: error[VDG201]: two producers"
+
+    def test_as_dict(self):
+        d = self._diag().as_dict()
+        assert d["code"] == "VDG201"
+        assert d["severity"] == "error"
+        assert d["file"] == "p.vdl"
+        assert d["line"] == 4
+        assert d["object"] == "out.dat"
+        assert d["rule"] == "output-race"
+
+    def test_sort_key_orders_by_file_then_line(self):
+        a = self._diag(span=Span(file="a.vdl", line=9))
+        b = self._diag(span=Span(file="b.vdl", line=1))
+        c = self._diag(span=Span(file="a.vdl", line=2))
+        assert sorted([a, b, c], key=Diagnostic.sort_key) == [c, a, b]
+
+
+class TestAggregates:
+    def test_max_severity_empty(self):
+        assert max_severity([]) is None
+
+    def test_max_severity(self):
+        diags = [
+            Diagnostic("VDG403", Severity.INFO, "x"),
+            Diagnostic("VDG401", Severity.WARNING, "y"),
+        ]
+        assert max_severity(diags) is Severity.WARNING
+
+    def test_count_by_severity_always_has_all_keys(self):
+        counts = count_by_severity([])
+        assert counts == {"info": 0, "warning": 0, "error": 0}
+
+    def test_count_by_severity(self):
+        diags = [
+            Diagnostic("VDG201", Severity.ERROR, "a"),
+            Diagnostic("VDG201", Severity.ERROR, "b"),
+            Diagnostic("VDG403", Severity.INFO, "c"),
+        ]
+        assert count_by_severity(diags) == {
+            "error": 2,
+            "warning": 0,
+            "info": 1,
+        }

@@ -1,0 +1,183 @@
+"""End-to-end tests for ``repro lint``, ``plan --strict``, and the
+positioned front-end errors in ``define``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_VDL = """
+TR copy( output o, input i ) {
+  argument = ${input:i}" "${output:o};
+  exec = "/bin/cp";
+}
+TR emit( output o ) {
+  argument stdout = ${output:o};
+  argument msg = "hello-vdg";
+  exec = "/bin/echo";
+}
+DV e1->emit( o=@{output:"seed.txt"} );
+DV c1->copy( o=@{output:"copy.txt"}, i=@{input:"seed.txt"} );
+"""
+
+RACY_VDL = CLEAN_VDL + """
+DV c2->copy( o=@{output:"copy.txt"}, i=@{input:"seed.txt"} );
+"""
+
+WARN_VDL = """
+TR emit( output o, none tag="x" ) {
+  argument stdout = ${output:o};
+  exec = "/bin/echo";
+}
+DV e1->emit( o=@{output:"seed.txt"} );
+"""
+
+
+@pytest.fixture
+def run(tmp_path):
+    workspace = tmp_path / "ws"
+
+    def invoke(*argv):
+        lines = []
+        code = main(
+            ["--workspace", str(workspace), *argv],
+            out=lambda text="": lines.append(str(text)),
+        )
+        return code, "\n".join(lines)
+
+    return invoke
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestLintFiles:
+    def test_clean_file_exits_zero(self, run, tmp_path):
+        code, output = run("lint", _write(tmp_path, "p.vdl", CLEAN_VDL))
+        assert code == 0
+        assert "clean" in output
+
+    def test_errors_exit_one_with_positions(self, run, tmp_path):
+        path = _write(tmp_path, "p.vdl", RACY_VDL)
+        code, output = run("lint", path)
+        assert code == 1
+        assert "error[VDG201]" in output
+        # Findings carry file:line prefixes into the CLI output.
+        assert f"{path}:" in output
+
+    def test_warnings_only_exit_two(self, run, tmp_path):
+        code, output = run("lint", _write(tmp_path, "p.vdl", WARN_VDL))
+        assert code == 2
+        assert "warning[VDG401]" in output
+
+    def test_json_format_parses(self, run, tmp_path):
+        code, output = run(
+            "lint", _write(tmp_path, "p.vdl", RACY_VDL), "--format", "json"
+        )
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["exit_code"] == 1
+        assert any(d["code"] == "VDG201" for d in payload["diagnostics"])
+
+    def test_no_rule_suppression(self, run, tmp_path):
+        path = _write(tmp_path, "p.vdl", RACY_VDL)
+        code, output = run("lint", path, "--no-rule", "VDG201")
+        assert code == 0
+        assert "VDG201" not in output
+
+    def test_multiple_files_worst_exit_wins(self, run, tmp_path):
+        clean = _write(tmp_path, "a.vdl", CLEAN_VDL)
+        warn = _write(tmp_path, "b.vdl", WARN_VDL)
+        assert run("lint", clean, warn)[0] == 2
+
+    def test_parse_error_reported_not_raised(self, run, tmp_path):
+        code, output = run(
+            "lint", _write(tmp_path, "p.vdl", "TR broken( input {")
+        )
+        assert code == 1
+        assert "VDG000" in output
+
+
+class TestLintWorkspace:
+    def test_requires_workspace_when_no_files(self, run):
+        code, output = run("lint")
+        assert code == 1
+        assert "no workspace" in output
+
+    def test_lints_defined_catalog(self, run, tmp_path):
+        assert run("init")[0] == 0
+        assert run("define", _write(tmp_path, "p.vdl", RACY_VDL))[0] == 0
+        code, output = run("lint")
+        assert code == 1
+        assert "VDG201" in output
+        assert "<workspace>" in output
+
+    def test_lint_records_observability(self, run, tmp_path):
+        assert run("init")[0] == 0
+        assert run("define", _write(tmp_path, "p.vdl", CLEAN_VDL))[0] == 0
+        assert run("lint")[0] == 0
+        code, output = run("stats")
+        assert code == 0
+        assert "analysis.runs" in output
+
+
+class TestStrictPlan:
+    def test_strict_aborts_on_lint_errors(self, run, tmp_path):
+        assert run("init")[0] == 0
+        assert run("define", _write(tmp_path, "p.vdl", RACY_VDL))[0] == 0
+        code, output = run("plan", "copy.txt", "--strict")
+        assert code == 1
+        assert "plan aborted" in output
+        assert "VDG201" in output
+
+    def test_strict_passes_clean_catalog(self, run, tmp_path):
+        assert run("init")[0] == 0
+        assert run("define", _write(tmp_path, "p.vdl", CLEAN_VDL))[0] == 0
+        code, output = run("plan", "copy.txt", "--strict")
+        assert code == 0
+        assert "plan for copy.txt" in output
+
+    def test_default_plan_skips_lint(self, run, tmp_path):
+        # Races don't stop the planner unless --strict asks for it.
+        assert run("init")[0] == 0
+        assert run("define", _write(tmp_path, "p.vdl", RACY_VDL))[0] == 0
+        code, output = run("plan", "copy.txt")
+        assert code == 0
+        assert "VDG" not in output
+
+
+class TestDefinePositions:
+    def test_syntax_error_carries_file_and_line(self, run, tmp_path):
+        assert run("init")[0] == 0
+        path = _write(tmp_path, "bad.vdl", "TR broken( input a {")
+        code, output = run("define", path)
+        assert code == 1
+        assert f"{path}:1: error:" in output
+
+    def test_semantic_error_carries_file_and_line(self, run, tmp_path):
+        assert run("init")[0] == 0
+        source = (
+            'TR t( input a ) {\n  exec = "/t";\n'
+            "  argument = ${input:ghost};\n}\n"
+        )
+        path = _write(tmp_path, "bad.vdl", source)
+        code, output = run("define", path)
+        assert code == 1
+        assert f"{path}:3: error:" in output
+        assert "undeclared formal" in output
+
+
+class TestSystemFacade:
+    def test_lint_source_and_catalog(self):
+        from repro.system import VirtualDataSystem
+
+        vds = VirtualDataSystem()
+        vds.define(CLEAN_VDL)
+        assert vds.lint().clean
+        racy = 'DV c2->copy( o=@{output:"copy.txt"}, i=@{input:"seed.txt"} );'
+        result = vds.lint(CLEAN_VDL + racy)
+        assert any(d.code == "VDG201" for d in result.diagnostics)

@@ -1,0 +1,121 @@
+"""Property tests: lint results are stable under unparse/reparse, and
+the linter never raises — whatever the input.
+
+``parse -> unparse -> parse -> lint`` must report the same diagnostic
+codes as linting the original text: the linter's findings are facts
+about the *program*, not about its formatting.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import Linter, render_json
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.naming import VDPRef
+from repro.core.transformation import (
+    ArgumentTemplate,
+    FormalArg,
+    FormalRef,
+    SimpleTransformation,
+)
+from repro.vdl.semantics import compile_vdl
+from repro.vdl.unparser import unparse
+
+ident = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+lfn = st.from_regex(r"[a-z][a-z0-9_.]{0,8}", fullmatch=True)
+direction = st.sampled_from(["input", "output", "inout", "none"])
+
+
+@st.composite
+def programs(draw) -> str:
+    """VDL text for a random set of TRs plus DVs targeting them.
+
+    Derivation actuals are drawn from each target's real formals (so
+    arity findings stay rare and races/dead-code dominate), but LFNs
+    collide freely — exactly the cross-object territory the whole-
+    program rules patrol.
+    """
+    tr_names = draw(st.lists(ident, min_size=1, max_size=3, unique=True))
+    trs = []
+    for name in tr_names:
+        formal_names = draw(
+            st.lists(ident, min_size=1, max_size=3, unique=True)
+        )
+        formals = [
+            FormalArg(name=fname, direction=draw(direction))
+            for fname in formal_names
+        ]
+        parts = tuple(
+            FormalRef(
+                f.name, f.direction if f.direction != "none" else None
+            )
+            for f in formals
+        )
+        trs.append(
+            SimpleTransformation(
+                name=name,
+                formals=formals,
+                executable="/bin/" + name,
+                arguments=[ArgumentTemplate(parts=parts)],
+            )
+        )
+    dvs = []
+    n_dvs = draw(st.integers(0, 4))
+    dv_names = draw(
+        st.lists(ident, min_size=n_dvs, max_size=n_dvs, unique=True)
+    )
+    for dv_name in dv_names:
+        tr = draw(st.sampled_from(trs))
+        actuals = {}
+        for formal in tr.signature.formals:
+            if formal.direction == "none":
+                actuals[formal.name] = draw(lfn)
+            else:
+                actuals[formal.name] = DatasetArg(
+                    dataset=draw(lfn), direction=formal.direction
+                )
+        dvs.append(
+            Derivation(
+                name=dv_name,
+                transformation=VDPRef(tr.name, kind="transformation"),
+                actuals=actuals,
+            )
+        )
+    return unparse(trs, dvs)
+
+
+def lint_codes(source: str):
+    result = Linter().lint_source(source)
+    return sorted(d.code for d in result.diagnostics)
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_lint_stable_under_roundtrip(source):
+    first = lint_codes(source)
+    objects = compile_vdl(source)
+    rewritten = unparse(objects.transformations, objects.derivations)
+    assert lint_codes(rewritten) == first
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_lint_deterministic_and_sorted(source):
+    result = Linter().lint_source(source)
+    again = Linter().lint_source(source)
+    assert [d.render() for d in result.diagnostics] == [
+        d.render() for d in again.diagnostics
+    ]
+    lines = [d.span.line for d in result.diagnostics]
+    assert lines == sorted(lines)
+    render_json(result)  # must never raise
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(max_size=200))
+def test_linter_never_raises_on_junk(source):
+    result = Linter().lint_source(source)
+    # Junk either parses to something lintable or yields VDG000.
+    assert all(d.code.startswith("VDG") for d in result.diagnostics)

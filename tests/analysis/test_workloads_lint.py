@@ -1,0 +1,80 @@
+"""Lint the shipped workloads: the canonical generator must be clean,
+and the SDSS/HEP catalogs must produce exactly their known findings."""
+
+from repro.analysis import Linter, Severity
+from repro.analysis.reporters import exit_code
+from repro.catalog.memory import MemoryCatalog
+from repro.workloads import canonical, hep, sdss
+
+
+def lint_catalog(catalog):
+    return Linter().lint_catalog(catalog)
+
+
+class TestCanonical:
+    def test_generated_graph_lints_clean(self):
+        # max_fanin=4 exercises every declared canonical arity, so no
+        # dead-code findings either: zero diagnostics (ISSUE acceptance).
+        catalog = MemoryCatalog()
+        canonical.generate_graph(catalog, nodes=60, max_fanin=4, seed=1)
+        result = lint_catalog(catalog)
+        assert result.diagnostics == []
+        assert exit_code(result) == 0
+
+    def test_unused_arity_is_flagged_not_erroneous(self):
+        # A small graph that never reaches fan-in 4 leaves canon4 dead.
+        catalog = MemoryCatalog()
+        canonical.generate_graph(catalog, nodes=30, max_fanin=3, seed=7)
+        result = lint_catalog(catalog)
+        assert [d.code for d in result.diagnostics] == ["VDG402"]
+        assert result.diagnostics[0].obj == "canon4"
+        assert exit_code(result) == 2
+
+
+class TestSDSS:
+    def test_campaign_has_only_raw_field_infos(self):
+        # Raw field images come off the telescope: consumed, never
+        # produced.  That must stay INFO so the campaign exits clean.
+        catalog = MemoryCatalog()
+        sdss.define_transformations(catalog)
+        sdss.define_campaign(catalog, fields=3)
+        result = lint_catalog(catalog)
+        assert {d.code for d in result.diagnostics} == {"VDG403"}
+        assert all(
+            d.severity is Severity.INFO for d in result.diagnostics
+        )
+        assert len(result.diagnostics) == 3  # one per raw field image
+        assert exit_code(result) == 0
+
+    def test_info_suppressible(self):
+        from repro.analysis import default_rules
+
+        registry = default_rules()
+        registry.disable("VDG403")
+        catalog = MemoryCatalog()
+        sdss.define_transformations(catalog)
+        sdss.define_campaign(catalog, fields=2)
+        result = Linter(registry=registry).lint_catalog(catalog)
+        assert result.diagnostics == []
+
+
+class TestHEP:
+    def test_run_flags_unused_chain_tr(self):
+        catalog = MemoryCatalog()
+        hep.define_transformations(catalog)
+        hep.define_analysis_chain(catalog, "run1")
+        result = lint_catalog(catalog)
+        assert [(d.code, d.obj) for d in result.diagnostics] == [
+            ("VDG402", "hepevt-chain")
+        ]
+
+    def test_chain_derivation_makes_catalog_clean(self):
+        catalog = MemoryCatalog()
+        hep.define_transformations(catalog)
+        hep.define_analysis_chain(catalog, "run1")
+        # Target the compound chain once; all its formals have defaults.
+        catalog.define(
+            'DV chain1->hepevt-chain( histogram=@{output:"chain.hist"} );'
+        )
+        result = lint_catalog(catalog)
+        assert result.diagnostics == []
