@@ -28,8 +28,8 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.core.dataset import Dataset
 from repro.core.derivation import Derivation
-from repro.core.invocation import Invocation
-from repro.core.replica import Replica
+from repro.core.invocation import Invocation, observe_invocation_id
+from repro.core.replica import Replica, observe_replica_id
 from repro.core.transformation import Transformation
 from repro.core.types import DatasetType, TypeRegistry, default_registry
 from repro.core.versioning import VersionRegistry
@@ -189,11 +189,15 @@ class VirtualDataCatalog:
         for key in self._store_keys("replica"):
             payload = self._store_get("replica", key)
             self._replicas_of.setdefault(payload["dataset_name"], set()).add(key)
+            # A persistent catalog may hold IDs minted by an earlier
+            # process; advance the allocator so they are never re-issued.
+            observe_replica_id(key)
         for key in self._store_keys("invocation"):
             payload = self._store_get("invocation", key)
             self._invocations_of.setdefault(
                 payload["derivation_name"], set()
             ).add(key)
+            observe_invocation_id(key)
         for key in self._store_keys("transformation"):
             name, _, version = key.rpartition("@")
             self._tr_versions.setdefault(name, set()).add(version)

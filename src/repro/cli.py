@@ -223,9 +223,22 @@ def _cmd_materialize(ws: Workspace, args, out) -> int:
 
 
 def _cmd_run(ws: Workspace, args, out) -> int:
-    """Ad-hoc execution: synthesize and run a derivation (§5.1)."""
+    """Ad-hoc execution: synthesize and run a derivation (§5.1).
+
+    With ``--target`` the command instead materializes a dataset on a
+    simulated grid (``--grid``), with optional fault injection
+    (``--fault-plan``, ``--failure-rate``), recovery knobs
+    (``--failure-policy``, ``--step-timeout``) and rescue-file resume
+    (``--rescue``, ``--kill-at``).
+    """
     from repro.executor.session import InteractiveSession
 
+    if args.target:
+        return _cmd_run_grid(ws, args, out)
+    if not args.transformation:
+        out("error: provide a transformation name, or --target DATASET "
+            "for a grid workflow run")
+        return 1
     obs = Instrumentation()
     executor = ws.executor(instrumentation=obs)
     session = InteractiveSession(executor, prefix=args.session)
@@ -253,6 +266,122 @@ def _cmd_run(ws: Workspace, args, out) -> int:
         path = executor.path_for(name)
         out(f"  {name} -> {path} ({path.stat().st_size} bytes)")
     return 0
+
+
+def _parse_grid(spec: str) -> dict[str, int]:
+    """Parse ``site=hosts,site=hosts`` grid specs."""
+    sites: dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition("=")
+        try:
+            sites[name.strip()] = int(count) if count else 4
+        except ValueError:
+            raise VirtualDataError(
+                f"bad --grid entry {part!r}; expected site=hosts"
+            ) from None
+    if not sites:
+        raise VirtualDataError("--grid needs at least one site=hosts entry")
+    return sites
+
+
+def _cmd_run_grid(ws: Workspace, args, out) -> int:
+    """Materialize ``--target`` on a simulated grid with recovery."""
+    from repro.errors import WorkflowError
+    from repro.resilience import FaultPlan, RecoveryConfig, RescueFile
+    from repro.system import VirtualDataSystem
+
+    sites = _parse_grid(args.grid)
+    fault_plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+    recovery = RecoveryConfig.hardened(
+        seed=args.seed,
+        failure_policy=args.failure_policy,
+        step_timeout=args.step_timeout,
+    )
+    obs = Instrumentation()
+    vds = VirtualDataSystem.with_grid(
+        sites,
+        catalog=ws.catalog(),
+        failure_rate=args.failure_rate,
+        seed=args.seed,
+        instrumentation=obs,
+        fault_plan=fault_plan,
+        recovery=recovery,
+    )
+    vds.executor.max_retries = args.max_retries
+
+    # Raw sources must pre-exist on the grid: seed them at the first
+    # site using catalog size estimates.
+    preview = vds.plan(args.target, pattern=args.pattern)
+    seed_site = sorted(sites)[0]
+    for name in sorted(preview.sources | preview.reused):
+        size = 1_000_000
+        if vds.catalog.has_dataset(name):
+            size = vds.catalog.get_dataset(name).size_estimate(
+                default=1_000_000
+            )
+        vds.seed_dataset(name, seed_site, size)
+
+    resume = args.rescue is not None
+    rescue_path = (
+        Path(args.rescue)
+        if args.rescue
+        else ws.root / "rescue" / f"{args.target}.rescue.json"
+    )
+    base = None
+    if resume and rescue_path.exists():
+        base = RescueFile.load(rescue_path)
+        out(f"resuming from rescue file {rescue_path} "
+            f"({len(base.completed)} completed steps recorded)")
+
+    status = 0
+    result = None
+    try:
+        result = vds.materialize(
+            args.target,
+            pattern=args.pattern,
+            rescue=base,
+            until=args.kill_at,
+        )
+    except WorkflowError as exc:
+        out(exc.render_summary())
+        result = exc.result
+        status = 1
+    finally:
+        ws.save_snapshot(obs)
+
+    if result is None:
+        return status
+    restore = vds.executor.last_restore
+    if restore is not None and restore.quarantined:
+        for lfn, site in restore.quarantined:
+            out(f"quarantined corrupt replica {lfn} at {site}")
+    if result.succeeded:
+        resumed = len(result.pre_completed)
+        retried = sum(
+            o.attempts - 1 for o in result.outcomes.values() if o.attempts > 1
+        )
+        notes = []
+        if resumed:
+            notes.append(f"{resumed} resumed from rescue")
+        if retried:
+            notes.append(f"{retried} retried attempt(s) recovered")
+        suffix = f" ({'; '.join(notes)})" if notes else ""
+        out(f"materialized {args.target}: {len(result.outcomes)} steps, "
+            f"makespan {result.makespan:.1f}s{suffix}")
+    elif result.interrupted:
+        finished = len(result.outcomes) + len(result.pre_completed)
+        out(f"run killed at t={args.kill_at:g}: {finished} of "
+            f"{len(result.plan.steps)} steps finished")
+    if not result.succeeded or resume:
+        rescue = vds.executor.rescue_file(result, base=base)
+        rescue_path.parent.mkdir(parents=True, exist_ok=True)
+        rescue.save(rescue_path)
+        out(f"rescue file written to {rescue_path} "
+            f"(resume with --target {args.target} --rescue)")
+    return status
 
 
 def _cmd_lineage(ws: Workspace, args, out) -> int:
@@ -381,13 +510,69 @@ def build_parser() -> argparse.ArgumentParser:
     mat.set_defaults(fn=_cmd_materialize)
 
     run = sub.add_parser(
-        "run", help="run a transformation ad hoc (auto-tracked)"
+        "run",
+        help="run a transformation ad hoc, or a grid workflow (--target)",
     )
-    run.add_argument("transformation")
+    run.add_argument("transformation", nargs="?")
     run.add_argument(
         "binding", nargs="*", help="formal=value bindings", default=[]
     )
     run.add_argument("--session", default="cli")
+    run.add_argument(
+        "--target",
+        metavar="DATASET",
+        help="materialize DATASET on a simulated grid instead",
+    )
+    run.add_argument(
+        "--grid",
+        default="site-a=4,site-b=4",
+        metavar="SITE=HOSTS,...",
+        help="grid sites for --target (default: site-a=4,site-b=4)",
+    )
+    run.add_argument(
+        "--pattern",
+        default="ship-data",
+        choices=("collocate", "ship-procedure", "ship-data", "ship-both"),
+    )
+    run.add_argument("--max-retries", type=int, default=2)
+    run.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.0,
+        help="uniform transient job failure probability",
+    )
+    run.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        help="JSON FaultPlan (outages, transfer faults, corruption, ...)",
+    )
+    run.add_argument(
+        "--failure-policy",
+        default="run-what-you-can",
+        choices=("fail-fast", "run-what-you-can"),
+    )
+    run.add_argument(
+        "--step-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="kill straggler attempts after this much sim time",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--rescue",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="resume from (and update) a rescue file; without FILE, "
+        "the workspace default under <workspace>/rescue/ is used",
+    )
+    run.add_argument(
+        "--kill-at",
+        type=float,
+        metavar="T",
+        help="kill the run at sim time T (writes a rescue file)",
+    )
     run.set_defaults(fn=_cmd_run)
 
     lineage = sub.add_parser("lineage", help="audit trail of a dataset")

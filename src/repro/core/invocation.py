@@ -13,7 +13,6 @@ subsequent planning decisions" (§2).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -21,11 +20,26 @@ from repro.core.attributes import AttributeSet
 from repro.core.naming import check_object_name
 from repro.errors import SchemaError
 
-_invocation_counter = itertools.count(1)
+_last_invocation_ordinal = 0
 
 
 def _next_invocation_id() -> str:
-    return f"inv-{next(_invocation_counter):08d}"
+    global _last_invocation_ordinal
+    _last_invocation_ordinal += 1
+    return f"inv-{_last_invocation_ordinal:08d}"
+
+
+def observe_invocation_id(invocation_id: str) -> None:
+    # Advance the allocator past IDs loaded from persistent catalogs so
+    # a process reopening a populated workspace never re-issues one.
+    global _last_invocation_ordinal
+    if invocation_id.startswith("inv-"):
+        try:
+            ordinal = int(invocation_id[4:])
+        except ValueError:
+            return
+        if ordinal > _last_invocation_ordinal:
+            _last_invocation_ordinal = ordinal
 
 
 #: Terminal states an invocation may end in.
@@ -103,6 +117,7 @@ class Invocation:
             )
         if isinstance(self.attributes, dict):
             self.attributes = AttributeSet(self.attributes)
+        observe_invocation_id(self.invocation_id)
 
     @property
     def succeeded(self) -> bool:

@@ -12,7 +12,6 @@ in an environment where datasets can be replicated".
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -21,11 +20,26 @@ from repro.core.descriptors import Descriptor, descriptor_from_dict, descriptor_
 from repro.core.naming import check_object_name
 from repro.errors import SchemaError
 
-_replica_counter = itertools.count(1)
+_last_replica_ordinal = 0
 
 
 def _next_replica_id() -> str:
-    return f"rep-{next(_replica_counter):08d}"
+    global _last_replica_ordinal
+    _last_replica_ordinal += 1
+    return f"rep-{_last_replica_ordinal:08d}"
+
+
+def observe_replica_id(replica_id: str) -> None:
+    # Advance the allocator past IDs loaded from persistent catalogs so
+    # a process reopening a populated workspace never re-issues one.
+    global _last_replica_ordinal
+    if replica_id.startswith("rep-"):
+        try:
+            ordinal = int(replica_id[4:])
+        except ValueError:
+            return
+        if ordinal > _last_replica_ordinal:
+            _last_replica_ordinal = ordinal
 
 
 @dataclass
@@ -48,6 +62,7 @@ class Replica:
             raise SchemaError("replica requires a location")
         if isinstance(self.attributes, dict):
             self.attributes = AttributeSet(self.attributes)
+        observe_replica_id(self.replica_id)
 
     def size_estimate(self, default: int = 0) -> int:
         """Size in bytes for transfer planning, falling back to ``default``."""

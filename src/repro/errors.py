@@ -141,5 +141,76 @@ class ExecutionError(VirtualDataError):
     """A transformation execution failed."""
 
 
+class WorkflowError(ExecutionError):
+    """A workflow run finished with failed (or skipped) steps.
+
+    Carries the full :class:`~repro.planner.scheduler.WorkflowResult`
+    so callers can render a per-step failure summary — which site ran
+    each failed step, how many attempts were made, the final
+    ``JobRecord.error`` — plus the steps skipped as
+    ``upstream-failed`` instead of just the failed step names.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+    def step_failures(self) -> list[dict]:
+        """Per-step failure details, sorted by step name."""
+        if self.result is None:
+            return []
+        rows = []
+        for name in sorted(self.result.failed_steps):
+            outcome = self.result.outcomes.get(name)
+            rows.append(
+                {
+                    "step": name,
+                    "status": "failed",
+                    "site": outcome.site if outcome else "?",
+                    "attempts": outcome.attempts if outcome else 0,
+                    "error": (
+                        outcome.record.error or outcome.record.status
+                    )
+                    if outcome
+                    else "unknown",
+                }
+            )
+        for name, reason in sorted(self.result.skipped_steps.items()):
+            rows.append(
+                {
+                    "step": name,
+                    "status": "skipped",
+                    "site": "-",
+                    "attempts": 0,
+                    "error": reason,
+                }
+            )
+        return rows
+
+    def render_summary(self) -> str:
+        """A human-readable multi-line failure report."""
+        rows = self.step_failures()
+        if not rows:
+            return str(self)
+        lines = [str(self)]
+        for row in rows:
+            if row["status"] == "failed":
+                lines.append(
+                    f"  {row['step']}: failed at site {row['site']} "
+                    f"after {row['attempts']} attempt(s): {row['error']}"
+                )
+            else:
+                lines.append(f"  {row['step']}: skipped ({row['error']})")
+        return "\n".join(lines)
+
+
+class FaultPlanError(VirtualDataError):
+    """A fault-injection plan is malformed or unreadable."""
+
+
+class RescueError(ExecutionError):
+    """A rescue file is malformed, stale, or mismatched with its plan."""
+
+
 class EstimationError(VirtualDataError):
     """The estimator lacks the information needed to produce an estimate."""

@@ -12,12 +12,13 @@ tracking" (§2) — that identity is exactly what gets recorded here.
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.catalog.base import VirtualDataCatalog
 from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
 from repro.core.replica import Replica
-from repro.errors import ExecutionError
+from repro.errors import WorkflowError
 from repro.estimator.cost import Estimator
 from repro.grid.gram import GridExecutionService, JobRecord
 from repro.observability.instrument import NULL, Instrumentation
@@ -25,6 +26,16 @@ from repro.planner.dag import Plan, Planner, PlanStep
 from repro.planner.request import MaterializationRequest
 from repro.planner.scheduler import WorkflowResult, WorkflowScheduler
 from repro.planner.strategies import SiteChoice, SiteSelector
+from repro.resilience.policies import RecoveryConfig
+from repro.resilience.rescue import (
+    RescueFile,
+    RescueRestore,
+    apply_rescue,
+    rescue_from_result,
+)
+
+#: ``materialize(rescue=...)`` accepts a loaded file or a path to one.
+RescueInput = Union[RescueFile, str, Path]
 
 
 class GridExecutor:
@@ -39,6 +50,7 @@ class GridExecutor:
         max_retries: int = 2,
         record_provenance: bool = True,
         instrumentation: Optional[Instrumentation] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ):
         self.catalog = catalog
         self.grid = grid
@@ -47,6 +59,9 @@ class GridExecutor:
         self.max_retries = max_retries
         self.record_provenance = record_provenance
         self.obs = instrumentation or NULL
+        self.recovery = recovery
+        #: What the last ``materialize(rescue=...)`` restored/quarantined.
+        self.last_restore: Optional[RescueRestore] = None
         if self.obs.enabled and not self.catalog.obs.enabled:
             # Adopt the catalog into this executor's observability
             # scope unless it already has its own.
@@ -102,7 +117,11 @@ class GridExecutor:
     # -- execution --------------------------------------------------------------
 
     def run(
-        self, plan: Plan, request: Optional[MaterializationRequest] = None
+        self,
+        plan: Plan,
+        request: Optional[MaterializationRequest] = None,
+        completed: Optional[set[str]] = None,
+        until: Optional[float] = None,
     ) -> WorkflowResult:
         """Execute a plan; provenance lands in the catalog."""
         pattern = request.pattern if request else "ship-data"
@@ -116,12 +135,31 @@ class GridExecutor:
             max_hosts=max_hosts,
             step_listener=listener,
             instrumentation=self.obs,
+            recovery=self.recovery,
         )
         with self.obs.span("executor.run", steps=len(plan.steps)):
-            return scheduler.run(plan)
+            return scheduler.run(plan, completed=completed, until=until)
 
-    def materialize(self, request: MaterializationRequest) -> WorkflowResult:
-        """Plan and run a request end to end."""
+    def materialize(
+        self,
+        request: MaterializationRequest,
+        rescue: Optional[RescueInput] = None,
+        until: Optional[float] = None,
+    ) -> WorkflowResult:
+        """Plan and run a request end to end.
+
+        ``rescue`` resumes a previous (killed or failed) run of the
+        same request: the rescue file's completed steps are verified
+        against the grid — corrupt replicas quarantined, missing ones
+        restored — and only unfinished steps re-execute.  ``until``
+        kills the run at that simulation time; the partial result is
+        returned (``interrupted=True``) instead of raising, so a rescue
+        file can be written from it.
+
+        A run that finishes with failures raises
+        :class:`~repro.errors.WorkflowError` carrying the full result
+        for per-step failure reporting.
+        """
         with self.obs.span(
             "executor.materialize", targets=",".join(request.targets)
         ):
@@ -134,12 +172,44 @@ class GridExecutor:
                     len(plan.reused),
                     help="datasets served from existing replicas",
                 )
-            result = self.run(plan, request)
-            if not result.succeeded:
-                raise ExecutionError(
-                    f"materialization failed; steps {sorted(result.failed_steps)}"
+            completed: Optional[set[str]] = None
+            self.last_restore = None
+            if rescue is not None:
+                if isinstance(rescue, (str, Path)):
+                    rescue = RescueFile.load(rescue)
+                restore = apply_rescue(
+                    plan,
+                    rescue,
+                    self.grid,
+                    catalog=self.catalog,
+                    instrumentation=self.obs,
+                )
+                self.last_restore = restore
+                completed = restore.completed
+            result = self.run(plan, request, completed=completed, until=until)
+            if not result.succeeded and not result.interrupted:
+                raise WorkflowError(
+                    f"materialization failed; steps "
+                    f"{sorted(result.failed_steps)}",
+                    result=result,
                 )
             return result
+
+    def rescue_file(
+        self, result: WorkflowResult, base: Optional[RescueFile] = None
+    ) -> RescueFile:
+        """Distil ``result`` into a rescue file for a later resume.
+
+        ``base`` is the rescue file the run itself was resumed from;
+        its records for steps that stayed pre-completed are carried
+        over so chained rescues never lose finished work.
+        """
+        rescue = rescue_from_result(result)
+        if base is not None:
+            for name in result.pre_completed:
+                if name in base.completed:
+                    rescue.completed[name] = base.completed[name]
+        return rescue
 
     # -- provenance write-back -----------------------------------------------------
 

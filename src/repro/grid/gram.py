@@ -22,17 +22,22 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SubmissionError, TransferError
+from repro.resilience.rescue import expected_digest
 from repro.grid.network import NetworkTopology
 from repro.observability.instrument import NULL, Instrumentation
 from repro.grid.replica_catalog import ReplicaLocationService
 from repro.grid.simulator import Simulator
 from repro.grid.site import Site
 
-#: Job terminal states.
-JOB_STATES = ("pending", "staging", "running", "done", "failed")
+if TYPE_CHECKING:
+    from repro.resilience.faults import FaultInjector
+
+#: Job terminal states ("killed" = cancelled by the scheduler, e.g. a
+#: straggler that outlived its step timeout).
+JOB_STATES = ("pending", "staging", "running", "done", "failed", "killed")
 
 
 @dataclass
@@ -68,6 +73,12 @@ class JobRecord:
     host: str = ""
     bytes_staged: int = 0
     error: Optional[str] = None
+    #: Injected fault kind, when a fault caused the failure (one of
+    #: :data:`repro.resilience.faults.FAULT_KINDS`).
+    fault: Optional[str] = None
+    #: Set by :meth:`GridExecutionService.cancel`; the job's completion
+    #: event then discards its outputs instead of staging them out.
+    cancelled: bool = False
 
     @property
     def makespan(self) -> float:
@@ -95,6 +106,7 @@ class GridExecutionService:
         failure_rate: float = 0.0,
         seed: int = 0,
         instrumentation: Optional[Instrumentation] = None,
+        injector: Optional["FaultInjector"] = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise SubmissionError("failure_rate must be in [0, 1)")
@@ -102,10 +114,18 @@ class GridExecutionService:
         self.sites = dict(sites)
         self.network = network
         self.replicas = replicas
+        #: Legacy knob: uniform transient execution faults drawn from a
+        #: shared RNG stream.  The injector models everything richer.
         self.failure_rate = failure_rate
         self._rng = random.Random(seed)
         self.records: list[JobRecord] = []
         self.obs = instrumentation or NULL
+        self.injector = injector
+        if injector is not None:
+            # Timed stage-in transfers consult the same fault model.
+            self.network.injector = injector
+            if injector.obs is NULL:
+                injector.obs = self.obs
 
     # -- submission ------------------------------------------------------------
 
@@ -130,10 +150,22 @@ class GridExecutionService:
                 help="GRAM submissions per site",
             )
 
+        if self.injector is not None:
+            down = self.injector.site_down(spec.site, now)
+            if down is not None:
+                record.status = "failed"
+                record.fault = "outage"
+                record.error = down
+                record.end_time = now
+                if on_complete is not None:
+                    self.simulator.schedule(0.0, lambda: on_complete(record))
+                return record
+
         try:
             stage_seconds, staged_bytes = self._stage_in(spec, site)
         except TransferError as exc:
             record.status = "failed"
+            record.fault = "transfer"
             record.error = str(exc)
             record.end_time = now
             if on_complete is not None:
@@ -143,8 +175,12 @@ class GridExecutionService:
         record.stage_in_seconds = stage_seconds + spec.setup_seconds
         record.bytes_staged = staged_bytes
         ready = now + stage_seconds + spec.setup_seconds
+        slowdown = 1.0
+        if self.injector is not None:
+            slowdown = self.injector.slowdown(spec.site, ready)
         host, start, end = site.compute.allocate(
-            ready, spec.cpu_seconds, max_hosts=spec.max_hosts
+            ready, spec.cpu_seconds, max_hosts=spec.max_hosts,
+            slowdown=slowdown,
         )
         record.queue_seconds = start - ready
         record.start_time = start
@@ -153,12 +189,30 @@ class GridExecutionService:
         record.status = "running"
 
         def finish() -> None:
+            if record.cancelled:
+                # The scheduler killed this attempt (straggler timeout)
+                # and already moved on; discard outputs, skip callback.
+                record.status = "killed"
+                if self.obs.enabled:
+                    self._observe_completion(record, site)
+                return
+            # The legacy failure_rate draw stays first so seeded runs
+            # without an injector reproduce their historical schedules.
             if self.failure_rate and self._rng.random() < self.failure_rate:
                 record.status = "failed"
                 record.error = "simulated execution failure"
             else:
-                self._stage_out(spec, site, end)
-                record.status = "done"
+                verdict = None
+                if self.injector is not None:
+                    verdict = self.injector.run_fault(
+                        spec.name, spec.site, start, end
+                    )
+                if verdict is not None:
+                    record.fault, record.error = verdict
+                    record.status = "failed"
+                else:
+                    self._stage_out(spec, site, end)
+                    record.status = "done"
             if self.obs.enabled:
                 self._observe_completion(record, site)
             if on_complete is not None:
@@ -224,7 +278,9 @@ class GridExecutionService:
                 continue
             source, _ = self.replicas.best_source(lfn, site.name)
             size = self.replicas.size_of(lfn)
-            duration = self.network.record_transfer(size, source, site.name)
+            duration = self.network.record_transfer(
+                size, source, site.name, now=now + total_seconds, lfn=lfn
+            )
             total_seconds += duration
             if source != site.name:
                 total_bytes += size
@@ -237,11 +293,61 @@ class GridExecutionService:
 
     def _stage_out(self, spec: JobSpec, site: Site, when: float) -> None:
         for lfn, size in spec.outputs.items():
-            evicted = site.storage.store(lfn, size, when)
+            digest = expected_digest(lfn, size)
+            if self.injector is not None and self.injector.corrupt_output(
+                spec.name, lfn
+            ):
+                digest = "corrupt:" + digest
+            evicted = site.storage.store(lfn, size, when, digest=digest)
             for victim in evicted:
                 if self.replicas.has(victim, site.name):
                     self.replicas.unregister(victim, site.name)
             self.replicas.register(lfn, site.name, size)
+
+    # -- recovery hooks ------------------------------------------------------------
+
+    def cancel(self, record: JobRecord) -> None:
+        """Kill a running job (straggler timeout).
+
+        The host stays busy until the original end time — a killed
+        straggler's slot is not reclaimed — but its completion event
+        discards outputs and fires no callback.
+        """
+        if record.status in ("done", "failed", "killed"):
+            return
+        record.cancelled = True
+        record.fault = record.fault or "timeout"
+        record.error = record.error or "killed: step timeout exceeded"
+
+    def verify_outputs(self, record: JobRecord) -> list[str]:
+        """Outputs of a finished job whose stored copy fails size or
+        digest verification at the job's site (corrupt replicas)."""
+        site = self.sites[record.spec.site]
+        bad = []
+        for lfn, size in record.spec.outputs.items():
+            if not site.storage.holds(lfn):
+                continue
+            stored = site.storage.file(lfn)
+            expected = expected_digest(lfn, size)
+            if stored.size != size or (
+                stored.digest is not None and stored.digest != expected
+            ):
+                bad.append(lfn)
+        return bad
+
+    def quarantine(self, lfn: str, site_name: str) -> None:
+        """Delete one corrupt replica from site storage and the RLS."""
+        site = self.sites.get(site_name)
+        if site is not None and site.storage.holds(lfn):
+            site.storage.delete(lfn)
+        if self.replicas.has(lfn, site_name):
+            self.replicas.unregister(lfn, site_name)
+        if self.obs.enabled:
+            self.obs.count(
+                "grid.replicas.quarantined",
+                site=site_name,
+                help="corrupt replicas deleted after failed verification",
+            )
 
     # -- reporting -------------------------------------------------------------------
 

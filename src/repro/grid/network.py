@@ -67,6 +67,10 @@ class NetworkTopology:
         self._default_latency = default_latency
         self._fully_connected = fully_connected
         self.obs = instrumentation or NULL
+        #: Optional :class:`repro.resilience.FaultInjector`; when set,
+        #: timed transfers (``record_transfer`` with ``now``) consult it
+        #: for link/site faults before moving any bytes.
+        self.injector = None
 
     # -- construction ---------------------------------------------------------
 
@@ -116,8 +120,30 @@ class NetworkTopology:
 
     # -- accounting -------------------------------------------------------------
 
-    def record_transfer(self, size_bytes: int, src: str, dst: str) -> float:
-        """Account for a transfer and return its duration."""
+    def record_transfer(
+        self,
+        size_bytes: int,
+        src: str,
+        dst: str,
+        now: Optional[float] = None,
+        lfn: str = "",
+    ) -> float:
+        """Account for a transfer and return its duration.
+
+        When a fault injector is attached and the caller supplies the
+        simulation time, the transfer may fail — a down endpoint or a
+        mid-stream wide-area fault raises
+        :class:`~repro.errors.TransferError` before any accounting.
+        """
+        if self.injector is not None and now is not None:
+            reason = self.injector.transfer_fault(lfn, src, dst, now)
+            if reason is not None:
+                if self.obs.enabled:
+                    self.obs.count(
+                        "grid.transfer.faults",
+                        help="transfers aborted by injected faults",
+                    )
+                raise TransferError(reason)
         duration = self.transfer_time(size_bytes, src, dst)
         stats = self._stats.setdefault((src, dst), LinkStats())
         stats.transfers += 1

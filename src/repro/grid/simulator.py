@@ -96,6 +96,17 @@ class Simulator:
     def pending(self) -> int:
         return len(self._queue)
 
+    def flush(self) -> int:
+        """Discard all pending events without advancing the clock.
+
+        Used when a run is killed mid-flight (``until=`` cut-off): the
+        abandoned completion events must not replay into a resumed run
+        on the same simulator.  Returns the number discarded.
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
     def reset(self) -> None:
         """Clear all state, returning the clock to zero."""
         self._now = 0.0

@@ -26,6 +26,11 @@ class StoredFile:
     last_used: float = 0.0
     #: Pinned files are never evicted (e.g. mid-transfer or mid-job).
     pinned: int = 0
+    #: Simulated content digest (see :func:`repro.resilience.rescue.
+    #: expected_digest`); ``None`` for files stored before checksum
+    #: tracking or via legacy call sites.  A digest that does not match
+    #: the expected value for (lfn, size) marks a corrupted copy.
+    digest: Optional[str] = None
 
 
 class StorageElement:
@@ -75,17 +80,27 @@ class StorageElement:
             raise GridError(f"{lfn!r} is not pinned at {self.name!r}")
         record.pinned -= 1
 
-    def store(self, lfn: str, size: int, now: float = 0.0) -> list[str]:
+    def store(
+        self,
+        lfn: str,
+        size: int,
+        now: float = 0.0,
+        digest: Optional[str] = None,
+    ) -> list[str]:
         """Add a file, evicting LRU unpinned files if needed.
 
         Returns the LFNs evicted to make room.  Raises
         :class:`~repro.errors.TransferError` when the file cannot fit
-        even after evicting everything evictable.
+        even after evicting everything evictable.  A re-store of an
+        existing LFN refreshes its recency and (when given) its
+        digest — a stage-out overwrites the previous copy's bytes.
         """
         if size < 0:
             raise TransferError("negative file size")
         if lfn in self._files:
             self.touch(lfn, now)
+            if digest is not None:
+                self._files[lfn].digest = digest
             return []
         evicted = []
         if size > self.capacity:
@@ -102,7 +117,9 @@ class StorageElement:
             self.delete(victim)
             self.evictions += 1
             evicted.append(victim)
-        self._files[lfn] = StoredFile(lfn=lfn, size=size, last_used=now)
+        self._files[lfn] = StoredFile(
+            lfn=lfn, size=size, last_used=now, digest=digest
+        )
         self._used += size
         return evicted
 
@@ -158,19 +175,24 @@ class ComputeElement:
         return sum(1 for h in self.hosts if h.busy_until <= now)
 
     def allocate(
-        self, now: float, cpu_seconds: float, max_hosts: Optional[int] = None
+        self,
+        now: float,
+        cpu_seconds: float,
+        max_hosts: Optional[int] = None,
+        slowdown: float = 1.0,
     ) -> tuple[Host, float, float]:
         """Reserve the earliest-available host for a job.
 
         ``max_hosts`` restricts scheduling to the first N hosts, which
         is how a workflow-level concurrency cap ("as many as 120 hosts
-        in a single workflow", §6) is enforced.  Returns
-        ``(host, start_time, end_time)``.
+        in a single workflow", §6) is enforced.  ``slowdown`` > 1
+        models a degraded (straggling) site: the job occupies its host
+        that much longer.  Returns ``(host, start_time, end_time)``.
         """
         pool = self.hosts if max_hosts is None else self.hosts[:max_hosts]
         host = min(pool, key=lambda h: (max(h.busy_until, now), h.name))
         start = max(host.busy_until, now)
-        duration = cpu_seconds / host.speed
+        duration = cpu_seconds * slowdown / host.speed
         end = start + duration
         host.busy_until = end
         host.jobs_run += 1

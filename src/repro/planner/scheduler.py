@@ -10,10 +10,20 @@ such a scheduler is the Condor DAGMan facility."
 onto the simulated grid: ready steps are submitted as jobs, completions
 release successors, failures are retried up to a bound, and the whole
 run is summarized in a :class:`WorkflowResult`.
+
+Recovery behaviour is pluggable through
+:class:`~repro.resilience.policies.RecoveryConfig`: retry backoff with
+deterministic jitter, per-site circuit breakers with half-open probing,
+failover (retries re-invoke the site selector with already-failed sites
+excluded), per-attempt straggler timeouts, and the ``fail-fast`` vs
+``run-what-you-can`` failure policy.  The default configuration
+reproduces the historical behaviour exactly: immediate same-site
+retries and fail-fast.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -22,6 +32,11 @@ from repro.grid.gram import GridExecutionService, JobRecord, JobSpec
 from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.dag import Plan, PlanStep
 from repro.planner.strategies import SiteChoice, SiteSelector
+from repro.resilience.policies import (
+    FAIL_FAST,
+    RUN_WHAT_YOU_CAN,
+    RecoveryConfig,
+)
 
 
 @dataclass
@@ -43,13 +58,27 @@ class WorkflowResult:
     started_at: float = 0.0
     finished_at: float = 0.0
     failed_steps: set[str] = field(default_factory=set)
+    #: Step -> reason (``"upstream-failed:<step>"``): steps that could
+    #: never run because a step they depend on failed permanently.
+    skipped_steps: dict[str, str] = field(default_factory=dict)
+    #: Steps satisfied by a rescue file before dispatch (resume); they
+    #: have no outcome because no job ran this time.
+    pre_completed: set[str] = field(default_factory=set)
+    #: True when an ``until=`` cut-off killed the run mid-flight.
+    interrupted: bool = False
     #: Maximum number of simultaneously in-flight steps observed —
     #: the "hosts in a single workflow" number of §6.
     peak_in_flight: int = 0
 
     @property
     def succeeded(self) -> bool:
-        return not self.failed_steps and len(self.outcomes) == len(self.plan.steps)
+        return (
+            not self.failed_steps
+            and not self.skipped_steps
+            and not self.interrupted
+            and len(self.outcomes) + len(self.pre_completed)
+            == len(self.plan.steps)
+        )
 
     @property
     def makespan(self) -> float:
@@ -83,7 +112,12 @@ StepListener = Callable[[PlanStep, SiteChoice, JobRecord], None]
 
 
 class WorkflowScheduler:
-    """Dependency-driven dispatcher over a grid execution service."""
+    """Dependency-driven dispatcher over a grid execution service.
+
+    ``max_retries`` bounds *resubmissions*, not attempts: a step is
+    tried at most ``max_retries + 1`` times before it is recorded in
+    ``failed_steps`` (so ``max_retries=0`` still runs every step once).
+    """
 
     def __init__(
         self,
@@ -94,6 +128,7 @@ class WorkflowScheduler:
         max_hosts: Optional[int] = None,
         step_listener: Optional[StepListener] = None,
         instrumentation: Optional[Instrumentation] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ):
         if max_retries < 0:
             raise PlanningError("max_retries must be >= 0")
@@ -104,9 +139,32 @@ class WorkflowScheduler:
         self.max_hosts = max_hosts
         self.step_listener = step_listener
         self.obs = instrumentation or NULL
+        # The historical posture: immediate same-site retries,
+        # fail-fast, no breakers, no failover.
+        self.recovery = recovery or RecoveryConfig(failover=False)
+        if max_retries > 0 and len(selector.sites) == 1:
+            warnings.warn(
+                f"max_retries={max_retries} with a single-site selector: "
+                "every retry re-runs at the same site, so a permanent "
+                "site fault can never be failed over",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
-    def run(self, plan: Plan) -> WorkflowResult:
+    def run(
+        self,
+        plan: Plan,
+        completed: Optional[set[str]] = None,
+        until: Optional[float] = None,
+    ) -> WorkflowResult:
         """Execute ``plan`` to completion on the simulator's clock.
+
+        ``completed`` names steps already satisfied (rescue resume):
+        they are treated as done without dispatching a job and without
+        invoking the step listener.  ``until`` kills the run at that
+        simulation time — the partial result comes back with
+        ``interrupted=True`` and any abandoned events flushed, which is
+        how crashed campaigns are modelled for rescue testing.
 
         Missing source datasets raise
         :class:`~repro.errors.ExecutionError` before any dispatch: the
@@ -122,24 +180,92 @@ class WorkflowScheduler:
             steps=len(plan.steps),
             pattern=self.pattern,
         ) as run_span:
-            result = self._run(plan)
+            result = self._run(plan, completed or set(), until)
             if self.obs.enabled:
                 run_span.set("peak_in_flight", result.peak_in_flight)
                 run_span.set("failed", len(result.failed_steps))
+                run_span.set("skipped", len(result.skipped_steps))
+                run_span.set("resumed", len(result.pre_completed))
             return result
 
-    def _run(self, plan: Plan) -> WorkflowResult:
+    def _run(
+        self, plan: Plan, completed: set[str], until: Optional[float]
+    ) -> WorkflowResult:
         obs = self.obs
+        recovery = self.recovery
+        policy = recovery.retry_policy
+        breakers = recovery.breakers
+        all_sites = sorted(self.selector.sites)
         result = WorkflowResult(plan=plan, started_at=self.grid.simulator.now)
-        done: set[str] = set()
+        result.pre_completed = {n for n in completed if n in plan.steps}
+        done: set[str] = set(result.pre_completed)
         in_flight: set[str] = set()
+        #: Steps with a resubmission already scheduled (backoff delay or
+        #: breaker deferral) — dispatch_ready must not double-submit.
+        pending_retry: set[str] = set()
         attempts: dict[str, int] = {}
+        #: Step -> sites where an attempt of it already failed.
+        failed_sites: dict[str, set[str]] = {}
+        total = len(plan.steps)
+        #: Simulation time the workflow reached a terminal state; the
+        #: clock may run past it (killed stragglers still hold hosts).
+        finish_clock: dict[str, Optional[float]] = {"t": None}
+
+        dependents: dict[str, set[str]] = {}
+        for name, deps in plan.dependencies.items():
+            for dep in deps:
+                dependents.setdefault(dep, set()).add(name)
+
+        def terminal_count() -> int:
+            return (
+                len(done)
+                + len(result.failed_steps)
+                + len(result.skipped_steps)
+            )
+
+        def note_terminal() -> None:
+            if finish_clock["t"] is None and terminal_count() >= total:
+                finish_clock["t"] = self.grid.simulator.now
+
+        def note_breaker(site: str) -> None:
+            if obs.enabled and breakers is not None:
+                obs.gauge(
+                    "scheduler.breaker.state",
+                    breakers.breaker(site).state_code,
+                    site=site,
+                    help="per-site breaker (0=closed 1=half-open 2=open)",
+                )
+
+        def skip_downstream(root: str) -> None:
+            """Record every transitive dependent as upstream-failed."""
+            frontier = list(dependents.get(root, ()))
+            while frontier:
+                name = frontier.pop()
+                if (
+                    name in done
+                    or name in result.failed_steps
+                    or name in result.skipped_steps
+                ):
+                    continue
+                result.skipped_steps[name] = f"upstream-failed:{root}"
+                if obs.enabled:
+                    obs.count(
+                        "scheduler.steps",
+                        status="skipped",
+                        help="step completions by terminal status",
+                    )
+                frontier.extend(dependents.get(name, ()))
 
         def dispatch_ready() -> None:
-            if result.failed_steps:
+            if result.failed_steps and recovery.failure_policy == FAIL_FAST:
                 return
             for name in plan.ready_steps(done):
-                if name in in_flight:
+                if (
+                    name in in_flight
+                    or name in pending_retry
+                    or name in result.failed_steps
+                    or name in result.skipped_steps
+                ):
                     continue
                 # The workflow-level width cap ("as many as 120 hosts in
                 # a single workflow", §6) bounds jobs in flight globally.
@@ -151,7 +277,37 @@ class WorkflowScheduler:
                 submit(name)
 
         def submit(name: str) -> None:
+            pending_retry.discard(name)
             step = plan.steps[name]
+            now = self.grid.simulator.now
+            candidates: Optional[list[str]] = None
+            excluded = failed_sites.get(name)
+            if recovery.failover and excluded:
+                pool = [s for s in all_sites if s not in excluded]
+                if pool:  # all sites failed: fall back to every site
+                    candidates = pool
+            if breakers is not None:
+                pool = candidates if candidates is not None else all_sites
+                avail = breakers.available(pool, now)
+                if not avail and candidates is not None:
+                    # Every failover candidate is tripped; widen to all.
+                    avail = breakers.available(all_sites, now)
+                if not avail:
+                    # Every breaker open: park until the first cooldown
+                    # expires (or poll while a half-open probe flies).
+                    resume_at = breakers.earliest_retry(all_sites, now)
+                    wait = resume_at - now
+                    if wait <= 0:
+                        wait = 1.0
+                    pending_retry.add(name)
+                    if obs.enabled:
+                        obs.count(
+                            "scheduler.breaker.deferrals",
+                            help="submissions delayed by open breakers",
+                        )
+                    self.grid.simulator.schedule(wait, lambda: submit(name))
+                    return
+                candidates = avail
             attempts[name] = attempts.get(name, 0) + 1
             in_flight.add(name)
             result.peak_in_flight = max(result.peak_in_flight, len(in_flight))
@@ -171,9 +327,15 @@ class WorkflowScheduler:
                     len(plan.ready_steps(done)) - len(in_flight),
                     help="ready steps awaiting dispatch",
                 )
-            choice = self.selector.choose(
-                step, self.pattern, now=self.grid.simulator.now
-            )
+            if candidates is None:
+                choice = self.selector.choose(step, self.pattern, now=now)
+            else:
+                choice = self.selector.choose(
+                    step, self.pattern, now=now, candidates=candidates
+                )
+            if breakers is not None:
+                breakers.breaker(choice.site).admit(now)
+                note_breaker(choice.site)
             spec = JobSpec(
                 name=name,
                 site=choice.site,
@@ -188,7 +350,7 @@ class WorkflowScheduler:
                 setup_seconds=choice.procedure_seconds,
             )
 
-            def on_complete(record: JobRecord) -> None:
+            def conclude(record: JobRecord) -> None:
                 in_flight.discard(name)
                 if obs.enabled:
                     obs.record(
@@ -212,23 +374,58 @@ class WorkflowScheduler:
                         help="simulated batch-queue wait per step",
                     )
                     obs.gauge("scheduler.in_flight", len(in_flight))
-                if record.succeeded:
-                    done.add(name)
-                    if choice.ship_procedure:
-                        self.selector.procedures.install(
-                            step.transformation.name, choice.site
-                        )
-                    result.outcomes[name] = StepOutcome(
-                        step=name,
-                        site=choice.site,
-                        attempts=attempts[name],
-                        record=record,
+
+            def handle_success(record: JobRecord) -> None:
+                done.add(name)
+                if breakers is not None:
+                    breakers.breaker(choice.site).record_success(
+                        self.grid.simulator.now
                     )
-                    if self.step_listener is not None:
-                        self.step_listener(step, choice, record)
-                    dispatch_ready()
-                elif attempts[name] <= self.max_retries:
-                    submit(name)
+                    note_breaker(choice.site)
+                if choice.ship_procedure:
+                    self.selector.procedures.install(
+                        step.transformation.name, choice.site
+                    )
+                result.outcomes[name] = StepOutcome(
+                    step=name,
+                    site=choice.site,
+                    attempts=attempts[name],
+                    record=record,
+                )
+                if self.step_listener is not None:
+                    self.step_listener(step, choice, record)
+                note_terminal()
+                dispatch_ready()
+
+            def handle_failure(record: JobRecord) -> None:
+                failed_sites.setdefault(name, set()).add(choice.site)
+                now = self.grid.simulator.now
+                if breakers is not None:
+                    breakers.breaker(choice.site).record_failure(now)
+                    note_breaker(choice.site)
+                if obs.enabled and record.fault:
+                    obs.count(
+                        "scheduler.step.faults",
+                        kind=record.fault,
+                        help="failed attempts by fault kind",
+                    )
+                if attempts[name] <= self.max_retries:
+                    delay = policy.delay(attempts[name], key=name)
+                    if obs.enabled:
+                        obs.observe(
+                            "scheduler.retry.backoff_seconds",
+                            delay,
+                            help="retry delays (sim time)",
+                        )
+                    if delay <= 0.0:
+                        # Synchronous resubmit preserves the historical
+                        # event ordering of immediate retries.
+                        submit(name)
+                    else:
+                        pending_retry.add(name)
+                        self.grid.simulator.schedule(
+                            delay, lambda: submit(name)
+                        )
                 else:
                     obs.count(
                         "scheduler.failures",
@@ -241,13 +438,72 @@ class WorkflowScheduler:
                         attempts=attempts[name],
                         record=record,
                     )
+                    skip_downstream(name)
+                    note_terminal()
+                    if recovery.failure_policy == RUN_WHAT_YOU_CAN:
+                        dispatch_ready()
 
-            self.grid.submit(spec, on_complete)
+            def on_complete(record: JobRecord) -> None:
+                conclude(record)
+                if not record.succeeded:
+                    handle_failure(record)
+                    return
+                bad = self.grid.verify_outputs(record)
+                if bad:
+                    # Write-back validation: quarantine corrupt replicas
+                    # and treat the attempt as failed so it re-executes.
+                    for lfn in bad:
+                        self.grid.quarantine(lfn, choice.site)
+                    record.status = "failed"
+                    record.fault = "corrupt"
+                    record.error = (
+                        "output verification failed for "
+                        + ", ".join(sorted(bad))
+                    )
+                    handle_failure(record)
+                    return
+                handle_success(record)
+
+            record = self.grid.submit(spec, on_complete)
+            if recovery.step_timeout is not None:
+                this_attempt = attempts[name]
+
+                def watchdog() -> None:
+                    # Stale timers: a newer attempt superseded this one,
+                    # or the attempt already reached a terminal state.
+                    if attempts.get(name) != this_attempt:
+                        return
+                    if record.status in ("done", "failed", "killed"):
+                        return
+                    self.grid.cancel(record)
+                    record.status = "killed"
+                    if obs.enabled:
+                        obs.count(
+                            "scheduler.timeouts",
+                            help="straggler attempts killed at step timeout",
+                        )
+                    conclude(record)
+                    handle_failure(record)
+
+                self.grid.simulator.schedule(recovery.step_timeout, watchdog)
 
         dispatch_ready()
-        self.grid.simulator.run()
-        result.finished_at = self.grid.simulator.now
-        if not result.succeeded and not result.failed_steps:
+        self.grid.simulator.run(until=until)
+        if until is not None and terminal_count() < total:
+            # Killed mid-flight: drop abandoned events so a resume on
+            # the same simulator cannot replay them.
+            result.interrupted = True
+            self.grid.simulator.flush()
+        result.finished_at = (
+            finish_clock["t"]
+            if finish_clock["t"] is not None
+            else self.grid.simulator.now
+        )
+        if (
+            not result.succeeded
+            and not result.failed_steps
+            and not result.interrupted
+        ):
             missing = sorted(set(plan.steps) - done)
             raise ExecutionError(
                 f"workflow stalled; steps never became ready: {missing[:5]}"

@@ -1,0 +1,85 @@
+"""Fault injection and fault-tolerant workflow execution.
+
+The §5.4 workflow manager must "monitor completion" on a grid where
+partial failure is the norm (§6 reports campaigns across ~120 hosts).
+This package supplies both halves of that story for the simulated
+grid:
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic fault model
+  (:class:`FaultPlan` / :class:`FaultInjector`): site outages and
+  degradation windows, transient vs. permanent job faults, wide-area
+  transfer failures, straggler slowdowns and corrupted outputs;
+* :mod:`repro.resilience.policies` — recovery policies the scheduler
+  plugs in (:class:`RetryPolicy` with exponential backoff and
+  deterministic jitter, per-site :class:`CircuitBreaker` automata with
+  half-open probing, the ``fail-fast`` vs ``run-what-you-can``
+  failure policy, straggler timeouts) bundled as
+  :class:`RecoveryConfig`;
+* :mod:`repro.resilience.rescue` — DAGMan-style rescue files
+  (:class:`RescueFile`) that let ``GridExecutor.materialize(...,
+  rescue=...)`` and ``repro run --rescue`` resume a killed or failed
+  run, re-executing only unfinished steps after checksum-verifying
+  (and quarantining) recorded replicas.
+
+See ``docs/RESILIENCE.md`` for the full fault model and policy guide.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    Degradation,
+    FaultInjector,
+    FaultPlan,
+    OutageWindow,
+)
+from repro.resilience.policies import (
+    CLOSED,
+    FAIL_FAST,
+    FAILURE_POLICIES,
+    HALF_OPEN,
+    OPEN,
+    RUN_WHAT_YOU_CAN,
+    STATE_CODES,
+    BreakerBoard,
+    CircuitBreaker,
+    ExponentialBackoff,
+    ImmediateRetry,
+    RecoveryConfig,
+    RetryPolicy,
+)
+from repro.resilience.rescue import (
+    RescueFile,
+    RescueRestore,
+    RescueStep,
+    apply_rescue,
+    expected_digest,
+    plan_signature,
+    rescue_from_result,
+)
+
+__all__ = [
+    "CLOSED",
+    "FAULT_KINDS",
+    "FAIL_FAST",
+    "FAILURE_POLICIES",
+    "HALF_OPEN",
+    "OPEN",
+    "RUN_WHAT_YOU_CAN",
+    "STATE_CODES",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Degradation",
+    "ExponentialBackoff",
+    "FaultInjector",
+    "FaultPlan",
+    "ImmediateRetry",
+    "OutageWindow",
+    "RecoveryConfig",
+    "RescueFile",
+    "RescueRestore",
+    "RescueStep",
+    "RetryPolicy",
+    "apply_rescue",
+    "expected_digest",
+    "plan_signature",
+    "rescue_from_result",
+]

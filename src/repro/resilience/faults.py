@@ -1,0 +1,370 @@
+"""Deterministic fault injection for the simulated grid.
+
+The paper's production runs ("a grid consisting of almost 800 hosts
+spread across four sites", §6) lived with partial failure as the norm:
+sites drop out, transfers abort mid-stream, batch jobs die, disks
+corrupt files.  :class:`FaultPlan` describes such an environment as
+data — seeded rates plus explicit site outage/degradation windows —
+and :class:`FaultInjector` turns the plan into per-event verdicts that
+the grid layer (:mod:`repro.grid.gram`, :mod:`repro.grid.network`)
+consults at submission, staging, execution and stage-out time.
+
+Two properties matter:
+
+* **Determinism** — every verdict is derived from the plan's seed plus
+  a stable key (fault kind, job/LFN/site names, attempt ordinal), so a
+  run with the same plan, workload and seed reproduces exactly, which
+  is what the recovery tests and the CI fault matrix rely on.
+* **Fault taxonomy** — verdicts distinguish *transient* job faults
+  (a retry may succeed), *permanent* job faults (this job can never
+  succeed at this site — only failover helps), site *outages* (every
+  job at the site fails during the window), *degradations* (straggler
+  slowdowns), *transfer* faults (stage-in dies on the wire) and
+  *corrupted outputs* (stage-out writes bytes whose size/checksum do
+  not match the declaration).  The taxonomy follows the WMS fault
+  models surveyed in "A Taxonomy of Data Grids" (cs/0506034).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import FaultPlanError
+from repro.observability.instrument import NULL, Instrumentation
+
+#: Fault kinds stamped on :class:`~repro.grid.gram.JobRecord.fault`.
+FAULT_KINDS = (
+    "transient",
+    "permanent",
+    "outage",
+    "transfer",
+    "corrupt",
+    "timeout",
+)
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A full-site outage: every job and transfer touching ``site``
+    fails while ``start <= t < end``."""
+
+    site: str
+    start: float
+    end: float
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        return self.start < hi and lo < self.end
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """A straggler window: jobs starting at ``site`` during the window
+    run ``slowdown`` times longer than nominal."""
+
+    site: str
+    start: float
+    end: float
+    slowdown: float = 3.0
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass
+class FaultPlan:
+    """Everything the injector needs, as plain data (JSON-round-trips).
+
+    Rates are probabilities in ``[0, 1)`` evaluated per event:
+    ``transient_rate`` per job attempt, ``permanent_rate`` per
+    (job, site) pair, ``transfer_fault_rate`` per wide-area transfer,
+    ``corruption_rate`` per output file staged out.  Site-specific
+    transient rates override the global one.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    permanent_rate: float = 0.0
+    transfer_fault_rate: float = 0.0
+    corruption_rate: float = 0.0
+    outages: list[OutageWindow] = field(default_factory=list)
+    degradations: list[Degradation] = field(default_factory=list)
+    site_transient_rates: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transient_rate",
+            "permanent_rate",
+            "transfer_fault_rate",
+            "corruption_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1); got {rate}")
+        for site, rate in self.site_transient_rates.items():
+            if not 0.0 <= rate < 1.0:
+                raise FaultPlanError(
+                    f"site_transient_rates[{site!r}] must be in [0, 1)"
+                )
+        for window in self.outages:
+            if window.end <= window.start:
+                raise FaultPlanError(
+                    f"outage window for {window.site!r} is empty "
+                    f"({window.start} .. {window.end})"
+                )
+        for window in self.degradations:
+            if window.slowdown < 1.0:
+                raise FaultPlanError("degradation slowdown must be >= 1.0")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            not self.transient_rate
+            and not self.permanent_rate
+            and not self.transfer_fault_rate
+            and not self.corruption_rate
+            and not self.outages
+            and not self.degradations
+            and not any(self.site_transient_rates.values())
+        )
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "transient_rate": self.transient_rate,
+            "permanent_rate": self.permanent_rate,
+            "transfer_fault_rate": self.transfer_fault_rate,
+            "corruption_rate": self.corruption_rate,
+            "outages": [
+                {"site": w.site, "start": w.start, "end": w.end}
+                for w in self.outages
+            ],
+            "degradations": [
+                {
+                    "site": w.site,
+                    "start": w.start,
+                    "end": w.end,
+                    "slowdown": w.slowdown,
+                }
+                for w in self.degradations
+            ],
+            "site_transient_rates": dict(self.site_transient_rates),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        try:
+            return cls(
+                seed=int(data.get("seed", 0)),
+                transient_rate=float(data.get("transient_rate", 0.0)),
+                permanent_rate=float(data.get("permanent_rate", 0.0)),
+                transfer_fault_rate=float(data.get("transfer_fault_rate", 0.0)),
+                corruption_rate=float(data.get("corruption_rate", 0.0)),
+                outages=[
+                    OutageWindow(
+                        site=w["site"],
+                        start=float(w["start"]),
+                        end=float(w["end"]),
+                    )
+                    for w in data.get("outages", ())
+                ],
+                degradations=[
+                    Degradation(
+                        site=w["site"],
+                        start=float(w["start"]),
+                        end=float(w["end"]),
+                        slowdown=float(w.get("slowdown", 3.0)),
+                    )
+                    for w in data.get("degradations", ())
+                ],
+                site_transient_rates={
+                    site: float(rate)
+                    for site, rate in data.get(
+                        "site_transient_rates", {}
+                    ).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault plan: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FaultPlanError(
+                f"cannot read fault plan {str(path)!r}: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into per-event verdicts.
+
+    Verdicts are derived from ``hash(seed, kind, key, ordinal)``-seeded
+    RNG draws: the ordinal counts how many times the same (kind, key)
+    pair was asked, so the first attempt of a job and its retry get
+    independent — but individually reproducible — draws.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        self.plan = plan
+        self.obs = instrumentation or NULL
+        self._ordinals: dict[tuple[str, str], int] = {}
+        #: Count of verdicts that injected a fault, by kind.
+        self.injected: dict[str, int] = {}
+
+    # -- deterministic draws -----------------------------------------------
+
+    def _draw(self, kind: str, key: str) -> float:
+        """A fresh U[0,1) draw for (kind, key), deterministic per plan."""
+        ordinal = self._ordinals.get((kind, key), 0)
+        self._ordinals[(kind, key)] = ordinal + 1
+        return random.Random(
+            f"{self.plan.seed}:{kind}:{key}:{ordinal}"
+        ).random()
+
+    def _stable_draw(self, kind: str, key: str) -> float:
+        """A draw that is the same every time it is asked (no ordinal)."""
+        return random.Random(f"{self.plan.seed}:{kind}:{key}").random()
+
+    def _record(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if self.obs.enabled:
+            self.obs.count(
+                "grid.faults.injected",
+                kind=kind,
+                help="injected faults by kind",
+            )
+
+    # -- verdicts ----------------------------------------------------------
+
+    def outage(self, site: str, now: float) -> Optional[OutageWindow]:
+        """The outage window covering ``site`` at ``now``, if any."""
+        for window in self.plan.outages:
+            if window.site == site and window.covers(now):
+                return window
+        return None
+
+    def outage_overlapping(
+        self, site: str, start: float, end: float
+    ) -> Optional[OutageWindow]:
+        """An outage window intersecting ``[start, end)`` at ``site``."""
+        for window in self.plan.outages:
+            if window.site == site and window.overlaps(start, end):
+                return window
+        return None
+
+    def next_outage_end(self, site: str, now: float) -> Optional[float]:
+        """When the current outage at ``site`` lifts (None if up)."""
+        window = self.outage(site, now)
+        return window.end if window else None
+
+    def site_down(self, site: str, now: float) -> Optional[str]:
+        """Reason string when ``site`` is in an outage at ``now``."""
+        window = self.outage(site, now)
+        if window is None:
+            return None
+        self._record("outage")
+        return f"site {site!r} is down until t={window.end:g}"
+
+    def run_fault(
+        self, job: str, site: str, start: float, end: float
+    ) -> Optional[tuple[str, str]]:
+        """(kind, reason) verdict for a job running ``[start, end)``.
+
+        An outage anywhere in the run window kills the job; otherwise
+        the per-attempt job fault draws apply.
+        """
+        window = self.outage_overlapping(site, start, end)
+        if window is not None:
+            self._record("outage")
+            return (
+                "outage",
+                f"site {site!r} went down at t={window.start:g} "
+                f"(until t={window.end:g})",
+            )
+        kind = self.job_fault(job, site)
+        if kind == "permanent":
+            return (
+                kind,
+                f"permanent fault: {job!r} can never succeed at {site!r}",
+            )
+        if kind == "transient":
+            return (kind, f"transient execution fault at {site!r}")
+        return None
+
+    def slowdown(self, site: str, when: float) -> float:
+        """CPU-time multiplier for a job starting at ``site`` then."""
+        factor = 1.0
+        for window in self.plan.degradations:
+            if window.site == site and window.covers(when):
+                factor = max(factor, window.slowdown)
+        if factor > 1.0:
+            self._record("straggler")
+        return factor
+
+    def transfer_fault(
+        self, lfn: str, src: str, dst: str, now: float
+    ) -> Optional[str]:
+        """Reason string when the transfer should fail, else None."""
+        if src == dst:
+            return None  # local copies do not cross the wide area
+        for site in (src, dst):
+            window = self.outage(site, now)
+            if window is not None:
+                self._record("outage")
+                return (
+                    f"site {site!r} is down until t={window.end:g}; "
+                    f"transfer of {lfn!r} aborted"
+                )
+        rate = self.plan.transfer_fault_rate
+        if rate and self._draw("transfer", f"{lfn}>{src}>{dst}") < rate:
+            self._record("transfer")
+            return f"transfer of {lfn!r} from {src!r} to {dst!r} failed"
+        return None
+
+    def job_fault(self, job: str, site: str) -> Optional[str]:
+        """Fault kind for one job attempt at ``site`` (None = healthy).
+
+        Permanent verdicts are *stable*: once a (job, site) pair is
+        condemned, every attempt there fails, so only failover to a
+        different site can save the step.
+        """
+        if self.plan.permanent_rate and (
+            self._stable_draw("permanent", f"{job}@{site}")
+            < self.plan.permanent_rate
+        ):
+            self._record("permanent")
+            return "permanent"
+        rate = self.plan.site_transient_rates.get(
+            site, self.plan.transient_rate
+        )
+        if rate and self._draw("transient", f"{job}@{site}") < rate:
+            self._record("transient")
+            return "transient"
+        return None
+
+    def corrupt_output(self, job: str, lfn: str) -> bool:
+        """Whether this stage-out writes a corrupted copy of ``lfn``."""
+        rate = self.plan.corruption_rate
+        if rate and self._draw("corrupt", f"{job}:{lfn}") < rate:
+            self._record("corrupt")
+            return True
+        return False

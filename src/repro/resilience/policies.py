@@ -1,0 +1,267 @@
+"""Recovery policies: retry backoff, circuit breakers, failure modes.
+
+The scheduler's original recovery story was "resubmit immediately to
+the same site, abort everything on the first exhausted step".  This
+module supplies the pluggable pieces of the hardened story:
+
+* :class:`RetryPolicy` — when to resubmit a failed attempt.
+  :class:`ImmediateRetry` preserves the historical behaviour;
+  :class:`ExponentialBackoff` spaces attempts out on the *simulation*
+  clock with deterministic jitter (seeded per step+attempt), the
+  standard defence against retry storms on a struggling site.
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-site breakers
+  with the classic closed → open → half-open automaton: enough
+  consecutive failures open the breaker, a cooldown later one probe
+  job is let through, and its outcome decides between closing and
+  re-opening (cf. the site banning/blacklisting machinery of
+  production WMS stacks such as DIRAC).
+* :class:`RecoveryConfig` — one bundle of the above plus the
+  workflow-level failure policy (``fail-fast`` vs
+  ``run-what-you-can``) and the per-attempt straggler timeout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PlanningError
+
+#: Breaker states, with the numeric codes exported as the
+#: ``scheduler.breaker.state`` gauge.
+CLOSED, HALF_OPEN, OPEN = "closed", "half-open", "open"
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Workflow-level failure policies.
+FAIL_FAST = "fail-fast"
+RUN_WHAT_YOU_CAN = "run-what-you-can"
+FAILURE_POLICIES = (FAIL_FAST, RUN_WHAT_YOU_CAN)
+
+
+class RetryPolicy:
+    """Decides the delay (sim seconds) before resubmitting a step.
+
+    ``attempt`` is the number of attempts already failed (1 after the
+    first failure).  ``key`` is the step name, used only to decorrelate
+    jitter between steps.
+    """
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ImmediateRetry(RetryPolicy):
+    """Resubmit at once — the historical (pre-resilience) behaviour."""
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        return 0.0
+
+    def describe(self) -> str:
+        return "immediate"
+
+
+class ExponentialBackoff(RetryPolicy):
+    """``base * factor**(attempt-1)`` capped at ``max_delay``, plus
+    deterministic jitter in ``[0, jitter * delay)``.
+
+    Jitter is seeded from ``(seed, key, attempt)`` so a rerun of the
+    same workflow produces byte-identical schedules while different
+    steps still decorrelate.
+    """
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        factor: float = 2.0,
+        max_delay: float = 300.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+    ):
+        if base < 0 or factor < 1.0 or max_delay < 0 or jitter < 0:
+            raise PlanningError("invalid backoff parameters")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        raw = min(self.base * self.factor ** max(0, attempt - 1),
+                  self.max_delay)
+        if not self.jitter:
+            return raw
+        frac = random.Random(f"{self.seed}:{key}:{attempt}").random()
+        return raw * (1.0 + self.jitter * frac)
+
+    def describe(self) -> str:
+        return (
+            f"backoff(base={self.base:g}, factor={self.factor:g}, "
+            f"max={self.max_delay:g})"
+        )
+
+
+class CircuitBreaker:
+    """One site's closed/open/half-open failure automaton.
+
+    * **closed** — traffic flows; ``failure_threshold`` *consecutive*
+      failures trip the breaker open.
+    * **open** — no traffic for ``cooldown`` sim seconds.
+    * **half-open** — exactly one probe job is admitted; success closes
+      the breaker (and resets the failure count), failure re-opens it
+      for another cooldown.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        failure_threshold: int = 3,
+        cooldown: float = 120.0,
+    ):
+        if failure_threshold < 1:
+            raise PlanningError("breaker failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise PlanningError("breaker cooldown must be positive")
+        self.site = site
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self._probe_in_flight = False
+        #: (time, old_state, new_state) transition log.
+        self.transitions: list[tuple[float, str, str]] = []
+
+    def _move(self, state: str, now: float) -> None:
+        if state != self.state:
+            self.transitions.append((now, self.state, state))
+            self.state = state
+
+    def allows(self, now: float) -> bool:
+        """Whether a submission to this site may proceed at ``now``."""
+        if self.state == OPEN:
+            if now - self.opened_at >= self.cooldown:
+                self._move(HALF_OPEN, now)
+                self._probe_in_flight = False
+            else:
+                return False
+        if self.state == HALF_OPEN:
+            return not self._probe_in_flight
+        return True
+
+    def admit(self, now: float) -> None:
+        """Record that a submission was let through (probe tracking)."""
+        if self.state == HALF_OPEN:
+            self._probe_in_flight = True
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+        self._move(CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._move(OPEN, now)
+            self.opened_at = now
+            self._probe_in_flight = False
+
+    def retry_at(self, now: float) -> float:
+        """Earliest time a submission could be admitted."""
+        if self.state == OPEN:
+            return self.opened_at + self.cooldown
+        return now
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+
+class BreakerBoard:
+    """The per-site breaker registry the scheduler consults."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown: float = 120.0):
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, site: str) -> CircuitBreaker:
+        if site not in self._breakers:
+            self._breakers[site] = CircuitBreaker(
+                site,
+                failure_threshold=self.failure_threshold,
+                cooldown=self.cooldown,
+            )
+        return self._breakers[site]
+
+    def available(self, sites: list[str], now: float) -> list[str]:
+        return [s for s in sites if self.breaker(s).allows(now)]
+
+    def earliest_retry(self, sites: list[str], now: float) -> float:
+        """Soonest any of ``sites`` re-admits traffic."""
+        return min(self.breaker(s).retry_at(now) for s in sites)
+
+    def states(self) -> dict[str, str]:
+        return {site: b.state for site, b in sorted(self._breakers.items())}
+
+    def __iter__(self):
+        return iter(self._breakers.values())
+
+
+@dataclass
+class RecoveryConfig:
+    """The full recovery posture for one workflow run.
+
+    ``step_timeout`` bounds a single *attempt* in sim seconds: an
+    attempt still unfinished when the timer fires is killed (the
+    straggler keeps its host busy but its outputs are discarded) and
+    the step re-enters the retry path.  ``failover=True`` re-invokes
+    the site selector on every retry with the sites that already
+    failed this step excluded (falling back to all sites when the
+    exclusion would leave none).
+    """
+
+    retry_policy: RetryPolicy = field(default_factory=ImmediateRetry)
+    breakers: Optional[BreakerBoard] = None
+    failure_policy: str = FAIL_FAST
+    step_timeout: Optional[float] = None
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise PlanningError(
+                f"unknown failure policy {self.failure_policy!r}; "
+                f"expected one of {FAILURE_POLICIES}"
+            )
+        if self.step_timeout is not None and self.step_timeout <= 0:
+            raise PlanningError("step_timeout must be positive")
+
+    @classmethod
+    def hardened(
+        cls,
+        seed: int = 0,
+        failure_policy: str = RUN_WHAT_YOU_CAN,
+        step_timeout: Optional[float] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 120.0,
+        backoff_base: float = 1.0,
+    ) -> "RecoveryConfig":
+        """The recommended production posture: exponential backoff with
+        deterministic jitter, per-site breakers, failover, and
+        independent branches kept running."""
+        return cls(
+            retry_policy=ExponentialBackoff(base=backoff_base, seed=seed),
+            breakers=BreakerBoard(
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+            ),
+            failure_policy=failure_policy,
+            step_timeout=step_timeout,
+            failover=True,
+        )

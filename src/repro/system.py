@@ -40,6 +40,9 @@ from repro.planner.request import MaterializationRequest
 from repro.planner.scheduler import WorkflowResult
 from repro.planner.strategies import ProcedureRegistry, SiteSelector
 from repro.provenance.lineage import LineageReport, lineage_report
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policies import RecoveryConfig
+from repro.resilience.rescue import RescueFile
 
 
 class VirtualDataSystem:
@@ -76,11 +79,14 @@ class VirtualDataSystem:
         cls,
         sites: dict[str, int],
         authority: Optional[str] = None,
+        catalog: Optional[VirtualDataCatalog] = None,
         bandwidth: float = 10e6,
         host_speed: float = 1.0,
         failure_rate: float = 0.0,
         seed: int = 0,
         instrumentation: Optional[Instrumentation] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> "VirtualDataSystem":
         """Build a system attached to a fresh simulated grid.
 
@@ -88,12 +94,22 @@ class VirtualDataSystem:
         SDSS testbed is ``{"anl": 200, "uc": 200, "uw": 200,
         "ufl": 200}`` (four sites, ~800 hosts).
 
+        ``fault_plan`` attaches a deterministic
+        :class:`~repro.resilience.FaultInjector` to the grid (outages,
+        transfer faults, stragglers, corruption); ``recovery`` sets the
+        scheduler's recovery posture (backoff, breakers, failover —
+        see :meth:`~repro.resilience.RecoveryConfig.hardened`).
+
         Passing an :class:`~repro.observability.Instrumentation`
         threads one tracer + metrics registry through the catalog,
         planner, scheduler, executor and grid, with spans stamped in
         both wall and simulation time.
         """
-        vds = cls(authority=authority, instrumentation=instrumentation)
+        vds = cls(
+            catalog=catalog,
+            authority=authority,
+            instrumentation=instrumentation,
+        )
         vds.simulator = Simulator(instrumentation=vds.obs)
         vds.obs.bind_simulator(vds.simulator)
         vds.network = uniform_topology(sorted(sites), bandwidth=bandwidth)
@@ -103,6 +119,9 @@ class VirtualDataSystem:
             for name, count in sites.items()
         }
         replicas = ReplicaLocationService(vds.network)
+        injector = None
+        if fault_plan is not None and not fault_plan.is_null:
+            injector = FaultInjector(fault_plan, instrumentation=vds.obs)
         vds.grid = GridExecutionService(
             vds.simulator,
             site_objects,
@@ -111,6 +130,7 @@ class VirtualDataSystem:
             failure_rate=failure_rate,
             seed=seed,
             instrumentation=vds.obs,
+            injector=injector,
         )
         vds.selector = SiteSelector(
             site_objects, vds.network, replicas, ProcedureRegistry()
@@ -121,6 +141,7 @@ class VirtualDataSystem:
             vds.selector,
             estimator=vds.estimator,
             instrumentation=vds.obs,
+            recovery=recovery,
         )
         return vds
 
@@ -223,8 +244,15 @@ class VirtualDataSystem:
         reuse: str = "cost",
         pattern: str = "ship-data",
         max_hosts: Optional[int] = None,
+        rescue: Optional[RescueFile | str] = None,
+        until: Optional[float] = None,
     ) -> WorkflowResult:
-        """Plan and execute on the grid, recording full provenance."""
+        """Plan and execute on the grid, recording full provenance.
+
+        ``rescue`` resumes a killed/failed run from a rescue file
+        (only unfinished steps re-execute); ``until`` kills this run
+        at that simulation time and returns the partial result.
+        """
         self._require_grid()
         request = MaterializationRequest(
             targets=targets if not isinstance(targets, str) else (targets,),
@@ -238,7 +266,9 @@ class VirtualDataSystem:
             reuse=reuse,
             pattern=pattern,
         ):
-            return self.executor.materialize(request)
+            return self.executor.materialize(
+                request, rescue=rescue, until=until
+            )
 
     # -- discovery (§5.5) ---------------------------------------------------------------------
 

@@ -1,0 +1,114 @@
+"""Shared helpers for the resilience suite.
+
+``FAULT_SEED`` parameterizes every seeded fault plan here; the CI
+fault-matrix job reruns the suite under several values (see
+``.github/workflows/ci.yml``), so tests must pass for *any* seed —
+assert on invariants (determinism, recovery, state equivalence), not
+on which particular draws fault.
+"""
+
+from __future__ import annotations
+
+import os
+from types import SimpleNamespace
+from typing import Callable, Optional
+
+from repro.catalog.memory import MemoryCatalog
+from repro.grid.gram import GridExecutionService
+from repro.grid.network import uniform_topology
+from repro.grid.replica_catalog import ReplicaLocationService
+from repro.grid.simulator import Simulator
+from repro.grid.site import Site
+from repro.planner.dag import Planner
+from repro.planner.request import MaterializationRequest
+from repro.planner.strategies import SiteSelector
+from repro.resilience import FaultInjector, FaultPlan
+
+#: The CI fault matrix exports FAULT_SEED=0/1/2; locally it is 0.
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+#: One generator step — the smallest possible plan.
+SINGLE_VDL = """
+TR gen( output o, none seed="1" ) {
+  argument = "-s "${none:seed};
+  argument stdout = ${output:o};
+  exec = "/bin/gen";
+}
+DV g1->gen( o=@{output:"a0"}, seed="42" );
+"""
+
+#: Two independent two-step chains (targets a1 and b1) — the shape
+#: that distinguishes fail-fast from run-what-you-can.
+TWO_BRANCH_VDL = """
+TR gen( output o, none seed="1" ) {
+  argument = "-s "${none:seed};
+  argument stdout = ${output:o};
+  exec = "/bin/gen";
+}
+TR proc( output o, input i ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/bin/proc";
+}
+DV ga->gen( o=@{output:"a0"}, seed="1" );
+DV pa->proc( o=@{output:"a1"}, i=@{input:"a0"} );
+DV gb->gen( o=@{output:"b0"}, seed="2" );
+DV pb->proc( o=@{output:"b1"}, i=@{input:"b0"} );
+"""
+
+
+class StepKiller(FaultInjector):
+    """A test injector that deterministically fails named steps at
+    every site, bypassing the seeded draws entirely."""
+
+    def __init__(self, *steps: str, kind: str = "permanent"):
+        super().__init__(FaultPlan())
+        self.doomed = set(steps)
+        self.kind = kind
+
+    def run_fault(self, job, site, start, end):
+        if job in self.doomed:
+            self._record(self.kind)
+            return (self.kind, f"injected {self.kind} fault for test")
+        return None
+
+
+def make_world(
+    vdl: str,
+    targets: tuple[str, ...],
+    sites: tuple[str, ...] = ("a", "b"),
+    hosts: int = 4,
+    injector: Optional[FaultInjector] = None,
+    cpu: Optional[Callable] = None,
+    pattern: str = "ship-data",
+) -> SimpleNamespace:
+    """A small grid world with a plan ready to run, mirroring the
+    planner test harness but with fault injection attached."""
+    catalog = MemoryCatalog().define(vdl)
+    sim = Simulator()
+    net = uniform_topology(list(sites))
+    site_objects = {name: Site(name, hosts=hosts) for name in sites}
+    rls = ReplicaLocationService(net)
+    grid = GridExecutionService(
+        sim, site_objects, net, rls, injector=injector
+    )
+    selector = SiteSelector(site_objects, net, rls)
+    planner = Planner(
+        catalog, has_replica=rls.has, cpu_estimate=cpu or (lambda dv: 10.0)
+    )
+    plan = planner.plan(
+        MaterializationRequest(
+            targets=targets, reuse="never", pattern=pattern
+        )
+    )
+    return SimpleNamespace(
+        catalog=catalog,
+        sim=sim,
+        net=net,
+        sites=site_objects,
+        rls=rls,
+        grid=grid,
+        selector=selector,
+        plan=plan,
+        pattern=pattern,
+    )

@@ -1,0 +1,223 @@
+"""Tests for the deterministic fault injector (FaultPlan/FaultInjector)."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.resilience import (
+    FAULT_KINDS,
+    Degradation,
+    FaultInjector,
+    FaultPlan,
+    OutageWindow,
+)
+from tests.resilience.conftest import FAULT_SEED
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        for name in (
+            "transient_rate",
+            "permanent_rate",
+            "transfer_fault_rate",
+            "corruption_rate",
+        ):
+            with pytest.raises(FaultPlanError):
+                FaultPlan(**{name: 1.0})
+            with pytest.raises(FaultPlanError):
+                FaultPlan(**{name: -0.1})
+
+    def test_site_rates_validated(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(site_transient_rates={"a": 1.5})
+
+    def test_empty_outage_window_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(outages=[OutageWindow("a", 10.0, 10.0)])
+
+    def test_speedup_degradation_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(degradations=[Degradation("a", 0.0, 5.0, slowdown=0.5)])
+
+    def test_is_null(self):
+        assert FaultPlan().is_null
+        assert FaultPlan(seed=7).is_null  # a seed alone injects nothing
+        assert not FaultPlan(transient_rate=0.1).is_null
+        assert not FaultPlan(outages=[OutageWindow("a", 0, 1)]).is_null
+        assert not FaultPlan(site_transient_rates={"a": 0.2}).is_null
+
+
+class TestFaultPlanSerialization:
+    def make_plan(self):
+        return FaultPlan(
+            seed=FAULT_SEED,
+            transient_rate=0.2,
+            permanent_rate=0.01,
+            transfer_fault_rate=0.05,
+            corruption_rate=0.02,
+            outages=[OutageWindow("anl", 100.0, 500.0)],
+            degradations=[Degradation("uc", 0.0, 50.0, slowdown=4.0)],
+            site_transient_rates={"uw": 0.4},
+        )
+
+    def test_round_trip(self):
+        plan = self.make_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = self.make_plan()
+        path = tmp_path / "faults.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(path)
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(tmp_path / "missing.json")
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"outages": [{"start": 0, "end": 1}]})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"transient_rate": "lots"})
+
+
+class TestDeterminism:
+    def test_same_plan_same_verdicts(self):
+        plan = FaultPlan(seed=FAULT_SEED, transient_rate=0.5)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        jobs = [(f"job{i}", site) for i in range(40) for site in ("x", "y")]
+        verdict_a = [a.job_fault(j, s) for j, s in jobs for _ in range(3)]
+        verdict_b = [b.job_fault(j, s) for j, s in jobs for _ in range(3)]
+        assert verdict_a == verdict_b
+        assert "transient" in verdict_a  # rate 0.5 over 240 draws
+
+    def test_different_seeds_diverge(self):
+        jobs = [(f"job{i}", "x") for i in range(64)]
+        verdicts = []
+        for seed in (FAULT_SEED, FAULT_SEED + 1):
+            inj = FaultInjector(FaultPlan(seed=seed, transient_rate=0.5))
+            verdicts.append([inj.job_fault(j, s) for j, s in jobs])
+        assert verdicts[0] != verdicts[1]
+
+    def test_attempts_draw_independently(self):
+        # The ordinal advances per (kind, key) ask: a retry is a fresh
+        # draw, so a transient fault does not doom every retry.
+        inj = FaultInjector(FaultPlan(seed=FAULT_SEED, transient_rate=0.5))
+        outcomes = {
+            tuple(inj.job_fault(f"j{i}", "x") for _ in range(8))
+            for i in range(20)
+        }
+        assert any(
+            "transient" in seq and None in seq for seq in outcomes
+        )
+
+    def test_permanent_verdict_is_stable(self):
+        inj = FaultInjector(FaultPlan(seed=FAULT_SEED, permanent_rate=0.5))
+        condemned = [
+            f"j{i}"
+            for i in range(20)
+            if inj.job_fault(f"j{i}", "x") == "permanent"
+        ]
+        assert condemned  # rate 0.5 over 20 pairs
+        for job in condemned:
+            for _ in range(5):
+                assert inj.job_fault(job, "x") == "permanent"
+
+
+class TestOutages:
+    def test_window_semantics(self):
+        window = OutageWindow("a", 10.0, 20.0)
+        assert window.covers(10.0)
+        assert window.covers(19.999)
+        assert not window.covers(20.0)
+        assert window.overlaps(15.0, 30.0)
+        assert window.overlaps(0.0, 10.1)
+        assert not window.overlaps(20.0, 30.0)
+        assert not window.overlaps(0.0, 10.0)
+
+    def test_site_down_and_next_end(self):
+        inj = FaultInjector(
+            FaultPlan(outages=[OutageWindow("a", 10.0, 20.0)])
+        )
+        assert inj.site_down("a", 5.0) is None
+        assert inj.site_down("b", 15.0) is None
+        reason = inj.site_down("a", 15.0)
+        assert reason is not None and "down" in reason
+        assert inj.next_outage_end("a", 15.0) == 20.0
+        assert inj.next_outage_end("a", 25.0) is None
+        assert inj.injected["outage"] == 1
+
+    def test_run_fault_outage_beats_transient(self):
+        inj = FaultInjector(
+            FaultPlan(
+                seed=FAULT_SEED,
+                transient_rate=0.5,
+                outages=[OutageWindow("a", 0.0, 100.0)],
+            )
+        )
+        kind, reason = inj.run_fault("j", "a", 50.0, 60.0)
+        assert kind == "outage"
+        assert "went down" in reason
+
+    def test_run_fault_healthy(self):
+        inj = FaultInjector(FaultPlan(seed=FAULT_SEED))
+        assert inj.run_fault("j", "a", 0.0, 10.0) is None
+        assert inj.injected == {}
+
+
+class TestDegradationAndTransfers:
+    def test_slowdown_inside_window_only(self):
+        inj = FaultInjector(
+            FaultPlan(
+                degradations=[
+                    Degradation("a", 0.0, 10.0, slowdown=3.0),
+                    Degradation("a", 5.0, 15.0, slowdown=5.0),
+                ]
+            )
+        )
+        assert inj.slowdown("a", 20.0) == 1.0
+        assert inj.slowdown("b", 5.0) == 1.0
+        assert inj.slowdown("a", 2.0) == 3.0
+        assert inj.slowdown("a", 7.0) == 5.0  # max of overlapping windows
+        assert inj.injected["straggler"] == 2
+
+    def test_transfer_fault_local_copies_exempt(self):
+        inj = FaultInjector(
+            FaultPlan(seed=FAULT_SEED, transfer_fault_rate=0.99)
+        )
+        assert inj.transfer_fault("f", "a", "a", 0.0) is None
+
+    def test_transfer_fault_outage_endpoint(self):
+        inj = FaultInjector(FaultPlan(outages=[OutageWindow("b", 0, 50)]))
+        reason = inj.transfer_fault("f", "a", "b", 10.0)
+        assert reason is not None and "down" in reason
+
+    def test_transfer_fault_seeded_rate(self):
+        plan = FaultPlan(seed=FAULT_SEED, transfer_fault_rate=0.5)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        pairs = [(f"f{i}", "a", "b") for i in range(40)]
+        va = [a.transfer_fault(f, s, d, 0.0) for f, s, d in pairs]
+        vb = [b.transfer_fault(f, s, d, 0.0) for f, s, d in pairs]
+        assert va == vb
+        assert any(v is not None for v in va)
+        assert any(v is None for v in va)
+
+    def test_corrupt_output_seeded(self):
+        inj = FaultInjector(FaultPlan(seed=FAULT_SEED, corruption_rate=0.5))
+        verdicts = [inj.corrupt_output(f"j{i}", f"out{i}") for i in range(40)]
+        assert any(verdicts) and not all(verdicts)
+        assert inj.injected["corrupt"] == sum(verdicts)
+
+    def test_fault_kind_vocabulary(self):
+        assert set(FAULT_KINDS) == {
+            "transient",
+            "permanent",
+            "outage",
+            "transfer",
+            "corrupt",
+            "timeout",
+        }

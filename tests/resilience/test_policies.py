@@ -1,0 +1,188 @@
+"""Tests for retry policies, circuit breakers and RecoveryConfig."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.resilience import (
+    CLOSED,
+    FAIL_FAST,
+    HALF_OPEN,
+    OPEN,
+    RUN_WHAT_YOU_CAN,
+    STATE_CODES,
+    BreakerBoard,
+    CircuitBreaker,
+    ExponentialBackoff,
+    ImmediateRetry,
+    RecoveryConfig,
+)
+
+
+class TestRetryPolicies:
+    def test_immediate_is_zero(self):
+        policy = ImmediateRetry()
+        assert policy.delay(1) == 0.0
+        assert policy.delay(99, key="x") == 0.0
+        assert policy.describe() == "immediate"
+
+    def test_backoff_doubles_without_jitter(self):
+        policy = ExponentialBackoff(base=2.0, factor=2.0, jitter=0.0)
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == [
+            2.0,
+            4.0,
+            8.0,
+            16.0,
+        ]
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = ExponentialBackoff(
+            base=1.0, factor=10.0, max_delay=50.0, jitter=0.0
+        )
+        assert policy.delay(10) == 50.0
+
+    def test_jitter_bounded_and_deterministic(self):
+        a = ExponentialBackoff(base=4.0, jitter=0.25, seed=3)
+        b = ExponentialBackoff(base=4.0, jitter=0.25, seed=3)
+        for attempt in range(1, 6):
+            raw = min(4.0 * 2.0 ** (attempt - 1), 300.0)
+            delay = a.delay(attempt, key="step")
+            assert raw <= delay < raw * 1.25
+            assert delay == b.delay(attempt, key="step")
+
+    def test_jitter_decorrelates_steps(self):
+        policy = ExponentialBackoff(base=4.0, jitter=0.5, seed=0)
+        assert policy.delay(1, key="s1") != policy.delay(1, key="s2")
+
+    def test_invalid_parameters(self):
+        for kwargs in (
+            {"base": -1.0},
+            {"factor": 0.5},
+            {"max_delay": -1.0},
+            {"jitter": -0.1},
+        ):
+            with pytest.raises(PlanningError):
+                ExponentialBackoff(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker("a", failure_threshold=3, cooldown=60.0)
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state == OPEN
+        assert not breaker.allows(10.0)
+        assert breaker.retry_at(10.0) == 63.0
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker("a", failure_threshold=2)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_single_probe(self):
+        breaker = CircuitBreaker("a", failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert breaker.allows(10.0)  # cooldown elapsed -> half-open
+        assert breaker.state == HALF_OPEN
+        breaker.admit(10.0)
+        assert not breaker.allows(10.5)  # probe in flight
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker("a", failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        breaker.allows(10.0)
+        breaker.admit(10.0)
+        breaker.record_success(15.0)
+        assert breaker.state == CLOSED
+        assert breaker.allows(15.0)
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker("a", failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        breaker.allows(10.0)
+        breaker.admit(10.0)
+        breaker.record_failure(12.0)
+        assert breaker.state == OPEN
+        assert breaker.retry_at(12.0) == 22.0  # fresh cooldown
+
+    def test_transition_log_and_codes(self):
+        breaker = CircuitBreaker("a", failure_threshold=1, cooldown=10.0)
+        assert breaker.state_code == STATE_CODES[CLOSED] == 0
+        breaker.record_failure(0.0)
+        assert breaker.state_code == 2
+        breaker.allows(10.0)
+        assert breaker.state_code == 1
+        breaker.record_success(11.0)
+        assert [(old, new) for _, old, new in breaker.transitions] == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PlanningError):
+            CircuitBreaker("a", failure_threshold=0)
+        with pytest.raises(PlanningError):
+            CircuitBreaker("a", cooldown=0.0)
+
+
+class TestBreakerBoard:
+    def test_breakers_are_cached_per_site(self):
+        board = BreakerBoard(failure_threshold=2, cooldown=30.0)
+        assert board.breaker("a") is board.breaker("a")
+        assert board.breaker("a").failure_threshold == 2
+
+    def test_available_filters_open_sites(self):
+        board = BreakerBoard(failure_threshold=1, cooldown=30.0)
+        board.breaker("a").record_failure(0.0)
+        assert board.available(["a", "b"], 1.0) == ["b"]
+        # After the cooldown the tripped site is probe-eligible again.
+        assert board.available(["a", "b"], 31.0) == ["a", "b"]
+
+    def test_earliest_retry(self):
+        board = BreakerBoard(failure_threshold=1, cooldown=30.0)
+        board.breaker("a").record_failure(0.0)
+        board.breaker("b").record_failure(5.0)
+        assert board.earliest_retry(["a", "b"], 6.0) == 30.0
+        assert board.earliest_retry(["b"], 6.0) == 35.0
+
+    def test_states_snapshot(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.breaker("b").record_failure(0.0)
+        board.breaker("a")
+        assert board.states() == {"a": CLOSED, "b": OPEN}
+        assert len(list(board)) == 2
+
+
+class TestRecoveryConfig:
+    def test_defaults_are_fail_fast_immediate(self):
+        config = RecoveryConfig()
+        assert isinstance(config.retry_policy, ImmediateRetry)
+        assert config.breakers is None
+        assert config.failure_policy == FAIL_FAST
+        assert config.step_timeout is None
+
+    def test_rejects_unknown_failure_policy(self):
+        with pytest.raises(PlanningError):
+            RecoveryConfig(failure_policy="give-up-eventually")
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(PlanningError):
+            RecoveryConfig(step_timeout=0.0)
+
+    def test_hardened_posture(self):
+        config = RecoveryConfig.hardened(
+            seed=7, step_timeout=600.0, breaker_threshold=5
+        )
+        assert isinstance(config.retry_policy, ExponentialBackoff)
+        assert config.retry_policy.seed == 7
+        assert config.breakers is not None
+        assert config.breakers.failure_threshold == 5
+        assert config.failure_policy == RUN_WHAT_YOU_CAN
+        assert config.step_timeout == 600.0
+        assert config.failover

@@ -1,0 +1,345 @@
+"""Scheduler recovery behaviour: retries, failover, breakers, timeouts,
+failure policies and the per-step failure report."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.planner.scheduler import WorkflowScheduler
+from repro.resilience import (
+    CLOSED,
+    FAIL_FAST,
+    HALF_OPEN,
+    OPEN,
+    RUN_WHAT_YOU_CAN,
+    BreakerBoard,
+    Degradation,
+    FaultInjector,
+    FaultPlan,
+    ImmediateRetry,
+    OutageWindow,
+    RecoveryConfig,
+)
+from tests.conftest import DIAMOND_VDL
+from tests.resilience.conftest import (
+    FAULT_SEED,
+    SINGLE_VDL,
+    TWO_BRANCH_VDL,
+    StepKiller,
+    make_world,
+)
+
+
+class TestTransientRecovery:
+    @pytest.mark.parametrize(
+        "pattern", ["collocate", "ship-procedure", "ship-data", "ship-both"]
+    )
+    def test_recovers_under_every_shipping_pattern(self, pattern):
+        def run_once():
+            plan = FaultPlan(seed=FAULT_SEED, transient_rate=0.3)
+            world = make_world(
+                DIAMOND_VDL,
+                ("final",),
+                injector=FaultInjector(plan),
+                pattern=pattern,
+            )
+            scheduler = WorkflowScheduler(
+                world.grid,
+                world.selector,
+                pattern=pattern,
+                max_retries=8,
+                recovery=RecoveryConfig.hardened(seed=FAULT_SEED),
+            )
+            return world, scheduler.run(world.plan)
+
+        world, result = run_once()
+        assert result.succeeded
+        assert set(result.outcomes) == set(world.plan.steps)
+        assert world.rls.has("final")
+        # Determinism: the same plan + seed reproduces the schedule.
+        _, replay = run_once()
+        assert replay.makespan == result.makespan
+        assert {n: o.attempts for n, o in replay.outcomes.items()} == {
+            n: o.attempts for n, o in result.outcomes.items()
+        }
+
+    def test_retried_attempts_are_recorded(self):
+        plan = FaultPlan(seed=FAULT_SEED, transient_rate=0.6)
+        world = make_world(
+            DIAMOND_VDL, ("final",), injector=FaultInjector(plan)
+        )
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            # Generous budget: a 60% rate can string together long
+            # losing streaks on some seeds (the retry draws are
+            # independent per attempt, not guaranteed to converge).
+            max_retries=25,
+            recovery=RecoveryConfig.hardened(seed=FAULT_SEED),
+        ).run(world.plan)
+        assert result.succeeded
+        # At 60% transient something certainly faulted and was retried.
+        assert any(o.attempts > 1 for o in result.outcomes.values())
+        assert world.grid.injector.injected.get("transient", 0) > 0
+
+
+class TestFailover:
+    def test_retry_excludes_failed_site(self):
+        # Site "a" is down for the whole run: every attempt there
+        # fails, and failover must land the step on "b".
+        injector = FaultInjector(
+            FaultPlan(outages=[OutageWindow("a", 0.0, 1e9)])
+        )
+        world = make_world(SINGLE_VDL, ("a0",), injector=injector)
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=3,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(), failover=True
+            ),
+        ).run(world.plan)
+        assert result.succeeded
+        assert result.outcomes["g1"].site == "b"
+        assert world.rls.has("a0", "b")
+
+    def test_permanent_fault_without_failover_exhausts(self):
+        injector = StepKiller("g1")
+        world = make_world(SINGLE_VDL, ("a0",), injector=injector)
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=2,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(), failover=False
+            ),
+        ).run(world.plan)
+        assert not result.succeeded
+        assert result.failed_steps == {"g1"}
+        assert result.outcomes["g1"].record.fault == "permanent"
+
+
+class TestRetryBudget:
+    @pytest.mark.parametrize("max_retries", [0, 2, 4])
+    def test_max_retries_means_n_plus_one_attempts(self, max_retries):
+        # max_retries bounds *resubmissions*: a step is attempted at
+        # most max_retries + 1 times (max_retries=0 still runs once).
+        injector = StepKiller("g1")
+        world = make_world(SINGLE_VDL, ("a0",), injector=injector)
+        result = WorkflowScheduler(
+            world.grid, world.selector, max_retries=max_retries
+        ).run(world.plan)
+        assert result.failed_steps == {"g1"}
+        assert result.outcomes["g1"].attempts == max_retries + 1
+        assert injector.injected["permanent"] == max_retries + 1
+
+    def test_single_site_retries_warn_about_frozen_selector(self):
+        # With one site the selector can never change its choice, so
+        # retries cannot fail over a permanent site fault.
+        world = make_world(SINGLE_VDL, ("a0",), sites=("solo",))
+        with pytest.warns(RuntimeWarning, match="single-site"):
+            WorkflowScheduler(world.grid, world.selector, max_retries=2)
+
+    def test_multi_site_does_not_warn(self, recwarn):
+        world = make_world(SINGLE_VDL, ("a0",))
+        WorkflowScheduler(world.grid, world.selector, max_retries=2)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
+
+class TestCircuitBreakers:
+    def test_breaker_opens_defers_probes_and_closes(self):
+        # One site, down until t=200.  Two immediate failures trip the
+        # breaker; half-open probes at each cooldown expiry keep
+        # failing until the outage lifts, then the probe closes it.
+        injector = FaultInjector(
+            FaultPlan(outages=[OutageWindow("solo", 0.0, 200.0)])
+        )
+        world = make_world(
+            SINGLE_VDL, ("a0",), sites=("solo",), injector=injector
+        )
+        with pytest.warns(RuntimeWarning):
+            scheduler = WorkflowScheduler(
+                world.grid,
+                world.selector,
+                max_retries=10,
+                recovery=RecoveryConfig(
+                    retry_policy=ImmediateRetry(),
+                    breakers=BreakerBoard(
+                        failure_threshold=2, cooldown=50.0
+                    ),
+                    failover=False,
+                ),
+            )
+        result = scheduler.run(world.plan)
+        assert result.succeeded
+        breaker = scheduler.recovery.breakers.breaker("solo")
+        assert breaker.state == CLOSED
+        moves = [(old, new) for _, old, new in breaker.transitions]
+        assert (CLOSED, OPEN) in moves
+        assert (OPEN, HALF_OPEN) in moves
+        assert (HALF_OPEN, OPEN) in moves  # failed probes re-open
+        assert moves[-1] == (HALF_OPEN, CLOSED)
+        # Attempts are spent only when the breaker admits traffic: two
+        # initial failures, then one probe per cooldown window.
+        assert result.outcomes["g1"].attempts == 6
+        assert result.makespan >= 200.0
+
+
+class TestFailurePolicies:
+    def branchy_world(self):
+        def cpu(dv):
+            # The doomed branch fails fast; the healthy generator is
+            # slow enough that its successor dispatches only after the
+            # failure is terminal — which is what separates the two
+            # failure policies.
+            return {"ga": 1.0, "gb": 50.0}.get(dv.name, 10.0)
+
+        return make_world(
+            TWO_BRANCH_VDL,
+            ("a1", "b1"),
+            injector=StepKiller("ga"),
+            cpu=cpu,
+        )
+
+    def test_run_what_you_can_keeps_healthy_branch(self):
+        world = self.branchy_world()
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=1,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(),
+                failure_policy=RUN_WHAT_YOU_CAN,
+            ),
+        ).run(world.plan)
+        assert result.failed_steps == {"ga"}
+        assert result.skipped_steps == {"pa": "upstream-failed:ga"}
+        assert result.outcomes["gb"].record.succeeded
+        assert result.outcomes["pb"].record.succeeded
+        assert world.rls.has("b1")
+
+    def test_fail_fast_stops_dispatching(self):
+        world = self.branchy_world()
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=1,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(),
+                failure_policy=FAIL_FAST,
+            ),
+        ).run(world.plan)
+        assert result.failed_steps == {"ga"}
+        assert result.skipped_steps == {"pa": "upstream-failed:ga"}
+        # gb was already in flight and completes, but its successor is
+        # never dispatched once the workflow has a failed step.
+        assert result.outcomes["gb"].record.succeeded
+        assert "pb" not in result.outcomes
+        assert not world.rls.has("b1")
+
+
+class TestStepTimeout:
+    def test_straggler_killed_and_resubmitted(self):
+        # Both sites straggle (20x) for jobs starting before t=1; the
+        # watchdog kills the 200s attempt at t=50 and the retry, now
+        # outside the degradation window, finishes in ~10s.
+        injector = FaultInjector(
+            FaultPlan(
+                degradations=[
+                    Degradation("a", 0.0, 1.0, slowdown=20.0),
+                    Degradation("b", 0.0, 1.0, slowdown=20.0),
+                ]
+            )
+        )
+        world = make_world(SINGLE_VDL, ("a0",), injector=injector)
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=2,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(),
+                failure_policy=RUN_WHAT_YOU_CAN,
+                step_timeout=50.0,
+                failover=True,
+            ),
+        ).run(world.plan)
+        assert result.succeeded
+        outcome = result.outcomes["g1"]
+        assert outcome.attempts == 2
+        assert outcome.record.status == "done"
+        assert result.makespan < 100.0  # far less than the 200s straggle
+        assert injector.injected["straggler"] == 1
+
+    def test_timeout_fault_recorded_when_budget_exhausted(self):
+        injector = FaultInjector(
+            FaultPlan(
+                degradations=[
+                    Degradation("a", 0.0, 1e9, slowdown=20.0),
+                    Degradation("b", 0.0, 1e9, slowdown=20.0),
+                ]
+            )
+        )
+        world = make_world(SINGLE_VDL, ("a0",), injector=injector)
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=1,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(),
+                failure_policy=RUN_WHAT_YOU_CAN,
+                step_timeout=50.0,
+            ),
+        ).run(world.plan)
+        assert result.failed_steps == {"g1"}
+        record = result.outcomes["g1"].record
+        assert record.status == "killed"
+        assert record.fault == "timeout"
+        assert "timeout" in record.error
+
+
+class TestFailureReport:
+    def test_step_failures_cover_failed_and_skipped(self):
+        world = make_world(
+            TWO_BRANCH_VDL, ("a1", "b1"), injector=StepKiller("ga")
+        )
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=1,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(),
+                failure_policy=RUN_WHAT_YOU_CAN,
+            ),
+        ).run(world.plan)
+        error = WorkflowError("materialization failed", result=result)
+        rows = {row["step"]: row for row in error.step_failures()}
+        assert rows["ga"]["status"] == "failed"
+        assert rows["ga"]["attempts"] == 2
+        assert rows["ga"]["site"] in ("a", "b")
+        assert "injected permanent fault" in rows["ga"]["error"]
+        assert rows["pa"]["status"] == "skipped"
+        assert rows["pa"]["error"] == "upstream-failed:ga"
+
+    def test_render_summary_mentions_every_row(self):
+        world = make_world(
+            TWO_BRANCH_VDL, ("a1", "b1"), injector=StepKiller("ga")
+        )
+        result = WorkflowScheduler(
+            world.grid,
+            world.selector,
+            max_retries=0,
+            recovery=RecoveryConfig(
+                retry_policy=ImmediateRetry(),
+                failure_policy=RUN_WHAT_YOU_CAN,
+            ),
+        ).run(world.plan)
+        summary = WorkflowError("boom", result=result).render_summary()
+        assert "ga: failed at site" in summary
+        assert "1 attempt(s)" in summary
+        assert "pa: skipped (upstream-failed:ga)" in summary
+
+    def test_error_without_result_degrades_gracefully(self):
+        error = WorkflowError("boom")
+        assert error.step_failures() == []
+        assert error.render_summary() == "boom"

@@ -1,0 +1,160 @@
+"""Seeded fault injection against the paper workloads (HEP, SDSS).
+
+The acceptance bar for the resilience layer: a hardened run through a
+hostile grid (20% transient faults plus a full-site outage) must
+converge to *exactly* the final replica and provenance state of a
+fault-free run — recovery may cost time, never correctness.
+"""
+
+from repro.resilience import FaultPlan, OutageWindow, RecoveryConfig
+from repro.system import VirtualDataSystem
+from repro.workloads import hep, sdss
+from tests.resilience.conftest import FAULT_SEED
+
+HEP_SITES = {"anl": 8, "uc": 8, "uw": 8}
+SDSS_SITES = {"anl": 16, "uc": 16, "uw": 16, "ufl": 16}
+
+
+def hep_system(fault_plan=None, recovery=None):
+    vds = VirtualDataSystem.with_grid(
+        HEP_SITES,
+        authority="hep.test",
+        fault_plan=fault_plan,
+        recovery=recovery,
+    )
+    target = hep.define_run(vds.catalog, "run9", seed=3, events=50)
+    return vds, target
+
+
+def final_state(vds):
+    return (
+        set(vds.replicas.lfns()),
+        {lfn: vds.replicas.size_of(lfn) for lfn in vds.replicas.lfns()},
+    )
+
+
+class TestHEPUnderFaults:
+    HEP_STEPS = ("run9.gen", "run9.sim", "run9.reco", "run9.ana")
+
+    def test_hostile_grid_converges_to_fault_free_state(self):
+        clean_vds, target = hep_system()
+        clean = clean_vds.materialize(target, reuse="never")
+        assert clean.succeeded
+
+        plan = FaultPlan(
+            seed=FAULT_SEED,
+            transient_rate=0.2,
+            outages=[OutageWindow("anl", 0.0, 1e9)],
+        )
+        vds, target = hep_system(
+            fault_plan=plan,
+            recovery=RecoveryConfig.hardened(seed=FAULT_SEED),
+        )
+        vds.executor.max_retries = 10
+        result = vds.materialize(target, reuse="never")
+        assert result.succeeded
+
+        # Identical final replica state (locations may differ — the
+        # downed site obviously holds nothing).
+        clean_lfns, clean_sizes = final_state(clean_vds)
+        lfns, sizes = final_state(vds)
+        assert lfns == clean_lfns
+        assert sizes == clean_sizes
+        assert not vds.replicas.has(target, "anl")
+        assert all(o.site != "anl" for o in result.outcomes.values())
+        # Identical provenance: every derivation invoked exactly once
+        # in both worlds, faults or not.
+        for step in self.HEP_STEPS:
+            assert len(clean_vds.catalog.invocations_of(step)) == 1
+            assert len(vds.catalog.invocations_of(step)) == 1
+        assert vds.lineage(target).depth() >= 4
+
+    def test_recovery_costs_time_not_correctness(self):
+        clean_vds, target = hep_system()
+        clean = clean_vds.materialize(target, reuse="never")
+
+        plan = FaultPlan(seed=FAULT_SEED, transient_rate=0.3)
+        vds, target = hep_system(
+            fault_plan=plan,
+            recovery=RecoveryConfig.hardened(seed=FAULT_SEED),
+        )
+        vds.executor.max_retries = 10
+        result = vds.materialize(target, reuse="never")
+        assert result.succeeded
+        assert result.makespan >= clean.makespan
+        assert final_state(vds)[0] == final_state(clean_vds)[0]
+
+    def test_faulty_run_is_deterministic(self):
+        def run():
+            plan = FaultPlan(
+                seed=FAULT_SEED,
+                transient_rate=0.25,
+                outages=[OutageWindow("uc", 0.0, 500.0)],
+            )
+            vds, target = hep_system(
+                fault_plan=plan,
+                recovery=RecoveryConfig.hardened(seed=FAULT_SEED),
+            )
+            vds.executor.max_retries = 10
+            result = vds.materialize(target, reuse="never")
+            return (
+                result.makespan,
+                {n: (o.site, o.attempts) for n, o in result.outcomes.items()},
+                dict(vds.grid.injector.injected),
+            )
+
+        assert run() == run()
+
+
+class TestSDSSUnderFaults:
+    def test_small_campaign_survives_transient_faults(self):
+        plan = FaultPlan(seed=FAULT_SEED, transient_rate=0.15)
+        vds = VirtualDataSystem.with_grid(
+            SDSS_SITES,
+            authority="sdss.test",
+            fault_plan=plan,
+            recovery=RecoveryConfig.hardened(seed=FAULT_SEED),
+        )
+        campaign = sdss.define_campaign(
+            vds.catalog, fields=6, fields_per_stripe=3
+        )
+        site_names = sorted(SDSS_SITES)
+        for i, field in enumerate(campaign.field_datasets):
+            vds.seed_dataset(
+                field, site_names[i % len(site_names)], sdss.FIELD_BYTES
+            )
+        vds.executor.max_retries = 10
+        result = vds.materialize(tuple(campaign.targets), reuse="never")
+        assert result.succeeded
+        assert len(result.outcomes) == campaign.derivations
+        assert vds.grid.injector.injected.get("transient", 0) > 0
+        for target in campaign.targets:
+            assert vds.replicas.has(target)
+
+    def test_campaign_with_mid_run_outage(self):
+        # One site goes dark mid-campaign; jobs caught in the window
+        # fail and fail over, sources on the dark site become
+        # unreachable until it returns.
+        plan = FaultPlan(
+            seed=FAULT_SEED,
+            outages=[OutageWindow("uw", 50.0, 2_000.0)],
+        )
+        vds = VirtualDataSystem.with_grid(
+            SDSS_SITES,
+            authority="sdss.test",
+            fault_plan=plan,
+            recovery=RecoveryConfig.hardened(seed=FAULT_SEED),
+        )
+        campaign = sdss.define_campaign(
+            vds.catalog, fields=4, fields_per_stripe=2
+        )
+        # Keep raw field sources off the doomed site: an outage models
+        # downtime, not data loss, but mid-run nothing can stage from
+        # it and the campaign would have to out-wait the window.
+        safe = [s for s in sorted(SDSS_SITES) if s != "uw"]
+        for i, field in enumerate(campaign.field_datasets):
+            vds.seed_dataset(field, safe[i % len(safe)], sdss.FIELD_BYTES)
+        vds.executor.max_retries = 10
+        result = vds.materialize(tuple(campaign.targets), reuse="never")
+        assert result.succeeded
+        assert len(result.outcomes) == campaign.derivations
