@@ -1,0 +1,90 @@
+"""CATHOT — lineage-query fast paths at campaign scale (§4, cs/0306009).
+
+CMS-style campaigns put tens of thousands of derivations in a catalog,
+and the planner asks "who produces/consumes this dataset" for every
+node it expands.  This benchmark measures lineage-query latency at 1k
+and 10k derivations two ways: through the incremental secondary
+indexes (``producers_of``/``consumers_of``, O(1) dict lookups) and via
+the full-store scan the catalog would otherwise need (decode every
+derivation, test its actuals).
+
+Writes ``BENCH_CATALOG_HOTPATH.json`` at the repo root.  Set
+``BENCH_SMOKE=1`` (CI) to drop the 10k tier and the >= 10x assertion.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.catalog.memory import MemoryCatalog
+from repro.workloads import canonical
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+SIZES = (1_000,) if SMOKE else (1_000, 10_000)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_CATALOG_HOTPATH.json"
+
+
+def scan_producers(catalog, dataset):
+    """The pre-index query plan: decode every derivation, test it."""
+    return [
+        dv
+        for name in catalog.derivation_names()
+        for dv in [catalog.get_derivation(name)]
+        if dv.produces(dataset)
+    ]
+
+
+def _time(fn, reps):
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def test_cathot_lineage_latency(scenario, table):
+    def run():
+        results = {}
+        display = []
+        for nodes in SIZES:
+            catalog = MemoryCatalog()
+            graph = canonical.generate_graph(
+                catalog, nodes=nodes, layers=20, seed=5
+            )
+            probe = graph.all_datasets[nodes // 2]
+            expected = [dv.name for dv in catalog.producers_of(probe)]
+            assert [
+                dv.name for dv in scan_producers(catalog, probe)
+            ] == expected  # both query plans agree
+
+            indexed_s = _time(lambda: catalog.producers_of(probe), 200)
+            scan_s = _time(lambda: scan_producers(catalog, probe), 3)
+            ratio = scan_s / indexed_s
+            results[str(nodes)] = {
+                "indexed_us": indexed_s * 1e6,
+                "scan_us": scan_s * 1e6,
+                "speedup": ratio,
+                "cache": catalog.cache_stats(),
+            }
+            display.append(
+                (
+                    nodes,
+                    f"{indexed_s * 1e6:.0f}",
+                    f"{scan_s * 1e6:.0f}",
+                    f"{ratio:.0f}x",
+                )
+            )
+        table(
+            "CATHOT: producers_of latency, indexed vs full scan",
+            ["derivations", "indexed us", "scan us", "speedup"],
+            display,
+        )
+        RESULT_PATH.write_text(
+            json.dumps({"smoke": SMOKE, "sizes": results}, indent=2) + "\n"
+        )
+        if not SMOKE:
+            # Acceptance: >= 10x lineage-query speedup at 10k derivations.
+            assert results["10000"]["speedup"] >= 10.0
+        return results
+
+    scenario(run)

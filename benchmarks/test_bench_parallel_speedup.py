@@ -1,0 +1,137 @@
+"""PAR — parallel materialization makespan (§5.4, §6).
+
+The paper's workflow manager "dispatch[es] nodes of the workflow graph
+when the node's predecessor dependencies have completed"; §6 sizes real
+campaigns at hundreds of hosts.  This benchmark measures the local
+executor's makespan at workers=1/2/4 on wide HEP and SDSS plans whose
+stage bodies block (sleep) rather than spin, the local stand-in for
+I/O- and subprocess-bound stages that release the GIL.
+
+Writes ``BENCH_PARALLEL_SPEEDUP.json`` at the repo root.  Set
+``BENCH_SMOKE=1`` (CI) to shrink the plans and skip the speedup
+assertion; the full run asserts >= 2x at workers=4 on the width-8 HEP
+plan.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.catalog.memory import MemoryCatalog
+from repro.executor.local import LocalExecutor
+from repro.workloads import hep, sdss
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+#: Per-step blocking time.  Large enough that pool/bookkeeping overhead
+#: is noise, small enough to keep the benchmark quick.
+STEP_SECONDS = 0.004 if SMOKE else 0.02
+WORKER_COUNTS = (1, 2, 4)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PARALLEL_SPEEDUP.json"
+
+
+def _sleep_body(ctx):
+    """Stand-in stage: block like a subprocess, then emit an output."""
+    time.sleep(STEP_SECONDS)
+    for formal in ctx.output_paths:
+        ctx.write_output(formal, b"x")
+
+
+def hep_wide(catalog, runs=8):
+    """``runs`` independent 4-stage HEP chains feeding one merge —
+    width ``runs``, critical path 5."""
+    targets = [hep.define_run(catalog, f"run{r}", seed=r) for r in range(runs)]
+    formals = ", ".join(f"input h{k}" for k in range(runs))
+    bindings = ", ".join(
+        f'h{k}=@{{input:"{t}"}}' for k, t in enumerate(targets)
+    )
+    catalog.define(
+        f'TR hep-merge( output m, {formals} ) {{ '
+        f'argument stdout = ${{output:m}}; exec = "py:hep-merge"; }}\n'
+        f'DV merge->hep-merge( m=@{{output:"merged.hist"}}, {bindings} );\n'
+    )
+    return "merged.hist"
+
+
+def hep_executor(tmp_path, tag, runs=8):
+    catalog = MemoryCatalog()
+    target = hep_wide(catalog, runs=runs)
+    executor = LocalExecutor(catalog, tmp_path / tag)
+    for name in ("hepevt-gen", "hepevt-sim", "hepevt-reco", "hepevt-ana"):
+        executable = catalog.get_transformation(name).executable
+        executor.register(executable, _sleep_body)
+    executor.register("py:hep-merge", _sleep_body)
+    return executor, target
+
+
+def sdss_executor(tmp_path, tag, fields=8):
+    catalog = MemoryCatalog()
+    campaign = sdss.define_campaign(
+        catalog, fields=fields, fields_per_stripe=fields
+    )
+    executor = LocalExecutor(catalog, tmp_path / tag)
+    for name in (
+        "sdss-extract", "sdss-brg", "sdss-bcg", "sdss-coalesce",
+        "sdss-catalog",
+    ):
+        executable = catalog.get_transformation(name).executable
+        executor.register(executable, _sleep_body)
+    # Raw sky fields must pre-exist in the sandbox.
+    for field_ds in campaign.field_datasets:
+        executor.path_for(field_ds).write_bytes(b"field")
+    return executor, campaign.targets[0]
+
+
+def _measure(make_executor, tmp_path):
+    rows = {}
+    steps = None
+    for workers in WORKER_COUNTS:
+        executor, target = make_executor(tmp_path, f"w{workers}")
+        start = time.perf_counter()
+        invocations = executor.materialize(target, workers=workers)
+        rows[workers] = time.perf_counter() - start
+        if steps is None:
+            steps = len(invocations)
+        else:
+            assert len(invocations) == steps  # same plan every time
+    return rows, steps
+
+
+def test_par_makespan(scenario, table, tmp_path):
+    def run():
+        results = {}
+        display = []
+        for plan_name, factory in (
+            ("hep-wide8", hep_executor),
+            ("sdss-wide8", sdss_executor),
+        ):
+            rows, steps = _measure(factory, tmp_path)
+            speedups = {w: rows[1] / rows[w] for w in WORKER_COUNTS}
+            results[plan_name] = {
+                "steps": steps,
+                "step_seconds": STEP_SECONDS,
+                "makespan_seconds": {str(w): rows[w] for w in WORKER_COUNTS},
+                "speedup_vs_1": {str(w): speedups[w] for w in WORKER_COUNTS},
+            }
+            display.append(
+                (
+                    plan_name,
+                    steps,
+                    *(f"{rows[w] * 1e3:.0f}" for w in WORKER_COUNTS),
+                    f"{speedups[4]:.2f}x",
+                )
+            )
+        table(
+            "PAR: local materialization makespan (blocking stages)",
+            ["plan", "steps", "w=1 ms", "w=2 ms", "w=4 ms", "speedup w=4"],
+            display,
+        )
+        RESULT_PATH.write_text(
+            json.dumps({"smoke": SMOKE, "plans": results}, indent=2) + "\n"
+        )
+        if not SMOKE:
+            # Acceptance: >= 2x at workers=4 on a width->=8 plan.
+            assert results["hep-wide8"]["speedup_vs_1"]["4"] >= 2.0
+        return results
+
+    scenario(run)

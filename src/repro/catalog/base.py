@@ -22,14 +22,19 @@ by running the same scenarios against each.
 
 from __future__ import annotations
 
+import copy
 import fnmatch
+import functools
+import threading
 import time
+from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional
 
+from repro.catalog.index import CatalogIndexes, PayloadCache
 from repro.core.dataset import Dataset
 from repro.core.derivation import Derivation
-from repro.core.invocation import Invocation, observe_invocation_id
-from repro.core.replica import Replica, observe_replica_id
+from repro.core.invocation import Invocation
+from repro.core.replica import Replica
 from repro.core.transformation import Transformation
 from repro.core.types import DatasetType, TypeRegistry, default_registry
 from repro.core.versioning import VersionRegistry
@@ -47,6 +52,22 @@ KINDS = ("dataset", "replica", "transformation", "derivation", "invocation")
 
 #: Event names delivered to subscribers.
 EVENTS = ("put", "delete")
+
+
+def _synchronized(method):
+    """Serialize a catalog method under the instance's re-entrant lock.
+
+    The parallel local executor records provenance from worker threads;
+    every public catalog operation is atomic with respect to the
+    storage primitives, the secondary indexes and the payload cache.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 def _transformation_to_payload(tr: Transformation) -> dict:
@@ -83,13 +104,15 @@ class VirtualDataCatalog:
         self.versions = versions or VersionRegistry()
         self._obs = instrumentation or NULL
         self._obs_cache: dict = {}
+        self._lock = threading.RLock()
+        self._bulk_depth = 0
         self._subscribers: list[Callable[[str, str, str], None]] = []
-        # Relationship indexes, rebuilt from storage on open.
-        self._produced_by: dict[str, set[str]] = {}
-        self._consumed_by: dict[str, set[str]] = {}
-        self._replicas_of: dict[str, set[str]] = {}
-        self._invocations_of: dict[str, set[str]] = {}
-        self._tr_versions: dict[str, set[str]] = {}
+        # Fast paths, kept current by the mutation-event stream.  The
+        # cache invalidator must observe events before the indexes do:
+        # index maintenance re-reads payloads through the cache.
+        self._cache = PayloadCache()
+        self.subscribe(self._invalidate_cached_payload)
+        self._indexes = CatalogIndexes(self)
 
     # ------------------------------------------------------------------
     # storage primitives (implemented by backends)
@@ -109,6 +132,18 @@ class VirtualDataCatalog:
 
     def _store_has(self, kind: str, key: str) -> bool:
         return self._store_get(kind, key) is not None
+
+    def _store_put_many(
+        self, kind: str, items: list[tuple[str, dict]]
+    ) -> None:
+        """Raw batched write: no events, no index or cache upkeep.
+
+        Only for bulk-load paths that rebuild the fast paths afterwards
+        (e.g. :meth:`import_snapshot`).  Backends may override with a
+        genuinely batched implementation (SQLite uses ``executemany``).
+        """
+        for key, payload in items:
+            self._store_put(kind, key, payload)
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -173,52 +208,95 @@ class VirtualDataCatalog:
             callback(event, kind, key)
 
     # ------------------------------------------------------------------
-    # index maintenance
+    # payload cache and index maintenance
     # ------------------------------------------------------------------
 
+    def _invalidate_cached_payload(self, event: str, kind: str, key: str) -> None:
+        self._cache.invalidate(kind, key)
+
+    def _cached_payload(self, kind: str, key: str) -> Optional[dict]:
+        """``_store_get`` through the decoded-payload LRU.
+
+        The cached document is shared — callers that hand data out must
+        deep-copy (see the get_* accessors) so backend isolation
+        guarantees survive the cache.
+        """
+        payload = self._cache.get(kind, key)
+        if payload is not None:
+            self._obs_cache_op(hit=True)
+            return payload
+        self._obs_cache_op(hit=False)
+        payload = self._store_get(kind, key)
+        if payload is not None:
+            self._cache.put(kind, key, payload)
+        return payload
+
+    def _obs_cache_op(self, hit: bool) -> None:
+        if not self._obs.enabled:
+            return
+        cached = self._obs_cache.get("payload-cache")
+        if cached is None:
+            metrics = self._obs.metrics
+            cached = self._obs_cache["payload-cache"] = (
+                metrics.counter(
+                    "catalog.index.hits",
+                    help="catalog lookups served from the payload cache",
+                ),
+                metrics.counter(
+                    "catalog.index.misses",
+                    help="catalog lookups that fell through to storage",
+                ),
+            )
+        (cached[0] if hit else cached[1]).inc_at(())
+
+    def cache_stats(self) -> dict[str, int]:
+        """Payload-cache hit/miss/size counters (for stats and tests)."""
+        return self._cache.stats()
+
+    @_synchronized
     def _rebuild_indexes(self) -> None:
-        """Rebuild relationship indexes by scanning storage (on open)."""
-        self._produced_by.clear()
-        self._consumed_by.clear()
-        self._replicas_of.clear()
-        self._invocations_of.clear()
-        self._tr_versions.clear()
-        for key in self._store_keys("derivation"):
-            payload = self._store_get("derivation", key)
-            self._index_derivation(Derivation.from_dict(payload))
-        for key in self._store_keys("replica"):
-            payload = self._store_get("replica", key)
-            self._replicas_of.setdefault(payload["dataset_name"], set()).add(key)
-            # A persistent catalog may hold IDs minted by an earlier
-            # process; advance the allocator so they are never re-issued.
-            observe_replica_id(key)
-        for key in self._store_keys("invocation"):
-            payload = self._store_get("invocation", key)
-            self._invocations_of.setdefault(
-                payload["derivation_name"], set()
-            ).add(key)
-            observe_invocation_id(key)
-        for key in self._store_keys("transformation"):
-            name, _, version = key.rpartition("@")
-            self._tr_versions.setdefault(name, set()).add(version)
-            self.versions.register(name, version)
+        """Rebuild fast paths by scanning storage (on open)."""
+        self._cache.clear()
+        self._indexes.rebuild()
 
-    def _index_derivation(self, dv: Derivation) -> None:
-        for output in dv.outputs():
-            self._produced_by.setdefault(output, set()).add(dv.name)
-        for inp in dv.inputs():
-            self._consumed_by.setdefault(inp, set()).add(dv.name)
+    # ------------------------------------------------------------------
+    # bulk (deferred-commit) mutation batches
+    # ------------------------------------------------------------------
 
-    def _unindex_derivation(self, dv: Derivation) -> None:
-        for output in dv.outputs():
-            self._produced_by.get(output, set()).discard(dv.name)
-        for inp in dv.inputs():
-            self._consumed_by.get(inp, set()).discard(dv.name)
+    @contextmanager
+    def bulk(self):
+        """Batch mutations, deferring backend durability work.
+
+        Inside the context every mutation behaves normally (events
+        fire, indexes and cache stay current, reads observe writes);
+        backends may defer expensive durability steps — SQLite holds
+        its ``commit()`` until exit instead of fsyncing per mutation.
+        The batch is *not* atomic: mutations applied before an
+        exception remain applied, exactly as without ``bulk()``.
+        Nesting is allowed; only the outermost exit flushes.
+        """
+        with self._lock:
+            self._bulk_depth += 1
+            if self._bulk_depth == 1:
+                self._bulk_begin()
+            try:
+                yield self
+            finally:
+                self._bulk_depth -= 1
+                if self._bulk_depth == 0:
+                    self._bulk_end()
+
+    def _bulk_begin(self) -> None:
+        """Backend hook: enter deferred-durability mode (default no-op)."""
+
+    def _bulk_end(self) -> None:
+        """Backend hook: flush deferred durability work (default no-op)."""
 
     # ------------------------------------------------------------------
     # datasets
     # ------------------------------------------------------------------
 
+    @_synchronized
     def add_dataset(self, dataset: Dataset, replace: bool = False) -> None:
         """Register a dataset definition.
 
@@ -232,23 +310,27 @@ class VirtualDataCatalog:
         self._notify("put", "dataset", dataset.name)
         self._obs_op("insert", "dataset", t0)
 
+    @_synchronized
     def get_dataset(self, name: str) -> Dataset:
         t0 = self._obs_t0()
-        payload = self._store_get("dataset", name)
+        payload = self._cached_payload("dataset", name)
         if payload is None:
             raise NotFoundError(f"dataset {name!r} not found")
         self._obs_op("lookup", "dataset", t0)
-        return Dataset.from_dict(payload)
+        return Dataset.from_dict(copy.deepcopy(payload))
 
+    @_synchronized
     def has_dataset(self, name: str) -> bool:
         return self._store_has("dataset", name)
 
+    @_synchronized
     def remove_dataset(self, name: str) -> None:
         if not self._store_has("dataset", name):
             raise NotFoundError(f"dataset {name!r} not found")
         self._store_delete("dataset", name)
         self._notify("delete", "dataset", name)
 
+    @_synchronized
     def dataset_names(self) -> list[str]:
         return sorted(self._store_keys("dataset"))
 
@@ -260,6 +342,7 @@ class VirtualDataCatalog:
     # replicas
     # ------------------------------------------------------------------
 
+    @_synchronized
     def add_replica(self, replica: Replica) -> None:
         """Register a physical copy of a dataset."""
         t0 = self._obs_t0()
@@ -268,31 +351,30 @@ class VirtualDataCatalog:
                 f"replica {replica.replica_id!r} already registered"
             )
         self._store_put("replica", replica.replica_id, replica.to_dict())
-        self._replicas_of.setdefault(replica.dataset_name, set()).add(
-            replica.replica_id
-        )
         self._notify("put", "replica", replica.replica_id)
         self._obs_op("insert", "replica", t0)
 
+    @_synchronized
     def get_replica(self, replica_id: str) -> Replica:
-        payload = self._store_get("replica", replica_id)
+        payload = self._cached_payload("replica", replica_id)
         if payload is None:
             raise NotFoundError(f"replica {replica_id!r} not found")
-        return Replica.from_dict(payload)
+        return Replica.from_dict(copy.deepcopy(payload))
 
+    @_synchronized
     def remove_replica(self, replica_id: str) -> None:
-        payload = self._store_get("replica", replica_id)
-        if payload is None:
+        if not self._store_has("replica", replica_id):
             raise NotFoundError(f"replica {replica_id!r} not found")
         self._store_delete("replica", replica_id)
-        self._replicas_of.get(payload["dataset_name"], set()).discard(replica_id)
         self._notify("delete", "replica", replica_id)
 
+    @_synchronized
     def replicas_of(self, dataset_name: str) -> list[Replica]:
         """All registered physical copies of ``dataset_name``."""
-        ids = sorted(self._replicas_of.get(dataset_name, ()))
+        ids = sorted(self._indexes.replicas_of.get(dataset_name, ()))
         return [self.get_replica(rid) for rid in ids]
 
+    @_synchronized
     def replica_ids(self) -> list[str]:
         return sorted(self._store_keys("replica"))
 
@@ -300,6 +382,7 @@ class VirtualDataCatalog:
     # transformations
     # ------------------------------------------------------------------
 
+    @_synchronized
     def add_transformation(
         self, tr: Transformation, replace: bool = False
     ) -> None:
@@ -310,18 +393,18 @@ class VirtualDataCatalog:
                 f"transformation {tr.name!r} version {tr.version} already defined"
             )
         self._store_put("transformation", key, _transformation_to_payload(tr))
-        self._tr_versions.setdefault(tr.name, set()).add(tr.version)
         self.versions.register(tr.name, tr.version)
         self._notify("put", "transformation", key)
         self._obs_op("insert", "transformation", t0)
 
+    @_synchronized
     def get_transformation(
         self, name: str, version: Optional[str] = None
     ) -> Transformation:
         """Fetch by name; latest version when ``version`` is omitted."""
         t0 = self._obs_t0()
         if version is None:
-            known = self._tr_versions.get(name)
+            known = self._indexes.tr_versions.get(name)
             if not known:
                 raise NotFoundError(f"transformation {name!r} not found")
             latest = self.versions.latest(name)
@@ -329,7 +412,7 @@ class VirtualDataCatalog:
             if version not in known:
                 # versions registry may normalize (1.0 == 1); fall back.
                 version = sorted(known)[-1]
-        payload = self._store_get("transformation", f"{name}@{version}")
+        payload = self._cached_payload("transformation", f"{name}@{version}")
         if payload is None:
             raise NotFoundError(
                 f"transformation {name!r} version {version} not found"
@@ -337,21 +420,23 @@ class VirtualDataCatalog:
         self._obs_op("lookup", "transformation", t0)
         return _transformation_from_payload(payload)
 
+    @_synchronized
     def has_transformation(self, name: str, version: Optional[str] = None) -> bool:
         if version is None:
-            return bool(self._tr_versions.get(name))
+            return bool(self._indexes.tr_versions.get(name))
         return self._store_has("transformation", f"{name}@{version}")
 
+    @_synchronized
     def remove_transformation(self, name: str, version: str) -> None:
         key = f"{name}@{version}"
         if not self._store_has("transformation", key):
             raise NotFoundError(f"transformation {key!r} not found")
         self._store_delete("transformation", key)
-        self._tr_versions.get(name, set()).discard(version)
         self._notify("delete", "transformation", key)
 
+    @_synchronized
     def transformation_names(self) -> list[str]:
-        return sorted(self._tr_versions)
+        return sorted(self._indexes.tr_versions)
 
     def transformations(self) -> Iterator[Transformation]:
         for key in sorted(self._store_keys("transformation")):
@@ -363,6 +448,7 @@ class VirtualDataCatalog:
     # derivations
     # ------------------------------------------------------------------
 
+    @_synchronized
     def add_derivation(
         self,
         dv: Derivation,
@@ -383,10 +469,7 @@ class VirtualDataCatalog:
             raise DuplicateEntryError(f"derivation {dv.name!r} already defined")
         if validate:
             self.check_derivation(dv)
-        if replace and self._store_has("derivation", dv.name):
-            self._unindex_derivation(self.get_derivation(dv.name))
         self._store_put("derivation", dv.name, dv.to_dict())
-        self._index_derivation(dv)
         if auto_declare:
             self._declare_mentioned_datasets(dv)
         self._notify("put", "derivation", dv.name)
@@ -422,23 +505,27 @@ class VirtualDataCatalog:
                     out[formal.name] = member
         return out
 
+    @_synchronized
     def get_derivation(self, name: str) -> Derivation:
         t0 = self._obs_t0()
-        payload = self._store_get("derivation", name)
+        payload = self._cached_payload("derivation", name)
         if payload is None:
             raise NotFoundError(f"derivation {name!r} not found")
         self._obs_op("lookup", "derivation", t0)
-        return Derivation.from_dict(payload)
+        return Derivation.from_dict(copy.deepcopy(payload))
 
+    @_synchronized
     def has_derivation(self, name: str) -> bool:
         return self._store_has("derivation", name)
 
+    @_synchronized
     def remove_derivation(self, name: str) -> None:
-        dv = self.get_derivation(name)
+        if not self._store_has("derivation", name):
+            raise NotFoundError(f"derivation {name!r} not found")
         self._store_delete("derivation", name)
-        self._unindex_derivation(dv)
         self._notify("delete", "derivation", name)
 
+    @_synchronized
     def derivation_names(self) -> list[str]:
         return sorted(self._store_keys("derivation"))
 
@@ -478,6 +565,7 @@ class VirtualDataCatalog:
     # invocations
     # ------------------------------------------------------------------
 
+    @_synchronized
     def add_invocation(self, inv: Invocation) -> None:
         t0 = self._obs_t0()
         if self._store_has("invocation", inv.invocation_id):
@@ -485,23 +573,23 @@ class VirtualDataCatalog:
                 f"invocation {inv.invocation_id!r} already recorded"
             )
         self._store_put("invocation", inv.invocation_id, inv.to_dict())
-        self._invocations_of.setdefault(inv.derivation_name, set()).add(
-            inv.invocation_id
-        )
         self._notify("put", "invocation", inv.invocation_id)
         self._obs_op("insert", "invocation", t0)
 
+    @_synchronized
     def get_invocation(self, invocation_id: str) -> Invocation:
-        payload = self._store_get("invocation", invocation_id)
+        payload = self._cached_payload("invocation", invocation_id)
         if payload is None:
             raise NotFoundError(f"invocation {invocation_id!r} not found")
-        return Invocation.from_dict(payload)
+        return Invocation.from_dict(copy.deepcopy(payload))
 
+    @_synchronized
     def invocations_of(self, derivation_name: str) -> list[Invocation]:
         """All recorded executions of a derivation, by id order."""
-        ids = sorted(self._invocations_of.get(derivation_name, ()))
+        ids = sorted(self._indexes.invocations_of.get(derivation_name, ()))
         return [self.get_invocation(iid) for iid in ids]
 
+    @_synchronized
     def invocation_ids(self) -> list[str]:
         return sorted(self._store_keys("invocation"))
 
@@ -509,20 +597,29 @@ class VirtualDataCatalog:
     # provenance relationship queries (used by repro.provenance)
     # ------------------------------------------------------------------
 
+    @_synchronized
     def producers_of(self, dataset_name: str) -> list[Derivation]:
         """Derivations that output ``dataset_name``."""
-        names = sorted(self._produced_by.get(dataset_name, ()))
+        names = sorted(self._indexes.produced_by.get(dataset_name, ()))
         return [self.get_derivation(n) for n in names]
 
+    @_synchronized
     def consumers_of(self, dataset_name: str) -> list[Derivation]:
         """Derivations that read ``dataset_name``."""
-        names = sorted(self._consumed_by.get(dataset_name, ()))
+        names = sorted(self._indexes.consumed_by.get(dataset_name, ()))
+        return [self.get_derivation(n) for n in names]
+
+    @_synchronized
+    def derivations_of_transformation(self, name: str) -> list[Derivation]:
+        """Derivations calling transformation ``name`` (any version)."""
+        names = sorted(self._indexes.by_transformation.get(name, ()))
         return [self.get_derivation(n) for n in names]
 
     # ------------------------------------------------------------------
     # discovery (§2 Discovery, §5.5)
     # ------------------------------------------------------------------
 
+    @_synchronized
     def find_datasets(
         self,
         name_glob: Optional[str] = None,
@@ -552,6 +649,7 @@ class VirtualDataCatalog:
         self._obs_op("query", "dataset", t0)
         return out
 
+    @_synchronized
     def find_transformations(
         self,
         name_glob: Optional[str] = None,
@@ -587,6 +685,7 @@ class VirtualDataCatalog:
         self._obs_op("query", "transformation", t0)
         return out
 
+    @_synchronized
     def find_derivations(
         self,
         transformation: Optional[str] = None,
@@ -600,6 +699,8 @@ class VirtualDataCatalog:
             candidates = self.producers_of(produces)
         elif consumes is not None:
             candidates = self.consumers_of(consumes)
+        elif transformation is not None:
+            candidates = self.derivations_of_transformation(transformation)
         else:
             candidates = list(self.derivations())
         out = []
@@ -628,10 +729,11 @@ class VirtualDataCatalog:
         from repro.vdl.semantics import compile_vdl
 
         program = compile_vdl(vdl_source, self.types)
-        for tr in program.transformations:
-            self.add_transformation(tr, replace=replace)
-        for dv in program.derivations:
-            self.add_derivation(dv, replace=replace)
+        with self.bulk():
+            for tr in program.transformations:
+                self.add_transformation(tr, replace=replace)
+            for dv in program.derivations:
+                self.add_derivation(dv, replace=replace)
         return self
 
     def export_vdl(self) -> str:
@@ -644,6 +746,7 @@ class VirtualDataCatalog:
     # bulk export / import (used by federation snapshots and tests)
     # ------------------------------------------------------------------
 
+    @_synchronized
     def export_snapshot(self) -> dict[str, dict[str, dict]]:
         """Dump all storage payloads, keyed by kind then key."""
         return {
@@ -654,13 +757,17 @@ class VirtualDataCatalog:
             for kind in KINDS
         }
 
+    @_synchronized
     def import_snapshot(self, snapshot: dict[str, dict[str, dict]]) -> None:
         """Load payloads produced by :meth:`export_snapshot`."""
-        for kind in KINDS:
-            for key, payload in snapshot.get(kind, {}).items():
-                self._store_put(kind, key, payload)
+        with self.bulk():
+            for kind in KINDS:
+                items = list(snapshot.get(kind, {}).items())
+                if items:
+                    self._store_put_many(kind, items)
         self._rebuild_indexes()
 
+    @_synchronized
     def counts(self) -> dict[str, int]:
         """Number of stored objects per kind."""
         return {kind: len(self._store_keys(kind)) for kind in KINDS}

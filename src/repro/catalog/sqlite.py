@@ -70,7 +70,16 @@ class SQLiteCatalog(VirtualDataCatalog):
         **kwargs,
     ):
         super().__init__(authority=authority, **kwargs)
-        self._conn = sqlite3.connect(path)
+        # check_same_thread=False: the parallel executor records
+        # provenance from pool threads; the catalog's own RLock already
+        # serializes every operation, so SQLite never sees concurrent use.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._in_bulk = False
+        if path != ":memory:":
+            # WAL keeps readers unblocked during commits and turns the
+            # per-mutation fsync into a sequential log append.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
         self._rebuild_indexes()
@@ -78,6 +87,19 @@ class SQLiteCatalog(VirtualDataCatalog):
     def close(self) -> None:
         """Close the underlying database connection."""
         self._conn.close()
+
+    # -- bulk (deferred-commit) hooks --------------------------------------
+
+    def _bulk_begin(self) -> None:
+        self._in_bulk = True
+
+    def _bulk_end(self) -> None:
+        self._in_bulk = False
+        self._conn.commit()
+
+    def _commit(self) -> None:
+        if not self._in_bulk:
+            self._conn.commit()
 
     def __enter__(self) -> "SQLiteCatalog":
         return self
@@ -130,7 +152,7 @@ class SQLiteCatalog(VirtualDataCatalog):
             )
         else:
             raise ValueError(f"unknown kind {kind!r}")
-        self._conn.commit()
+        self._commit()
 
     def _store_get(self, kind: str, key: str) -> Optional[dict]:
         row = self._conn.execute(
@@ -144,7 +166,72 @@ class SQLiteCatalog(VirtualDataCatalog):
             self._conn.execute(
                 "DELETE FROM derivation_io WHERE derivation = ?", (key,)
             )
-        self._conn.commit()
+        self._commit()
+
+    def _store_put_many(self, kind: str, items: list[tuple[str, dict]]) -> None:
+        if not items:
+            return
+        docs = [(key, json.dumps(payload)) for key, payload in items]
+        if kind == "dataset":
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO dataset (key, payload) VALUES (?, ?)",
+                docs,
+            )
+        elif kind == "replica":
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO replica (key, dataset_name, payload)"
+                " VALUES (?, ?, ?)",
+                [
+                    (key, payload["dataset_name"], doc)
+                    for (key, payload), (_, doc) in zip(items, docs)
+                ],
+            )
+        elif kind == "transformation":
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO transformation"
+                " (key, name, version, payload) VALUES (?, ?, ?, ?)",
+                [
+                    (key, payload["name"], payload["version"], doc)
+                    for (key, payload), (_, doc) in zip(items, docs)
+                ],
+            )
+        elif kind == "derivation":
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO derivation"
+                " (key, transformation, payload) VALUES (?, ?, ?)",
+                [
+                    (key, payload["transformation"], doc)
+                    for (key, payload), (_, doc) in zip(items, docs)
+                ],
+            )
+            self._conn.executemany(
+                "DELETE FROM derivation_io WHERE derivation = ?",
+                [(key,) for key, _ in items],
+            )
+            io_rows = [
+                (key, actual["dataset"], actual["direction"])
+                for key, payload in items
+                for actual in payload.get("actuals", {}).values()
+                if isinstance(actual, dict)
+            ]
+            if io_rows:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO derivation_io"
+                    " (derivation, dataset, direction) VALUES (?, ?, ?)",
+                    io_rows,
+                )
+        elif kind == "invocation":
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO invocation"
+                " (key, derivation_name, payload) VALUES (?, ?, ?)",
+                [
+                    (key, payload["derivation_name"], doc)
+                    for (key, payload), (_, doc) in zip(items, docs)
+                ],
+            )
+        else:
+            raise ValueError(f"unknown kind {kind!r}")
+        self._commit()
 
     def _store_keys(self, kind: str) -> list[str]:
         rows = self._conn.execute(f"SELECT key FROM {kind}")  # noqa: S608

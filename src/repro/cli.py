@@ -205,20 +205,30 @@ def _cmd_plan(ws: Workspace, args, out) -> int:
 
 
 def _cmd_materialize(ws: Workspace, args, out) -> int:
+    return _materialize_local(
+        ws, args.dataset, args.reuse, getattr(args, "workers", 1), out
+    )
+
+
+def _materialize_local(
+    ws: Workspace, dataset: str, reuse: str, workers: int, out
+) -> int:
     obs = Instrumentation()
     executor = ws.executor(instrumentation=obs)
     try:
-        invocations = executor.materialize(args.dataset, reuse=args.reuse)
+        invocations = executor.materialize(
+            dataset, reuse=reuse, workers=workers
+        )
     finally:
         ws.save_snapshot(obs)
     if not invocations:
-        out(f"{args.dataset} is already materialized")
+        out(f"{dataset} is already materialized")
     for inv in invocations:
         out(f"ran {inv.derivation_name}: {inv.status} "
             f"({inv.usage.wall_seconds * 1e3:.1f} ms)")
-    path = executor.path_for(args.dataset)
+    path = executor.path_for(dataset)
     if path.exists():
-        out(f"{args.dataset} -> {path} ({path.stat().st_size} bytes)")
+        out(f"{dataset} -> {path} ({path.stat().st_size} bytes)")
     return 0
 
 
@@ -234,6 +244,12 @@ def _cmd_run(ws: Workspace, args, out) -> int:
     from repro.executor.session import InteractiveSession
 
     if args.target:
+        if args.grid == "local":
+            # Local mode: the in-process executor's thread pool stands
+            # in for the grid; --workers sizes it.
+            return _materialize_local(
+                ws, args.target, "always", args.workers, out
+            )
         return _cmd_run_grid(ws, args, out)
     if not args.transformation:
         out("error: provide a transformation name, or --target DATASET "
@@ -507,6 +523,13 @@ def build_parser() -> argparse.ArgumentParser:
     mat.add_argument("dataset")
     mat.add_argument("--reuse", default="always",
                      choices=("never", "always", "cost"))
+    mat.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N independent plan steps concurrently",
+    )
     mat.set_defaults(fn=_cmd_materialize)
 
     run = sub.add_parser(
@@ -527,7 +550,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid",
         default="site-a=4,site-b=4",
         metavar="SITE=HOSTS,...",
-        help="grid sites for --target (default: site-a=4,site-b=4)",
+        help="grid sites for --target (default: site-a=4,site-b=4); "
+        "'local' runs --target with the in-process executor instead",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --grid local: run up to N plan steps concurrently",
     )
     run.add_argument(
         "--pattern",

@@ -13,6 +13,7 @@ subsequent planning decisions" (§2).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -21,12 +22,16 @@ from repro.core.naming import check_object_name
 from repro.errors import SchemaError
 
 _last_invocation_ordinal = 0
+# The parallel executor records invocations from pool threads; without
+# the lock two threads could be issued the same ordinal.
+_invocation_id_lock = threading.Lock()
 
 
 def _next_invocation_id() -> str:
     global _last_invocation_ordinal
-    _last_invocation_ordinal += 1
-    return f"inv-{_last_invocation_ordinal:08d}"
+    with _invocation_id_lock:
+        _last_invocation_ordinal += 1
+        return f"inv-{_last_invocation_ordinal:08d}"
 
 
 def observe_invocation_id(invocation_id: str) -> None:
@@ -38,8 +43,9 @@ def observe_invocation_id(invocation_id: str) -> None:
             ordinal = int(invocation_id[4:])
         except ValueError:
             return
-        if ordinal > _last_invocation_ordinal:
-            _last_invocation_ordinal = ordinal
+        with _invocation_id_lock:
+            if ordinal > _last_invocation_ordinal:
+                _last_invocation_ordinal = ordinal
 
 
 #: Terminal states an invocation may end in.

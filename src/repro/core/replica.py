@@ -12,6 +12,7 @@ in an environment where datasets can be replicated".
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -21,12 +22,16 @@ from repro.core.naming import check_object_name
 from repro.errors import SchemaError
 
 _last_replica_ordinal = 0
+# The parallel executor creates replicas from pool threads; without the
+# lock two threads could be issued the same ordinal.
+_replica_id_lock = threading.Lock()
 
 
 def _next_replica_id() -> str:
     global _last_replica_ordinal
-    _last_replica_ordinal += 1
-    return f"rep-{_last_replica_ordinal:08d}"
+    with _replica_id_lock:
+        _last_replica_ordinal += 1
+        return f"rep-{_last_replica_ordinal:08d}"
 
 
 def observe_replica_id(replica_id: str) -> None:
@@ -38,8 +43,9 @@ def observe_replica_id(replica_id: str) -> None:
             ordinal = int(replica_id[4:])
         except ValueError:
             return
-        if ordinal > _last_replica_ordinal:
-            _last_replica_ordinal = ordinal
+        with _replica_id_lock:
+            if ordinal > _last_replica_ordinal:
+                _last_replica_ordinal = ordinal
 
 
 @dataclass

@@ -141,6 +141,29 @@ class ExecutionError(VirtualDataError):
     """A transformation execution failed."""
 
 
+class MaterializationError(ExecutionError):
+    """A local materialization finished with failed (or skipped) steps.
+
+    Raised by :meth:`repro.executor.local.LocalExecutor.materialize`
+    under the run-what-you-can failure policy once every runnable step
+    has been attempted.  Carries the invocations that did complete plus
+    the names of the failed steps and of the steps skipped because an
+    upstream step failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invocations=None,
+        failed=None,
+        skipped=None,
+    ):
+        super().__init__(message)
+        self.invocations = list(invocations or [])
+        self.failed = sorted(failed or [])
+        self.skipped = sorted(skipped or [])
+
+
 class WorkflowError(ExecutionError):
     """A workflow run finished with failed (or skipped) steps.
 

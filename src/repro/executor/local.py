@@ -19,7 +19,9 @@ import hashlib
 import os
 import platform
 import subprocess
+import threading
 import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -30,10 +32,15 @@ from repro.core.descriptors import FileDescriptor
 from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
 from repro.core.replica import Replica
 from repro.core.transformation import SimpleTransformation
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, MaterializationError
 from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.dag import Planner
 from repro.planner.request import MaterializationRequest
+from repro.resilience.policies import (
+    FAIL_FAST,
+    FAILURE_POLICIES,
+    RUN_WHAT_YOU_CAN,
+)
 
 
 class RunContext:
@@ -94,6 +101,9 @@ class LocalExecutor:
             # scope unless it already has its own.
             self.catalog.obs = self.obs
         self._bodies: dict[str, TransformationBody] = {}
+        # Per-dataset sandbox locks for the parallel engine.
+        self._dataset_locks: dict[str, threading.Lock] = {}
+        self._dataset_locks_guard = threading.Lock()
 
     # -- registration ---------------------------------------------------------
 
@@ -344,13 +354,36 @@ class LocalExecutor:
         self,
         target: str,
         reuse: str = "always",
+        workers: int = 1,
+        failure_policy: Optional[str] = None,
     ) -> list[Invocation]:
         """Plan and execute everything needed to produce ``target``.
 
         Existing sandbox files count as replicas for the reuse policy.
-        Returns the invocations performed, in execution order.
+        Returns the invocations performed, ordered by the plan's
+        topological order (which for ``workers=1`` is execution order).
+
+        ``workers`` sizes a thread pool that dispatches the entire
+        ready frontier concurrently (§5.4's workflow manager dispatches
+        "nodes of the workflow graph when the node's predecessor
+        dependencies have completed").  ``failure_policy`` is one of
+        the PR-3 policies: ``"fail-fast"`` (default) stops dispatching
+        on the first failure and re-raises it once in-flight steps
+        drain; ``"run-what-you-can"`` keeps executing steps outside the
+        failed subtree and raises
+        :class:`~repro.errors.MaterializationError` at the end.
         """
-        with self.obs.span("executor.materialize", targets=target):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        policy = failure_policy or FAIL_FAST
+        if policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"unknown failure policy {policy!r}; expected one of "
+                f"{FAILURE_POLICIES}"
+            )
+        with self.obs.span(
+            "executor.materialize", targets=target, workers=workers
+        ):
             planner = Planner(
                 self.catalog,
                 has_replica=self.is_materialized,
@@ -359,10 +392,154 @@ class LocalExecutor:
             plan = planner.plan(
                 MaterializationRequest(targets=(target,), reuse=reuse)
             )
-            invocations = []
-            for name in plan.topological_order():
-                invocations.append(self.execute(plan.steps[name].derivation))
-            return invocations
+            if workers == 1 and policy == FAIL_FAST:
+                # Today's sequential path, unchanged.
+                invocations = []
+                for name in plan.topological_order():
+                    invocations.append(
+                        self.execute(plan.steps[name].derivation)
+                    )
+                return invocations
+            return self._materialize_parallel(plan, workers, policy)
+
+    def _materialize_parallel(
+        self, plan, workers: int, policy: str
+    ) -> list[Invocation]:
+        """Frontier-driven pool execution of a plan.
+
+        The main thread owns all scheduling state (frontier, skip set,
+        bookkeeping); worker threads only run :meth:`execute` — which
+        takes per-output dataset locks so two steps can never write the
+        same sandbox file concurrently — and the catalog serializes its
+        own mutations.
+        """
+        order_index = {
+            name: i for i, name in enumerate(plan.topological_order())
+        }
+        frontier = plan.frontier()
+        completed: dict[str, Invocation] = {}
+        failures: dict[str, ExecutionError] = {}
+        skipped: set[str] = set()
+        pool = ThreadPoolExecutor(max_workers=workers)
+        futures: dict = {}  # future -> step name
+        try:
+            while True:
+                if not (frontier.exhausted and not futures):
+                    # Dispatch every ready step there is pool room for,
+                    # in deterministic name order.
+                    dispatchable = [
+                        name
+                        for name in frontier.ready()
+                        if name not in futures.values()
+                        and name not in skipped
+                        and name not in failures
+                    ]
+                    stop_dispatch = policy == FAIL_FAST and failures
+                    if not stop_dispatch:
+                        for name in dispatchable:
+                            step = plan.steps[name]
+                            futures[
+                                pool.submit(self._execute_step_locked, step)
+                            ] = name
+                        self._obs_in_flight(len(futures))
+                if not futures:
+                    break
+                done, _ = wait(
+                    list(futures), return_when=FIRST_COMPLETED
+                )
+                for future in sorted(
+                    done, key=lambda f: order_index[futures[f]]
+                ):
+                    name = futures.pop(future)
+                    try:
+                        completed[name] = future.result()
+                    except ExecutionError as exc:
+                        failures[name] = exc
+                        skipped.update(self._downstream_of(plan, name))
+                    else:
+                        frontier.complete(name)
+                self._obs_in_flight(len(futures))
+                if policy == FAIL_FAST and failures and not futures:
+                    break
+                # Under run-what-you-can, steps downstream of a failure
+                # never become ready; everything else keeps flowing.
+                if (
+                    policy == RUN_WHAT_YOU_CAN
+                    and not futures
+                    and not any(
+                        name not in skipped and name not in failures
+                        for name in frontier.ready()
+                    )
+                ):
+                    break
+        finally:
+            pool.shutdown(wait=True)
+            self._obs_in_flight(0)
+        invocations = [
+            completed[name]
+            for name in sorted(completed, key=order_index.__getitem__)
+        ]
+        if failures:
+            first = min(failures, key=order_index.__getitem__)
+            if policy == FAIL_FAST:
+                raise failures[first]
+            raise MaterializationError(
+                f"{len(failures)} step(s) failed "
+                f"({', '.join(sorted(failures))}); "
+                f"{len(skipped)} skipped downstream",
+                invocations=invocations,
+                failed=failures,
+                skipped=skipped,
+            ) from failures[first]
+        return invocations
+
+    def _execute_step_locked(self, step) -> Invocation:
+        """Run one plan step holding its output-dataset locks.
+
+        Producer→consumer ordering is already enforced by the frontier,
+        so inputs are stable once a step dispatches; the only sandbox
+        race left is two steps writing the same file (e.g. LFNs that
+        collide after path sanitization).  Locks are taken in sorted
+        order so overlapping lock sets cannot deadlock.
+        """
+        names = sorted(set(step.outputs))
+        locks = []
+        with self._dataset_locks_guard:
+            for dataset in names:
+                locks.append(
+                    self._dataset_locks.setdefault(dataset, threading.Lock())
+                )
+        for lock in locks:
+            lock.acquire()
+        try:
+            return self.execute(step.derivation)
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    def _obs_in_flight(self, count: int) -> None:
+        if self.obs.enabled:
+            self.obs.gauge(
+                "executor.pool.in_flight",
+                count,
+                help="plan steps currently running in the local pool",
+            )
+
+    @staticmethod
+    def _downstream_of(plan, name: str) -> set[str]:
+        """Transitive dependents of ``name`` in the plan DAG."""
+        dependents: dict[str, set[str]] = {}
+        for step, deps in plan.dependencies.items():
+            for dep in deps:
+                dependents.setdefault(dep, set()).add(step)
+        out: set[str] = set()
+        stack = [name]
+        while stack:
+            for child in dependents.get(stack.pop(), ()):
+                if child not in out:
+                    out.add(child)
+                    stack.append(child)
+        return out
 
 
 class _maybe_open:

@@ -77,14 +77,47 @@ class Plan:
     #: Scratch datasets that may be deleted after the workflow.
     temporaries: set[str] = field(default_factory=set)
 
+    def check_frontier_consistency(self) -> None:
+        """Verify the dependency map and step set agree.
+
+        A step missing from ``dependencies`` would never be dispatched,
+        and a dependency naming a step that is not in ``steps`` (e.g. a
+        predecessor pruned as a reused subgraph without fixing up the
+        edge) would leave its dependent unready forever.  Both used to
+        pass silently; now they raise :class:`PlanningError`.
+        """
+        orphans = [name for name in self.steps if name not in self.dependencies]
+        if orphans:
+            raise PlanningError(
+                f"plan inconsistent: steps missing from the dependency "
+                f"map would never dispatch: {sorted(orphans)[:6]}"
+            )
+        for name, deps in self.dependencies.items():
+            if name not in self.steps:
+                raise PlanningError(
+                    f"plan inconsistent: dependency entry for unknown "
+                    f"step {name!r}"
+                )
+            dangling = deps - self.steps.keys()
+            if dangling:
+                raise PlanningError(
+                    f"plan inconsistent: step {name!r} depends on pruned "
+                    f"or unknown steps {sorted(dangling)[:6]}"
+                )
+
     def ready_steps(self, done: set[str]) -> list[str]:
         """Steps whose prerequisites are all in ``done`` and that are
         not themselves done, in name order (deterministic dispatch)."""
+        self.check_frontier_consistency()
         return sorted(
             name
             for name, deps in self.dependencies.items()
             if name not in done and deps <= done
         )
+
+    def frontier(self, done: Optional[set[str]] = None) -> "Frontier":
+        """An incremental ready-set tracker over this plan's DAG."""
+        return Frontier(self, done=done)
 
     def topological_order(self) -> list[str]:
         """Step names in a valid execution order.
@@ -93,29 +126,31 @@ class Plan:
         :class:`~repro.errors.CycleError`) naming the steps stuck on a
         cycle, matching what the static ``VDG301`` rule reports.
         """
-        done: set[str] = set()
+        frontier = Frontier(self)
         order: list[str] = []
-        while len(done) < len(self.steps):
-            ready = self.ready_steps(done)
+        while not frontier.exhausted:
+            ready = frontier.ready()
             if not ready:
-                stuck = sorted(set(self.steps) - done)
+                stuck = sorted(set(self.steps) - frontier.completed)
                 raise CyclicDerivationError(
                     f"plan contains a dependency cycle involving: {stuck[:6]}"
                 )
             order.extend(ready)
-            done.update(ready)
+            for name in ready:
+                frontier.complete(name)
         return order
 
     def width(self) -> int:
         """Maximum number of steps runnable concurrently (antichain)."""
-        done: set[str] = set()
+        frontier = Frontier(self)
         best = 0
-        while len(done) < len(self.steps):
-            ready = self.ready_steps(done)
+        while not frontier.exhausted:
+            ready = frontier.ready()
             if not ready:
                 break
             best = max(best, len(ready))
-            done.update(ready)
+            for name in ready:
+                frontier.complete(name)
         return best
 
     def depth(self) -> int:
@@ -176,6 +211,85 @@ class Plan:
 
     def __len__(self) -> int:
         return len(self.steps)
+
+
+class Frontier:
+    """Incremental ready-set tracking over a :class:`Plan`'s DAG.
+
+    Dispatchers used to rescan ``Plan.ready_steps(done)`` after every
+    completion — O(V·E) over a whole run.  The frontier instead keeps a
+    per-step count of unfinished predecessors and decrements it as
+    steps complete, so releasing the whole run's worth of work is
+    O(V+E) total.  Steps whose counts reach zero join the ready set and
+    stay there until :meth:`complete` is called for them, which is what
+    lets callers track in-flight work against the same set.
+
+    The constructor validates the plan (see
+    :meth:`Plan.check_frontier_consistency`); ``done`` pre-completes
+    steps already satisfied, e.g. by a rescue file.
+    """
+
+    def __init__(self, plan: Plan, done: Optional[set[str]] = None):
+        plan.check_frontier_consistency()
+        self._total = len(plan.steps)
+        self.completed: set[str] = set()
+        self._ready: set[str] = set()
+        self._missing: dict[str, int] = {}
+        self._dependents: dict[str, list[str]] = {}
+        for name in plan.steps:
+            deps = plan.dependencies[name]
+            self._missing[name] = len(deps)
+            for dep in deps:
+                self._dependents.setdefault(dep, []).append(name)
+            if not deps:
+                self._ready.add(name)
+        if done:
+            for name in done:
+                if name in plan.steps and name not in self.completed:
+                    # Pre-completed steps may arrive in any order, so a
+                    # dependent of one may complete before it; tolerate
+                    # the resulting double release.
+                    self._force_release(name)
+                    self.complete(name)
+
+    def _force_release(self, name: str) -> None:
+        if name not in self.completed:
+            self._missing[name] = 0
+            self._ready.add(name)
+
+    def ready(self) -> list[str]:
+        """Released, uncompleted steps in name order (deterministic)."""
+        return sorted(self._ready)
+
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every step has completed."""
+        return len(self.completed) >= self._total
+
+    def remaining(self) -> int:
+        return self._total - len(self.completed)
+
+    def complete(self, name: str) -> list[str]:
+        """Mark ``name`` done; returns the steps this newly releases."""
+        if name in self.completed:
+            return []
+        if name not in self._missing:
+            raise PlanningError(f"frontier: unknown step {name!r}")
+        self.completed.add(name)
+        self._ready.discard(name)
+        released: list[str] = []
+        for dependent in self._dependents.get(name, ()):
+            if dependent in self.completed:
+                continue
+            count = self._missing[dependent] - 1
+            self._missing[dependent] = count
+            if count == 0:
+                self._ready.add(dependent)
+                released.append(dependent)
+        return sorted(released)
 
 
 #: Callback deciding rerun-vs-retrieve for one dataset under the

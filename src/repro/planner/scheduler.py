@@ -30,7 +30,7 @@ from typing import Callable, Optional
 from repro.errors import ExecutionError, PlanningError
 from repro.grid.gram import GridExecutionService, JobRecord, JobSpec
 from repro.observability.instrument import NULL, Instrumentation
-from repro.planner.dag import Plan, PlanStep
+from repro.planner.dag import Frontier, Plan, PlanStep
 from repro.planner.strategies import SiteChoice, SiteSelector
 from repro.resilience.policies import (
     FAIL_FAST,
@@ -198,7 +198,10 @@ class WorkflowScheduler:
         all_sites = sorted(self.selector.sites)
         result = WorkflowResult(plan=plan, started_at=self.grid.simulator.now)
         result.pre_completed = {n for n in completed if n in plan.steps}
-        done: set[str] = set(result.pre_completed)
+        # Indegree-decrement frontier: completions release successors
+        # incrementally instead of rescanning ready_steps() every tick.
+        frontier = Frontier(plan, done=result.pre_completed)
+        done = frontier.completed
         in_flight: set[str] = set()
         #: Steps with a resubmission already scheduled (backoff delay or
         #: breaker deferral) — dispatch_ready must not double-submit.
@@ -259,7 +262,7 @@ class WorkflowScheduler:
         def dispatch_ready() -> None:
             if result.failed_steps and recovery.failure_policy == FAIL_FAST:
                 return
-            for name in plan.ready_steps(done):
+            for name in frontier.ready():
                 if (
                     name in in_flight
                     or name in pending_retry
@@ -324,7 +327,7 @@ class WorkflowScheduler:
                 )
                 obs.gauge(
                     "scheduler.queue_depth",
-                    len(plan.ready_steps(done)) - len(in_flight),
+                    frontier.ready_count() - len(in_flight),
                     help="ready steps awaiting dispatch",
                 )
             if candidates is None:
@@ -376,7 +379,7 @@ class WorkflowScheduler:
                     obs.gauge("scheduler.in_flight", len(in_flight))
 
             def handle_success(record: JobRecord) -> None:
-                done.add(name)
+                frontier.complete(name)
                 if breakers is not None:
                     breakers.breaker(choice.site).record_success(
                         self.grid.simulator.now
