@@ -4,37 +4,60 @@ The observability layer must be cheap enough to leave on.  This
 benchmark materializes every sink of a generated canonical dependency
 graph (§6) through the local executor — so all derivations execute,
 with real per-step work: file I/O, sha256 digests, provenance
-write-back — twice: once with the no-op tracer
-(``NullInstrumentation``, the default every call site gets) and once
-with a live ``Instrumentation`` recording the full span tree and
-metric set.  Live must stay within 10% of no-op.
+write-back — three times: with the no-op tracer
+(``NullInstrumentation``, the default every call site gets), with a
+live ``Instrumentation`` recording the full span tree and metric set,
+and with the live handle *plus* an attached flight recorder streaming
+the run to JSONL.  Live must stay within 10% of no-op; the recorded
+variant is reported for trend-watching (it adds per-line fsync-free
+writes, not CPU in the hot path).
 
-Timing methodology: the two variants run in *interleaved* rounds on
+The measured ratios land in ``BENCH_OBS_OVERHEAD.json`` at the repo
+root; the CI observability job re-runs this in smoke mode and fails
+when the recorded live overhead exceeds the 10% budget.
+
+Timing methodology: the variants run in *interleaved* rounds on
 fresh catalogs/sandboxes (graph generation outside the timer, gc
-paused inside it), alternating which goes first, and we compare the
+paused inside it), rotating which goes first, and we compare the
 *minimum* per-round CPU times (``time.process_time``).  Minimum is
 the standard low-noise estimator for micro-comparisons; CPU time
 excludes I/O scheduling jitter — correct here, since instrumentation
-overhead is pure CPU; interleaving with alternating order cancels
-slow drift (thermal/frequency) between the measurement phases.
+overhead is pure CPU; interleaving with rotating order cancels slow
+drift (thermal/frequency) between the measurement phases.
+
+``BENCH_SMOKE=1`` (CI) shrinks the graph and round count and skips
+the in-test assertion — shared runners are too noisy for a 10%
+micro-comparison; the JSON still lands for the workflow's budget
+check against the committed full-size numbers.
 """
 
 from __future__ import annotations
 
 import gc
 import itertools
+import json
+import os
 import time
+from pathlib import Path
 
 from repro.catalog.memory import MemoryCatalog
 from repro.executor.local import LocalExecutor
-from repro.observability import Instrumentation, NullInstrumentation
+from repro.observability import (
+    FlightRecorder,
+    Instrumentation,
+    NullInstrumentation,
+)
 from repro.workloads import canonical
 
-NODES = 150
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+NODES = 40 if SMOKE else 150
 LAYERS = 6
 #: Enough rounds for the per-variant minimum to converge on this
 #: noisy shared hardware (per-round times vary by ~30%; minima don't).
-ROUNDS = 15
+ROUNDS = 3 if SMOKE else 15
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_OBS_OVERHEAD.json"
 
 _uniq = itertools.count()
 
@@ -60,7 +83,18 @@ def materialize_all(executor, sinks) -> int:
     return total
 
 
-def timed_round(tmp_path, instrumentation) -> tuple[float, int]:
+def timed_round(tmp_path, variant) -> tuple[float, int]:
+    if variant == "noop":
+        instrumentation = NullInstrumentation()
+        recorder = None
+    else:
+        instrumentation = Instrumentation()
+        recorder = None
+        if variant == "recorded":
+            recorder = FlightRecorder.start(
+                tmp_path / f"runs-{next(_uniq)}", command="bench"
+            )
+            instrumentation.attach_recorder(recorder)
     executor, sinks = build_executor(tmp_path, instrumentation)
     gc.collect()
     gc.disable()
@@ -70,40 +104,66 @@ def timed_round(tmp_path, instrumentation) -> tuple[float, int]:
         return time.process_time() - start, steps
     finally:
         gc.enable()
+        if recorder is not None:
+            recorder.finalize(instrumentation, status="ok")
 
 
 def test_obs_overhead_under_ten_percent(scenario, table, tmp_path):
     def run():
-        timed_round(tmp_path, NullInstrumentation())  # warm imports
-        noop = live = float("inf")
+        timed_round(tmp_path, "noop")  # warm imports
+        best = {"noop": float("inf"), "live": float("inf"),
+                "recorded": float("inf")}
         steps = 0
+        variants = list(best)
         for i in range(ROUNDS):
-            pair = [
-                (NullInstrumentation(), "noop"),
-                (Instrumentation(), "live"),
-            ]
-            if i % 2:
-                pair.reverse()
-            for instrumentation, variant in pair:
-                seconds, steps = timed_round(tmp_path, instrumentation)
-                if variant == "noop":
-                    noop = min(noop, seconds)
-                else:
-                    live = min(live, seconds)
-        overhead = (live / noop - 1) * 100
+            order = variants[i % 3:] + variants[: i % 3]
+            for variant in order:
+                seconds, steps = timed_round(tmp_path, variant)
+                best[variant] = min(best[variant], seconds)
+        overhead = (best["live"] / best["noop"] - 1) * 100
+        rec_overhead = (best["recorded"] / best["noop"] - 1) * 100
         table(
             f"OBS overhead: canonical graph, {NODES} nodes / {steps} "
             f"executed steps, best of {ROUNDS}",
             ["variant", "seconds", "overhead"],
             [
-                ("no-op tracer", f"{noop:.5f}", "-"),
-                ("live tracer+metrics", f"{live:.5f}", f"{overhead:+.1f}%"),
+                ("no-op tracer", f"{best['noop']:.5f}", "-"),
+                (
+                    "live tracer+metrics",
+                    f"{best['live']:.5f}",
+                    f"{overhead:+.1f}%",
+                ),
+                (
+                    "live + flight recorder",
+                    f"{best['recorded']:.5f}",
+                    f"{rec_overhead:+.1f}%",
+                ),
             ],
         )
-        assert live <= noop * 1.10, (
-            f"live instrumentation overhead {overhead:+.1f}% exceeds 10% "
-            f"(no-op {noop:.5f}s, live {live:.5f}s)"
+        RESULT_PATH.write_text(
+            json.dumps(
+                {
+                    "nodes": NODES,
+                    "steps": steps,
+                    "rounds": ROUNDS,
+                    "smoke": SMOKE,
+                    "noop_seconds": best["noop"],
+                    "live_seconds": best["live"],
+                    "recorded_seconds": best["recorded"],
+                    "live_overhead_pct": round(overhead, 2),
+                    "recorded_overhead_pct": round(rec_overhead, 2),
+                    "budget_pct": 10.0,
+                },
+                indent=2,
+            )
+            + "\n"
         )
-        return noop, live
+        if not SMOKE:
+            assert best["live"] <= best["noop"] * 1.10, (
+                f"live instrumentation overhead {overhead:+.1f}% exceeds "
+                f"10% (no-op {best['noop']:.5f}s, live "
+                f"{best['live']:.5f}s)"
+            )
+        return best["noop"], best["live"], best["recorded"]
 
     scenario(run)

@@ -39,10 +39,19 @@ from repro.catalog.filetree import FileTreeCatalog
 from repro.errors import VDLSemanticError, VDLSyntaxError, VirtualDataError
 from repro.executor.local import LocalExecutor
 from repro.observability import (
+    FlightRecorder,
     Instrumentation,
+    ProgressSink,
+    ProgressTicker,
+    RunRecord,
+    chrome_trace,
+    find_run,
+    list_runs,
     read_snapshot,
     render_metrics,
+    render_report,
     render_span_tree,
+    report_dict,
     write_snapshot,
 )
 from repro.provenance.graph import DerivationGraph
@@ -60,6 +69,7 @@ class Workspace:
         self.catalog_dir = self.root / "catalog"
         self.sandbox_dir = self.root / "sandbox"
         self.observability_dir = self.root / "observability"
+        self.runs_dir = self.root / "runs"
 
     @property
     def exists(self) -> bool:
@@ -94,6 +104,19 @@ class Workspace:
                 "'materialize' or 'run' first"
             )
         return read_snapshot(self.observability_dir)
+
+    def start_recorder(self, command: str) -> FlightRecorder:
+        """Open a new flight record under ``<workspace>/runs/``."""
+        return FlightRecorder.start(self.runs_dir, command=command)
+
+    def list_runs(self) -> list[RunRecord]:
+        return list_runs(self.runs_dir)
+
+    def load_run(self, run_id: str) -> RunRecord:
+        try:
+            return find_run(self.runs_dir, run_id)
+        except FileNotFoundError as exc:
+            raise VirtualDataError(str(exc)) from None
 
 
 def _cmd_init(ws: Workspace, args, out) -> int:
@@ -204,23 +227,57 @@ def _cmd_plan(ws: Workspace, args, out) -> int:
     return 0
 
 
+def _instrument_run(ws: Workspace, command: str, args):
+    """Build the (obs, recorder, ticker) triple for an executing command.
+
+    Recording is on by default (``--no-record`` opts out); the live
+    progress ticker is opt-in (``--progress``).
+    """
+    from contextlib import nullcontext
+
+    obs = Instrumentation()
+    recorder = None
+    if not getattr(args, "no_record", False):
+        recorder = ws.start_recorder(command)
+        obs.attach_recorder(recorder)
+    ticker = nullcontext()
+    if getattr(args, "progress", False):
+        sink = ProgressSink()
+        obs.attach_progress(sink)
+        ticker = ProgressTicker(sink)
+    return obs, recorder, ticker
+
+
+def _finalize_run(ws: Workspace, obs, recorder, out, status, **fields) -> None:
+    ws.save_snapshot(obs)
+    if recorder is not None:
+        recorder.finalize(obs, status=status, **fields)
+        out(f"run record: {recorder.run_id}")
+
+
 def _cmd_materialize(ws: Workspace, args, out) -> int:
     return _materialize_local(
-        ws, args.dataset, args.reuse, getattr(args, "workers", 1), out
+        ws, args.dataset, args.reuse, getattr(args, "workers", 1), out,
+        args=args,
     )
 
 
 def _materialize_local(
-    ws: Workspace, dataset: str, reuse: str, workers: int, out
+    ws: Workspace, dataset: str, reuse: str, workers: int, out, args=None
 ) -> int:
-    obs = Instrumentation()
+    obs, recorder, ticker = _instrument_run(
+        ws, f"materialize {dataset}", args
+    )
     executor = ws.executor(instrumentation=obs)
+    status = "error"
     try:
-        invocations = executor.materialize(
-            dataset, reuse=reuse, workers=workers
-        )
+        with ticker:
+            invocations = executor.materialize(
+                dataset, reuse=reuse, workers=workers
+            )
+        status = "ok"
     finally:
-        ws.save_snapshot(obs)
+        _finalize_run(ws, obs, recorder, out, status)
     if not invocations:
         out(f"{dataset} is already materialized")
     for inv in invocations:
@@ -248,14 +305,16 @@ def _cmd_run(ws: Workspace, args, out) -> int:
             # Local mode: the in-process executor's thread pool stands
             # in for the grid; --workers sizes it.
             return _materialize_local(
-                ws, args.target, "always", args.workers, out
+                ws, args.target, "always", args.workers, out, args=args
             )
         return _cmd_run_grid(ws, args, out)
     if not args.transformation:
         out("error: provide a transformation name, or --target DATASET "
             "for a grid workflow run")
         return 1
-    obs = Instrumentation()
+    obs, recorder, _ = _instrument_run(
+        ws, f"run {args.transformation}", args
+    )
     executor = ws.executor(instrumentation=obs)
     session = InteractiveSession(executor, prefix=args.session)
     # Continue numbering from previous CLI invocations of this session.
@@ -272,10 +331,12 @@ def _cmd_run(ws: Workspace, args, out) -> int:
             return 1
         key, _, value = binding.partition("=")
         bindings[key] = value
+    status = "error"
     try:
         outputs = session.run(args.transformation, **bindings)
+        status = "ok"
     finally:
-        ws.save_snapshot(obs)
+        _finalize_run(ws, obs, recorder, out, status)
     entry = session.log[-1]
     out(f"ran {entry.derivation.name}: {entry.invocation.status}")
     for name in outputs:
@@ -316,7 +377,9 @@ def _cmd_run_grid(ws: Workspace, args, out) -> int:
         failure_policy=args.failure_policy,
         step_timeout=args.step_timeout,
     )
-    obs = Instrumentation()
+    obs, recorder, ticker = _instrument_run(
+        ws, f"run --target {args.target} --grid {args.grid}", args
+    )
     vds = VirtualDataSystem.with_grid(
         sites,
         catalog=ws.catalog(),
@@ -355,18 +418,28 @@ def _cmd_run_grid(ws: Workspace, args, out) -> int:
     status = 0
     result = None
     try:
-        result = vds.materialize(
-            args.target,
-            pattern=args.pattern,
-            rescue=base,
-            until=args.kill_at,
-        )
+        with ticker:
+            result = vds.materialize(
+                args.target,
+                pattern=args.pattern,
+                rescue=base,
+                until=args.kill_at,
+            )
     except WorkflowError as exc:
         out(exc.render_summary())
         result = exc.result
         status = 1
     finally:
-        ws.save_snapshot(obs)
+        fields = {}
+        if result is not None:
+            fields["makespan"] = result.makespan
+            fields["failed_steps"] = sorted(result.failed_steps)
+            fields["interrupted"] = result.interrupted
+        _finalize_run(
+            ws, obs, recorder, out,
+            status="ok" if status == 0 and result is not None else "error",
+            **fields,
+        )
 
     if result is None:
         return status
@@ -437,10 +510,36 @@ def _cmd_export(ws: Workspace, args, out) -> int:
     return 0
 
 
+def _render_run_list(ws: Workspace, out) -> int:
+    runs = ws.list_runs()
+    if not runs:
+        out(f"no recorded runs under {ws.runs_dir}")
+        return 0
+    out("available runs (oldest first):")
+    for record in runs:
+        command = f"  command={record.command}" if record.command else ""
+        out(f"  {record.run_id}  status={record.status}{command}")
+    return 0
+
+
 def _cmd_stats(ws: Workspace, args, out) -> int:
-    """Metrics recorded by the most recent materialize/run."""
+    """Metrics from the last run, or from a recorded run (``--run``)."""
     import json
 
+    if args.run == "":
+        return _render_run_list(ws, out)
+    if args.run is not None:
+        record = ws.load_run(args.run)
+        if args.format == "prom":
+            out("error: --format prom needs the live snapshot; run "
+                "'stats' without --run")
+            return 1
+        if args.format == "json":
+            out(json.dumps(record.metrics, indent=2, sort_keys=True))
+        else:
+            rendered = render_metrics(record.metrics)
+            out(rendered if rendered else "no metrics recorded")
+        return 0
     _, metrics, prom = ws.load_snapshot()
     if args.format == "prom":
         out(prom.rstrip("\n"))
@@ -453,12 +552,54 @@ def _cmd_stats(ws: Workspace, args, out) -> int:
 
 
 def _cmd_trace(ws: Workspace, args, out) -> int:
-    """Span tree recorded by the most recent materialize/run."""
-    spans, _, _ = ws.load_snapshot()
+    """Span tree from the last run; ``--run`` selects a recorded run,
+    ``--chrome`` exports a Perfetto-loadable Chrome trace instead."""
+    import json
+
+    if args.run == "":
+        return _render_run_list(ws, out)
+    if args.chrome:
+        record = ws.load_run(args.run or "latest")
+        trace = chrome_trace(record)
+        target = args.output
+        if target == "-":
+            out(json.dumps(trace, indent=2, sort_keys=True))
+            return 0
+        if target is None:
+            target = record.path.parent / "trace.json"
+        target = Path(target)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(trace, sort_keys=True) + "\n")
+        out(f"chrome trace written to {target} "
+            f"({len(trace['traceEvents'])} events); load it in Perfetto "
+            "(ui.perfetto.dev) or chrome://tracing")
+        return 0
+    if args.run is not None:
+        spans = ws.load_run(args.run).spans
+    else:
+        spans, _, _ = ws.load_snapshot()
     if not spans:
         out("no spans recorded")
         return 0
     out(render_span_tree(spans))
+    return 0
+
+
+def _cmd_report(ws: Workspace, args, out) -> int:
+    """Critical-path and profile report for a recorded run."""
+    import json
+
+    if not args.run_id:
+        _render_run_list(ws, out)
+        runs = ws.list_runs()
+        if runs:
+            out(f"(report one with: report {runs[-1].run_id})")
+        return 0
+    record = ws.load_run(args.run_id)
+    if args.json:
+        out(json.dumps(report_dict(record), indent=2, sort_keys=True))
+    else:
+        out(render_report(record).rstrip("\n"))
     return 0
 
 
@@ -529,6 +670,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="run up to N independent plan steps concurrently",
+    )
+    mat.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live steps-done/running/failed ticker with ETA",
+    )
+    mat.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing a flight record under <workspace>/runs/",
     )
     mat.set_defaults(fn=_cmd_materialize)
 
@@ -604,6 +755,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="T",
         help="kill the run at sim time T (writes a rescue file)",
     )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live steps-done/running/failed ticker with ETA",
+    )
+    run.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing a flight record under <workspace>/runs/",
+    )
     run.set_defaults(fn=_cmd_run)
 
     lineage = sub.add_parser("lineage", help="audit trail of a dataset")
@@ -625,10 +786,55 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--format", default="text", choices=("text", "prom", "json")
     )
+    stats.add_argument(
+        "--run",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="RUN_ID",
+        help="read a recorded run instead of the latest snapshot; "
+        "without RUN_ID, list available runs ('latest' also works)",
+    )
     stats.set_defaults(fn=_cmd_stats)
 
     trace = sub.add_parser("trace", help="span tree from the last traced run")
+    trace.add_argument(
+        "--run",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="RUN_ID",
+        help="read a recorded run instead of the latest snapshot; "
+        "without RUN_ID, list available runs ('latest' also works)",
+    )
+    trace.add_argument(
+        "--chrome",
+        action="store_true",
+        help="export a Chrome-trace (Perfetto) JSON file instead of text",
+    )
+    trace.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="with --chrome: destination file ('-' prints to stdout; "
+        "default <run dir>/trace.json)",
+    )
     trace.set_defaults(fn=_cmd_trace)
+
+    report = sub.add_parser(
+        "report",
+        help="critical path + latency/throughput profiles of a recorded run",
+    )
+    report.add_argument(
+        "run_id",
+        nargs="?",
+        help="run id under <workspace>/runs ('latest' works); "
+        "omit to list available runs",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    report.set_defaults(fn=_cmd_report)
 
     return parser
 

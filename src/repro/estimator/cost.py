@@ -119,6 +119,36 @@ class Estimator:
         for tr_name, invocations in by_tr.items():
             self._models[tr_name] = fit_model(tr_name, invocations)
 
+    def train_on_record(self, record) -> dict[str, TransformationCostModel]:
+        """Fit models from one recorded run's flight record.
+
+        A :class:`~repro.observability.recorder.RunRecord` carries the
+        same (bytes_read, cpu_seconds) pairs the catalog does, but for
+        exactly one run — so a record taken on one grid can train an
+        estimator bound to a different (even empty) catalog.  Returns
+        the transformations whose models were refreshed.
+        """
+        plan_steps = record.plan_steps()
+        by_tr: dict[str, list[Invocation]] = {}
+        for data in record.invocations:
+            entry = plan_steps.get(data.get("derivation_name", ""))
+            if entry is None:
+                continue
+            by_tr.setdefault(entry["transformation"], []).append(
+                Invocation.from_dict(data)
+            )
+        trained: dict[str, TransformationCostModel] = {}
+        for tr_name, invocations in sorted(by_tr.items()):
+            model = fit_model(tr_name, invocations)
+            if model.is_fitted:
+                self._models[tr_name] = trained[tr_name] = model
+                if self.obs.enabled:
+                    self.obs.count(
+                        "estimator.trained",
+                        help="models refreshed from run records",
+                    )
+        return trained
+
     def model_for(self, transformation: str) -> TransformationCostModel:
         """The model for one transformation, fitting lazily.
 

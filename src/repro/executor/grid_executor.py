@@ -247,6 +247,8 @@ class GridExecutor:
             # first-class provenance records of their own.
             self.catalog.add_derivation(step.derivation, validate=False)
         self.catalog.add_invocation(invocation)
+        if self.obs.recorder is not None:
+            self.obs.recorder.invocation(invocation)
 
     @staticmethod
     def _formal_for(step: PlanStep, dataset: str) -> Optional[str]:

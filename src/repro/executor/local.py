@@ -238,6 +238,8 @@ class LocalExecutor:
         if error is None:
             self._record_outputs(dv, invocation, output_paths)
         self.catalog.add_invocation(invocation)
+        if self.obs.recorder is not None:
+            self.obs.recorder.invocation(invocation)
         if error is not None:
             raise ExecutionError(
                 f"derivation {dv.name!r} failed: {error}"
@@ -383,7 +385,7 @@ class LocalExecutor:
             )
         with self.obs.span(
             "executor.materialize", targets=target, workers=workers
-        ):
+        ) as mspan:
             planner = Planner(
                 self.catalog,
                 has_replica=self.is_materialized,
@@ -392,18 +394,30 @@ class LocalExecutor:
             plan = planner.plan(
                 MaterializationRequest(targets=(target,), reuse=reuse)
             )
+            if self.obs.recorder is not None:
+                self.obs.recorder.plan(plan)
+            if self.obs.progress is not None:
+                self.obs.progress.start_plan(plan)
             if workers == 1 and policy == FAIL_FAST:
                 # Today's sequential path, unchanged.
                 invocations = []
                 for name in plan.topological_order():
-                    invocations.append(
-                        self.execute(plan.steps[name].derivation)
-                    )
+                    if self.obs.progress is not None:
+                        self.obs.progress.step_started(name)
+                    try:
+                        invocation = self.execute(
+                            plan.steps[name].derivation
+                        )
+                    except ExecutionError:
+                        self._note_step(name, None, "failure")
+                        raise
+                    invocations.append(invocation)
+                    self._note_step(name, invocation, "success")
                 return invocations
-            return self._materialize_parallel(plan, workers, policy)
+            return self._materialize_parallel(plan, workers, policy, mspan)
 
     def _materialize_parallel(
-        self, plan, workers: int, policy: str
+        self, plan, workers: int, policy: str, parent=None
     ) -> list[Invocation]:
         """Frontier-driven pool execution of a plan.
 
@@ -439,9 +453,16 @@ class LocalExecutor:
                         for name in dispatchable:
                             step = plan.steps[name]
                             futures[
-                                pool.submit(self._execute_step_locked, step)
+                                pool.submit(
+                                    self._execute_step_locked, step, parent
+                                )
                             ] = name
+                            if self.obs.progress is not None:
+                                self.obs.progress.step_started(name)
                         self._obs_in_flight(len(futures))
+                self._sample_frontier(
+                    frontier, futures, completed, len(plan.steps)
+                )
                 if not futures:
                     break
                 done, _ = wait(
@@ -456,8 +477,10 @@ class LocalExecutor:
                     except ExecutionError as exc:
                         failures[name] = exc
                         skipped.update(self._downstream_of(plan, name))
+                        self._note_step(name, None, "failure")
                     else:
                         frontier.complete(name)
+                        self._note_step(name, completed[name], "success")
                 self._obs_in_flight(len(futures))
                 if policy == FAIL_FAST and failures and not futures:
                     break
@@ -475,6 +498,13 @@ class LocalExecutor:
         finally:
             pool.shutdown(wait=True)
             self._obs_in_flight(0)
+        for name in sorted(skipped, key=order_index.__getitem__):
+            if self.obs.progress is not None:
+                self.obs.progress.step_finished(name, "skipped")
+            if self.obs.recorder is not None:
+                self.obs.recorder.event(
+                    "step.skipped", step=name, reason="upstream failure"
+                )
         invocations = [
             completed[name]
             for name in sorted(completed, key=order_index.__getitem__)
@@ -493,7 +523,7 @@ class LocalExecutor:
             ) from failures[first]
         return invocations
 
-    def _execute_step_locked(self, step) -> Invocation:
+    def _execute_step_locked(self, step, parent=None) -> Invocation:
         """Run one plan step holding its output-dataset locks.
 
         Producer→consumer ordering is already enforced by the frontier,
@@ -501,6 +531,12 @@ class LocalExecutor:
         race left is two steps writing the same file (e.g. LFNs that
         collide after path sanitization).  Locks are taken in sorted
         order so overlapping lock sets cannot deadlock.
+
+        ``parent`` is the dispatching thread's ``executor.materialize``
+        span: pool threads start with an empty context-local span
+        stack, so the parent is adopted explicitly here to keep every
+        ``executor.execute`` span nested under the materialize span
+        rather than becoming a root.
         """
         names = sorted(set(step.outputs))
         locks = []
@@ -512,10 +548,45 @@ class LocalExecutor:
         for lock in locks:
             lock.acquire()
         try:
-            return self.execute(step.derivation)
+            with self.obs.adopt(parent):
+                return self.execute(step.derivation)
         finally:
             for lock in reversed(locks):
                 lock.release()
+
+    def _note_step(
+        self, name: str, invocation: Optional[Invocation], status: str
+    ) -> None:
+        """Publish one finished step to the recorder and progress sink."""
+        if self.obs.recorder is not None:
+            if invocation is not None:
+                start = invocation.start_time
+                end = start + invocation.usage.wall_seconds
+            else:
+                start = end = time.time()
+            self.obs.recorder.step(
+                name,
+                status=status,
+                start=start,
+                end=end,
+                clock="wall",
+                site=self.site_name,
+            )
+        if self.obs.progress is not None:
+            self.obs.progress.step_finished(
+                name, "ok" if status == "success" else "failed"
+            )
+
+    def _sample_frontier(
+        self, frontier, futures, completed, total: int
+    ) -> None:
+        if self.obs.recorder is not None:
+            self.obs.recorder.sample(
+                ready=frontier.ready_count(),
+                in_flight=len(futures),
+                completed=len(completed),
+                total=total,
+            )
 
     def _obs_in_flight(self, count: int) -> None:
         if self.obs.enabled:

@@ -5,8 +5,25 @@ One :class:`Instrumentation` object (a :class:`Tracer` plus a
 executor → grid so a single ``materialize`` produces one span tree
 and one metric namespace.  The default everywhere is :data:`NULL`,
 a no-op handle, so uninstrumented call sites pay almost nothing.
+
+Persistent observability lives next door: the
+:class:`~repro.observability.recorder.FlightRecorder` streams one
+run's spans/metrics/invocations/events to an append-only JSONL record
+under the workspace, and :mod:`repro.observability.analysis` turns a
+loaded :class:`~repro.observability.recorder.RunRecord` into
+critical-path reports, latency/throughput profiles, and Chrome
+(Perfetto) traces.
 """
 
+from repro.observability.analysis import (
+    chrome_trace,
+    critical_path,
+    render_report,
+    report_dict,
+    site_profiles,
+    transformation_profiles,
+    validate_chrome_trace,
+)
 from repro.observability.export import (
     read_snapshot,
     render_metrics,
@@ -25,22 +42,44 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.observability.progress import ProgressSink, ProgressTicker
+from repro.observability.recorder import (
+    RECORD_SCHEMA_VERSION,
+    FlightRecorder,
+    RunRecord,
+    find_run,
+    list_runs,
+)
 from repro.observability.tracing import NullTracer, Span, Tracer
 
 __all__ = [
     "NULL",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
     "NullInstrumentation",
     "NullTracer",
+    "ProgressSink",
+    "ProgressTicker",
+    "RECORD_SCHEMA_VERSION",
+    "RunRecord",
     "Span",
     "Tracer",
+    "chrome_trace",
+    "critical_path",
+    "find_run",
+    "list_runs",
     "read_snapshot",
     "render_metrics",
+    "render_report",
     "render_span_tree",
+    "report_dict",
+    "site_profiles",
     "spans_to_jsonl",
+    "transformation_profiles",
+    "validate_chrome_trace",
     "write_snapshot",
 ]

@@ -84,6 +84,10 @@ def _span_line(span: dict[str, Any]) -> str:
     start_wall, end_wall = span.get("start_wall"), span.get("end_wall")
     if start_wall is not None and end_wall is not None:
         parts.append(f"wall={_seconds(end_wall - start_wall)}")
+    elif start_wall is not None:
+        # Exported mid-flight (e.g. a crash dump): there is no duration
+        # to print, and pretending 0s would misread as "instant".
+        parts.append("unfinished")
     start_sim, end_sim = span.get("start_sim"), span.get("end_sim")
     if start_sim is not None and end_sim is not None:
         parts.append(f"sim={_seconds(end_sim - start_sim)}")

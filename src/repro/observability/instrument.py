@@ -40,6 +40,15 @@ class Instrumentation:
     ):
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional :class:`~repro.observability.recorder.FlightRecorder`
+        #: — when attached, the instrumented executors/scheduler write
+        #: their run stream through it.  The handle rides on the same
+        #: object that already travels catalog → planner → executor →
+        #: grid, so attaching one never changes a constructor signature.
+        self.recorder: Optional[Any] = None
+        #: Optional :class:`~repro.observability.progress.ProgressSink`
+        #: fed by executors/scheduler for the live ``--progress`` ticker.
+        self.progress: Optional[Any] = None
 
     # -- tracing shorthands -------------------------------------------------
 
@@ -51,6 +60,10 @@ class Instrumentation:
 
     def event(self, name: str, **attrs: Any) -> None:
         self.tracer.add_event(name, **attrs)
+
+    def adopt(self, parent: Any):
+        """Pool-boundary handoff: make ``parent`` the current span."""
+        return self.tracer.adopt(parent)
 
     # -- metric shorthands --------------------------------------------------
 
@@ -82,6 +95,14 @@ class Instrumentation:
         """Give spans a sim-time clock (``simulator.now``)."""
         self.tracer.bind_clock(lambda: simulator.now)
 
+    def attach_recorder(self, recorder: Any) -> None:
+        """Route this run's stream through a flight recorder."""
+        self.recorder = recorder
+
+    def attach_progress(self, sink: Any) -> None:
+        """Feed a progress sink from the executors/scheduler."""
+        self.progress = sink
+
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
@@ -108,6 +129,13 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def bind_simulator(self, simulator):  # type: ignore[override]
+        pass
+
+    def attach_recorder(self, recorder):  # type: ignore[override]
+        # The NULL singleton is shared process-wide; never mutate it.
+        pass
+
+    def attach_progress(self, sink):  # type: ignore[override]
         pass
 
 

@@ -7,14 +7,24 @@ process-local aggregation point: named metrics with label sets,
 exportable as a plain dict, JSON, or Prometheus text exposition
 format (see :mod:`repro.observability.export`).
 
-All metrics are synchronous in-process objects — no locks, no
-background threads — matching the deterministic single-threaded
-simulator they instrument.
+All metrics are synchronous in-process objects and **thread-safe**:
+the parallel local executor records invocations (and therefore
+metrics) from pool threads.  Counters and histograms write to
+per-thread shards — each shard is mutated only by its owning thread,
+so the hot path (``inc_at``/``observe_at``) takes no lock at all, and
+reads merge the shards under the per-metric lock.  A read racing a
+writer may lag that writer's newest observation by one update;
+totals are exact once writers are joined, which is what the
+thread-hammer regression tests assert.  Gauges and the registry's
+get-or-create stay fully lock-serialized.  The overhead benchmark
+(``benchmarks/test_bench_observability_overhead``) guards the budget.
 """
 
 from __future__ import annotations
 
 import re
+import threading
+from bisect import bisect_left
 from typing import Iterator, Optional
 
 #: Canonical label encoding: a sorted tuple of (key, value) pairs, so
@@ -49,6 +59,7 @@ class Metric:
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
+        self._lock = threading.Lock()
 
     def series(self) -> Iterator[tuple[LabelKey, object]]:
         raise NotImplementedError
@@ -64,27 +75,55 @@ class Counter(Metric):
 
     def __init__(self, name: str, help: str = ""):
         super().__init__(name, help)
-        self._values: dict[LabelKey, float] = {}
+        self._local = threading.local()
+        self._shards: list[dict[LabelKey, float]] = []
+
+    def _new_shard(self) -> dict[LabelKey, float]:
+        shard: dict[LabelKey, float] = {}
+        self._local.shard = shard
+        with self._lock:
+            self._shards.append(shard)
+        return shard
 
     def inc(self, amount: float = 1, **labels: object) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        key = label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        self.inc_at(label_key(labels), amount)
 
     def inc_at(self, key: LabelKey, amount: float = 1) -> None:
-        """Hot-path increment with a precomputed :data:`LabelKey`."""
-        self._values[key] = self._values.get(key, 0) + amount
+        """Hot-path increment with a precomputed :data:`LabelKey`.
+
+        Writes land in this thread's shard, so no lock is taken.
+        """
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = self._new_shard()
+        try:
+            shard[key] += amount
+        except KeyError:
+            shard[key] = amount
+
+    def _merged(self) -> dict[LabelKey, float]:
+        with self._lock:
+            shards = list(self._shards)
+        merged: dict[LabelKey, float] = {}
+        for shard in shards:
+            # list() snapshots the dict in one GIL-atomic step while
+            # the owning thread keeps writing to it.
+            for key, value in list(shard.items()):
+                merged[key] = merged.get(key, 0) + value
+        return merged
 
     def value(self, **labels: object) -> float:
-        return self._values.get(label_key(labels), 0)
+        return self._merged().get(label_key(labels), 0)
 
     def total(self) -> float:
         """Sum across all label sets."""
-        return sum(self._values.values())
+        return sum(self._merged().values())
 
     def series(self) -> Iterator[tuple[LabelKey, float]]:
-        yield from sorted(self._values.items())
+        yield from sorted(self._merged().items())
 
     def to_dict(self) -> dict:
         return {
@@ -106,20 +145,25 @@ class Gauge(Metric):
         self._values: dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: object) -> None:
-        self._values[label_key(labels)] = value
+        with self._lock:
+            self._values[label_key(labels)] = value
 
     def inc(self, amount: float = 1, **labels: object) -> None:
         key = label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def dec(self, amount: float = 1, **labels: object) -> None:
         self.inc(-amount, **labels)
 
     def value(self, **labels: object) -> float:
-        return self._values.get(label_key(labels), 0)
+        with self._lock:
+            return self._values.get(label_key(labels), 0)
 
     def series(self) -> Iterator[tuple[LabelKey, float]]:
-        yield from sorted(self._values.items())
+        with self._lock:
+            snapshot = sorted(self._values.items())
+        yield from snapshot
 
     def to_dict(self) -> dict:
         return {
@@ -164,38 +208,67 @@ class Histogram(Metric):
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError("histogram buckets must be sorted and non-empty")
         self.buckets = bounds
-        self._series: dict[LabelKey, HistogramSeries] = {}
+        self._local = threading.local()
+        self._shards: list[dict[LabelKey, HistogramSeries]] = []
+
+    def _new_shard(self) -> dict[LabelKey, HistogramSeries]:
+        shard: dict[LabelKey, HistogramSeries] = {}
+        self._local.shard = shard
+        with self._lock:
+            self._shards.append(shard)
+        return shard
 
     def observe(self, value: float, **labels: object) -> None:
         self.observe_at(label_key(labels), value)
 
     def observe_at(self, key: LabelKey, value: float) -> None:
-        """Hot-path observation with a precomputed :data:`LabelKey`."""
-        series = self._series.get(key)
+        """Hot-path observation with a precomputed :data:`LabelKey`.
+
+        Writes land in this thread's shard, so no lock is taken.
+        ``bisect_left`` finds the first bound >= value — Prometheus
+        ``le`` semantics; past-the-end means the implicit +Inf bucket.
+        """
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = self._new_shard()
+        series = shard.get(key)
         if series is None:
-            series = self._series[key] = HistogramSeries(len(self.buckets))
-        index = len(self.buckets)  # +Inf by default
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                index = i
-                break
-        series.bucket_counts[index] += 1
+            series = shard[key] = HistogramSeries(len(self.buckets))
+        series.bucket_counts[bisect_left(self.buckets, value)] += 1
         series.sum += value
         series.count += 1
 
+    def _merged(self) -> dict[LabelKey, HistogramSeries]:
+        with self._lock:
+            shards = list(self._shards)
+        merged: dict[LabelKey, HistogramSeries] = {}
+        for shard in shards:
+            for key, series in list(shard.items()):
+                target = merged.get(key)
+                if target is None:
+                    target = merged[key] = HistogramSeries(
+                        len(self.buckets)
+                    )
+                for i, n in enumerate(list(series.bucket_counts)):
+                    target.bucket_counts[i] += n
+                target.sum += series.sum
+                target.count += series.count
+        return merged
+
     def count(self, **labels: object) -> int:
-        series = self._series.get(label_key(labels))
+        series = self._merged().get(label_key(labels))
         return series.count if series else 0
 
     def sum(self, **labels: object) -> float:
-        series = self._series.get(label_key(labels))
+        series = self._merged().get(label_key(labels))
         return series.sum if series else 0.0
 
     def cumulative_buckets(self, **labels: object) -> list[tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
-        series = self._series.get(label_key(labels))
+        series = self._merged().get(label_key(labels))
         counts = (
-            series.bucket_counts
+            list(series.bucket_counts)
             if series
             else [0] * (len(self.buckets) + 1)
         )
@@ -206,8 +279,40 @@ class Histogram(Metric):
             out.append((bound, running))
         return out
 
+    def percentile(self, q: float, **labels: object) -> Optional[float]:
+        """Estimated ``q``-th percentile (0..100) from bucket counts.
+
+        Linear interpolation inside the containing bucket, with
+        Prometheus ``histogram_quantile`` semantics at the edges: the
+        first bucket interpolates from 0, and observations landing in
+        the implicit +Inf bucket clamp to the highest finite bound
+        (the histogram cannot resolve beyond it).  Returns ``None``
+        for a label set with no observations.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        series = self._merged().get(label_key(labels))
+        if series is None or series.count == 0:
+            return None
+        counts = series.bucket_counts
+        total = series.count
+        rank = (q / 100.0) * total
+        running = 0.0
+        for i, n in enumerate(counts):
+            previous = running
+            running += n
+            if running >= rank and n:
+                if i >= len(self.buckets):
+                    # +Inf bucket: clamp to the largest finite bound.
+                    return self.buckets[-1]
+                lower = self.buckets[i - 1] if i else 0.0
+                upper = self.buckets[i]
+                fraction = (rank - previous) / n if n else 0.0
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.buckets[-1]
+
     def series(self) -> Iterator[tuple[LabelKey, HistogramSeries]]:
-        yield from sorted(self._series.items(), key=lambda kv: kv[0])
+        yield from sorted(self._merged().items(), key=lambda kv: kv[0])
 
     def to_dict(self) -> dict:
         return {
@@ -227,20 +332,26 @@ class Histogram(Metric):
 
 
 class MetricsRegistry:
-    """Named metrics, get-or-create, with one namespace per run."""
+    """Named metrics, get-or-create, with one namespace per run.
+
+    Get-or-create is serialized by a registry lock so two pool threads
+    asking for the same name always share one metric object.
+    """
 
     def __init__(self):
         self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = cls(name, help=help, **kwargs)
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help=help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -257,26 +368,34 @@ class MetricsRegistry:
         return self._get_or_create(Histogram, name, help, buckets=buckets)
 
     def get(self, name: str) -> Optional[Metric]:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __iter__(self) -> Iterator[Metric]:
         for name in self.names():
-            yield self._metrics[name]
+            metric = self.get(name)
+            if metric is not None:
+                yield metric
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     # -- export -------------------------------------------------------------
 
     def to_dict(self) -> dict[str, dict]:
         """All metrics as a JSON-serializable dict, keyed by name."""
-        return {name: self._metrics[name].to_dict() for name in self.names()}
+        return {
+            metric.name: metric.to_dict() for metric in self
+        }
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""

@@ -1,0 +1,197 @@
+"""Live progress for long runs: a thread-safe sink plus a ticker.
+
+The executors and the workflow scheduler push step transitions into a
+:class:`ProgressSink` (attached via ``obs.attach_progress``); a
+:class:`ProgressTicker` renders the sink to a stream on an interval —
+steps done/running/failed, the currently running step names, and an
+ETA extrapolated from the plan's per-step cpu estimates (which the
+planner fills from :mod:`repro.estimator` when history exists).
+
+The sink is deliberately dumb and lock-cheap: executors call
+``start_plan``/``step_started``/``step_finished`` from whatever thread
+they run on; only the ticker formats strings.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Optional, TextIO
+
+
+class ProgressSink:
+    """Thread-safe accumulator of step states for one run."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._estimates: dict[str, float] = {}
+        self._running: dict[str, float] = {}  # name -> start perf_counter
+        self._done: set[str] = set()
+        self._failed: set[str] = set()
+        self._skipped: set[str] = set()
+        self._started_at: Optional[float] = None
+        self._spent_estimate = 0.0
+
+    # -- producer side (executor / scheduler threads) ------------------------
+
+    def start_plan(self, plan: Any) -> None:
+        """Register the plan: step count and per-step cpu estimates."""
+        with self._lock:
+            self._total = len(plan.steps)
+            self._estimates = {
+                name: float(step.cpu_seconds or 0.0)
+                for name, step in plan.steps.items()
+            }
+            self._started_at = time.perf_counter()
+
+    def step_started(self, name: str) -> None:
+        with self._lock:
+            self._running[name] = time.perf_counter()
+
+    def step_finished(self, name: str, status: str = "ok") -> None:
+        with self._lock:
+            self._running.pop(name, None)
+            if status == "ok":
+                self._done.add(name)
+            elif status == "skipped":
+                self._skipped.add(name)
+            else:
+                self._failed.add(name)
+            self._spent_estimate += self._estimates.get(name, 0.0)
+
+    # -- consumer side (the ticker / tests) ----------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent point-in-time view of the run."""
+        with self._lock:
+            elapsed = (
+                time.perf_counter() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            )
+            done = len(self._done)
+            failed = len(self._failed)
+            skipped = len(self._skipped)
+            running = sorted(self._running)
+            total = self._total
+            eta = self._eta_locked(elapsed)
+        return {
+            "total": total,
+            "done": done,
+            "failed": failed,
+            "skipped": skipped,
+            "running": running,
+            "elapsed": elapsed,
+            "eta": eta,
+        }
+
+    def _eta_locked(self, elapsed: float) -> Optional[float]:
+        """Remaining-seconds estimate; ``None`` until it means anything.
+
+        Extrapolates from the estimator-derived cpu weights when the
+        plan has them (remaining estimated work scaled by the observed
+        pace over completed work); falls back to a per-step average.
+        """
+        finished = len(self._done) + len(self._failed) + len(self._skipped)
+        if not self._total or not finished or elapsed <= 0:
+            return None
+        remaining_steps = self._total - finished
+        if remaining_steps <= 0:
+            return 0.0
+        total_estimate = sum(self._estimates.values())
+        if total_estimate > 0 and self._spent_estimate > 0:
+            pace = elapsed / self._spent_estimate  # wall seconds per est-second
+            remaining_estimate = max(
+                total_estimate - self._spent_estimate, 0.0
+            )
+            return remaining_estimate * pace
+        return (elapsed / finished) * remaining_steps
+
+    def render(self) -> str:
+        """One-line progress summary."""
+        snap = self.snapshot()
+        parts = [
+            f"{snap['done']}/{snap['total']} done",
+            f"{len(snap['running'])} running",
+        ]
+        if snap["failed"]:
+            parts.append(f"{snap['failed']} failed")
+        if snap["skipped"]:
+            parts.append(f"{snap['skipped']} skipped")
+        if snap["running"]:
+            head = ", ".join(snap["running"][:3])
+            if len(snap["running"]) > 3:
+                head += ", ..."
+            parts.append(f"[{head}]")
+        if snap["eta"] is not None:
+            parts.append(f"eta {_fmt_seconds(snap['eta'])}")
+        parts.append(f"elapsed {_fmt_seconds(snap['elapsed'])}")
+        return " | ".join(parts)
+
+
+class ProgressTicker:
+    """Renders a :class:`ProgressSink` to a stream on an interval.
+
+    A daemon thread wakes every ``interval`` seconds and rewrites one
+    status line (carriage-return style on a TTY, plain lines
+    otherwise).  Use as a context manager around the run::
+
+        with ProgressTicker(sink):
+            executor.materialize(...)
+    """
+
+    def __init__(
+        self,
+        sink: ProgressSink,
+        stream: Optional[TextIO] = None,
+        interval: float = 0.5,
+    ):
+        self.sink = sink
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last_len = 0
+
+    def __enter__(self) -> "ProgressTicker":
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-progress", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._emit(final=True)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._emit()
+
+    def _emit(self, final: bool = False) -> None:
+        line = self.sink.render()
+        try:
+            if self.stream.isatty():
+                pad = " " * max(self._last_len - len(line), 0)
+                end = "\n" if final else "\r"
+                self.stream.write("\r" + line + pad + end)
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except (ValueError, OSError):
+            return  # stream closed mid-run; progress is best-effort
+        self._last_len = len(line)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

@@ -1,0 +1,429 @@
+"""The workflow flight recorder: persistent per-run observability.
+
+PR 1's spans and metrics evaporate when the process exits; the CMS
+production experience (PAPERS.md) shows that operating a virtual data
+grid at scale lives on *run-level* performance and audit records.  The
+flight recorder captures every ``materialize``/``run`` into an
+append-only JSONL file under the workspace::
+
+    runs/<run_id>/record.jsonl
+
+Each line is one JSON object with a ``type`` tag.  The first line is
+always ``meta`` (schema version, run id, command); the stream then
+interleaves, in arrival order:
+
+``plan``
+    the executed :class:`~repro.planner.dag.Plan`: steps with their
+    transformation, cpu estimates, declared inputs/outputs, and the
+    dependency edges (what critical-path analysis walks);
+``invocation``
+    one :class:`~repro.core.invocation.Invocation` with its full
+    :class:`~repro.core.invocation.ResourceUsage` — the estimator's
+    training data;
+``step``
+    one scheduler/executor step attempt with start/end stamps in its
+    clock domain (``sim`` for grid runs, ``wall`` for local runs);
+``event``
+    point events: retries, circuit-breaker transitions, injected
+    faults, straggler timeouts, breaker deferrals;
+``sample``
+    scheduler frontier occupancy (ready / in-flight / completed);
+``span`` / ``metrics`` / ``result``
+    written by :meth:`FlightRecorder.finalize`: the whole span tree,
+    the final metric snapshot, and the run summary.
+
+Writes are serialized by a lock and flushed per line, so the record
+is truthful under ``workers=N`` and survives a crash mid-run (every
+completed line is valid JSON).  The :class:`RunRecord` reader
+reconstructs a finished (or crashed) run for post-hoc queries;
+analytics on top live in :mod:`repro.observability.analysis`.
+
+The schema is versioned (:data:`RECORD_SCHEMA_VERSION`); readers
+reject records from a future major version rather than misreading
+them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+#: Bump on breaking changes to the line schema.
+RECORD_SCHEMA_VERSION = 1
+
+#: Per-run directory layout under the workspace.
+RUNS_DIRNAME = "runs"
+RECORD_FILENAME = "record.jsonl"
+
+_run_counter = itertools.count(1)
+
+
+def new_run_id(now: Optional[float] = None) -> str:
+    """A workspace-unique run id: timestamp + pid + process ordinal."""
+    stamp = time.strftime(
+        "%Y%m%d-%H%M%S", time.localtime(now if now is not None else time.time())
+    )
+    return f"run-{stamp}-{os.getpid() % 0x10000:04x}{next(_run_counter):02d}"
+
+
+class FlightRecorder:
+    """Appends one run's observability stream to ``record.jsonl``.
+
+    Attach it to a live :class:`~repro.observability.Instrumentation`
+    (``obs.attach_recorder(recorder)``) and the instrumented executors,
+    scheduler and fault injector write through it; call
+    :meth:`finalize` once the run reaches a terminal state.  All
+    methods are safe to call from pool threads.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        run_id: str,
+        command: str = "",
+        **meta: Any,
+    ):
+        self.run_id = run_id
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / RECORD_FILENAME
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+        self._write(
+            "meta",
+            schema_version=RECORD_SCHEMA_VERSION,
+            run_id=run_id,
+            command=command,
+            started_at=time.time(),
+            pid=os.getpid(),
+            **meta,
+        )
+
+    @classmethod
+    def start(
+        cls,
+        runs_root: str | Path,
+        run_id: Optional[str] = None,
+        command: str = "",
+        **meta: Any,
+    ) -> "FlightRecorder":
+        """Open a recorder at ``<runs_root>/<run_id>/record.jsonl``."""
+        run_id = run_id or new_run_id()
+        return cls(Path(runs_root) / run_id, run_id, command=command, **meta)
+
+    # -- line writer ---------------------------------------------------------
+
+    def _write(self, type_: str, **fields: Any) -> None:
+        if self._closed:
+            return
+        fields["type"] = type_
+        if "t" not in fields:
+            fields["t"] = time.time()
+        line = json.dumps(fields, sort_keys=True, default=str)
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line + "\n")
+            # Flush per line: a crashed run keeps everything recorded
+            # up to its last completed write.
+            self._handle.flush()
+
+    # -- recording hooks -----------------------------------------------------
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """A point event (retry, breaker transition, fault, timeout)."""
+        self._write("event", kind=kind, **fields)
+
+    def sample(
+        self,
+        ready: int,
+        in_flight: int,
+        completed: int,
+        total: int,
+        sim: Optional[float] = None,
+    ) -> None:
+        """One frontier occupancy sample."""
+        self._write(
+            "sample",
+            ready=ready,
+            in_flight=in_flight,
+            completed=completed,
+            total=total,
+            sim=sim,
+        )
+
+    def plan(self, plan: Any) -> None:
+        """Record the executed plan's DAG (steps + dependency edges)."""
+        steps = []
+        for name, step in sorted(plan.steps.items()):
+            steps.append(
+                {
+                    "name": name,
+                    "transformation": step.transformation.name,
+                    "cpu_seconds": step.cpu_seconds,
+                    "inputs": list(step.inputs),
+                    "outputs": list(step.outputs),
+                    "deps": sorted(plan.dependencies.get(name, ())),
+                }
+            )
+        self._write(
+            "plan",
+            targets=list(plan.targets),
+            steps=steps,
+            reused=sorted(plan.reused),
+            sources=sorted(plan.sources),
+        )
+
+    def invocation(self, invocation: Any) -> None:
+        """Record one invocation (with its full ``ResourceUsage``)."""
+        self._write("invocation", invocation=invocation.to_dict())
+
+    def step(
+        self,
+        name: str,
+        status: str,
+        start: float,
+        end: float,
+        clock: str = "sim",
+        **fields: Any,
+    ) -> None:
+        """Record one step attempt with stamps in its clock domain."""
+        self._write(
+            "step",
+            step=name,
+            status=status,
+            start=start,
+            end=end,
+            clock=clock,
+            **fields,
+        )
+
+    # -- finalization --------------------------------------------------------
+
+    def finalize(
+        self, obs: Any = None, status: str = "ok", **fields: Any
+    ) -> None:
+        """Write spans + metrics + the run summary, then close.
+
+        Idempotent: the second call is a no-op, so ``finally`` blocks
+        can call it unconditionally.
+        """
+        if self._closed:
+            return
+        if obs is not None:
+            for span in obs.tracer.spans():
+                self._write("span", **span.to_dict())
+            self._write("metrics", metrics=obs.metrics.to_dict())
+        self._write("result", status=status, finished_at=time.time(), **fields)
+        self.close()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._handle.close()
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and not self._closed:
+            self.finalize(status="error", error=f"{exc_type.__name__}: {exc}")
+        self.close()
+
+
+class RunRecord:
+    """A parsed flight record, reconstructed for post-hoc queries."""
+
+    def __init__(self, path: Path, lines: list[dict[str, Any]]):
+        self.path = path
+        self.meta: dict[str, Any] = {}
+        self.plan: Optional[dict[str, Any]] = None
+        self.spans: list[dict[str, Any]] = []
+        self.invocations: list[dict[str, Any]] = []
+        self.step_attempts: list[dict[str, Any]] = []
+        self.events: list[dict[str, Any]] = []
+        self.samples: list[dict[str, Any]] = []
+        self.metrics: dict[str, dict] = {}
+        self.result: dict[str, Any] = {}
+        for line in lines:
+            kind = line.get("type")
+            if kind == "meta":
+                self.meta = line
+            elif kind == "plan":
+                self.plan = line
+            elif kind == "span":
+                self.spans.append(line)
+            elif kind == "invocation":
+                self.invocations.append(line["invocation"])
+            elif kind == "step":
+                self.step_attempts.append(line)
+            elif kind == "event":
+                self.events.append(line)
+            elif kind == "sample":
+                self.samples.append(line)
+            elif kind == "metrics":
+                self.metrics = line.get("metrics", {})
+            elif kind == "result":
+                self.result = line
+
+    # -- loading -------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunRecord":
+        """Load a record from a ``record.jsonl`` path or a run dir."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / RECORD_FILENAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no run record at {path}")
+        lines: list[dict[str, Any]] = []
+        with open(path, encoding="utf-8") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if raw:
+                    lines.append(json.loads(raw))
+        record = cls(path, lines)
+        version = record.schema_version
+        if version > RECORD_SCHEMA_VERSION:
+            raise ValueError(
+                f"run record {path} has schema version {version}; this "
+                f"reader understands <= {RECORD_SCHEMA_VERSION}"
+            )
+        return record
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def run_id(self) -> str:
+        return self.meta.get("run_id", self.path.parent.name)
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.meta.get("schema_version", 0))
+
+    @property
+    def command(self) -> str:
+        return self.meta.get("command", "")
+
+    @property
+    def status(self) -> str:
+        """Terminal status, or ``"crashed"`` when no result was written."""
+        return self.result.get("status", "crashed")
+
+    @property
+    def finished(self) -> bool:
+        return bool(self.result)
+
+    # -- derived views -------------------------------------------------------
+
+    def plan_steps(self) -> dict[str, dict[str, Any]]:
+        """Step name -> the plan record's step entry."""
+        if not self.plan:
+            return {}
+        return {entry["name"]: entry for entry in self.plan["steps"]}
+
+    def dependencies(self) -> dict[str, set[str]]:
+        return {
+            name: set(entry.get("deps", ()))
+            for name, entry in self.plan_steps().items()
+        }
+
+    def transformation_of(self, step: str) -> Optional[str]:
+        entry = self.plan_steps().get(step)
+        return entry["transformation"] if entry else None
+
+    def step_timings(self) -> dict[str, dict[str, Any]]:
+        """Step name -> merged timing over its attempts.
+
+        ``start`` is the first attempt's start (a retried step's clock
+        keeps running across backoff waits), ``end`` the last attempt's
+        end, ``status`` the terminal attempt's status; ``attempts``
+        counts what actually ran.
+        """
+        merged: dict[str, dict[str, Any]] = {}
+        for attempt in self.step_attempts:
+            name = attempt["step"]
+            entry = merged.get(name)
+            if entry is None:
+                entry = merged[name] = {
+                    "step": name,
+                    "start": attempt["start"],
+                    "end": attempt["end"],
+                    "status": attempt["status"],
+                    "clock": attempt.get("clock", "sim"),
+                    "site": attempt.get("site"),
+                    "attempts": 0,
+                }
+            entry["start"] = min(entry["start"], attempt["start"])
+            if attempt["end"] >= entry["end"]:
+                entry["end"] = attempt["end"]
+                entry["status"] = attempt["status"]
+                if attempt.get("site") is not None:
+                    entry["site"] = attempt.get("site")
+            entry["attempts"] += 1
+        return merged
+
+    def makespan(self) -> Optional[float]:
+        """The recorded makespan, preferring the result line."""
+        if "makespan" in self.result:
+            return float(self.result["makespan"])
+        timings = self.step_timings()
+        if not timings:
+            return None
+        start = min(t["start"] for t in timings.values())
+        end = max(t["end"] for t in timings.values())
+        return end - start
+
+    def span_children(self) -> dict[Optional[int], list[dict[str, Any]]]:
+        children: dict[Optional[int], list[dict[str, Any]]] = {}
+        for span in self.spans:
+            children.setdefault(span.get("parent_id"), []).append(span)
+        for siblings in children.values():
+            siblings.sort(key=lambda s: s.get("span_id", 0))
+        return children
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one recorded counter across label sets (0 if absent)."""
+        entry = self.metrics.get(name)
+        if not entry:
+            return 0.0
+        return sum(s.get("value", 0) for s in entry.get("series", ()))
+
+
+def list_runs(runs_root: str | Path) -> list[RunRecord]:
+    """All readable run records under ``runs_root``, oldest first."""
+    root = Path(runs_root)
+    if not root.is_dir():
+        return []
+    records = []
+    for child in sorted(root.iterdir()):
+        if (child / RECORD_FILENAME).is_file():
+            try:
+                records.append(RunRecord.load(child))
+            except (ValueError, json.JSONDecodeError, OSError):
+                continue
+    records.sort(key=lambda r: (r.meta.get("started_at", 0), r.run_id))
+    return records
+
+
+def find_run(runs_root: str | Path, run_id: str) -> RunRecord:
+    """Load one run by id; ``"latest"`` selects the newest record."""
+    runs = list_runs(runs_root)
+    if run_id == "latest":
+        if not runs:
+            raise FileNotFoundError(f"no recorded runs under {runs_root}")
+        return runs[-1]
+    for record in runs:
+        if record.run_id == run_id:
+            return record
+    known = ", ".join(r.run_id for r in runs[-10:]) or "none"
+    raise FileNotFoundError(
+        f"no run record {run_id!r} under {runs_root} (known: {known})"
+    )

@@ -192,12 +192,20 @@ class WorkflowScheduler:
         self, plan: Plan, completed: set[str], until: Optional[float]
     ) -> WorkflowResult:
         obs = self.obs
+        recorder = obs.recorder
+        progress = obs.progress
         recovery = self.recovery
         policy = recovery.retry_policy
         breakers = recovery.breakers
         all_sites = sorted(self.selector.sites)
         result = WorkflowResult(plan=plan, started_at=self.grid.simulator.now)
         result.pre_completed = {n for n in completed if n in plan.steps}
+        if recorder is not None:
+            recorder.plan(plan)
+        if progress is not None:
+            progress.start_plan(plan)
+            for name in result.pre_completed:
+                progress.step_finished(name, "ok")
         # Indegree-decrement frontier: completions release successors
         # incrementally instead of rescanning ready_steps() every tick.
         frontier = Frontier(plan, done=result.pre_completed)
@@ -230,14 +238,29 @@ class WorkflowScheduler:
             if finish_clock["t"] is None and terminal_count() >= total:
                 finish_clock["t"] = self.grid.simulator.now
 
+        #: Last recorded breaker state per site, so the recorder logs
+        #: transitions rather than every touch.
+        breaker_states: dict[str, int] = {}
+
         def note_breaker(site: str) -> None:
-            if obs.enabled and breakers is not None:
+            if breakers is None:
+                return
+            code = breakers.breaker(site).state_code
+            if obs.enabled:
                 obs.gauge(
                     "scheduler.breaker.state",
-                    breakers.breaker(site).state_code,
+                    code,
                     site=site,
                     help="per-site breaker (0=closed 1=half-open 2=open)",
                 )
+            if recorder is not None and breaker_states.get(site, 0) != code:
+                recorder.event(
+                    "breaker.transition",
+                    site=site,
+                    state=code,
+                    sim=self.grid.simulator.now,
+                )
+            breaker_states[site] = code
 
         def skip_downstream(root: str) -> None:
             """Record every transitive dependent as upstream-failed."""
@@ -257,6 +280,15 @@ class WorkflowScheduler:
                         status="skipped",
                         help="step completions by terminal status",
                     )
+                if recorder is not None:
+                    recorder.event(
+                        "step.skipped",
+                        step=name,
+                        reason=f"upstream-failed:{root}",
+                        sim=self.grid.simulator.now,
+                    )
+                if progress is not None:
+                    progress.step_finished(name, "skipped")
                 frontier.extend(dependents.get(name, ()))
 
         def dispatch_ready() -> None:
@@ -278,6 +310,14 @@ class WorkflowScheduler:
                 ):
                     break
                 submit(name)
+            if recorder is not None:
+                recorder.sample(
+                    ready=frontier.ready_count(),
+                    in_flight=len(in_flight),
+                    completed=len(done),
+                    total=total,
+                    sim=self.grid.simulator.now,
+                )
 
         def submit(name: str) -> None:
             pending_retry.discard(name)
@@ -308,11 +348,20 @@ class WorkflowScheduler:
                             "scheduler.breaker.deferrals",
                             help="submissions delayed by open breakers",
                         )
+                    if recorder is not None:
+                        recorder.event(
+                            "breaker.deferred",
+                            step=name,
+                            resume_at=resume_at,
+                            sim=now,
+                        )
                     self.grid.simulator.schedule(wait, lambda: submit(name))
                     return
                 candidates = avail
             attempts[name] = attempts.get(name, 0) + 1
             in_flight.add(name)
+            if progress is not None:
+                progress.step_started(name)
             result.peak_in_flight = max(result.peak_in_flight, len(in_flight))
             if obs.enabled:
                 obs.count(
@@ -355,6 +404,26 @@ class WorkflowScheduler:
 
             def conclude(record: JobRecord) -> None:
                 in_flight.discard(name)
+                if recorder is not None:
+                    end = (
+                        record.end_time
+                        if record.end_time is not None
+                        else self.grid.simulator.now
+                    )
+                    recorder.step(
+                        name,
+                        status=(
+                            "success" if record.succeeded else "failure"
+                        ),
+                        start=record.submitted_at,
+                        end=end,
+                        clock="sim",
+                        site=choice.site,
+                        host=record.host,
+                        attempt=attempts[name],
+                        job_status=record.status,
+                        fault=record.fault,
+                    )
                 if obs.enabled:
                     obs.record(
                         "scheduler.step",
@@ -397,6 +466,8 @@ class WorkflowScheduler:
                 )
                 if self.step_listener is not None:
                     self.step_listener(step, choice, record)
+                if progress is not None:
+                    progress.step_finished(name, "ok")
                 note_terminal()
                 dispatch_ready()
 
@@ -420,6 +491,16 @@ class WorkflowScheduler:
                             delay,
                             help="retry delays (sim time)",
                         )
+                    if recorder is not None:
+                        recorder.event(
+                            "step.retry",
+                            step=name,
+                            attempt=attempts[name],
+                            site=choice.site,
+                            fault=record.fault,
+                            delay=delay,
+                            sim=now,
+                        )
                     if delay <= 0.0:
                         # Synchronous resubmit preserves the historical
                         # event ordering of immediate retries.
@@ -434,6 +515,17 @@ class WorkflowScheduler:
                         "scheduler.failures",
                         help="steps failed after exhausting retries",
                     )
+                    if recorder is not None:
+                        recorder.event(
+                            "step.failed",
+                            step=name,
+                            attempts=attempts[name],
+                            site=choice.site,
+                            fault=record.fault,
+                            sim=now,
+                        )
+                    if progress is not None:
+                        progress.step_finished(name, "failed")
                     result.failed_steps.add(name)
                     result.outcomes[name] = StepOutcome(
                         step=name,
@@ -484,6 +576,14 @@ class WorkflowScheduler:
                         obs.count(
                             "scheduler.timeouts",
                             help="straggler attempts killed at step timeout",
+                        )
+                    if recorder is not None:
+                        recorder.event(
+                            "step.timeout",
+                            step=name,
+                            attempt=this_attempt,
+                            site=choice.site,
+                            sim=self.grid.simulator.now,
                         )
                     conclude(record)
                     handle_failure(record)

@@ -252,6 +252,8 @@ class FaultInjector:
                 kind=kind,
                 help="injected faults by kind",
             )
+        if self.obs.recorder is not None:
+            self.obs.recorder.event("fault.injected", fault=kind)
 
     # -- verdicts ----------------------------------------------------------
 

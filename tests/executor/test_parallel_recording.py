@@ -1,0 +1,175 @@
+"""Recording and tracing under the parallel local engine.
+
+Pool workers run on threads with empty context-local span stacks, so
+``executor.execute`` spans used to mis-parent (attach to whatever the
+worker last saw) when ``workers > 1``.  The executor now hands the
+``executor.materialize`` span across the pool boundary explicitly;
+these tests pin that, and run the ×20 wide-fanout stress with a live
+recorder attached — no dropped spans, no mis-parented spans, counter
+totals identical to sequential execution.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.memory import MemoryCatalog
+from repro.executor.local import LocalExecutor
+from repro.observability.instrument import Instrumentation
+from repro.observability.recorder import FlightRecorder, RunRecord
+from repro.workloads import canonical
+from tests.executor.test_parallel import (
+    catalog_end_state,
+    wide_vdl,
+)
+
+STEPS_IN_WIDE16 = 22  # 1 src + 16 mid + 4 merge + 1 final
+
+
+def build_instrumented(tmp_path, vdl, tag):
+    obs = Instrumentation()
+    catalog = MemoryCatalog(instrumentation=obs)
+    canonical.define_transformations(catalog)
+    catalog.define(vdl)
+    executor = LocalExecutor(
+        catalog, tmp_path / tag, instrumentation=obs
+    )
+    canonical.register_bodies(executor)
+    return obs, catalog, executor
+
+
+def span_parents(obs):
+    """(materialize span, execute spans) from one recorded run."""
+    materialize = obs.tracer.spans("executor.materialize")
+    assert len(materialize) == 1
+    executes = obs.tracer.spans("executor.execute")
+    return materialize[0], executes
+
+
+class TestSpanParenting:
+    def test_parallel_invoke_spans_parent_to_materialize(self, tmp_path):
+        obs, _, executor = build_instrumented(
+            tmp_path, wide_vdl(), "par"
+        )
+        executor.materialize("final.out", workers=4)
+        mspan, executes = span_parents(obs)
+        assert len(executes) == 12  # 1 src + 8 mid + 2 merge + 1 final
+        assert all(s.parent_id == mspan.span_id for s in executes)
+
+    def test_sequential_parenting_unchanged(self, tmp_path):
+        obs, _, executor = build_instrumented(
+            tmp_path, wide_vdl(), "seq"
+        )
+        executor.materialize("final.out")
+        mspan, executes = span_parents(obs)
+        assert all(s.parent_id == mspan.span_id for s in executes)
+
+    def test_worker_threads_are_stamped_on_spans(self, tmp_path):
+        obs, _, executor = build_instrumented(
+            tmp_path, wide_vdl(16), "thr"
+        )
+        executor.materialize("final.out", workers=8)
+        _, executes = span_parents(obs)
+        threads = {s.thread for s in executes}
+        assert len(threads) > 1  # work really crossed threads
+
+
+class TestStressWithRecording:
+    def test_twenty_reps_no_drops_no_misparents(self, tmp_path):
+        """×20 at workers=8 with the flight recorder attached."""
+        ref_obs, ref_catalog, ref_executor = build_instrumented(
+            tmp_path, wide_vdl(16), "ref"
+        )
+        ref_invocations = ref_executor.materialize("final.out")
+        expected_names = sorted(
+            inv.derivation_name for inv in ref_invocations
+        )
+        reference_state = catalog_end_state(ref_catalog)
+        reference_invoked = ref_obs.metrics.get(
+            "executor.invocations"
+        ).total()
+        assert reference_invoked == STEPS_IN_WIDE16
+
+        for rep in range(20):
+            obs, catalog, executor = build_instrumented(
+                tmp_path, wide_vdl(16), f"rep{rep}"
+            )
+            recorder = FlightRecorder.start(
+                tmp_path / f"runs{rep}", command="stress"
+            )
+            obs.attach_recorder(recorder)
+            invocations = executor.materialize("final.out", workers=8)
+            recorder.finalize(obs, status="ok")
+
+            names = sorted(
+                inv.derivation_name for inv in invocations
+            )
+            assert names == expected_names, f"rep {rep}: lost/dup steps"
+            assert catalog_end_state(catalog) == reference_state
+
+            # Counter totals exactly match the sequential run.
+            assert (
+                obs.metrics.get("executor.invocations").total()
+                == reference_invoked
+            ), f"rep {rep}: counter drift"
+
+            # No dropped spans: one execute span per step, every one
+            # parented to the materialize span.
+            mspan, executes = span_parents(obs)
+            assert len(executes) == STEPS_IN_WIDE16, f"rep {rep}"
+            assert all(
+                s.parent_id == mspan.span_id for s in executes
+            ), f"rep {rep}: mis-parented span"
+
+            # The record captured every layer, one line per event.
+            record = RunRecord.load(recorder.path)
+            assert len(record.invocations) == STEPS_IN_WIDE16
+            assert len(record.step_attempts) == STEPS_IN_WIDE16
+            assert all(
+                t["status"] == "success"
+                for t in record.step_timings().values()
+            )
+            assert (
+                record.counter_total("executor.invocations")
+                == reference_invoked
+            )
+            assert len(
+                record.spans
+            ) == len(obs.tracer.spans()), f"rep {rep}: dropped span"
+
+
+class TestRecordedFailures:
+    def test_failed_and_skipped_steps_reach_the_record(self, tmp_path):
+        import pytest
+
+        from repro.errors import MaterializationError
+        from tests.executor.test_parallel import FAIL_VDL
+
+        obs, _, executor = build_instrumented(tmp_path, FAIL_VDL, "frec")
+
+        def routed(ctx):
+            if ctx.parameters["tag"] == "b":
+                raise RuntimeError("injected failure")
+            canonical._canon_body(ctx)
+
+        executor.register("py:canon1", routed)
+        recorder = FlightRecorder.start(tmp_path / "runs", command="fail")
+        obs.attach_recorder(recorder)
+        with pytest.raises(MaterializationError):
+            executor.materialize(
+                "top.out", workers=4, failure_policy="run-what-you-can"
+            )
+        recorder.finalize(obs, status="error")
+        record = RunRecord.load(recorder.path)
+        timings = record.step_timings()
+        assert timings["bad"]["status"] == "failure"
+        assert timings["ok"]["status"] == "success"
+        skipped = {
+            e["step"]
+            for e in record.events
+            if e["kind"] == "step.skipped"
+        }
+        assert skipped == {"down", "top"}
+        # Failed invocations are recorded too (status != success).
+        statuses = {
+            i["derivation_name"]: i["status"] for i in record.invocations
+        }
+        assert statuses["bad"] == "failure"

@@ -1,0 +1,150 @@
+"""The live progress sink and its ticker."""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.observability.progress import (
+    ProgressSink,
+    ProgressTicker,
+    _fmt_seconds,
+)
+
+
+def fake_plan(estimates):
+    """A plan-shaped object: name -> cpu_seconds estimate."""
+    steps = {
+        name: SimpleNamespace(cpu_seconds=cpu)
+        for name, cpu in estimates.items()
+    }
+    return SimpleNamespace(steps=steps)
+
+
+class TestProgressSink:
+    def test_initial_snapshot_is_empty(self):
+        snap = ProgressSink().snapshot()
+        assert snap["total"] == 0
+        assert snap["done"] == 0
+        assert snap["running"] == []
+        assert snap["eta"] is None
+
+    def test_transitions_accumulate(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({"a": 1.0, "b": 1.0, "c": 1.0}))
+        sink.step_started("a")
+        sink.step_started("b")
+        snap = sink.snapshot()
+        assert snap["running"] == ["a", "b"]
+        sink.step_finished("a", "ok")
+        sink.step_finished("b", "failed")
+        sink.step_finished("c", "skipped")
+        snap = sink.snapshot()
+        assert snap["done"] == 1
+        assert snap["failed"] == 1
+        assert snap["skipped"] == 1
+        assert snap["running"] == []
+
+    def test_eta_uses_estimator_weights(self):
+        sink = ProgressSink()
+        # One 1s step done, a 9s step remaining: at the observed pace
+        # the ETA extrapolates to ~9x the elapsed time.
+        sink.start_plan(fake_plan({"small": 1.0, "big": 9.0}))
+        sink.step_started("small")
+        sink.step_finished("small")
+        with sink._lock:
+            eta = sink._eta_locked(elapsed=2.0)
+        assert eta == pytest.approx(18.0)
+
+    def test_eta_falls_back_to_step_average(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({"a": 0.0, "b": 0.0, "c": 0.0}))
+        sink.step_finished("a")
+        with sink._lock:
+            eta = sink._eta_locked(elapsed=3.0)
+        assert eta == pytest.approx(6.0)  # 3s per step, 2 remaining
+
+    def test_eta_none_until_first_finish_and_zero_at_end(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({"a": 1.0}))
+        with sink._lock:
+            assert sink._eta_locked(elapsed=5.0) is None
+        sink.step_finished("a")
+        with sink._lock:
+            assert sink._eta_locked(elapsed=5.0) == 0.0
+
+    def test_render_mentions_counts_and_running_names(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({n: 1.0 for n in "abcdef"}))
+        for name in "ab":
+            sink.step_finished(name)
+        sink.step_finished("c", "failed")
+        for name in "def":
+            sink.step_started(name)
+        line = sink.render()
+        assert "2/6 done" in line
+        assert "3 running" in line
+        assert "1 failed" in line
+        assert "[d, e, f]" in line
+
+    def test_render_truncates_long_running_lists(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({f"s{i}": 1.0 for i in range(6)}))
+        for i in range(5):
+            sink.step_started(f"s{i}")
+        assert ", ..." in sink.render()
+
+    def test_concurrent_producers_lose_nothing(self):
+        sink = ProgressSink()
+        names = [f"s{i:03d}" for i in range(400)]
+        sink.start_plan(fake_plan({n: 1.0 for n in names}))
+        chunks = [names[i::8] for i in range(8)]
+
+        def worker(chunk):
+            for name in chunk:
+                sink.step_started(name)
+                sink.step_finished(name)
+
+        threads = [
+            threading.Thread(target=worker, args=(c,)) for c in chunks
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = sink.snapshot()
+        assert snap["done"] == 400
+        assert snap["running"] == []
+
+
+class TestProgressTicker:
+    def test_ticker_writes_lines_to_non_tty_stream(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({"a": 1.0}))
+        stream = io.StringIO()
+        with ProgressTicker(sink, stream=stream, interval=0.01):
+            sink.step_started("a")
+            sink.step_finished("a")
+            time.sleep(0.05)
+        text = stream.getvalue()
+        assert "1/1 done" in text  # the final emit sees the end state
+        assert "\r" not in text  # non-TTY streams get plain lines
+
+    def test_ticker_survives_a_closed_stream(self):
+        sink = ProgressSink()
+        stream = io.StringIO()
+        ticker = ProgressTicker(sink, stream=stream, interval=0.01)
+        with ticker:
+            stream.close()
+            time.sleep(0.03)  # emits hit the closed stream and shrug
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert _fmt_seconds(3.21) == "3.2s"
+        assert _fmt_seconds(61) == "1m01s"
+        assert _fmt_seconds(3723) == "1h02m"

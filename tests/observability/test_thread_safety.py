@@ -1,0 +1,163 @@
+"""Locking regressions and edge cases added with the flight recorder.
+
+The metrics docstring once promised "no locks" and lost increments
+under a thread pool; the hammer tests here pin the fixed behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability.export import render_span_tree
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.recorder import FlightRecorder, RunRecord
+from repro.observability.tracing import Tracer
+
+THREADS = 8
+ROUNDS = 2_000
+
+
+def hammer(worker):
+    """Run ``worker(thread_index)`` on THREADS threads concurrently."""
+    barrier = threading.Barrier(THREADS)
+
+    def runner(index):
+        barrier.wait()
+        worker(index)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestMetricsUnderThreads:
+    def test_counter_loses_no_increments(self):
+        counter = Counter("c")
+        hammer(lambda i: [counter.inc() for _ in range(ROUNDS)])
+        assert counter.value() == THREADS * ROUNDS
+
+    def test_counter_with_labels_loses_no_increments(self):
+        counter = Counter("c")
+        hammer(
+            lambda i: [
+                counter.inc(op=f"op{j % 3}")
+                for j in range(ROUNDS)
+            ]
+        )
+        assert counter.total() == THREADS * ROUNDS
+
+    def test_gauge_inc_dec_balances(self):
+        gauge = Gauge("g")
+
+        def worker(i):
+            for _ in range(ROUNDS):
+                gauge.inc()
+                gauge.dec()
+
+        hammer(worker)
+        assert gauge.value() == 0
+
+    def test_histogram_counts_every_observation(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        hammer(lambda i: [hist.observe(float(i)) for _ in range(ROUNDS)])
+        assert hist.count() == THREADS * ROUNDS
+        assert hist.cumulative_buckets()[-1][1] == THREADS * ROUNDS
+
+    def test_registry_get_or_create_races_to_one_object(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def worker(i):
+            counter = registry.counter("shared")
+            with lock:
+                seen.append(counter)
+            counter.inc()
+
+        hammer(worker)
+        assert len({id(c) for c in seen}) == 1
+        assert registry.get("shared").value() == THREADS
+
+    def test_docstring_no_longer_promises_lock_freedom(self):
+        import repro.observability.metrics as metrics
+
+        assert "no locks" not in (metrics.__doc__ or "").lower()
+        assert "thread" in (metrics.__doc__ or "").lower()
+
+
+class TestRecorderUnderThreads:
+    def test_concurrent_writes_stay_line_atomic(self, tmp_path):
+        rec = FlightRecorder.start(tmp_path)
+        hammer(
+            lambda i: [
+                rec.event("tick", thread=i, seq=j) for j in range(200)
+            ]
+        )
+        rec.finalize()
+        record = RunRecord.load(rec.path)  # every line parses
+        assert len(record.events) == THREADS * 200
+
+
+class TestHistogramPercentileEdges:
+    def test_empty_histogram_returns_none(self):
+        assert Histogram("h").percentile(50) is None
+
+    def test_unknown_label_set_returns_none(self):
+        hist = Histogram("h")
+        hist.observe(1.0, op="a")
+        assert hist.percentile(50, op="b") is None
+
+    def test_out_of_range_quantile_rejected(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError, match="percentile"):
+            hist.percentile(-1)
+        with pytest.raises(ValueError, match="percentile"):
+            hist.percentile(100.5)
+
+    def test_single_observation_is_every_percentile_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        # All quantiles land in the (1.0, 2.0] bucket.
+        for q in (0, 50, 100):
+            value = hist.percentile(q)
+            assert 1.0 <= value <= 2.0
+
+    def test_overflow_observation_clamps_to_last_finite_bound(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1e9)  # lands in the implicit +Inf bucket
+        assert hist.percentile(99) == 2.0
+
+    def test_interpolation_between_bounds(self):
+        hist = Histogram("h", buckets=(0.0, 10.0))
+        for _ in range(2):
+            hist.observe(5.0)
+        # Median rank = 1 of 2 in the (0, 10] bucket -> midpoint.
+        assert hist.percentile(50) == pytest.approx(5.0)
+
+
+class TestRenderUnfinishedSpan:
+    def test_unfinished_span_is_marked(self):
+        tracer = Tracer()
+        context = tracer.span("hung")
+        context.__enter__()  # never exits: a crash dump mid-flight
+        text = render_span_tree(tracer)
+        assert "hung" in text
+        assert "unfinished" in text
+
+    def test_finished_span_is_not_marked(self):
+        tracer = Tracer()
+        with tracer.span("done"):
+            pass
+        assert "unfinished" not in render_span_tree(tracer)

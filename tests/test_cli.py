@@ -202,3 +202,116 @@ class TestObservability:
         assert code == 0
         assert "derivation=cli.0001" in output
         assert "derivation=e1" not in output
+
+
+class TestRunRecords:
+    def test_materialize_writes_a_run_record(self, defined, tmp_path):
+        code, output = defined("materialize", "copy.txt")
+        assert code == 0
+        assert "run record: run-" in output
+        records = list((tmp_path / "ws" / "runs").glob("*/record.jsonl"))
+        assert len(records) == 1
+
+    def test_no_record_opts_out(self, defined, tmp_path):
+        code, output = defined("materialize", "copy.txt", "--no-record")
+        assert code == 0
+        assert "run record" not in output
+        assert not (tmp_path / "ws" / "runs").exists()
+
+    def test_adhoc_run_is_recorded_too(self, defined, tmp_path):
+        code, output = defined("run", "emit", "o=adhoc.txt")
+        assert code == 0
+        assert "run record: run-" in output
+
+    def test_report_lists_runs_when_id_omitted(self, defined):
+        code, output = defined("report")
+        assert code == 0
+        assert "no recorded runs" in output
+        defined("materialize", "copy.txt")
+        code, output = defined("report")
+        assert code == 0
+        assert "available runs" in output
+        assert "materialize copy.txt" in output
+
+    def test_report_renders_critical_path(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("report", "latest")
+        assert code == 0
+        assert "critical path" in output
+        assert "e1" in output and "c1" in output
+        assert "makespan" in output
+
+    def test_report_json(self, defined):
+        import json
+
+        defined("materialize", "copy.txt")
+        code, output = defined("report", "latest", "--json")
+        assert code == 0
+        data = json.loads(output)
+        assert data["status"] == "ok"
+        assert [s["step"] for s in data["critical_path"]["steps"]] == [
+            "e1", "c1",
+        ]
+
+    def test_report_unknown_run_fails(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("report", "run-nope")
+        assert code == 1
+        assert "run-nope" in output
+
+    def test_stats_run_selector(self, defined):
+        import json
+
+        code, output = defined("materialize", "copy.txt")
+        run_id = next(
+            line.split(": ", 1)[1]
+            for line in output.splitlines()
+            if line.startswith("run record: ")
+        )
+        code, output = defined("stats", "--run")  # no id: list runs
+        assert code == 0
+        assert run_id in output
+        code, output = defined(
+            "stats", "--run", run_id, "--format", "json"
+        )
+        assert code == 0
+        metrics = json.loads(output)
+        assert metrics["executor.invocations"]["kind"] == "counter"
+
+    def test_trace_run_selector_and_chrome_export(self, defined, tmp_path):
+        import json
+
+        defined("materialize", "copy.txt")
+        code, output = defined("trace", "--run")  # no id: list runs
+        assert code == 0
+        assert "available runs" in output
+        code, output = defined("trace", "--run", "latest")
+        assert code == 0
+        assert "executor.materialize" in output
+        code, output = defined("trace", "--chrome", "--output", "-")
+        assert code == 0
+        trace = json.loads(output)
+        from repro.observability import validate_chrome_trace
+
+        assert validate_chrome_trace(trace) == []
+        assert any(
+            e["name"] == "e1" for e in trace["traceEvents"]
+        )
+
+    def test_trace_chrome_writes_next_to_the_record(self, defined, tmp_path):
+        import json
+
+        defined("materialize", "copy.txt")
+        code, output = defined("trace", "--chrome")
+        assert code == 0
+        assert "chrome trace written to" in output
+        assert "ui.perfetto.dev" in output
+        traces = list((tmp_path / "ws" / "runs").glob("*/trace.json"))
+        assert len(traces) == 1
+        json.loads(traces[0].read_text())
+
+    def test_progress_flag_ticks(self, defined, capsys):
+        code, output = defined("materialize", "copy.txt", "--progress")
+        assert code == 0
+        ticker = capsys.readouterr().err
+        assert "done" in ticker and "elapsed" in ticker
