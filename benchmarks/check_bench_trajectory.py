@@ -1,0 +1,177 @@
+"""Bench-trajectory guard: fresh numbers vs the committed baselines.
+
+The repo commits two benchmark result files at the root —
+``BENCH_OBS_OVERHEAD.json`` and ``BENCH_PARALLEL_SPEEDUP.json`` — as
+the performance trajectory of record.  This guard re-runs both
+benchmarks in smoke mode and fails when the *fresh* measurement has
+drifted past the committed trajectory:
+
+* **observability overhead** — the fresh live-instrumentation overhead
+  may exceed the committed figure by at most a tolerance
+  (``BENCH_TRAJECTORY_TOLERANCE_PTS`` percentage points, default 25:
+  smoke runs on shared CI hardware are noisy, so the guard catches
+  order-of-magnitude regressions, not jitter);
+* **parallel speedup** — for every plan, the fresh speedup at the
+  widest measured worker count must stay above the committed speedup
+  times a floor factor (``BENCH_TRAJECTORY_SPEEDUP_FLOOR``, default
+  0.35: CI runners have fewer cores than the quiet machine behind the
+  committed numbers, so only a collapse to near-serial fails).
+
+Running the benchmarks overwrites the committed files, so the guard
+snapshots them first and restores them afterwards — the working tree
+is left untouched either way.
+
+Usage (CI)::
+
+    PYTHONPATH=src python benchmarks/check_bench_trajectory.py
+
+Exit 0 on trajectory held, 1 on regression or harness failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OBS_PATH = REPO_ROOT / "BENCH_OBS_OVERHEAD.json"
+SPEEDUP_PATH = REPO_ROOT / "BENCH_PARALLEL_SPEEDUP.json"
+
+DEFAULT_TOLERANCE_PTS = 25.0
+DEFAULT_SPEEDUP_FLOOR = 0.35
+
+
+def check_obs_overhead(
+    committed: dict,
+    fresh: dict,
+    tolerance_pts: float = DEFAULT_TOLERANCE_PTS,
+) -> list[str]:
+    """Problems with the fresh overhead numbers, empty when on track."""
+    problems: list[str] = []
+    base = committed.get("live_overhead_pct")
+    live = fresh.get("live_overhead_pct")
+    if base is None or live is None:
+        return ["overhead result missing live_overhead_pct"]
+    ceiling = base + tolerance_pts
+    if live > ceiling:
+        problems.append(
+            f"live overhead {live:+.2f}% exceeds committed "
+            f"{base:+.2f}% by more than {tolerance_pts:g}pts"
+        )
+    if committed.get("smoke"):
+        problems.append(
+            "committed BENCH_OBS_OVERHEAD.json came from a smoke run; "
+            "re-run the full benchmark and commit the result"
+        )
+    return problems
+
+
+def check_parallel_speedup(
+    committed: dict,
+    fresh: dict,
+    floor_factor: float = DEFAULT_SPEEDUP_FLOOR,
+) -> list[str]:
+    """Problems with the fresh speedup numbers, empty when on track."""
+    problems: list[str] = []
+    committed_plans = committed.get("plans", {})
+    fresh_plans = fresh.get("plans", {})
+    if not committed_plans:
+        return ["committed BENCH_PARALLEL_SPEEDUP.json has no plans"]
+    for name, base_plan in sorted(committed_plans.items()):
+        fresh_plan = fresh_plans.get(name)
+        if fresh_plan is None:
+            problems.append(f"plan {name!r} missing from fresh results")
+            continue
+        base_speedups = base_plan.get("speedup_vs_1", {})
+        fresh_speedups = fresh_plan.get("speedup_vs_1", {})
+        shared = set(base_speedups) & set(fresh_speedups)
+        if not shared:
+            problems.append(f"plan {name!r} has no comparable widths")
+            continue
+        widest = max(shared, key=int)
+        base = float(base_speedups[widest])
+        got = float(fresh_speedups[widest])
+        floor = base * floor_factor
+        if got < floor:
+            problems.append(
+                f"plan {name!r} speedup at {widest} workers collapsed: "
+                f"{got:.2f}x < floor {floor:.2f}x "
+                f"(committed {base:.2f}x * {floor_factor:g})"
+            )
+    return problems
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _run_benchmark(test_file: str) -> bool:
+    env = dict(os.environ)
+    env["BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", test_file, "-q", "-s"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    return proc.returncode == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    tolerance = float(
+        os.environ.get(
+            "BENCH_TRAJECTORY_TOLERANCE_PTS", DEFAULT_TOLERANCE_PTS
+        )
+    )
+    floor = float(
+        os.environ.get(
+            "BENCH_TRAJECTORY_SPEEDUP_FLOOR", DEFAULT_SPEEDUP_FLOOR
+        )
+    )
+    committed = {}
+    for path in (OBS_PATH, SPEEDUP_PATH):
+        if not path.exists():
+            print(f"missing committed baseline {path.name}", file=sys.stderr)
+            return 1
+        committed[path.name] = path.read_text(encoding="utf-8")
+
+    problems: list[str] = []
+    try:
+        if not _run_benchmark(
+            "benchmarks/test_bench_observability_overhead.py"
+        ):
+            problems.append("observability overhead benchmark failed")
+        else:
+            problems += check_obs_overhead(
+                json.loads(committed[OBS_PATH.name]),
+                _load(OBS_PATH),
+                tolerance_pts=tolerance,
+            )
+        if not _run_benchmark("benchmarks/test_bench_parallel_speedup.py"):
+            problems.append("parallel speedup benchmark failed")
+        else:
+            problems += check_parallel_speedup(
+                json.loads(committed[SPEEDUP_PATH.name]),
+                _load(SPEEDUP_PATH),
+                floor_factor=floor,
+            )
+    finally:
+        # The smoke runs overwrote the committed files: put them back.
+        for path in (OBS_PATH, SPEEDUP_PATH):
+            path.write_text(committed[path.name], encoding="utf-8")
+
+    if problems:
+        for problem in problems:
+            print(f"TRAJECTORY REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print("bench trajectory held (overhead and speedup within bounds)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,12 @@ dependencies and those for tracking code ... e.g., 'make'", §8)::
     python -m repro export --format vdl
     python -m repro stats            # metrics from the last run
     python -m repro trace            # span tree from the last run
+    python -m repro runs             # list recorded runs
+    python -m repro runs prune --keep 20
+    python -m repro diff RUN_A RUN_B # run-over-run comparison
+    python -m repro regress          # latest run vs pooled baseline
+    python -m repro health           # per-site SLO scorecards
+    python -m repro metrics --openmetrics  # scrapeable exposition
 
 State lives in a :class:`~repro.catalog.filetree.FileTreeCatalog`
 under ``.vdg/catalog`` plus a ``.vdg/sandbox`` for materialized files,
@@ -40,20 +46,29 @@ from repro.errors import VDLSemanticError, VDLSyntaxError, VirtualDataError
 from repro.executor.local import LocalExecutor
 from repro.observability import (
     FlightRecorder,
+    HistoryStore,
     Instrumentation,
     ProgressSink,
     ProgressTicker,
     RunRecord,
     chrome_trace,
+    diff_records,
     find_run,
+    grid_health,
+    health_metrics,
     list_runs,
+    openmetrics_snapshot,
+    prune_runs,
     read_snapshot,
+    regression_report,
     render_metrics,
     render_report,
     render_span_tree,
     report_dict,
+    validate_openmetrics,
     write_snapshot,
 )
+from repro.observability.health import SLOPolicy
 from repro.provenance.graph import DerivationGraph
 from repro.provenance.invalidation import invalidated_by
 from repro.provenance.lineage import lineage_report
@@ -70,6 +85,7 @@ class Workspace:
         self.sandbox_dir = self.root / "sandbox"
         self.observability_dir = self.root / "observability"
         self.runs_dir = self.root / "runs"
+        self.history_path = self.root / "history.sqlite"
 
     @property
     def exists(self) -> bool:
@@ -117,6 +133,22 @@ class Workspace:
             return find_run(self.runs_dir, run_id)
         except FileNotFoundError as exc:
             raise VirtualDataError(str(exc)) from None
+
+    def history(self, ingest: bool = True) -> HistoryStore:
+        """The workspace's run-history metastore.
+
+        With ``ingest`` (the default), every new or changed flight
+        record under ``runs/`` is pulled in first, so queries always
+        see current history.
+        """
+        if not self.exists:
+            raise VirtualDataError(
+                f"no workspace at {self.root}; run 'init' first"
+            )
+        store = HistoryStore(self.history_path)
+        if ingest:
+            store.ingest_dir(self.runs_dir)
+        return store
 
 
 def _cmd_init(ws: Workspace, args, out) -> int:
@@ -603,6 +635,154 @@ def _cmd_report(ws: Workspace, args, out) -> int:
     return 0
 
 
+def _fmt_stamp(epoch) -> str:
+    import time as _time
+
+    if not epoch:
+        return "?"
+    return _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(epoch))
+
+
+def _fmt_makespan(value) -> str:
+    return f"{value:.3f}s" if value is not None else "-"
+
+
+def _cmd_runs(ws: Workspace, args, out) -> int:
+    """List recorded runs, or prune old ones (``runs prune --keep N``)."""
+    if getattr(args, "runs_command", None) == "prune":
+        if args.keep < 0:
+            raise VirtualDataError(
+                f"--keep must be >= 0, got {args.keep}"
+            )
+        # Aggregates outlive the raw records: ingest before deleting.
+        ws.history().close()
+        pruned = prune_runs(ws.runs_dir, args.keep)
+        if not pruned:
+            out("nothing to prune")
+            return 0
+        for run_id in pruned:
+            out(f"pruned {run_id}")
+        out(f"pruned {len(pruned)} run(s), kept the {args.keep} newest "
+            "(aggregates retained in the history store)")
+        return 0
+    runs = ws.list_runs()
+    if not runs:
+        out(f"no recorded runs under {ws.runs_dir}")
+        return 0
+    out(f"{len(runs)} recorded run(s), oldest first:")
+    for record in runs:
+        flags = " [truncated]" if record.truncated else ""
+        out(
+            f"  {record.run_id}  "
+            f"started={_fmt_stamp(record.meta.get('started_at'))}  "
+            f"status={record.status}  "
+            f"makespan={_fmt_makespan(record.makespan())}  "
+            f"{record.command or '-'}{flags}"
+        )
+    return 0
+
+
+def _cmd_diff(ws: Workspace, args, out) -> int:
+    """Compare two recorded runs end to end."""
+    import json
+
+    base = ws.load_run(args.base)
+    cand = ws.load_run(args.candidate)
+    diff = diff_records(base, cand, threshold_pct=args.threshold)
+    if args.json:
+        out(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        out(diff.render())
+    return 0
+
+
+def _cmd_regress(ws: Workspace, args, out) -> int:
+    """Gate one run against the pooled historical baseline.
+
+    Exit code 0 means clean, 2 means significant regressions were
+    found (1 is reserved for operational errors), so CI can use this
+    directly.
+    """
+    import json
+
+    candidate = ws.load_run(args.run)
+    with ws.history() as history:
+        try:
+            diff = regression_report(
+                history,
+                candidate,
+                baseline_ids=args.baseline or None,
+                window=args.window,
+                threshold_pct=args.threshold,
+            )
+        except ValueError as exc:
+            raise VirtualDataError(str(exc)) from None
+    if args.json:
+        out(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        out(diff.render())
+    return 0 if diff.clean else 2
+
+
+def _cmd_health(ws: Workspace, args, out) -> int:
+    """Per-site SLO scorecards over recent recorded runs.
+
+    With ``--check``, exit 2 unless every site is within SLO (for
+    CI/cron gating); without it, reporting is always exit 0.
+    """
+    import json
+
+    policy = SLOPolicy(success_target=args.slo)
+    with ws.history() as history:
+        if not len(history):
+            raise VirtualDataError(
+                f"no recorded runs under {ws.runs_dir}; health needs "
+                "at least one recorded 'materialize' or 'run'"
+            )
+        report = grid_health(history, policy=policy, window=args.window)
+    if args.json:
+        out(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        out(report.render())
+    if args.check and report.status != "ok":
+        return 2
+    return 0
+
+
+def _cmd_metrics(ws: Workspace, args, out) -> int:
+    """Metrics exposition: the scrape surface for the grid.
+
+    Reads the latest snapshot (or ``--run`` record) metrics, merges in
+    health gauges when run history exists, and prints either the
+    OpenMetrics text exposition (``--openmetrics``) or the human
+    rendering.
+    """
+    if args.run is not None:
+        metrics = ws.load_run(args.run or "latest").metrics
+    else:
+        _, metrics, _ = ws.load_snapshot()
+    health_report = None
+    if ws.exists and ws.list_runs():
+        with ws.history() as history:
+            if len(history):
+                health_report = grid_health(history)
+    if args.openmetrics:
+        text = openmetrics_snapshot(metrics, health_report=health_report)
+        problems = validate_openmetrics(text)
+        if problems:
+            raise VirtualDataError(
+                "internal error: invalid OpenMetrics exposition: "
+                + "; ".join(problems)
+            )
+        out(text.rstrip("\n"))
+        return 0
+    merged = dict(health_metrics(health_report)) if health_report else {}
+    merged.update(metrics)
+    rendered = render_metrics(merged)
+    out(rendered if rendered else "no metrics recorded")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vdg",
@@ -836,17 +1016,149 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(fn=_cmd_report)
 
+    runs = sub.add_parser(
+        "runs", help="list recorded runs, or prune old ones"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command")
+    prune = runs_sub.add_parser(
+        "prune",
+        help="delete all but the newest N recorded runs "
+        "(aggregates are ingested into the history store first)",
+    )
+    prune.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of newest runs to keep (0 deletes all)",
+    )
+    runs.set_defaults(fn=_cmd_runs)
+
+    diff = sub.add_parser(
+        "diff", help="compare two recorded runs end to end"
+    )
+    diff.add_argument("base", help="baseline run id ('latest' works)")
+    diff.add_argument("candidate", help="candidate run id")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="relative change (%%) considered significant (default 25)",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    diff.set_defaults(fn=_cmd_diff)
+
+    regress = sub.add_parser(
+        "regress",
+        help="check one run against the pooled historical baseline "
+        "(exit 2 on regression)",
+    )
+    regress.add_argument(
+        "--run",
+        default="latest",
+        metavar="RUN_ID",
+        help="candidate run (default: latest)",
+    )
+    regress.add_argument(
+        "--baseline",
+        action="append",
+        metavar="RUN_ID",
+        help="explicit baseline run id; repeatable "
+        "(default: the last --window ingested runs)",
+    )
+    regress.add_argument(
+        "--window",
+        type=int,
+        default=20,
+        metavar="N",
+        help="baseline window when --baseline is not given (default 20)",
+    )
+    regress.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="relative change (%%) considered significant (default 25)",
+    )
+    regress.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    regress.set_defaults(fn=_cmd_regress)
+
+    health = sub.add_parser(
+        "health", help="per-site SLO scorecards over recent runs"
+    )
+    health.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="how many recent runs to score (default: policy window)",
+    )
+    health.add_argument(
+        "--slo",
+        type=float,
+        default=0.95,
+        metavar="RATE",
+        help="success-rate objective in (0, 1) (default 0.95)",
+    )
+    health.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 2 unless every site is within SLO",
+    )
+    health.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    health.set_defaults(fn=_cmd_health)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="metrics exposition (with health gauges) for scraping",
+    )
+    metrics.add_argument(
+        "--openmetrics",
+        action="store_true",
+        help="emit the OpenMetrics text exposition format",
+    )
+    metrics.add_argument(
+        "--run",
+        nargs="?",
+        const="latest",
+        default=None,
+        metavar="RUN_ID",
+        help="read a recorded run's metrics instead of the latest "
+        "snapshot (default when given without RUN_ID: latest)",
+    )
+    metrics.set_defaults(fn=_cmd_metrics)
+
     return parser
 
 
-def main(argv: list[str] | None = None, out=print) -> int:
-    """CLI entry point; returns the process exit code."""
+def main(argv: list[str] | None = None, out=print, err=None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Normal output goes through ``out``; operational errors (unknown
+    run ids, missing workspaces, ...) are printed once through ``err``
+    — stderr when running as a real process — and exit 1, never as
+    tracebacks.  Callers that capture ``out`` (tests, embedding) get
+    errors on the same channel unless they pass their own ``err``.
+    """
+    if err is None:
+        if out is print:
+            def err(text=""):
+                print(text, file=sys.stderr)
+        else:
+            err = out
     args = build_parser().parse_args(argv)
     ws = Workspace(args.workspace)
     try:
         return args.fn(ws, args, out)
     except VirtualDataError as exc:
-        out(f"error: {exc}")
+        err(f"error: {exc}")
         return 1
 
 

@@ -56,16 +56,22 @@ class TransformationCostModel:
         return self.samples > 0
 
 
-def fit_model(
-    transformation: str, invocations: list[Invocation]
+def fit_samples(
+    transformation: str,
+    samples: list[tuple[float, float, float]],
 ) -> TransformationCostModel:
-    """Least-squares fit of cpu ~ bytes_read over successful runs."""
-    runs = [inv for inv in invocations if inv.succeeded]
-    if not runs:
+    """Least-squares fit of cpu ~ bytes_read over raw samples.
+
+    Each sample is ``(bytes_read, cpu_seconds, bytes_written)``.  The
+    sample-based core lets the same fit serve live
+    :class:`~repro.core.invocation.Invocation` objects, flight
+    records, and the run-history metastore's aggregate tables.
+    """
+    if not samples:
         return TransformationCostModel(transformation=transformation)
-    xs = [float(inv.usage.bytes_read) for inv in runs]
-    ys = [inv.usage.cpu_seconds for inv in runs]
-    n = len(runs)
+    xs = [float(s[0]) for s in samples]
+    ys = [float(s[1]) for s in samples]
+    n = len(samples)
     mean_x = sum(xs) / n
     mean_y = sum(ys) / n
     var_x = sum((x - mean_x) ** 2 for x in xs)
@@ -80,7 +86,7 @@ def fit_model(
             slope, intercept = 0.0, mean_y
     else:
         slope, intercept = 0.0, mean_y
-    outputs = [inv.usage.bytes_written for inv in runs if inv.usage.bytes_written]
+    outputs = [s[2] for s in samples if s[2]]
     mean_out = (
         int(sum(outputs) / len(outputs)) if outputs else FALLBACK_OUTPUT_BYTES
     )
@@ -90,6 +96,24 @@ def fit_model(
         per_byte=slope,
         mean_output_bytes=mean_out,
         samples=n,
+    )
+
+
+def fit_model(
+    transformation: str, invocations: list[Invocation]
+) -> TransformationCostModel:
+    """Least-squares fit of cpu ~ bytes_read over successful runs."""
+    return fit_samples(
+        transformation,
+        [
+            (
+                float(inv.usage.bytes_read),
+                inv.usage.cpu_seconds,
+                float(inv.usage.bytes_written),
+            )
+            for inv in invocations
+            if inv.succeeded
+        ],
     )
 
 
@@ -140,6 +164,40 @@ class Estimator:
         trained: dict[str, TransformationCostModel] = {}
         for tr_name, invocations in sorted(by_tr.items()):
             model = fit_model(tr_name, invocations)
+            if model.is_fitted:
+                self._models[tr_name] = trained[tr_name] = model
+                if self.obs.enabled:
+                    self.obs.count(
+                        "estimator.trained",
+                        help="models refreshed from run records",
+                    )
+        return trained
+
+    def train_on_history(
+        self, history
+    ) -> dict[str, TransformationCostModel]:
+        """Fit models from the whole run-history metastore.
+
+        Where :meth:`train_on_record` learns from one run, this pools
+        every successful invocation the
+        :class:`~repro.observability.history.HistoryStore` has
+        ingested — the §5.3 estimation loop closed over *all* recorded
+        history rather than the latest flight.  Returns the
+        transformations whose models were refreshed.
+        """
+        trained: dict[str, TransformationCostModel] = {}
+        for tr_name, rows in sorted(history.training_samples().items()):
+            model = fit_samples(
+                tr_name,
+                [
+                    (
+                        float(row["bytes_read"]),
+                        float(row["cpu_seconds"]),
+                        float(row["bytes_written"]),
+                    )
+                    for row in rows
+                ],
+            )
             if model.is_fitted:
                 self._models[tr_name] = trained[tr_name] = model
                 if self.obs.enabled:

@@ -24,13 +24,31 @@ from repro.observability.analysis import (
     transformation_profiles,
     validate_chrome_trace,
 )
+from repro.observability.diff import (
+    RunDiff,
+    TransformationDelta,
+    diff_records,
+    regression_report,
+)
 from repro.observability.export import (
+    openmetrics_snapshot,
     read_snapshot,
     render_metrics,
     render_span_tree,
     spans_to_jsonl,
+    to_openmetrics,
+    validate_openmetrics,
     write_snapshot,
 )
+from repro.observability.health import (
+    HealthReport,
+    SiteHealth,
+    SLOPolicy,
+    grid_health,
+    health_metrics,
+    health_penalties,
+)
+from repro.observability.history import HistoryStore
 from repro.observability.instrument import (
     NULL,
     Instrumentation,
@@ -49,6 +67,7 @@ from repro.observability.recorder import (
     RunRecord,
     find_run,
     list_runs,
+    prune_runs,
 )
 from repro.observability.tracing import NullTracer, Span, Tracer
 
@@ -57,7 +76,9 @@ __all__ = [
     "Counter",
     "FlightRecorder",
     "Gauge",
+    "HealthReport",
     "Histogram",
+    "HistoryStore",
     "Instrumentation",
     "MetricsRegistry",
     "NullInstrumentation",
@@ -65,21 +86,34 @@ __all__ = [
     "ProgressSink",
     "ProgressTicker",
     "RECORD_SCHEMA_VERSION",
+    "RunDiff",
     "RunRecord",
+    "SLOPolicy",
+    "SiteHealth",
     "Span",
     "Tracer",
+    "TransformationDelta",
     "chrome_trace",
     "critical_path",
+    "diff_records",
     "find_run",
+    "grid_health",
+    "health_metrics",
+    "health_penalties",
     "list_runs",
+    "openmetrics_snapshot",
+    "prune_runs",
     "read_snapshot",
+    "regression_report",
     "render_metrics",
     "render_report",
     "render_span_tree",
     "report_dict",
     "site_profiles",
     "spans_to_jsonl",
+    "to_openmetrics",
     "transformation_profiles",
     "validate_chrome_trace",
+    "validate_openmetrics",
     "write_snapshot",
 ]

@@ -1,0 +1,463 @@
+"""Run-diff and regression detection over flight records.
+
+Two complementary entry points:
+
+* :func:`diff_records` — pairwise comparison of two parsed
+  :class:`~repro.observability.recorder.RunRecord` objects: makespan,
+  critical-path seconds, retry/fault/failure counts, and
+  per-transformation mean step durations, with each delta flagged
+  significant or not;
+* :func:`regression_report` — one candidate run against a *baseline
+  population* pooled from the
+  :class:`~repro.observability.history.HistoryStore`, the shape a CI
+  regression gate wants ("is today's run slower than the last N?").
+
+Significance is deliberately conservative and distribution-free at
+its core: a delta is flagged when **both** the relative change exceeds
+``threshold_pct`` **and** the absolute change exceeds ``abs_floor``
+(simulated timings are often tiny and exactly reproducible, so a pure
+relative test would scream over microseconds).  When both sides carry
+enough samples (n ≥ 2) *and* show actual variance, a Welch t statistic
+is additionally required to exceed :data:`T_THRESHOLD` — this quiets
+flapping on noisy wall-clock runs without ever muting the
+deterministic simulation case, whose zero variance always defers to
+the relative test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.observability.analysis import critical_path
+from repro.observability.recorder import RunRecord
+
+#: Welch t statistic required when a variance-based test is possible.
+T_THRESHOLD = 2.0
+
+#: Default relative-change gate, in percent.
+DEFAULT_THRESHOLD_PCT = 25.0
+
+#: Default absolute-change floor, in seconds.
+DEFAULT_ABS_FLOOR = 1e-3
+
+
+def _mean(xs: list[float]) -> float:
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def _variance(xs: list[float]) -> float:
+    if len(xs) < 2:
+        return 0.0
+    mu = _mean(xs)
+    return sum((x - mu) ** 2 for x in xs) / (len(xs) - 1)
+
+
+def welch_t(a: list[float], b: list[float]) -> Optional[float]:
+    """Welch's t statistic, or None when variance can't support one."""
+    if len(a) < 2 or len(b) < 2:
+        return None
+    pooled = _variance(a) / len(a) + _variance(b) / len(b)
+    if pooled <= 0.0:
+        return None
+    return abs(_mean(b) - _mean(a)) / math.sqrt(pooled)
+
+
+def is_significant(
+    base: list[float],
+    cand: list[float],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+) -> bool:
+    """Whether the base→cand shift clears the significance gate."""
+    base_mean, cand_mean = _mean(base), _mean(cand)
+    delta = cand_mean - base_mean
+    if abs(delta) < abs_floor:
+        return False
+    if base_mean > 0:
+        relative_pct = abs(delta) / base_mean * 100.0
+    else:
+        relative_pct = math.inf
+    if relative_pct < threshold_pct:
+        return False
+    t = welch_t(base, cand)
+    if t is not None and t < T_THRESHOLD:
+        return False
+    return True
+
+
+@dataclass
+class TransformationDelta:
+    """One transformation's timing shift between base and candidate."""
+
+    transformation: str
+    base_mean: float
+    cand_mean: float
+    base_n: int
+    cand_n: int
+    significant: bool
+
+    @property
+    def delta(self) -> float:
+        return self.cand_mean - self.base_mean
+
+    @property
+    def delta_pct(self) -> float:
+        if self.base_mean > 0:
+            return self.delta / self.base_mean * 100.0
+        return math.inf if self.delta > 0 else 0.0
+
+    @property
+    def regressed(self) -> bool:
+        return self.significant and self.delta > 0
+
+    @property
+    def improved(self) -> bool:
+        return self.significant and self.delta < 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "transformation": self.transformation,
+            "base_mean": self.base_mean,
+            "cand_mean": self.cand_mean,
+            "base_n": self.base_n,
+            "cand_n": self.cand_n,
+            "delta": self.delta,
+            "delta_pct": (
+                None if math.isinf(self.delta_pct) else self.delta_pct
+            ),
+            "significant": self.significant,
+        }
+
+
+@dataclass
+class RunDiff:
+    """The full comparison between a base and a candidate run."""
+
+    base_id: str
+    cand_id: str
+    makespan: tuple[Optional[float], Optional[float]]
+    critical_path: tuple[Optional[float], Optional[float]]
+    retries: tuple[int, int]
+    faults: tuple[int, int]
+    failures: tuple[int, int]
+    transformations: list[TransformationDelta] = field(
+        default_factory=list
+    )
+    makespan_significant: bool = False
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT
+
+    @property
+    def regressions(self) -> list[TransformationDelta]:
+        return [d for d in self.transformations if d.regressed]
+
+    @property
+    def improvements(self) -> list[TransformationDelta]:
+        return [d for d in self.transformations if d.improved]
+
+    @property
+    def makespan_regressed(self) -> bool:
+        base, cand = self.makespan
+        return (
+            self.makespan_significant
+            and base is not None
+            and cand is not None
+            and cand > base
+        )
+
+    @property
+    def clean(self) -> bool:
+        """No regressions anywhere (improvements don't count)."""
+        return not self.regressions and not self.makespan_regressed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "base": self.base_id,
+            "candidate": self.cand_id,
+            "makespan": {
+                "base": self.makespan[0],
+                "candidate": self.makespan[1],
+                "significant": self.makespan_significant,
+            },
+            "critical_path": {
+                "base": self.critical_path[0],
+                "candidate": self.critical_path[1],
+            },
+            "retries": {
+                "base": self.retries[0],
+                "candidate": self.retries[1],
+            },
+            "faults": {
+                "base": self.faults[0],
+                "candidate": self.faults[1],
+            },
+            "failures": {
+                "base": self.failures[0],
+                "candidate": self.failures[1],
+            },
+            "transformations": [
+                d.to_dict() for d in self.transformations
+            ],
+            "regressions": [
+                d.transformation for d in self.regressions
+            ],
+            "improvements": [
+                d.transformation for d in self.improvements
+            ],
+            "clean": self.clean,
+            "threshold_pct": self.threshold_pct,
+        }
+
+    def render(self) -> str:
+        lines = [f"diff {self.base_id} -> {self.cand_id}"]
+
+        def fmt(value: Optional[float]) -> str:
+            return f"{value:.3f}s" if value is not None else "?"
+
+        marker = " **" if self.makespan_significant else ""
+        lines.append(
+            f"  makespan       {fmt(self.makespan[0])} -> "
+            f"{fmt(self.makespan[1])}{marker}"
+        )
+        lines.append(
+            f"  critical path  {fmt(self.critical_path[0])} -> "
+            f"{fmt(self.critical_path[1])}"
+        )
+        for label, pair in (
+            ("retries", self.retries),
+            ("faults", self.faults),
+            ("failures", self.failures),
+        ):
+            lines.append(f"  {label:<14} {pair[0]} -> {pair[1]}")
+        if self.transformations:
+            lines.append("  per-transformation mean step duration:")
+            for d in sorted(
+                self.transformations,
+                key=lambda d: -abs(d.delta),
+            ):
+                pct = (
+                    f"{d.delta_pct:+.1f}%"
+                    if not math.isinf(d.delta_pct)
+                    else "new"
+                )
+                flag = " **" if d.significant else ""
+                lines.append(
+                    f"    {d.transformation:<20} "
+                    f"{d.base_mean:.3f}s -> {d.cand_mean:.3f}s "
+                    f"({pct}, n={d.base_n}->{d.cand_n}){flag}"
+                )
+        if self.regressions:
+            names = ", ".join(d.transformation for d in self.regressions)
+            lines.append(f"  REGRESSED: {names}")
+        elif self.makespan_regressed:
+            lines.append("  REGRESSED: makespan")
+        else:
+            lines.append("  no significant regressions")
+        return "\n".join(lines)
+
+
+def _transformation_durations(
+    record: RunRecord,
+) -> dict[str, list[float]]:
+    """Successful per-step durations grouped by transformation."""
+    plan_steps = record.plan_steps()
+    out: dict[str, list[float]] = {}
+    for name, timing in sorted(record.step_timings().items()):
+        if timing["status"] != "success":
+            continue
+        entry = plan_steps.get(name)
+        tr = entry["transformation"] if entry else name
+        out.setdefault(tr, []).append(
+            max(0.0, float(timing["end"]) - float(timing["start"]))
+        )
+    return out
+
+
+def _retries(record: RunRecord) -> int:
+    timings = record.step_timings()
+    return sum(max(0, t["attempts"] - 1) for t in timings.values())
+
+
+def _faults(record: RunRecord) -> int:
+    return sum(
+        1 for e in record.events if e.get("kind") == "fault.injected"
+    )
+
+
+def _failures(record: RunRecord) -> int:
+    return sum(
+        1
+        for t in record.step_timings().values()
+        if t["status"] != "success"
+    )
+
+
+def _critical_seconds(record: RunRecord) -> Optional[float]:
+    try:
+        report = critical_path(record)
+    except Exception:
+        return None
+    return report.path_seconds if report.steps else None
+
+
+def diff_durations(
+    base_id: str,
+    cand_id: str,
+    base_samples: dict[str, list[float]],
+    cand_samples: dict[str, list[float]],
+    *,
+    makespan: tuple[Optional[float], Optional[float]] = (None, None),
+    critical: tuple[Optional[float], Optional[float]] = (None, None),
+    retries: tuple[int, int] = (0, 0),
+    faults: tuple[int, int] = (0, 0),
+    failures: tuple[int, int] = (0, 0),
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+) -> RunDiff:
+    """Build a :class:`RunDiff` from pre-extracted duration samples.
+
+    The shared core of :func:`diff_records` (samples from two parsed
+    records) and :func:`regression_report` (baseline samples pooled
+    from the history store).
+    """
+    deltas = []
+    for tr in sorted(set(base_samples) | set(cand_samples)):
+        base = base_samples.get(tr, [])
+        cand = cand_samples.get(tr, [])
+        if not cand:
+            continue  # vanished from candidate: not a timing signal
+        deltas.append(
+            TransformationDelta(
+                transformation=tr,
+                base_mean=_mean(base),
+                cand_mean=_mean(cand),
+                base_n=len(base),
+                cand_n=len(cand),
+                significant=bool(base)
+                and is_significant(
+                    base, cand, threshold_pct, abs_floor
+                ),
+            )
+        )
+    makespan_significant = (
+        makespan[0] is not None
+        and makespan[1] is not None
+        and is_significant(
+            [makespan[0]], [makespan[1]], threshold_pct, abs_floor
+        )
+    )
+    return RunDiff(
+        base_id=base_id,
+        cand_id=cand_id,
+        makespan=makespan,
+        critical_path=critical,
+        retries=retries,
+        faults=faults,
+        failures=failures,
+        transformations=deltas,
+        makespan_significant=makespan_significant,
+        threshold_pct=threshold_pct,
+    )
+
+
+def diff_records(
+    base: RunRecord,
+    cand: RunRecord,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+) -> RunDiff:
+    """Compare two flight records end to end."""
+    return diff_durations(
+        base.run_id,
+        cand.run_id,
+        _transformation_durations(base),
+        _transformation_durations(cand),
+        makespan=(base.makespan(), cand.makespan()),
+        critical=(_critical_seconds(base), _critical_seconds(cand)),
+        retries=(_retries(base), _retries(cand)),
+        faults=(_faults(base), _faults(cand)),
+        failures=(_failures(base), _failures(cand)),
+        threshold_pct=threshold_pct,
+        abs_floor=abs_floor,
+    )
+
+
+def regression_report(
+    history: Any,
+    candidate: RunRecord,
+    baseline_ids: Optional[Iterable[str]] = None,
+    window: int = 20,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+) -> RunDiff:
+    """Compare one candidate run against a pooled historical baseline.
+
+    ``baseline_ids`` defaults to the last ``window`` ingested runs,
+    excluding the candidate itself.  Baseline duration samples are
+    pooled across all baseline runs, so a one-off hiccup in a single
+    old run doesn't dominate the mean.
+    """
+    if baseline_ids is None:
+        ids = [
+            rid
+            for rid in history.run_ids()
+            if rid != candidate.run_id
+        ]
+        baseline_ids = ids[-window:]
+    else:
+        baseline_ids = [
+            rid for rid in baseline_ids if rid != candidate.run_id
+        ]
+    if not baseline_ids:
+        raise ValueError("no baseline runs to regress against")
+    base_rows = [history.run_row(rid) for rid in baseline_ids]
+    missing = [
+        rid
+        for rid, row in zip(baseline_ids, base_rows)
+        if row is None
+    ]
+    if missing:
+        raise ValueError(
+            f"baseline runs not in history: {', '.join(missing)}"
+        )
+    base_makespans = [
+        float(row["makespan"])
+        for row in base_rows
+        if row["makespan"] is not None
+    ]
+    base_retries = sum(int(row["retries"]) for row in base_rows)
+    base_faults = sum(int(row["faults"]) for row in base_rows)
+    base_failures = sum(int(row["steps_failed"]) for row in base_rows)
+    base_label = (
+        baseline_ids[0]
+        if len(baseline_ids) == 1
+        else f"baseline[{len(baseline_ids)}]"
+    )
+    cand_makespan = candidate.makespan()
+    diff = diff_durations(
+        base_label,
+        candidate.run_id,
+        history.duration_samples(baseline_ids),
+        _transformation_durations(candidate),
+        makespan=(
+            _mean(base_makespans) if base_makespans else None,
+            cand_makespan,
+        ),
+        critical=(None, _critical_seconds(candidate)),
+        retries=(base_retries, _retries(candidate)),
+        faults=(base_faults, _faults(candidate)),
+        failures=(base_failures, _failures(candidate)),
+        threshold_pct=threshold_pct,
+        abs_floor=abs_floor,
+    )
+    # With n >= 2 baseline makespans, let the variance-aware test
+    # arbitrate instead of the two-point comparison above.
+    if len(base_makespans) >= 2 and cand_makespan is not None:
+        diff.makespan_significant = is_significant(
+            base_makespans,
+            [cand_makespan],
+            threshold_pct,
+            abs_floor,
+        )
+    return diff

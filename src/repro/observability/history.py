@@ -1,0 +1,559 @@
+"""The run-history metastore: cross-run observability (§5.3).
+
+The flight recorder makes each run durable; this module makes the
+*population* of runs queryable.  The paper's estimation loop assumes
+the system learns from history, and the CMS production experience
+(PAPERS.md) shows that long production chains live or die by operators
+noticing per-site degradation and run-over-run regressions early —
+both need an aggregate view no single ``record.jsonl`` can give.
+
+:class:`HistoryStore` is a small SQLite database (WAL when
+file-backed, the same fast-path idiom as
+:class:`~repro.catalog.sqlite.SQLiteCatalog`) that ingests flight
+records under ``<workspace>/runs/`` into per-run, per-attempt,
+per-invocation and per-site tables:
+
+``run``
+    one row per ingested run: identity, status, clock domain,
+    makespan, step/retry/fault totals, and the source file size used
+    for change detection (re-ingest is idempotent; a record that grew
+    since ingest — e.g. a crash later finalized — is re-read);
+``attempt``
+    one row per recorded step *attempt* with its site, status and
+    duration — the raw material for per-site SLOs and per-step diffs;
+``invocation_sample``
+    (transformation, bytes_read, cpu_seconds, …) tuples — exactly the
+    estimator's training food, so
+    :meth:`repro.estimator.cost.Estimator.train_on_history` can fit
+    models over every run ever recorded;
+``event_count``
+    per-run event totals (retries, injected faults, timeouts);
+``site_breaker``
+    per-run, per-site circuit-breaker open time, reconstructed from
+    the recorded ``breaker.transition`` events.
+
+Consumers: the run-diff/regression engine
+(:mod:`repro.observability.diff`), the grid-health SLO layer
+(:mod:`repro.observability.health`), and the estimator.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.observability.recorder import RunRecord, list_runs
+from repro.resilience.policies import STATE_CODES
+
+#: Default store location inside a workspace.
+HISTORY_FILENAME = "history.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS run (
+    run_id TEXT PRIMARY KEY,
+    started_at REAL,
+    finished_at REAL,
+    status TEXT NOT NULL,
+    command TEXT NOT NULL,
+    clock TEXT NOT NULL,
+    makespan REAL,
+    steps_total INTEGER NOT NULL,
+    steps_failed INTEGER NOT NULL,
+    attempts INTEGER NOT NULL,
+    retries INTEGER NOT NULL,
+    faults INTEGER NOT NULL,
+    truncated INTEGER NOT NULL,
+    schema_version INTEGER NOT NULL,
+    source_path TEXT NOT NULL,
+    source_size INTEGER NOT NULL,
+    ingested_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS run_started ON run (started_at);
+CREATE TABLE IF NOT EXISTS attempt (
+    run_id TEXT NOT NULL,
+    step TEXT NOT NULL,
+    attempt INTEGER NOT NULL,
+    transformation TEXT,
+    site TEXT,
+    status TEXT NOT NULL,
+    start REAL NOT NULL,
+    end REAL NOT NULL,
+    duration REAL NOT NULL,
+    PRIMARY KEY (run_id, step, attempt)
+);
+CREATE INDEX IF NOT EXISTS attempt_tr ON attempt (transformation);
+CREATE INDEX IF NOT EXISTS attempt_site ON attempt (site);
+CREATE TABLE IF NOT EXISTS invocation_sample (
+    run_id TEXT NOT NULL,
+    ordinal INTEGER NOT NULL,
+    transformation TEXT NOT NULL,
+    site TEXT,
+    status TEXT NOT NULL,
+    wall_seconds REAL NOT NULL,
+    cpu_seconds REAL NOT NULL,
+    bytes_read INTEGER NOT NULL,
+    bytes_written INTEGER NOT NULL,
+    PRIMARY KEY (run_id, ordinal)
+);
+CREATE INDEX IF NOT EXISTS sample_tr ON invocation_sample (transformation);
+CREATE TABLE IF NOT EXISTS event_count (
+    run_id TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    count INTEGER NOT NULL,
+    PRIMARY KEY (run_id, kind)
+);
+CREATE TABLE IF NOT EXISTS site_breaker (
+    run_id TEXT NOT NULL,
+    site TEXT NOT NULL,
+    open_seconds REAL NOT NULL,
+    transitions INTEGER NOT NULL,
+    PRIMARY KEY (run_id, site)
+);
+"""
+
+_RUN_TABLES = (
+    "run",
+    "attempt",
+    "invocation_sample",
+    "event_count",
+    "site_breaker",
+)
+
+_OPEN_CODE = STATE_CODES["open"]
+
+
+def breaker_open_windows(
+    record: RunRecord,
+) -> dict[str, tuple[float, int]]:
+    """Per-site ``(open_seconds, transitions)`` from recorded events.
+
+    Walks the ``breaker.transition`` events in time order and
+    accumulates the time each site's breaker spent in the ``open``
+    state.  A breaker still open at the end of the record is charged
+    through the last recorded simulation instant.
+    """
+    transitions: dict[str, list[tuple[float, int]]] = {}
+    last_instant = 0.0
+    for event in record.events:
+        sim = event.get("sim")
+        if sim is not None:
+            last_instant = max(last_instant, float(sim))
+        if event.get("kind") != "breaker.transition":
+            continue
+        site = event.get("site")
+        if site is None or sim is None:
+            continue
+        transitions.setdefault(site, []).append(
+            (float(sim), int(event.get("state", 0)))
+        )
+    for timing in record.step_timings().values():
+        if timing.get("clock", "sim") == "sim":
+            last_instant = max(last_instant, float(timing["end"]))
+    out: dict[str, tuple[float, int]] = {}
+    for site, seq in transitions.items():
+        seq.sort(key=lambda pair: pair[0])
+        open_seconds = 0.0
+        opened_at: Optional[float] = None
+        for at, state in seq:
+            if state == _OPEN_CODE and opened_at is None:
+                opened_at = at
+            elif state != _OPEN_CODE and opened_at is not None:
+                open_seconds += at - opened_at
+                opened_at = None
+        if opened_at is not None:
+            open_seconds += max(0.0, last_instant - opened_at)
+        out[site] = (open_seconds, len(seq))
+    return out
+
+
+class HistoryStore:
+    """SQLite-backed, queryable aggregate of many recorded runs."""
+
+    def __init__(self, path: str | Path = ":memory:"):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        if self.path != ":memory:":
+            # Same fast-path posture as SQLiteCatalog: WAL keeps
+            # readers unblocked, NORMAL turns fsyncs into log appends.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    @classmethod
+    def open(cls, workspace_root: str | Path) -> "HistoryStore":
+        """The store at ``<workspace>/history.sqlite`` (created lazily)."""
+        root = Path(workspace_root)
+        root.mkdir(parents=True, exist_ok=True)
+        return cls(root / HISTORY_FILENAME)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- ingestion ---------------------------------------------------------
+
+    def is_ingested(self, record: RunRecord) -> bool:
+        """Whether this exact record (same size) is already stored."""
+        row = self._conn.execute(
+            "SELECT source_size FROM run WHERE run_id = ?",
+            (record.run_id,),
+        ).fetchone()
+        if row is None:
+            return False
+        try:
+            current = record.path.stat().st_size
+        except OSError:
+            return True  # source gone; keep what we have
+        return int(row["source_size"]) == current
+
+    def ingest(self, record: RunRecord, force: bool = False) -> bool:
+        """Ingest one parsed record; returns False when already stored.
+
+        Idempotent: a run already ingested from an unchanged file is
+        skipped; a record whose file grew since ingest (e.g. a crashed
+        run later finalized) is re-ingested in place.  The whole run
+        lands in one transaction.
+        """
+        if not force and self.is_ingested(record):
+            return False
+        run_id = record.run_id
+        timings = record.step_timings()
+        plan_steps = record.plan_steps()
+        steps_total = len(plan_steps) if plan_steps else len(timings)
+        failed = sum(
+            1 for t in timings.values() if t["status"] != "success"
+        )
+        attempts_total = sum(t["attempts"] for t in timings.values())
+        clock = (
+            next(iter(timings.values()))["clock"] if timings else "wall"
+        )
+        event_counts: dict[str, int] = {}
+        for event in record.events:
+            kind = event.get("kind", "?")
+            event_counts[kind] = event_counts.get(kind, 0) + 1
+        faults = event_counts.get("fault.injected", 0)
+        try:
+            source_size = record.path.stat().st_size
+        except OSError:
+            source_size = 0
+        cur = self._conn.cursor()
+        try:
+            cur.execute("BEGIN")
+            for table in _RUN_TABLES:
+                cur.execute(
+                    f"DELETE FROM {table} WHERE run_id = ?", (run_id,)
+                )
+            cur.execute(
+                "INSERT INTO run VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    record.meta.get("started_at"),
+                    record.result.get("finished_at"),
+                    record.status,
+                    record.command,
+                    clock,
+                    record.makespan(),
+                    steps_total,
+                    failed,
+                    attempts_total,
+                    max(0, attempts_total - len(timings)),
+                    faults,
+                    int(record.truncated),
+                    record.schema_version,
+                    str(record.path),
+                    source_size,
+                    time.time(),
+                ),
+            )
+            # Step lines carry no attempt ordinal: number retries of
+            # the same step by encounter order (the record is
+            # append-only, so file order IS attempt order).
+            seen_attempts: dict[str, int] = {}
+            attempt_rows = []
+            for a in record.step_attempts:
+                step = a["step"]
+                ordinal = seen_attempts.get(step, 0) + 1
+                seen_attempts[step] = ordinal
+                attempt_rows.append(
+                    (
+                        run_id,
+                        step,
+                        int(a.get("attempt", ordinal)),
+                        (plan_steps.get(step) or {}).get(
+                            "transformation"
+                        ),
+                        a.get("site"),
+                        a["status"],
+                        float(a["start"]),
+                        float(a["end"]),
+                        max(0.0, float(a["end"]) - float(a["start"])),
+                    )
+                )
+            cur.executemany(
+                "INSERT INTO attempt VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                attempt_rows,
+            )
+            cur.executemany(
+                "INSERT INTO invocation_sample VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run_id,
+                        ordinal,
+                        (
+                            plan_steps.get(
+                                inv.get("derivation_name", "")
+                            )
+                            or {}
+                        ).get("transformation")
+                        or f"?{inv.get('derivation_name', '')}",
+                        inv.get("context", {}).get("site"),
+                        inv.get("status", "?"),
+                        float(inv["usage"]["wall_seconds"]),
+                        float(inv["usage"]["cpu_seconds"]),
+                        int(inv["usage"]["bytes_read"]),
+                        int(inv["usage"]["bytes_written"]),
+                    )
+                    for ordinal, inv in enumerate(record.invocations)
+                ],
+            )
+            cur.executemany(
+                "INSERT INTO event_count VALUES (?, ?, ?)",
+                [
+                    (run_id, kind, count)
+                    for kind, count in sorted(event_counts.items())
+                ],
+            )
+            cur.executemany(
+                "INSERT INTO site_breaker VALUES (?, ?, ?, ?)",
+                [
+                    (run_id, site, open_seconds, transitions)
+                    for site, (open_seconds, transitions) in sorted(
+                        breaker_open_windows(record).items()
+                    )
+                ],
+            )
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+        return True
+
+    def ingest_dir(
+        self, runs_root: str | Path, force: bool = False
+    ) -> int:
+        """Ingest every readable record under ``runs_root``.
+
+        Returns the number of runs (re-)ingested; unchanged runs are
+        skipped, so calling this before every query is cheap.
+        """
+        ingested = 0
+        for record in list_runs(runs_root):
+            if self.ingest(record, force=force):
+                ingested += 1
+        return ingested
+
+    def delete_run(self, run_id: str) -> None:
+        cur = self._conn.cursor()
+        for table in _RUN_TABLES:
+            cur.execute(f"DELETE FROM {table} WHERE run_id = ?", (run_id,))
+        self._conn.commit()
+
+    # -- run-level queries -------------------------------------------------
+
+    def run_ids(self) -> list[str]:
+        """All ingested run ids, oldest first."""
+        return [
+            row["run_id"]
+            for row in self._conn.execute(
+                "SELECT run_id FROM run ORDER BY started_at, run_id"
+            )
+        ]
+
+    def runs(self) -> list[dict[str, Any]]:
+        """Run summary rows, oldest first."""
+        return [
+            dict(row)
+            for row in self._conn.execute(
+                "SELECT * FROM run ORDER BY started_at, run_id"
+            )
+        ]
+
+    def run_row(self, run_id: str) -> Optional[dict[str, Any]]:
+        row = self._conn.execute(
+            "SELECT * FROM run WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        return dict(row) if row else None
+
+    def latest_run_id(self) -> Optional[str]:
+        ids = self.run_ids()
+        return ids[-1] if ids else None
+
+    def __len__(self) -> int:
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM run").fetchone()[0]
+        )
+
+    # -- time-series / aggregate queries -----------------------------------
+
+    def _run_filter(
+        self, run_ids: Optional[Iterable[str]]
+    ) -> tuple[str, list[str]]:
+        if run_ids is None:
+            return "", []
+        ids = list(run_ids)
+        marks = ",".join("?" * len(ids)) or "NULL"
+        return f" AND run_id IN ({marks})", ids
+
+    def duration_samples(
+        self, run_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, list[float]]:
+        """Successful attempt durations per transformation."""
+        where, params = self._run_filter(run_ids)
+        out: dict[str, list[float]] = {}
+        for row in self._conn.execute(
+            "SELECT transformation, duration FROM attempt "
+            f"WHERE status = 'success'{where} "
+            "ORDER BY run_id, step, attempt",
+            params,
+        ):
+            out.setdefault(row["transformation"] or "?", []).append(
+                float(row["duration"])
+            )
+        return out
+
+    def transformation_series(
+        self, transformation: str
+    ) -> list[dict[str, Any]]:
+        """Per-run mean duration of one transformation, oldest first."""
+        return [
+            dict(row)
+            for row in self._conn.execute(
+                "SELECT a.run_id AS run_id, r.started_at AS started_at, "
+                "COUNT(*) AS n, AVG(a.duration) AS mean_duration, "
+                "MAX(a.duration) AS max_duration "
+                "FROM attempt a JOIN run r ON r.run_id = a.run_id "
+                "WHERE a.transformation = ? AND a.status = 'success' "
+                "GROUP BY a.run_id ORDER BY r.started_at, a.run_id",
+                (transformation,),
+            )
+        ]
+
+    def site_stats(
+        self, run_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, dict[str, Any]]:
+        """Per-site attempt totals and raw durations over ``run_ids``.
+
+        The durations list carries *successful* attempt durations, in
+        ingest order, so callers can compute percentiles; failures and
+        breaker open time feed the SLO error budget.
+        """
+        where, params = self._run_filter(run_ids)
+        stats: dict[str, dict[str, Any]] = {}
+        for row in self._conn.execute(
+            "SELECT site, status, duration FROM attempt "
+            f"WHERE site IS NOT NULL{where} "
+            "ORDER BY run_id, step, attempt",
+            params,
+        ):
+            entry = stats.setdefault(
+                row["site"],
+                {
+                    "attempts": 0,
+                    "failures": 0,
+                    "durations": [],
+                    "breaker_open_seconds": 0.0,
+                },
+            )
+            entry["attempts"] += 1
+            if row["status"] != "success":
+                entry["failures"] += 1
+            else:
+                entry["durations"].append(float(row["duration"]))
+        for row in self._conn.execute(
+            "SELECT site, SUM(open_seconds) AS open_seconds "
+            f"FROM site_breaker WHERE 1=1{where} GROUP BY site",
+            params,
+        ):
+            entry = stats.setdefault(
+                row["site"],
+                {
+                    "attempts": 0,
+                    "failures": 0,
+                    "durations": [],
+                    "breaker_open_seconds": 0.0,
+                },
+            )
+            entry["breaker_open_seconds"] += float(
+                row["open_seconds"] or 0.0
+            )
+        return stats
+
+    def event_totals(
+        self, run_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, int]:
+        where, params = self._run_filter(run_ids)
+        return {
+            row["kind"]: int(row["total"])
+            for row in self._conn.execute(
+                "SELECT kind, SUM(count) AS total FROM event_count "
+                f"WHERE 1=1{where} GROUP BY kind ORDER BY kind",
+                params,
+            )
+        }
+
+    def training_samples(
+        self,
+        transformation: Optional[str] = None,
+        run_ids: Optional[Iterable[str]] = None,
+    ) -> dict[str, list[dict[str, Any]]]:
+        """Per-transformation invocation samples for estimator training.
+
+        Only successful invocations are returned — the same filter
+        :func:`repro.estimator.cost.fit_model` applies.
+        """
+        where, params = self._run_filter(run_ids)
+        tr_clause = ""
+        if transformation is not None:
+            tr_clause = " AND transformation = ?"
+            params = [*params, transformation]
+        out: dict[str, list[dict[str, Any]]] = {}
+        for row in self._conn.execute(
+            "SELECT transformation, wall_seconds, cpu_seconds, "
+            "bytes_read, bytes_written FROM invocation_sample "
+            f"WHERE status = 'success'{where}{tr_clause} "
+            "ORDER BY run_id, ordinal",
+            params,
+        ):
+            out.setdefault(row["transformation"], []).append(
+                {
+                    "wall_seconds": float(row["wall_seconds"]),
+                    "cpu_seconds": float(row["cpu_seconds"]),
+                    "bytes_read": int(row["bytes_read"]),
+                    "bytes_written": int(row["bytes_written"]),
+                }
+            )
+        return out
+
+    # -- maintenance -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable dump (debugging / tests)."""
+        return {
+            "runs": self.runs(),
+            "events": self.event_totals(),
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)

@@ -239,10 +239,21 @@ class FlightRecorder:
 
 
 class RunRecord:
-    """A parsed flight record, reconstructed for post-hoc queries."""
+    """A parsed flight record, reconstructed for post-hoc queries.
 
-    def __init__(self, path: Path, lines: list[dict[str, Any]]):
+    ``truncated`` is set by :meth:`load` when the file ended in a torn
+    final line (the signature of a crash mid-write): the valid prefix
+    is still a faithful record of everything that completed.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        lines: list[dict[str, Any]],
+        truncated: bool = False,
+    ):
         self.path = path
+        self.truncated = truncated
         self.meta: dict[str, Any] = {}
         self.plan: Optional[dict[str, Any]] = None
         self.spans: list[dict[str, Any]] = []
@@ -277,19 +288,41 @@ class RunRecord:
 
     @classmethod
     def load(cls, path: str | Path) -> "RunRecord":
-        """Load a record from a ``record.jsonl`` path or a run dir."""
+        """Load a record from a ``record.jsonl`` path or a run dir.
+
+        A torn *final* line — the only corruption a crash can produce,
+        because the recorder flushes one complete line at a time — is
+        dropped and the record is flagged ``truncated``.  Unparseable
+        lines anywhere earlier mean the file was damaged some other
+        way, and raise :class:`ValueError` rather than misreading it.
+        """
         path = Path(path)
         if path.is_dir():
             path = path / RECORD_FILENAME
         if not path.is_file():
             raise FileNotFoundError(f"no run record at {path}")
+        raw_lines = [
+            raw.strip()
+            for raw in path.read_text(encoding="utf-8").splitlines()
+            if raw.strip()
+        ]
         lines: list[dict[str, Any]] = []
-        with open(path, encoding="utf-8") as handle:
-            for raw in handle:
-                raw = raw.strip()
-                if raw:
-                    lines.append(json.loads(raw))
-        record = cls(path, lines)
+        truncated = False
+        for i, raw in enumerate(raw_lines):
+            try:
+                lines.append(json.loads(raw))
+            except json.JSONDecodeError:
+                # The recorder flushes whole lines, meta first: a crash
+                # can only tear the *final* line, and a valid prefix
+                # always remains.  Anything else is real corruption.
+                if i == len(raw_lines) - 1 and lines:
+                    truncated = True
+                    break
+                raise ValueError(
+                    f"run record {path} is corrupt at line {i + 1} "
+                    "(not a torn final line)"
+                ) from None
+        record = cls(path, lines, truncated=truncated)
         version = record.schema_version
         if version > RECORD_SCHEMA_VERSION:
             raise ValueError(
@@ -411,6 +444,31 @@ def list_runs(runs_root: str | Path) -> list[RunRecord]:
                 continue
     records.sort(key=lambda r: (r.meta.get("started_at", 0), r.run_id))
     return records
+
+
+def prune_runs(runs_root: str | Path, keep: int) -> list[str]:
+    """Delete the oldest recorded runs, keeping the ``keep`` newest.
+
+    Retention GC for ``<workspace>/runs/``: the per-run directories
+    (record, exported traces) of everything older than the ``keep``
+    most recent runs are removed.  Returns the pruned run ids, oldest
+    first.  Ingest the records into a
+    :class:`~repro.observability.history.HistoryStore` first if the
+    aggregates should outlive the raw files.
+    """
+    import shutil
+
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    runs = list_runs(runs_root)
+    pruned: list[str] = []
+    doomed = runs[: max(0, len(runs) - keep)]
+    for record in doomed:
+        run_dir = record.path.parent
+        if run_dir.is_dir():
+            shutil.rmtree(run_dir)
+        pruned.append(record.run_id)
+    return pruned
 
 
 def find_run(runs_root: str | Path, run_id: str) -> RunRecord:

@@ -92,6 +92,34 @@ class SiteSelector:
         self.network = network
         self.replicas = replicas
         self.procedures = procedures or ProcedureRegistry()
+        #: Soft per-site penalties (phantom queue seconds) fed back
+        #: from observed history — see
+        #: :func:`repro.observability.health.health_penalties`.  Empty
+        #: by default, so placement is unchanged until health data is
+        #: wired in.
+        self.penalties: dict[str, float] = {}
+
+    # -- health feedback -------------------------------------------------------
+
+    def set_penalties(self, penalties: dict[str, float]) -> None:
+        """Replace the soft per-site penalty table (seconds)."""
+        for site, seconds in penalties.items():
+            if seconds < 0:
+                raise PlanningError(
+                    f"site penalty must be >= 0, got {seconds} for {site!r}"
+                )
+        self.penalties = dict(penalties)
+
+    def set_penalty(self, site: str, seconds: float) -> None:
+        if seconds < 0:
+            raise PlanningError(
+                f"site penalty must be >= 0, got {seconds} for {site!r}"
+            )
+        self.penalties[site] = seconds
+
+    def penalty_seconds(self, site: str) -> float:
+        """The health penalty charged against ``site`` (0 by default)."""
+        return self.penalties.get(site, 0.0)
 
     # -- cost pieces -----------------------------------------------------------
 
@@ -165,7 +193,11 @@ class SiteSelector:
             if qualified:
                 site = min(
                     qualified,
-                    key=lambda s: (self.queue_estimate_seconds(s, now), s),
+                    key=lambda s: (
+                        self.queue_estimate_seconds(s, now)
+                        + self.penalty_seconds(s),
+                        s,
+                    ),
                 )
                 return SiteChoice(
                     site=site,
@@ -180,7 +212,10 @@ class SiteSelector:
                 names,
                 key=lambda s: (
                     self.input_bytes_at(step, s),
-                    -self.queue_estimate_seconds(s, now),
+                    -(
+                        self.queue_estimate_seconds(s, now)
+                        + self.penalty_seconds(s)
+                    ),
                     s,
                 ),
             )
@@ -201,7 +236,8 @@ class SiteSelector:
                 pool,
                 key=lambda s: (
                     self.queue_estimate_seconds(s, now)
-                    + self.data_pull_seconds(step, s),
+                    + self.data_pull_seconds(step, s)
+                    + self.penalty_seconds(s),
                     s,
                 ),
             )
@@ -218,6 +254,7 @@ class SiteSelector:
                     self.data_pull_seconds(step, s)
                     + self.procedure_pull_seconds(step, s)
                     + self.queue_estimate_seconds(s, now)
+                    + self.penalty_seconds(s)
                 )
 
             site = min(names, key=lambda s: (total(s), s))

@@ -236,6 +236,50 @@ class VirtualDataSystem:
         """The §5.3 interactive feasibility query."""
         return self.estimate(self.plan(targets)).meets_deadline(deadline_seconds)
 
+    def train_on_history(self, history) -> dict[str, Any]:
+        """Refit cost models from a run-history metastore.
+
+        ``history`` is a
+        :class:`~repro.observability.history.HistoryStore`; every
+        successful invocation it has ingested feeds the per-
+        transformation fits (see
+        :meth:`~repro.estimator.cost.Estimator.train_on_history`).
+        """
+        return self.estimator.train_on_history(history)
+
+    def apply_site_health(
+        self, health, scale: float = 60.0
+    ) -> dict[str, float]:
+        """Feed observed grid health into site selection.
+
+        ``health`` is either a
+        :class:`~repro.observability.health.HealthReport` or an
+        already-computed ``{site: penalty_seconds}`` mapping.  The
+        penalties are installed on this system's
+        :class:`~repro.planner.strategies.SiteSelector` as soft
+        phantom queue time: degraded sites are avoided when
+        alternatives exist but remain usable — the closing of the
+        history → planning feedback loop.  Returns the applied table.
+        """
+        self._require_grid()
+        if isinstance(health, dict):
+            penalties = dict(health)
+        else:
+            from repro.observability.health import health_penalties
+
+            penalties = health_penalties(health, scale=scale)
+        known = {s: p for s, p in penalties.items() if s in self.selector.sites}
+        self.selector.set_penalties(known)
+        if self.obs.enabled:
+            for site, seconds in sorted(known.items()):
+                self.obs.gauge(
+                    "planner.site.penalty",
+                    seconds,
+                    site=site,
+                    help="health-derived soft site penalty (seconds)",
+                )
+        return known
+
     # -- derivation (§5.4) ----------------------------------------------------------------
 
     def materialize(

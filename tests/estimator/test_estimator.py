@@ -189,3 +189,50 @@ class TestWorkflowEstimate:
         assert makespans == sorted(makespans, reverse=True)
         # Saturates at the critical path.
         assert sweep[8].makespan_seconds == pytest.approx(30.0)
+
+
+class TestFitSamples:
+    """The raw-sample fitting core shared with the history metastore."""
+
+    def test_matches_fit_model(self):
+        from repro.estimator.cost import fit_samples
+
+        invs = [
+            invocation("d", 2 + 1e-6 * b, bytes_read=b)
+            for b in (1_000_000, 2_000_000, 4_000_000)
+        ]
+        via_invocations = fit_model("t", invs)
+        via_samples = fit_samples(
+            "t", [(b, 2 + 1e-6 * b, 0) for b in (1e6, 2e6, 4e6)]
+        )
+        assert via_samples.per_byte == pytest.approx(
+            via_invocations.per_byte
+        )
+        assert via_samples.intercept == pytest.approx(
+            via_invocations.intercept
+        )
+
+    def test_empty_is_unfitted(self):
+        from repro.estimator.cost import fit_samples
+
+        assert not fit_samples("t", []).is_fitted
+
+    def test_train_on_history_pools_all_runs(self, tmp_path):
+        from repro.estimator.cost import Estimator
+        from repro.observability.history import HistoryStore
+        from tests.observability.test_history import write_run
+
+        # Two runs of the same chain at different speeds: the model
+        # must be fit over the pooled samples, not the latest run.
+        write_run(tmp_path, "run-a", gen_seconds=4.0)
+        write_run(tmp_path, "run-b", gen_seconds=8.0)
+        store = HistoryStore()
+        store.ingest_dir(tmp_path)
+        estimator = Estimator(catalog=None)
+        trained = estimator.train_on_history(store)
+        assert set(trained) == {"gen", "proc"}
+        gen = trained["gen"]
+        assert gen.samples == 2
+        # Identical bytes_read both runs: constant-input mean.
+        assert gen.predict_cpu_seconds(100) == pytest.approx(6.0)
+        assert estimator.model_for("gen") is gen

@@ -126,6 +126,58 @@ class TestPatterns:
         assert choice.site == "third"
 
 
+class TestHealthPenalties:
+    """Soft health penalties fold into every pattern's scoring."""
+
+    def test_default_is_penalty_free(self, world):
+        _, _, _, selector, step = world
+        assert selector.penalties == {}
+        assert selector.penalty_seconds("data-site") == 0.0
+
+    def test_ship_data_steers_between_procedure_homes(self, world):
+        _, _, procedures, selector, step = world
+        # Two homes with equal pull cost: alphabetical tie-break
+        # picks cpu-site until a penalty makes third cheaper.
+        procedures.install("crunch", "cpu-site")
+        procedures.install("crunch", "third")
+        assert selector.choose(step, "ship-data").site == "cpu-site"
+        selector.set_penalties({"cpu-site": 10_000.0})
+        assert selector.choose(step, "ship-data").site == "third"
+
+    def test_ship_both_charges_the_penalty(self, world):
+        _, _, procedures, selector, step = world
+        procedures.install("crunch", "data-site")
+        procedures.set_size("crunch", 1_000)
+        baseline = selector.choose(step, "ship-both")
+        selector.set_penalties({baseline.site: 10_000.0})
+        assert selector.choose(step, "ship-both").site != baseline.site
+
+    def test_ship_procedure_tiebreak(self, world):
+        _, _, _, selector, step = world
+        # Only data-site holds the input, so even a penalized
+        # data-site still wins ship-procedure (sole candidate with
+        # the data): the penalty softens, it never excludes.
+        selector.set_penalties({"data-site": 10_000.0})
+        assert selector.choose(step, "ship-procedure").site == "data-site"
+
+    def test_set_penalty_incremental(self, world):
+        _, _, _, selector, step = world
+        selector.set_penalty("third", 30.0)
+        selector.set_penalty("cpu-site", 60.0)
+        assert selector.penalty_seconds("third") == 30.0
+        assert selector.penalty_seconds("cpu-site") == 60.0
+        # set_penalties replaces the whole table.
+        selector.set_penalties({"third": 1.0})
+        assert selector.penalty_seconds("cpu-site") == 0.0
+
+    def test_negative_penalties_rejected(self, world):
+        _, _, _, selector, step = world
+        with pytest.raises(PlanningError):
+            selector.set_penalty("third", -1.0)
+        with pytest.raises(PlanningError):
+            selector.set_penalties({"third": -0.5})
+
+
 class TestProcedureRegistry:
     def test_install_and_query(self):
         reg = ProcedureRegistry()

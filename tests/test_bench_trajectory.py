@@ -1,0 +1,105 @@
+"""Unit tests for the bench-trajectory guard's compare logic."""
+
+from __future__ import annotations
+
+from benchmarks.check_bench_trajectory import (
+    check_obs_overhead,
+    check_parallel_speedup,
+)
+
+
+def obs(live_pct, smoke=False):
+    return {"live_overhead_pct": live_pct, "smoke": smoke}
+
+
+def speedup(plans):
+    return {
+        "plans": {
+            name: {"speedup_vs_1": {str(w): s for w, s in widths.items()}}
+            for name, widths in plans.items()
+        }
+    }
+
+
+class TestObsOverhead:
+    def test_on_track(self):
+        assert check_obs_overhead(obs(5.0), obs(8.0)) == []
+
+    def test_within_tolerance(self):
+        assert check_obs_overhead(obs(5.0), obs(29.9)) == []
+
+    def test_drift_past_tolerance_flagged(self):
+        problems = check_obs_overhead(obs(5.0), obs(31.0))
+        assert len(problems) == 1
+        assert "exceeds committed" in problems[0]
+
+    def test_custom_tolerance(self):
+        assert check_obs_overhead(obs(5.0), obs(9.0), tolerance_pts=2.0)
+        assert not check_obs_overhead(
+            obs(5.0), obs(9.0), tolerance_pts=5.0
+        )
+
+    def test_committed_smoke_run_flagged(self):
+        problems = check_obs_overhead(obs(5.0, smoke=True), obs(5.0))
+        assert any("smoke" in p for p in problems)
+
+    def test_missing_fields(self):
+        assert check_obs_overhead({}, obs(5.0))
+        assert check_obs_overhead(obs(5.0), {})
+
+
+class TestParallelSpeedup:
+    def test_on_track(self):
+        base = speedup({"hep": {1: 1.0, 4: 3.4}})
+        fresh = speedup({"hep": {1: 1.0, 4: 1.8}})
+        assert check_parallel_speedup(base, fresh) == []
+
+    def test_collapse_flagged(self):
+        base = speedup({"hep": {1: 1.0, 4: 3.4}})
+        fresh = speedup({"hep": {1: 1.0, 4: 1.0}})
+        problems = check_parallel_speedup(base, fresh)
+        assert len(problems) == 1
+        assert "collapsed" in problems[0]
+
+    def test_compares_widest_shared_width(self):
+        # Fresh run only measured up to 2 workers: compare at 2.
+        base = speedup({"hep": {1: 1.0, 2: 1.9, 4: 3.4}})
+        fresh = speedup({"hep": {1: 1.0, 2: 1.7}})
+        assert check_parallel_speedup(base, fresh) == []
+        fresh_bad = speedup({"hep": {1: 1.0, 2: 0.5}})
+        assert check_parallel_speedup(base, fresh_bad)
+
+    def test_missing_plan_flagged(self):
+        base = speedup({"hep": {4: 3.4}, "sdss": {4: 2.6}})
+        fresh = speedup({"hep": {4: 3.0}})
+        problems = check_parallel_speedup(base, fresh)
+        assert any("sdss" in p for p in problems)
+
+    def test_empty_committed_flagged(self):
+        assert check_parallel_speedup({}, speedup({"hep": {4: 3.0}}))
+
+    def test_custom_floor(self):
+        base = speedup({"hep": {4: 3.0}})
+        fresh = speedup({"hep": {4: 1.4}})
+        assert check_parallel_speedup(base, fresh) == []  # 0.35 floor
+        assert check_parallel_speedup(base, fresh, floor_factor=0.5)
+
+
+class TestCommittedBaselines:
+    """The committed files themselves must satisfy the guard's shape."""
+
+    def test_committed_files_parse_and_self_compare(self):
+        import json
+        from benchmarks.check_bench_trajectory import OBS_PATH, SPEEDUP_PATH
+
+        committed_obs = json.loads(OBS_PATH.read_text())
+        committed_speedup = json.loads(SPEEDUP_PATH.read_text())
+        assert check_obs_overhead(committed_obs, committed_obs) == []
+        assert (
+            check_parallel_speedup(committed_speedup, committed_speedup)
+            == []
+        )
+        assert not committed_obs["smoke"]
+        assert committed_obs["live_overhead_pct"] <= committed_obs[
+            "budget_pct"
+        ]

@@ -315,3 +315,172 @@ class TestRunRecords:
         assert code == 0
         ticker = capsys.readouterr().err
         assert "done" in ticker and "elapsed" in ticker
+
+
+class TestRunHistory:
+    """The cross-run surface: runs / diff / regress / health / metrics."""
+
+    @pytest.fixture
+    def seeded(self, run, tmp_path):
+        """A workspace with deterministic synthesized run records."""
+        from tests.observability.test_history import write_run
+
+        assert run("init")[0] == 0
+        runs_dir = tmp_path / "ws" / "runs"
+        for i in range(3):
+            write_run(runs_dir, f"run-{i}")
+        return run, runs_dir
+
+    def test_runs_lists_oldest_first(self, seeded):
+        run, _ = seeded
+        code, output = run("runs")
+        assert code == 0
+        assert "3 recorded run(s), oldest first:" in output
+        lines = output.splitlines()
+        assert lines[1].strip().startswith("run-0")
+        assert "status=ok" in output
+        assert "makespan=10.000s" in output
+
+    def test_runs_empty_workspace(self, run):
+        run("init")
+        code, output = run("runs")
+        assert code == 0
+        assert "no recorded runs" in output
+
+    def test_prune_keeps_newest(self, seeded):
+        run, runs_dir = seeded
+        code, output = run("runs", "prune", "--keep", "1")
+        assert code == 0
+        assert "pruned run-0" in output and "pruned run-1" in output
+        assert sorted(p.name for p in runs_dir.iterdir()) == ["run-2"]
+        # The aggregates survived into the history store.
+        code, output = run("regress", "--run", "latest")
+        assert code == 0  # run-2 vs the retained run-0/run-1 baseline
+
+    def test_prune_nothing_to_do(self, seeded):
+        run, _ = seeded
+        code, output = run("runs", "prune", "--keep", "5")
+        assert code == 0
+        assert "nothing to prune" in output
+
+    def test_prune_negative_keep_rejected(self, seeded):
+        run, _ = seeded
+        code, output = run("runs", "prune", "--keep", "-1")
+        assert code == 1
+        assert "error:" in output
+
+    def test_diff_clean_pair(self, seeded):
+        run, _ = seeded
+        code, output = run("diff", "run-0", "run-1")
+        assert code == 0
+        assert "no significant regressions" in output
+
+    def test_diff_flags_slowdown(self, run, tmp_path):
+        from tests.observability.test_history import write_run
+
+        run("init")
+        runs_dir = tmp_path / "ws" / "runs"
+        write_run(runs_dir, "run-base")
+        write_run(runs_dir, "run-slow", proc_seconds=10.0)
+        code, output = run("diff", "run-base", "run-slow")
+        assert code == 0  # diff reports; regress gates
+        assert "REGRESSED: proc" in output
+        import json
+
+        code, output = run("diff", "run-base", "run-slow", "--json")
+        assert json.loads(output)["regressions"] == ["proc"]
+
+    def test_regress_gates_with_exit_2(self, seeded):
+        run, runs_dir = seeded
+        from tests.observability.test_history import write_run
+
+        write_run(runs_dir, "run-slow", proc_seconds=10.0)
+        code, output = run("regress", "--run", "run-slow")
+        assert code == 2
+        assert "REGRESSED: proc" in output
+
+    def test_regress_clean_exits_0(self, seeded):
+        run, _ = seeded
+        code, output = run("regress")  # latest vs the others
+        assert code == 0
+
+    def test_regress_without_baseline_errors(self, run, tmp_path):
+        from tests.observability.test_history import write_run
+
+        run("init")
+        write_run(tmp_path / "ws" / "runs", "run-only")
+        code, output = run("regress")
+        assert code == 1
+        assert "no baseline" in output
+
+    def test_health_reports_degraded_site(self, run, tmp_path):
+        from tests.observability.test_health import faulty_run
+
+        run("init")
+        faulty_run(tmp_path / "ws" / "runs", "run-f")
+        code, output = run("health")
+        assert code == 0  # reporting never gates without --check
+        assert "bad" in output
+        code, output = run("health", "--check")
+        assert code == 2
+        import json
+
+        code, output = run("health", "--json")
+        data = json.loads(output)
+        bad = next(s for s in data["sites"] if s["site"] == "bad")
+        assert bad["status"] in ("degraded", "critical")
+
+    def test_health_without_runs_errors(self, run):
+        run("init")
+        code, output = run("health")
+        assert code == 1
+        assert "no recorded runs" in output
+
+    def test_metrics_openmetrics_validates(self, defined):
+        from repro.observability import validate_openmetrics
+
+        defined("materialize", "copy.txt")
+        code, output = defined("metrics", "--openmetrics")
+        assert code == 0
+        text = output + "\n"
+        assert validate_openmetrics(text) == []
+        assert "executor_invocations_total" in output
+        # Health gauges ride along once history exists.
+        assert "site_health_status" in output
+
+    def test_metrics_human_rendering(self, defined):
+        defined("materialize", "copy.txt")
+        code, output = defined("metrics")
+        assert code == 0
+        assert "executor.invocations" in output
+        assert "site.health.status" in output
+
+
+class TestExitCodes:
+    """Satellite: one consistent operational-error contract."""
+
+    def test_unknown_run_everywhere_is_exit_1(self, defined):
+        defined("materialize", "copy.txt")
+        for argv in (
+            ["stats", "--run", "run-nope"],
+            ["trace", "--run", "run-nope"],
+            ["report", "run-nope"],
+            ["diff", "run-nope", "latest"],
+            ["regress", "--run", "run-nope"],
+            ["metrics", "--run", "run-nope"],
+        ):
+            code, output = defined(*argv)
+            assert code == 1, argv
+            assert "error:" in output, argv
+            assert "run-nope" in output, argv
+            assert "Traceback" not in output, argv
+
+    def test_errors_go_to_stderr_by_default(self, tmp_path, capsys):
+        code = main(
+            ["--workspace", str(tmp_path / "ws"), "list", "datasets"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert "no workspace" in captured.err
+        assert captured.out == ""
