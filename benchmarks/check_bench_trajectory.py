@@ -1,10 +1,11 @@
 """Bench-trajectory guard: fresh numbers vs the committed baselines.
 
-The repo commits two benchmark result files at the root —
-``BENCH_OBS_OVERHEAD.json`` and ``BENCH_PARALLEL_SPEEDUP.json`` — as
-the performance trajectory of record.  This guard re-runs both
-benchmarks in smoke mode and fails when the *fresh* measurement has
-drifted past the committed trajectory:
+The repo commits three benchmark result files at the root —
+``BENCH_OBS_OVERHEAD.json``, ``BENCH_PARALLEL_SPEEDUP.json`` and
+``BENCH_ANALYSIS_SCALE.json`` — as the performance trajectory of
+record.  This guard re-runs the benchmarks in smoke mode and fails
+when the *fresh* measurement has drifted past the committed
+trajectory:
 
 * **observability overhead** — the fresh live-instrumentation overhead
   may exceed the committed figure by at most a tolerance
@@ -15,7 +16,12 @@ drifted past the committed trajectory:
   widest measured worker count must stay above the committed speedup
   times a floor factor (``BENCH_TRAJECTORY_SPEEDUP_FLOOR``, default
   0.35: CI runners have fewer cores than the quiet machine behind the
-  committed numbers, so only a collapse to near-serial fails).
+  committed numbers, so only a collapse to near-serial fails);
+* **analysis scale** — the committed incremental-vs-cold analysis
+  speedup at 10^5 nodes must hold the PR-7 acceptance floor
+  (``BENCH_ANALYSIS_MIN_SPEEDUP``, default 50), and the fresh smoke
+  speedup must stay above the committed figure times
+  ``BENCH_TRAJECTORY_ANALYSIS_FLOOR`` (default 0.2).
 
 Running the benchmarks overwrites the committed files, so the guard
 snapshots them first and restores them afterwards — the working tree
@@ -39,9 +45,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OBS_PATH = REPO_ROOT / "BENCH_OBS_OVERHEAD.json"
 SPEEDUP_PATH = REPO_ROOT / "BENCH_PARALLEL_SPEEDUP.json"
+ANALYSIS_PATH = REPO_ROOT / "BENCH_ANALYSIS_SCALE.json"
 
 DEFAULT_TOLERANCE_PTS = 25.0
 DEFAULT_SPEEDUP_FLOOR = 0.35
+DEFAULT_ANALYSIS_FLOOR = 0.2
+DEFAULT_ANALYSIS_MIN_SPEEDUP = 50.0
 
 
 def check_obs_overhead(
@@ -104,6 +113,38 @@ def check_parallel_speedup(
     return problems
 
 
+def check_analysis_scale(
+    committed: dict,
+    fresh: dict,
+    floor_factor: float = DEFAULT_ANALYSIS_FLOOR,
+    min_speedup: float = DEFAULT_ANALYSIS_MIN_SPEEDUP,
+) -> list[str]:
+    """Problems with the fresh analysis numbers, empty when on track."""
+    problems: list[str] = []
+    base = committed.get("speedup")
+    got = fresh.get("speedup")
+    if base is None or got is None:
+        return ["analysis result missing speedup"]
+    if committed.get("smoke"):
+        problems.append(
+            "committed BENCH_ANALYSIS_SCALE.json came from a smoke run; "
+            "re-run the full benchmark and commit the result"
+        )
+    if float(base) < min_speedup:
+        problems.append(
+            f"committed incremental-analysis speedup {float(base):.1f}x "
+            f"is below the {min_speedup:g}x acceptance floor"
+        )
+    floor = float(base) * floor_factor
+    if float(got) < floor:
+        problems.append(
+            f"incremental-analysis speedup collapsed: {float(got):.1f}x "
+            f"< floor {floor:.1f}x "
+            f"(committed {float(base):.1f}x * {floor_factor:g})"
+        )
+    return problems
+
+
 def _load(path: Path) -> dict:
     return json.loads(path.read_text(encoding="utf-8"))
 
@@ -133,8 +174,18 @@ def main(argv: list[str] | None = None) -> int:
             "BENCH_TRAJECTORY_SPEEDUP_FLOOR", DEFAULT_SPEEDUP_FLOOR
         )
     )
+    analysis_floor = float(
+        os.environ.get(
+            "BENCH_TRAJECTORY_ANALYSIS_FLOOR", DEFAULT_ANALYSIS_FLOOR
+        )
+    )
+    analysis_min = float(
+        os.environ.get(
+            "BENCH_ANALYSIS_MIN_SPEEDUP", DEFAULT_ANALYSIS_MIN_SPEEDUP
+        )
+    )
     committed = {}
-    for path in (OBS_PATH, SPEEDUP_PATH):
+    for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH):
         if not path.exists():
             print(f"missing committed baseline {path.name}", file=sys.stderr)
             return 1
@@ -160,16 +211,28 @@ def main(argv: list[str] | None = None) -> int:
                 _load(SPEEDUP_PATH),
                 floor_factor=floor,
             )
+        if not _run_benchmark("benchmarks/test_bench_analysis_scale.py"):
+            problems.append("analysis scale benchmark failed")
+        else:
+            problems += check_analysis_scale(
+                json.loads(committed[ANALYSIS_PATH.name]),
+                _load(ANALYSIS_PATH),
+                floor_factor=analysis_floor,
+                min_speedup=analysis_min,
+            )
     finally:
         # The smoke runs overwrote the committed files: put them back.
-        for path in (OBS_PATH, SPEEDUP_PATH):
+        for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH):
             path.write_text(committed[path.name], encoding="utf-8")
 
     if problems:
         for problem in problems:
             print(f"TRAJECTORY REGRESSION: {problem}", file=sys.stderr)
         return 1
-    print("bench trajectory held (overhead and speedup within bounds)")
+    print(
+        "bench trajectory held "
+        "(overhead, speedup and analysis scale within bounds)"
+    )
     return 0
 
 

@@ -23,7 +23,7 @@ materialization request is planned.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.transformation import (
     CompoundTransformation,
@@ -45,6 +45,10 @@ from repro.vdl.ast import (
     TransformationDeclNode,
 )
 from repro.vdl.semantics import resolve_type_triple
+
+if TYPE_CHECKING:
+    from repro.catalog.base import VirtualDataCatalog
+    from repro.core.dataset import Dataset
 
 
 @dataclass
@@ -172,8 +176,8 @@ class AnalysisContext:
         file: str = "<string>",
         types: Optional[TypeRegistry] = None,
         versions: Optional[VersionRegistry] = None,
-        catalog=None,
-    ):
+        catalog: Optional["VirtualDataCatalog"] = None,
+    ) -> None:
         self.program = program
         self.file = file
         self.catalog = catalog
@@ -199,6 +203,51 @@ class AnalysisContext:
             self.trs.setdefault(info.name, []).append(info)
         for decl in program.derivations():
             self.dvs.append(self._dv_info(decl))
+        self._index_bindings()
+
+    @classmethod
+    def from_entities(
+        cls,
+        *,
+        file: str,
+        catalog: Optional["VirtualDataCatalog"],
+        trs: dict[str, list[TRInfo]],
+        dvs: list[DVInfo],
+        types: Optional[TypeRegistry] = None,
+        versions: Optional[VersionRegistry] = None,
+    ) -> "AnalysisContext":
+        """Build a context from pre-normalized catalog entities.
+
+        The incremental analyzer (:mod:`repro.analysis.incremental`)
+        keeps :class:`TRInfo`/:class:`DVInfo` views live against the
+        catalog's mutation stream and assembles contexts through here,
+        skipping the export-VDL/reparse round trip entirely.  Such
+        contexts carry no source lines (everything is line 0).
+        """
+        ctx = cls.__new__(cls)
+        ctx.program = ProgramNode()
+        ctx.file = file
+        ctx.catalog = catalog
+        ctx.types = types or (
+            catalog.types if catalog is not None else default_registry()
+        )
+        ctx.versions = versions or (
+            catalog.versions if catalog is not None else VersionRegistry()
+        )
+        ctx.trs = trs
+        ctx.dvs = list(dvs)
+        ctx.type_issues = []
+        ctx.writers = {}
+        ctx.readers = {}
+        ctx._tr_cache = {}
+        ctx._lfn_types = None
+        ctx._index_bindings()
+        return ctx
+
+    def _index_bindings(self) -> None:
+        """(Re)build the LFN writer/reader maps from ``self.dvs``."""
+        self.writers = {}
+        self.readers = {}
         for dv in self.dvs:
             for actual in dv.writes():
                 self.writers.setdefault(actual.lfn, []).append((dv, actual))
@@ -361,7 +410,7 @@ class AnalysisContext:
 
     # -- dataset views ----------------------------------------------------
 
-    def dataset_record(self, lfn: str):
+    def dataset_record(self, lfn: str) -> Optional["Dataset"]:
         """The catalog's dataset record for an LFN, or None."""
         if self.catalog is not None and self.catalog.has_dataset(lfn):
             return self.catalog.get_dataset(lfn)

@@ -20,8 +20,9 @@ subsystem.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.analysis.context import AnalysisContext
 from repro.analysis.diagnostics import (
@@ -32,6 +33,7 @@ from repro.analysis.diagnostics import (
     max_severity,
 )
 from repro.analysis.registry import RuleRegistry, default_rules
+from repro.analysis.suppressions import apply_suppressions
 from repro.core.types import TypeRegistry
 from repro.core.versioning import VersionRegistry
 from repro.errors import SchemaError, VDLSemanticError, VDLSyntaxError
@@ -39,6 +41,9 @@ from repro.observability.instrument import NULL, Instrumentation
 from repro.vdl.ast import ProgramNode
 from repro.vdl.parser import parse
 from repro.vdl.semantics import Analyzer
+
+if TYPE_CHECKING:
+    from repro.catalog.base import VirtualDataCatalog
 
 
 @dataclass
@@ -82,7 +87,7 @@ class Linter:
         types: Optional[TypeRegistry] = None,
         versions: Optional[VersionRegistry] = None,
         obs: Instrumentation = NULL,
-    ):
+    ) -> None:
         self.registry = registry or default_rules()
         self.types = types
         self.versions = versions
@@ -94,7 +99,7 @@ class Linter:
         self,
         source: str,
         file: str = "<string>",
-        catalog=None,
+        catalog: Optional[VirtualDataCatalog] = None,
     ) -> LintResult:
         """Lint VDL text; never raises on malformed input."""
         with self.obs.span("analysis.lint", file=file) as span:
@@ -104,37 +109,62 @@ class Linter:
                 span.set("diagnostics", len(result.diagnostics))
                 span.set("errors", counts["error"])
                 self.obs.count("analysis.runs", help="lint invocations")
-                for diag in result.diagnostics:
-                    self.obs.count(
-                        "analysis.diagnostics",
-                        help="lint findings by code",
-                        code=diag.code,
-                        severity=str(diag.severity),
-                    )
+                self._count_diagnostics(result)
             return result
 
-    def lint_file(self, path) -> LintResult:
+    def lint_file(self, path: Union[str, os.PathLike[str]]) -> LintResult:
         """Lint one ``.vdl`` file from disk."""
-        import os
-
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
         return self.lint_source(source, file=os.fspath(path))
 
-    def lint_catalog(self, catalog, file: str = "<workspace>") -> LintResult:
+    def lint_catalog(
+        self,
+        catalog: VirtualDataCatalog,
+        file: str = "<workspace>",
+        incremental: bool = False,
+    ) -> LintResult:
         """Lint everything a catalog holds.
 
-        The catalog's own VDL export round-trips its definitions, so the
-        spans point into that canonical listing; dataset records, the
-        type registry and the version registry come from the catalog
-        itself (replica knowledge suppresses ``VDG403`` for datasets
-        that exist physically).
+        By default the catalog's own VDL export round-trips its
+        definitions, so the spans point into that canonical listing;
+        dataset records, the type registry and the version registry
+        come from the catalog itself (replica knowledge suppresses
+        ``VDG403`` for datasets that exist physically).
+
+        With ``incremental=True`` the rules instead run over the live
+        :class:`~repro.analysis.context.AnalysisContext` maintained by
+        the catalog's incremental analyzer — no export, no reparse, no
+        semantic re-lowering.  Spans are line 0 (there is no source
+        text); parse/semantic diagnostics cannot occur because the
+        entities were validated on their way into the catalog.
         """
-        return self.lint_source(catalog.export_vdl(), file=file, catalog=catalog)
+        if not incremental:
+            return self.lint_source(
+                catalog.export_vdl(), file=file, catalog=catalog
+            )
+        with self.obs.span(
+            "analysis.lint", file=file, incremental=True
+        ) as span:
+            context = catalog.live_analyzer(file=file).lint_context()
+            result = LintResult(file=file)
+            self._run_rules(context, result)
+            self._finish(result, source=None)
+            if self.obs.enabled:
+                span.set("diagnostics", len(result.diagnostics))
+                span.set("errors", result.counts()["error"])
+                self.obs.count("analysis.runs", help="lint invocations")
+                self._count_diagnostics(result)
+            return result
 
     # -- pipeline ----------------------------------------------------------
 
-    def _lint(self, source: str, file: str, catalog) -> LintResult:
+    def _lint(
+        self,
+        source: str,
+        file: str,
+        catalog: Optional[VirtualDataCatalog],
+    ) -> LintResult:
         result = LintResult(file=file)
         try:
             program = parse(source)
@@ -157,21 +187,40 @@ class Linter:
             catalog=catalog,
         )
         result.diagnostics.extend(self._semantic_pass(program, context))
+        self._run_rules(context, result)
+        self._finish(result, source=source)
+        return result
+
+    def _run_rules(self, context: AnalysisContext, result: LintResult) -> None:
         for rule in self.registry.enabled():
             with self.obs.span("analysis.rule", rule=rule.name):
                 result.diagnostics.extend(rule.check(context))
+
+    def _finish(self, result: LintResult, source: Optional[str]) -> None:
+        """Registry- and ``noqa``-filter, then impose canonical order."""
         suppressed = self.registry.suppressed_codes()
         if suppressed:
             result.diagnostics = [
                 d for d in result.diagnostics if d.code not in suppressed
             ]
+        result.diagnostics = apply_suppressions(result.diagnostics, source)
         result.diagnostics.sort(key=Diagnostic.sort_key)
-        return result
 
-    def _semantic_pass(self, program: ProgramNode, context) -> list[Diagnostic]:
+    def _count_diagnostics(self, result: LintResult) -> None:
+        for diag in result.diagnostics:
+            self.obs.count(
+                "analysis.diagnostics",
+                help="lint findings by code",
+                code=diag.code,
+                severity=str(diag.severity),
+            )
+
+    def _semantic_pass(
+        self, program: ProgramNode, context: AnalysisContext
+    ) -> list[Diagnostic]:
         """Lower each declaration alone; collect (not raise) VDG010s."""
         analyzer = Analyzer(context.types)
-        out = []
+        out: list[Diagnostic] = []
         for decl in program.declarations:
             try:
                 analyzer.analyze(ProgramNode(declarations=(decl,)))

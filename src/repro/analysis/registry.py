@@ -10,7 +10,7 @@ supports suppression by rule name *or* diagnostic code, so CI can say
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.analysis.diagnostics import Diagnostic
@@ -33,7 +33,7 @@ class Rule:
 class RuleRegistry:
     """Ordered, suppressible collection of lint rules."""
 
-    def __init__(self, rules: Optional[Iterable[Rule]] = None):
+    def __init__(self, rules: Optional[Iterable[Rule]] = None) -> None:
         self._rules: list[Rule] = []
         self._disabled: set[str] = set()
         for r in rules or ():
@@ -78,7 +78,9 @@ class RuleRegistry:
 _DEFAULT: list[Rule] = []
 
 
-def rule(name: str, codes: tuple[str, ...], description: str):
+def rule(
+    name: str, codes: tuple[str, ...], description: str
+) -> Callable[[Callable[..., Iterable[Diagnostic]]], Rule]:
     """Decorator registering a check function as a default rule."""
 
     def wrap(fn: Callable[..., Iterable[Diagnostic]]) -> Rule:

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.analysis.context import AnalysisContext, DVInfo, split_target
+from repro.analysis.context import (
+    ActualInfo,
+    AnalysisContext,
+    DVInfo,
+    FormalInfo,
+    TRInfo,
+    split_target,
+)
 from repro.analysis.diagnostics import Diagnostic, Severity, Span
 from repro.analysis.registry import rule
 from repro.core.versioning import Version
@@ -138,7 +145,11 @@ def check_signatures(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                 continue
             bound.add(actual.name)
             if formal.is_string != (not actual.is_dataset):
-                expected = "a string literal" if formal.is_string else "an @{...} dataset"
+                expected = (
+                    "a string literal"
+                    if formal.is_string
+                    else "an @{...} dataset"
+                )
                 got = "a dataset reference" if actual.is_dataset else "a string"
                 yield Diagnostic(
                     code="VDG104",
@@ -185,7 +196,13 @@ def check_signatures(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                 )
 
 
-def _check_types(ctx, dv, tr, actual, formal) -> Iterator[Diagnostic]:
+def _check_types(
+    ctx: AnalysisContext,
+    dv: DVInfo,
+    tr: TRInfo,
+    actual: ActualInfo,
+    formal: FormalInfo,
+) -> Iterator[Diagnostic]:
     """VDG105: the LFN's inferred types must conform to the formal union."""
     if formal.types is None:
         return

@@ -1,0 +1,83 @@
+"""Inline lint suppressions in VDL source.
+
+A VDL comment of the form ``# vdg: noqa`` silences every diagnostic on
+its line; ``# vdg: noqa[VDG203]`` (or a comma-separated list,
+``# vdg: noqa[VDG105, VDG203]``) silences only the named codes.  The
+marker is case-insensitive and may follow arbitrary comment text:
+
+.. code-block:: text
+
+    DV crowded->gather( out=@{output:"shared.dat"} );  # vdg: noqa[VDG203]
+
+Suppressions are *positional*: they apply to diagnostics whose span
+lands on the same line, so they only work when linting actual source
+text (``repro lint file.vdl``).  Catalog-level analyses
+(``repro analyze``) report at line 0 and are never suppressed this way.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: ``# vdg: noqa`` or ``# vdg: noqa[CODE, CODE...]``, case-insensitive.
+_NOQA = re.compile(
+    r"#.*?\bvdg\s*:\s*noqa(?:\s*\[\s*(?P<codes>[A-Za-z0-9_,\s]*?)\s*\])?",
+    re.IGNORECASE,
+)
+
+#: A blanket suppression (``noqa`` with no code list).
+ALL = frozenset({"*"})
+
+
+def parse_suppressions(source: str) -> Dict[int, frozenset]:
+    """Map 1-based line numbers to suppressed code sets.
+
+    A value of :data:`ALL` means every code on that line is silenced;
+    otherwise the set holds the specific (upper-cased) codes named.
+    """
+    table: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            table[lineno] = ALL
+            continue
+        codes: Set[str] = {
+            token.strip().upper()
+            for token in raw.split(",")
+            if token.strip()
+        }
+        # ``noqa[]`` names no codes: treat as a blanket suppression,
+        # matching the common intent of an empty bracket list.
+        table[lineno] = frozenset(codes) if codes else ALL
+    return table
+
+
+def is_suppressed(
+    diagnostic: Diagnostic, table: Dict[int, frozenset]
+) -> bool:
+    codes = table.get(diagnostic.span.line)
+    if codes is None:
+        return False
+    return codes is ALL or "*" in codes or diagnostic.code in codes
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic],
+    source: Optional[str],
+) -> List[Diagnostic]:
+    """Filter out diagnostics silenced by inline ``noqa`` markers."""
+    diags = list(diagnostics)
+    if source is None or "noqa" not in source:
+        return diags
+    table = parse_suppressions(source)
+    if not table:
+        return diags
+    return [d for d in diags if not is_suppressed(d, table)]

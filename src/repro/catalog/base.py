@@ -113,6 +113,7 @@ class VirtualDataCatalog:
         self._cache = PayloadCache()
         self.subscribe(self._invalidate_cached_payload)
         self._indexes = CatalogIndexes(self)
+        self._analyzer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # storage primitives (implemented by backends)
@@ -144,6 +145,20 @@ class VirtualDataCatalog:
         """
         for key, payload in items:
             self._store_put(kind, key, payload)
+
+    def _store_scan(self, kind: str) -> Iterator[tuple[str, dict]]:
+        """Yield every ``(key, payload)`` of a kind for bulk readers.
+
+        Like :meth:`_cached_payload`, the yielded documents may be
+        backend-owned: callers must treat them as read-only and not
+        retain them.  Backends with cheap raw access override this to
+        skip the per-object isolation copy — at 10^5 objects that copy
+        dominates any whole-catalog scan (index or analysis rebuilds).
+        """
+        for key in self._store_keys(kind):
+            payload = self._store_get(kind, key)
+            if payload is not None:
+                yield key, payload
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -258,6 +273,26 @@ class VirtualDataCatalog:
         """Rebuild fast paths by scanning storage (on open)."""
         self._cache.clear()
         self._indexes.rebuild()
+        if self._analyzer is not None:
+            self._analyzer.rebuild()
+
+    @_synchronized
+    def live_analyzer(self, file: str = "<catalog>") -> Any:
+        """The incrementally-maintained analyzer over this catalog.
+
+        Created lazily on first use; thereafter it tracks every
+        mutation through the event stream, so repeated analysis and
+        lint queries pay only for what changed.
+        """
+        if self._analyzer is None:
+            # Local import: repro.analysis imports catalog payload
+            # helpers, so a module-level import would be circular.
+            from repro.analysis.incremental import IncrementalAnalyzer
+
+            self._analyzer = IncrementalAnalyzer(
+                self, file=file, obs=self._obs
+            )
+        return self._analyzer
 
     # ------------------------------------------------------------------
     # bulk (deferred-commit) mutation batches

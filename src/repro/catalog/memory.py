@@ -7,7 +7,7 @@ simulation workloads: nothing persists beyond the process.
 from __future__ import annotations
 
 import copy
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.catalog.base import KINDS, VirtualDataCatalog
 
@@ -36,6 +36,11 @@ class MemoryCatalog(VirtualDataCatalog):
 
     def _store_keys(self, kind: str) -> list[str]:
         return list(self._data[kind])
+
+    def _store_scan(self, kind: str) -> Iterator[tuple[str, dict]]:
+        # Yields the stored documents themselves (no isolation copy);
+        # the base-class contract makes the caller promise read-only.
+        yield from self._data[kind].items()
 
     def _store_has(self, kind: str, key: str) -> bool:
         return key in self._data[kind]

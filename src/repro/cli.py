@@ -187,7 +187,9 @@ def _cmd_lint(ws: Workspace, args, out) -> int:
     if args.files:
         results = [linter.lint_file(path) for path in args.files]
     else:
-        results = [linter.lint_catalog(ws.catalog())]
+        results = [
+            linter.lint_catalog(ws.catalog(), incremental=args.incremental)
+        ]
     if ws.exists:
         ws.save_snapshot(obs)
     render = render_json if args.format == "json" else render_text
@@ -199,6 +201,41 @@ def _cmd_lint(ws: Workspace, args, out) -> int:
     if 2 in codes:
         return 2
     return 0
+
+
+def _cmd_analyze(ws: Workspace, args, out) -> int:
+    """Whole-graph dataflow analysis over the workspace catalog."""
+    from repro.analysis.linter import LintResult
+    from repro.analysis.reporters import exit_code, render_json, render_text
+
+    obs = Instrumentation()
+    catalog = ws.catalog()
+    analyzer = catalog.live_analyzer()
+    analyzer.obs = obs  # surface solver spans in `repro trace`/`stats`
+    try:
+        diagnostics = analyzer.diagnostics(passes=args.passes)
+    except KeyError as exc:
+        out(f"analyze: {exc.args[0]}")
+        return 1
+    result = LintResult(file=analyzer.file, diagnostics=diagnostics)
+    if ws.exists:
+        ws.save_snapshot(obs)
+    render = render_json if args.format == "json" else render_text
+    out(render(result))
+    if args.stats:
+        stats = analyzer.stats()
+        out(
+            f"graph: {stats['nodes']} nodes "
+            f"({stats['derivations']} derivations), "
+            f"{stats['events']} events observed, "
+            f"{stats['solves']} solves"
+        )
+        for name, info in sorted(stats["passes"].items()):
+            out(
+                f"  {name}: mode={info['mode']} seeds={info['seeds']} "
+                f"visited={info['visited']} changed={info['changed']}"
+            )
+    return exit_code(result)
 
 
 def _cmd_list(ws: Workspace, args, out) -> int:
@@ -233,7 +270,9 @@ def _cmd_plan(ws: Workspace, args, out) -> int:
     if args.strict:
         from repro.analysis import Linter
 
-        result = Linter().lint_catalog(catalog)
+        # The incremental path reuses (or seeds) the catalog's live
+        # analysis context instead of re-exporting and re-parsing.
+        result = Linter().lint_catalog(catalog, incremental=True)
         if result.errors:
             for diag in result.errors:
                 out(diag.render())
@@ -820,7 +859,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULE",
         help="suppress a rule name (output-race) or code (VDG201); repeatable",
     )
+    lint.add_argument(
+        "--incremental",
+        action="store_true",
+        help="catalog mode only: run the rules over the live analysis "
+        "context instead of re-exporting and re-parsing the VDL",
+    )
     lint.set_defaults(fn=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-graph dataflow analysis: staleness, dead data, "
+        "type flow, output conflicts",
+    )
+    analyze.add_argument(
+        "--stale",
+        action="append_const",
+        const="staleness",
+        dest="passes",
+        help="only staleness propagation (VDG601/VDG602)",
+    )
+    analyze.add_argument(
+        "--dead",
+        action="append_const",
+        const="dead-data",
+        dest="passes",
+        help="only dead-data detection (VDG611/VDG612)",
+    )
+    analyze.add_argument(
+        "--types",
+        action="append_const",
+        const="type-flow",
+        dest="passes",
+        help="only interprocedural type flow (VDG621)",
+    )
+    analyze.add_argument(
+        "--conflicts",
+        action="append_const",
+        const="output-conflict",
+        dest="passes",
+        help="only interprocedural output conflicts (VDG631)",
+    )
+    analyze.add_argument(
+        "--format", default="text", choices=("text", "json")
+    )
+    analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print solver statistics (nodes, visits, mode)",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
 
     lister = sub.add_parser("list", help="list catalog objects")
     lister.add_argument(

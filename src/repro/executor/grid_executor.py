@@ -17,6 +17,7 @@ from typing import Optional, Union
 
 from repro.catalog.base import VirtualDataCatalog
 from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
+from repro.core.recipe import stamp_recipe
 from repro.core.replica import Replica
 from repro.errors import WorkflowError
 from repro.estimator.cost import Estimator
@@ -232,6 +233,7 @@ class GridExecutor:
                 bytes_written=sum(record.spec.outputs.values()),
             ),
         )
+        stamp_recipe(invocation, step.derivation, step.transformation)
         for output, size in record.spec.outputs.items():
             replica = Replica(
                 dataset_name=output,

@@ -30,6 +30,7 @@ from repro.core.dataset import Dataset
 from repro.core.derivation import Derivation
 from repro.core.descriptors import FileDescriptor
 from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
+from repro.core.recipe import stamp_recipe
 from repro.core.replica import Replica
 from repro.core.transformation import SimpleTransformation
 from repro.errors import ExecutionError, MaterializationError
@@ -235,6 +236,7 @@ class LocalExecutor:
             exit_code=exit_code,
             error=error,
         )
+        stamp_recipe(invocation, dv, tr)
         if error is None:
             self._record_outputs(dv, invocation, output_paths)
         self.catalog.add_invocation(invocation)

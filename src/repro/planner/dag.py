@@ -20,7 +20,7 @@ dispatch (:mod:`repro.planner.scheduler`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from repro.catalog.base import VirtualDataCatalog
 from repro.catalog.resolver import ReferenceResolver
@@ -39,6 +39,92 @@ from repro.errors import (
 from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.request import MaterializationRequest
 from repro.provenance.graph import DerivationGraph
+
+# ---------------------------------------------------------------------------
+# Shared topology helpers
+#
+# Both the planner and the incremental dataflow engine
+# (:mod:`repro.analysis.dataflow`) need iterative, recursion-free graph
+# walks that behave at 10^5-10^6 nodes.  They live here so there is one
+# audited implementation of each.
+# ---------------------------------------------------------------------------
+
+
+def reachable(
+    neighbors: Union[dict[str, set[str]], Callable[[str], Iterable[str]]],
+    seeds: Iterable[str],
+) -> set[str]:
+    """The closure of ``seeds`` under ``neighbors`` (seeds included).
+
+    ``neighbors`` is either an adjacency mapping (missing keys mean no
+    edges) or a callable returning each node's successors.  Iterative
+    BFS: safe on arbitrarily deep graphs and on cycles.
+    """
+    if callable(neighbors):
+        expand = neighbors
+    else:
+        mapping = neighbors
+
+        def expand(node: str) -> Iterable[str]:
+            return mapping.get(node, ())
+
+    seen: set[str] = set()
+    frontier: list[str] = []
+    for seed in seeds:
+        if seed not in seen:
+            seen.add(seed)
+            frontier.append(seed)
+    while frontier:
+        node = frontier.pop()
+        for nxt in expand(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def longest_chain(
+    nodes: Iterable[str], deps: dict[str, Iterable[str]]
+) -> int:
+    """Length of the longest dependency chain over ``nodes``.
+
+    ``deps`` maps a node to its predecessors; edges leaving ``nodes``
+    are ignored.  Iterative (no recursion limit on deep graphs) and
+    cycle-safe: raises :class:`~repro.errors.CycleError` instead of
+    looping forever on a cyclic dependency map.
+    """
+    members = set(nodes)
+    memo: dict[str, int] = {}
+    on_stack: set[str] = set()
+    for root in members:
+        if root in memo:
+            continue
+        stack: list[str] = [root]
+        while stack:
+            name = stack[-1]
+            if name in memo:
+                stack.pop()
+                on_stack.discard(name)
+                continue
+            pending = [
+                d
+                for d in deps.get(name, ())
+                if d not in memo and d in members
+            ]
+            cyclic = [d for d in pending if d in on_stack]
+            if cyclic:
+                raise CycleError(
+                    f"dependency cycle through node {cyclic[0]!r}"
+                )
+            if pending:
+                on_stack.add(name)
+                stack.extend(pending)
+                continue
+            memo[name] = 1 + max(
+                (memo[d] for d in deps.get(name, ()) if d in memo),
+                default=0,
+            )
+    return max(memo.values(), default=0)
 
 
 @dataclass
@@ -160,43 +246,11 @@ class Plan:
         raises :class:`~repro.errors.CycleError` instead of recursing
         forever when handed a cyclic dependency map.
         """
-        memo: dict[str, int] = {}
-        on_stack: set[str] = set()
-        for root in self.steps:
-            if root in memo:
-                continue
-            stack: list[str] = [root]
-            while stack:
-                name = stack[-1]
-                if name in memo:
-                    stack.pop()
-                    on_stack.discard(name)
-                    continue
-                pending = [
-                    d
-                    for d in self.dependencies.get(name, ())
-                    if d not in memo and d in self.steps
-                ]
-                cyclic = [d for d in pending if d in on_stack]
-                if cyclic:
-                    raise CycleError(
-                        f"plan dependency cycle through step {cyclic[0]!r}"
-                    )
-                if pending:
-                    on_stack.add(name)
-                    stack.extend(pending)
-                    continue
-                memo[name] = 1 + max(
-                    (
-                        memo[d]
-                        for d in self.dependencies.get(name, ())
-                        if d in memo
-                    ),
-                    default=0,
-                )
-                stack.pop()
-                on_stack.discard(name)
-        return max(memo.values(), default=0)
+        try:
+            return longest_chain(self.steps, self.dependencies)
+        except CycleError as exc:
+            message = str(exc).replace("cycle through node", "cycle through step")
+            raise CycleError(f"plan {message}") from None
 
     def producers(self) -> dict[str, str]:
         """Dataset name -> producing step name."""
@@ -533,18 +587,23 @@ class Planner:
         if not plan.reused:
             return
         needed_datasets: set[str] = set(request.targets) - plan.reused
-        needed_steps: set[str] = set()
         producer_of = plan.producers()
-        frontier = list(needed_datasets)
-        while frontier:
-            dataset = frontier.pop()
+
+        def upstream_steps(dataset: str) -> list[str]:
             step_name = producer_of.get(dataset)
-            if step_name is None or step_name in needed_steps:
-                continue
-            needed_steps.add(step_name)
-            for inp in plan.steps[step_name].inputs:
-                if inp not in plan.reused:
-                    frontier.append(inp)
+            if step_name is None:
+                return []
+            return [
+                inp
+                for inp in plan.steps[step_name].inputs
+                if inp not in plan.reused
+            ]
+
+        needed_steps = {
+            producer_of[ds]
+            for ds in reachable(upstream_steps, needed_datasets)
+            if ds in producer_of
+        }
         for name in list(plan.steps):
             if name not in needed_steps:
                 del plan.steps[name]

@@ -165,18 +165,37 @@ class VirtualDataSystem:
             self.catalog.define(vdl_source, replace=replace)
         return self
 
-    def lint(self, source: Optional[str] = None):
+    def lint(self, source: Optional[str] = None, incremental: bool = False):
         """Statically analyze VDL ``source``, or the whole catalog.
 
         Returns a :class:`repro.analysis.LintResult`; see
-        ``docs/LINTING.md`` for the diagnostic codes.
+        ``docs/LINTING.md`` for the diagnostic codes.  With
+        ``incremental=True`` (catalog mode only) the rules run over the
+        live analysis context maintained by the catalog's incremental
+        analyzer instead of re-exporting and re-parsing the VDL.
         """
         from repro.analysis import Linter
 
         linter = Linter(obs=self.obs)
         if source is None:
-            return linter.lint_catalog(self.catalog)
+            return linter.lint_catalog(self.catalog, incremental=incremental)
         return linter.lint_source(source, catalog=self.catalog)
+
+    def analyze(self, passes: Optional[tuple[str, ...]] = None):
+        """Whole-graph dataflow analysis of the catalog.
+
+        Runs the incremental analyzer's passes (staleness, dead-data,
+        type-flow, output-conflict — or the subset named in
+        ``passes``) and returns a :class:`repro.analysis.LintResult`.
+        Repeated calls after catalog mutations re-solve only the dirty
+        region of the derivation graph.
+        """
+        from repro.analysis.linter import LintResult
+
+        analyzer = self.catalog.live_analyzer()
+        result = LintResult(file=analyzer.file)
+        result.diagnostics = analyzer.diagnostics(passes=passes)
+        return result
 
     def seed_dataset(self, name: str, site: str, size: int) -> None:
         """Place a raw source dataset on the grid (and in the catalog)."""

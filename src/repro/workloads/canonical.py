@@ -21,6 +21,9 @@ import random
 from dataclasses import dataclass
 
 from repro.catalog.base import VirtualDataCatalog
+from repro.core.dataset import Dataset
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.naming import VDPRef
 from repro.executor.local import LocalExecutor, RunContext
 
 #: The largest canonical arity we declare transformations for.
@@ -65,6 +68,12 @@ def define_transformations(catalog: VirtualDataCatalog) -> None:
     )
 
 
+#: Node count above which :func:`generate_graph` defaults to the
+#: direct-object emission path (the VDL round trip costs seconds at
+#: 10^4 nodes and minutes at 10^5).
+FAST_PATH_THRESHOLD = 5000
+
+
 def generate_graph(
     catalog: VirtualDataCatalog,
     nodes: int = 100,
@@ -72,12 +81,18 @@ def generate_graph(
     max_fanin: int = 3,
     seed: int = 0,
     prefix: str = "cg",
+    fast: bool | None = None,
 ) -> CanonicalGraph:
     """Declare a layered random DAG of ``nodes`` derivations.
 
     Layer 0 derivations are sources (``canon0``); later layers consume
     1..``max_fanin`` datasets drawn uniformly from earlier layers.
-    Deterministic per ``seed``.
+    Deterministic per ``seed`` — the same seed yields the same graph on
+    both emission paths: ``fast=False`` routes every declaration
+    through the VDL front end (parse, lower, validate), ``fast=True``
+    registers equivalent :class:`~repro.core.derivation.Derivation`
+    objects directly under a bulk batch.  ``fast=None`` picks the
+    object path above :data:`FAST_PATH_THRESHOLD` nodes.
     """
     if max_fanin > MAX_FANIN:
         raise ValueError(f"max_fanin must be <= {MAX_FANIN}")
@@ -85,8 +100,11 @@ def generate_graph(
     rng = random.Random(seed)
     per_layer = max(1, nodes // layers)
     datasets_by_layer: list[list[str]] = []
-    chunks: list[str] = []
-    derivations: list[str] = []
+    #: Flattened datasets of all *completed* layers (avoids an O(n^2)
+    #: re-flatten per node; sampling sees the identical list).
+    earlier: list[str] = []
+    #: (name, output, inputs, node_index) per derivation.
+    specs: list[tuple[str, str, list[str], int]] = []
     node_index = 0
     for layer in range(layers):
         count = per_layer if layer < layers - 1 else nodes - node_index
@@ -97,31 +115,24 @@ def generate_graph(
             name = f"{prefix}.n{node_index:06d}"
             output = f"{name}.out"
             if layer == 0:
-                chunks.append(
-                    f'DV {name}->canon0( o=@{{output:"{output}"}}, '
-                    f'tag="{node_index}" );\n'
-                )
+                inputs: list[str] = []
             else:
-                earlier = [
-                    ds for lds in datasets_by_layer for ds in lds
-                ]
                 fanin = rng.randint(1, min(max_fanin, len(earlier)))
                 inputs = rng.sample(earlier, fanin)
-                bindings = ", ".join(
-                    f'i{k}=@{{input:"{ds}"}}' for k, ds in enumerate(inputs)
-                )
-                chunks.append(
-                    f'DV {name}->canon{fanin}( o=@{{output:"{output}"}}, '
-                    f'{bindings}, tag="{node_index}" );\n'
-                )
-            derivations.append(name)
+            specs.append((name, output, inputs, node_index))
             layer_datasets.append(output)
             node_index += 1
         datasets_by_layer.append(layer_datasets)
-    catalog.define("".join(chunks))
+        earlier.extend(layer_datasets)
+    if fast is None:
+        fast = node_index >= FAST_PATH_THRESHOLD
+    if fast:
+        _emit_objects(catalog, specs)
+    else:
+        _emit_vdl(catalog, specs)
     consumed: set[str] = set()
-    for dv_name in derivations:
-        consumed.update(catalog.get_derivation(dv_name).inputs())
+    for _name, _output, inputs, _idx in specs:
+        consumed.update(inputs)
     all_datasets = [ds for lds in datasets_by_layer for ds in lds]
     return CanonicalGraph(
         nodes=node_index,
@@ -129,8 +140,56 @@ def generate_graph(
         source_datasets=list(datasets_by_layer[0]),
         sink_datasets=[ds for ds in all_datasets if ds not in consumed],
         all_datasets=all_datasets,
-        derivations=derivations,
+        derivations=[name for name, _output, _inputs, _idx in specs],
     )
+
+
+def _emit_vdl(
+    catalog: VirtualDataCatalog,
+    specs: list[tuple[str, str, list[str], int]],
+) -> None:
+    chunks = []
+    for name, output, inputs, idx in specs:
+        bindings = "".join(
+            f'i{k}=@{{input:"{ds}"}}, ' for k, ds in enumerate(inputs)
+        )
+        chunks.append(
+            f'DV {name}->canon{len(inputs)}( o=@{{output:"{output}"}}, '
+            f'{bindings}tag="{idx}" );\n'
+        )
+    catalog.define("".join(chunks))
+
+
+def _emit_objects(
+    catalog: VirtualDataCatalog,
+    specs: list[tuple[str, str, list[str], int]],
+) -> None:
+    """Register the graph as objects, bypassing the VDL front end.
+
+    Emits the same derivations and produced-dataset records the VDL
+    path yields; validation and auto-declaration are skipped because
+    the generator guarantees well-formedness by construction (inputs
+    are always earlier outputs, signatures match the canon TRs).
+    """
+    with catalog.bulk():
+        for name, output, inputs, idx in specs:
+            actuals: dict[str, str | DatasetArg] = {
+                "o": DatasetArg(dataset=output, direction="output")
+            }
+            for k, ds in enumerate(inputs):
+                actuals[f"i{k}"] = DatasetArg(dataset=ds, direction="input")
+            actuals["tag"] = str(idx)
+            dv = Derivation(
+                name=name,
+                transformation=VDPRef.parse(
+                    f"canon{len(inputs)}", default_kind="transformation"
+                ),
+                actuals=actuals,
+            )
+            catalog.add_derivation(
+                dv, validate=False, auto_declare=False
+            )
+            catalog.add_dataset(Dataset(name=output, producer=name))
 
 
 def _canon_body(ctx: RunContext) -> None:

@@ -1,0 +1,224 @@
+"""Unit tests for the generic worklist/fixpoint dataflow engine."""
+
+from repro.analysis.dataflow import (
+    DataflowPass,
+    Digraph,
+    ds_node,
+    dv_node,
+    node_kind,
+    node_name,
+    solve,
+)
+
+
+def chain(*nodes):
+    """a -> b -> c ... as a Digraph."""
+    g = Digraph()
+    for src, dst in zip(nodes, nodes[1:]):
+        g.add_edge(src, dst)
+    for node in nodes:
+        g.add_node(node)
+    return g
+
+
+class ReachPass(DataflowPass):
+    """Fact: node is reachable from a model-designated source set."""
+
+    name = "reach"
+    direction = "forward"
+
+    def transfer(self, node, graph, facts, model):
+        if node in model["sources"]:
+            return True
+        return any(facts.get(p) or False for p in graph.pred.get(node, ()))
+
+    def subsumes(self, new, old):
+        return bool(new) or not bool(old)
+
+
+class TestNodeIds:
+    def test_prefixes_round_trip(self):
+        assert node_name(ds_node("raw1")) == "raw1"
+        assert node_name(dv_node("g1")) == "g1"
+        assert node_kind(ds_node("raw1")) == "dataset"
+        assert node_kind(dv_node("g1")) == "derivation"
+
+
+class TestDigraph:
+    def test_add_edge_creates_nodes(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+        assert g.succ["a"] == {"b"}
+        assert g.pred["b"] == {"a"}
+
+    def test_remove_node_detaches_neighbours(self):
+        g = chain("a", "b", "c")
+        g.remove_node("b")
+        assert "b" not in g
+        assert g.succ["a"] == set()
+        assert g.pred["c"] == set()
+
+    def test_remove_missing_node_is_noop(self):
+        g = Digraph()
+        g.remove_node("ghost")
+        assert len(g) == 0
+
+    def test_neighbors_both_directions(self):
+        g = chain("a", "b", "c")
+        assert g.neighbors("b") == {"a", "c"}
+
+
+class TestFullSolve:
+    def test_fixpoint_on_chain(self):
+        g = chain("a", "b", "c")
+        facts = {}
+        result = solve(ReachPass(), g, facts, {"sources": {"a"}})
+        assert result.stats.mode == "full"
+        assert facts == {"a": True, "b": True, "c": True}
+
+    def test_unreachable_stays_bottom(self):
+        g = chain("a", "b")
+        g.add_node("island")
+        facts = {}
+        solve(ReachPass(), g, facts, {"sources": {"a"}})
+        assert facts["island"] is False
+
+    def test_cycle_terminates(self):
+        g = chain("a", "b", "c")
+        g.add_edge("c", "a")
+        facts = {}
+        solve(ReachPass(), g, facts, {"sources": {"a"}})
+        assert all(facts[n] for n in ("a", "b", "c"))
+
+    def test_full_solve_clears_stale_facts(self):
+        g = chain("a", "b")
+        facts = {"ghost": True}
+        solve(ReachPass(), g, facts, {"sources": {"a"}})
+        assert "ghost" not in facts
+
+
+class TestIncrementalSolve:
+    def test_increase_propagates_downstream(self):
+        g = chain("a", "b", "c", "d")
+        model = {"sources": set()}
+        facts = {}
+        solve(ReachPass(), g, facts, model)
+        model["sources"] = {"a"}
+        result = solve(ReachPass(), g, facts, model, seeds={"a"})
+        assert result.stats.mode == "incremental"
+        assert facts == {"a": True, "b": True, "c": True, "d": True}
+        assert result.changed == {"a", "b", "c", "d"}
+
+    def test_untouched_region_not_visited(self):
+        g = chain("a", "b")
+        g.add_edge("x", "y")
+        model = {"sources": {"a", "x"}}
+        facts = {}
+        solve(ReachPass(), g, facts, model)
+        result = solve(ReachPass(), g, facts, model, seeds={"a"})
+        # The x->y component is quiescent: nothing there is revisited.
+        assert result.stats.visited <= 2
+
+    def test_decrease_resets_forward_cone(self):
+        g = chain("a", "b", "c")
+        model = {"sources": {"a"}}
+        facts = {}
+        solve(ReachPass(), g, facts, model)
+        model["sources"] = set()
+        result = solve(ReachPass(), g, facts, model, seeds={"a"})
+        assert facts == {"a": False, "b": False, "c": False}
+        assert result.stats.reset_cone > 0
+
+    def test_decrease_on_cycle_kills_self_support(self):
+        # b and c sustain each other's reachability on a cycle; after
+        # the source unplugs, a naive re-propagation would keep both
+        # True forever.  The cone reset must drain them.
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "b")
+        model = {"sources": {"a"}}
+        facts = {}
+        solve(ReachPass(), g, facts, model)
+        assert facts["b"] and facts["c"]
+        model["sources"] = set()
+        solve(ReachPass(), g, facts, model, seeds={"a"})
+        assert facts == {"a": False, "b": False, "c": False}
+
+    def test_seeds_outside_graph_ignored(self):
+        g = chain("a", "b")
+        facts = {}
+        model = {"sources": {"a"}}
+        solve(ReachPass(), g, facts, model)
+        result = solve(ReachPass(), g, facts, model, seeds={"gone"})
+        assert result.stats.seeds == 0
+        assert result.changed == set()
+
+    def test_report_covers_influence_radius(self):
+        g = chain("a", "b", "c", "d")
+        model = {"sources": set()}
+        facts = {}
+        solve(ReachPass(), g, facts, model)
+        model["sources"] = {"a"}
+        pass_ = ReachPass()
+        result = solve(pass_, g, facts, model, seeds={"a"})
+        # Default report_hops=1: one hop past the last change.
+        assert result.report >= result.changed
+
+    def test_report_hops_extends_frontier(self):
+        class TwoHopReach(ReachPass):
+            report_hops = 2
+
+        g = chain("a", "b", "c", "d")
+        model = {"sources": set()}
+        facts = {}
+        # b..d already settled; only a's fact will change.
+        solve(TwoHopReach(), g, facts, model)
+
+        class Frozen(TwoHopReach):
+            def transfer(self, node, graph, facts, model):
+                if node == "a":
+                    return True
+                return facts.get(node) or False
+
+        result = solve(Frozen(), g, facts, model, seeds={"a"})
+        assert result.changed == {"a"}
+        # Two influence hops forward of the change: b and c.
+        assert {"b", "c"} <= result.report
+        assert "d" not in result.report
+
+    def test_on_fact_change_extras_reach_report(self):
+        class Hooked(ReachPass):
+            def on_fact_change(self, node, old, new, model):
+                return {"far-away"}
+
+        g = chain("a", "b")
+        g.add_node("far-away")
+        model = {"sources": set()}
+        facts = {}
+        solve(Hooked(), g, facts, model)
+        model["sources"] = {"a"}
+        result = solve(Hooked(), g, facts, model, seeds={"a"})
+        assert "far-away" in result.report
+
+
+class TestLocalDirection:
+    def test_no_propagation_and_no_cone_reset(self):
+        class Label(DataflowPass):
+            name = "label"
+            direction = "local"
+
+            def transfer(self, node, graph, facts, model):
+                return model["labels"].get(node, "")
+
+        g = chain("a", "b")
+        model = {"labels": {"a": "x", "b": "y"}}
+        facts = {}
+        solve(Label(), g, facts, model)
+        model["labels"] = {"a": "", "b": "y"}
+        result = solve(Label(), g, facts, model, seeds={"a"})
+        # Shrink on a local pass must not trigger a cone walk.
+        assert result.stats.reset_cone == 0
+        assert facts["a"] == ""
+        assert facts["b"] == "y"

@@ -1,0 +1,197 @@
+"""Property: incremental re-analysis ≡ cold full analysis.
+
+Any sequence of catalog mutations, interleaved with queries that force
+incremental solves, must leave the live analyzer with *byte-identical*
+diagnostics to a fresh analyzer cold-solving the same catalog.  This is
+the correctness contract of the whole incremental machinery: the least
+fixpoint is order-independent, so no mutation schedule may change it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.incremental import IncrementalAnalyzer
+from repro.catalog.memory import MemoryCatalog
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.invocation import Invocation
+from repro.core.naming import VDPRef
+from repro.core.recipe import stamp_recipe
+from repro.core.replica import Replica
+
+#: Small closed universes keep collisions (the interesting case) likely.
+DATASETS = [f"d{i}" for i in range(6)]
+DERIVATIONS = [f"v{i}" for i in range(5)]
+
+BASE_VDL = """
+TR step( output o, input i ) {
+  argument stdin = ${input:i};
+  argument stdout = ${output:o};
+  exec = "/bin/step";
+}
+TR twostep( output o, input i ) {
+  step( o=${output:o}, i=${input:i} );
+  step( o="scratch.tmp", i=${input:i} );
+}
+"""
+
+define_op = st.tuples(
+    st.just("define"),
+    st.sampled_from(DERIVATIONS),
+    st.sampled_from(DATASETS),  # output
+    st.sampled_from(DATASETS),  # input
+    st.sampled_from(["step", "twostep"]),
+)
+remove_op = st.tuples(st.just("remove"), st.sampled_from(DERIVATIONS))
+replicate_op = st.tuples(st.just("replicate"), st.sampled_from(DATASETS))
+drop_replica_op = st.tuples(st.just("drop-replica"), st.sampled_from(DATASETS))
+run_op = st.tuples(st.just("run"), st.sampled_from(DERIVATIONS))
+bump_op = st.tuples(st.just("bump"), st.sampled_from(["step", "twostep"]))
+query_op = st.tuples(st.just("query"))
+
+operations = st.lists(
+    st.one_of(
+        define_op,
+        remove_op,
+        replicate_op,
+        drop_replica_op,
+        run_op,
+        bump_op,
+        query_op,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class Driver:
+    """Applies one mutation op to a catalog, tolerating no-ops."""
+
+    def __init__(self, catalog: MemoryCatalog) -> None:
+        self.catalog = catalog
+        self.counter = 0
+        self.replicas: dict[str, list[str]] = {}
+
+    def apply(self, op: tuple) -> None:
+        self.counter += 1
+        kind = op[0]
+        if kind == "define":
+            _, name, out, inp, target = op
+            if out == inp:
+                return  # would be a self-loop; the generator skips it
+            dv = Derivation(
+                name=name,
+                transformation=VDPRef.parse(
+                    target, default_kind="transformation"
+                ),
+                actuals={
+                    "o": DatasetArg(dataset=out, direction="output"),
+                    "i": DatasetArg(dataset=inp, direction="input"),
+                },
+            )
+            self.catalog.add_derivation(dv, replace=True, validate=False)
+        elif kind == "remove":
+            _, name = op
+            if self.catalog.has_derivation(name):
+                self.catalog.remove_derivation(name)
+        elif kind == "replicate":
+            _, lfn = op
+            replica = Replica(
+                dataset_name=lfn,
+                location="site-a",
+                replica_id=f"r{self.counter}",
+            )
+            self.catalog.add_replica(replica)
+            self.replicas.setdefault(lfn, []).append(replica.replica_id)
+        elif kind == "drop-replica":
+            _, lfn = op
+            ids = self.replicas.get(lfn)
+            if ids:
+                self.catalog.remove_replica(ids.pop())
+        elif kind == "run":
+            _, name = op
+            if not self.catalog.has_derivation(name):
+                return
+            dv = self.catalog.get_derivation(name)
+            tr = self.catalog.get_transformation(
+                dv.transformation.name.split("@")[0]
+            )
+            invocation = Invocation(
+                derivation_name=name,
+                invocation_id=f"inv-{self.counter:04d}",
+                start_time=float(self.counter),
+            )
+            stamp_recipe(invocation, dv, tr)
+            self.catalog.add_invocation(invocation)
+        elif kind == "bump":
+            _, tr_name = op
+            body = (
+                "  argument stdin = ${input:i};\n"
+                "  argument stdout = ${output:o};\n"
+                f'  exec = "/bin/{tr_name}-{self.counter}";\n'
+                if tr_name == "step"
+                else "  step( o=${output:o}, i=${input:i} );\n"
+            )
+            self.catalog.define(
+                f"TR {tr_name}@1.{self.counter}( output o, input i ) {{\n"
+                f"{body}}}\n"
+            )
+
+
+def rendered(diagnostics) -> str:
+    return json.dumps([d.as_dict() for d in diagnostics], sort_keys=True)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_incremental_equals_cold_full_analysis(ops):
+    catalog = MemoryCatalog()
+    catalog.define(BASE_VDL)
+    live = IncrementalAnalyzer(catalog)
+    try:
+        driver = Driver(catalog)
+        for op in ops:
+            if op[0] == "query":
+                live.diagnostics()  # force an incremental solve mid-run
+            else:
+                driver.apply(op)
+        incremental = rendered(live.diagnostics())
+        cold = IncrementalAnalyzer(catalog)
+        try:
+            full = rendered(cold.diagnostics())
+        finally:
+            cold.close()
+        assert incremental == full
+    finally:
+        live.close()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_incremental_lint_context_tracks_mutations(ops):
+    """The live lint context lists exactly the catalog's derivations."""
+    catalog = MemoryCatalog()
+    catalog.define(BASE_VDL)
+    live = IncrementalAnalyzer(catalog)
+    try:
+        driver = Driver(catalog)
+        for op in ops:
+            if op[0] != "query":
+                driver.apply(op)
+        context = live.lint_context()
+        assert sorted(d.name for d in context.dvs) == sorted(
+            catalog.derivation_names()
+        )
+    finally:
+        live.close()

@@ -1,0 +1,93 @@
+"""Inline ``# vdg: noqa[...]`` suppressions (docs/LINTING.md)."""
+
+from repro.analysis.diagnostics import Diagnostic, Severity, Span
+from repro.analysis.linter import Linter
+from repro.analysis.suppressions import (
+    ALL,
+    apply_suppressions,
+    is_suppressed,
+    parse_suppressions,
+)
+
+WARN_VDL = """TR emit( output o, none tag="x" ) {
+  argument stdout = ${output:o};
+  exec = "/bin/echo";
+}
+DV e1->emit( o=@{output:"seed.txt"} );
+"""
+
+
+def diag(code, line):
+    return Diagnostic(
+        code=code,
+        severity=Severity.WARNING,
+        message="m",
+        span=Span(file="f.vdl", line=line),
+    )
+
+
+class TestParsing:
+    def test_bare_noqa_suppresses_everything(self):
+        table = parse_suppressions("x\nstuff  # vdg: noqa\n")
+        assert table == {2: ALL}
+
+    def test_coded_noqa_lists_codes(self):
+        table = parse_suppressions("a  # vdg: noqa[VDG201, VDG401]\n")
+        assert table == {1: frozenset({"VDG201", "VDG401"})}
+
+    def test_empty_bracket_means_all(self):
+        assert parse_suppressions("a  # vdg: noqa[]\n") == {1: ALL}
+
+    def test_case_and_spacing_insensitive(self):
+        table = parse_suppressions("a  #  VDG : NOQA [ vdg201 ]\n")
+        assert table == {1: frozenset({"VDG201"})}
+
+    def test_plain_comment_is_not_a_suppression(self):
+        assert parse_suppressions("a  # just words\n") == {}
+
+    def test_no_comment_lines(self):
+        assert parse_suppressions("TR t( output o ) { }\n") == {}
+
+
+class TestMatching:
+    def test_matches_line_and_code(self):
+        table = {3: frozenset({"VDG401"})}
+        assert is_suppressed(diag("VDG401", 3), table)
+        assert not is_suppressed(diag("VDG401", 4), table)
+        assert not is_suppressed(diag("VDG999", 3), table)
+
+    def test_all_matches_any_code(self):
+        table = {3: ALL}
+        assert is_suppressed(diag("VDG401", 3), table)
+
+    def test_apply_without_source_is_identity(self):
+        diags = [diag("VDG401", 1)]
+        assert apply_suppressions(diags, None) == diags
+
+    def test_apply_filters_only_matching(self):
+        source = "a\nb  # vdg: noqa[VDG401]\n"
+        diags = [diag("VDG401", 2), diag("VDG402", 2), diag("VDG401", 1)]
+        kept = apply_suppressions(diags, source)
+        assert [(d.code, d.span.line) for d in kept] == [
+            ("VDG402", 2),
+            ("VDG401", 1),
+        ]
+
+
+class TestLinterIntegration:
+    def test_noqa_silences_a_warning_in_source(self):
+        noisy = Linter().lint_source(WARN_VDL, file="p.vdl")
+        assert any(d.code == "VDG401" for d in noisy.diagnostics)
+        line = next(
+            d.span.line for d in noisy.diagnostics if d.code == "VDG401"
+        )
+        lines = WARN_VDL.splitlines()
+        lines[line - 1] += "  # vdg: noqa[VDG401]"
+        quiet = Linter().lint_source("\n".join(lines) + "\n", file="p.vdl")
+        assert not any(d.code == "VDG401" for d in quiet.diagnostics)
+
+    def test_noqa_is_line_scoped(self):
+        # A suppression on an unrelated line must not hide the finding.
+        source = "# vdg: noqa[VDG401]\n" + WARN_VDL
+        result = Linter().lint_source(source, file="p.vdl")
+        assert any(d.code == "VDG401" for d in result.diagnostics)

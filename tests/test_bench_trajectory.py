@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from benchmarks.check_bench_trajectory import (
+    check_analysis_scale,
     check_obs_overhead,
     check_parallel_speedup,
 )
@@ -85,6 +86,44 @@ class TestParallelSpeedup:
         assert check_parallel_speedup(base, fresh, floor_factor=0.5)
 
 
+class TestAnalysisScale:
+    def test_on_track(self):
+        base = {"speedup": 75.0, "smoke": False}
+        assert check_analysis_scale(base, {"speedup": 40.0}) == []
+
+    def test_collapse_flagged(self):
+        base = {"speedup": 75.0, "smoke": False}
+        problems = check_analysis_scale(base, {"speedup": 5.0})
+        assert len(problems) == 1
+        assert "collapsed" in problems[0]
+
+    def test_committed_below_acceptance_floor_flagged(self):
+        base = {"speedup": 30.0, "smoke": False}
+        problems = check_analysis_scale(base, {"speedup": 30.0})
+        assert any("acceptance floor" in p for p in problems)
+
+    def test_committed_smoke_run_flagged(self):
+        base = {"speedup": 75.0, "smoke": True}
+        problems = check_analysis_scale(base, {"speedup": 75.0})
+        assert any("smoke" in p for p in problems)
+
+    def test_missing_fields(self):
+        assert check_analysis_scale({}, {"speedup": 75.0})
+        assert check_analysis_scale({"speedup": 75.0}, {})
+
+    def test_custom_knobs(self):
+        base = {"speedup": 20.0, "smoke": False}
+        assert (
+            check_analysis_scale(
+                base, {"speedup": 12.0}, floor_factor=0.5, min_speedup=15.0
+            )
+            == []
+        )
+        assert check_analysis_scale(
+            base, {"speedup": 9.0}, floor_factor=0.5, min_speedup=15.0
+        )
+
+
 class TestCommittedBaselines:
     """The committed files themselves must satisfy the guard's shape."""
 
@@ -103,3 +142,13 @@ class TestCommittedBaselines:
         assert committed_obs["live_overhead_pct"] <= committed_obs[
             "budget_pct"
         ]
+
+    def test_committed_analysis_baseline_self_compares(self):
+        import json
+        from benchmarks.check_bench_trajectory import ANALYSIS_PATH
+
+        committed = json.loads(ANALYSIS_PATH.read_text())
+        assert check_analysis_scale(committed, committed) == []
+        assert not committed["smoke"]
+        assert committed["nodes"] >= 100_000
+        assert committed["speedup"] >= 50.0

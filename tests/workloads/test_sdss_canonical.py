@@ -117,6 +117,32 @@ class TestCanonicalGraphs:
         digest = executor.path_for(sink).read_text().strip()
         assert len(digest) == 64  # sha256 hex
 
+    def test_fast_and_vdl_paths_emit_identical_catalogs(self):
+        """The object-emission fast path must be indistinguishable from
+        the VDL round trip: same derivation payloads, same datasets,
+        same graph summary."""
+        slow_cat, fast_cat = MemoryCatalog(), MemoryCatalog()
+        slow = canonical.generate_graph(
+            slow_cat, nodes=60, layers=5, seed=11, fast=False
+        )
+        fast = canonical.generate_graph(
+            fast_cat, nodes=60, layers=5, seed=11, fast=True
+        )
+        assert slow == fast  # the CanonicalGraph summaries agree
+        for name in slow.derivations:
+            assert (
+                slow_cat.get_derivation(name).to_dict()
+                == fast_cat.get_derivation(name).to_dict()
+            )
+        for lfn in slow.all_datasets:
+            assert (
+                slow_cat.get_dataset(lfn).to_dict()
+                == fast_cat.get_dataset(lfn).to_dict()
+            )
+
+    def test_fast_path_auto_selected_above_threshold(self, catalog):
+        assert canonical.FAST_PATH_THRESHOLD > 1000  # VDL path for tests
+
     def test_declared_graph_equals_observed(self, catalog, tmp_path):
         """The paper used canonical apps 'to validate our provenance
         tracking mechanism': executed lineage must equal declared DAG."""
