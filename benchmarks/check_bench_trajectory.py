@@ -1,11 +1,11 @@
 """Bench-trajectory guard: fresh numbers vs the committed baselines.
 
-The repo commits three benchmark result files at the root —
-``BENCH_OBS_OVERHEAD.json``, ``BENCH_PARALLEL_SPEEDUP.json`` and
-``BENCH_ANALYSIS_SCALE.json`` — as the performance trajectory of
-record.  This guard re-runs the benchmarks in smoke mode and fails
-when the *fresh* measurement has drifted past the committed
-trajectory:
+The repo commits four benchmark result files at the root —
+``BENCH_OBS_OVERHEAD.json``, ``BENCH_PARALLEL_SPEEDUP.json``,
+``BENCH_ANALYSIS_SCALE.json`` and ``BENCH_CRASH_RECOVERY.json`` — as
+the performance trajectory of record.  This guard re-runs the
+benchmarks in smoke mode and fails when the *fresh* measurement has
+drifted past the committed trajectory:
 
 * **observability overhead** — the fresh live-instrumentation overhead
   may exceed the committed figure by at most a tolerance
@@ -21,7 +21,12 @@ trajectory:
   speedup at 10^5 nodes must hold the PR-7 acceptance floor
   (``BENCH_ANALYSIS_MIN_SPEEDUP``, default 50), and the fresh smoke
   speedup must stay above the committed figure times
-  ``BENCH_TRAJECTORY_ANALYSIS_FLOOR`` (default 0.2).
+  ``BENCH_TRAJECTORY_ANALYSIS_FLOOR`` (default 0.2);
+* **crash recovery** — the committed journaled-commit overhead on the
+  representative workload must hold its own 10% budget, and the fresh
+  smoke overhead may exceed the committed figure by at most
+  ``BENCH_TRAJECTORY_CRASHREC_PTS`` percentage points (default 25:
+  the smoke chain is short, so per-step noise dominates).
 
 Running the benchmarks overwrites the committed files, so the guard
 snapshots them first and restores them afterwards — the working tree
@@ -46,11 +51,13 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 OBS_PATH = REPO_ROOT / "BENCH_OBS_OVERHEAD.json"
 SPEEDUP_PATH = REPO_ROOT / "BENCH_PARALLEL_SPEEDUP.json"
 ANALYSIS_PATH = REPO_ROOT / "BENCH_ANALYSIS_SCALE.json"
+CRASHREC_PATH = REPO_ROOT / "BENCH_CRASH_RECOVERY.json"
 
 DEFAULT_TOLERANCE_PTS = 25.0
 DEFAULT_SPEEDUP_FLOOR = 0.35
 DEFAULT_ANALYSIS_FLOOR = 0.2
 DEFAULT_ANALYSIS_MIN_SPEEDUP = 50.0
+DEFAULT_CRASHREC_PTS = 25.0
 
 
 def check_obs_overhead(
@@ -145,6 +152,39 @@ def check_analysis_scale(
     return problems
 
 
+def check_crash_recovery(
+    committed: dict,
+    fresh: dict,
+    tolerance_pts: float = DEFAULT_CRASHREC_PTS,
+) -> list[str]:
+    """Problems with the fresh durability numbers, empty when on track."""
+    problems: list[str] = []
+    base = committed.get("rep_overhead_pct")
+    got = fresh.get("rep_overhead_pct")
+    if base is None or got is None:
+        return ["crash-recovery result missing rep_overhead_pct"]
+    if committed.get("smoke"):
+        problems.append(
+            "committed BENCH_CRASH_RECOVERY.json came from a smoke run; "
+            "re-run the full benchmark and commit the result"
+        )
+    budget = float(committed.get("budget_pct", 10.0))
+    if float(base) > budget:
+        problems.append(
+            f"committed journal overhead {float(base):+.2f}% exceeds "
+            f"its own {budget:g}% budget"
+        )
+    # Clamp the base at zero: a noise-negative committed figure must
+    # not tighten the ceiling below the tolerance itself.
+    ceiling = max(float(base), 0.0) + tolerance_pts
+    if float(got) > ceiling:
+        problems.append(
+            f"journal overhead {float(got):+.2f}% exceeds committed "
+            f"{float(base):+.2f}% by more than {tolerance_pts:g}pts"
+        )
+    return problems
+
+
 def _load(path: Path) -> dict:
     return json.loads(path.read_text(encoding="utf-8"))
 
@@ -184,8 +224,11 @@ def main(argv: list[str] | None = None) -> int:
             "BENCH_ANALYSIS_MIN_SPEEDUP", DEFAULT_ANALYSIS_MIN_SPEEDUP
         )
     )
+    crashrec_pts = float(
+        os.environ.get("BENCH_TRAJECTORY_CRASHREC_PTS", DEFAULT_CRASHREC_PTS)
+    )
     committed = {}
-    for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH):
+    for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH, CRASHREC_PATH):
         if not path.exists():
             print(f"missing committed baseline {path.name}", file=sys.stderr)
             return 1
@@ -220,9 +263,17 @@ def main(argv: list[str] | None = None) -> int:
                 floor_factor=analysis_floor,
                 min_speedup=analysis_min,
             )
+        if not _run_benchmark("benchmarks/test_bench_crash_recovery.py"):
+            problems.append("crash recovery benchmark failed")
+        else:
+            problems += check_crash_recovery(
+                json.loads(committed[CRASHREC_PATH.name]),
+                _load(CRASHREC_PATH),
+                tolerance_pts=crashrec_pts,
+            )
     finally:
         # The smoke runs overwrote the committed files: put them back.
-        for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH):
+        for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH, CRASHREC_PATH):
             path.write_text(committed[path.name], encoding="utf-8")
 
     if problems:
@@ -230,8 +281,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"TRAJECTORY REGRESSION: {problem}", file=sys.stderr)
         return 1
     print(
-        "bench trajectory held "
-        "(overhead, speedup and analysis scale within bounds)"
+        "bench trajectory held (overhead, speedup, analysis scale "
+        "and crash-recovery cost within bounds)"
     )
     return 0
 

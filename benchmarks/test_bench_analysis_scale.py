@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.analysis.incremental import IncrementalAnalyzer
 from repro.catalog.memory import MemoryCatalog
 from repro.core.derivation import DatasetArg, Derivation
+from repro.durability.atomic import atomic_write_json
 from repro.core.naming import VDPRef
 from repro.core.replica import Replica
 from repro.workloads import canonical
@@ -125,7 +126,7 @@ def test_anscale_incremental_vs_cold(scenario, table):
                 )
             ],
         )
-        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        atomic_write_json(RESULT_PATH, results)
         analyzer.close()
         # The incremental query must beat the cold solve handily even
         # on loaded CI hosts; the full 50x acceptance floor is enforced

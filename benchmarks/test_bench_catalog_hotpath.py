@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 
 from repro.catalog.memory import MemoryCatalog
+from repro.durability.atomic import atomic_write_json
 from repro.workloads import canonical
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
@@ -79,9 +80,7 @@ def test_cathot_lineage_latency(scenario, table):
             ["derivations", "indexed us", "scan us", "speedup"],
             display,
         )
-        RESULT_PATH.write_text(
-            json.dumps({"smoke": SMOKE, "sizes": results}, indent=2) + "\n"
-        )
+        atomic_write_json(RESULT_PATH, {"smoke": SMOKE, "sizes": results})
         if not SMOKE:
             # Acceptance: >= 10x lineage-query speedup at 10k derivations.
             assert results["10000"]["speedup"] >= 10.0

@@ -41,6 +41,7 @@ import time
 from pathlib import Path
 
 from repro.catalog.memory import MemoryCatalog
+from repro.durability.atomic import atomic_write_json
 from repro.executor.local import LocalExecutor
 from repro.observability import (
     FlightRecorder,
@@ -140,23 +141,20 @@ def test_obs_overhead_under_ten_percent(scenario, table, tmp_path):
                 ),
             ],
         )
-        RESULT_PATH.write_text(
-            json.dumps(
-                {
-                    "nodes": NODES,
-                    "steps": steps,
-                    "rounds": ROUNDS,
-                    "smoke": SMOKE,
-                    "noop_seconds": best["noop"],
-                    "live_seconds": best["live"],
-                    "recorded_seconds": best["recorded"],
-                    "live_overhead_pct": round(overhead, 2),
-                    "recorded_overhead_pct": round(rec_overhead, 2),
-                    "budget_pct": 10.0,
-                },
-                indent=2,
-            )
-            + "\n"
+        atomic_write_json(
+            RESULT_PATH,
+            {
+                "nodes": NODES,
+                "steps": steps,
+                "rounds": ROUNDS,
+                "smoke": SMOKE,
+                "noop_seconds": best["noop"],
+                "live_seconds": best["live"],
+                "recorded_seconds": best["recorded"],
+                "live_overhead_pct": round(overhead, 2),
+                "recorded_overhead_pct": round(rec_overhead, 2),
+                "budget_pct": 10.0,
+            },
         )
         if not SMOKE:
             assert best["live"] <= best["noop"] * 1.10, (

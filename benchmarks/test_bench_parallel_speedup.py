@@ -19,6 +19,7 @@ import time
 from pathlib import Path
 
 from repro.catalog.memory import MemoryCatalog
+from repro.durability.atomic import atomic_write_json
 from repro.executor.local import LocalExecutor
 from repro.workloads import hep, sdss
 
@@ -126,9 +127,7 @@ def test_par_makespan(scenario, table, tmp_path):
             ["plan", "steps", "w=1 ms", "w=2 ms", "w=4 ms", "speedup w=4"],
             display,
         )
-        RESULT_PATH.write_text(
-            json.dumps({"smoke": SMOKE, "plans": results}, indent=2) + "\n"
-        )
+        atomic_write_json(RESULT_PATH, {"smoke": SMOKE, "plans": results})
         if not SMOKE:
             # Acceptance: >= 2x at workers=4 on a width->=8 plan.
             assert results["hep-wide8"]["speedup_vs_1"]["4"] >= 2.0

@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.catalog.index import CatalogIndexes, PayloadCache
 from repro.core.dataset import Dataset
+from repro.durability.crashpoints import crashpoint
 from repro.core.derivation import Derivation
 from repro.core.invocation import Invocation
 from repro.core.replica import Replica
@@ -105,7 +106,12 @@ class VirtualDataCatalog:
         self._obs = instrumentation or NULL
         self._obs_cache: dict = {}
         self._lock = threading.RLock()
-        self._bulk_depth = 0
+        self._txn_depth = 0
+        self._txn_rollback_on_error = True
+        self._txn_undo: list[tuple[str, str, Optional[dict]]] = []
+        self._txn_ops = 0
+        self._txn_id: Optional[str] = None
+        self._journal = None
         self._subscribers: list[Callable[[str, str, str], None]] = []
         # Fast paths, kept current by the mutation-event stream.  The
         # cache invalidator must observe events before the indexes do:
@@ -295,8 +301,81 @@ class VirtualDataCatalog:
         return self._analyzer
 
     # ------------------------------------------------------------------
-    # bulk (deferred-commit) mutation batches
+    # transactions (crash-atomic multi-object commits)
     # ------------------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Attach an :class:`~repro.durability.journal.IntentJournal`.
+
+        With a journal attached, every mutation inside a
+        :meth:`transaction` is journaled (with its undo payload)
+        *before* it is applied, and the commit marker seals the batch —
+        so a crash at any instant leaves the journal able to finish the
+        story: roll the partial batch back, or prove it completed.
+        Backends with native transactions (SQLite) don't need one, but
+        the combination is still coherent: the journal then also serves
+        as a replayable redo log.
+        """
+        self._journal = journal
+
+    @property
+    def journal(self):
+        return self._journal
+
+    @contextmanager
+    def transaction(self, label: str = "", rollback_on_error: bool = True):
+        """Group mutations into one all-or-nothing (vs. crashes) unit.
+
+        Every mutation inside the context behaves normally — events
+        fire, indexes and the cache stay current, reads observe writes —
+        but durability is deferred to the outermost exit:
+
+        * backends with native transactions (SQLite) hold their commit
+          until exit and roll back on error;
+        * with a journal attached, each mutation's intent (redo and
+          undo payloads) is flushed to the journal before it touches
+          the store, and a fsynced commit marker seals the batch — a
+          kill at *any* instant is recoverable by ``repro fsck``;
+        * on an exception with ``rollback_on_error`` (the default), the
+          applied prefix is undone in reverse before the exception
+          propagates, so callers never observe half a commit.
+
+        ``rollback_on_error=False`` keeps the historical :meth:`bulk`
+        contract: crash-atomic, but mutations applied before an
+        in-process exception remain applied.  Nesting is allowed; inner
+        transactions simply extend the outermost one.
+        """
+        with self._lock:
+            self._txn_depth += 1
+            if self._txn_depth > 1:
+                try:
+                    yield self
+                finally:
+                    self._txn_depth -= 1
+                return
+            self._txn_undo = []
+            self._txn_ops = 0
+            self._txn_rollback_on_error = rollback_on_error
+            self._txn_id = (
+                self._journal.begin(label) if self._journal is not None else None
+            )
+            self._txn_begin()
+            try:
+                yield self
+            except BaseException:
+                if rollback_on_error:
+                    self._txn_rollback_applied()
+                else:
+                    # Seal what did apply (bulk semantics): the batch
+                    # stays exception-non-atomic but crash-atomic.
+                    self._txn_seal()
+                raise
+            else:
+                self._txn_seal()
+            finally:
+                self._txn_depth -= 1
+                self._txn_undo = []
+                self._txn_id = None
 
     @contextmanager
     def bulk(self):
@@ -306,26 +385,110 @@ class VirtualDataCatalog:
         fire, indexes and cache stay current, reads observe writes);
         backends may defer expensive durability steps — SQLite holds
         its ``commit()`` until exit instead of fsyncing per mutation.
-        The batch is *not* atomic: mutations applied before an
-        exception remain applied, exactly as without ``bulk()``.
+        The batch is *not* atomic with respect to exceptions: mutations
+        applied before an exception remain applied, exactly as without
+        ``bulk()``.  It *is* atomic with respect to crashes — bulk runs
+        on the same journaled commit path as :meth:`transaction`.
         Nesting is allowed; only the outermost exit flushes.
         """
-        with self._lock:
-            self._bulk_depth += 1
-            if self._bulk_depth == 1:
-                self._bulk_begin()
-            try:
-                yield self
-            finally:
-                self._bulk_depth -= 1
-                if self._bulk_depth == 0:
-                    self._bulk_end()
+        with self.transaction(label="bulk", rollback_on_error=False):
+            yield self
 
-    def _bulk_begin(self) -> None:
+    def _txn_seal(self) -> None:
+        """Make the applied batch durable: backend commit, then marker."""
+        self._txn_commit()
+        if self._txn_id is not None:
+            crashpoint("catalog.commit.pre-marker")
+            self._journal.commit(self._txn_id, self._txn_ops)
+
+    def _txn_rollback_applied(self) -> None:
+        """Undo the applied prefix of the open transaction (lock held)."""
+        if self._journal is None and self._txn_abort():
+            # The backend discarded the uncommitted writes wholesale;
+            # in-memory fast paths saw them, so rebuild from storage.
+            self._rebuild_indexes()
+            return
+        undo = list(self._txn_undo)
+        for kind, key, prev in reversed(undo):
+            if self._txn_id is not None:
+                # Journal the compensation as part of the same
+                # transaction: a redo replay then nets to the pre-
+                # transaction state, and a crash mid-rollback is
+                # finished by fsck like any other uncommitted batch.
+                self._journal.record(
+                    self._txn_id,
+                    "put" if prev is not None else "delete",
+                    kind,
+                    key,
+                    payload=prev,
+                )
+                self._txn_ops += 1
+            self.restore_payload(kind, key, prev)
+        self._txn_seal()
+
+    def _txn_begin(self) -> None:
         """Backend hook: enter deferred-durability mode (default no-op)."""
 
-    def _bulk_end(self) -> None:
+    def _txn_commit(self) -> None:
         """Backend hook: flush deferred durability work (default no-op)."""
+
+    def _txn_abort(self) -> bool:
+        """Backend hook: natively discard uncommitted writes.
+
+        Returns True when the backend rolled back wholesale (SQLite);
+        False (the default) to request semantic per-op undo instead.
+        """
+        return False
+
+    def _apply_put(self, kind: str, key: str, payload: dict) -> None:
+        """Journal-then-apply a put (the mutation choke point)."""
+        if self._txn_depth:
+            prev = self._snapshot_payload(kind, key)
+            self._txn_undo.append((kind, key, prev))
+            if self._txn_id is not None:
+                self._journal.record(
+                    self._txn_id, "put", kind, key, payload=payload, prev=prev
+                )
+                self._txn_ops += 1
+                crashpoint("catalog.commit.op")
+        self._store_put(kind, key, payload)
+
+    def _apply_delete(self, kind: str, key: str) -> None:
+        """Journal-then-apply a delete (the mutation choke point)."""
+        if self._txn_depth:
+            prev = self._snapshot_payload(kind, key)
+            self._txn_undo.append((kind, key, prev))
+            if self._txn_id is not None:
+                self._journal.record(
+                    self._txn_id, "delete", kind, key, prev=prev
+                )
+                self._txn_ops += 1
+                crashpoint("catalog.commit.op")
+        self._store_delete(kind, key)
+
+    def _snapshot_payload(self, kind: str, key: str) -> Optional[dict]:
+        """An owned copy of the stored payload, for undo logs."""
+        payload = self._store_get(kind, key)
+        return copy.deepcopy(payload) if payload is not None else None
+
+    @_synchronized
+    def restore_payload(
+        self, kind: str, key: str, payload: Optional[dict]
+    ) -> None:
+        """Force a raw payload (recovery primitive; bypasses validation).
+
+        ``payload=None`` deletes the key.  Fires the normal mutation
+        events so the cache, indexes, and any live analyzer stay
+        coherent.  Used by journal rollback/replay and ``repro fsck``
+        repairs; not part of the application-facing API.
+        """
+        if payload is None:
+            if self._store_has(kind, key):
+                self._store_delete(kind, key)
+                self._notify("delete", kind, key)
+        else:
+            self._store_put(kind, key, copy.deepcopy(payload))
+            self._notify("put", kind, key)
 
     # ------------------------------------------------------------------
     # datasets
@@ -341,7 +504,7 @@ class VirtualDataCatalog:
         t0 = self._obs_t0()
         if not replace and self._store_has("dataset", dataset.name):
             raise DuplicateEntryError(f"dataset {dataset.name!r} already defined")
-        self._store_put("dataset", dataset.name, dataset.to_dict())
+        self._apply_put("dataset", dataset.name, dataset.to_dict())
         self._notify("put", "dataset", dataset.name)
         self._obs_op("insert", "dataset", t0)
 
@@ -362,7 +525,7 @@ class VirtualDataCatalog:
     def remove_dataset(self, name: str) -> None:
         if not self._store_has("dataset", name):
             raise NotFoundError(f"dataset {name!r} not found")
-        self._store_delete("dataset", name)
+        self._apply_delete("dataset", name)
         self._notify("delete", "dataset", name)
 
     @_synchronized
@@ -385,7 +548,7 @@ class VirtualDataCatalog:
             raise DuplicateEntryError(
                 f"replica {replica.replica_id!r} already registered"
             )
-        self._store_put("replica", replica.replica_id, replica.to_dict())
+        self._apply_put("replica", replica.replica_id, replica.to_dict())
         self._notify("put", "replica", replica.replica_id)
         self._obs_op("insert", "replica", t0)
 
@@ -400,7 +563,7 @@ class VirtualDataCatalog:
     def remove_replica(self, replica_id: str) -> None:
         if not self._store_has("replica", replica_id):
             raise NotFoundError(f"replica {replica_id!r} not found")
-        self._store_delete("replica", replica_id)
+        self._apply_delete("replica", replica_id)
         self._notify("delete", "replica", replica_id)
 
     @_synchronized
@@ -427,7 +590,7 @@ class VirtualDataCatalog:
             raise DuplicateEntryError(
                 f"transformation {tr.name!r} version {tr.version} already defined"
             )
-        self._store_put("transformation", key, _transformation_to_payload(tr))
+        self._apply_put("transformation", key, _transformation_to_payload(tr))
         self.versions.register(tr.name, tr.version)
         self._notify("put", "transformation", key)
         self._obs_op("insert", "transformation", t0)
@@ -466,7 +629,7 @@ class VirtualDataCatalog:
         key = f"{name}@{version}"
         if not self._store_has("transformation", key):
             raise NotFoundError(f"transformation {key!r} not found")
-        self._store_delete("transformation", key)
+        self._apply_delete("transformation", key)
         self._notify("delete", "transformation", key)
 
     @_synchronized
@@ -504,7 +667,7 @@ class VirtualDataCatalog:
             raise DuplicateEntryError(f"derivation {dv.name!r} already defined")
         if validate:
             self.check_derivation(dv)
-        self._store_put("derivation", dv.name, dv.to_dict())
+        self._apply_put("derivation", dv.name, dv.to_dict())
         if auto_declare:
             self._declare_mentioned_datasets(dv)
         self._notify("put", "derivation", dv.name)
@@ -557,7 +720,7 @@ class VirtualDataCatalog:
     def remove_derivation(self, name: str) -> None:
         if not self._store_has("derivation", name):
             raise NotFoundError(f"derivation {name!r} not found")
-        self._store_delete("derivation", name)
+        self._apply_delete("derivation", name)
         self._notify("delete", "derivation", name)
 
     @_synchronized
@@ -607,7 +770,7 @@ class VirtualDataCatalog:
             raise DuplicateEntryError(
                 f"invocation {inv.invocation_id!r} already recorded"
             )
-        self._store_put("invocation", inv.invocation_id, inv.to_dict())
+        self._apply_put("invocation", inv.invocation_id, inv.to_dict())
         self._notify("put", "invocation", inv.invocation_id)
         self._obs_op("insert", "invocation", t0)
 

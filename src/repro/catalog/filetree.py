@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.catalog.base import KINDS, VirtualDataCatalog
+from repro.durability.atomic import atomic_write_json
 
 
 def _encode(key: str) -> str:
@@ -53,10 +54,9 @@ class FileTreeCatalog(VirtualDataCatalog):
         return self._root / kind / _encode(key)
 
     def _store_put(self, kind: str, key: str, payload: dict) -> None:
-        path = self._path(kind, key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=1))
-        tmp.replace(path)  # atomic on POSIX
+        # Atomic tmp+rename; the ``.vdg-tmp`` marker means a leftover
+        # from a crash mid-write is swept by ``repro fsck``.
+        atomic_write_json(self._path(kind, key), payload, indent=1)
 
     def _store_get(self, kind: str, key: str) -> Optional[dict]:
         path = self._path(kind, key)

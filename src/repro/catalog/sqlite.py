@@ -88,14 +88,24 @@ class SQLiteCatalog(VirtualDataCatalog):
         """Close the underlying database connection."""
         self._conn.close()
 
-    # -- bulk (deferred-commit) hooks --------------------------------------
+    # -- transaction hooks -------------------------------------------------
 
-    def _bulk_begin(self) -> None:
+    def _txn_begin(self) -> None:
+        # Hold the implicit sqlite transaction open until the outermost
+        # exit: per-mutation _commit() calls become no-ops, so the whole
+        # batch becomes durable with one COMMIT — or vanishes with one
+        # ROLLBACK — exactly the native all-or-nothing the base class
+        # otherwise emulates with its journal.
         self._in_bulk = True
 
-    def _bulk_end(self) -> None:
+    def _txn_commit(self) -> None:
         self._in_bulk = False
         self._conn.commit()
+
+    def _txn_abort(self) -> bool:
+        self._in_bulk = False
+        self._conn.rollback()
+        return True
 
     def _commit(self) -> None:
         if not self._in_bulk:

@@ -42,6 +42,9 @@ from pathlib import Path
 from typing import Optional
 
 from repro.catalog.filetree import FileTreeCatalog
+from repro.durability.atomic import atomic_write_json
+from repro.durability.journal import IntentJournal
+from repro.durability.recovery import RecoveryManager
 from repro.errors import VDLSemanticError, VDLSyntaxError, VirtualDataError
 from repro.executor.local import LocalExecutor
 from repro.observability import (
@@ -85,6 +88,9 @@ class Workspace:
         self.sandbox_dir = self.root / "sandbox"
         self.observability_dir = self.root / "observability"
         self.runs_dir = self.root / "runs"
+        self.journal_dir = self.root / "journal"
+        self.quarantine_dir = self.root / "quarantine"
+        self.rescue_dir = self.root / "rescue"
         self.history_path = self.root / "history.sqlite"
 
     @property
@@ -100,13 +106,35 @@ class Workspace:
             raise VirtualDataError(
                 f"no workspace at {self.root}; run 'init' first"
             )
-        return FileTreeCatalog(self.catalog_dir)
+        catalog = FileTreeCatalog(self.catalog_dir)
+        # Journaled commits: executors wrap provenance write-back in
+        # catalog.transaction(), so a kill mid-commit is recoverable —
+        # 'fsck' (or the preflight) rolls the partial batch back.
+        catalog.attach_journal(
+            IntentJournal(self.journal_dir, instrumentation=catalog.obs)
+        )
+        return catalog
 
     def executor(
         self, instrumentation: Optional[Instrumentation] = None
     ) -> LocalExecutor:
         return LocalExecutor(
-            self.catalog(), self.sandbox_dir, instrumentation=instrumentation
+            self.catalog(),
+            self.sandbox_dir,
+            instrumentation=instrumentation,
+            quarantine_dir=self.quarantine_dir,
+        )
+
+    def recovery(self, catalog=None, instrumentation=None) -> RecoveryManager:
+        """A RecoveryManager over this workspace's stores."""
+        return RecoveryManager(
+            catalog if catalog is not None else self.catalog(),
+            sandbox_dir=self.sandbox_dir,
+            journal_dir=self.journal_dir,
+            rescue_dir=self.rescue_dir,
+            runs_dir=self.runs_dir,
+            quarantine_dir=self.quarantine_dir,
+            instrumentation=instrumentation,
         )
 
     def save_snapshot(self, obs: Instrumentation) -> None:
@@ -326,6 +354,58 @@ def _finalize_run(ws: Workspace, obs, recorder, out, status, **fields) -> None:
         out(f"run record: {recorder.run_id}")
 
 
+def _cmd_fsck(ws: Workspace, args, out) -> int:
+    """Reconcile catalog, sandbox files, journal, rescues and records.
+
+    Exit 0 when the workspace is clean (or every finding was repaired),
+    2 when unrepaired error-severity corruption remains — mirroring
+    classic fsck semantics so scripts and CI can gate on it.
+    """
+    import json
+
+    obs = Instrumentation()
+    catalog = ws.catalog()
+    recovery = ws.recovery(catalog=catalog, instrumentation=obs)
+    report = recovery.fsck(
+        checksums=not args.no_checksums, repair=args.repair
+    )
+    if ws.exists:
+        ws.save_snapshot(obs)
+    if args.format == "json":
+        out(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        out(report.render())
+    return 2 if report.corrupted else 0
+
+
+def _preflight(ws: Workspace, args, out) -> Optional[int]:
+    """Cheap consistency check before an executing command.
+
+    Journal findings repair themselves (that *is* crash recovery);
+    anything worse refuses the run with exit 2 so a half-committed
+    catalog is never planned against.  ``--no-verify`` skips it.
+    """
+    if getattr(args, "no_verify", False) or not ws.exists:
+        return None
+    catalog = ws.catalog()
+    report = ws.recovery(catalog=catalog).preflight()
+    repaired = [f for f in report.findings if f.repaired]
+    if repaired:
+        out(
+            f"recovered from crash: {len(repaired)} journal "
+            f"finding(s) repaired (see 'fsck' for details)"
+        )
+    if report.corrupted:
+        for finding in report.unrepaired("error"):
+            out(finding.render())
+        out(
+            "workspace failed its consistency preflight; run "
+            "'fsck --repair' (or pass --no-verify to proceed anyway)"
+        )
+        return 2
+    return None
+
+
 def _cmd_materialize(ws: Workspace, args, out) -> int:
     return _materialize_local(
         ws, args.dataset, args.reuse, getattr(args, "workers", 1), out,
@@ -336,6 +416,9 @@ def _cmd_materialize(ws: Workspace, args, out) -> int:
 def _materialize_local(
     ws: Workspace, dataset: str, reuse: str, workers: int, out, args=None
 ) -> int:
+    blocked = _preflight(ws, args, out)
+    if blocked is not None:
+        return blocked
     obs, recorder, ticker = _instrument_run(
         ws, f"materialize {dataset}", args
     )
@@ -383,6 +466,9 @@ def _cmd_run(ws: Workspace, args, out) -> int:
         out("error: provide a transformation name, or --target DATASET "
             "for a grid workflow run")
         return 1
+    blocked = _preflight(ws, args, out)
+    if blocked is not None:
+        return blocked
     obs, recorder, _ = _instrument_run(
         ws, f"run {args.transformation}", args
     )
@@ -441,6 +527,9 @@ def _cmd_run_grid(ws: Workspace, args, out) -> int:
     from repro.resilience import FaultPlan, RecoveryConfig, RescueFile
     from repro.system import VirtualDataSystem
 
+    blocked = _preflight(ws, args, out)
+    if blocked is not None:
+        return blocked
     sites = _parse_grid(args.grid)
     fault_plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
     recovery = RecoveryConfig.hardened(
@@ -478,7 +567,7 @@ def _cmd_run_grid(ws: Workspace, args, out) -> int:
     rescue_path = (
         Path(args.rescue)
         if args.rescue
-        else ws.root / "rescue" / f"{args.target}.rescue.json"
+        else ws.rescue_dir / f"{args.target}.rescue.json"
     )
     base = None
     if resume and rescue_path.exists():
@@ -640,7 +729,7 @@ def _cmd_trace(ws: Workspace, args, out) -> int:
             target = record.path.parent / "trace.json"
         target = Path(target)
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(trace, sort_keys=True) + "\n")
+        atomic_write_json(target, trace, indent=None)
         out(f"chrome trace written to {target} "
             f"({len(trace['traceEvents'])} events); load it in Perfetto "
             "(ui.perfetto.dev) or chrome://tracing")
@@ -949,6 +1038,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip writing a flight record under <workspace>/runs/",
     )
+    mat.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the crash-consistency preflight check",
+    )
     mat.set_defaults(fn=_cmd_materialize)
 
     run = sub.add_parser(
@@ -1033,7 +1127,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip writing a flight record under <workspace>/runs/",
     )
+    run.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the crash-consistency preflight check",
+    )
     run.set_defaults(fn=_cmd_run)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="check (and repair) workspace crash consistency",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="apply each finding's deterministic repair",
+    )
+    fsck.add_argument(
+        "--no-checksums",
+        action="store_true",
+        help="structural check only; skip content digest verification",
+    )
+    fsck.add_argument("--format", default="text", choices=("text", "json"))
+    fsck.set_defaults(fn=_cmd_fsck)
 
     lineage = sub.add_parser("lineage", help="audit trail of a dataset")
     lineage.add_argument("dataset")

@@ -1,0 +1,90 @@
+"""Atomic file replacement: no reader ever sees a torn write.
+
+Every on-disk artifact the grid writes whole — rescue files, fault
+plans, observability snapshots, exported traces, benchmark results —
+goes through these helpers: the content lands in a ``tempfile`` in the
+*destination directory* (same filesystem, so the final rename cannot
+degrade to a copy) and is moved into place with ``os.replace``, which
+POSIX guarantees to be atomic.  A process killed mid-write leaves at
+worst an orphaned ``*.tmp*`` file, never a half-written artifact under
+the real name.
+
+Append-only streams (the flight recorder, the intent journal) are the
+other durability idiom — they tolerate torn *tails* instead — so they
+do not use this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: Suffix marking in-flight temporaries (fsck sweeps stale ones).
+TMP_MARKER = ".vdg-tmp"
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, fsync: bool = False
+) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the path.
+
+    With ``fsync`` the bytes are forced to stable storage before the
+    rename, making the replacement durable across power loss, not just
+    process death.  The default skips it: for most artifacts process
+    crash (SIGKILL) is the failure model and the rename alone keeps
+    readers consistent.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + TMP_MARKER, dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, fsync: bool = False
+) -> Path:
+    """Atomic ``Path.write_text`` replacement (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(
+    path: str | Path,
+    payload: Any,
+    indent: int | None = 2,
+    fsync: bool = False,
+) -> Path:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    text = json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    return atomic_write_text(path, text, fsync=fsync)
+
+
+def sweep_temporaries(directory: str | Path) -> list[Path]:
+    """Remove stale ``*.vdg-tmp*`` files a crash left behind.
+
+    Returns the paths removed (for fsck reporting).  Only files
+    directly inside ``directory`` are considered.
+    """
+    directory = Path(directory)
+    removed: list[Path] = []
+    if not directory.is_dir():
+        return removed
+    for child in sorted(directory.iterdir()):
+        if child.is_file() and TMP_MARKER in child.name:
+            child.unlink(missing_ok=True)
+            removed.append(child)
+    return removed

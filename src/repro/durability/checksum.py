@@ -1,0 +1,63 @@
+"""Replica content checksums.
+
+Allcock et al. (PAPERS.md) make checksum-verified transfers the
+foundation of replica management; here every replica staged out by the
+local executor carries a streaming SHA-256 of its bytes plus its size.
+Verification runs lazily when a replica is consumed (the executor's
+``has_valid_replica``) and eagerly during ``repro fsck``; a mismatch
+is quarantined and invalidated so planning transparently re-derives.
+
+The simulated grid has no real bytes; its replicas carry the
+deterministic pseudo-digest from
+:func:`repro.resilience.rescue.expected_digest` instead, which uses the
+``sha256:`` prefix.  :func:`verify_file` therefore only checks digests
+it can actually recompute — raw hex digests of on-disk files — and
+treats prefixed simulation digests as out of scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+#: Prefix marking simulated (non-content) digests.
+DIGEST_PREFIX = "sha256:"
+
+_CHUNK = 1 << 20
+
+
+def file_digest(path: str | Path) -> str:
+    """Streaming SHA-256 hex digest of a file's contents."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(_CHUNK), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def verify_bytes(data: bytes, digest: str) -> bool:
+    """Whether ``data`` hashes to ``digest`` (raw hex form)."""
+    return hashlib.sha256(data).hexdigest() == digest
+
+
+def verify_file(
+    path: str | Path,
+    size: Optional[int] = None,
+    digest: Optional[str] = None,
+) -> bool:
+    """Check a file against its recorded size and content digest.
+
+    Returns False when the file is missing, its size disagrees, or a
+    verifiable (raw hex) digest disagrees.  ``None`` size/digest and
+    simulation digests (``sha256:`` prefixed) are skipped — absence of
+    a checksum is not corruption.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return False
+    if size is not None and path.stat().st_size != size:
+        return False
+    if digest and not digest.startswith(DIGEST_PREFIX):
+        return file_digest(path) == digest
+    return True

@@ -1,0 +1,77 @@
+"""Crashpoint hooks: kill this process, for real, at a chosen point.
+
+The crash-matrix tests in ``tests/durability/`` prove crash
+consistency against *actual* process death, not simulated exceptions:
+a child process runs a real materialization with a crashpoint armed,
+SIGKILLs itself mid-commit, and the parent then asserts that
+``repro fsck --repair`` plus a rerun reaches the same catalog state as
+an uninterrupted run.
+
+Instrumented code calls :func:`crashpoint(name) <crashpoint>` at the
+interesting boundaries (after stage-out, between journal ops, before
+and after the commit marker).  The call is a no-op unless armed via
+the environment:
+
+``REPRO_CRASH_AFTER=N``
+    SIGKILL this process the Nth time a matching crashpoint is hit.
+``REPRO_CRASH_MATCH=prefix``
+    Only crashpoints whose name starts with ``prefix`` count
+    (default: all).
+``REPRO_CRASHPOINT_LOG=file``
+    Append one line per hit (name) — the discovery mode the test
+    harness uses to learn how many kill candidates a clean run has.
+
+Hits are counted process-wide under a lock so the parallel executor's
+pool threads produce a deterministic count for a deterministic run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+_ENV_AFTER = "REPRO_CRASH_AFTER"
+_ENV_MATCH = "REPRO_CRASH_MATCH"
+_ENV_LOG = "REPRO_CRASHPOINT_LOG"
+
+_lock = threading.Lock()
+_hits = 0
+
+
+def crashpoints_armed() -> bool:
+    """Whether any crashpoint behavior (kill or log) is active."""
+    return bool(os.environ.get(_ENV_AFTER) or os.environ.get(_ENV_LOG))
+
+
+def crashpoint(name: str) -> None:
+    """Maybe SIGKILL the process here; free when not armed."""
+    env = os.environ
+    after = env.get(_ENV_AFTER)
+    log = env.get(_ENV_LOG)
+    if not after and not log:
+        return
+    match = env.get(_ENV_MATCH, "")
+    if match and not name.startswith(match):
+        return
+    global _hits
+    with _lock:
+        _hits += 1
+        count = _hits
+        if log:
+            # Line-buffered append: survives the kill below because
+            # each hit is written before the next can fire.
+            with open(log, "a", encoding="utf-8") as handle:
+                handle.write(name + "\n")
+                handle.flush()
+    if after and count == int(after):
+        # SIGKILL, not sys.exit: no atexit handlers, no finally
+        # blocks, no flushing — the genuine article.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def reset_hits() -> None:
+    """Test hook: forget hits counted so far in this process."""
+    global _hits
+    with _lock:
+        _hits = 0

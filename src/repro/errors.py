@@ -237,3 +237,20 @@ class RescueError(ExecutionError):
 
 class EstimationError(VirtualDataError):
     """The estimator lacks the information needed to produce an estimate."""
+
+
+class DurabilityError(VirtualDataError):
+    """Base class for crash-consistency machinery failures."""
+
+
+class JournalError(DurabilityError):
+    """The intent journal is unusable (corrupt beyond the torn-tail model)."""
+
+
+class FsckError(DurabilityError):
+    """The workspace failed its consistency check and was not repaired."""
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        #: The :class:`~repro.durability.recovery.FsckReport`, when available.
+        self.report = report

@@ -19,6 +19,7 @@ from repro.catalog.base import VirtualDataCatalog
 from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
 from repro.core.recipe import stamp_recipe
 from repro.core.replica import Replica
+from repro.durability.crashpoints import crashpoint
 from repro.errors import WorkflowError
 from repro.estimator.cost import Estimator
 from repro.grid.gram import GridExecutionService, JobRecord
@@ -32,6 +33,7 @@ from repro.resilience.rescue import (
     RescueFile,
     RescueRestore,
     apply_rescue,
+    expected_digest,
     rescue_from_result,
 )
 
@@ -234,21 +236,31 @@ class GridExecutor:
             ),
         )
         stamp_recipe(invocation, step.derivation, step.transformation)
-        for output, size in record.spec.outputs.items():
-            replica = Replica(
-                dataset_name=output,
-                location=choice.site,
-                size=size,
-            )
-            self.catalog.add_replica(replica)
-            formal = self._formal_for(step, output)
-            if formal is not None:
-                invocation.replica_bindings[formal] = replica.replica_id
-        if not self.catalog.has_derivation(step.derivation.name):
-            # Synthetic sub-derivations from compound expansion become
-            # first-class provenance records of their own.
-            self.catalog.add_derivation(step.derivation, validate=False)
-        self.catalog.add_invocation(invocation)
+        # Atomic write-back: the step's replicas, any synthetic
+        # derivation, and the invocation commit together, so a crash
+        # mid-write-back never leaves replicas without provenance.
+        with self.catalog.transaction(label=f"write-back:{step.name}"):
+            for output, size in record.spec.outputs.items():
+                replica = Replica(
+                    dataset_name=output,
+                    location=choice.site,
+                    size=size,
+                    # The simulated grid moves no real bytes; stamp the
+                    # deterministic pseudo-digest so replica equivalence
+                    # and fsck can still cross-check records.
+                    digest=expected_digest(output, size),
+                )
+                crashpoint("executor.stage-out")
+                self.catalog.add_replica(replica)
+                formal = self._formal_for(step, output)
+                if formal is not None:
+                    invocation.replica_bindings[formal] = replica.replica_id
+            if not self.catalog.has_derivation(step.derivation.name):
+                # Synthetic sub-derivations from compound expansion become
+                # first-class provenance records of their own.
+                self.catalog.add_derivation(step.derivation, validate=False)
+            self.catalog.add_invocation(invocation)
+        crashpoint("executor.post-commit")
         if self.obs.recorder is not None:
             self.obs.recorder.invocation(invocation)
 

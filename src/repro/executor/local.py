@@ -15,7 +15,6 @@ speed of the transformation itself."
 
 from __future__ import annotations
 
-import hashlib
 import os
 import platform
 import subprocess
@@ -33,6 +32,9 @@ from repro.core.invocation import ExecutionContext, Invocation, ResourceUsage
 from repro.core.recipe import stamp_recipe
 from repro.core.replica import Replica
 from repro.core.transformation import SimpleTransformation
+from repro.durability.checksum import file_digest, verify_file
+from repro.durability.crashpoints import crashpoint
+from repro.durability.recovery import sandbox_filename
 from repro.errors import ExecutionError, MaterializationError
 from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.dag import Planner
@@ -91,11 +93,21 @@ class LocalExecutor:
         workdir: str | Path,
         site_name: str = "local",
         instrumentation: Optional[Instrumentation] = None,
+        quarantine_dir: Optional[str | Path] = None,
     ):
         self.catalog = catalog
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.site_name = site_name
+        self.quarantine_dir = (
+            Path(quarantine_dir)
+            if quarantine_dir
+            else self.workdir / "quarantine"
+        )
+        # Sandbox files verified against their replica checksum, keyed
+        # by path with the (size, mtime_ns) stamp seen at verification;
+        # lets verify-on-consume cost one stat, not one hash, per reuse.
+        self._verified: dict[str, tuple[int, int]] = {}
         self.obs = instrumentation or NULL
         if self.obs.enabled and not self.catalog.obs.enabled:
             # Adopt the catalog into this executor's observability
@@ -119,11 +131,105 @@ class LocalExecutor:
 
     def path_for(self, dataset_name: str) -> Path:
         """Sandbox path holding (or destined to hold) a dataset."""
-        safe = dataset_name.replace("/", "_")
-        return self.workdir / safe
+        return self.workdir / sandbox_filename(dataset_name)
 
     def is_materialized(self, dataset_name: str) -> bool:
         return self.path_for(dataset_name).exists()
+
+    def has_valid_replica(self, dataset_name: str) -> bool:
+        """Whether a sandbox copy exists *and* matches its checksum.
+
+        The planner's ``has_replica`` oracle: existence alone is not
+        enough once replicas carry content digests — a file that rotted
+        (or was half-written when the process died) must not satisfy
+        reuse.  On a mismatch the copy is quarantined, its replica
+        record removed, and its downstream provenance invalidated, so
+        planning transparently re-derives from the recipe.
+
+        Files without a replica record (user-staged sources) verify
+        trivially, and clean verifications are cached against the
+        file's (size, mtime_ns) so steady-state reuse costs one
+        ``stat``, not one hash.
+        """
+        path = self.path_for(dataset_name)
+        if not path.exists():
+            return False
+        matching = [
+            replica
+            for replica in self.catalog.replicas_of(dataset_name)
+            if isinstance(replica.descriptor, FileDescriptor)
+            and replica.descriptor.path == str(path)
+        ]
+        if not matching:
+            return True
+        stat = path.stat()
+        stamp = (stat.st_size, stat.st_mtime_ns)
+        if self._verified.get(str(path)) == stamp:
+            return True
+        for replica in matching:
+            if not verify_file(path, size=replica.size, digest=replica.digest):
+                self._quarantine_corrupt(dataset_name, replica, path)
+                return False
+        self._verified[str(path)] = stamp
+        return True
+
+    def _quarantine_corrupt(self, dataset_name, replica, path: Path) -> None:
+        """Sideline a checksum-mismatched sandbox file and its records."""
+        if self.obs.enabled:
+            self.obs.count(
+                "durability.checksum.failures",
+                help="replica checksum/size verification failures",
+            )
+        from repro.provenance.graph import DerivationGraph
+        from repro.provenance.invalidation import invalidated_by
+
+        graph = DerivationGraph.from_catalog(self.catalog)
+        tainted = invalidated_by(
+            graph, bad_datasets=[dataset_name]
+        ).tainted_datasets
+        with self.catalog.transaction(label=f"quarantine:{dataset_name}"):
+            for name in sorted({dataset_name, *tainted}):
+                target = self.path_for(name)
+                if name != dataset_name and not target.exists():
+                    continue
+                for rep in self.catalog.replicas_of(name):
+                    if (
+                        isinstance(rep.descriptor, FileDescriptor)
+                        and rep.descriptor.path == str(target)
+                    ):
+                        self.catalog.remove_replica(rep.replica_id)
+                if target.exists():
+                    self._move_to_quarantine(target)
+                self._verified.pop(str(target), None)
+                if self.catalog.has_dataset(name):
+                    ds = self.catalog.get_dataset(name)
+                    if not ds.is_virtual:
+                        self.catalog.add_dataset(
+                            Dataset(
+                                name=ds.name,
+                                dataset_type=ds.dataset_type,
+                                attributes=ds.attributes.copy(),
+                                producer=ds.producer,
+                            ),
+                            replace=True,
+                        )
+        if self.obs.recorder is not None:
+            self.obs.recorder.event(
+                "replica.quarantined",
+                dataset=dataset_name,
+                replica=replica.replica_id,
+                tainted=sorted(tainted),
+            )
+
+    def _move_to_quarantine(self, path: Path) -> Path:
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        ordinal = 0
+        while target.exists():
+            ordinal += 1
+            target = self.quarantine_dir / f"{path.name}.{ordinal}"
+        os.replace(path, target)
+        return target
 
     # -- execution ---------------------------------------------------------------
 
@@ -237,9 +343,16 @@ class LocalExecutor:
             error=error,
         )
         stamp_recipe(invocation, dv, tr)
-        if error is None:
-            self._record_outputs(dv, invocation, output_paths)
-        self.catalog.add_invocation(invocation)
+        # One atomic provenance commit: output replicas, materialized
+        # dataset records and the invocation land together or not at
+        # all.  A kill inside this window leaves either a rollback-able
+        # journal/backend transaction or nothing — never a replica
+        # without its invocation.
+        with self.catalog.transaction(label=f"invocation:{dv.name}"):
+            if error is None:
+                self._record_outputs(dv, invocation, output_paths)
+            self.catalog.add_invocation(invocation)
+        crashpoint("executor.post-commit")
         if self.obs.recorder is not None:
             self.obs.recorder.invocation(invocation)
         if error is not None:
@@ -333,7 +446,8 @@ class LocalExecutor:
                     f"{dataset_name!r} was not written"
                 )
             size = path.stat().st_size
-            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            digest = file_digest(path)
+            crashpoint("executor.stage-out")
             replica = Replica(
                 dataset_name=dataset_name,
                 location=self.site_name,
@@ -351,6 +465,8 @@ class LocalExecutor:
                 ds.materialized(FileDescriptor(path=str(path), size=size)),
                 replace=True,
             )
+            stat = path.stat()
+            self._verified[str(path)] = (stat.st_size, stat.st_mtime_ns)
 
     # -- end-to-end materialization ------------------------------------------------
 
@@ -390,7 +506,7 @@ class LocalExecutor:
         ) as mspan:
             planner = Planner(
                 self.catalog,
-                has_replica=self.is_materialized,
+                has_replica=self.has_valid_replica,
                 instrumentation=self.obs,
             )
             plan = planner.plan(

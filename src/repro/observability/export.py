@@ -28,6 +28,7 @@ import re
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.durability.atomic import atomic_write_text
 from repro.observability.instrument import Instrumentation
 from repro.observability.metrics import (
     MetricsRegistry,
@@ -426,11 +427,14 @@ def write_snapshot(obs: Instrumentation, directory: str | Path) -> Path:
     """Persist spans + metrics from one run under ``directory``."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    (directory / SPANS_FILE).write_text(spans_to_jsonl(obs.tracer))
-    (directory / METRICS_FILE).write_text(
-        json.dumps(obs.metrics.to_dict(), sort_keys=True, indent=2) + "\n"
+    atomic_write_text(directory / SPANS_FILE, spans_to_jsonl(obs.tracer))
+    atomic_write_text(
+        directory / METRICS_FILE,
+        json.dumps(obs.metrics.to_dict(), sort_keys=True, indent=2) + "\n",
     )
-    (directory / PROMETHEUS_FILE).write_text(obs.metrics.to_prometheus())
+    atomic_write_text(
+        directory / PROMETHEUS_FILE, obs.metrics.to_prometheus()
+    )
     return directory
 
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.durability.atomic import atomic_write_json
 from repro.errors import FaultPlanError
 from repro.observability.instrument import NULL, Instrumentation
 
@@ -197,7 +198,7 @@ class FaultPlan:
             raise FaultPlanError(f"malformed fault plan: {exc}") from exc
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        atomic_write_json(Path(path), self.to_dict())
 
     @classmethod
     def load(cls, path: str | Path) -> "FaultPlan":

@@ -32,6 +32,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
+from repro.durability.atomic import atomic_write_text
 from repro.errors import RescueError
 from repro.observability.instrument import NULL, Instrumentation
 
@@ -41,7 +42,10 @@ if TYPE_CHECKING:  # import cycle guards: scheduler imports nothing from here
     from repro.planner.dag import Plan
     from repro.planner.scheduler import WorkflowResult
 
-RESCUE_VERSION = 1
+#: Version 2 is line-oriented (header line + one line per step entry)
+#: so a file torn by a crash still yields its valid prefix, exactly
+#: like flight records; version-1 single-document files still load.
+RESCUE_VERSION = 2
 
 
 def expected_digest(lfn: str, size: int) -> str:
@@ -96,6 +100,10 @@ class RescueFile:
     skipped: dict[str, str] = field(default_factory=dict)
     finished: bool = False
     version: int = RESCUE_VERSION
+    #: Set by :meth:`load` when the file ended in a torn line (crash
+    #: mid-append): the valid prefix was salvaged.  ``save`` rewrites
+    #: the file whole, clearing the tear.
+    truncated: bool = False
 
     @property
     def unfinished(self) -> bool:
@@ -149,17 +157,134 @@ class RescueFile:
             raise RescueError(f"malformed rescue file: {exc}") from exc
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        """Write the v2 line-oriented form, atomically.
+
+        A header line carries the identity fields; each completed,
+        failed and skipped step gets its own line.  The temp-file +
+        rename dance means a crash during save leaves either the old
+        file or the new one — never a half-written hybrid — and a
+        crash tearing a line (e.g. on a dying disk) still costs only
+        that line on load.
+        """
+        lines = [
+            json.dumps(
+                {
+                    "kind": "rescue",
+                    "version": RESCUE_VERSION,
+                    "targets": list(self.targets),
+                    "signature": self.signature,
+                    "finished": self.finished,
+                },
+                sort_keys=True,
+            )
+        ]
+        for name, entry in sorted(self.completed.items()):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "completed",
+                        "step": name,
+                        "site": entry.site,
+                        "attempts": entry.attempts,
+                        "outputs": entry.outputs,
+                    },
+                    sort_keys=True,
+                )
+            )
+        for name, info in sorted(self.failed.items()):
+            lines.append(
+                json.dumps(
+                    {"kind": "failed", "step": name, **info}, sort_keys=True
+                )
+            )
+        for name, reason in sorted(self.skipped.items()):
+            lines.append(
+                json.dumps(
+                    {"kind": "skipped", "step": name, "reason": reason},
+                    sort_keys=True,
+                )
+            )
+        atomic_write_text(Path(path), "\n".join(lines) + "\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "RescueFile":
         try:
-            data = json.loads(Path(path).read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            text = Path(path).read_text()
+        except OSError as exc:
             raise RescueError(
                 f"cannot read rescue file {str(path)!r}: {exc}"
             ) from exc
-        return cls.from_dict(data)
+        try:
+            # Version-1 rescue files are one (pretty-printed) document.
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError:
+            pass
+        return cls._load_lines(text, path)
+
+    @classmethod
+    def _load_lines(cls, text: str, path: str | Path) -> "RescueFile":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise RescueError(f"rescue file {str(path)!r} is empty")
+        records: list[dict] = []
+        truncated = False
+        for i, raw in enumerate(lines):
+            try:
+                records.append(json.loads(raw))
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    # Torn final line: salvage the valid prefix.
+                    truncated = True
+                    break
+                raise RescueError(
+                    f"cannot read rescue file {str(path)!r}: "
+                    f"unparseable line {i + 1}"
+                ) from exc
+        header = records[0] if records else None
+        if not isinstance(header, dict) or header.get("kind") != "rescue":
+            raise RescueError(
+                f"cannot read rescue file {str(path)!r}: not a rescue "
+                "header"
+            )
+        version = int(header.get("version", RESCUE_VERSION))
+        if version > RESCUE_VERSION:
+            raise RescueError(
+                f"rescue file version {version} is newer than "
+                f"supported ({RESCUE_VERSION})"
+            )
+        try:
+            rescue = cls(
+                targets=tuple(header["targets"]),
+                signature=str(header["signature"]),
+                finished=bool(header.get("finished", False)),
+                version=version,
+                truncated=truncated,
+            )
+            for record in records[1:]:
+                kind = record.get("kind")
+                name = record["step"]
+                if kind == "completed":
+                    rescue.completed[name] = RescueStep(
+                        step=name,
+                        site=record["site"],
+                        attempts=int(record.get("attempts", 1)),
+                        outputs=dict(record.get("outputs", {})),
+                    )
+                elif kind == "failed":
+                    rescue.failed[name] = {
+                        key: value
+                        for key, value in record.items()
+                        if key not in ("kind", "step")
+                    }
+                elif kind == "skipped":
+                    rescue.skipped[name] = str(record.get("reason", ""))
+                else:
+                    raise RescueError(
+                        f"unknown rescue entry kind {kind!r}"
+                    )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RescueError(f"malformed rescue file: {exc}") from exc
+        return rescue
 
 
 def rescue_from_result(

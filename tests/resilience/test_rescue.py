@@ -75,6 +75,56 @@ class TestRescueFile:
         with pytest.raises(RescueError):
             RescueFile.load(path)
 
+    def test_saved_form_is_line_oriented(self, tmp_path):
+        _, _, rescue = self.complete_rescue()
+        path = tmp_path / "final.rescue.json"
+        rescue.save(path)
+        import json
+
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "rescue"
+        # One line per step entry: a torn write costs one entry, not
+        # the whole file.
+        assert len(lines) == 1 + len(rescue.completed)
+
+    def test_torn_tail_salvages_valid_prefix(self, tmp_path):
+        _, _, rescue = self.complete_rescue()
+        path = tmp_path / "final.rescue.json"
+        rescue.save(path)
+        raw = path.read_text().splitlines()
+        # Simulate a crash mid-append: last entry line half-written.
+        path.write_text("\n".join(raw[:-1]) + "\n" + raw[-1][: len(raw[-1]) // 2])
+        loaded = RescueFile.load(path)
+        assert loaded.truncated
+        assert len(loaded.completed) == len(rescue.completed) - 1
+        assert set(loaded.completed) < set(rescue.completed)
+        # Saving rewrites the salvaged content whole, clearing the tear.
+        loaded.save(path)
+        assert not RescueFile.load(path).truncated
+
+    def test_mid_file_garbage_still_rejected(self, tmp_path):
+        _, _, rescue = self.complete_rescue()
+        path = tmp_path / "final.rescue.json"
+        rescue.save(path)
+        raw = path.read_text().splitlines()
+        raw.insert(1, "GARBAGE NOT JSON")
+        path.write_text("\n".join(raw) + "\n")
+        with pytest.raises(RescueError, match="unparseable"):
+            RescueFile.load(path)
+
+    def test_version1_file_still_loads(self, tmp_path):
+        import json
+
+        _, _, rescue = self.complete_rescue()
+        legacy = rescue.to_dict()
+        legacy["version"] = 1
+        path = tmp_path / "v1.rescue.json"
+        path.write_text(json.dumps(legacy, indent=2) + "\n")
+        loaded = RescueFile.load(path)
+        assert loaded.version == 1
+        assert set(loaded.completed) == set(rescue.completed)
+
     def test_signature_mismatch_refused(self):
         vds, _, rescue = self.complete_rescue()
         # A differently shaped plan (subset target) must be refused:
