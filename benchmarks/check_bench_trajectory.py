@@ -1,11 +1,11 @@
 """Bench-trajectory guard: fresh numbers vs the committed baselines.
 
-The repo commits four benchmark result files at the root —
+The repo commits five benchmark result files at the root —
 ``BENCH_OBS_OVERHEAD.json``, ``BENCH_PARALLEL_SPEEDUP.json``,
-``BENCH_ANALYSIS_SCALE.json`` and ``BENCH_CRASH_RECOVERY.json`` — as
-the performance trajectory of record.  This guard re-runs the
-benchmarks in smoke mode and fails when the *fresh* measurement has
-drifted past the committed trajectory:
+``BENCH_ANALYSIS_SCALE.json``, ``BENCH_CRASH_RECOVERY.json`` and
+``BENCH_SCALE_1M.json`` — as the performance trajectory of record.
+This guard re-runs the benchmarks in smoke mode and fails when the
+*fresh* measurement has drifted past the committed trajectory:
 
 * **observability overhead** — the fresh live-instrumentation overhead
   may exceed the committed figure by at most a tolerance
@@ -26,7 +26,19 @@ drifted past the committed trajectory:
   representative workload must hold its own 10% budget, and the fresh
   smoke overhead may exceed the committed figure by at most
   ``BENCH_TRAJECTORY_CRASHREC_PTS`` percentage points (default 25:
-  the smoke chain is short, so per-step noise dominates).
+  the smoke chain is short, so per-step noise dominates);
+* **planning scale** — the committed 10^5/10^6-node run must hold the
+  incremental-replan acceptance floor
+  (``BENCH_SCALE_MIN_REPLAN_SPEEDUP``, default 20) and stay within its
+  own recorded quadratic-ratio ceiling; the fresh smoke replan speedup
+  must clear ``BENCH_TRAJECTORY_REPLAN_FLOOR`` (default 3: smoke
+  graphs are small, fixed costs dominate);
+* **CPU-bound backends** — when the committed
+  ``BENCH_PARALLEL_SPEEDUP.json`` ``cpu_bound`` section was measured
+  on >= 4 cores, the process backend must have delivered >= 2.5x over
+  thread/w1 while 4 threads stayed ~1x (the GIL-escape acceptance
+  criterion); on fewer cores the numbers are recorded but not
+  enforceable and the guard says so instead of failing.
 
 Running the benchmarks overwrites the committed files, so the guard
 snapshots them first and restores them afterwards — the working tree
@@ -52,12 +64,17 @@ OBS_PATH = REPO_ROOT / "BENCH_OBS_OVERHEAD.json"
 SPEEDUP_PATH = REPO_ROOT / "BENCH_PARALLEL_SPEEDUP.json"
 ANALYSIS_PATH = REPO_ROOT / "BENCH_ANALYSIS_SCALE.json"
 CRASHREC_PATH = REPO_ROOT / "BENCH_CRASH_RECOVERY.json"
+SCALE_PATH = REPO_ROOT / "BENCH_SCALE_1M.json"
 
 DEFAULT_TOLERANCE_PTS = 25.0
 DEFAULT_SPEEDUP_FLOOR = 0.35
 DEFAULT_ANALYSIS_FLOOR = 0.2
 DEFAULT_ANALYSIS_MIN_SPEEDUP = 50.0
 DEFAULT_CRASHREC_PTS = 25.0
+DEFAULT_REPLAN_FLOOR = 3.0
+DEFAULT_SCALE_MIN_REPLAN = 20.0
+DEFAULT_CPU_MIN_PROCESS_SPEEDUP = 2.5
+DEFAULT_CPU_MAX_THREAD_SPEEDUP = 1.5
 
 
 def check_obs_overhead(
@@ -185,6 +202,89 @@ def check_crash_recovery(
     return problems
 
 
+def check_scale_1m(
+    committed: dict,
+    fresh: dict,
+    replan_floor: float = DEFAULT_REPLAN_FLOOR,
+    min_replan: float = DEFAULT_SCALE_MIN_REPLAN,
+) -> list[str]:
+    """Problems with the fresh scale numbers, empty when on track."""
+    problems: list[str] = []
+    base_replan = committed.get("replan", {}).get("speedup")
+    fresh_replan = fresh.get("replan", {}).get("speedup")
+    if base_replan is None or fresh_replan is None:
+        return ["scale result missing replan speedup"]
+    if committed.get("smoke"):
+        problems.append(
+            "committed BENCH_SCALE_1M.json came from a smoke run; "
+            "re-run the full benchmark and commit the result"
+        )
+    if float(base_replan) < min_replan:
+        problems.append(
+            f"committed incremental-replan speedup "
+            f"{float(base_replan):.1f}x is below the {min_replan:g}x "
+            f"acceptance floor"
+        )
+    ratio = committed.get("quadratic_ratio")
+    ratio_max = committed.get("quadratic_ratio_max")
+    if ratio is None or ratio_max is None:
+        problems.append("scale result missing quadratic ratio")
+    elif float(ratio) > float(ratio_max):
+        problems.append(
+            f"committed per-step plan-cost ratio {float(ratio):.2f} "
+            f"exceeds its own ceiling {float(ratio_max):g} "
+            f"(quadratic blow-up)"
+        )
+    if float(fresh_replan) < replan_floor:
+        problems.append(
+            f"incremental-replan speedup collapsed: "
+            f"{float(fresh_replan):.1f}x < floor {replan_floor:g}x"
+        )
+    return problems
+
+
+def check_cpu_bound_backend(
+    committed: dict,
+    min_process: float = DEFAULT_CPU_MIN_PROCESS_SPEEDUP,
+    max_thread: float = DEFAULT_CPU_MAX_THREAD_SPEEDUP,
+) -> list[str]:
+    """Problems with the committed CPU-bound backend comparison.
+
+    Only the committed figures are judged: the acceptance criterion is
+    a property of the quiet >= 4-core machine behind the baseline, not
+    of whatever CI runner re-ran the smoke pass.
+    """
+    cpu = committed.get("cpu_bound")
+    if cpu is None:
+        return [
+            "committed BENCH_PARALLEL_SPEEDUP.json has no cpu_bound "
+            "section; re-run the full benchmark and commit the result"
+        ]
+    cores = int(cpu.get("cores") or 0)
+    if cores < 4:
+        print(
+            f"note: committed cpu_bound baseline measured on {cores} "
+            f"core(s); GIL-escape floors need >= 4 and are not enforced"
+        )
+        return []
+    problems: list[str] = []
+    process = float(cpu.get("speedup_process_4", 0.0))
+    thread = float(cpu.get("speedup_thread_4", 0.0))
+    if process < min_process:
+        problems.append(
+            f"committed process-backend speedup {process:.2f}x at 4 "
+            f"workers is below the {min_process:g}x GIL-escape floor"
+        )
+    if thread > max_thread:
+        problems.append(
+            f"committed thread-backend speedup {thread:.2f}x on "
+            f"CPU-bound stages exceeds {max_thread:g}x — the workload "
+            f"is not actually GIL-bound, so the comparison proves "
+            f"nothing"
+        )
+    return problems
+
+
 def _load(path: Path) -> dict:
     return json.loads(path.read_text(encoding="utf-8"))
 
@@ -227,8 +327,18 @@ def main(argv: list[str] | None = None) -> int:
     crashrec_pts = float(
         os.environ.get("BENCH_TRAJECTORY_CRASHREC_PTS", DEFAULT_CRASHREC_PTS)
     )
+    replan_floor = float(
+        os.environ.get("BENCH_TRAJECTORY_REPLAN_FLOOR", DEFAULT_REPLAN_FLOOR)
+    )
+    min_replan = float(
+        os.environ.get(
+            "BENCH_SCALE_MIN_REPLAN_SPEEDUP", DEFAULT_SCALE_MIN_REPLAN
+        )
+    )
     committed = {}
-    for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH, CRASHREC_PATH):
+    for path in (
+        OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH, CRASHREC_PATH, SCALE_PATH,
+    ):
         if not path.exists():
             print(f"missing committed baseline {path.name}", file=sys.stderr)
             return 1
@@ -254,6 +364,9 @@ def main(argv: list[str] | None = None) -> int:
                 _load(SPEEDUP_PATH),
                 floor_factor=floor,
             )
+            problems += check_cpu_bound_backend(
+                json.loads(committed[SPEEDUP_PATH.name]),
+            )
         if not _run_benchmark("benchmarks/test_bench_analysis_scale.py"):
             problems.append("analysis scale benchmark failed")
         else:
@@ -271,9 +384,20 @@ def main(argv: list[str] | None = None) -> int:
                 _load(CRASHREC_PATH),
                 tolerance_pts=crashrec_pts,
             )
+        if not _run_benchmark("benchmarks/test_bench_scale_1m.py"):
+            problems.append("planning scale benchmark failed")
+        else:
+            problems += check_scale_1m(
+                json.loads(committed[SCALE_PATH.name]),
+                _load(SCALE_PATH),
+                replan_floor=replan_floor,
+                min_replan=min_replan,
+            )
     finally:
         # The smoke runs overwrote the committed files: put them back.
-        for path in (OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH, CRASHREC_PATH):
+        for path in (
+            OBS_PATH, SPEEDUP_PATH, ANALYSIS_PATH, CRASHREC_PATH, SCALE_PATH,
+        ):
             path.write_text(committed[path.name], encoding="utf-8")
 
     if problems:
@@ -281,8 +405,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"TRAJECTORY REGRESSION: {problem}", file=sys.stderr)
         return 1
     print(
-        "bench trajectory held (overhead, speedup, analysis scale "
-        "and crash-recovery cost within bounds)"
+        "bench trajectory held (overhead, speedup, analysis scale, "
+        "crash-recovery cost and planning scale within bounds)"
     )
     return 0
 

@@ -7,10 +7,15 @@ executor's makespan at workers=1/2/4 on wide HEP and SDSS plans whose
 stage bodies block (sleep) rather than spin, the local stand-in for
 I/O- and subprocess-bound stages that release the GIL.
 
+A second experiment pits the thread backend against the *process*
+backend on CPU-bound pure-Python stages that hold the GIL: threads
+give ~1x there no matter how many workers, processes scale with cores.
+
 Writes ``BENCH_PARALLEL_SPEEDUP.json`` at the repo root.  Set
 ``BENCH_SMOKE=1`` (CI) to shrink the plans and skip the speedup
-assertion; the full run asserts >= 2x at workers=4 on the width-8 HEP
-plan.
+assertions; the full run asserts >= 2x at workers=4 on the width-8 HEP
+plan, and (given >= 4 cores) >= 2.5x for the process backend on the
+CPU-bound plan.
 """
 
 import json
@@ -36,6 +41,20 @@ def _sleep_body(ctx):
     time.sleep(STEP_SECONDS)
     for formal in ctx.output_paths:
         ctx.write_output(formal, b"x")
+
+
+#: Pure-Python spin count per CPU-bound stage; holds the GIL the whole
+#: time, unlike hashing or I/O which release it.
+SPIN_ITERS = 50_000 if SMOKE else 600_000
+
+
+def _spin_body(ctx):
+    """Stand-in CPU-bound stage: GIL-holding arithmetic, then output."""
+    acc = 0
+    for i in range(SPIN_ITERS):
+        acc += i * i
+    for formal in ctx.output_paths:
+        ctx.write_output(formal, str(acc).encode())
 
 
 def hep_wide(catalog, runs=8):
@@ -132,5 +151,91 @@ def test_par_makespan(scenario, table, tmp_path):
             # Acceptance: >= 2x at workers=4 on a width->=8 plan.
             assert results["hep-wide8"]["speedup_vs_1"]["4"] >= 2.0
         return results
+
+    scenario(run)
+
+
+def cpu_executor(tmp_path, tag, runs=8):
+    """hep_wide with GIL-holding spin bodies instead of sleeps."""
+    catalog = MemoryCatalog()
+    target = hep_wide(catalog, runs=runs)
+    executor = LocalExecutor(catalog, tmp_path / tag)
+    for name in ("hepevt-gen", "hepevt-sim", "hepevt-reco", "hepevt-ana"):
+        executable = catalog.get_transformation(name).executable
+        executor.register(executable, _spin_body)
+    executor.register("py:hep-merge", _spin_body)
+    return executor, target
+
+
+def test_cpu_bound_backend(scenario, table, tmp_path):
+    """Thread vs process backend on GIL-holding stages.
+
+    Threads cannot speed up pure-Python work no matter the worker
+    count; the process backend escapes the GIL and scales with cores.
+    The speedup assertions only fire on a >= 4-core machine in full
+    mode — on fewer cores the numbers are still recorded so the
+    committed baseline documents the machine it ran on.
+    """
+
+    def run():
+        cores = os.cpu_count() or 1
+        rows = {}
+        steps = None
+        for backend, workers in (
+            ("thread", 1),
+            ("thread", 4),
+            ("process", 4),
+        ):
+            executor, target = cpu_executor(
+                tmp_path, f"cpu-{backend}-w{workers}"
+            )
+            start = time.perf_counter()
+            invocations = executor.materialize(
+                target, workers=workers, backend=backend
+            )
+            rows[(backend, workers)] = time.perf_counter() - start
+            if steps is None:
+                steps = len(invocations)
+            else:
+                assert len(invocations) == steps
+
+        base = rows[("thread", 1)]
+        cpu_bound = {
+            "cores": cores,
+            "steps": steps,
+            "spin_iters": SPIN_ITERS,
+            "makespan_seconds": {
+                f"{backend}-w{workers}": seconds
+                for (backend, workers), seconds in rows.items()
+            },
+            "speedup_thread_4": base / rows[("thread", 4)],
+            "speedup_process_4": base / rows[("process", 4)],
+        }
+        table(
+            "PAR: CPU-bound stages, thread vs process backend",
+            ["backend", "workers", "makespan ms", "speedup"],
+            [
+                (
+                    backend,
+                    workers,
+                    f"{seconds * 1e3:.0f}",
+                    f"{base / seconds:.2f}x",
+                )
+                for (backend, workers), seconds in rows.items()
+            ],
+        )
+        # Merge into the file test_par_makespan wrote rather than
+        # clobbering it (the two tests share one result artifact).
+        existing = {}
+        if RESULT_PATH.exists():
+            existing = json.loads(RESULT_PATH.read_text())
+        existing["smoke"] = SMOKE
+        existing["cpu_bound"] = cpu_bound
+        atomic_write_json(RESULT_PATH, existing)
+        if not SMOKE and cores >= 4:
+            # Acceptance: processes escape the GIL, threads don't.
+            assert cpu_bound["speedup_process_4"] >= 2.5
+            assert cpu_bound["speedup_thread_4"] <= 1.5
+        return cpu_bound
 
     scenario(run)

@@ -1,0 +1,225 @@
+"""SCALE1M — planning at the 10^6-node wall.
+
+§6 sizes real campaigns at "many millions" of data objects; this
+benchmark drives the planner's whole pipeline — generate, cold plan,
+schedule (frontier drain), analyze (CPM slack over the plan) — across
+graph sizes up to 10^6 derivations and records wall time per stage.
+Two properties are enforced:
+
+* **no quadratic blow-up**: per-step cold-plan cost at the largest size
+  may exceed the smallest size's by at most a constant factor (a
+  quadratic planner would scale it with the size ratio);
+* **incremental re-plan**: after a single-derivation mutation on the
+  reference graph, re-planning through the planner's event-driven plan
+  cache must be >= 20x faster than the cold plan (>= 3x in smoke mode,
+  where graphs are small enough that fixed costs dominate).
+
+Writes ``BENCH_SCALE_1M.json`` at the repo root;
+``check_bench_trajectory.py`` guards the committed baseline.  Set
+``BENCH_SMOKE=1`` (CI) to shrink graph sizes to 2k/10k nodes.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.catalog.memory import MemoryCatalog
+from repro.core.derivation import DatasetArg, Derivation
+from repro.core.naming import VDPRef
+from repro.durability.atomic import atomic_write_json
+from repro.observability.analysis import compute_slack
+from repro.planner.dag import Frontier, Planner
+from repro.planner.request import MaterializationRequest
+from repro.workloads import canonical
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+SIZES = (2_000, 10_000) if SMOKE else (100_000, 1_000_000)
+#: Graph the re-plan experiment runs on (the reference size).
+REPLAN_SIZE = SIZES[0]
+MUTATIONS = 3
+#: Largest-vs-smallest per-step cold-plan cost ratio allowed; the size
+#: ratio itself is 5-10x, so a quadratic planner would blow past this.
+QUADRATIC_RATIO_MAX = 4.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_SCALE_1M.json"
+
+
+class _PlanRecord:
+    """Minimal flight-record shim: unit-duration timings over a plan.
+
+    Lets :func:`compute_slack` run against a plan that was never
+    executed, which is exactly the shape of a what-if analysis over a
+    10^6-step campaign.
+    """
+
+    def __init__(self, plan, order):
+        self._timings = {
+            name: {"step": name, "start": float(i), "end": float(i) + 1.0}
+            for i, name in enumerate(order)
+        }
+        self._deps = plan.dependencies
+
+    def step_timings(self):
+        return self._timings
+
+    def dependencies(self):
+        return self._deps
+
+
+def _mutate_derivation(catalog, name, round_no):
+    """Redefine one derivation in place (a changed ``tag`` actual)."""
+    dv = catalog.get_derivation(name)
+    actuals = dict(dv.actuals)
+    actuals["tag"] = f"mut-{round_no}"
+    catalog.add_derivation(
+        Derivation(
+            name=dv.name,
+            transformation=VDPRef.parse(
+                dv.transformation.vdl_text(),
+                default_kind="transformation",
+            ),
+            actuals={
+                formal: value
+                if isinstance(value, str)
+                else DatasetArg(
+                    dataset=value.dataset, direction=value.direction
+                )
+                for formal, value in actuals.items()
+            },
+        ),
+        replace=True,
+        validate=False,
+        auto_declare=False,
+    )
+
+
+def _measure_size(nodes: int) -> tuple[dict, MemoryCatalog, Planner, tuple]:
+    catalog = MemoryCatalog()
+    t0 = time.perf_counter()
+    info = canonical.generate_graph(
+        catalog, nodes=nodes, layers=25, max_fanin=3, seed=7
+    )
+    generate_s = time.perf_counter() - t0
+
+    planner = Planner(catalog, incremental=True)
+    targets = tuple(sorted(info.sink_datasets))
+    request = MaterializationRequest(targets=targets, reuse="never")
+    t0 = time.perf_counter()
+    plan = planner.plan(request)
+    plan_s = time.perf_counter() - t0
+    assert len(plan.steps) == nodes
+
+    t0 = time.perf_counter()
+    order = plan.topological_order()
+    frontier = Frontier(plan)
+    drained = 0
+    while True:
+        ready = frontier.ready()
+        if not ready:
+            break
+        for name in ready:
+            frontier.complete(name)
+            drained += 1
+    schedule_s = time.perf_counter() - t0
+    assert drained == len(plan.steps)
+
+    t0 = time.perf_counter()
+    slack = compute_slack(_PlanRecord(plan, order))
+    analyze_s = time.perf_counter() - t0
+    assert len(slack) == len(plan.steps)
+
+    row = {
+        "steps": len(plan.steps),
+        "generate_s": generate_s,
+        "plan_s": plan_s,
+        "schedule_s": schedule_s,
+        "analyze_s": analyze_s,
+        "plan_us_per_step": plan_s / len(plan.steps) * 1e6,
+    }
+    return row, catalog, planner, (info, request)
+
+
+def test_scale_to_1m(scenario, table):
+    def run():
+        sizes: dict[str, dict] = {}
+        replan: dict = {}
+        display = []
+        for nodes in SIZES:
+            row, catalog, planner, (info, request) = _measure_size(nodes)
+            sizes[str(nodes)] = row
+            display.append(
+                (
+                    nodes,
+                    f"{row['generate_s']:.2f}",
+                    f"{row['plan_s']:.2f}",
+                    f"{row['schedule_s']:.2f}",
+                    f"{row['analyze_s']:.2f}",
+                    f"{row['plan_us_per_step']:.0f}",
+                )
+            )
+            if nodes == REPLAN_SIZE:
+                # Re-plan after a single-derivation mutation: the
+                # incremental planner patches the cached plan instead
+                # of re-walking the graph.
+                replan_s = 0.0
+                for round_no in range(MUTATIONS):
+                    target = info.derivations[
+                        (nodes // 2) + round_no * 101
+                    ]
+                    _mutate_derivation(catalog, target, round_no)
+                    t0 = time.perf_counter()
+                    patched = planner.plan(request)
+                    replan_s += time.perf_counter() - t0
+                    assert len(patched.steps) == nodes
+                replan_s /= MUTATIONS
+                replan = {
+                    "size": nodes,
+                    "cold_plan_s": row["plan_s"],
+                    "replan_s": replan_s,
+                    "speedup": row["plan_s"] / replan_s
+                    if replan_s
+                    else float("inf"),
+                    "mutations": MUTATIONS,
+                }
+            del catalog, planner  # free before the next (bigger) size
+
+        smallest, largest = str(SIZES[0]), str(SIZES[-1])
+        ratio = (
+            sizes[largest]["plan_us_per_step"]
+            / sizes[smallest]["plan_us_per_step"]
+        )
+        results = {
+            "smoke": SMOKE,
+            "cores": os.cpu_count(),
+            "sizes": sizes,
+            "quadratic_ratio": ratio,
+            "quadratic_ratio_max": QUADRATIC_RATIO_MAX,
+            "replan": replan,
+        }
+        table(
+            "SCALE1M: planning pipeline wall time vs graph size",
+            ["nodes", "gen s", "plan s", "sched s", "slack s", "us/step"],
+            display,
+        )
+        table(
+            "SCALE1M: cold plan vs incremental re-plan (1 mutation)",
+            ["nodes", "cold s", "replan s", "speedup"],
+            [
+                (
+                    replan["size"],
+                    f"{replan['cold_plan_s']:.2f}",
+                    f"{replan['replan_s']:.4f}",
+                    f"{replan['speedup']:.0f}x",
+                )
+            ],
+        )
+        atomic_write_json(RESULT_PATH, results)
+        # Linear-ish scaling: per-step plan cost must not grow with
+        # graph size the way a quadratic walk would.
+        assert ratio <= QUADRATIC_RATIO_MAX, (
+            f"per-step plan cost grew {ratio:.1f}x from {smallest} to "
+            f"{largest} nodes"
+        )
+        assert replan["speedup"] >= (3.0 if SMOKE else 20.0)
+        return results
+
+    scenario(run)

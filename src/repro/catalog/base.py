@@ -31,6 +31,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional
 
 from repro.catalog.index import CatalogIndexes, PayloadCache
+from repro.catalog.payloads import json_copy
 from repro.core.dataset import Dataset
 from repro.durability.crashpoints import crashpoint
 from repro.core.derivation import Derivation
@@ -117,9 +118,15 @@ class VirtualDataCatalog:
         # cache invalidator must observe events before the indexes do:
         # index maintenance re-reads payloads through the cache.
         self._cache = PayloadCache()
+        # Set by the mutation choke points right before they fire the
+        # "put" event: the just-written payload is already cached, so
+        # the invalidator must let it live (index maintenance re-reads
+        # payloads through the cache immediately after).
+        self._cache_fresh: Optional[tuple[str, str]] = None
         self.subscribe(self._invalidate_cached_payload)
         self._indexes = CatalogIndexes(self)
         self._analyzer: Optional[Any] = None
+        self._graph_cache: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # storage primitives (implemented by backends)
@@ -139,6 +146,16 @@ class VirtualDataCatalog:
 
     def _store_has(self, kind: str, key: str) -> bool:
         return self._store_get(kind, key) is not None
+
+    def _store_peek(self, kind: str, key: str) -> Optional[dict]:
+        """Raw read without an isolation copy — caller must not mutate.
+
+        The point-lookup companion to :meth:`_store_scan`: backends
+        whose storage is already plain dicts override this to skip the
+        per-object copy.  The default delegates to :meth:`_store_get`
+        (which copies), so it is always safe.
+        """
+        return self._store_get(kind, key)
 
     def _store_put_many(
         self, kind: str, items: list[tuple[str, dict]]
@@ -233,6 +250,11 @@ class VirtualDataCatalog:
     # ------------------------------------------------------------------
 
     def _invalidate_cached_payload(self, event: str, kind: str, key: str) -> None:
+        if self._cache_fresh == (kind, key) and event == "put":
+            # Write-through from _apply_put/restore_payload: the cache
+            # already holds the new payload; don't throw it away.
+            self._cache_fresh = None
+            return
         self._cache.invalidate(kind, key)
 
     def _cached_payload(self, kind: str, key: str) -> Optional[dict]:
@@ -251,6 +273,19 @@ class VirtualDataCatalog:
         if payload is not None:
             self._cache.put(kind, key, payload)
         return payload
+
+    def _peek_payload(self, kind: str, key: str) -> Optional[dict]:
+        """Read-only payload view: cache if present, else a raw peek.
+
+        Unlike :meth:`_cached_payload` a miss does *not* populate the
+        LRU — bulk planner walks over 10^5+ objects would otherwise
+        evict the whole working set.  Callers must treat the document
+        as read-only and must not retain it across mutations.
+        """
+        payload = self._cache.get(kind, key)
+        if payload is not None:
+            return payload
+        return self._store_peek(kind, key)
 
     def _obs_cache_op(self, hit: bool) -> None:
         if not self._obs.enabled:
@@ -281,6 +316,8 @@ class VirtualDataCatalog:
         self._indexes.rebuild()
         if self._analyzer is not None:
             self._analyzer.rebuild()
+        if self._graph_cache is not None:
+            self._graph_cache.invalidate()
 
     @_synchronized
     def live_analyzer(self, file: str = "<catalog>") -> Any:
@@ -299,6 +336,31 @@ class VirtualDataCatalog:
                 self, file=file, obs=self._obs
             )
         return self._analyzer
+
+    @_synchronized
+    def graph_cache(self) -> Any:
+        """The event-maintained derivation-graph cache (lazy).
+
+        Like :meth:`live_analyzer`: created on first use, then kept
+        current through the mutation-event stream so repeated planning
+        pays only for what changed.
+        """
+        if self._graph_cache is None:
+            # Local import: repro.provenance imports catalog helpers,
+            # so a module-level import would be circular.
+            from repro.provenance.graphcache import GraphCache
+
+            self._graph_cache = GraphCache(self)
+        return self._graph_cache
+
+    def derivation_graph(self) -> Any:
+        """The current derivation graph, cached between mutations.
+
+        The returned graph is shared and event-maintained: treat it as
+        read-only, and re-call this accessor (cheap when nothing
+        changed) rather than holding it across catalog mutations.
+        """
+        return self.graph_cache().graph()
 
     # ------------------------------------------------------------------
     # transactions (crash-atomic multi-object commits)
@@ -452,6 +514,12 @@ class VirtualDataCatalog:
                 self._txn_ops += 1
                 crashpoint("catalog.commit.op")
         self._store_put(kind, key, payload)
+        # Write-through: every caller passes a freshly serialized
+        # document it never mutates afterwards, so an owned copy can be
+        # cached now — index maintenance and the common read-after-
+        # write then skip the backend read entirely.
+        self._cache.put(kind, key, json_copy(payload))
+        self._cache_fresh = (kind, key)
 
     def _apply_delete(self, kind: str, key: str) -> None:
         """Journal-then-apply a delete (the mutation choke point)."""
@@ -468,8 +536,8 @@ class VirtualDataCatalog:
 
     def _snapshot_payload(self, kind: str, key: str) -> Optional[dict]:
         """An owned copy of the stored payload, for undo logs."""
-        payload = self._store_get(kind, key)
-        return copy.deepcopy(payload) if payload is not None else None
+        payload = self._cached_payload(kind, key)
+        return json_copy(payload) if payload is not None else None
 
     @_synchronized
     def restore_payload(
@@ -487,7 +555,13 @@ class VirtualDataCatalog:
                 self._store_delete(kind, key)
                 self._notify("delete", kind, key)
         else:
-            self._store_put(kind, key, copy.deepcopy(payload))
+            owned = json_copy(payload)
+            self._store_put(kind, key, owned)
+            # Same write-through contract as _apply_put: whenever the
+            # fresh marker is set, cache and store hold the same
+            # document, so the skipped invalidation is always safe.
+            self._cache.put(kind, key, json_copy(owned))
+            self._cache_fresh = (kind, key)
             self._notify("put", kind, key)
 
     # ------------------------------------------------------------------
@@ -515,7 +589,7 @@ class VirtualDataCatalog:
         if payload is None:
             raise NotFoundError(f"dataset {name!r} not found")
         self._obs_op("lookup", "dataset", t0)
-        return Dataset.from_dict(copy.deepcopy(payload))
+        return Dataset.from_dict(json_copy(payload))
 
     @_synchronized
     def has_dataset(self, name: str) -> bool:
@@ -557,7 +631,7 @@ class VirtualDataCatalog:
         payload = self._cached_payload("replica", replica_id)
         if payload is None:
             raise NotFoundError(f"replica {replica_id!r} not found")
-        return Replica.from_dict(copy.deepcopy(payload))
+        return Replica.from_dict(json_copy(payload))
 
     @_synchronized
     def remove_replica(self, replica_id: str) -> None:
@@ -710,7 +784,23 @@ class VirtualDataCatalog:
         if payload is None:
             raise NotFoundError(f"derivation {name!r} not found")
         self._obs_op("lookup", "derivation", t0)
-        return Derivation.from_dict(copy.deepcopy(payload))
+        return Derivation.from_dict(json_copy(payload))
+
+    @_synchronized
+    def _decode_derivation(self, name: str) -> Derivation:
+        """Decode a derivation from the raw stored payload (no copy).
+
+        ``Derivation.from_dict`` rebuilds every mutable substructure
+        (actuals, environment, attributes), so the decoded object
+        shares nothing with the store and the isolation copy of
+        :meth:`get_derivation` is pure overhead.  This is the loader
+        the cached :class:`~repro.provenance.graph.DerivationGraph`
+        uses — at 10^5+ derivations the copy would dominate planning.
+        """
+        payload = self._peek_payload("derivation", name)
+        if payload is None:
+            raise NotFoundError(f"derivation {name!r} not found")
+        return Derivation.from_dict(payload)
 
     @_synchronized
     def has_derivation(self, name: str) -> bool:
@@ -779,7 +869,7 @@ class VirtualDataCatalog:
         payload = self._cached_payload("invocation", invocation_id)
         if payload is None:
             raise NotFoundError(f"invocation {invocation_id!r} not found")
-        return Invocation.from_dict(copy.deepcopy(payload))
+        return Invocation.from_dict(json_copy(payload))
 
     @_synchronized
     def invocations_of(self, derivation_name: str) -> list[Invocation]:

@@ -6,10 +6,10 @@ simulation workloads: nothing persists beyond the process.
 
 from __future__ import annotations
 
-import copy
 from typing import Iterator, Optional
 
 from repro.catalog.base import KINDS, VirtualDataCatalog
+from repro.catalog.payloads import json_copy
 
 
 class MemoryCatalog(VirtualDataCatalog):
@@ -25,17 +25,22 @@ class MemoryCatalog(VirtualDataCatalog):
         self._data: dict[str, dict[str, dict]] = {kind: {} for kind in KINDS}
 
     def _store_put(self, kind: str, key: str, payload: dict) -> None:
-        self._data[kind][key] = copy.deepcopy(payload)
+        self._data[kind][key] = json_copy(payload)
 
     def _store_get(self, kind: str, key: str) -> Optional[dict]:
         payload = self._data[kind].get(key)
-        return copy.deepcopy(payload) if payload is not None else None
+        return json_copy(payload) if payload is not None else None
 
     def _store_delete(self, kind: str, key: str) -> None:
         self._data[kind].pop(key, None)
 
     def _store_keys(self, kind: str) -> list[str]:
         return list(self._data[kind])
+
+    def _store_peek(self, kind: str, key: str) -> Optional[dict]:
+        # The stored document itself (no isolation copy); the
+        # base-class contract makes the caller promise read-only.
+        return self._data[kind].get(key)
 
     def _store_scan(self, kind: str) -> Iterator[tuple[str, dict]]:
         # Yields the stored documents themselves (no isolation copy);

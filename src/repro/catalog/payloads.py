@@ -1,0 +1,37 @@
+"""Fast structural copies for catalog payload documents.
+
+Every payload a catalog stores is a JSON document by construction —
+the persistent backends round-trip them through ``json.dumps`` — so
+isolation copies never need :func:`copy.deepcopy`'s cycle detection,
+memo table, or ``__deepcopy__`` dispatch.  :func:`json_copy` walks the
+dict/list/scalar structure directly, which profiles 4-6x faster and
+dominates both bulk graph registration and cold planning at 10^5-10^6
+catalog objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Immutable leaf types a JSON payload may contain.  Tuples appear only
+#: transiently (in-memory payloads built from dataclasses); they are
+#: copied as lists, matching what a JSON round trip would produce.
+_ATOMIC = (str, int, float, bool, type(None))
+
+
+def json_copy(document: Any) -> Any:
+    """An owned structural copy of a JSON-shaped document.
+
+    Handles dicts, lists/tuples and scalar leaves; anything else falls
+    back to :func:`copy.deepcopy` so a payload that smuggles in an
+    unexpected object is still copied correctly (just not quickly).
+    """
+    if isinstance(document, _ATOMIC):
+        return document
+    if isinstance(document, dict):
+        return {key: json_copy(value) for key, value in document.items()}
+    if isinstance(document, (list, tuple)):
+        return [json_copy(item) for item in document]
+    import copy
+
+    return copy.deepcopy(document)

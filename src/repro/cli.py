@@ -409,12 +409,13 @@ def _preflight(ws: Workspace, args, out) -> Optional[int]:
 def _cmd_materialize(ws: Workspace, args, out) -> int:
     return _materialize_local(
         ws, args.dataset, args.reuse, getattr(args, "workers", 1), out,
-        args=args,
+        args=args, backend=getattr(args, "backend", "thread"),
     )
 
 
 def _materialize_local(
-    ws: Workspace, dataset: str, reuse: str, workers: int, out, args=None
+    ws: Workspace, dataset: str, reuse: str, workers: int, out, args=None,
+    backend: str = "thread",
 ) -> int:
     blocked = _preflight(ws, args, out)
     if blocked is not None:
@@ -427,7 +428,7 @@ def _materialize_local(
     try:
         with ticker:
             invocations = executor.materialize(
-                dataset, reuse=reuse, workers=workers
+                dataset, reuse=reuse, workers=workers, backend=backend
             )
         status = "ok"
     finally:
@@ -459,7 +460,8 @@ def _cmd_run(ws: Workspace, args, out) -> int:
             # Local mode: the in-process executor's thread pool stands
             # in for the grid; --workers sizes it.
             return _materialize_local(
-                ws, args.target, "always", args.workers, out, args=args
+                ws, args.target, "always", args.workers, out, args=args,
+                backend=getattr(args, "backend", "thread"),
             )
         return _cmd_run_grid(ws, args, out)
     if not args.transformation:
@@ -1029,6 +1031,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run up to N independent plan steps concurrently",
     )
     mat.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker pool type: threads (default; I/O-bound steps) or "
+        "processes (CPU-bound Python bodies scale past the GIL)",
+    )
+    mat.add_argument(
         "--progress",
         action="store_true",
         help="show a live steps-done/running/failed ticker with ETA",
@@ -1072,6 +1081,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="with --grid local: run up to N plan steps concurrently",
+    )
+    run.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="with --grid local: thread (default) or process workers",
     )
     run.add_argument(
         "--pattern",

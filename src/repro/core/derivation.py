@@ -16,6 +16,7 @@ derivation's output names another's input, a dependency graph arises —
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Iterator, Union
 
 from repro.core.attributes import AttributeSet
@@ -62,6 +63,18 @@ class DatasetArg:
 ActualArg = Union[str, DatasetArg]
 
 
+@lru_cache(maxsize=65536)
+def _dataset_arg(dataset: str, direction: str, temporary: bool) -> DatasetArg:
+    """Interning constructor for decode paths.
+
+    :class:`DatasetArg` is frozen, so instances can be shared; decoding
+    a large catalog re-creates the same ``(dataset, direction,
+    temporary)`` triples a handful of times each, and validation in
+    ``__post_init__`` is then paid once per distinct triple.
+    """
+    return DatasetArg(dataset=dataset, direction=direction, temporary=temporary)
+
+
 @dataclass
 class Derivation:
     """A named binding of actual arguments to a transformation.
@@ -104,14 +117,28 @@ class Derivation:
 
     def inputs(self) -> tuple[str, ...]:
         """Names of datasets this derivation consumes, sorted."""
+        # Open-coded (no dataset_args generator / direction property):
+        # planners call this for every step of 10^5+-node plans.
         return tuple(
-            sorted({a.dataset for _, a in self.dataset_args() if a.is_input})
+            sorted(
+                {
+                    a.dataset
+                    for a in self.actuals.values()
+                    if isinstance(a, DatasetArg) and a.direction != "output"
+                }
+            )
         )
 
     def outputs(self) -> tuple[str, ...]:
         """Names of datasets this derivation produces, sorted."""
         return tuple(
-            sorted({a.dataset for _, a in self.dataset_args() if a.is_output})
+            sorted(
+                {
+                    a.dataset
+                    for a in self.actuals.values()
+                    if isinstance(a, DatasetArg) and a.direction != "input"
+                }
+            )
         )
 
     def produces(self, dataset_name: str) -> bool:
@@ -181,10 +208,10 @@ class Derivation:
         actuals: dict[str, ActualArg] = {}
         for key, value in data.get("actuals", {}).items():
             if isinstance(value, dict):
-                actuals[key] = DatasetArg(
-                    dataset=value["dataset"],
-                    direction=value.get("direction", "input"),
-                    temporary=value.get("temporary", False),
+                actuals[key] = _dataset_arg(
+                    value["dataset"],
+                    value.get("direction", "input"),
+                    value.get("temporary", False),
                 )
             else:
                 actuals[key] = value

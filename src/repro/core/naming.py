@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.errors import SchemaError
@@ -34,12 +35,17 @@ _VDP_RE = re.compile(
 )
 
 
+@lru_cache(maxsize=65536)
 def check_object_name(name: str) -> str:
     """Validate a bare object name; returns it unchanged when valid.
 
     Names must begin with an alphanumeric or underscore and may contain
     dots, colons, pluses and dashes — enough for versioned names such
     as ``example1::t1`` or ``srch-muon``.
+
+    Cached: the same names are re-validated on every object decode, and
+    at 10^5-step plans the regex dominates.  (Failures raise and are
+    therefore never cached.)
     """
     if not name or not _NAME_RE.match(name):
         raise SchemaError(f"invalid object name {name!r}")
@@ -101,22 +107,32 @@ class VDPRef:
 
     @classmethod
     def parse(cls, text: str, default_kind: Optional[str] = None) -> "VDPRef":
-        """Parse a bare name, ``kind/name`` or full ``vdp://`` URI."""
-        match = _VDP_RE.match(text)
-        if match:
-            kind = match.group("kind") or default_kind
-            return cls(
-                name=match.group("name"),
-                authority=match.group("authority"),
-                kind=kind,
-            )
-        if text.startswith("vdp://"):
-            raise SchemaError(f"malformed vdp reference {text!r}")
-        if "/" in text:
-            kind, _, name = text.partition("/")
-            if kind in OBJECT_KINDS:
-                return cls(name=name, kind=kind)
-        return cls(name=text, kind=default_kind)
+        """Parse a bare name, ``kind/name`` or full ``vdp://`` URI.
+
+        Parses are cached and the returned instance shared — safe
+        because :class:`VDPRef` is frozen, and hot because decoding N
+        derivations re-parses the same handful of transformation URIs.
+        """
+        return _parse_ref(text, default_kind)
 
     def __str__(self) -> str:
         return self.uri()
+
+
+@lru_cache(maxsize=8192)
+def _parse_ref(text: str, default_kind: Optional[str]) -> VDPRef:
+    match = _VDP_RE.match(text)
+    if match:
+        kind = match.group("kind") or default_kind
+        return VDPRef(
+            name=match.group("name"),
+            authority=match.group("authority"),
+            kind=kind,
+        )
+    if text.startswith("vdp://"):
+        raise SchemaError(f"malformed vdp reference {text!r}")
+    if "/" in text:
+        kind, _, name = text.partition("/")
+        if kind in OBJECT_KINDS:
+            return VDPRef(name=name, kind=kind)
+    return VDPRef(name=text, kind=default_kind)

@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import os
 import platform
+import queue
 import subprocess
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -117,6 +123,10 @@ class LocalExecutor:
         # Per-dataset sandbox locks for the parallel engine.
         self._dataset_locks: dict[str, threading.Lock] = {}
         self._dataset_locks_guard = threading.Lock()
+        # One incremental planner per executor: repeated materialize()
+        # calls patch the previous plan instead of re-walking the whole
+        # derivation graph (rebuilt lazily if observability is swapped).
+        self._planner: Optional[Planner] = None
 
     # -- registration ---------------------------------------------------------
 
@@ -470,12 +480,30 @@ class LocalExecutor:
 
     # -- end-to-end materialization ------------------------------------------------
 
+    def planner(self) -> Planner:
+        """This executor's (incremental) planner, built lazily.
+
+        One planner instance lives as long as the executor so repeated
+        ``materialize()`` calls hit its plan cache; it is rebuilt only
+        if the executor's instrumentation is swapped out after
+        construction (the planner captures ``obs`` at build time).
+        """
+        if self._planner is None or self._planner.obs is not self.obs:
+            self._planner = Planner(
+                self.catalog,
+                has_replica=self.has_valid_replica,
+                instrumentation=self.obs,
+                incremental=True,
+            )
+        return self._planner
+
     def materialize(
         self,
         target: str,
         reuse: str = "always",
         workers: int = 1,
         failure_policy: Optional[str] = None,
+        backend: str = "thread",
     ) -> list[Invocation]:
         """Plan and execute everything needed to produce ``target``.
 
@@ -483,18 +511,28 @@ class LocalExecutor:
         Returns the invocations performed, ordered by the plan's
         topological order (which for ``workers=1`` is execution order).
 
-        ``workers`` sizes a thread pool that dispatches the entire
-        ready frontier concurrently (§5.4's workflow manager dispatches
+        ``workers`` sizes a pool that dispatches the entire ready
+        frontier concurrently (§5.4's workflow manager dispatches
         "nodes of the workflow graph when the node's predecessor
-        dependencies have completed").  ``failure_policy`` is one of
-        the PR-3 policies: ``"fail-fast"`` (default) stops dispatching
-        on the first failure and re-raises it once in-flight steps
-        drain; ``"run-what-you-can"`` keeps executing steps outside the
-        failed subtree and raises
+        dependencies have completed").  ``backend`` selects the pool:
+        ``"thread"`` (default) shares the interpreter and suits
+        I/O-bound or subprocess-heavy steps; ``"process"`` runs
+        registered Python bodies in worker processes so CPU-bound
+        steps scale past the GIL (bodies must then be module-level
+        functions — see :mod:`repro.executor.process`).
+        ``failure_policy`` is one of the PR-3 policies: ``"fail-fast"``
+        (default) stops dispatching on the first failure and re-raises
+        it once in-flight steps drain; ``"run-what-you-can"`` keeps
+        executing steps outside the failed subtree and raises
         :class:`~repro.errors.MaterializationError` at the end.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'thread' or "
+                f"'process'"
+            )
         policy = failure_policy or FAIL_FAST
         if policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -504,18 +542,17 @@ class LocalExecutor:
         with self.obs.span(
             "executor.materialize", targets=target, workers=workers
         ) as mspan:
-            planner = Planner(
-                self.catalog,
-                has_replica=self.has_valid_replica,
-                instrumentation=self.obs,
-            )
-            plan = planner.plan(
+            plan = self.planner().plan(
                 MaterializationRequest(targets=(target,), reuse=reuse)
             )
             if self.obs.recorder is not None:
                 self.obs.recorder.plan(plan)
             if self.obs.progress is not None:
                 self.obs.progress.start_plan(plan)
+            if backend == "process":
+                return self._materialize_process(
+                    plan, workers, policy, mspan
+                )
             if workers == 1 and policy == FAIL_FAST:
                 # Today's sequential path, unchanged.
                 invocations = []
@@ -641,6 +678,324 @@ class LocalExecutor:
             ) from failures[first]
         return invocations
 
+    # -- process-pool backend -------------------------------------------------
+
+    def _materialize_process(
+        self, plan, workers: int, policy: str, parent=None
+    ) -> list[Invocation]:
+        """Frontier-driven *process*-pool execution of a plan.
+
+        Division of labor (see :mod:`repro.executor.process`):
+
+        - The main thread owns scheduling: it builds a picklable
+          :class:`~repro.executor.process.InvocationPayload` per ready
+          step (pickle-preflighted so failures name the offending
+          field), submits it, and feeds worker outcomes to the
+          collector.
+        - Worker processes run transformation bodies and hash outputs;
+          they never touch the catalog, the executor, or any lock.
+        - A single-writer collector thread performs *all* provenance
+          and metrics writeback — replica and invocation records are
+          allocated parent-side and committed one
+          ``catalog.transaction`` per step, in dispatch-completion
+          order, so an upstream step's provenance always lands before
+          anything downstream of it and catalog locks never cross a
+          process boundary.
+        """
+        from repro.executor.process import preflight_payload, run_invocation
+
+        order_index = {
+            name: i for i, name in enumerate(plan.topological_order())
+        }
+        frontier = plan.frontier()
+        completed: dict[str, Invocation] = {}
+        failures: dict[str, ExecutionError] = {}
+        skipped: set[str] = set()
+        collector = _ProvenanceCollector(self)
+        collector.start()
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: dict = {}  # future -> step name
+        payloads: dict[str, tuple] = {}  # name -> (payload, dv, tr)
+        busy_outputs: set[str] = set()  # sandbox paths being written
+        try:
+            while True:
+                if collector.failure is not None:
+                    raise collector.failure
+                if not (frontier.exhausted and not futures):
+                    stop_dispatch = policy == FAIL_FAST and failures
+                    if not stop_dispatch:
+                        for name in frontier.ready():
+                            if (
+                                name in futures.values()
+                                or name in skipped
+                                or name in failures
+                            ):
+                                continue
+                            step = plan.steps[name]
+                            try:
+                                payload, dv, tr = self._build_payload(step)
+                                # Two live steps must never write the
+                                # same sandbox file (LFNs can collide
+                                # after path sanitization); hold such a
+                                # step back until the writer finishes.
+                                outs = set(payload.output_paths.values())
+                                if outs & busy_outputs:
+                                    continue
+                                preflight_payload(payload)
+                            except ExecutionError as exc:
+                                failures[name] = exc
+                                skipped.update(
+                                    self._downstream_of(plan, name)
+                                )
+                                self._note_step(name, None, "failure")
+                                if self.obs.enabled:
+                                    self.obs.count(
+                                        "executor.invocations",
+                                        status="failure",
+                                        help=(
+                                            "local executions by "
+                                            "terminal status"
+                                        ),
+                                    )
+                                continue
+                            payloads[name] = (payload, dv, tr)
+                            busy_outputs.update(
+                                payload.output_paths.values()
+                            )
+                            futures[
+                                pool.submit(run_invocation, payload)
+                            ] = name
+                            if self.obs.progress is not None:
+                                self.obs.progress.step_started(name)
+                        self._obs_in_flight(len(futures))
+                self._sample_frontier(
+                    frontier, futures, completed, len(plan.steps)
+                )
+                if not futures:
+                    break
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in sorted(
+                    done, key=lambda f: order_index[futures[f]]
+                ):
+                    name = futures.pop(future)
+                    payload, dv, tr = payloads.pop(name)
+                    busy_outputs.difference_update(
+                        payload.output_paths.values()
+                    )
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:
+                        # A worker died hard (pool broken, unpicklable
+                        # outcome): fail the step without provenance.
+                        failures[name] = ExecutionError(
+                            f"derivation {dv.name!r}: worker failed "
+                            f"({type(exc).__name__}: {exc})"
+                        )
+                        skipped.update(self._downstream_of(plan, name))
+                        self._note_step(name, None, "failure")
+                        collector.submit(dv, tr, None, None)
+                        continue
+                    if outcome.status == "success":
+                        invocation = self._outcome_invocation(
+                            dv, tr, payload, outcome
+                        )
+                        collector.submit(dv, tr, invocation, outcome)
+                        completed[name] = invocation
+                        frontier.complete(name)
+                        self._note_step(name, invocation, "success")
+                    else:
+                        if outcome.commit:
+                            invocation = self._outcome_invocation(
+                                dv, tr, payload, outcome
+                            )
+                            collector.submit(dv, tr, invocation, outcome)
+                            message = (
+                                f"derivation {dv.name!r} failed: "
+                                f"{outcome.error}"
+                            )
+                        else:
+                            collector.submit(dv, tr, None, None)
+                            message = outcome.error or (
+                                f"derivation {dv.name!r} failed"
+                            )
+                        failures[name] = ExecutionError(message)
+                        skipped.update(self._downstream_of(plan, name))
+                        self._note_step(name, None, "failure")
+                self._obs_in_flight(len(futures))
+                if policy == FAIL_FAST and failures and not futures:
+                    break
+                if (
+                    policy == RUN_WHAT_YOU_CAN
+                    and not futures
+                    and not any(
+                        name not in skipped and name not in failures
+                        for name in frontier.ready()
+                    )
+                ):
+                    break
+        finally:
+            pool.shutdown(wait=True)
+            collector.close()
+            self._obs_in_flight(0)
+        if collector.failure is not None:
+            raise collector.failure
+        for name in sorted(skipped, key=order_index.__getitem__):
+            if self.obs.progress is not None:
+                self.obs.progress.step_finished(name, "skipped")
+            if self.obs.recorder is not None:
+                self.obs.recorder.event(
+                    "step.skipped", step=name, reason="upstream failure"
+                )
+        invocations = [
+            completed[name]
+            for name in sorted(completed, key=order_index.__getitem__)
+        ]
+        if failures:
+            first = min(failures, key=order_index.__getitem__)
+            if policy == FAIL_FAST:
+                raise failures[first]
+            raise MaterializationError(
+                f"{len(failures)} step(s) failed "
+                f"({', '.join(sorted(failures))}); "
+                f"{len(skipped)} skipped downstream",
+                invocations=invocations,
+                failed=failures,
+                skipped=skipped,
+            ) from failures[first]
+        return invocations
+
+    def _build_payload(self, step):
+        """Build the picklable payload for one plan step (parent side).
+
+        Performs the same pre-run checks as the in-process path —
+        compound transformations are refused and inputs must already be
+        materialized — so scheduling semantics match the thread
+        backend exactly.
+        """
+        from repro.executor.process import InvocationPayload
+
+        dv = step.derivation
+        tr = self.catalog.get_transformation(dv.transformation.name)
+        if not isinstance(tr, SimpleTransformation):
+            raise ExecutionError(
+                f"local executor runs simple transformations only; "
+                f"{tr.name!r} is compound (plan it first)"
+            )
+        values, input_paths, output_paths, parameters = self._bind(dv, tr)
+        for formal, path in input_paths.items():
+            if not path.exists():
+                raise ExecutionError(
+                    f"derivation {dv.name!r}: input {formal!r} "
+                    f"({path.name}) is not materialized"
+                )
+        argv = tr.command_line(values)
+        environment = {
+            **dict(dv.environment),
+            **tr.rendered_environment(values),
+        }
+        streams = {}
+        for stream_name, rendered in tr.stream_redirects(values).items():
+            path = Path(rendered)
+            if not path.is_absolute():
+                path = self.workdir / rendered.replace("/", "_")
+            streams[stream_name] = str(path)
+        output_datasets = {}
+        for formal, path in output_paths.items():
+            actual = dv.actuals.get(formal)
+            output_datasets[formal] = (
+                actual.dataset if hasattr(actual, "dataset") else path.name
+            )
+        payload = InvocationPayload(
+            step_name=step.name,
+            derivation_name=dv.name,
+            executable=tr.executable,
+            argv=tuple(argv),
+            environment=environment,
+            workdir=str(self.workdir),
+            input_paths={k: str(v) for k, v in input_paths.items()},
+            output_paths={k: str(v) for k, v in output_paths.items()},
+            output_datasets=output_datasets,
+            parameters=dict(parameters),
+            streams=streams,
+            body=self._bodies.get(tr.executable),
+        )
+        return payload, dv, tr
+
+    def _outcome_invocation(self, dv, tr, payload, outcome) -> Invocation:
+        """Materialize a worker outcome as an Invocation record.
+
+        Allocation happens parent-side (ids, recipe stamp) so workers
+        stay free of catalog concerns; field population mirrors
+        ``_execute``'s in-process construction.
+        """
+        invocation = Invocation(
+            derivation_name=dv.name,
+            status=outcome.status,
+            start_time=outcome.started,
+            context=ExecutionContext.make(
+                site=self.site_name,
+                host=platform.node() or "localhost",
+                os=platform.system().lower() or "linux",
+                processor=platform.machine() or "x86_64",
+                environment=dict(payload.environment),
+            ),
+            usage=ResourceUsage(
+                cpu_seconds=outcome.wall_seconds,
+                wall_seconds=outcome.wall_seconds,
+                bytes_read=outcome.bytes_read,
+                bytes_written=outcome.bytes_written,
+            ),
+            exit_code=outcome.exit_code,
+            error=outcome.error,
+        )
+        stamp_recipe(invocation, dv, tr)
+        return invocation
+
+    def _commit_outcome(self, dv, tr, invocation, outcome) -> None:
+        """Write one worker outcome's provenance (collector thread only).
+
+        The single-writer twin of ``_execute``'s commit block: output
+        replicas (digests already computed in the worker), materialized
+        dataset records and the invocation land in one catalog
+        transaction, or not at all.
+        """
+        with self.catalog.transaction(label=f"invocation:{dv.name}"):
+            if invocation.status == "success":
+                for formal, stat in sorted(outcome.outputs.items()):
+                    actual = dv.actuals.get(formal)
+                    dataset_name = (
+                        actual.dataset
+                        if hasattr(actual, "dataset")
+                        else Path(stat.path).name
+                    )
+                    crashpoint("executor.stage-out")
+                    replica = Replica(
+                        dataset_name=dataset_name,
+                        location=self.site_name,
+                        descriptor=FileDescriptor(
+                            path=stat.path, size=stat.size
+                        ),
+                        size=stat.size,
+                        digest=stat.digest,
+                    )
+                    self.catalog.add_replica(replica)
+                    invocation.replica_bindings[formal] = replica.replica_id
+                    if self.catalog.has_dataset(dataset_name):
+                        ds = self.catalog.get_dataset(dataset_name)
+                    else:
+                        ds = Dataset(name=dataset_name)
+                    self.catalog.add_dataset(
+                        ds.materialized(
+                            FileDescriptor(path=stat.path, size=stat.size)
+                        ),
+                        replace=True,
+                    )
+                    self._verified[stat.path] = (stat.size, stat.mtime_ns)
+            self.catalog.add_invocation(invocation)
+        crashpoint("executor.post-commit")
+        if self.obs.recorder is not None:
+            self.obs.recorder.invocation(invocation)
+
     def _execute_step_locked(self, step, parent=None) -> Invocation:
         """Run one plan step holding its output-dataset locks.
 
@@ -716,11 +1071,13 @@ class LocalExecutor:
 
     @staticmethod
     def _downstream_of(plan, name: str) -> set[str]:
-        """Transitive dependents of ``name`` in the plan DAG."""
-        dependents: dict[str, set[str]] = {}
-        for step, deps in plan.dependencies.items():
-            for dep in deps:
-                dependents.setdefault(dep, set()).add(step)
+        """Transitive dependents of ``name`` in the plan DAG.
+
+        Uses the plan's memoized frontier shape instead of re-deriving
+        the dependents map — a failure storm on a 10^5-step plan used
+        to pay O(edges) per failed step just to find what to skip.
+        """
+        dependents = plan.frontier_shape()[1]
         out: set[str] = set()
         stack = [name]
         while stack:
@@ -729,6 +1086,83 @@ class LocalExecutor:
                     out.add(child)
                     stack.append(child)
         return out
+
+
+class _ProvenanceCollector:
+    """The process backend's single catalog writer.
+
+    Worker processes compute; this thread records.  Outcomes are
+    committed strictly in submission order (a FIFO queue), and the main
+    thread only submits a step's outcome before releasing its
+    dependents, so upstream provenance is always durable before
+    anything downstream commits — the same invariant the sequential
+    path gets for free.  Invocation metrics are also counted here so
+    the counters observed after a run match the thread backend's
+    exactly.
+    """
+
+    def __init__(self, executor: LocalExecutor):
+        self._executor = executor
+        self._queue: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._run, name="provenance-collector", daemon=True
+        )
+        #: First exception raised while committing, if any; the main
+        #: scheduling loop re-raises it.
+        self.failure: Optional[BaseException] = None
+        self.committed = 0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def submit(self, dv, tr, invocation, outcome) -> None:
+        """Queue one finished step.  ``invocation=None`` records
+        nothing and only counts a failure (pre-run refusals)."""
+        self._queue.put((dv, tr, invocation, outcome))
+
+    def close(self) -> None:
+        """Drain the queue and stop the thread."""
+        self._queue.put(None)
+        self._thread.join()
+
+    def _run(self) -> None:
+        executor = self._executor
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            if self.failure is not None:
+                continue  # drain without committing after a failure
+            dv, tr, invocation, outcome = item
+            try:
+                if invocation is not None:
+                    executor._commit_outcome(dv, tr, invocation, outcome)
+                    self.committed += 1
+                if executor.obs.enabled:
+                    status = (
+                        invocation.status
+                        if invocation is not None
+                        and invocation.status == "success"
+                        else "failure"
+                    )
+                    executor.obs.count(
+                        "executor.invocations",
+                        status=status,
+                        help="local executions by terminal status",
+                    )
+                    if invocation is not None and status == "success":
+                        executor.obs.observe(
+                            "executor.invocation.seconds",
+                            invocation.usage.wall_seconds,
+                            help="wall time per local derivation",
+                        )
+                        executor.obs.count(
+                            "executor.bytes_written",
+                            invocation.usage.bytes_written,
+                            help="output bytes produced locally",
+                        )
+            except BaseException as exc:
+                self.failure = exc
 
 
 class _maybe_open:

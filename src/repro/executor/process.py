@@ -1,0 +1,241 @@
+"""Process-pool execution primitives: escape the GIL for CPU-bound steps.
+
+Thread workers share one interpreter, so a Python transformation body
+that computes (rather than waits) serializes on the GIL and ``workers=N``
+buys nothing.  The process backend runs bodies in worker *processes*:
+
+- The parent builds one :class:`InvocationPayload` per plan step at
+  dispatch time — a picklable, self-contained description of the run
+  (argv, environment, bound paths, streams, and the registered body, if
+  any).  Workers never see the catalog, the executor, or any lock.
+- :func:`run_invocation` executes the payload in the worker and returns
+  an :class:`InvocationOutcome`: status, timing, byte counts, and a
+  content digest per output (hashing large outputs in the worker keeps
+  the parent off the critical path).
+- All provenance writeback happens parent-side through a single-writer
+  collector thread (see ``LocalExecutor._materialize_process``), so
+  catalog locks and transactions never cross a process boundary.
+
+:func:`preflight_payload` pickles a payload *before* submission and, on
+failure, re-pickles field by field so the error names the offending
+field — typically a transformation body that is a lambda or closure
+instead of a module-level function.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import time
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.errors import ExecutionError
+
+
+@dataclass
+class InvocationPayload:
+    """Everything a worker process needs to run one plan step.
+
+    Paths are plain strings (not ``Path``) and all mappings are plain
+    dicts so the payload pickles compactly and identically across
+    start methods.  ``body`` is the registered Python callable for the
+    executable, or ``None`` to run a real subprocess.
+    """
+
+    step_name: str
+    derivation_name: str
+    executable: str
+    argv: tuple[str, ...]
+    environment: dict[str, str]
+    workdir: str
+    input_paths: dict[str, str]
+    output_paths: dict[str, str]
+    #: formal -> logical dataset name, for error messages that must
+    #: match the in-process executor's wording exactly.
+    output_datasets: dict[str, str]
+    parameters: dict[str, str]
+    streams: dict[str, str]
+    body: Optional[Callable] = None
+
+
+@dataclass
+class OutputStat:
+    """What the worker observed about one written output file."""
+
+    path: str
+    size: int
+    digest: str
+    mtime_ns: int
+
+
+@dataclass
+class InvocationOutcome:
+    """A worker's report for one payload.
+
+    ``commit=False`` marks failures the in-process executor would have
+    raised *without* recording an invocation (missing executable,
+    declared output never written): the collector must record nothing
+    and the step fails with ``error`` as the message.  ``commit=True``
+    failures are ordinary body failures and are recorded as failed
+    invocations, exactly like the sequential path.
+    """
+
+    step_name: str
+    derivation_name: str
+    status: str
+    commit: bool = True
+    error: Optional[str] = None
+    exit_code: int = 0
+    started: float = 0.0
+    wall_seconds: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    outputs: dict[str, OutputStat] = field(default_factory=dict)
+    pid: int = 0
+
+
+def preflight_payload(payload: InvocationPayload) -> bytes:
+    """Pickle a payload, attributing failures to the offending field.
+
+    Raises :class:`ExecutionError` naming the unpicklable field so a
+    lambda body (the common mistake) produces an actionable message
+    instead of a raw ``PicklingError`` from pool internals.
+    """
+    try:
+        return pickle.dumps(payload)
+    except Exception as exc:
+        for f in fields(payload):
+            try:
+                pickle.dumps(getattr(payload, f.name))
+            except Exception as field_exc:
+                hint = ""
+                if f.name == "body":
+                    hint = (
+                        "; the process backend requires registered "
+                        "transformation bodies to be module-level "
+                        "functions (lambdas and closures cannot cross "
+                        "a process boundary)"
+                    )
+                raise ExecutionError(
+                    f"derivation {payload.derivation_name!r}: payload "
+                    f"field {f.name!r} is not picklable "
+                    f"({type(field_exc).__name__}: {field_exc}){hint}"
+                ) from field_exc
+        raise ExecutionError(
+            f"derivation {payload.derivation_name!r}: payload is not "
+            f"picklable ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def run_invocation(payload: InvocationPayload) -> InvocationOutcome:
+    """Execute one payload in a worker process.
+
+    Mirrors ``LocalExecutor._execute``'s run phase: registered body or
+    subprocess, body exceptions become failed outcomes, and output
+    stats (size, sha256, mtime) are gathered here so the parent's
+    collector can write provenance without re-reading output bytes.
+    """
+    # Imported here, not at module top: worker processes only need the
+    # light pieces, and RunContext lives in the executor module.
+    from repro.durability.checksum import file_digest
+    from repro.executor.local import RunContext
+
+    started = time.time()
+    clock0 = time.perf_counter()
+    outcome = InvocationOutcome(
+        step_name=payload.step_name,
+        derivation_name=payload.derivation_name,
+        status="success",
+        started=started,
+        pid=os.getpid(),
+    )
+    input_paths = {k: Path(v) for k, v in payload.input_paths.items()}
+    output_paths = {k: Path(v) for k, v in payload.output_paths.items()}
+    context = RunContext(
+        workdir=Path(payload.workdir),
+        argv=payload.argv,
+        environment=dict(payload.environment),
+        input_paths=input_paths,
+        output_paths=output_paths,
+        parameters=dict(payload.parameters),
+        streams={k: Path(v) for k, v in payload.streams.items()},
+    )
+    try:
+        _run_payload(payload, context)
+    except ExecutionError as exc:
+        # Infrastructure refusals (missing executable): the in-process
+        # path raises these without recording an invocation.
+        outcome.status = "failure"
+        outcome.commit = False
+        outcome.error = str(exc)
+        outcome.wall_seconds = time.perf_counter() - clock0
+        return outcome
+    except Exception as exc:  # body failures become failed invocations
+        outcome.status = "failure"
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.exit_code = 1
+    outcome.wall_seconds = time.perf_counter() - clock0
+    outcome.bytes_read = sum(
+        p.stat().st_size for p in input_paths.values() if p.exists()
+    )
+    outcome.bytes_written = sum(
+        p.stat().st_size for p in output_paths.values() if p.exists()
+    )
+    if outcome.status == "success":
+        for formal, path in output_paths.items():
+            if not path.exists():
+                dataset = payload.output_datasets.get(formal, path.name)
+                outcome.status = "failure"
+                outcome.commit = False
+                outcome.error = (
+                    f"derivation {payload.derivation_name!r} succeeded "
+                    f"but output {dataset!r} was not written"
+                )
+                return outcome
+            stat = path.stat()
+            outcome.outputs[formal] = OutputStat(
+                path=str(path),
+                size=stat.st_size,
+                digest=file_digest(path),
+                mtime_ns=stat.st_mtime_ns,
+            )
+    return outcome
+
+
+def _run_payload(payload: InvocationPayload, context: Any) -> None:
+    """The worker-side twin of ``LocalExecutor._run_body``."""
+    if payload.body is not None:
+        payload.body(context)
+        return
+    if not os.path.exists(payload.executable):
+        raise ExecutionError(
+            f"executable {payload.executable!r} does not exist and no "
+            f"Python body is registered for it"
+        )
+    import shlex
+
+    from repro.executor.local import _maybe_open
+
+    words = shlex.split(" ".join(context.argv))
+    stdin_path = context.streams.get("stdin")
+    stdout_path = context.streams.get("stdout")
+    stderr_path = context.streams.get("stderr")
+    with _maybe_open(stdin_path, "rb") as stdin, _maybe_open(
+        stdout_path, "wb"
+    ) as stdout, _maybe_open(stderr_path, "wb") as stderr:
+        completed = subprocess.run(
+            [payload.executable, *words],
+            stdin=stdin,
+            stdout=stdout,
+            stderr=stderr,
+            env={**os.environ, **context.environment},
+            cwd=context.workdir,
+            check=False,
+        )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"{payload.executable} exited with {completed.returncode}"
+        )

@@ -110,42 +110,44 @@ def compute_slack(record: RunRecord) -> dict[str, float]:
         deps.setdefault(name, [])
     durations = {n: t["end"] - t["start"] for n, t in timings.items()}
 
-    earliest_finish: dict[str, float] = {}
-
-    def forward(name: str) -> float:
-        done = earliest_finish.get(name)
-        if done is not None:
-            return done
-        start = max((forward(d) for d in deps[name]), default=0.0)
-        earliest_finish[name] = start + durations[name]
-        return earliest_finish[name]
-
-    for name in timings:
-        forward(name)
-    project_end = max(earliest_finish.values())
-
+    # Both passes are iterative over a topological order: recursive
+    # formulations hit Python's recursion limit near 10^3-deep chains,
+    # and flight records now reach 10^5+ steps.
     dependents: dict[str, list[str]] = {n: [] for n in timings}
+    indegree: dict[str, int] = {n: len(ds) for n, ds in deps.items()}
     for name, ds in deps.items():
         for d in ds:
             dependents[d].append(name)
+    order: list[str] = [n for n, d in indegree.items() if d == 0]
+    cursor = 0
+    while cursor < len(order):
+        name = order[cursor]
+        cursor += 1
+        for child in dependents[name]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                order.append(child)
+
+    earliest_finish: dict[str, float] = {}
+    for name in order:
+        start = max(
+            (earliest_finish[d] for d in deps[name]), default=0.0
+        )
+        earliest_finish[name] = start + durations[name]
+    project_end = max(earliest_finish.values())
 
     latest_finish: dict[str, float] = {}
-
-    def backward(name: str) -> float:
-        done = latest_finish.get(name)
-        if done is not None:
-            return done
+    for name in reversed(order):
         succ = dependents[name]
         if not succ:
             latest_finish[name] = project_end
         else:
             latest_finish[name] = min(
-                backward(c) - durations[c] for c in succ
+                latest_finish[c] - durations[c] for c in succ
             )
-        return latest_finish[name]
 
     return {
-        name: max(backward(name) - earliest_finish[name], 0.0)
+        name: max(latest_finish[name] - earliest_finish[name], 0.0)
         for name in timings
     }
 
@@ -167,20 +169,23 @@ def critical_path(record: RunRecord) -> CriticalPathReport:
     deps = record.dependencies()
     plan_steps = record.plan_steps()
 
+    # Built tail-first then reversed: list.insert(0, ...) is O(n) per
+    # hop, which made deep chains quadratic to extract.
     chain: list[dict[str, Any]] = [
         max(timings.values(), key=lambda t: (t["end"], t["step"]))
     ]
     while True:
         executed = [
             timings[d]
-            for d in deps.get(chain[0]["step"], ())
+            for d in deps.get(chain[-1]["step"], ())
             if d in timings
         ]
         if not executed:
             break
-        chain.insert(
-            0, max(executed, key=lambda t: (t["end"], t["step"]))
+        chain.append(
+            max(executed, key=lambda t: (t["end"], t["step"]))
         )
+    chain.reverse()
     for timing in chain:
         name = timing["step"]
         report.steps.append(

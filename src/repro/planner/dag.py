@@ -38,7 +38,12 @@ from repro.errors import (
 )
 from repro.observability.instrument import NULL, Instrumentation
 from repro.planner.request import MaterializationRequest
-from repro.provenance.graph import DerivationGraph
+from repro.provenance.graph import (
+    DERIVATION,
+    DerivationGraph,
+    dataset_node,
+    derivation_node,
+)
 
 # ---------------------------------------------------------------------------
 # Shared topology helpers
@@ -171,25 +176,61 @@ class Plan:
         predecessor pruned as a reused subgraph without fixing up the
         edge) would leave its dependent unready forever.  Both used to
         pass silently; now they raise :class:`PlanningError`.
+
+        The result is memoized against the (step count, dependency
+        count) pair so frontier construction over a large unchanged
+        plan does not re-pay an O(V+E) validation — mutations that
+        preserve both counts exactly are not re-detected.
         """
+        marker = (len(self.steps), len(self.dependencies))
+        if self.__dict__.get("_consistent_at") == marker:
+            return
         orphans = [name for name in self.steps if name not in self.dependencies]
         if orphans:
             raise PlanningError(
                 f"plan inconsistent: steps missing from the dependency "
                 f"map would never dispatch: {sorted(orphans)[:6]}"
             )
+        # A real set, built once: ``deps - dict.keys()`` falls off the
+        # set-difference fast path and turns this loop quadratic.
+        step_names = set(self.steps)
         for name, deps in self.dependencies.items():
-            if name not in self.steps:
+            if name not in step_names:
                 raise PlanningError(
                     f"plan inconsistent: dependency entry for unknown "
                     f"step {name!r}"
                 )
-            dangling = deps - self.steps.keys()
+            dangling = deps - step_names
             if dangling:
                 raise PlanningError(
                     f"plan inconsistent: step {name!r} depends on pruned "
                     f"or unknown steps {sorted(dangling)[:6]}"
                 )
+        self.__dict__["_consistent_at"] = marker
+
+    def frontier_shape(
+        self,
+    ) -> tuple[dict[str, int], dict[str, list[str]]]:
+        """Memoized frontier template: (missing counts, dependents).
+
+        Building a :class:`Frontier` over a 10^5-10^6-step plan is an
+        O(V+E) dict construction; re-plans and repeated frontiers over
+        the same plan reuse this template (each frontier copies the
+        mutable counts, the dependents map is shared read-only).
+        Memoized against the (step count, dependency count) pair, like
+        :meth:`check_frontier_consistency`.
+        """
+        marker = (len(self.steps), len(self.dependencies))
+        cached = self.__dict__.get("_frontier_shape")
+        if cached is not None and cached[0] == marker:
+            return cached[1], cached[2]
+        missing = {name: len(deps) for name, deps in self.dependencies.items()}
+        dependents: dict[str, list[str]] = {}
+        for name, deps in self.dependencies.items():
+            for dep in deps:
+                dependents.setdefault(dep, []).append(name)
+        self.__dict__["_frontier_shape"] = (marker, missing, dependents)
+        return missing, dependents
 
     def ready_steps(self, done: set[str]) -> list[str]:
         """Steps whose prerequisites are all in ``done`` and that are
@@ -285,18 +326,16 @@ class Frontier:
 
     def __init__(self, plan: Plan, done: Optional[set[str]] = None):
         plan.check_frontier_consistency()
+        missing, dependents = plan.frontier_shape()
         self._total = len(plan.steps)
         self.completed: set[str] = set()
-        self._ready: set[str] = set()
-        self._missing: dict[str, int] = {}
-        self._dependents: dict[str, list[str]] = {}
-        for name in plan.steps:
-            deps = plan.dependencies[name]
-            self._missing[name] = len(deps)
-            for dep in deps:
-                self._dependents.setdefault(dep, []).append(name)
-            if not deps:
-                self._ready.add(name)
+        # Own copy of the counts (decremented in complete()); the
+        # dependents map is shared with the plan's template, read-only.
+        self._missing: dict[str, int] = dict(missing)
+        self._dependents: dict[str, list[str]] = dependents
+        self._ready: set[str] = {
+            name for name, count in self._missing.items() if count == 0
+        }
         if done:
             for name in done:
                 if name in plan.steps and name not in self.completed:
@@ -352,8 +391,36 @@ class Frontier:
 ReuseDecider = Callable[[str, float], bool]
 
 
+class _PlanCacheEntry:
+    """What an incremental planner remembers about its last build."""
+
+    __slots__ = ("key", "plan", "visited", "probes", "producers")
+
+    def __init__(self, key, plan, visited, probes, producers):
+        self.key = key
+        self.plan = plan
+        #: Every dataset the planning walk visited.
+        self.visited = visited
+        #: dataset -> has_replica answer consulted during the build.
+        self.probes = probes
+        #: dataset -> producing step name (for size re-estimates).
+        self.producers = producers
+
+
 class Planner:
-    """Expands requests against one catalog (and optional resolver)."""
+    """Expands requests against one catalog (and optional resolver).
+
+    With ``incremental=True`` the planner subscribes to the catalog's
+    mutation-event stream and caches its last plan: a re-plan of the
+    same request after localized changes (e.g. one derivation's
+    metadata edited) patches only the affected steps instead of
+    re-walking the whole graph, and ``has_replica`` answers are
+    re-probed on every hit so out-of-band sandbox changes still force a
+    rebuild.  Incremental mode requires the estimate callables
+    (``cpu_estimate``/``size_estimate``) to be pure functions of
+    catalog state — estimators that train between calls (the grid
+    executor's) must keep the default ``incremental=False``.
+    """
 
     def __init__(
         self,
@@ -364,6 +431,7 @@ class Planner:
         size_estimate: Optional[Callable[[str], int]] = None,
         reuse_decider: Optional[ReuseDecider] = None,
         instrumentation: Optional[Instrumentation] = None,
+        incremental: bool = False,
     ):
         self.catalog = catalog
         self.obs = instrumentation or NULL
@@ -372,11 +440,75 @@ class Planner:
         self._cpu_estimate = cpu_estimate or (lambda dv: 1.0)
         self._size_estimate = size_estimate or self._catalog_size
         self._reuse_decider = reuse_decider or (lambda lfn, cpu: True)
+        self._incremental = incremental
+        # Memos.  Non-incremental planners clear these at every _plan
+        # call (exactly a fresh planner's behavior); incremental ones
+        # keep them across calls and invalidate through catalog events.
+        self._tr_memo: dict = {}
+        self._size_memo: dict[str, int] = {}
+        self._cpu_memo: dict[str, float] = {}
+        self._cost_memo: dict[str, float] = {}
+        self._probes: dict[str, bool] = {}
+        self._cached: Optional[_PlanCacheEntry] = None
+        self._dirty_derivations: set[str] = set()
+        self._dirty_datasets: set[str] = set()
+        self._structure_dirty = False
+        if incremental:
+            catalog.subscribe(self._on_catalog_event)
+
+    # -- event-driven invalidation (incremental mode) -----------------------
+
+    def _on_catalog_event(self, event: str, kind: str, key: str) -> None:
+        if kind == "derivation":
+            self._cpu_memo.pop(key, None)
+            # Any derivation change can shift many datasets' subtree
+            # recompute costs; the memo rebuilds lazily.
+            self._cost_memo.clear()
+            if event == "put":
+                self._dirty_derivations.add(key)
+            else:
+                self._structure_dirty = True
+        elif kind == "dataset":
+            self._size_memo.pop(key, None)
+            if event == "put":
+                self._dirty_datasets.add(key)
+            else:
+                self._structure_dirty = True
+        elif kind == "transformation":
+            self._tr_memo.clear()
+            self._structure_dirty = True
+        # Replica and invocation events never change plan structure;
+        # replica effects are caught by re-probing has_replica answers
+        # on every cache hit (sandbox files can also appear or vanish
+        # with no catalog event at all).
 
     def _catalog_size(self, lfn: str) -> int:
-        if self.catalog.has_dataset(lfn):
-            return self.catalog.get_dataset(lfn).size_estimate(default=1_000_000)
-        return 1_000_000
+        cached = self._size_memo.get(lfn)
+        if cached is not None:
+            return cached
+        # Straight off the payload document: decoding a full Dataset
+        # per plan-step output dominates plan construction at 10^5+
+        # steps, and the size lives in two known payload spots.  The
+        # peek (vs _cached_payload) keeps bulk planner walks from
+        # evicting the LRU's working set one dataset at a time.
+        payload = self.catalog._peek_payload("dataset", lfn)
+        if payload is None:
+            size = 1_000_000
+        else:
+            attr = (payload.get("attributes") or {}).get("size")
+            if isinstance(attr, (int, float)):
+                size = int(attr)
+            elif payload.get("descriptor"):
+                from repro.core.descriptors import descriptor_from_dict
+
+                nominal = descriptor_from_dict(
+                    payload["descriptor"]
+                ).nominal_size()
+                size = nominal if nominal is not None else 1_000_000
+            else:
+                size = 1_000_000
+        self._size_memo[lfn] = size
+        return size
 
     # -- public -------------------------------------------------------------
 
@@ -400,14 +532,70 @@ class Planner:
                 self.obs.observe(
                     "planner.plan.steps",
                     len(plan.steps),
-                    buckets=(0, 1, 2, 5, 10, 50, 100, 500, 1000, 5000),
+                    # Spans single-step interactive plans through the
+                    # 10^5-10^6-step campaign graphs of the scale
+                    # benchmarks without collapsing the top decades
+                    # into one overflow bucket.
+                    buckets=(
+                        0, 1, 2, 5, 10, 50, 100, 500, 1000, 5000,
+                        10_000, 50_000, 100_000, 500_000, 1_000_000,
+                    ),
                     help="workflow DAG size distribution",
                 )
             return plan
 
     def _plan(self, request: MaterializationRequest) -> Plan:
+        # The whole build runs under the catalog's re-entrant lock so
+        # the shared event-maintained graph cannot be patched (by
+        # another thread's plan) mid-walk; every catalog accessor used
+        # below re-enters the same lock anyway.
+        with self.catalog._lock:
+            graph = self._current_graph()
+            if self._incremental:
+                patched = self._try_patch(request, graph)
+                if patched is not None:
+                    self._count_plan_cache(hit=True)
+                    return patched
+                self._count_plan_cache(hit=False)
+            else:
+                # A non-incremental planner must behave exactly like a
+                # freshly constructed one on every call.
+                self._tr_memo.clear()
+                self._size_memo.clear()
+                self._cpu_memo.clear()
+                self._cost_memo.clear()
+            return self._build(request, graph)
+
+    def _current_graph(self) -> DerivationGraph:
+        """The catalog's event-maintained graph, with cache counters."""
+        cache = self.catalog.graph_cache()
+        before = cache.misses
+        graph = cache.graph()
+        if self.obs.enabled:
+            if cache.misses > before:
+                self.obs.count(
+                    "planner.graph.cache.misses",
+                    help="derivation-graph rebuilds during planning",
+                )
+            else:
+                self.obs.count(
+                    "planner.graph.cache.hits",
+                    help="plans served from the cached derivation graph",
+                )
+        return graph
+
+    def _count_plan_cache(self, hit: bool) -> None:
+        if self.obs.enabled:
+            self.obs.count(
+                "planner.plan.cache.hits"
+                if hit
+                else "planner.plan.cache.misses",
+                help="incremental plan cache outcomes",
+            )
+
+    def _build(self, request: MaterializationRequest, graph) -> Plan:
         plan = Plan(targets=request.targets)
-        graph = DerivationGraph.from_catalog(self.catalog)
+        self._probes = {}
         needed: list[str] = list(request.targets)
         visited: set[str] = set()
         while needed:
@@ -418,11 +606,9 @@ class Planner:
             if self._maybe_reuse(dataset, request, graph):
                 plan.reused.add(dataset)
                 continue
-            producers = graph.predecessors(
-                _dataset_node(dataset)
-            ) if _dataset_node(dataset) in graph else set()
+            producers = graph.producer_names(dataset)
             if not producers:
-                if self._has_replica(dataset) or self.catalog.has_dataset(
+                if self._probe_replica(dataset) or self.catalog.has_dataset(
                     dataset
                 ):
                     plan.sources.add(dataset)
@@ -432,13 +618,128 @@ class Planner:
                     f"no known replica"
                 )
             # Deterministic choice when multiple producers exist.
-            producer_name = sorted(n.name for n in producers)[0]
+            producer_name = min(producers)
             dv = graph.derivation(producer_name)
             self._expand_derivation(dv, plan)
-            needed.extend(dv.inputs())
+            # Skip already-visited inputs before pushing: high-fan-in
+            # graphs would otherwise blow the worklist up with
+            # duplicates that each pop-and-discard pass re-touches.
+            needed.extend(
+                name for name in dv.inputs() if name not in visited
+            )
         self._wire_dependencies(plan)
         self._prune_reused_subgraphs(plan, request)
+        if self._incremental:
+            self._cached = _PlanCacheEntry(
+                key=(request.targets, request.reuse),
+                plan=plan,
+                visited=visited,
+                probes=dict(self._probes),
+                producers=plan.producers(),
+            )
+            self._dirty_derivations.clear()
+            self._dirty_datasets.clear()
+            self._structure_dirty = False
         return plan
+
+    # -- incremental re-planning ---------------------------------------------
+
+    def _try_patch(self, request: MaterializationRequest, graph) -> Optional[Plan]:
+        """Serve the cached plan, patched in place, or None to rebuild.
+
+        A hit updates and returns the *same* Plan object as the
+        previous call — incremental plans are snapshots valid until the
+        next ``plan()`` call, not independent copies.  The patch path
+        is taken only when it provably reproduces what a full rebuild
+        would: unchanged request, no structural changes (derivation or
+        dataset additions/removals, transformation edits), content
+        changes confined to existing simple steps with identical
+        edges, and every previously consulted ``has_replica`` answer
+        still current (re-probed here, since sandbox files can change
+        with no catalog event).
+        """
+        cached = self._cached
+        if cached is None or cached.key != (request.targets, request.reuse):
+            return None
+        if self._structure_dirty:
+            return None
+        if request.reuse == "cost" and (
+            self._dirty_derivations or self._dirty_datasets
+        ):
+            # Cost-policy reuse decisions depend on cpu/size estimates;
+            # patching those piecemeal could diverge from a fresh plan.
+            return None
+        plan = cached.plan
+        # Validate every dirty derivation; build replacement steps
+        # without touching the plan so any bail-out leaves it intact.
+        replacements: dict[str, PlanStep] = {}
+        for key in sorted(self._dirty_derivations):
+            step = plan.steps.get(key)
+            if step is None:
+                # Not a step of this plan.  Irrelevant — unless it
+                # produces a dataset the walk visited (a new or
+                # re-pointed producer, or part of a compound/pruned
+                # subgraph), which restructures the plan.
+                produced = {
+                    n.name
+                    for n in graph.successors(derivation_node(key))
+                }
+                if produced & cached.visited:
+                    return None
+                continue
+            dv = graph.derivation(key)
+            old = step.derivation
+            if (
+                set(dv.inputs()) != set(old.inputs())
+                or set(dv.outputs()) != set(old.outputs())
+                or dv.transformation != old.transformation
+                or self._temp_datasets(dv) != self._temp_datasets(old)
+            ):
+                return None
+            tr, _ = self._resolve_transformation(dv.transformation)
+            if not isinstance(tr, SimpleTransformation):
+                return None
+            replacements[key] = PlanStep(
+                name=key,
+                derivation=dv,
+                transformation=tr,
+                cpu_seconds=self._cpu_estimate(dv),
+                output_sizes={
+                    out: self._size_estimate(out) for out in dv.outputs()
+                },
+            )
+        # Size re-estimates for datasets whose records changed.
+        size_patches: dict[str, dict[str, int]] = {}
+        for name in self._dirty_datasets:
+            producer = cached.producers.get(name)
+            if producer is None or producer not in plan.steps:
+                continue
+            new_size = self._size_estimate(name)
+            target = replacements.get(producer, plan.steps[producer])
+            if target.output_sizes.get(name) != new_size:
+                size_patches.setdefault(producer, {})[name] = new_size
+        # Re-probe every replica answer the cached build consulted.
+        for dataset, seen in cached.probes.items():
+            if bool(self._has_replica(dataset)) != seen:
+                return None
+        # All clear: apply (cannot fail past this point).
+        plan.steps.update(replacements)
+        for producer, sizes in size_patches.items():
+            plan.steps[producer].output_sizes.update(sizes)
+        self._dirty_derivations.clear()
+        self._dirty_datasets.clear()
+        return plan
+
+    @staticmethod
+    def _temp_datasets(dv: Derivation) -> set[str]:
+        return {
+            arg.dataset for _, arg in dv.dataset_args() if arg.temporary
+        }
+
+    def _probe_replica(self, dataset: str) -> bool:
+        result = bool(self._has_replica(dataset))
+        self._probes[dataset] = result
+        return result
 
     # -- reuse policy ----------------------------------------------------------
 
@@ -450,24 +751,71 @@ class Planner:
     ) -> bool:
         if request.reuse == "never":
             return False
-        if not self._has_replica(dataset):
+        if not self._probe_replica(dataset):
             return False
         if request.reuse == "always":
             return True
         # cost policy: estimate the cpu of the whole producing subtree.
-        sub = graph.required_for(dataset)
-        recompute_cpu = sum(
-            self._cpu_estimate(sub.derivation(name))
-            for name in sub.derivation_names()
-        )
+        recompute_cpu = self._recompute_cost(dataset, graph)
         return self._reuse_decider(dataset, recompute_cpu)
 
+    def _recompute_cost(self, dataset: str, graph: DerivationGraph) -> float:
+        """Total cpu estimate of the subtree that derives ``dataset``.
+
+        Exactly the cost ``required_for`` + sum used to compute — the
+        *distinct* derivations of the backward closure, so diamonds are
+        not double-counted — but walked over the shared graph without
+        materializing a subgraph, with per-dataset results memoized
+        (reverse-topological accumulation across repeated queries and
+        re-plans) and per-derivation cpu estimates cached.
+        """
+        memo = self._cost_memo
+        cached = memo.get(dataset)
+        if cached is not None:
+            return cached
+        closure: set[str] = set()
+        seen = set()
+        stack = [dataset_node(dataset)]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node.kind == DERIVATION:
+                closure.add(node.name)
+            stack.extend(graph.iter_predecessors(node))
+        cpu_memo = self._cpu_memo
+        total = 0.0
+        for name in sorted(closure):
+            cpu = cpu_memo.get(name)
+            if cpu is None:
+                cpu = cpu_memo[name] = self._cpu_estimate(
+                    graph.derivation(name)
+                )
+            total += cpu
+        memo[dataset] = total
+        return total
+
     # -- expansion --------------------------------------------------------------
+
+    def _resolve_transformation(self, ref):
+        """Resolver lookup memoized per reference.
+
+        Resolution decodes the transformation from its stored XML —
+        repeated for every derivation of the same transformation, it
+        dominates plan expansion on homogeneous campaign graphs.
+        Invalidated on any transformation event (incremental mode) or
+        at every plan (non-incremental).
+        """
+        cached = self._tr_memo.get(ref)
+        if cached is None:
+            cached = self._tr_memo[ref] = self.resolver.transformation(ref)
+        return cached
 
     def _expand_derivation(self, dv: Derivation, plan: Plan) -> None:
         if dv.name in plan.steps:
             return
-        tr, _ = self.resolver.transformation(dv.transformation)
+        tr, _ = self._resolve_transformation(dv.transformation)
         if isinstance(tr, SimpleTransformation):
             self._add_step(dv.name, dv, tr, plan)
             return
@@ -531,7 +879,7 @@ class Planner:
                     f"in derivation {dv.name!r} and has no default"
                 )
         for i, call in enumerate(tr.calls):
-            callee, _ = self.resolver.transformation(call.target)
+            callee, _ = self._resolve_transformation(call.target)
             actuals: dict[str, DatasetArg | str] = {}
             for callee_formal_name, binding in call.bindings.items():
                 callee_formal = callee.signature.formal(callee_formal_name)
@@ -610,9 +958,3 @@ class Planner:
                 del plan.dependencies[name]
         for name in plan.dependencies:
             plan.dependencies[name] &= set(plan.steps)
-
-
-def _dataset_node(name: str):
-    from repro.provenance.graph import dataset_node
-
-    return dataset_node(name)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.core.derivation import Derivation
 from repro.errors import CyclicDerivationError
@@ -53,38 +53,117 @@ class DerivationGraph:
     def __init__(self, derivations: Iterable[Derivation] = ()):
         self._succ: dict[Node, set[Node]] = {}
         self._pred: dict[Node, set[Node]] = {}
-        self._derivations: dict[str, Derivation] = {}
+        #: name -> Derivation, or None for lazily-registered nodes whose
+        #: object is decoded on first :meth:`derivation` access.
+        self._derivations: dict[str, Optional[Derivation]] = {}
+        #: Decoder for lazy nodes (typically ``catalog.get_derivation``).
+        self._loader: Optional[Callable[[str], Derivation]] = None
         for dv in derivations:
             self.add_derivation(dv)
 
     @classmethod
     def from_catalog(cls, catalog) -> "DerivationGraph":
-        """Build the graph over every derivation in a catalog."""
-        return cls(catalog.derivations())
+        """Build the graph over every derivation in a catalog.
+
+        Edges come straight off the stored payload documents — the
+        Derivation objects themselves are decoded lazily on first
+        access, which at 10^5-10^6 derivations is the difference
+        between milliseconds and minutes of graph construction.
+        """
+        from repro.catalog.index import _derivation_edges
+
+        graph = cls()
+        loader = getattr(catalog, "_decode_derivation", None)
+        graph.set_loader(loader or catalog.get_derivation)
+        for key, payload in catalog._store_scan("derivation"):
+            inputs, outputs, _ = _derivation_edges(payload)
+            graph.add_derivation_edges(key, inputs, outputs)
+        return graph
 
     # -- construction ------------------------------------------------------
 
     def add_derivation(self, dv: Derivation) -> None:
         """Add a derivation and its dataset edges."""
-        dnode = derivation_node(dv.name)
         self._derivations[dv.name] = dv
-        self._succ.setdefault(dnode, set())
-        self._pred.setdefault(dnode, set())
-        for name in dv.inputs():
-            self._add_edge(dataset_node(name), dnode)
-        for name in dv.outputs():
-            self._add_edge(dnode, dataset_node(name))
+        self._link(dv.name, dv.inputs(), dv.outputs())
+
+    def set_loader(self, loader: Callable[[str], Derivation]) -> None:
+        """Install the decoder lazy nodes resolve through."""
+        self._loader = loader
+
+    def add_derivation_edges(
+        self, name: str, inputs: Iterable[str], outputs: Iterable[str]
+    ) -> None:
+        """Add a derivation node by name and edges only (lazy object).
+
+        The Derivation itself is decoded through the loader on first
+        :meth:`derivation` access.  Re-adding a name resets any decoded
+        object, so callers can use this to invalidate stale decodes.
+        """
+        if name in self._derivations:
+            self.remove_derivation(name)
+        self._derivations[name] = None
+        self._link(name, inputs, outputs)
+
+    def _link(
+        self, name: str, inputs: Iterable[str], outputs: Iterable[str]
+    ) -> None:
+        dnode = derivation_node(name)
+        self._ensure(dnode)
+        for dep in inputs:
+            self._add_edge(dataset_node(dep), dnode)
+        for out in outputs:
+            self._add_edge(dnode, dataset_node(out))
+
+    def _ensure(self, node: Node) -> None:
+        # Membership test instead of setdefault: setdefault builds its
+        # throwaway set() argument on every call, and edge insertion is
+        # the inner loop of whole-catalog graph builds.
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def remove_derivation(self, name: str) -> None:
+        """Remove a derivation node, its edges, and now-orphan datasets.
+
+        Dataset nodes exist only because some derivation mentions them,
+        so ones left with no edges are dropped — the result matches a
+        cold rebuild without the removed derivation.
+        """
+        self._derivations.pop(name, None)
+        dnode = derivation_node(name)
+        if dnode not in self._succ:
+            return
+        for succ in self._succ.pop(dnode, set()):
+            self._pred.get(succ, set()).discard(dnode)
+            self._drop_if_isolated(succ)
+        for pred in self._pred.pop(dnode, set()):
+            self._succ.get(pred, set()).discard(dnode)
+            self._drop_if_isolated(pred)
+
+    def _drop_if_isolated(self, node: Node) -> None:
+        if not self._succ.get(node) and not self._pred.get(node):
+            self._succ.pop(node, None)
+            self._pred.pop(node, None)
 
     def _add_edge(self, src: Node, dst: Node) -> None:
-        self._succ.setdefault(src, set()).add(dst)
-        self._pred.setdefault(dst, set()).add(src)
-        self._succ.setdefault(dst, set())
-        self._pred.setdefault(src, set())
+        self._ensure(src)
+        self._ensure(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
 
     # -- basic accessors ----------------------------------------------------
 
     def derivation(self, name: str) -> Derivation:
-        return self._derivations[name]
+        dv = self._derivations[name]
+        if dv is None:
+            if self._loader is None:
+                raise KeyError(
+                    f"derivation {name!r} registered lazily but the graph "
+                    f"has no loader"
+                )
+            dv = self._derivations[name] = self._loader(name)
+        return dv
 
     def nodes(self) -> list[Node]:
         return sorted(self._succ, key=lambda n: (n.kind, n.name))
@@ -100,6 +179,25 @@ class DerivationGraph:
 
     def predecessors(self, node: Node) -> set[Node]:
         return set(self._pred.get(node, ()))
+
+    def iter_predecessors(self, node: Node) -> Iterable[Node]:
+        """Non-copying predecessor view — treat as read-only.
+
+        Hot-loop companion to :meth:`predecessors`, which copies the
+        edge set on every call; planning walks millions of edges.
+        """
+        return self._pred.get(node, ())
+
+    def producer_names(self, dataset_name: str) -> list[str]:
+        """Names of derivations producing a dataset (no set copies).
+
+        Empty both for producer-less datasets and for names absent
+        from the graph entirely.
+        """
+        preds = self._pred.get(dataset_node(dataset_name))
+        if not preds:
+            return []
+        return [n.name for n in preds]
 
     def __contains__(self, node: Node) -> bool:
         return node in self._succ
@@ -208,7 +306,7 @@ class DerivationGraph:
             if node.kind == DATASET:
                 frontier.extend(self._pred.get(node, ()))
             else:
-                sub.add_derivation(self._derivations[node.name])
+                sub.add_derivation(self.derivation(node.name))
                 frontier.extend(self._pred.get(node, ()))
         return sub
 

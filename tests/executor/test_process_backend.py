@@ -1,0 +1,194 @@
+"""Process-pool backend: parity with thread/sequential, pickle safety.
+
+The process backend must be observably indistinguishable from the
+thread backend and the sequential path — same replicas (by digest),
+same invocation records, same counters — because only the *where* of
+execution changes, never the *what*.  A hypothesis property checks the
+three-way equivalence over generated canonical graphs; the pickle
+tests pin the preflight's field-level attribution and the
+run-what-you-can semantics around unpicklable payloads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.memory import MemoryCatalog
+from repro.errors import ExecutionError, MaterializationError
+from repro.executor.local import LocalExecutor
+from repro.observability.instrument import Instrumentation
+from repro.workloads import canonical
+
+from tests.executor.test_parallel import (
+    build_executor,
+    catalog_end_state,
+    wide_vdl,
+)
+
+BACKENDS = (("seq", "thread", 1), ("thread", "thread", 4), ("proc", "process", 4))
+
+
+class TestProcessParity:
+    def test_three_way_end_state_parity(self, tmp_path):
+        """sequential == thread == process on a wide fan-out plan."""
+        states = {}
+        orders = {}
+        for tag, backend, workers in BACKENDS:
+            catalog, executor = build_executor(tmp_path, wide_vdl(8), tag)
+            invocations = executor.materialize(
+                "final.out", workers=workers, backend=backend
+            )
+            states[tag] = catalog_end_state(catalog)
+            orders[tag] = [inv.derivation_name for inv in invocations]
+        assert states["seq"] == states["thread"] == states["proc"]
+        # The returned invocation list is plan-ordered on every backend.
+        assert orders["seq"] == orders["thread"] == orders["proc"]
+
+    def test_counter_parity(self, tmp_path):
+        """The collector reproduces the thread backend's counters."""
+        totals = {}
+        for tag, backend, workers in (
+            ("thread", "thread", 4),
+            ("proc", "process", 4),
+        ):
+            obs = Instrumentation()
+            catalog = MemoryCatalog(instrumentation=obs)
+            canonical.define_transformations(catalog)
+            catalog.define(wide_vdl(8))
+            executor = LocalExecutor(
+                catalog, tmp_path / f"ctr-{tag}", instrumentation=obs
+            )
+            canonical.register_bodies(executor)
+            executor.materialize(
+                "final.out", workers=workers, backend=backend
+            )
+            totals[tag] = {
+                name: obs.metrics.get(name).total()
+                for name in (
+                    "executor.invocations",
+                    "executor.bytes_written",
+                )
+            }
+        assert totals["thread"] == totals["proc"]
+        assert totals["proc"]["executor.invocations"] == 12  # 1+8+2+1
+
+    def test_process_backend_sequential_worker(self, tmp_path):
+        """workers=1 with backend='process' still round-trips payloads."""
+        catalog, executor = build_executor(tmp_path, wide_vdl(4), "p1")
+        invocations = executor.materialize(
+            "final.out", workers=1, backend="process"
+        )
+        assert len(invocations) == len(catalog.derivation_names())
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        _, executor = build_executor(tmp_path, wide_vdl(4), "bad")
+        with pytest.raises(ValueError, match="backend"):
+            executor.materialize("final.out", backend="coroutine")
+
+
+class TestProcessProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        nodes=st.integers(min_value=4, max_value=18),
+        layers=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_process_equals_sequential(
+        self, tmp_path_factory, nodes, layers, seed
+    ):
+        """For any generated canonical graph, the process backend's
+        catalog end state is byte-identical to sequential execution."""
+        states = []
+        for tag, backend, workers in (
+            ("seq", "thread", 1),
+            ("proc", "process", 2),
+        ):
+            catalog = MemoryCatalog()
+            graph = canonical.generate_graph(
+                catalog, nodes=nodes, layers=layers, seed=seed
+            )
+            workdir = tmp_path_factory.mktemp(f"pb-{tag}")
+            executor = LocalExecutor(catalog, workdir)
+            canonical.register_bodies(executor)
+            executor.materialize(graph.sink_datasets[0], workers=workers)
+            if backend == "process":
+                # Re-run through the process pool on a fresh catalog so
+                # reuse can't mask a divergence.
+                catalog = MemoryCatalog()
+                graph = canonical.generate_graph(
+                    catalog, nodes=nodes, layers=layers, seed=seed
+                )
+                executor = LocalExecutor(
+                    catalog, tmp_path_factory.mktemp("pb-proc2")
+                )
+                canonical.register_bodies(executor)
+                executor.materialize(
+                    graph.sink_datasets[0],
+                    workers=workers,
+                    backend="process",
+                )
+            states.append(catalog_end_state(catalog))
+        assert states[0] == states[1]
+
+
+PICKLE_VDL = (
+    'DV src->canon0( o=@{output:"src.out"}, tag="s" );\n'
+    'DV lam->canon1( o=@{output:"lam.out"}, i0=@{input:"src.out"}, '
+    'tag="l" );\n'
+    'DV ok->canon2( o=@{output:"ok.out"}, i0=@{input:"src.out"}, '
+    'i1=@{input:"src.out"}, tag="o" );\n'
+    'DV top->canon2( o=@{output:"top.out"}, i0=@{input:"lam.out"}, '
+    'i1=@{input:"ok.out"}, tag="t" );\n'
+)
+
+
+def build_lambda_executor(tmp_path, tag):
+    """canon1's body is a lambda: fine in-process, unpicklable."""
+    catalog = MemoryCatalog()
+    canonical.define_transformations(catalog)
+    catalog.define(PICKLE_VDL)
+    executor = LocalExecutor(catalog, tmp_path / tag)
+    canonical.register_bodies(executor)
+    executor.register("py:canon1", lambda ctx: canonical._canon_body(ctx))
+    return catalog, executor
+
+
+class TestPickleFailure:
+    def test_error_names_the_body_field(self, tmp_path):
+        _, executor = build_lambda_executor(tmp_path, "pf")
+        with pytest.raises(ExecutionError) as exc_info:
+            executor.materialize("lam.out", workers=2, backend="process")
+        message = str(exc_info.value)
+        assert "'lam'" in message
+        assert "field 'body'" in message
+        assert "module-level" in message  # the actionable hint
+
+    def test_thread_backend_unaffected_by_lambda(self, tmp_path):
+        """The same registration works on the thread backend — the
+        restriction is a process-boundary fact, not a new API rule."""
+        catalog, executor = build_lambda_executor(tmp_path, "pf-thread")
+        executor.materialize("lam.out", workers=2, backend="thread")
+        replicas, _ = catalog_end_state(catalog)
+        assert any(name == "lam.out" for name, _ in replicas)
+
+    def test_run_what_you_can_past_pickle_failure(self, tmp_path):
+        """An unpicklable step fails cleanly; independent work runs."""
+        catalog, executor = build_lambda_executor(tmp_path, "pf-rwyc")
+        with pytest.raises(MaterializationError) as exc_info:
+            executor.materialize(
+                "top.out",
+                workers=2,
+                backend="process",
+                failure_policy="run-what-you-can",
+            )
+        err = exc_info.value
+        assert err.failed == ["lam"]
+        assert err.skipped == ["top"]
+        done = [inv.derivation_name for inv in err.invocations]
+        assert "ok" in done and "src" in done
+        # The pickle failure recorded no invocation for the bad step.
+        recorded = {
+            catalog.get_invocation(iid).derivation_name
+            for iid in catalog.invocation_ids()
+        }
+        assert "lam" not in recorded

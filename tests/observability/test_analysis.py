@@ -274,3 +274,52 @@ class TestGridFaultRunEndToEnd:
         assert "grid acceptance" in text
         assert "critical path" in text
         assert "site profiles" in text
+
+
+def chain_record(tmp_path, depth):
+    """A ``depth``-step linear chain, one second per step."""
+    rec = FlightRecorder.start(tmp_path, command="test chain")
+    rec._write(
+        "plan",
+        targets=[f"d{depth - 1}"],
+        steps=[
+            {
+                "name": f"s{i}",
+                "transformation": "proc",
+                "cpu_seconds": 1.0,
+                "inputs": [f"d{i - 1}"] if i else [],
+                "outputs": [f"d{i}"],
+                "deps": [f"s{i - 1}"] if i else [],
+            }
+            for i in range(depth)
+        ],
+        reused=[],
+        sources=[],
+    )
+    for i in range(depth):
+        rec.step(
+            f"s{i}", status="success", start=float(i), end=float(i + 1)
+        )
+    rec.finalize(status="ok", makespan=float(depth))
+    return RunRecord.load(rec.path)
+
+
+class TestDeepChains:
+    """CPM must be iterative: real campaign graphs nest thousands of
+    levels deep, far past Python's default recursion limit."""
+
+    DEPTH = 5000
+
+    def test_slack_survives_a_5000_deep_chain(self, tmp_path):
+        record = chain_record(tmp_path, self.DEPTH)
+        slack = compute_slack(record)  # recursion would die near ~10^3
+        assert len(slack) == self.DEPTH
+        assert all(value == 0.0 for value in slack.values())
+
+    def test_critical_path_covers_the_whole_chain_in_order(self, tmp_path):
+        record = chain_record(tmp_path, self.DEPTH)
+        report = critical_path(record)
+        assert [s.step for s in report.steps] == [
+            f"s{i}" for i in range(self.DEPTH)
+        ]
+        assert report.coverage == pytest.approx(1.0)

@@ -1,0 +1,226 @@
+"""Incremental planning: the event-driven plan cache.
+
+An incremental planner's only contract is *indistinguishability*: every
+``plan()`` answer must equal what a freshly constructed planner would
+build from the current catalog, no matter which mutations happened in
+between.  These tests pin the cache-hit fast path, the content-patch
+path, every rebuild trigger (structural change, transformation edit,
+replica drift), the instrumentation counters, and — via hypothesis —
+the fresh-planner equivalence under random mutation sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.memory import MemoryCatalog
+from repro.core.derivation import DatasetArg, Derivation
+from repro.observability.instrument import Instrumentation
+from repro.planner.dag import Planner
+from repro.planner.request import MaterializationRequest
+from repro.workloads import canonical
+
+DIAMOND_VDL = (
+    'DV src->canon0( o=@{output:"src.out"}, tag="s" );\n'
+    'DV left->canon1( o=@{output:"left.out"}, i0=@{input:"src.out"}, '
+    'tag="l" );\n'
+    'DV right->canon1( o=@{output:"right.out"}, i0=@{input:"src.out"}, '
+    'tag="r" );\n'
+    'DV sink->canon2( o=@{output:"sink.out"}, i0=@{input:"left.out"}, '
+    'i1=@{input:"right.out"}, tag="k" );\n'
+)
+
+
+def diamond_catalog(instrumentation=None):
+    catalog = MemoryCatalog(instrumentation=instrumentation)
+    canonical.define_transformations(catalog)
+    catalog.define(DIAMOND_VDL)
+    return catalog
+
+
+def mutate_tag(catalog, name, tag):
+    """Content-only derivation edit: same edges, different ``tag``."""
+    dv = catalog.get_derivation(name)
+    actuals = {
+        formal: value
+        if isinstance(value, str)
+        else DatasetArg(
+            dataset=value.dataset,
+            direction=value.direction,
+            temporary=value.temporary,
+        )
+        for formal, value in dv.actuals.items()
+    }
+    actuals["tag"] = tag
+    catalog.add_derivation(
+        Derivation(
+            name=dv.name,
+            transformation=dv.transformation,
+            actuals=actuals,
+        ),
+        replace=True,
+        validate=False,
+        auto_declare=False,
+    )
+
+
+def fingerprint(plan):
+    """Everything observable about a plan, order-normalized."""
+    return {
+        "targets": tuple(plan.targets),
+        "reused": tuple(sorted(plan.reused)),
+        "sources": tuple(sorted(plan.sources)),
+        "deps": {
+            name: tuple(sorted(deps))
+            for name, deps in plan.dependencies.items()
+        },
+        "steps": {
+            name: (
+                step.transformation.name,
+                step.derivation.inputs(),
+                step.derivation.outputs(),
+                step.derivation.actuals.get("tag"),
+                tuple(sorted(step.output_sizes.items())),
+                step.cpu_seconds,
+            )
+            for name, step in plan.steps.items()
+        },
+    }
+
+
+REQUEST = MaterializationRequest(targets=("sink.out",), reuse="never")
+
+
+class TestPlanCache:
+    def test_identical_request_is_a_cache_hit(self):
+        obs = Instrumentation()
+        catalog = diamond_catalog(instrumentation=obs)
+        planner = Planner(catalog, instrumentation=obs, incremental=True)
+        first = planner.plan(REQUEST)
+        second = planner.plan(REQUEST)
+        # Hits return the same patched snapshot, not a copy.
+        assert second is first
+        assert obs.metrics.get("planner.plan.cache.misses").total() == 1
+        assert obs.metrics.get("planner.plan.cache.hits").total() == 1
+        # Both plans were served from one cached derivation graph.
+        assert obs.metrics.get("planner.graph.cache.hits").total() >= 1
+
+    def test_content_patch_equals_fresh_plan(self):
+        catalog = diamond_catalog()
+        planner = Planner(catalog, incremental=True)
+        cold = planner.plan(REQUEST)
+        mutate_tag(catalog, "left", "patched")
+        patched = planner.plan(REQUEST)
+        assert patched is cold  # patched in place, not rebuilt
+        assert patched.steps["left"].derivation.actuals["tag"] == "patched"
+        fresh = Planner(catalog).plan(REQUEST)
+        assert fingerprint(patched) == fingerprint(fresh)
+
+    def test_structural_change_forces_rebuild(self):
+        obs = Instrumentation()
+        catalog = diamond_catalog(instrumentation=obs)
+        planner = Planner(catalog, instrumentation=obs, incremental=True)
+        planner.plan(REQUEST)
+        # A new producer for a visited dataset restructures the plan:
+        # the cheaper (lexicographically smaller) producer must win,
+        # exactly as in a fresh plan.
+        catalog.define(
+            'DV aleft->canon1( o=@{output:"left.out"}, '
+            'i0=@{input:"src.out"}, tag="a" );\n'
+        )
+        replanned = planner.plan(REQUEST)
+        assert obs.metrics.get("planner.plan.cache.misses").total() == 2
+        assert "aleft" in replanned.steps and "left" not in replanned.steps
+        assert fingerprint(replanned) == fingerprint(
+            Planner(catalog).plan(REQUEST)
+        )
+
+    def test_derivation_removal_forces_rebuild(self):
+        catalog = diamond_catalog()
+        catalog.define(
+            'DV spare->canon1( o=@{output:"spare.out"}, '
+            'i0=@{input:"src.out"}, tag="x" );\n'
+        )
+        planner = Planner(catalog, incremental=True)
+        planner.plan(REQUEST)
+        catalog.remove_derivation("spare")
+        assert fingerprint(planner.plan(REQUEST)) == fingerprint(
+            Planner(catalog).plan(REQUEST)
+        )
+
+    def test_replica_drift_forces_rebuild(self):
+        """has_replica answers are re-probed on every hit: a sandbox
+        file appearing without any catalog event still invalidates."""
+        catalog = diamond_catalog()
+        on_disk: set[str] = set()
+        planner = Planner(
+            catalog, has_replica=on_disk.__contains__, incremental=True
+        )
+        request = MaterializationRequest(
+            targets=("sink.out",), reuse="always"
+        )
+        cold = planner.plan(request)
+        assert set(cold.steps) == {"src", "left", "right", "sink"}
+        on_disk.add("left.out")
+        warm = planner.plan(request)
+        assert "left" not in warm.steps
+        assert "left.out" in warm.reused
+        fresh = Planner(
+            catalog, has_replica=on_disk.__contains__
+        ).plan(request)
+        assert fingerprint(warm) == fingerprint(fresh)
+
+    def test_non_incremental_planner_never_caches(self):
+        obs = Instrumentation()
+        catalog = diamond_catalog(instrumentation=obs)
+        planner = Planner(catalog, instrumentation=obs)
+        assert planner.plan(REQUEST) is not planner.plan(REQUEST)
+        assert "planner.plan.cache.hits" not in set(obs.metrics.names())
+
+
+class TestStepsHistogram:
+    def test_buckets_span_interactive_to_campaign(self):
+        """planner.plan.steps must resolve 10^5/10^6-step plans rather
+        than collapsing every large campaign into one overflow bucket."""
+        obs = Instrumentation()
+        catalog = diamond_catalog(instrumentation=obs)
+        Planner(catalog, instrumentation=obs).plan(REQUEST)
+        histogram = obs.metrics.get("planner.plan.steps")
+        bounds = [bound for bound, _ in histogram.cumulative_buckets()]
+        assert 1_000_000 in bounds
+        assert 100_000 in bounds
+        # The 4-step diamond lands in the <=5 bucket.
+        counts = dict(histogram.cumulative_buckets())
+        assert counts[5] == 1
+
+
+class TestIncrementalProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nodes=st.integers(min_value=6, max_value=40),
+        seed=st.integers(min_value=0, max_value=999),
+        edits=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=99),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_random_mutations_equal_fresh_plan(self, nodes, seed, edits):
+        """After any sequence of content edits, the incremental
+        planner's answer equals a fresh planner's."""
+        catalog = MemoryCatalog()
+        info = canonical.generate_graph(catalog, nodes=nodes, seed=seed)
+        request = MaterializationRequest(
+            targets=tuple(sorted(info.sink_datasets)), reuse="never"
+        )
+        planner = Planner(catalog, incremental=True)
+        planner.plan(request)
+        for pick, tag in edits:
+            name = info.derivations[pick % len(info.derivations)]
+            mutate_tag(catalog, name, f"edit-{tag}")
+            incremental = planner.plan(request)
+            fresh = Planner(catalog).plan(request)
+            assert fingerprint(incremental) == fingerprint(fresh)

@@ -1,0 +1,117 @@
+"""GraphCache: the event-maintained derivation graph behind planning.
+
+The cache's contract is that :meth:`graph` always returns a graph
+structurally equal to a cold ``DerivationGraph.from_catalog`` over the
+current catalog — served from cache (hit), node-patched (hit +
+patches), or rebuilt (miss) depending on how much changed since the
+last call.
+"""
+
+from repro.catalog.memory import MemoryCatalog
+from repro.provenance.graph import DerivationGraph
+from repro.provenance.graphcache import REBUILD_FRACTION, GraphCache
+from repro.workloads import canonical
+
+
+def edges(graph):
+    """Order-normalized edge set of a derivation graph."""
+    return {
+        (node, successor)
+        for node in graph.nodes()
+        for successor in graph.successors(node)
+    }
+
+
+def chain_catalog(n=6):
+    catalog = MemoryCatalog()
+    canonical.define_transformations(catalog)
+    chunks = ['DV d0->canon0( o=@{output:"ds0"}, tag="t0" );\n']
+    for i in range(1, n):
+        chunks.append(
+            f'DV d{i}->canon1( o=@{{output:"ds{i}"}}, '
+            f'i0=@{{input:"ds{i - 1}"}}, tag="t{i}" );\n'
+        )
+    catalog.define("".join(chunks))
+    return catalog
+
+
+class TestGraphCache:
+    def test_second_call_is_a_hit_on_the_same_object(self):
+        catalog = chain_catalog()
+        cache = GraphCache(catalog)
+        first = cache.graph()
+        second = cache.graph()
+        assert second is first
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_added_derivation_is_patched_in(self):
+        catalog = chain_catalog()
+        cache = GraphCache(catalog)
+        before = cache.graph()
+        version = cache.version
+        catalog.define(
+            'DV extra->canon1( o=@{output:"extra.out"}, '
+            'i0=@{input:"ds2"}, tag="x" );\n'
+        )
+        after = cache.graph()
+        assert after is before  # patched, not rebuilt
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["patches"] >= 1
+        assert cache.version > version  # derived state must refresh
+        assert edges(after) == edges(DerivationGraph.from_catalog(catalog))
+
+    def test_removed_derivation_is_patched_out(self):
+        catalog = chain_catalog()
+        catalog.define(
+            'DV extra->canon1( o=@{output:"extra.out"}, '
+            'i0=@{input:"ds2"}, tag="x" );\n'
+        )
+        cache = GraphCache(catalog)
+        cache.graph()
+        catalog.remove_derivation("extra")
+        patched = cache.graph()
+        assert cache.stats()["misses"] == 1
+        assert edges(patched) == edges(
+            DerivationGraph.from_catalog(catalog)
+        )
+
+    def test_bulk_mutation_triggers_full_rebuild(self):
+        """Past the rebuild fraction, patching loses to rebuilding."""
+        catalog = chain_catalog(n=8)
+        cache = GraphCache(catalog)
+        old = cache.graph()
+        # Dirty strictly more than max(fraction * known, 8) derivations.
+        known = len(catalog.derivation_names())
+        extra = max(int(REBUILD_FRACTION * known), 8) + 1
+        chunks = []
+        for i in range(extra):
+            chunks.append(
+                f'DV bulk{i}->canon1( o=@{{output:"bulk{i}.out"}}, '
+                f'i0=@{{input:"ds0"}}, tag="b{i}" );\n'
+            )
+        catalog.define("".join(chunks))
+        rebuilt = cache.graph()
+        assert rebuilt is not old
+        assert cache.stats()["misses"] == 2
+        assert edges(rebuilt) == edges(
+            DerivationGraph.from_catalog(catalog)
+        )
+
+    def test_invalidate_drops_the_cached_graph(self):
+        catalog = chain_catalog()
+        cache = GraphCache(catalog)
+        old = cache.graph()
+        cache.invalidate()
+        assert cache.graph() is not old
+        assert cache.stats()["misses"] == 2
+
+    def test_catalog_accessor_returns_one_cache(self):
+        """catalog.graph_cache() is a stable per-catalog singleton and
+        derivation_graph() serves through it."""
+        catalog = chain_catalog()
+        cache = catalog.graph_cache()
+        assert catalog.graph_cache() is cache
+        graph = catalog.derivation_graph()
+        assert graph is cache.graph()
+        assert cache.stats()["misses"] == 1
