@@ -7,11 +7,12 @@ The repo commits five benchmark result files at the root —
 This guard re-runs the benchmarks in smoke mode and fails when the
 *fresh* measurement has drifted past the committed trajectory:
 
-* **observability overhead** — the fresh live-instrumentation overhead
-  may exceed the committed figure by at most a tolerance
-  (``BENCH_TRAJECTORY_TOLERANCE_PTS`` percentage points, default 25:
-  smoke runs on shared CI hardware are noisy, so the guard catches
-  order-of-magnitude regressions, not jitter);
+* **observability overhead** — the fresh live-instrumentation and
+  sampling-profiler overheads may exceed the committed figures by at
+  most a tolerance (``BENCH_TRAJECTORY_TOLERANCE_PTS`` percentage
+  points, default 25: smoke runs on shared CI hardware are noisy, so
+  the guard catches order-of-magnitude regressions, not jitter), and
+  the committed profiler overhead must hold its own 5% budget;
 * **parallel speedup** — for every plan, the fresh speedup at the
   widest measured worker count must stay above the committed speedup
   times a floor factor (``BENCH_TRAJECTORY_SPEEDUP_FLOOR``, default
@@ -94,6 +95,26 @@ def check_obs_overhead(
             f"live overhead {live:+.2f}% exceeds committed "
             f"{base:+.2f}% by more than {tolerance_pts:g}pts"
         )
+    base_prof = committed.get("profiled_overhead_pct")
+    prof = fresh.get("profiled_overhead_pct")
+    if base_prof is None or prof is None:
+        problems.append("overhead result missing profiled_overhead_pct")
+    else:
+        prof_budget = float(committed.get("profiler_budget_pct", 5.0))
+        if float(base_prof) > prof_budget:
+            problems.append(
+                f"committed profiler overhead {float(base_prof):+.2f}% "
+                f"exceeds its own {prof_budget:g}% budget"
+            )
+        # Same clamp as crash-recovery: a noise-negative committed
+        # figure must not tighten the ceiling below the tolerance.
+        prof_ceiling = max(float(base_prof), 0.0) + tolerance_pts
+        if float(prof) > prof_ceiling:
+            problems.append(
+                f"profiler overhead {float(prof):+.2f}% exceeds "
+                f"committed {float(base_prof):+.2f}% by more than "
+                f"{tolerance_pts:g}pts"
+            )
     if committed.get("smoke"):
         problems.append(
             "committed BENCH_OBS_OVERHEAD.json came from a smoke run; "

@@ -54,6 +54,7 @@ from repro.observability import (
     ProgressSink,
     ProgressTicker,
     RunRecord,
+    SamplingProfiler,
     chrome_trace,
     diff_records,
     find_run,
@@ -65,6 +66,7 @@ from repro.observability import (
     read_snapshot,
     regression_report,
     render_metrics,
+    render_profile,
     render_report,
     render_span_tree,
     report_dict,
@@ -294,13 +296,19 @@ def _cmd_plan(ws: Workspace, args, out) -> int:
     from repro.planner.dag import Planner
     from repro.planner.request import MaterializationRequest
 
+    obs = Instrumentation()
+    if getattr(args, "profile", False):
+        profiler = SamplingProfiler(memory=True)
+        obs.attach_profiler(profiler)
+        profiler.start()
     catalog = ws.catalog()
     if args.strict:
         from repro.analysis import Linter
 
         # The incremental path reuses (or seeds) the catalog's live
         # analysis context instead of re-exporting and re-parsing.
-        result = Linter().lint_catalog(catalog, incremental=True)
+        with obs.phase("analyze"):
+            result = Linter().lint_catalog(catalog, incremental=True)
         if result.errors:
             for diag in result.errors:
                 out(diag.render())
@@ -308,12 +316,15 @@ def _cmd_plan(ws: Workspace, args, out) -> int:
                 f"plan aborted: {len(result.errors)} lint error(s) in the "
                 f"catalog (run 'lint' for details, or drop --strict)"
             )
+            _finish_profile(obs, None, out)
             return 1
     executor = ws.executor()
     planner = Planner(catalog, has_replica=executor.is_materialized)
-    plan = planner.plan(
-        MaterializationRequest(targets=(args.dataset,), reuse=args.reuse)
-    )
+    with obs.phase("plan"):
+        plan = planner.plan(
+            MaterializationRequest(targets=(args.dataset,), reuse=args.reuse)
+        )
+    _finish_profile(obs, None, out)
     if not plan.steps:
         out(f"{args.dataset}: nothing to do "
             f"(reused: {', '.join(sorted(plan.reused)) or 'n/a'})")
@@ -330,7 +341,8 @@ def _instrument_run(ws: Workspace, command: str, args):
     """Build the (obs, recorder, ticker) triple for an executing command.
 
     Recording is on by default (``--no-record`` opts out); the live
-    progress ticker is opt-in (``--progress``).
+    progress ticker and the sampling profiler are opt-in
+    (``--progress``, ``--profile``).
     """
     from contextlib import nullcontext
 
@@ -344,10 +356,30 @@ def _instrument_run(ws: Workspace, command: str, args):
         sink = ProgressSink()
         obs.attach_progress(sink)
         ticker = ProgressTicker(sink)
+    if getattr(args, "profile", False):
+        profiler = SamplingProfiler(memory=True)
+        obs.attach_profiler(profiler)
+        profiler.start()
     return obs, recorder, ticker
 
 
+def _finish_profile(obs, recorder, out) -> None:
+    """Stop an attached profiler, persist and render its profile."""
+    profiler = getattr(obs, "profiler", None)
+    if profiler is None:
+        return
+    if profiler.running:
+        profiler.stop()
+    profile = profiler.to_dict()
+    if recorder is not None:
+        recorder.profile(profile)
+    out(render_profile(profile))
+
+
 def _finalize_run(ws: Workspace, obs, recorder, out, status, **fields) -> None:
+    # The profile line must land before finalize (finalize seals the
+    # record), so stop the profiler first.
+    _finish_profile(obs, recorder, out)
     ws.save_snapshot(obs)
     if recorder is not None:
         recorder.finalize(obs, status=status, **fields)
@@ -765,6 +797,35 @@ def _cmd_report(ws: Workspace, args, out) -> int:
     return 0
 
 
+def _cmd_profile(ws: Workspace, args, out) -> int:
+    """Phase/hot-frame report from a recorded run's profile line."""
+    import json
+
+    from repro.observability import collapsed_stacks
+
+    if not args.run_id:
+        _render_run_list(ws, out)
+        runs = ws.list_runs()
+        if runs:
+            out(f"(profile one with: profile {runs[-1].run_id})")
+        return 0
+    record = ws.load_run(args.run_id)
+    if record.profile is None:
+        out(
+            f"run {record.run_id} has no profile "
+            f"(re-run with --profile to sample it)"
+        )
+        return 1
+    if args.json:
+        out(json.dumps(record.profile, indent=2, sort_keys=True))
+    elif args.collapsed:
+        for line in collapsed_stacks(record.profile):
+            out(line)
+    else:
+        out(render_profile(record.profile, top=args.top))
+    return 0
+
+
 def _fmt_stamp(epoch) -> str:
     import time as _time
 
@@ -1017,6 +1078,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="lint the catalog first; abort on any error-level finding",
     )
+    plan.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample stacks while planning; print a per-phase profile",
+    )
     plan.set_defaults(fn=_cmd_plan)
 
     mat = sub.add_parser("materialize", help="produce a dataset")
@@ -1041,6 +1107,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="show a live steps-done/running/failed ticker with ETA",
+    )
+    mat.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sampling profiler; the profile rides in the run "
+        "record (read back with 'profile RUN_ID')",
     )
     mat.add_argument(
         "--no-record",
@@ -1136,6 +1208,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="show a live steps-done/running/failed ticker with ETA",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sampling profiler; the profile rides in the run "
+        "record (read back with 'profile RUN_ID')",
     )
     run.add_argument(
         "--no-record",
@@ -1234,6 +1312,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     report.set_defaults(fn=_cmd_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-phase time/memory/hot-frame report of a profiled run",
+    )
+    profile.add_argument(
+        "run_id",
+        nargs="?",
+        help="run id under <workspace>/runs ('latest' works); "
+        "omit to list available runs",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="dump the raw profile dict"
+    )
+    profile.add_argument(
+        "--collapsed",
+        action="store_true",
+        help="collapsed-stack lines for flamegraph.pl / speedscope",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hot frames shown per phase (default 10)",
+    )
+    profile.set_defaults(fn=_cmd_profile)
 
     runs = sub.add_parser(
         "runs", help="list recorded runs, or prune old ones"

@@ -542,34 +542,38 @@ class LocalExecutor:
         with self.obs.span(
             "executor.materialize", targets=target, workers=workers
         ) as mspan:
-            plan = self.planner().plan(
-                MaterializationRequest(targets=(target,), reuse=reuse)
-            )
+            with self.obs.phase("plan"):
+                plan = self.planner().plan(
+                    MaterializationRequest(targets=(target,), reuse=reuse)
+                )
             if self.obs.recorder is not None:
                 self.obs.recorder.plan(plan)
             if self.obs.progress is not None:
                 self.obs.progress.start_plan(plan)
-            if backend == "process":
-                return self._materialize_process(
+            with self.obs.phase("execute"):
+                if backend == "process":
+                    return self._materialize_process(
+                        plan, workers, policy, mspan
+                    )
+                if workers == 1 and policy == FAIL_FAST:
+                    # Today's sequential path, unchanged.
+                    invocations = []
+                    for name in plan.topological_order():
+                        if self.obs.progress is not None:
+                            self.obs.progress.step_started(name)
+                        try:
+                            invocation = self.execute(
+                                plan.steps[name].derivation
+                            )
+                        except ExecutionError:
+                            self._note_step(name, None, "failure")
+                            raise
+                        invocations.append(invocation)
+                        self._note_step(name, invocation, "success")
+                    return invocations
+                return self._materialize_parallel(
                     plan, workers, policy, mspan
                 )
-            if workers == 1 and policy == FAIL_FAST:
-                # Today's sequential path, unchanged.
-                invocations = []
-                for name in plan.topological_order():
-                    if self.obs.progress is not None:
-                        self.obs.progress.step_started(name)
-                    try:
-                        invocation = self.execute(
-                            plan.steps[name].derivation
-                        )
-                    except ExecutionError:
-                        self._note_step(name, None, "failure")
-                        raise
-                    invocations.append(invocation)
-                    self._note_step(name, invocation, "success")
-                return invocations
-            return self._materialize_parallel(plan, workers, policy, mspan)
 
     def _materialize_parallel(
         self, plan, workers: int, policy: str, parent=None
@@ -711,7 +715,7 @@ class LocalExecutor:
         completed: dict[str, Invocation] = {}
         failures: dict[str, ExecutionError] = {}
         skipped: set[str] = set()
-        collector = _ProvenanceCollector(self)
+        collector = _ProvenanceCollector(self, parent=parent)
         collector.start()
         pool = ProcessPoolExecutor(max_workers=workers)
         futures: dict = {}  # future -> step name
@@ -814,7 +818,11 @@ class LocalExecutor:
                                 f"{outcome.error}"
                             )
                         else:
-                            collector.submit(dv, tr, None, None)
+                            # No invocation to commit, but the worker's
+                            # telemetry (spans, stream tails) still
+                            # merges — failed steps are exactly the
+                            # ones whose trace matters.
+                            collector.submit(dv, tr, None, outcome)
                             message = outcome.error or (
                                 f"derivation {dv.name!r} failed"
                             )
@@ -996,6 +1004,83 @@ class LocalExecutor:
         if self.obs.recorder is not None:
             self.obs.recorder.invocation(invocation)
 
+    def _merge_worker_telemetry(self, outcome, parent=None) -> None:
+        """Graft one worker's shipped telemetry into the parent's obs.
+
+        Called from the collector thread, so all merges are serialized
+        and land in dispatch-completion order.  Clock-skew alignment:
+        worker span times are offsets from the worker's
+        ``perf_counter`` base, whose epoch differs per process.  The
+        worker ships ``wall0`` (its ``time.time()`` at that base);
+        wall clocks agree across processes on one host, so
+        ``wall0 + offset`` is an absolute wall timestamp, and adding
+        this process's ``perf_counter() - time.time()`` delta rebases
+        it into the parent's ``perf_counter`` domain — the clock every
+        parent span already uses.
+        """
+        telemetry = getattr(outcome, "telemetry", None)
+        if telemetry is None or not self.obs.enabled:
+            return
+        delta = time.perf_counter() - time.time()
+        lane = f"worker-{telemetry.pid}"
+        grafted: list = []
+        for spec in telemetry.spans:
+            if spec.parent is not None and spec.parent < len(grafted):
+                span_parent = grafted[spec.parent]
+            else:
+                # Worker-side roots hang off the dispatching
+                # materialize span, keeping the run a single tree.
+                span_parent = parent
+            attributes = dict(spec.attributes)
+            attributes.setdefault("worker_pid", telemetry.pid)
+            grafted.append(
+                self.obs.tracer.graft(
+                    spec.name,
+                    telemetry.wall0 + spec.start + delta,
+                    telemetry.wall0 + spec.end + delta,
+                    parent=span_parent,
+                    status=spec.status,
+                    error=spec.error,
+                    thread=lane,
+                    **attributes,
+                )
+            )
+        for metric in telemetry.metrics:
+            if metric.kind == "counter":
+                self.obs.count(
+                    metric.name,
+                    metric.value,
+                    help=metric.help,
+                    **metric.labels,
+                )
+            else:
+                self.obs.observe(
+                    metric.name,
+                    metric.value,
+                    help=metric.help,
+                    **metric.labels,
+                )
+        if self.obs.recorder is not None:
+            for event in telemetry.events:
+                fields = {
+                    k: v for k, v in event.items() if k != "name"
+                }
+                self.obs.recorder.event(
+                    event.get("name", "worker.event"),
+                    worker_pid=telemetry.pid,
+                    **fields,
+                )
+            for stream in ("stdout", "stderr"):
+                tail = getattr(telemetry, f"{stream}_tail")
+                if tail:
+                    self.obs.recorder.event(
+                        "worker.stream_tail",
+                        worker_pid=telemetry.pid,
+                        stream=stream,
+                        derivation=outcome.derivation_name,
+                        tail=tail,
+                    )
+
     def _execute_step_locked(self, step, parent=None) -> Invocation:
         """Run one plan step holding its output-dataset locks.
 
@@ -1101,8 +1186,11 @@ class _ProvenanceCollector:
     exactly.
     """
 
-    def __init__(self, executor: LocalExecutor):
+    def __init__(self, executor: LocalExecutor, parent=None):
         self._executor = executor
+        #: The dispatching ``executor.materialize`` span — worker-side
+        #: root spans are grafted under it at merge time.
+        self._parent = parent
         self._queue: queue.Queue = queue.Queue()
         self._thread = threading.Thread(
             target=self._run, name="provenance-collector", daemon=True
@@ -1138,6 +1226,10 @@ class _ProvenanceCollector:
                 if invocation is not None:
                     executor._commit_outcome(dv, tr, invocation, outcome)
                     self.committed += 1
+                if outcome is not None:
+                    executor._merge_worker_telemetry(
+                        outcome, self._parent
+                    )
                 if executor.obs.enabled:
                     status = (
                         invocation.status

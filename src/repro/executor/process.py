@@ -28,11 +28,17 @@ import os
 import pickle
 import subprocess
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import ExecutionError
+
+#: How many bytes of a redirected stdout/stderr file ride back to the
+#: parent on failure.  Tails, not heads: the last lines of a crashed
+#: tool are the diagnostic ones.
+STREAM_TAIL_BYTES = 2048
 
 
 @dataclass
@@ -72,6 +78,137 @@ class OutputStat:
 
 
 @dataclass
+class WorkerSpan:
+    """One completed span captured in a worker process.
+
+    ``start``/``end`` are offsets (seconds) from the capture's
+    ``perf_counter`` base; the parent rebases them into its own clock
+    domain at merge time.  ``parent`` is an index into the owning
+    telemetry's span list (spans are appended at open time, so a
+    parent's index is always smaller than its children's), or ``None``
+    for the worker-side root.
+    """
+
+    name: str
+    start: float
+    end: float
+    parent: Optional[int] = None
+    status: str = "ok"
+    error: Optional[str] = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class WorkerMetric:
+    """A counter increment or histogram observation made in a worker."""
+
+    kind: str  # "counter" | "histogram"
+    name: str
+    value: float
+    labels: dict[str, str] = field(default_factory=dict)
+    help: str = ""
+
+
+@dataclass
+class WorkerTelemetry:
+    """Everything a worker observed about one invocation, picklable.
+
+    Workers cannot touch the parent's ``Tracer``/``MetricsRegistry`` —
+    they live in another process — so spans, metric deltas, and events
+    are captured into plain dataclasses and shipped home inside the
+    :class:`InvocationOutcome`.  ``wall0`` is the worker's
+    ``time.time()`` at the capture's ``perf_counter`` base: the parent
+    uses it to map span offsets into its own ``perf_counter`` domain
+    (wall clocks agree across processes on one host; ``perf_counter``
+    bases do not).
+    """
+
+    pid: int
+    wall0: float
+    spans: list[WorkerSpan] = field(default_factory=list)
+    metrics: list[WorkerMetric] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    stdout_tail: str = ""
+    stderr_tail: str = ""
+
+
+class TelemetryCapture:
+    """Worker-side recorder: cheap list appends, no locks, no I/O.
+
+    Mirrors the parent ``Instrumentation`` surface (``span`` /
+    ``count`` / ``observe`` / ``event``) closely enough that worker
+    code reads like executor code, but every call lands in the
+    picklable :class:`WorkerTelemetry` instead of shared state.
+    """
+
+    def __init__(self, pid: int) -> None:
+        self._perf0 = time.perf_counter()
+        self.telemetry = WorkerTelemetry(pid=pid, wall0=time.time())
+        self._stack: list[int] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._perf0
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[WorkerSpan]:
+        index = len(self.telemetry.spans)
+        parent = self._stack[-1] if self._stack else None
+        span = WorkerSpan(
+            name=name,
+            start=self._now(),
+            end=0.0,
+            parent=parent,
+            attributes=dict(attributes),
+        )
+        self.telemetry.spans.append(span)
+        self._stack.append(index)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.end = self._now()
+            self._stack.pop()
+
+    def count(
+        self, name: str, amount: float = 1, help: str = "", **labels: str
+    ) -> None:
+        self.telemetry.metrics.append(
+            WorkerMetric("counter", name, amount, dict(labels), help)
+        )
+
+    def observe(
+        self, name: str, value: float, help: str = "", **labels: str
+    ) -> None:
+        self.telemetry.metrics.append(
+            WorkerMetric("histogram", name, value, dict(labels), help)
+        )
+
+    def event(self, name: str, **fields_: Any) -> None:
+        self.telemetry.events.append(
+            {"name": name, "at": self._now(), **fields_}
+        )
+
+    def capture_tails(self, streams: dict[str, str]) -> None:
+        """Read the last bytes of redirected stdout/stderr files."""
+        for key in ("stdout", "stderr"):
+            path = streams.get(key)
+            if not path or not os.path.exists(path):
+                continue
+            try:
+                size = os.path.getsize(path)
+                with open(path, "rb") as handle:
+                    if size > STREAM_TAIL_BYTES:
+                        handle.seek(-STREAM_TAIL_BYTES, os.SEEK_END)
+                    tail = handle.read().decode("utf-8", "replace")
+            except OSError:
+                continue
+            setattr(self.telemetry, f"{key}_tail", tail)
+
+
+@dataclass
 class InvocationOutcome:
     """A worker's report for one payload.
 
@@ -95,6 +232,7 @@ class InvocationOutcome:
     bytes_written: int = 0
     outputs: dict[str, OutputStat] = field(default_factory=dict)
     pid: int = 0
+    telemetry: Optional[WorkerTelemetry] = None
 
 
 def preflight_payload(payload: InvocationPayload) -> bytes:
@@ -143,6 +281,8 @@ def run_invocation(payload: InvocationPayload) -> InvocationOutcome:
     from repro.durability.checksum import file_digest
     from repro.executor.local import RunContext
 
+    pid = os.getpid()
+    capture = TelemetryCapture(pid)
     started = time.time()
     clock0 = time.perf_counter()
     outcome = InvocationOutcome(
@@ -150,7 +290,8 @@ def run_invocation(payload: InvocationPayload) -> InvocationOutcome:
         derivation_name=payload.derivation_name,
         status="success",
         started=started,
-        pid=os.getpid(),
+        pid=pid,
+        telemetry=capture.telemetry,
     )
     input_paths = {k: Path(v) for k, v in payload.input_paths.items()}
     output_paths = {k: Path(v) for k, v in payload.output_paths.items()}
@@ -163,46 +304,107 @@ def run_invocation(payload: InvocationPayload) -> InvocationOutcome:
         parameters=dict(payload.parameters),
         streams={k: Path(v) for k, v in payload.streams.items()},
     )
-    try:
-        _run_payload(payload, context)
-    except ExecutionError as exc:
-        # Infrastructure refusals (missing executable): the in-process
-        # path raises these without recording an invocation.
-        outcome.status = "failure"
-        outcome.commit = False
-        outcome.error = str(exc)
+    with capture.span(
+        "worker.invocation",
+        derivation=payload.derivation_name,
+        step=payload.step_name,
+        worker_pid=pid,
+    ) as root:
+        try:
+            with capture.span(
+                "worker.run", executable=payload.executable
+            ):
+                _run_payload(payload, context)
+        except ExecutionError as exc:
+            # Infrastructure refusals (missing executable): the
+            # in-process path raises these without recording an
+            # invocation.
+            outcome.status = "failure"
+            outcome.commit = False
+            outcome.error = str(exc)
+            outcome.wall_seconds = time.perf_counter() - clock0
+            root.status = "error"
+            root.error = outcome.error
+            _finish_capture(capture, payload, outcome)
+            return outcome
+        except Exception as exc:  # body failures → failed invocations
+            outcome.status = "failure"
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.exit_code = 1
         outcome.wall_seconds = time.perf_counter() - clock0
-        return outcome
-    except Exception as exc:  # body failures become failed invocations
-        outcome.status = "failure"
-        outcome.error = f"{type(exc).__name__}: {exc}"
-        outcome.exit_code = 1
-    outcome.wall_seconds = time.perf_counter() - clock0
-    outcome.bytes_read = sum(
-        p.stat().st_size for p in input_paths.values() if p.exists()
-    )
-    outcome.bytes_written = sum(
-        p.stat().st_size for p in output_paths.values() if p.exists()
-    )
-    if outcome.status == "success":
-        for formal, path in output_paths.items():
-            if not path.exists():
-                dataset = payload.output_datasets.get(formal, path.name)
-                outcome.status = "failure"
-                outcome.commit = False
-                outcome.error = (
-                    f"derivation {payload.derivation_name!r} succeeded "
-                    f"but output {dataset!r} was not written"
-                )
-                return outcome
-            stat = path.stat()
-            outcome.outputs[formal] = OutputStat(
-                path=str(path),
-                size=stat.st_size,
-                digest=file_digest(path),
-                mtime_ns=stat.st_mtime_ns,
-            )
+        outcome.bytes_read = sum(
+            p.stat().st_size for p in input_paths.values() if p.exists()
+        )
+        outcome.bytes_written = sum(
+            p.stat().st_size
+            for p in output_paths.values()
+            if p.exists()
+        )
+        if outcome.status == "success":
+            with capture.span(
+                "worker.digest", outputs=len(output_paths)
+            ):
+                for formal, path in output_paths.items():
+                    if not path.exists():
+                        dataset = payload.output_datasets.get(
+                            formal, path.name
+                        )
+                        outcome.status = "failure"
+                        outcome.commit = False
+                        outcome.error = (
+                            f"derivation "
+                            f"{payload.derivation_name!r} succeeded "
+                            f"but output {dataset!r} was not written"
+                        )
+                        capture.event(
+                            "worker.output.missing",
+                            derivation=payload.derivation_name,
+                            dataset=dataset,
+                        )
+                        break
+                    stat = path.stat()
+                    outcome.outputs[formal] = OutputStat(
+                        path=str(path),
+                        size=stat.st_size,
+                        digest=file_digest(path),
+                        mtime_ns=stat.st_mtime_ns,
+                    )
+        if outcome.status != "success":
+            root.status = "error"
+            root.error = outcome.error
+    _finish_capture(capture, payload, outcome)
     return outcome
+
+
+def _finish_capture(
+    capture: TelemetryCapture,
+    payload: InvocationPayload,
+    outcome: InvocationOutcome,
+) -> None:
+    """Record worker-side metrics and stream tails on the outcome.
+
+    Worker metrics live in a ``worker.*`` namespace: the parent's
+    collector already replays ``executor.*`` counters for backend
+    parity, so the relay must not double-count them.
+    """
+    capture.count(
+        "worker.invocations",
+        help="invocations executed in worker processes",
+        status=outcome.status,
+    )
+    capture.observe(
+        "worker.invocation.seconds",
+        outcome.wall_seconds,
+        help="worker-side wall time per invocation",
+    )
+    if outcome.bytes_written:
+        capture.count(
+            "worker.bytes_written",
+            outcome.bytes_written,
+            help="bytes written by worker processes",
+        )
+    if outcome.status != "success":
+        capture.capture_tails(payload.streams)
 
 
 def _run_payload(payload: InvocationPayload, context: Any) -> None:

@@ -60,6 +60,12 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.observability.profiler import (
+    SamplingProfiler,
+    collapsed_stacks,
+    hot_frames,
+    render_profile,
+)
 from repro.observability.progress import ProgressSink, ProgressTicker
 from repro.observability.recorder import (
     RECORD_SCHEMA_VERSION,
@@ -89,23 +95,27 @@ __all__ = [
     "RunDiff",
     "RunRecord",
     "SLOPolicy",
+    "SamplingProfiler",
     "SiteHealth",
     "Span",
     "Tracer",
     "TransformationDelta",
     "chrome_trace",
+    "collapsed_stacks",
     "critical_path",
     "diff_records",
     "find_run",
     "grid_health",
     "health_metrics",
     "health_penalties",
+    "hot_frames",
     "list_runs",
     "openmetrics_snapshot",
     "prune_runs",
     "read_snapshot",
     "regression_report",
     "render_metrics",
+    "render_profile",
     "render_report",
     "render_span_tree",
     "report_dict",

@@ -298,14 +298,23 @@ def chrome_trace(record: RunRecord) -> dict[str, Any]:
     recording thread; step attempts become ``"X"`` events in one lane
     per site.  Timestamps are microseconds from the run's first event,
     in the run's dominant clock (sim for grid runs, wall otherwise).
+
+    Spans relayed from worker processes (the ``worker_pid`` attribute,
+    set by the process backend's telemetry merge) get their own
+    Perfetto *process* track — ``pid`` is the real worker pid — so a
+    ``backend="process"`` run renders as the parent process plus one
+    track per worker instead of flattening every lane onto ``pid 1``.
+    Profiled runs (schema v2 ``profile`` line) additionally get a
+    ``profiler`` lane with one event per lifecycle-phase interval.
     """
     attempts = record.step_attempts
     clock = attempts[0].get("clock", "sim") if attempts else "wall"
-    events: list[tuple[str, str, float, float, dict[str, Any]]] = []
-    # (lane, name, start, end, args)
+    events: list[tuple[int, str, str, float, float, dict[str, Any]]] = []
+    # (pid, lane, name, start, end, args)
     for attempt in attempts:
         events.append(
             (
+                1,
                 f"site {attempt.get('site') or '?'}",
                 attempt["step"],
                 float(attempt["start"]),
@@ -324,45 +333,84 @@ def chrome_trace(record: RunRecord) -> dict[str, Any]:
             start, end = span.get("start_wall"), span.get("end_wall")
         if start is None or end is None:
             continue
-        lane = f"thread {span.get('thread') or 'main'}"
         args = dict(span.get("attributes") or {})
         args["status"] = span.get("status")
-        events.append((lane, span["name"], float(start), float(end), args))
+        try:
+            pid = int(args.get("worker_pid", 1))
+        except (TypeError, ValueError):
+            pid = 1
+        lane = f"thread {span.get('thread') or 'main'}"
+        events.append(
+            (pid, lane, span["name"], float(start), float(end), args)
+        )
+    if record.profile and clock == "wall":
+        # Phase intervals are absolute wall stamps — the same clock
+        # domain local step attempts already use.
+        for phase, stat in sorted(
+            record.profile.get("phases", {}).items()
+        ):
+            for interval in stat.get("intervals", ()):
+                events.append(
+                    (
+                        1,
+                        "profiler",
+                        f"phase {phase}",
+                        float(interval[0]),
+                        float(interval[1]),
+                        {"samples": stat.get("samples")},
+                    )
+                )
 
     trace_events: list[dict[str, Any]] = []
     if events:
-        t0 = min(start for _, _, start, _, _ in events)
-        lanes = sorted({lane for lane, *_ in events})
-        tids = {lane: i + 1 for i, lane in enumerate(lanes)}
-        trace_events.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": 0,
-                "args": {"name": f"repro {record.run_id} ({clock} clock)"},
-            }
-        )
-        for lane in lanes:
+        t0 = min(start for _, _, _, start, _, _ in events)
+        pids = sorted({pid for pid, *_ in events})
+        lanes_by_pid = {
+            pid: sorted(
+                {lane for p, lane, *_ in events if p == pid}
+            )
+            for pid in pids
+        }
+        tids = {
+            (pid, lane): i + 1
+            for pid in pids
+            for i, lane in enumerate(lanes_by_pid[pid])
+        }
+        for pid in pids:
+            label = (
+                f"repro {record.run_id} ({clock} clock)"
+                if pid == 1
+                else f"worker {pid}"
+            )
             trace_events.append(
                 {
-                    "name": "thread_name",
+                    "name": "process_name",
                     "ph": "M",
-                    "pid": 1,
-                    "tid": tids[lane],
-                    "args": {"name": lane},
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
                 }
             )
-        for lane, name, start, end, args in sorted(
-            events, key=lambda e: (e[2], e[0], e[1])
+            for lane in lanes_by_pid[pid]:
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tids[(pid, lane)],
+                        "args": {"name": lane},
+                    }
+                )
+        for pid, lane, name, start, end, args in sorted(
+            events, key=lambda e: (e[3], e[0], e[1], e[2])
         ):
             trace_events.append(
                 {
                     "name": name,
                     "cat": "repro",
                     "ph": "X",
-                    "pid": 1,
-                    "tid": tids[lane],
+                    "pid": pid,
+                    "tid": tids[(pid, lane)],
                     "ts": (start - t0) * 1e6,
                     "dur": max(end - start, 0.0) * 1e6,
                     "args": {
@@ -422,7 +470,7 @@ def report_dict(record: RunRecord) -> dict[str, Any]:
     statuses: dict[str, int] = {}
     for timing in record.step_timings().values():
         statuses[timing["status"]] = statuses.get(timing["status"], 0) + 1
-    return {
+    data = {
         "run_id": record.run_id,
         "schema_version": record.schema_version,
         "command": record.command,
@@ -435,6 +483,18 @@ def report_dict(record: RunRecord) -> dict[str, Any]:
         "transformation_profiles": transformation_profiles(record),
         "site_profiles": site_profiles(record),
     }
+    # Only profiled (schema v2) runs carry the key: pre-profile
+    # records keep producing byte-identical reports.
+    if record.profile is not None:
+        data["profile_phases"] = {
+            name: {
+                "seconds": stat.get("seconds", 0.0),
+                "samples": stat.get("samples", 0),
+                "peak_bytes": stat.get("peak_bytes", 0),
+            }
+            for name, stat in record.profile.get("phases", {}).items()
+        }
+    return data
 
 
 def render_report(record: RunRecord) -> str:
@@ -506,6 +566,19 @@ def render_report(record: RunRecord) -> str:
                 f"{profile['busy_seconds']:>9.3f}s "
                 f"{profile['mean_wall_seconds']:>9.3f}s "
                 f"{profile['throughput_bytes_per_second'] / 1e6:>8.2f}"
+            )
+    if data.get("profile_phases"):
+        lines.append("")
+        lines.append("profiled phases:")
+        for name, stat in sorted(
+            data["profile_phases"].items(),
+            key=lambda kv: -kv[1]["seconds"],
+        ):
+            peak = stat["peak_bytes"]
+            peak_note = f"  peak {peak / 1e6:.1f} MB" if peak else ""
+            lines.append(
+                f"  {name:<16} {stat['seconds']:8.3f}s "
+                f"{stat['samples']:6d} samples{peak_note}"
             )
     if data["events"]:
         lines.append("")

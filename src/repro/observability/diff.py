@@ -145,6 +145,10 @@ class RunDiff:
     transformations: list[TransformationDelta] = field(
         default_factory=list
     )
+    #: Profiled lifecycle-phase shifts (schema v2 runs only; the
+    #: ``transformation`` field of each delta holds the phase name).
+    #: Empty whenever either side was not profiled.
+    phases: list[TransformationDelta] = field(default_factory=list)
     makespan_significant: bool = False
     threshold_pct: float = DEFAULT_THRESHOLD_PCT
 
@@ -155,6 +159,10 @@ class RunDiff:
     @property
     def improvements(self) -> list[TransformationDelta]:
         return [d for d in self.transformations if d.improved]
+
+    @property
+    def phase_regressions(self) -> list[TransformationDelta]:
+        return [d for d in self.phases if d.regressed]
 
     @property
     def makespan_regressed(self) -> bool:
@@ -169,10 +177,14 @@ class RunDiff:
     @property
     def clean(self) -> bool:
         """No regressions anywhere (improvements don't count)."""
-        return not self.regressions and not self.makespan_regressed
+        return (
+            not self.regressions
+            and not self.phase_regressions
+            and not self.makespan_regressed
+        )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "base": self.base_id,
             "candidate": self.cand_id,
             "makespan": {
@@ -208,6 +220,15 @@ class RunDiff:
             "clean": self.clean,
             "threshold_pct": self.threshold_pct,
         }
+        # Phase keys appear only when a phase comparison happened, so
+        # diffs of pre-profile (schema v1) records serialize exactly
+        # as they did before the profiler existed.
+        if self.phases:
+            out["phases"] = [d.to_dict() for d in self.phases]
+            out["phase_regressions"] = [
+                d.transformation for d in self.phase_regressions
+            ]
+        return out
 
     def render(self) -> str:
         lines = [f"diff {self.base_id} -> {self.cand_id}"]
@@ -247,9 +268,26 @@ class RunDiff:
                     f"{d.base_mean:.3f}s -> {d.cand_mean:.3f}s "
                     f"({pct}, n={d.base_n}->{d.cand_n}){flag}"
                 )
-        if self.regressions:
-            names = ", ".join(d.transformation for d in self.regressions)
-            lines.append(f"  REGRESSED: {names}")
+        if self.phases:
+            lines.append("  profiled phase seconds:")
+            for d in sorted(self.phases, key=lambda d: -abs(d.delta)):
+                pct = (
+                    f"{d.delta_pct:+.1f}%"
+                    if not math.isinf(d.delta_pct)
+                    else "new"
+                )
+                flag = " **" if d.significant else ""
+                lines.append(
+                    f"    {d.transformation:<20} "
+                    f"{d.base_mean:.3f}s -> {d.cand_mean:.3f}s "
+                    f"({pct}, n={d.base_n}->{d.cand_n}){flag}"
+                )
+        regressed = [d.transformation for d in self.regressions]
+        regressed.extend(
+            f"phase:{d.transformation}" for d in self.phase_regressions
+        )
+        if regressed:
+            lines.append(f"  REGRESSED: {', '.join(regressed)}")
         elif self.makespan_regressed:
             lines.append("  REGRESSED: makespan")
         else:
@@ -293,6 +331,16 @@ def _failures(record: RunRecord) -> int:
     )
 
 
+def _phase_samples(record: RunRecord) -> dict[str, list[float]]:
+    """Per-phase wall seconds from a profiled record ({} otherwise)."""
+    if not record.profile:
+        return {}
+    return {
+        name: [float(stat.get("seconds", 0.0))]
+        for name, stat in record.profile.get("phases", {}).items()
+    }
+
+
 def _critical_seconds(record: RunRecord) -> Optional[float]:
     try:
         report = critical_path(record)
@@ -312,6 +360,8 @@ def diff_durations(
     retries: tuple[int, int] = (0, 0),
     faults: tuple[int, int] = (0, 0),
     failures: tuple[int, int] = (0, 0),
+    base_phases: Optional[dict[str, list[float]]] = None,
+    cand_phases: Optional[dict[str, list[float]]] = None,
     threshold_pct: float = DEFAULT_THRESHOLD_PCT,
     abs_floor: float = DEFAULT_ABS_FLOOR,
 ) -> RunDiff:
@@ -319,27 +369,41 @@ def diff_durations(
 
     The shared core of :func:`diff_records` (samples from two parsed
     records) and :func:`regression_report` (baseline samples pooled
-    from the history store).
+    from the history store).  ``base_phases``/``cand_phases`` carry
+    profiled lifecycle-phase seconds; phase deltas are computed only
+    when *both* sides have them, so an unprofiled run never gates on
+    phases.
     """
-    deltas = []
-    for tr in sorted(set(base_samples) | set(cand_samples)):
-        base = base_samples.get(tr, [])
-        cand = cand_samples.get(tr, [])
-        if not cand:
-            continue  # vanished from candidate: not a timing signal
-        deltas.append(
-            TransformationDelta(
-                transformation=tr,
-                base_mean=_mean(base),
-                cand_mean=_mean(cand),
-                base_n=len(base),
-                cand_n=len(cand),
-                significant=bool(base)
-                and is_significant(
-                    base, cand, threshold_pct, abs_floor
-                ),
+
+    def build_deltas(
+        base_map: dict[str, list[float]],
+        cand_map: dict[str, list[float]],
+    ) -> list[TransformationDelta]:
+        deltas = []
+        for tr in sorted(set(base_map) | set(cand_map)):
+            base = base_map.get(tr, [])
+            cand = cand_map.get(tr, [])
+            if not cand:
+                continue  # vanished from candidate: no timing signal
+            deltas.append(
+                TransformationDelta(
+                    transformation=tr,
+                    base_mean=_mean(base),
+                    cand_mean=_mean(cand),
+                    base_n=len(base),
+                    cand_n=len(cand),
+                    significant=bool(base)
+                    and is_significant(
+                        base, cand, threshold_pct, abs_floor
+                    ),
+                )
             )
-        )
+        return deltas
+
+    deltas = build_deltas(base_samples, cand_samples)
+    phase_deltas: list[TransformationDelta] = []
+    if base_phases and cand_phases:
+        phase_deltas = build_deltas(base_phases, cand_phases)
     makespan_significant = (
         makespan[0] is not None
         and makespan[1] is not None
@@ -356,6 +420,7 @@ def diff_durations(
         faults=faults,
         failures=failures,
         transformations=deltas,
+        phases=phase_deltas,
         makespan_significant=makespan_significant,
         threshold_pct=threshold_pct,
     )
@@ -378,6 +443,8 @@ def diff_records(
         retries=(_retries(base), _retries(cand)),
         faults=(_faults(base), _faults(cand)),
         failures=(_failures(base), _failures(cand)),
+        base_phases=_phase_samples(base),
+        cand_phases=_phase_samples(cand),
         threshold_pct=threshold_pct,
         abs_floor=abs_floor,
     )
@@ -448,6 +515,12 @@ def regression_report(
         retries=(base_retries, _retries(candidate)),
         faults=(base_faults, _faults(candidate)),
         failures=(base_failures, _failures(candidate)),
+        base_phases=(
+            history.phase_seconds(baseline_ids)
+            if hasattr(history, "phase_seconds")
+            else None
+        ),
+        cand_phases=_phase_samples(candidate),
         threshold_pct=threshold_pct,
         abs_floor=abs_floor,
     )

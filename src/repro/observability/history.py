@@ -112,6 +112,14 @@ CREATE TABLE IF NOT EXISTS site_breaker (
     transitions INTEGER NOT NULL,
     PRIMARY KEY (run_id, site)
 );
+CREATE TABLE IF NOT EXISTS phase_profile (
+    run_id TEXT NOT NULL,
+    phase TEXT NOT NULL,
+    seconds REAL NOT NULL,
+    samples INTEGER NOT NULL,
+    peak_bytes INTEGER NOT NULL,
+    PRIMARY KEY (run_id, phase)
+);
 """
 
 _RUN_TABLES = (
@@ -120,6 +128,7 @@ _RUN_TABLES = (
     "invocation_sample",
     "event_count",
     "site_breaker",
+    "phase_profile",
 )
 
 _OPEN_CODE = STATE_CODES["open"]
@@ -344,6 +353,22 @@ class HistoryStore:
                     )
                 ],
             )
+            if record.profile:
+                cur.executemany(
+                    "INSERT INTO phase_profile VALUES (?, ?, ?, ?, ?)",
+                    [
+                        (
+                            run_id,
+                            phase,
+                            float(stat.get("seconds", 0.0)),
+                            int(stat.get("samples", 0)),
+                            int(stat.get("peak_bytes", 0)),
+                        )
+                        for phase, stat in sorted(
+                            record.profile.get("phases", {}).items()
+                        )
+                    ],
+                )
             self._conn.commit()
         except BaseException:
             self._conn.rollback()
@@ -432,6 +457,38 @@ class HistoryStore:
                 float(row["duration"])
             )
         return out
+
+    def phase_seconds(
+        self, run_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, list[float]]:
+        """Profiled per-phase wall seconds across runs.
+
+        One sample per (run, phase); only profiled runs contribute, so
+        the lists may be shorter than the run filter.  Feeds
+        phase-level regression gating in ``repro regress``.
+        """
+        where, params = self._run_filter(run_ids)
+        out: dict[str, list[float]] = {}
+        for row in self._conn.execute(
+            "SELECT phase, seconds FROM phase_profile "
+            f"WHERE 1=1{where} ORDER BY run_id, phase",
+            params,
+        ):
+            out.setdefault(row["phase"], []).append(
+                float(row["seconds"])
+            )
+        return out
+
+    def phase_rows(self, run_id: str) -> dict[str, dict[str, Any]]:
+        """One run's ingested phase profile (empty if unprofiled)."""
+        return {
+            row["phase"]: dict(row)
+            for row in self._conn.execute(
+                "SELECT * FROM phase_profile WHERE run_id = ? "
+                "ORDER BY phase",
+                (run_id,),
+            )
+        }
 
     def transformation_series(
         self, transformation: str

@@ -20,6 +20,7 @@ dotted lowercase paths, ``<layer>.<subject>[.<unit>]``, e.g.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Optional
 
 from repro.observability.metrics import MetricsRegistry
@@ -49,6 +50,11 @@ class Instrumentation:
         #: Optional :class:`~repro.observability.progress.ProgressSink`
         #: fed by executors/scheduler for the live ``--progress`` ticker.
         self.progress: Optional[Any] = None
+        #: Optional :class:`~repro.observability.profiler.
+        #: SamplingProfiler` — when attached, :meth:`phase` attributes
+        #: sampled stacks to lifecycle phases (generate/plan/schedule/
+        #: execute/analyze).
+        self.profiler: Optional[Any] = None
 
     # -- tracing shorthands -------------------------------------------------
 
@@ -64,6 +70,16 @@ class Instrumentation:
     def adopt(self, parent: Any):
         """Pool-boundary handoff: make ``parent`` the current span."""
         return self.tracer.adopt(parent)
+
+    def phase(self, name: str):
+        """Mark a lifecycle phase for the sampling profiler.
+
+        A no-op context manager unless a profiler is attached, so
+        phase marks cost nothing on unprofiled runs.
+        """
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.phase(name)
 
     # -- metric shorthands --------------------------------------------------
 
@@ -103,6 +119,10 @@ class Instrumentation:
         """Feed a progress sink from the executors/scheduler."""
         self.progress = sink
 
+    def attach_profiler(self, profiler: Any) -> None:
+        """Attribute sampled stacks to phases marked via :meth:`phase`."""
+        self.profiler = profiler
+
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
@@ -136,6 +156,9 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def attach_progress(self, sink):  # type: ignore[override]
+        pass
+
+    def attach_profiler(self, profiler):  # type: ignore[override]
         pass
 
 

@@ -43,6 +43,13 @@ _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 def label_key(labels: dict[str, object]) -> LabelKey:
     """Normalize a label dict into a canonical hashable key."""
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        # The overwhelmingly common case on hot paths (one status or
+        # op label): skip the sort and generator machinery.
+        [(k, v)] = labels.items()
+        return ((k, v if type(v) is str else str(v)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -343,6 +350,17 @@ class MetricsRegistry:
         self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        # Lock-free fast path: dict reads are GIL-atomic and metrics
+        # are never removed except by reset(), so a hit needs no lock.
+        # Every count()/observe() resolves its metric here, which makes
+        # this read the hottest registry operation by far.
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:

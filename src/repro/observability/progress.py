@@ -31,6 +31,10 @@ class ProgressSink:
         self._done: set[str] = set()
         self._failed: set[str] = set()
         self._skipped: set[str] = set()
+        #: Steps that finished at least once — the ETA's spent-work
+        #: estimate is charged once per step, however many attempts.
+        self._finished_once: set[str] = set()
+        self._retries = 0
         self._started_at: Optional[float] = None
         self._spent_estimate = 0.0
 
@@ -47,7 +51,17 @@ class ProgressSink:
             self._started_at = time.perf_counter()
 
     def step_started(self, name: str) -> None:
+        """Note a step attempt; restarting a finished step is a retry.
+
+        The scheduler calls this once per *attempt*, so a step that
+        failed and is being retried moves back out of the failed set
+        (it is running again, not failed) and bumps the retry count.
+        """
         with self._lock:
+            if name in self._finished_once:
+                self._retries += 1
+            self._failed.discard(name)
+            self._done.discard(name)
             self._running[name] = time.perf_counter()
 
     def step_finished(self, name: str, status: str = "ok") -> None:
@@ -59,7 +73,11 @@ class ProgressSink:
                 self._skipped.add(name)
             else:
                 self._failed.add(name)
-            self._spent_estimate += self._estimates.get(name, 0.0)
+            # Spent work is charged once per step, not per attempt —
+            # a flapping retried step must not inflate the pace.
+            if name not in self._finished_once:
+                self._finished_once.add(name)
+                self._spent_estimate += self._estimates.get(name, 0.0)
 
     # -- consumer side (the ticker / tests) ----------------------------------
 
@@ -76,6 +94,7 @@ class ProgressSink:
             skipped = len(self._skipped)
             running = sorted(self._running)
             total = self._total
+            retries = self._retries
             eta = self._eta_locked(elapsed)
         return {
             "total": total,
@@ -83,6 +102,7 @@ class ProgressSink:
             "failed": failed,
             "skipped": skipped,
             "running": running,
+            "retries": retries,
             "elapsed": elapsed,
             "eta": eta,
         }
@@ -120,6 +140,8 @@ class ProgressSink:
             parts.append(f"{snap['failed']} failed")
         if snap["skipped"]:
             parts.append(f"{snap['skipped']} skipped")
+        if snap["retries"]:
+            parts.append(f"{snap['retries']} retried")
         if snap["running"]:
             head = ", ".join(snap["running"][:3])
             if len(snap["running"]) > 3:

@@ -54,7 +54,14 @@ from pathlib import Path
 from typing import Any, Optional
 
 #: Bump on breaking changes to the line schema.
-RECORD_SCHEMA_VERSION = 1
+#:
+#: - v1: meta / plan / invocation / step / event / sample / span /
+#:   metrics / result lines.
+#: - v2: adds the optional ``profile`` line (sampling-profiler output,
+#:   written at finalize when a profiler ran).  Pure addition: v1
+#:   records load under the v2 reader unchanged, with
+#:   ``RunRecord.profile`` left ``None``.
+RECORD_SCHEMA_VERSION = 2
 
 #: Per-run directory layout under the workspace.
 RUNS_DIRNAME = "runs"
@@ -204,6 +211,14 @@ class FlightRecorder:
             **fields,
         )
 
+    def profile(self, profile: dict[str, Any]) -> None:
+        """Record a sampling-profiler report (schema v2).
+
+        One line per run, written just before :meth:`finalize` by the
+        CLI's ``--profile`` path; readers on schema v1 never see it.
+        """
+        self._write("profile", profile=profile)
+
     # -- finalization --------------------------------------------------------
 
     def finalize(
@@ -263,6 +278,9 @@ class RunRecord:
         self.samples: list[dict[str, Any]] = []
         self.metrics: dict[str, dict] = {}
         self.result: dict[str, Any] = {}
+        #: Sampling-profiler report (schema v2+), or ``None`` — every
+        #: consumer treats the absence as "run was not profiled".
+        self.profile: Optional[dict[str, Any]] = None
         for line in lines:
             kind = line.get("type")
             if kind == "meta":
@@ -281,6 +299,8 @@ class RunRecord:
                 self.samples.append(line)
             elif kind == "metrics":
                 self.metrics = line.get("metrics", {})
+            elif kind == "profile":
+                self.profile = line.get("profile")
             elif kind == "result":
                 self.result = line
 

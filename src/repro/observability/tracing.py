@@ -189,38 +189,16 @@ class Tracer:
 
     # -- span lifecycle -----------------------------------------------------
 
-    @contextmanager
     def span(
         self, name: str, *, parent: Any = _UNSET, **attributes: Any
-    ) -> Iterator[Span]:
+    ) -> "_SpanHandle":
         """Open a child span of the current span for the ``with`` body.
 
         ``parent`` overrides the context-local parent: pass a
         :class:`Span` captured on the dispatching thread to attach a
         worker-thread span to it, or ``None`` to force a root.
         """
-        span = Span(
-            name=name,
-            span_id=self._next_id(),
-            parent_id=self._parent_id(parent),
-            start_wall=time.perf_counter(),
-            start_sim=self._sim_now(),
-            attributes=attributes,
-            thread=threading.current_thread().name,
-        )
-        with self._lock:
-            self._spans.append(span)
-        token = self._stack_var.set(self._stack_var.get() + (span,))
-        try:
-            yield span
-        except BaseException as exc:
-            span.status = "error"
-            span.error = f"{type(exc).__name__}: {exc}"
-            raise
-        finally:
-            self._stack_var.reset(token)
-            span.end_wall = time.perf_counter()
-            span.end_sim = self._sim_now()
+        return _SpanHandle(self, name, parent, attributes)
 
     @contextmanager
     def adopt(self, parent: Any) -> Iterator[Any]:
@@ -271,6 +249,44 @@ class Tracer:
         span.end_wall = now
         span.end_sim = sim_end if sim_end is not None else self._sim_now()
         span.status = status
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def graft(
+        self,
+        name: str,
+        start_wall: float,
+        end_wall: float,
+        *,
+        parent: Any = None,
+        status: str = "ok",
+        error: Optional[str] = None,
+        thread: str = "",
+        **attributes: Any,
+    ) -> Span:
+        """Insert a completed span with explicit wall timestamps.
+
+        The merge point for spans measured in *another clock domain* —
+        a worker process ships span offsets home and the collector
+        rebases them into this process's ``perf_counter`` timeline
+        before grafting (see ``LocalExecutor._merge_worker_telemetry``).
+        Unlike :meth:`record`, both wall timestamps are caller-supplied
+        so the span keeps its true duration, and ``thread`` names the
+        foreign execution lane (e.g. ``worker-12345``).
+        """
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=self._parent_id(parent),
+            start_wall=start_wall,
+            start_sim=None,
+            attributes=attributes,
+            thread=thread or threading.current_thread().name,
+        )
+        span.end_wall = end_wall
+        span.status = status
+        span.error = error
         with self._lock:
             self._spans.append(span)
         return span
@@ -327,6 +343,68 @@ class Tracer:
         self._stack_var.set(())
 
 
+class _SpanHandle:
+    """The context manager behind :meth:`Tracer.span`.
+
+    A plain class rather than ``@contextmanager``: spans are the
+    hottest tracer entry point (one per executed step and catalog
+    plan) and the generator machinery costs more than the span
+    bookkeeping itself.  The span is created on ``__enter__`` — a
+    handle that is never entered records nothing, matching the old
+    generator behaviour.
+    """
+
+    __slots__ = ("_tracer", "_name", "_parent", "_attributes",
+                 "_span", "_token")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: Any,
+        attributes: dict[str, Any],
+    ):
+        self._tracer = tracer
+        self._name = name
+        self._parent = parent
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+        self._token: Any = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        clock = tracer._sim_clock
+        span = Span(
+            name=self._name,
+            span_id=0,
+            parent_id=tracer._parent_id(self._parent),
+            start_wall=time.perf_counter(),
+            start_sim=clock() if clock is not None else None,
+            attributes=self._attributes,
+            thread=threading.current_thread().name,
+        )
+        # One critical section allocates the id and registers the span.
+        with tracer._lock:
+            span.span_id = next(tracer._ids)
+            tracer._spans.append(span)
+        self._span = span
+        stack_var = tracer._stack_var
+        self._token = stack_var.set(stack_var.get() + (span,))
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        span = self._span
+        tracer._stack_var.reset(self._token)
+        if exc_type is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        span.end_wall = time.perf_counter()
+        clock = tracer._sim_clock
+        span.end_sim = clock() if clock is not None else None
+        return False
+
+
 class _NullSpan:
     """Inert span handed out by the null tracer; accepts everything."""
 
@@ -378,6 +456,9 @@ class NullTracer(Tracer):
         return _NULL_CONTEXT
 
     def record(self, name: str, **kwargs: Any) -> _NullSpan:  # type: ignore[override]
+        return NULL_SPAN
+
+    def graft(self, name: str, *args: Any, **kwargs: Any) -> _NullSpan:  # type: ignore[override]
         return NULL_SPAN
 
     def add_event(self, name: str, **attrs: Any) -> None:

@@ -222,7 +222,7 @@ class VirtualDataSystem:
             pattern=pattern,
             max_hosts=max_hosts,
         )
-        with self.obs.span("vds.plan"):
+        with self.obs.span("vds.plan"), self.obs.phase("plan"):
             if self.executor is not None:
                 return self.executor.plan(request)
             from repro.planner.dag import Planner
@@ -328,7 +328,10 @@ class VirtualDataSystem:
             targets=",".join(request.targets),
             reuse=reuse,
             pattern=pattern,
-        ):
+        ), self.obs.phase("schedule"):
+            # The grid path plans, selects sites and dispatches inside
+            # WorkflowExecutor.materialize — profile it as the
+            # scheduling phase (sim-time execution costs no wall time).
             return self.executor.materialize(
                 request, rescue=rescue, until=until
             )

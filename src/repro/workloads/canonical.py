@@ -96,40 +96,42 @@ def generate_graph(
     """
     if max_fanin > MAX_FANIN:
         raise ValueError(f"max_fanin must be <= {MAX_FANIN}")
-    define_transformations(catalog)
-    rng = random.Random(seed)
-    per_layer = max(1, nodes // layers)
-    datasets_by_layer: list[list[str]] = []
-    #: Flattened datasets of all *completed* layers (avoids an O(n^2)
-    #: re-flatten per node; sampling sees the identical list).
-    earlier: list[str] = []
-    #: (name, output, inputs, node_index) per derivation.
-    specs: list[tuple[str, str, list[str], int]] = []
-    node_index = 0
-    for layer in range(layers):
-        count = per_layer if layer < layers - 1 else nodes - node_index
-        if count <= 0:
-            break
-        layer_datasets = []
-        for _ in range(count):
-            name = f"{prefix}.n{node_index:06d}"
-            output = f"{name}.out"
-            if layer == 0:
-                inputs: list[str] = []
-            else:
-                fanin = rng.randint(1, min(max_fanin, len(earlier)))
-                inputs = rng.sample(earlier, fanin)
-            specs.append((name, output, inputs, node_index))
-            layer_datasets.append(output)
-            node_index += 1
-        datasets_by_layer.append(layer_datasets)
-        earlier.extend(layer_datasets)
-    if fast is None:
-        fast = node_index >= FAST_PATH_THRESHOLD
-    if fast:
-        _emit_objects(catalog, specs)
-    else:
-        _emit_vdl(catalog, specs)
+    with catalog.obs.phase("generate"):
+        define_transformations(catalog)
+        rng = random.Random(seed)
+        per_layer = max(1, nodes // layers)
+        datasets_by_layer: list[list[str]] = []
+        #: Flattened datasets of all *completed* layers (avoids an
+        #: O(n^2) re-flatten per node; sampling sees the identical
+        #: list).
+        earlier: list[str] = []
+        #: (name, output, inputs, node_index) per derivation.
+        specs: list[tuple[str, str, list[str], int]] = []
+        node_index = 0
+        for layer in range(layers):
+            count = per_layer if layer < layers - 1 else nodes - node_index
+            if count <= 0:
+                break
+            layer_datasets = []
+            for _ in range(count):
+                name = f"{prefix}.n{node_index:06d}"
+                output = f"{name}.out"
+                if layer == 0:
+                    inputs: list[str] = []
+                else:
+                    fanin = rng.randint(1, min(max_fanin, len(earlier)))
+                    inputs = rng.sample(earlier, fanin)
+                specs.append((name, output, inputs, node_index))
+                layer_datasets.append(output)
+                node_index += 1
+            datasets_by_layer.append(layer_datasets)
+            earlier.extend(layer_datasets)
+        if fast is None:
+            fast = node_index >= FAST_PATH_THRESHOLD
+        if fast:
+            _emit_objects(catalog, specs)
+        else:
+            _emit_vdl(catalog, specs)
     consumed: set[str] = set()
     for _name, _output, inputs, _idx in specs:
         consumed.update(inputs)

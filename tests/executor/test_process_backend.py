@@ -72,6 +72,28 @@ class TestProcessParity:
         assert totals["thread"] == totals["proc"]
         assert totals["proc"]["executor.invocations"] == 12  # 1+8+2+1
 
+    def test_worker_counters_ride_alongside_parity_counters(self, tmp_path):
+        """The relay ships worker.* metrics without perturbing the
+        executor.* counters the collector replays for parity."""
+        obs = Instrumentation()
+        catalog = MemoryCatalog(instrumentation=obs)
+        canonical.define_transformations(catalog)
+        catalog.define(wide_vdl(8))
+        executor = LocalExecutor(
+            catalog, tmp_path / "wctr", instrumentation=obs
+        )
+        canonical.register_bodies(executor)
+        executor.materialize("final.out", workers=4, backend="process")
+        assert obs.metrics.get("worker.invocations").total() == 12
+        assert obs.metrics.get("worker.invocations").total() == (
+            obs.metrics.get("executor.invocations").total()
+        )
+        assert obs.metrics.get("worker.bytes_written").total() == (
+            obs.metrics.get("executor.bytes_written").total()
+        )
+        seconds = obs.metrics.get("worker.invocation.seconds")
+        assert seconds.count() == 12 and seconds.sum() > 0
+
     def test_process_backend_sequential_worker(self, tmp_path):
         """workers=1 with backend='process' still round-trips payloads."""
         catalog, executor = build_executor(tmp_path, wide_vdl(4), "p1")
@@ -192,3 +214,130 @@ class TestPickleFailure:
             for iid in catalog.invocation_ids()
         }
         assert "lam" not in recorded
+
+
+def instrumented_process_run(tmp_path, tag, vdl, target="final.out"):
+    """Materialize ``target`` on the process backend under a live obs."""
+    obs = Instrumentation()
+    catalog = MemoryCatalog(instrumentation=obs)
+    canonical.define_transformations(catalog)
+    catalog.define(vdl)
+    executor = LocalExecutor(catalog, tmp_path / tag, instrumentation=obs)
+    canonical.register_bodies(executor)
+    error = None
+    try:
+        executor.materialize(target, workers=4, backend="process")
+    except (ExecutionError, MaterializationError) as exc:
+        error = exc
+    return obs, error
+
+
+class TestTelemetryRelay:
+    """Worker spans/events merge into the parent's single trace."""
+
+    def test_every_executed_step_has_a_worker_span(self, tmp_path):
+        obs, error = instrumented_process_run(tmp_path, "relay", wide_vdl(8))
+        assert error is None
+        roots = obs.tracer.spans("worker.invocation")
+        assert len(roots) == 12  # 1+8+2+1 on wide_vdl(8)
+        assert len({s.attributes["step"] for s in roots}) == 12
+        assert all(s.status == "ok" for s in roots)
+
+    def test_worker_spans_parented_under_materialize(self, tmp_path):
+        obs, _ = instrumented_process_run(tmp_path, "parent", wide_vdl(8))
+        by_id = {s.span_id: s for s in obs.tracer.spans()}
+        mat = obs.tracer.spans("executor.materialize")[0]
+        for root in obs.tracer.spans("worker.invocation"):
+            assert root.parent_id == mat.span_id
+            assert root.thread.startswith("worker-")
+            assert root.attributes["worker_pid"] == int(
+                root.thread.split("-", 1)[1]
+            )
+        for run in obs.tracer.spans("worker.run"):
+            parent = by_id[run.parent_id]
+            assert parent.name == "worker.invocation"
+            # Children nest inside their parent's rebased window.
+            assert parent.start_wall <= run.start_wall
+            assert run.end_wall <= parent.end_wall + 1e-6
+
+    def test_worker_spans_land_inside_the_parent_window(self, tmp_path):
+        """Clock-skew alignment: grafted spans sit inside the parent's
+        perf_counter window, not at some other process's epoch."""
+        obs, _ = instrumented_process_run(tmp_path, "skew", wide_vdl(8))
+        mat = obs.tracer.spans("executor.materialize")[0]
+        for span in obs.tracer.spans("worker.invocation"):
+            assert span.end_wall > span.start_wall
+            assert mat.start_wall - 1.0 <= span.start_wall
+            assert span.end_wall <= mat.end_wall + 1.0
+
+    def test_failure_ships_error_span_and_stream_tail(self, tmp_path):
+        """A worker-side failure still merges its telemetry — status,
+        error text, and the missing-executable span are all visible."""
+        vdl = 'DV src->canon0( o=@{output:"src.out"}, tag="s" );\n'
+        obs = Instrumentation()
+        catalog = MemoryCatalog(instrumentation=obs)
+        canonical.define_transformations(catalog)
+        catalog.define(vdl)
+        executor = LocalExecutor(
+            catalog, tmp_path / "fail", instrumentation=obs
+        )
+        # No bodies registered: the worker hits the missing-executable
+        # refusal (commit=False) — exactly the no-invocation path.
+        with pytest.raises(ExecutionError):
+            executor.materialize("src.out", workers=2, backend="process")
+        roots = obs.tracer.spans("worker.invocation")
+        assert len(roots) == 1
+        assert roots[0].status == "error"
+        assert "does not exist" in roots[0].error
+        assert obs.metrics.get("worker.invocations").total() == 1
+
+    def test_recorded_run_exports_per_worker_perfetto_tracks(
+        self, tmp_path
+    ):
+        """A recorded process-backend run renders as the parent process
+        plus one Perfetto process track per worker pid, and the trace
+        passes the shape validator."""
+        from repro.observability.analysis import (
+            chrome_trace,
+            validate_chrome_trace,
+        )
+        from repro.observability.recorder import FlightRecorder, RunRecord
+
+        obs = Instrumentation()
+        recorder = FlightRecorder.start(
+            tmp_path / "runs", command="materialize final.out"
+        )
+        obs.attach_recorder(recorder)
+        catalog = MemoryCatalog(instrumentation=obs)
+        canonical.define_transformations(catalog)
+        catalog.define(wide_vdl(8))
+        executor = LocalExecutor(
+            catalog, tmp_path / "trace", instrumentation=obs
+        )
+        canonical.register_bodies(executor)
+        executor.materialize("final.out", workers=4, backend="process")
+        recorder.finalize(obs, status="ok")
+
+        record = RunRecord.load(recorder.path)
+        trace = chrome_trace(record)
+        assert validate_chrome_trace(trace) == []
+        worker_pids = {
+            s["attributes"]["worker_pid"]
+            for s in record.spans
+            if s["name"] == "worker.invocation"
+        }
+        assert worker_pids and 1 not in worker_pids
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert set(process_names) == {1, *worker_pids}
+        for pid in worker_pids:
+            assert process_names[pid] == f"worker {pid}"
+        # Every worker span event sits on its worker's process track.
+        for event in trace["traceEvents"]:
+            if event.get("ph") == "X" and event["name"].startswith(
+                "worker."
+            ):
+                assert event["pid"] in worker_pids

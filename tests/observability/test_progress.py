@@ -121,6 +121,50 @@ class TestProgressSink:
         assert snap["running"] == []
 
 
+class TestRetryAwareness:
+    def test_restarting_a_finished_step_counts_as_a_retry(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({"a": 4.0, "b": 4.0}))
+        sink.step_started("a")
+        sink.step_finished("a", "failed")
+        assert sink.snapshot()["failed"] == 1
+        # The scheduler retries: the step is running again, not failed.
+        sink.step_started("a")
+        snap = sink.snapshot()
+        assert snap["failed"] == 0
+        assert snap["running"] == ["a"]
+        assert snap["retries"] == 1
+        sink.step_finished("a", "ok")
+        snap = sink.snapshot()
+        assert snap["done"] == 1 and snap["retries"] == 1
+        assert "1 retried" in sink.render()
+
+    def test_spent_estimate_charged_once_per_step(self):
+        """A flapping step must not inflate the ETA's observed pace."""
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({"a": 5.0, "b": 5.0}))
+        for _ in range(3):  # three attempts of the same step
+            sink.step_started("a")
+            sink.step_finished("a", "failed")
+        sink.step_started("a")
+        sink.step_finished("a", "ok")
+        with sink._lock:
+            assert sink._spent_estimate == pytest.approx(5.0)
+            eta = sink._eta_locked(elapsed=10.0)
+        assert eta == pytest.approx(10.0)  # 2s/est-s * 5 est-s remaining
+
+    def test_success_after_retry_is_not_double_counted(self):
+        sink = ProgressSink()
+        sink.start_plan(fake_plan({"a": 1.0}))
+        sink.step_started("a")
+        sink.step_finished("a", "ok")
+        sink.step_started("a")  # e.g. a re-dispatch race
+        sink.step_finished("a", "ok")
+        snap = sink.snapshot()
+        assert snap["done"] == 1
+        assert snap["retries"] == 1
+
+
 class TestProgressTicker:
     def test_ticker_writes_lines_to_non_tty_stream(self):
         sink = ProgressSink()

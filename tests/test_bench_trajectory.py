@@ -9,8 +9,13 @@ from benchmarks.check_bench_trajectory import (
 )
 
 
-def obs(live_pct, smoke=False):
-    return {"live_overhead_pct": live_pct, "smoke": smoke}
+def obs(live_pct, smoke=False, profiled_pct=1.0, profiler_budget=5.0):
+    return {
+        "live_overhead_pct": live_pct,
+        "profiled_overhead_pct": profiled_pct,
+        "profiler_budget_pct": profiler_budget,
+        "smoke": smoke,
+    }
 
 
 def speedup(plans):
@@ -47,6 +52,33 @@ class TestObsOverhead:
     def test_missing_fields(self):
         assert check_obs_overhead({}, obs(5.0))
         assert check_obs_overhead(obs(5.0), {})
+
+    def test_profiler_drift_past_tolerance_flagged(self):
+        problems = check_obs_overhead(
+            obs(5.0, profiled_pct=2.0), obs(5.0, profiled_pct=28.0)
+        )
+        assert len(problems) == 1
+        assert "profiler overhead" in problems[0]
+
+    def test_profiler_within_tolerance(self):
+        assert (
+            check_obs_overhead(
+                obs(5.0, profiled_pct=2.0), obs(5.0, profiled_pct=26.0)
+            )
+            == []
+        )
+
+    def test_committed_profiler_over_its_budget_flagged(self):
+        problems = check_obs_overhead(
+            obs(5.0, profiled_pct=6.5), obs(5.0, profiled_pct=1.0)
+        )
+        assert any("its own 5% budget" in p for p in problems)
+
+    def test_missing_profiled_field_flagged(self):
+        committed = obs(5.0)
+        del committed["profiled_overhead_pct"]
+        problems = check_obs_overhead(committed, obs(5.0))
+        assert any("profiled_overhead_pct" in p for p in problems)
 
 
 class TestParallelSpeedup:
@@ -141,6 +173,9 @@ class TestCommittedBaselines:
         assert not committed_obs["smoke"]
         assert committed_obs["live_overhead_pct"] <= committed_obs[
             "budget_pct"
+        ]
+        assert committed_obs["profiled_overhead_pct"] <= committed_obs[
+            "profiler_budget_pct"
         ]
 
     def test_committed_analysis_baseline_self_compares(self):
